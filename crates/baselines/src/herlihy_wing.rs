@@ -1,0 +1,390 @@
+//! Herlihy & Wing's array FIFO queue (*Linearizability: A Correctness
+//! Condition for Concurrent Objects*, TOPLAS 1990) — the paper's §2
+//! starting point, made concrete.
+//!
+//! "Herlihy and Wing gave a non-blocking FIFO queue algorithm requiring an
+//! infinite array" whose descendants (Wing & Gong, Treiber) have dequeue
+//! running time "proportional to the number of completed enqueue
+//! operations since the creation of the queue ... inefficient for large
+//! queue lengths and many dequeue attempts". This implementation exists to
+//! let the benchmarks *show* that §2 claim rather than cite it.
+//!
+//! The algorithm (two single-word atomics, fully linearizable):
+//!
+//! * `enqueue(v)`: `i = fetch_add(&back, 1); slots[i] = v` — two separate
+//!   steps; the window between them is what forces dequeuers to re-scan.
+//! * `dequeue()`: scan `slots[0..back)` swapping each candidate with a
+//!   TAKEN marker; first swap that yields a value wins.
+//!
+//! The "infinite array" is emulated with lazily allocated fixed segments
+//! behind a bounded directory — enqueues beyond the directory's reach
+//! report `Full` (the honest finite-memory rendition of "infinite").
+//! A consumed-prefix watermark (slots, once TAKEN, stay TAKEN) keeps the
+//! scan from always starting at zero without affecting linearizability;
+//! the asymptotic §2 complaint — space and scan length grow with the
+//! *history*, not the queue length — remains, by design.
+
+use crate::node_support::{box_node, unbox_node};
+use core::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
+use nbq_util::{CachePadded, ConcurrentQueue, Full, QueueHandle};
+
+/// Slot markers: 0 = never written, 1 = consumed. Node addresses are
+/// 8-aligned so both are free.
+const EMPTY: u64 = 0;
+const TAKEN: u64 = 1;
+
+const SEG_BITS: u32 = 10;
+/// Slots per segment.
+pub const SEG_SIZE: usize = 1 << SEG_BITS;
+
+#[repr(transparent)]
+struct Segment {
+    slots: [AtomicU64; SEG_SIZE],
+}
+
+impl Segment {
+    fn new() -> Box<Self> {
+        // AtomicU64 is zero-initializable; build without a huge stack
+        // temporary.
+        let mut v = Vec::with_capacity(SEG_SIZE);
+        v.resize_with(SEG_SIZE, || AtomicU64::new(EMPTY));
+        let boxed: Box<[AtomicU64; SEG_SIZE]> =
+            v.into_boxed_slice().try_into().unwrap_or_else(|_| unreachable!("exact length"));
+        // SAFETY: Segment is repr(transparent) over the array.
+        unsafe { Box::from_raw(Box::into_raw(boxed).cast::<Segment>()) }
+    }
+}
+
+/// Herlihy–Wing FIFO over a segmented "infinite" array.
+pub struct HerlihyWingQueue<T> {
+    /// Segment directory; entries are installed on demand with CAS.
+    segments: Box<[AtomicPtr<Segment>]>,
+    /// Next enqueue position (the paper's `back`); grows forever.
+    back: CachePadded<AtomicU64>,
+    /// All positions `< watermark` are TAKEN (monotone).
+    watermark: CachePadded<AtomicU64>,
+    _marker: core::marker::PhantomData<T>,
+}
+
+// SAFETY: ownership of node words transfers through the swap; see the
+// other array queues.
+unsafe impl<T: Send> Send for HerlihyWingQueue<T> {}
+unsafe impl<T: Send> Sync for HerlihyWingQueue<T> {}
+
+impl<T: Send> HerlihyWingQueue<T> {
+    /// Creates a queue able to absorb `max_enqueues` lifetime enqueues
+    /// (rounded up to whole segments).
+    pub fn with_history_capacity(max_enqueues: usize) -> Self {
+        let segs = max_enqueues.div_ceil(SEG_SIZE).max(1);
+        Self {
+            segments: (0..segs)
+                .map(|_| AtomicPtr::new(core::ptr::null_mut()))
+                .collect(),
+            back: CachePadded::new(AtomicU64::new(0)),
+            watermark: CachePadded::new(AtomicU64::new(0)),
+            _marker: core::marker::PhantomData,
+        }
+    }
+
+    /// Lifetime enqueue budget.
+    pub fn history_capacity(&self) -> usize {
+        self.segments.len() * SEG_SIZE
+    }
+
+    /// Registers the calling thread (stateless).
+    pub fn handle(&self) -> HwHandle<'_, T> {
+        HwHandle { queue: self }
+    }
+
+    /// Returns the slot cell for a global position, allocating its
+    /// segment if needed; `None` once past the directory.
+    fn slot(&self, pos: u64) -> Option<&AtomicU64> {
+        let seg_idx = (pos >> SEG_BITS) as usize;
+        let seg = self.segments.get(seg_idx)?;
+        let mut p = seg.load(Ordering::Acquire);
+        if p.is_null() {
+            let fresh = Box::into_raw(Segment::new());
+            match seg.compare_exchange(
+                core::ptr::null_mut(),
+                fresh,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => p = fresh,
+                Err(existing) => {
+                    // SAFETY: fresh was never published.
+                    drop(unsafe { Box::from_raw(fresh) });
+                    p = existing;
+                }
+            }
+        }
+        // SAFETY: segments are never freed while the queue lives.
+        Some(&unsafe { &*p }.slots[(pos & (SEG_SIZE as u64 - 1)) as usize])
+    }
+
+    /// Current scan start / enqueue count (diagnostics).
+    pub fn positions_used(&self) -> u64 {
+        self.back.load(Ordering::SeqCst)
+    }
+}
+
+impl<T> Drop for HerlihyWingQueue<T> {
+    fn drop(&mut self) {
+        for seg in self.segments.iter_mut() {
+            let p = *seg.get_mut();
+            if p.is_null() {
+                continue;
+            }
+            // SAFETY: exclusive teardown.
+            let seg = unsafe { Box::from_raw(p) };
+            for cell in seg.slots.iter() {
+                let v = cell.load(Ordering::Relaxed);
+                if v > TAKEN {
+                    // SAFETY: a live node word owned by the slot.
+                    drop(unsafe { unbox_node::<T>(v) });
+                }
+            }
+        }
+    }
+}
+
+/// Per-thread handle for [`HerlihyWingQueue`].
+pub struct HwHandle<'q, T> {
+    queue: &'q HerlihyWingQueue<T>,
+}
+
+impl<T: Send> QueueHandle<T> for HwHandle<'_, T> {
+    fn enqueue(&mut self, value: T) -> Result<(), Full<T>> {
+        let q = self.queue;
+        // Cheap pre-check so we don't burn positions when exhausted.
+        if q.back.load(Ordering::SeqCst) >= q.history_capacity() as u64 {
+            return Err(Full(value));
+        }
+        let node = box_node(value);
+        let pos = q.back.fetch_add(1, Ordering::SeqCst);
+        match q.slot(pos) {
+            Some(cell) => {
+                // The slot at a freshly minted position is EMPTY (positions
+                // are never reused); a plain store completes the enqueue.
+                debug_assert_eq!(cell.load(Ordering::SeqCst), EMPTY);
+                cell.store(node, Ordering::SeqCst);
+                Ok(())
+            }
+            None => {
+                // Directory exhausted after the FAA won the race; undo.
+                // SAFETY: node was never published.
+                Err(Full(unsafe { unbox_node::<T>(node) }))
+            }
+        }
+    }
+
+    fn dequeue(&mut self) -> Option<T> {
+        let q = self.queue;
+        let back = q.back.load(Ordering::SeqCst).min(q.history_capacity() as u64);
+        let start = q.watermark.load(Ordering::SeqCst);
+        let mut advancing = true;
+        for pos in start..back {
+            let cell = q.slot(pos).expect("pos < installed bound");
+            // Load first: swapping an EMPTY slot would transiently mark a
+            // *pending* enqueue's position TAKEN, and a concurrent
+            // dequeuer could advance the watermark past it — stranding
+            // the value forever. EMPTY and TAKEN never follow a value, so
+            // the load/swap split loses no atomicity that matters.
+            match cell.load(Ordering::SeqCst) {
+                EMPTY => {
+                    // Position claimed by an enqueuer that has not stored
+                    // yet; it does not block us, but the prefix is no
+                    // longer provably consumed.
+                    advancing = false;
+                }
+                TAKEN => {
+                    if advancing {
+                        // Everything up to here is consumed; help the
+                        // watermark forward.
+                        let _ = q.watermark.compare_exchange(
+                            pos,
+                            pos + 1,
+                            Ordering::SeqCst,
+                            Ordering::Relaxed,
+                        );
+                    }
+                }
+                _ => {
+                    // A candidate value: the swap is the contest.
+                    let v = cell.swap(TAKEN, Ordering::SeqCst);
+                    if v > TAKEN {
+                        if advancing {
+                            let _ = q.watermark.compare_exchange(
+                                pos,
+                                pos + 1,
+                                Ordering::SeqCst,
+                                Ordering::Relaxed,
+                            );
+                        }
+                        // SAFETY: the swap transferred exclusive ownership.
+                        return Some(unsafe { unbox_node::<T>(v) });
+                    }
+                    // v == TAKEN: a racing dequeuer beat us; the slot is
+                    // consumed either way. (v == EMPTY is impossible: a
+                    // slot never reverts from a value.)
+                    debug_assert_eq!(v, TAKEN);
+                    if advancing {
+                        let _ = q.watermark.compare_exchange(
+                            pos,
+                            pos + 1,
+                            Ordering::SeqCst,
+                            Ordering::Relaxed,
+                        );
+                    }
+                }
+            }
+        }
+        None
+    }
+}
+
+impl<T: Send> ConcurrentQueue<T> for HerlihyWingQueue<T> {
+    type Handle<'q>
+        = HwHandle<'q, T>
+    where
+        Self: 'q;
+
+    fn handle(&self) -> Self::Handle<'_> {
+        HerlihyWingQueue::handle(self)
+    }
+
+    fn capacity(&self) -> Option<usize> {
+        // Bounded by *history*, not by occupancy; report it as the bound.
+        Some(self.history_capacity())
+    }
+
+    fn algorithm_name(&self) -> &'static str {
+        "Herlihy-Wing array"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_single_thread() {
+        let q = HerlihyWingQueue::<u32>::with_history_capacity(4096);
+        let mut h = q.handle();
+        for i in 0..100 {
+            h.enqueue(i).unwrap();
+        }
+        for i in 0..100 {
+            assert_eq!(h.dequeue(), Some(i));
+        }
+        assert_eq!(h.dequeue(), None);
+    }
+
+    #[test]
+    fn positions_are_never_reused() {
+        let q = HerlihyWingQueue::<u8>::with_history_capacity(4096);
+        let mut h = q.handle();
+        for _ in 0..50 {
+            h.enqueue(1).unwrap();
+            h.dequeue();
+        }
+        assert_eq!(q.positions_used(), 50, "history grows monotonically");
+    }
+
+    #[test]
+    fn history_exhaustion_reports_full() {
+        let q = HerlihyWingQueue::<u32>::with_history_capacity(1);
+        // One segment = SEG_SIZE lifetime enqueues.
+        let mut h = q.handle();
+        for i in 0..SEG_SIZE as u32 {
+            h.enqueue(i).unwrap();
+            assert_eq!(h.dequeue(), Some(i));
+        }
+        let e = h.enqueue(99).unwrap_err();
+        assert_eq!(e.into_inner(), 99, "history budget exhausted");
+    }
+
+    #[test]
+    fn drop_frees_live_values() {
+        use std::sync::atomic::AtomicUsize;
+        use std::sync::Arc;
+        struct Tracked(Arc<AtomicUsize>);
+        impl Drop for Tracked {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let drops = Arc::new(AtomicUsize::new(0));
+        {
+            let q = HerlihyWingQueue::<Tracked>::with_history_capacity(4096);
+            let mut h = q.handle();
+            for _ in 0..7 {
+                h.enqueue(Tracked(drops.clone())).unwrap();
+            }
+            drop(h.dequeue());
+            assert_eq!(drops.load(Ordering::SeqCst), 1);
+        }
+        assert_eq!(drops.load(Ordering::SeqCst), 7);
+    }
+
+    #[test]
+    fn watermark_advances_over_consumed_prefix() {
+        let q = HerlihyWingQueue::<u8>::with_history_capacity(4096);
+        let mut h = q.handle();
+        for _ in 0..20 {
+            h.enqueue(1).unwrap();
+        }
+        for _ in 0..20 {
+            h.dequeue();
+        }
+        // One more dequeue scans and pushes the watermark over the
+        // consumed prefix.
+        assert_eq!(h.dequeue(), None);
+        assert!(q.watermark.load(Ordering::SeqCst) >= 19);
+    }
+
+    #[test]
+    fn mpmc_stress_no_loss_no_dup() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        const PRODUCERS: u64 = 3;
+        const CONSUMERS: u64 = 3;
+        const PER_PRODUCER: u64 = 1_500;
+        let q = HerlihyWingQueue::<u64>::with_history_capacity(
+            (PRODUCERS * PER_PRODUCER) as usize + SEG_SIZE,
+        );
+        let seen = Mutex::new(HashSet::new());
+        std::thread::scope(|s| {
+            for p in 0..PRODUCERS {
+                let q = &q;
+                s.spawn(move || {
+                    let mut h = q.handle();
+                    for i in 0..PER_PRODUCER {
+                        h.enqueue(p * PER_PRODUCER + i).unwrap();
+                    }
+                });
+            }
+            for _ in 0..CONSUMERS {
+                let q = &q;
+                let seen = &seen;
+                s.spawn(move || {
+                    let mut h = q.handle();
+                    let mut got = Vec::new();
+                    let target = PRODUCERS * PER_PRODUCER / CONSUMERS;
+                    while (got.len() as u64) < target {
+                        if let Some(v) = h.dequeue() {
+                            got.push(v);
+                        } else {
+                            std::thread::yield_now();
+                        }
+                    }
+                    let mut s = seen.lock().unwrap();
+                    for v in got {
+                        assert!(s.insert(v), "duplicate {v}");
+                    }
+                });
+            }
+        });
+        assert_eq!(seen.lock().unwrap().len() as u64, PRODUCERS * PER_PRODUCER);
+    }
+}

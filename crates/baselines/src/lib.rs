@@ -1,0 +1,43 @@
+//! Every queue the paper's evaluation (§6) compares against, implemented
+//! from scratch, plus two reference queues:
+//!
+//! | Type | Paper curve / role |
+//! |---|---|
+//! | [`MsQueue`] with [`ScanMode::Sorted`] | "MS-Hazard Pointers Sorted" |
+//! | [`MsQueue`] with [`ScanMode::Unsorted`] | "MS-Hazard Pointers Not Sorted" |
+//! | [`MsDohertyQueue`] | "MS-Doherty et al." |
+//! | [`ShannQueue`] | "Shann et al. (CAS64)" |
+//! | [`TsigasZhangQueue`] | related-work extension (§2/§3 discussion) |
+//! | [`MutexQueue`] | blocking contrast (paper §1 motivation) |
+//! | [`SeqQueue`] | single-thread overhead baseline (§6 in-text) |
+//!
+//! All implement [`nbq_util::ConcurrentQueue`], so the harness drives them
+//! interchangeably with the paper's own algorithms from `nbq-core`.
+
+#![warn(missing_docs)]
+
+pub mod delayed_free;
+pub mod herlihy_wing;
+pub mod lms;
+pub mod locked;
+pub mod ms_doherty;
+pub mod ms_queue;
+pub mod naive;
+pub(crate) mod node_support;
+pub mod shann;
+pub mod treiber;
+pub mod tsigas_zhang;
+pub mod valois;
+
+pub use delayed_free::DelayedFree;
+pub use herlihy_wing::HerlihyWingQueue;
+pub use lms::LmsQueue;
+pub use locked::{MutexQueue, SeqQueue};
+pub use ms_doherty::MsDohertyQueue;
+pub use ms_queue::MsQueue;
+pub use naive::NaiveArrayQueue;
+pub use nbq_hazard::ScanMode;
+pub use shann::ShannQueue;
+pub use treiber::TreiberQueue;
+pub use tsigas_zhang::TsigasZhangQueue;
+pub use valois::ValoisQueue;

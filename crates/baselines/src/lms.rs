@@ -1,0 +1,405 @@
+//! Ladan-Mozes & Shavit's optimistic FIFO queue (DISC 2004) —
+//! related-work extension.
+//!
+//! The paper's §2: "Ladan-Mozes and Shavit presented an algorithm based
+//! on a doubly-linked list requiring one successful atomic
+//! synchronization instruction per queue operation. Although there are
+//! more pointers to update, these are performed by simple reads and
+//! writes. They show that their algorithm consistently performs better
+//! than the single-linked list suggested in [Michael & Scott]."
+//!
+//! Structure: `Tail` points at the newest node, `Head` at the oldest (a
+//! dummy). `next` pointers run newest→oldest and are written *before*
+//! the enqueue's single CAS on `Tail`; `prev` pointers (oldest→newest,
+//! what dequeue consumes) are set **optimistically** by a plain store
+//! after the CAS. A dequeuer that finds a missing/stale `prev` runs
+//! `fix_list`, rebuilding `prev` pointers by walking `next` from the
+//! tail — the paper's "fixing up" path.
+//!
+//! The original assumes garbage collection; this port uses the
+//! workspace's hazard pointers (slot-leapfrogging during walks, with
+//! `Head` re-validation bounding every dereference), which adds the very
+//! reclamation overhead the ICPP'08 paper's §2 discussion is about.
+
+use core::marker::PhantomData;
+use core::mem::MaybeUninit;
+use core::ptr;
+use core::sync::atomic::{AtomicPtr, Ordering};
+use nbq_hazard::{Config, Domain, LocalHazards, ScanMode};
+use nbq_util::{Backoff, CachePadded, ConcurrentQueue, Full, QueueHandle};
+
+struct LmsNode<T> {
+    /// Uninitialized in the dummy / after the value is taken.
+    value: MaybeUninit<T>,
+    /// Toward the *older* neighbor; written once before publication.
+    next: AtomicPtr<LmsNode<T>>,
+    /// Toward the *newer* neighbor; optimistic plain store, rebuilt by
+    /// `fix_list` when found stale.
+    prev: AtomicPtr<LmsNode<T>>,
+}
+
+/// The optimistic doubly-linked FIFO.
+pub struct LmsQueue<T> {
+    head: CachePadded<AtomicPtr<LmsNode<T>>>,
+    tail: CachePadded<AtomicPtr<LmsNode<T>>>,
+    domain: Domain,
+    _marker: PhantomData<T>,
+}
+
+// SAFETY: link-based ownership transfer via the Head CAS; reclamation via
+// hazard pointers.
+unsafe impl<T: Send> Send for LmsQueue<T> {}
+unsafe impl<T: Send> Sync for LmsQueue<T> {}
+
+const HP_HEAD: usize = 0;
+const HP_PREV: usize = 1;
+const HP_TAIL: usize = 2;
+const HP_WALK: usize = 3;
+
+impl<T: Send> LmsQueue<T> {
+    /// Creates an empty queue (one dummy node).
+    pub fn new() -> Self {
+        let dummy = Box::into_raw(Box::new(LmsNode::<T> {
+            value: MaybeUninit::uninit(),
+            next: AtomicPtr::new(ptr::null_mut()),
+            prev: AtomicPtr::new(ptr::null_mut()),
+        }));
+        Self {
+            head: CachePadded::new(AtomicPtr::new(dummy)),
+            tail: CachePadded::new(AtomicPtr::new(dummy)),
+            domain: Domain::new(Config {
+                scan_mode: ScanMode::Sorted,
+                retire_factor: 4,
+            }),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Registers the calling thread.
+    pub fn handle(&self) -> LmsHandle<'_, T> {
+        LmsHandle {
+            queue: self,
+            hp: self.domain.register(),
+        }
+    }
+
+    /// The hazard domain (diagnostics).
+    pub fn domain(&self) -> &Domain {
+        &self.domain
+    }
+}
+
+impl<T: Send> Default for LmsQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Drop for LmsQueue<T> {
+    fn drop(&mut self) {
+        // Walk from tail (newest) via next *up to and including* the head
+        // dummy, then STOP: whatever hangs off the dummy's next is an
+        // already-retired old dummy owned by the hazard domain's pending
+        // retire lists (freed when `domain` drops right after this walk);
+        // touching it here would double-free.
+        let mut cur = *self.tail.get_mut();
+        let dummy = *self.head.get_mut();
+        while !cur.is_null() {
+            let at_dummy = cur == dummy;
+            // SAFETY: exclusive teardown; nodes between tail and the dummy
+            // are live and owned by the queue.
+            let mut node = unsafe { Box::from_raw(cur) };
+            if !at_dummy {
+                // SAFETY: non-dummy live nodes own their value.
+                unsafe { node.value.assume_init_drop() };
+            }
+            if at_dummy {
+                break;
+            }
+            cur = *node.next.get_mut();
+        }
+    }
+}
+
+/// Per-thread handle for [`LmsQueue`].
+pub struct LmsHandle<'q, T> {
+    queue: &'q LmsQueue<T>,
+    hp: LocalHazards<'q>,
+}
+
+impl<T: Send> LmsHandle<'_, T> {
+    /// The paper's fix-up: rebuild `prev` pointers by walking `next` from
+    /// the tail toward the head. Aborts as soon as `Head` moves (our view
+    /// of the chain may then include retired nodes).
+    fn fix_list(&self, tail: *mut LmsNode<T>, head: *mut LmsNode<T>) {
+        let q = self.queue;
+        // tail is protected by the caller (HP_TAIL).
+        let mut cur = tail;
+        let mut cur_slot = HP_TAIL;
+        while q.head.load(Ordering::SeqCst) == head && cur != head {
+            // SAFETY: cur is hazard-protected; Head has not moved, so
+            // nodes on the tail→head chain are unretired.
+            let next = unsafe { &*cur }.next.load(Ordering::SeqCst);
+            if next.is_null() {
+                return; // inconsistent snapshot; caller retries
+            }
+            let next_slot = if cur_slot == HP_WALK { HP_PREV } else { HP_WALK };
+            self.hp.set(next_slot, next as usize);
+            if q.head.load(Ordering::SeqCst) != head {
+                return;
+            }
+            // The optimistic store the enqueuer may have skipped.
+            // SAFETY: next is protected and on the live chain.
+            unsafe { &*next }.prev.store(cur, Ordering::SeqCst);
+            cur = next;
+            cur_slot = next_slot;
+        }
+    }
+}
+
+impl<T: Send> QueueHandle<T> for LmsHandle<'_, T> {
+    fn enqueue(&mut self, value: T) -> Result<(), Full<T>> {
+        let q = self.queue;
+        let node = Box::into_raw(Box::new(LmsNode {
+            value: MaybeUninit::new(value),
+            next: AtomicPtr::new(ptr::null_mut()),
+            prev: AtomicPtr::new(ptr::null_mut()),
+        }));
+        let mut backoff = Backoff::new();
+        loop {
+            let tail = self.hp.protect_ptr(HP_TAIL, &q.tail);
+            // The "simple write" before the one CAS.
+            // SAFETY: node is private until the CAS below publishes it.
+            unsafe { &*node }.next.store(tail, Ordering::SeqCst);
+            if q
+                .tail
+                .compare_exchange(tail, node, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+            {
+                // The optimistic prev store — the other "simple write".
+                // SAFETY: tail is hazard-protected (its memory is live
+                // even if it has since been dequeued; a stale prev on a
+                // retired node is never followed — fix_list re-validates
+                // Head).
+                unsafe { &*tail }.prev.store(node, Ordering::SeqCst);
+                self.hp.clear(HP_TAIL);
+                return Ok(());
+            }
+            backoff.snooze();
+        }
+    }
+
+    fn dequeue(&mut self) -> Option<T> {
+        let q = self.queue;
+        let mut backoff = Backoff::new();
+        loop {
+            let head = self.hp.protect_ptr(HP_HEAD, &q.head);
+            let tail = self.hp.protect_ptr(HP_TAIL, &q.tail);
+            if head == tail {
+                // Only the dummy: linearizably empty.
+                self.hp.clear_all();
+                return None;
+            }
+            // SAFETY: head is protected and was current.
+            let prev = unsafe { &*head }.prev.load(Ordering::SeqCst);
+            if prev.is_null() {
+                // Optimistic store not landed yet: fix and retry.
+                self.fix_list(tail, head);
+                backoff.snooze();
+                continue;
+            }
+            self.hp.set(HP_PREV, prev as usize);
+            if q.head.load(Ordering::SeqCst) != head {
+                continue; // head moved; prev may be bogus
+            }
+            // Consistency: prev must actually link back to head.
+            // SAFETY: prev is protected and (Head unchanged) unretired.
+            if unsafe { &*prev }.next.load(Ordering::SeqCst) != head {
+                self.fix_list(tail, head);
+                backoff.snooze();
+                continue;
+            }
+            // Read the value optimistically, then claim it with the one
+            // CAS. Only the winner keeps the value.
+            // SAFETY: prev is protected; its value is initialized (it is
+            // not the dummy: the dummy is `head`, and prev != head).
+            let value = unsafe { ptr::read((*prev).value.as_ptr()) };
+            if q
+                .head
+                .compare_exchange(head, prev, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+            {
+                // prev becomes the new dummy; old head is garbage.
+                self.hp.clear_all();
+                // SAFETY: unlinked; the old dummy's value slot is
+                // uninit/moved, and the Box drop does not touch it.
+                unsafe { self.hp.retire_box(head) };
+                return Some(value);
+            }
+            // Lost the race: forget the duplicated read (no drop).
+            core::mem::forget(value);
+            backoff.snooze();
+        }
+    }
+}
+
+impl<T: Send> ConcurrentQueue<T> for LmsQueue<T> {
+    type Handle<'q>
+        = LmsHandle<'q, T>
+    where
+        Self: 'q;
+
+    fn handle(&self) -> Self::Handle<'_> {
+        LmsQueue::handle(self)
+    }
+
+    fn capacity(&self) -> Option<usize> {
+        None
+    }
+
+    fn algorithm_name(&self) -> &'static str {
+        "Ladan-Mozes/Shavit optimistic"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_single_thread() {
+        let q = LmsQueue::<u32>::new();
+        let mut h = q.handle();
+        for i in 0..100 {
+            h.enqueue(i).unwrap();
+        }
+        for i in 0..100 {
+            assert_eq!(h.dequeue(), Some(i));
+        }
+        assert_eq!(h.dequeue(), None);
+    }
+
+    #[test]
+    fn interleaved_operations() {
+        let q = LmsQueue::<String>::new();
+        let mut h = q.handle();
+        for round in 0..200 {
+            h.enqueue(format!("a{round}")).unwrap();
+            h.enqueue(format!("b{round}")).unwrap();
+            assert_eq!(h.dequeue(), Some(format!("a{round}")));
+            assert_eq!(h.dequeue(), Some(format!("b{round}")));
+        }
+        assert_eq!(h.dequeue(), None);
+    }
+
+    #[test]
+    fn drop_frees_values_exactly_once() {
+        use std::sync::atomic::{AtomicUsize, Ordering as O};
+        use std::sync::Arc;
+        struct Tracked(Arc<AtomicUsize>);
+        impl Drop for Tracked {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, O::SeqCst);
+            }
+        }
+        let drops = Arc::new(AtomicUsize::new(0));
+        {
+            let q = LmsQueue::<Tracked>::new();
+            let mut h = q.handle();
+            for _ in 0..9 {
+                h.enqueue(Tracked(drops.clone())).unwrap();
+            }
+            for _ in 0..4 {
+                drop(h.dequeue());
+            }
+            assert_eq!(drops.load(O::SeqCst), 4);
+        }
+        assert_eq!(drops.load(O::SeqCst), 9, "queue drop frees the rest");
+    }
+
+    #[test]
+    fn nodes_are_reclaimed() {
+        let q = LmsQueue::<u64>::new();
+        let mut h = q.handle();
+        for i in 0..1_000 {
+            h.enqueue(i).unwrap();
+            h.dequeue();
+        }
+        h.hp.flush();
+        assert!(
+            q.domain().reclaimed_count() > 900,
+            "got {}",
+            q.domain().reclaimed_count()
+        );
+    }
+
+    #[test]
+    fn mpmc_stress_no_loss_no_dup() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        const PRODUCERS: u64 = 3;
+        const CONSUMERS: u64 = 3;
+        const PER_PRODUCER: u64 = 1_500;
+        let q = LmsQueue::<u64>::new();
+        let seen = Mutex::new(HashSet::new());
+        std::thread::scope(|s| {
+            for p in 0..PRODUCERS {
+                let q = &q;
+                s.spawn(move || {
+                    let mut h = q.handle();
+                    for i in 0..PER_PRODUCER {
+                        h.enqueue(p * PER_PRODUCER + i).unwrap();
+                    }
+                });
+            }
+            for _ in 0..CONSUMERS {
+                let q = &q;
+                let seen = &seen;
+                s.spawn(move || {
+                    let mut h = q.handle();
+                    let mut got = Vec::new();
+                    let target = PRODUCERS * PER_PRODUCER / CONSUMERS;
+                    while (got.len() as u64) < target {
+                        if let Some(v) = h.dequeue() {
+                            got.push(v);
+                        } else {
+                            std::thread::yield_now();
+                        }
+                    }
+                    let mut s = seen.lock().unwrap();
+                    for v in got {
+                        assert!(s.insert(v), "duplicate {v}");
+                    }
+                });
+            }
+        });
+        assert_eq!(seen.lock().unwrap().len() as u64, PRODUCERS * PER_PRODUCER);
+    }
+
+    #[test]
+    fn single_producer_single_consumer_order() {
+        const ITEMS: u64 = 3_000;
+        let q = LmsQueue::<u64>::new();
+        std::thread::scope(|s| {
+            {
+                let q = &q;
+                s.spawn(move || {
+                    let mut h = q.handle();
+                    for i in 0..ITEMS {
+                        h.enqueue(i).unwrap();
+                    }
+                });
+            }
+            let mut h = q.handle();
+            let mut expected = 0;
+            while expected < ITEMS {
+                if let Some(v) = h.dequeue() {
+                    assert_eq!(v, expected, "FIFO violated");
+                    expected += 1;
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+        });
+    }
+}

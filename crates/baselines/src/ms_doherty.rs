@@ -1,0 +1,458 @@
+//! Michael–Scott queue over CAS-simulated LL/SC ("MS-Doherty et al.",
+//! the paper's slowest baseline).
+//!
+//! Doherty, Herlihy, Luchangco & Moir (PODC 2004) brought lock-free
+//! synchronization to 64-bit machines by simulating LL/SC variables with
+//! CAS, then ran Michael–Scott over the simulated primitive; the ICPP'08
+//! paper reports this as "unquestionably the slowest of the measured FIFO
+//! implementations ... because it requires 7 successful CAS instructions
+//! per queueing operation". Here, the queue's `Head`, `Tail` and every
+//! node's `next` field are [`DohertyCell`]s; each `SC` allocates/recycles a
+//! descriptor and each `LL` publishes a hazard, which reproduces the heavy
+//! per-operation synchronization bill.
+//!
+//! Queue nodes themselves are reclaimed through the same hazard domain as
+//! the descriptors (slots are partitioned below), and each retired node's
+//! final `next`-descriptor is retired along with it so steady state is
+//! allocation-free.
+
+use core::marker::PhantomData;
+use core::mem::MaybeUninit;
+use core::ptr;
+use nbq_llsc::doherty::Pool;
+use nbq_llsc::{DohertyCell, DohertyDomain, DohertyLocal};
+use nbq_util::{Backoff, CachePadded, ConcurrentQueue, Full, QueueHandle};
+
+/// Hazard slot partition (see `nbq_hazard::HP_PER_RECORD` = 6).
+const HP_HEAD_DESC: usize = 0; // implicit via DohertyCell::ll slot argument
+const HP_NODE: usize = 1;
+const HP_TAIL_DESC: usize = 2;
+const HP_NEXT_DESC: usize = 3;
+const HP_NEXT_NODE: usize = 4;
+
+struct MdNode<T> {
+    value: MaybeUninit<T>,
+    next: DohertyCell, // holds the successor's address (0 = none)
+}
+
+/// Hazard-reclamation callback for a retired queue node: runs only after
+/// a scan proved no hazard covers the node, i.e. no thread can reach its
+/// `next` cell anymore — the one moment its descriptor may safely re-enter
+/// the pool.
+unsafe fn reclaim_md_node<T>(p: *mut u8, ctx: *mut u8) {
+    let node = p.cast::<MdNode<T>>();
+    // SAFETY: ctx is the domain's boxed pool (outlives the hazard domain);
+    // unreachability per the retire contract.
+    unsafe {
+        (*node).next.reclaim_exclusive(&*ctx.cast::<Pool>());
+        // The value was moved out by the dequeuer (or never initialized in
+        // the dummy); dropping the box must not drop the value — and does
+        // not, since it is MaybeUninit.
+        drop(Box::from_raw(node));
+    }
+}
+
+/// Michael–Scott FIFO over Doherty-style LL/SC.
+pub struct MsDohertyQueue<T> {
+    domain: DohertyDomain,
+    head: CachePadded<DohertyCell>,
+    tail: CachePadded<DohertyCell>,
+    _marker: PhantomData<T>,
+}
+
+// SAFETY: node ownership transfers through the LL/SC protocol exactly as
+// in MsQueue; all shared state is atomic or hazard-protected.
+unsafe impl<T: Send> Send for MsDohertyQueue<T> {}
+unsafe impl<T: Send> Sync for MsDohertyQueue<T> {}
+
+impl<T: Send> MsDohertyQueue<T> {
+    /// Creates an empty queue (allocates the dummy node).
+    pub fn new() -> Self {
+        let domain = DohertyDomain::new();
+        let dummy = Box::into_raw(Box::new(MdNode::<T> {
+            value: MaybeUninit::uninit(),
+            next: DohertyCell::new(0, &domain),
+        }));
+        let head = CachePadded::new(DohertyCell::new(dummy as u64, &domain));
+        let tail = CachePadded::new(DohertyCell::new(dummy as u64, &domain));
+        Self {
+            domain,
+            head,
+            tail,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Registers the calling thread.
+    pub fn handle(&self) -> MsDohertyHandle<'_, T> {
+        MsDohertyHandle {
+            queue: self,
+            local: self.domain.register(),
+        }
+    }
+
+    /// The descriptor pool (diagnostics: allocation vs recycling).
+    pub fn domain(&self) -> &DohertyDomain {
+        &self.domain
+    }
+}
+
+impl<T: Send> Default for MsDohertyQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Drop for MsDohertyQueue<T> {
+    fn drop(&mut self) {
+        // Exclusive teardown: walk the chain, dropping values of non-dummy
+        // nodes and freeing the node boxes. Descriptors are freed by the
+        // pool inside `domain` (which drops after head/tail per field
+        // order... fields drop in declaration order, so `domain` drops
+        // first — but Domain teardown only frees *descriptors*, which the
+        // cells no longer touch; the node walk below uses raw loads only).
+        // SAFETY: exclusive access; load_exclusive reads the final value.
+        let mut cur = unsafe { self.head.load_exclusive() } as *mut MdNode<T>;
+        let mut is_dummy = true;
+        while !cur.is_null() {
+            // SAFETY: nodes came from Box::into_raw and are owned here.
+            let mut node = unsafe { Box::from_raw(cur) };
+            if !is_dummy {
+                // SAFETY: non-dummy nodes own their value.
+                unsafe { node.value.assume_init_drop() };
+            }
+            is_dummy = false;
+            // SAFETY: exclusive.
+            cur = unsafe { node.next.load_exclusive() } as *mut MdNode<T>;
+        }
+    }
+}
+
+/// Per-thread handle for [`MsDohertyQueue`].
+pub struct MsDohertyHandle<'q, T> {
+    queue: &'q MsDohertyQueue<T>,
+    local: DohertyLocal<'q>,
+}
+
+impl<T: Send> QueueHandle<T> for MsDohertyHandle<'_, T> {
+    fn enqueue(&mut self, value: T) -> Result<(), Full<T>> {
+        let q = self.queue;
+        let node = Box::into_raw(Box::new(MdNode {
+            value: MaybeUninit::new(value),
+            next: DohertyCell::new_with_local(0, &self.local),
+        }));
+        let mut backoff = Backoff::new();
+        #[cfg(debug_assertions)]
+        let mut watchdog = 0u64;
+        loop {
+            #[cfg(debug_assertions)]
+            {
+                watchdog += 1;
+                assert!(
+                    watchdog < 50_000_000,
+                    "MS-Doherty enqueue livelocked (watchdog)"
+                );
+            }
+            // LL Tail (descriptor protected in slot HP_TAIL_DESC via ll's
+            // slot argument = 0 of the tail cell; we use slot 2 to keep the
+            // partition uniform).
+            let (t_val, t_token) = q.tail.ll(&self.local, HP_TAIL_DESC);
+            // Protect the tail *node* and re-validate the link.
+            self.local.hazards_ref().set(HP_NODE, t_val as usize);
+            let t_token = match q.tail.validate(t_token) {
+                Ok(t) => t,
+                Err(t) => {
+                    q.tail.release(&self.local, t);
+                    continue;
+                }
+            };
+            let t_node = t_val as *mut MdNode<T>;
+            // LL the tail node's next cell.
+            // SAFETY: t_node is hazard-protected and was the current tail.
+            let (next_val, next_token) = unsafe { &*t_node }.next.ll(&self.local, HP_NEXT_DESC);
+            if next_val == 0 {
+                // SAFETY: as above.
+                if unsafe { &*t_node }
+                    .next
+                    .sc(&mut self.local, next_token, node as u64)
+                {
+                    // Linearized; swing Tail (anyone may help, so failure
+                    // is fine).
+                    let _ = q.tail.sc(&mut self.local, t_token, node as u64);
+                    self.local.hazards_ref().clear(HP_NODE);
+                    return Ok(());
+                }
+                q.tail.release(&self.local, t_token);
+                backoff.snooze();
+            } else {
+                // Tail lagging: help swing it to the real last node.
+                // SAFETY: next_token's descriptor read is done.
+                unsafe { &*t_node }.next.release(&self.local, next_token);
+                let _ = q.tail.sc(&mut self.local, t_token, next_val);
+            }
+            self.local.hazards_ref().clear(HP_NODE);
+        }
+    }
+
+    fn dequeue(&mut self) -> Option<T> {
+        let q = self.queue;
+        let mut backoff = Backoff::new();
+        #[cfg(debug_assertions)]
+        let mut watchdog = 0u64;
+        loop {
+            #[cfg(debug_assertions)]
+            {
+                watchdog += 1;
+                assert!(
+                    watchdog < 50_000_000,
+                    "MS-Doherty dequeue livelocked (watchdog)"
+                );
+            }
+            let (h_val, h_token) = q.head.ll(&self.local, HP_HEAD_DESC);
+            self.local.hazards_ref().set(HP_NODE, h_val as usize);
+            let h_token = match q.head.validate(h_token) {
+                Ok(t) => t,
+                Err(t) => {
+                    q.head.release(&self.local, t);
+                    continue;
+                }
+            };
+            let h_node = h_val as *mut MdNode<T>;
+            let (t_val, t_token) = q.tail.ll(&self.local, HP_TAIL_DESC);
+            // SAFETY: h_node is protected (HP_NODE) and was current head.
+            let (next_val, next_token) = unsafe { &*h_node }.next.ll(&self.local, HP_NEXT_DESC);
+            // Protect the next node before trusting it, then re-validate
+            // that the head is unchanged (Michael's D5).
+            self.local.hazards_ref().set(HP_NEXT_NODE, next_val as usize);
+            let h_token = match q.head.validate(h_token) {
+                Ok(t) => t,
+                Err(t) => {
+                    q.head.release(&self.local, t);
+                    q.tail.release(&self.local, t_token);
+                    // SAFETY: releasing an un-SC'd link.
+                    unsafe { &*h_node }.next.release(&self.local, next_token);
+                    self.clear_node_slots();
+                    continue;
+                }
+            };
+            if next_val == 0 {
+                // Empty.
+                q.head.release(&self.local, h_token);
+                q.tail.release(&self.local, t_token);
+                // SAFETY: as above.
+                unsafe { &*h_node }.next.release(&self.local, next_token);
+                self.clear_node_slots();
+                return None;
+            }
+            if h_val == t_val {
+                // Tail lagging: help.
+                // SAFETY: as above.
+                unsafe { &*h_node }.next.release(&self.local, next_token);
+                let _ = q.tail.sc(&mut self.local, t_token, next_val);
+                q.head.release(&self.local, h_token);
+                self.clear_node_slots();
+                continue;
+            }
+            q.tail.release(&self.local, t_token);
+            // SAFETY: as above.
+            unsafe { &*h_node }.next.release(&self.local, next_token);
+            if q.head.sc(&mut self.local, h_token, next_val) {
+                let next_node = next_val as *mut MdNode<T>;
+                // SAFETY: next_node is protected by HP_NEXT_NODE and the
+                // winning SC makes this thread the unique reader of its
+                // value.
+                let value = unsafe { ptr::read((*next_node).value.as_ptr()) };
+                self.clear_node_slots();
+                // Retire the old dummy. Its final next-descriptor is
+                // recycled *inside the node's reclamation callback* — only
+                // once no hazard covers the node can no thread reach (and
+                // thus LL) its next cell, so only then is the descriptor
+                // provably uninstallable. Recycling it any earlier is the
+                // descriptor-reuse bug DESIGN.md's erratum notes describe
+                // (a stale enqueuer would revalidate against the unchanged
+                // cell and read the recycled descriptor's new value).
+                // SAFETY: h_node is unlinked (head moved past it), retired
+                // once; the pool (ctx) is boxed inside the domain and
+                // outlives the hazard domain.
+                unsafe {
+                    let pool: *const Pool = self.local.pool();
+                    self.local.hazards().retire_raw(
+                        h_node.cast(),
+                        pool.cast_mut().cast(),
+                        reclaim_md_node::<T>,
+                    );
+                }
+                return Some(value);
+            }
+            self.clear_node_slots();
+            backoff.snooze();
+        }
+    }
+}
+
+impl<T: Send> MsDohertyHandle<'_, T> {
+    fn clear_node_slots(&self) {
+        self.local.hazards_ref().clear(HP_NODE);
+        self.local.hazards_ref().clear(HP_NEXT_NODE);
+    }
+}
+
+impl<T: Send> ConcurrentQueue<T> for MsDohertyQueue<T> {
+    type Handle<'q>
+        = MsDohertyHandle<'q, T>
+    where
+        Self: 'q;
+
+    fn handle(&self) -> Self::Handle<'_> {
+        MsDohertyQueue::handle(self)
+    }
+
+    fn capacity(&self) -> Option<usize> {
+        None
+    }
+
+    fn algorithm_name(&self) -> &'static str {
+        "MS-Doherty et al."
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_single_thread() {
+        let q = MsDohertyQueue::<u32>::new();
+        let mut h = q.handle();
+        for i in 0..100 {
+            h.enqueue(i).unwrap();
+        }
+        for i in 0..100 {
+            assert_eq!(h.dequeue(), Some(i));
+        }
+        assert_eq!(h.dequeue(), None);
+    }
+
+    #[test]
+    fn interleaved_operations() {
+        let q = MsDohertyQueue::<String>::new();
+        let mut h = q.handle();
+        for round in 0..100 {
+            h.enqueue(format!("a{round}")).unwrap();
+            h.enqueue(format!("b{round}")).unwrap();
+            assert_eq!(h.dequeue(), Some(format!("a{round}")));
+            assert_eq!(h.dequeue(), Some(format!("b{round}")));
+        }
+        assert_eq!(h.dequeue(), None);
+    }
+
+    #[test]
+    fn descriptors_recycle_in_steady_state() {
+        let q = MsDohertyQueue::<u64>::new();
+        let mut h = q.handle();
+        for i in 0..5_000 {
+            h.enqueue(i).unwrap();
+            h.dequeue();
+        }
+        h.local.hazards().flush();
+        let allocated = q.domain().pool().allocated();
+        assert!(
+            allocated < 500,
+            "descriptor churn must be recycled: allocated={allocated}"
+        );
+        assert!(q.domain().pool().recycled() > 1_000);
+    }
+
+    #[test]
+    fn drop_frees_values() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+        struct Tracked(Arc<AtomicUsize>);
+        impl Drop for Tracked {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let drops = Arc::new(AtomicUsize::new(0));
+        {
+            let q = MsDohertyQueue::<Tracked>::new();
+            let mut h = q.handle();
+            for _ in 0..8 {
+                h.enqueue(Tracked(drops.clone())).unwrap();
+            }
+            drop(h.dequeue());
+            assert_eq!(drops.load(Ordering::SeqCst), 1);
+        }
+        assert_eq!(drops.load(Ordering::SeqCst), 8);
+    }
+
+    #[test]
+    fn mpmc_stress_no_loss_no_dup() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        const PRODUCERS: u64 = 3;
+        const CONSUMERS: u64 = 3;
+        const PER_PRODUCER: u64 = 1_000;
+        let q = MsDohertyQueue::<u64>::new();
+        let seen = Mutex::new(HashSet::new());
+        std::thread::scope(|s| {
+            for p in 0..PRODUCERS {
+                let q = &q;
+                s.spawn(move || {
+                    let mut h = q.handle();
+                    for i in 0..PER_PRODUCER {
+                        h.enqueue(p * PER_PRODUCER + i).unwrap();
+                    }
+                });
+            }
+            for _ in 0..CONSUMERS {
+                let q = &q;
+                let seen = &seen;
+                s.spawn(move || {
+                    let mut h = q.handle();
+                    let mut got = Vec::new();
+                    let target = PRODUCERS * PER_PRODUCER / CONSUMERS;
+                    while (got.len() as u64) < target {
+                        if let Some(v) = h.dequeue() {
+                            got.push(v);
+                        } else {
+                            std::thread::yield_now();
+                        }
+                    }
+                    let mut s = seen.lock().unwrap();
+                    for v in got {
+                        assert!(s.insert(v), "duplicate {v}");
+                    }
+                });
+            }
+        });
+        assert_eq!(seen.lock().unwrap().len() as u64, PRODUCERS * PER_PRODUCER);
+    }
+
+    #[test]
+    fn single_producer_single_consumer_order() {
+        const ITEMS: u64 = 2_000;
+        let q = MsDohertyQueue::<u64>::new();
+        std::thread::scope(|s| {
+            {
+                let q = &q;
+                s.spawn(move || {
+                    let mut h = q.handle();
+                    for i in 0..ITEMS {
+                        h.enqueue(i).unwrap();
+                    }
+                });
+            }
+            let mut h = q.handle();
+            let mut expected = 0;
+            while expected < ITEMS {
+                if let Some(v) = h.dequeue() {
+                    assert_eq!(v, expected);
+                    expected += 1;
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+        });
+    }
+}

@@ -1,0 +1,363 @@
+//! A deliberately ABA-vulnerable array queue — the §3 strawman.
+//!
+//! This is what a circular-array FIFO looks like *without* any of the
+//! paper's defenses: slots hold raw values, updated by plain CAS with a
+//! single null marker, no per-slot counter (Shann), no lap-parity nulls
+//! (Tsigas–Zhang), no version (our LL/SC emulation), and no reservation
+//! tags (Algorithm 2). It is **correct in the absence of stalls** and
+//! silently wrong under the preemption schedules of the paper's §3 —
+//! which is precisely its job: the unit tests below reproduce the
+//! data-ABA and null-ABA failures *deterministically* by playing the role
+//! of the preempted thread through the exposed raw-CAS hooks, and the
+//! sibling tests show the same schedules bouncing off `VersionedCell`.
+//!
+//! To keep the demonstration memory-safe, the queue carries bare `u64`
+//! values (`0` reserved as null) rather than owned heap nodes: an ABA hit
+//! manifests as a duplicated or lost *value* (what `nbq-lincheck` hunts
+//! for), not as a double-free.
+//!
+//! **Do not use this queue.** It exists so the failure the paper fixes is
+//! observable in this repository, not just citable.
+
+use core::sync::atomic::{AtomicU64, Ordering};
+use nbq_util::{Backoff, CachePadded, ConcurrentQueue, Full, QueueHandle};
+
+/// The §3 strawman: circular array, unbounded indices, naked value CAS.
+pub struct NaiveArrayQueue {
+    slots: Box<[AtomicU64]>,
+    head: CachePadded<AtomicU64>,
+    tail: CachePadded<AtomicU64>,
+    mask: u64,
+    capacity: u64,
+}
+
+impl NaiveArrayQueue {
+    /// Creates a queue with at least `capacity` slots (power of two).
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0);
+        let cap = capacity.next_power_of_two().max(2);
+        Self {
+            slots: (0..cap).map(|_| AtomicU64::new(0)).collect(),
+            head: CachePadded::new(AtomicU64::new(0)),
+            tail: CachePadded::new(AtomicU64::new(0)),
+            mask: (cap - 1) as u64,
+            capacity: cap as u64,
+        }
+    }
+
+    /// Number of slots.
+    pub fn capacity(&self) -> usize {
+        self.capacity as usize
+    }
+
+    /// Registers the calling thread (stateless).
+    pub fn handle(&self) -> NaiveHandle<'_> {
+        NaiveHandle { queue: self }
+    }
+
+    // ---- raw hooks for the deterministic ABA demonstrations ----------
+
+    /// Reads a slot word directly (test/demo hook — this is the "read"
+    /// half of a preempted operation).
+    pub fn raw_slot_load(&self, index: usize) -> u64 {
+        self.slots[index & self.mask as usize].load(Ordering::SeqCst)
+    }
+
+    /// Performs the "resume" half of a preempted operation: a CAS using a
+    /// possibly stale expected value (test/demo hook).
+    pub fn raw_slot_cas(&self, index: usize, expected: u64, new: u64) -> bool {
+        self.slots[index & self.mask as usize]
+            .compare_exchange(expected, new, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok()
+    }
+
+    /// Current head counter (test/demo hook).
+    pub fn raw_head(&self) -> u64 {
+        self.head.load(Ordering::SeqCst)
+    }
+
+    /// Advances the head counter as a preempted dequeuer would
+    /// (test/demo hook).
+    pub fn raw_head_cas(&self, expected: u64) -> bool {
+        self.head
+            .compare_exchange(
+                expected,
+                expected.wrapping_add(1),
+                Ordering::SeqCst,
+                Ordering::Relaxed,
+            )
+            .is_ok()
+    }
+}
+
+/// Per-thread handle for [`NaiveArrayQueue`].
+pub struct NaiveHandle<'q> {
+    queue: &'q NaiveArrayQueue,
+}
+
+impl QueueHandle<u64> for NaiveHandle<'_> {
+    fn enqueue(&mut self, value: u64) -> Result<(), Full<u64>> {
+        assert_ne!(value, 0, "0 is the null marker");
+        let q = self.queue;
+        let mut backoff = Backoff::new();
+        loop {
+            let t = q.tail.load(Ordering::SeqCst);
+            if t == q.head.load(Ordering::SeqCst).wrapping_add(q.capacity) {
+                return Err(Full(value));
+            }
+            let slot = &q.slots[(t & q.mask) as usize];
+            let cur = slot.load(Ordering::SeqCst);
+            if t != q.tail.load(Ordering::SeqCst) {
+                continue;
+            }
+            if cur == 0 {
+                // The naked CAS: nothing distinguishes "still the empty
+                // slot I saw" from "became empty again after a full lap"
+                // (null-ABA), and nothing reserves the slot (cf. Fig. 5).
+                if slot
+                    .compare_exchange(0, value, Ordering::SeqCst, Ordering::SeqCst)
+                    .is_ok()
+                {
+                    let _ = q.tail.compare_exchange(
+                        t,
+                        t.wrapping_add(1),
+                        Ordering::SeqCst,
+                        Ordering::Relaxed,
+                    );
+                    return Ok(());
+                }
+                backoff.snooze();
+            } else {
+                let _ = q.tail.compare_exchange(
+                    t,
+                    t.wrapping_add(1),
+                    Ordering::SeqCst,
+                    Ordering::Relaxed,
+                );
+            }
+        }
+    }
+
+    fn dequeue(&mut self) -> Option<u64> {
+        let q = self.queue;
+        let mut backoff = Backoff::new();
+        loop {
+            let h = q.head.load(Ordering::SeqCst);
+            if h == q.tail.load(Ordering::SeqCst) {
+                return None;
+            }
+            let slot = &q.slots[(h & q.mask) as usize];
+            let cur = slot.load(Ordering::SeqCst);
+            if h != q.head.load(Ordering::SeqCst) {
+                continue;
+            }
+            if cur != 0 {
+                // The naked CAS: succeeds as long as the *value* matches,
+                // even if the slot was emptied and refilled with the same
+                // value in between (data-ABA).
+                if slot
+                    .compare_exchange(cur, 0, Ordering::SeqCst, Ordering::SeqCst)
+                    .is_ok()
+                {
+                    let _ = q.head.compare_exchange(
+                        h,
+                        h.wrapping_add(1),
+                        Ordering::SeqCst,
+                        Ordering::Relaxed,
+                    );
+                    return Some(cur);
+                }
+                backoff.snooze();
+            } else {
+                let _ = q.head.compare_exchange(
+                    h,
+                    h.wrapping_add(1),
+                    Ordering::SeqCst,
+                    Ordering::Relaxed,
+                );
+            }
+        }
+    }
+}
+
+impl ConcurrentQueue<u64> for NaiveArrayQueue {
+    type Handle<'q>
+        = NaiveHandle<'q>
+    where
+        Self: 'q;
+
+    fn handle(&self) -> Self::Handle<'_> {
+        NaiveArrayQueue::handle(self)
+    }
+
+    fn capacity(&self) -> Option<usize> {
+        Some(self.capacity())
+    }
+
+    fn algorithm_name(&self) -> &'static str {
+        "Naive array CAS (ABA-vulnerable)"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nbq_llsc::VersionedCell;
+
+    #[test]
+    fn behaves_correctly_without_stalls() {
+        let q = NaiveArrayQueue::with_capacity(4);
+        let mut h = q.handle();
+        for lap in 0..50u64 {
+            for i in 1..=3 {
+                h.enqueue(lap * 3 + i).unwrap();
+            }
+            for i in 1..=3 {
+                assert_eq!(h.dequeue(), Some(lap * 3 + i));
+            }
+        }
+    }
+
+    /// The paper's §3 data-ABA scenario, deterministically: "a dequeuer
+    /// may read item A and then be preempted ... another thread may
+    /// dequeue item A and then successively enqueue items B and A. The
+    /// array is now full and when the preempted dequeue operation
+    /// resumes, it wrongly removes item A instead of B."
+    #[test]
+    fn data_aba_wrongly_removes_the_new_item() {
+        const A: u64 = 0xA;
+        const B: u64 = 0xB;
+        let q = NaiveArrayQueue::with_capacity(2);
+        let mut other = q.handle();
+        other.enqueue(A).unwrap(); // array: [A, _]
+
+        // Preempted dequeuer: reads Head and the slot content, stalls.
+        let h = q.raw_head();
+        let seen = q.raw_slot_load(h as usize);
+        assert_eq!(seen, A);
+
+        // Meanwhile: A dequeued; B and A enqueued. Array now [A', B] with
+        // A at position 2 (slot 0), B at position 1 (slot 1).
+        assert_eq!(other.dequeue(), Some(A));
+        other.enqueue(B).unwrap();
+        other.enqueue(A).unwrap();
+
+        // Preempted dequeuer resumes: its stale CAS *succeeds* — the slot
+        // holds the same bits — removing the A that is logically *behind*
+        // B in FIFO order. (Its Head update then fails, Head having moved
+        // on; the damage is already done.)
+        assert!(
+            q.raw_slot_cas(h as usize, seen, 0),
+            "the naked CAS cannot distinguish old A from new A"
+        );
+        assert!(!q.raw_head_cas(h), "head moved on; only the slot was hit");
+
+        // Consequences: the stale dequeuer believes it removed A — so A
+        // has now come out *twice* (a data-ABA duplicate) — and the
+        // second enqueue of A is gone from the array, so after B the
+        // queue claims to be empty: the item is lost.
+        assert_eq!(other.dequeue(), Some(B));
+        assert_eq!(
+            other.dequeue(),
+            None,
+            "the re-enqueued A was silently destroyed"
+        );
+    }
+
+    /// The same schedule against a versioned cell: the stale SC fails, as
+    /// Algorithm 1 requires.
+    #[test]
+    fn versioned_cell_defeats_the_same_schedule() {
+        const A: u64 = 0xA;
+        const B: u64 = 0xB;
+        let cell = VersionedCell::new(A);
+
+        // Preempted dequeuer links the slot.
+        let (seen, stale_token) = cell.ll();
+        assert_eq!(seen, A);
+
+        // Interference: A removed, B in, B out, A back in (full
+        // value-level A-B-A on one cell).
+        let (_, t) = cell.ll();
+        assert!(cell.sc(t, 0));
+        let (_, t) = cell.ll();
+        assert!(cell.sc(t, B));
+        let (_, t) = cell.ll();
+        assert!(cell.sc(t, 0));
+        let (_, t) = cell.ll();
+        assert!(cell.sc(t, A));
+
+        // Resume: the stale SC must fail even though the value matches.
+        assert!(
+            !cell.sc(stale_token, 0),
+            "Fig. 2 semantics: SC fails because the cell was written"
+        );
+        assert_eq!(cell.load(), A, "the new A is still in place");
+    }
+
+    /// §3's null-ABA: an enqueuer reserves-by-sight an empty slot, stalls
+    /// across a full wrap, and resumes inserting into the *dequeued*
+    /// region — its item is then ahead of Head and silently lost.
+    #[test]
+    fn null_aba_loses_the_enqueued_item() {
+        const X: u64 = 0x111;
+        let q = NaiveArrayQueue::with_capacity(2);
+        let mut other = q.handle();
+
+        // Enqueuer: sees Tail=0, slot 0 empty; stalls before its CAS.
+        let t = 0u64;
+        assert_eq!(q.raw_slot_load(t as usize), 0);
+
+        // Meanwhile the queue wraps: two items in, two items out.
+        other.enqueue(1).unwrap();
+        other.enqueue(2).unwrap();
+        assert_eq!(other.dequeue(), Some(1));
+        assert_eq!(other.dequeue(), Some(2));
+        // Head == Tail == 2: logically empty; slot 0 is in the dequeued
+        // region.
+
+        // Enqueuer resumes: stale CAS succeeds, writing X into slot 0 and
+        // bumping Tail from its stale value 0 — which *fails* (Tail is 2),
+        // so the item sits in a slot the indices will not visit until a
+        // full lap later, and the queue still reports empty.
+        assert!(q.raw_slot_cas(t as usize, 0, X));
+        let mut h = q.handle();
+        assert_eq!(h.dequeue(), None, "X is lost: queue believes it is empty");
+    }
+
+    /// The CAS queue's reservation protocol makes the null-ABA resume
+    /// impossible to even express: the stale thread's CAS expects its own
+    /// tag, which is no longer (never was) in the slot.
+    #[test]
+    fn reservation_tags_defeat_stale_expectations() {
+        // Modeled at the cell level: a reservation is an odd word; a
+        // stale "expected = null" CAS cannot succeed against a slot whose
+        // content moved on, and a stale "expected = my tag" CAS cannot
+        // succeed after the tag was displaced.
+        let slot = AtomicU64::new(0);
+        let my_tag = 0x1001u64 | 1;
+        // Reserve.
+        assert!(slot
+            .compare_exchange(0, my_tag, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok());
+        // Another thread's LL displaces the reservation with its own tag.
+        let other_tag = 0x2001u64 | 1;
+        assert!(slot
+            .compare_exchange(my_tag, other_tag, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok());
+        // The original thread's "SC" now fails deterministically.
+        assert!(slot
+            .compare_exchange(my_tag, 0xAAA0, Ordering::SeqCst, Ordering::SeqCst)
+            .is_err());
+    }
+
+    #[test]
+    fn zero_values_are_rejected() {
+        let q = NaiveArrayQueue::with_capacity(2);
+        let mut h = q.handle();
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = h.enqueue(0);
+        }));
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,47 @@
+//! Shared boxed-node helpers for the baseline queues that store owned
+//! values behind raw slot words (mirrors `nbq-core`'s private node
+//! module).
+
+/// Owning heap cell; align 8 keeps the low address bits free for slot
+/// markers.
+#[repr(align(8))]
+struct OwnedNode<T> {
+    value: T,
+}
+
+/// Boxes `value`; the returned word is nonzero and 8-aligned.
+pub(crate) fn box_node<T>(value: T) -> u64 {
+    let addr = Box::into_raw(Box::new(OwnedNode { value })) as u64;
+    debug_assert!(addr > 7 && addr & 7 == 0);
+    addr
+}
+
+/// Reclaims a word produced by [`box_node`], returning the value.
+///
+/// # Safety
+///
+/// `addr` must come from `box_node::<T>` with the same `T`, be owned
+/// exclusively by the caller, and not be reclaimed twice.
+pub(crate) unsafe fn unbox_node<T>(addr: u64) -> T {
+    // SAFETY: per the contract.
+    unsafe { Box::from_raw(addr as *mut OwnedNode<T>) }.value
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let a = box_node(String::from("x"));
+        assert_eq!(unsafe { unbox_node::<String>(a) }, "x");
+    }
+
+    #[test]
+    fn alignment_leaves_marker_space() {
+        let a = box_node(42u8);
+        assert!(a > 1, "0 and 1 must stay free for markers");
+        assert_eq!(a & 1, 0);
+        unsafe { unbox_node::<u8>(a) };
+    }
+}

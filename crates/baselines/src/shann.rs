@@ -1,0 +1,477 @@
+//! Shann, Huang & Chen's circular-array FIFO queue (ICPADS 2000) — the
+//! paper's wide-CAS baseline ("Shann et al. (CAS64)").
+//!
+//! Each array slot stores **two fields updated by one atomic instruction**:
+//! a data field and a modification counter that defeats the data-/null-ABA
+//! problems. The ICPP'08 paper's point is that this needs an atomic twice
+//! the pointer width — fine on the paper's AMD test machine (32-bit
+//! pointers + 64-bit CAS), unavailable once pointers are 64-bit.
+//!
+//! We reproduce the paper's AMD configuration exactly: the "pointer" is a
+//! 32-bit index into a node arena and the slot packs
+//! `(counter:u32 | index:u32)` into one `AtomicU64`, so every slot update
+//! is a genuine double-pointer-width CAS relative to the 32-bit "pointers"
+//! being stored. Index 0 is the null marker; arena nodes are recycled
+//! through a version-tagged Treiber free list. The arena (2× capacity by
+//! default) bounds memory exactly the way a 32-bit address space bounded
+//! the original: an enqueue that cannot get an arena node reports the
+//! queue full.
+
+use core::cell::UnsafeCell;
+use core::marker::PhantomData;
+use core::mem::MaybeUninit;
+use core::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use nbq_util::{Backoff, CachePadded, ConcurrentQueue, Full, QueueHandle};
+
+const NULL_IDX: u32 = 0;
+
+#[inline]
+fn pack(counter: u32, idx: u32) -> u64 {
+    (u64::from(counter) << 32) | u64::from(idx)
+}
+
+#[inline]
+fn unpack(word: u64) -> (u32, u32) {
+    ((word >> 32) as u32, word as u32)
+}
+
+struct ArenaCell<T> {
+    value: UnsafeCell<MaybeUninit<T>>,
+    next_free: AtomicU32,
+}
+
+/// Fixed node arena with a version-tagged lock-free free list.
+struct Arena<T> {
+    cells: Box<[ArenaCell<T>]>,
+    /// Packed `(tag:u32 | idx:u32)`; idx 0 terminates (cell 0 is reserved
+    /// as the null sentinel and never allocated).
+    free_head: AtomicU64,
+}
+
+impl<T> Arena<T> {
+    fn new(len: usize) -> Self {
+        assert!(len >= 2, "arena needs at least one allocatable cell");
+        assert!(len <= u32::MAX as usize, "arena index must fit in u32");
+        let cells: Box<[ArenaCell<T>]> = (0..len)
+            .map(|i| ArenaCell {
+                value: UnsafeCell::new(MaybeUninit::uninit()),
+                // Initial free list: 1 -> 2 -> ... -> len-1 -> 0 (end).
+                next_free: AtomicU32::new(if i + 1 < len { (i + 1) as u32 } else { 0 }),
+            })
+            .collect();
+        Self {
+            cells,
+            free_head: AtomicU64::new(pack(0, 1)),
+        }
+    }
+
+    /// Pops a free cell and moves `value` into it; returns the value back
+    /// if the arena is exhausted.
+    fn alloc(&self, value: T) -> Result<u32, T> {
+        loop {
+            let head = self.free_head.load(Ordering::Acquire);
+            let (tag, idx) = unpack(head);
+            if idx == NULL_IDX {
+                return Err(value);
+            }
+            let next = self.cells[idx as usize].next_free.load(Ordering::Acquire);
+            if self
+                .free_head
+                .compare_exchange(
+                    head,
+                    pack(tag.wrapping_add(1), next),
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                )
+                .is_ok()
+            {
+                // SAFETY: the tagged pop granted exclusive ownership.
+                unsafe { (*self.cells[idx as usize].value.get()).write(value) };
+                return Ok(idx);
+            }
+        }
+    }
+
+    /// Moves the value out of `idx` and returns the cell to the free list.
+    ///
+    /// # Safety
+    ///
+    /// `idx` must hold an initialized value owned exclusively by the
+    /// caller (it was removed from a slot by a winning CAS).
+    unsafe fn take(&self, idx: u32) -> T {
+        debug_assert_ne!(idx, NULL_IDX);
+        // SAFETY: exclusive ownership per the contract.
+        let value = unsafe { (*self.cells[idx as usize].value.get()).assume_init_read() };
+        loop {
+            let head = self.free_head.load(Ordering::Acquire);
+            let (tag, old_idx) = unpack(head);
+            self.cells[idx as usize]
+                .next_free
+                .store(old_idx, Ordering::Release);
+            if self
+                .free_head
+                .compare_exchange(
+                    head,
+                    pack(tag.wrapping_add(1), idx),
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                )
+                .is_ok()
+            {
+                return value;
+            }
+        }
+    }
+}
+
+/// Shann et al.'s array-based FIFO with per-slot counters and wide CAS.
+pub struct ShannQueue<T> {
+    /// Each slot: `(counter:u32 | arena index:u32)`.
+    slots: Box<[AtomicU64]>,
+    head: CachePadded<AtomicU64>,
+    tail: CachePadded<AtomicU64>,
+    mask: u64,
+    capacity: u64,
+    arena: Arena<T>,
+    _marker: PhantomData<T>,
+}
+
+// SAFETY: arena cells transfer ownership through winning slot CASes.
+unsafe impl<T: Send> Send for ShannQueue<T> {}
+unsafe impl<T: Send> Sync for ShannQueue<T> {}
+
+impl<T: Send> ShannQueue<T> {
+    /// Creates a queue with at least `capacity` slots (rounded to a power
+    /// of two) and a 2×-capacity node arena.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self::with_capacity_and_arena(capacity, capacity.next_power_of_two().max(2) * 2)
+    }
+
+    /// Explicit arena sizing. `arena_len` bounds live items plus in-flight
+    /// allocations; allocation failure surfaces as [`Full`].
+    pub fn with_capacity_and_arena(capacity: usize, arena_len: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        let cap = capacity.next_power_of_two().max(2);
+        let slots: Box<[AtomicU64]> = (0..cap).map(|_| AtomicU64::new(pack(0, NULL_IDX))).collect();
+        Self {
+            slots,
+            head: CachePadded::new(AtomicU64::new(0)),
+            tail: CachePadded::new(AtomicU64::new(0)),
+            mask: (cap - 1) as u64,
+            capacity: cap as u64,
+            arena: Arena::new(arena_len + 1), // +1: cell 0 is the sentinel
+            _marker: PhantomData,
+        }
+    }
+
+    /// Number of slots.
+    pub fn capacity(&self) -> usize {
+        self.capacity as usize
+    }
+
+    /// Approximate number of queued items (exact when quiescent).
+    pub fn len(&self) -> usize {
+        let t = self.tail.load(Ordering::SeqCst);
+        let h = self.head.load(Ordering::SeqCst);
+        t.wrapping_sub(h).min(self.capacity) as usize
+    }
+
+    /// True when the queue appears empty (exact when quiescent).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Registers the calling thread (the algorithm is stateless per
+    /// thread; the handle is a thin wrapper).
+    pub fn handle(&self) -> ShannHandle<'_, T> {
+        ShannHandle { queue: self }
+    }
+}
+
+impl<T> Drop for ShannQueue<T> {
+    fn drop(&mut self) {
+        for cell in self.slots.iter() {
+            let (_, idx) = unpack(cell.load(Ordering::Relaxed));
+            if idx != NULL_IDX {
+                // SAFETY: exclusive teardown; the slot owns the arena cell.
+                unsafe {
+                    (*self.arena.cells[idx as usize].value.get()).assume_init_drop();
+                }
+            }
+        }
+    }
+}
+
+/// Per-thread handle for [`ShannQueue`].
+pub struct ShannHandle<'q, T> {
+    queue: &'q ShannQueue<T>,
+}
+
+impl<T: Send> QueueHandle<T> for ShannHandle<'_, T> {
+    fn enqueue(&mut self, value: T) -> Result<(), Full<T>> {
+        let q = self.queue;
+        // "A node allocation immediately precedes each enqueue" — grab an
+        // arena cell first; exhaustion is a capacity condition.
+        let node_idx = match q.arena.alloc(value) {
+            Ok(idx) => idx,
+            Err(value) => return Err(Full(value)),
+        };
+        let mut backoff = Backoff::new();
+        loop {
+            let t = q.tail.load(Ordering::SeqCst);
+            // Full test — Head read after Tail (monotonicity argument as in
+            // the array queues of nbq-core).
+            if t == q.head.load(Ordering::SeqCst).wrapping_add(q.capacity) {
+                // SAFETY: node_idx is ours and initialized; take the value
+                // back and free the cell.
+                let value = unsafe { q.arena.take(node_idx) };
+                return Err(Full(value));
+            }
+            let slot = &q.slots[(t & q.mask) as usize];
+            let word = slot.load(Ordering::SeqCst);
+            if t != q.tail.load(Ordering::SeqCst) {
+                continue;
+            }
+            let (counter, idx) = unpack(word);
+            if idx == NULL_IDX {
+                // Empty slot: one wide CAS installs (counter+1, node).
+                if slot
+                    .compare_exchange(
+                        word,
+                        pack(counter.wrapping_add(1), node_idx),
+                        Ordering::SeqCst,
+                        Ordering::SeqCst,
+                    )
+                    .is_ok()
+                {
+                    let _ = q.tail.compare_exchange(
+                        t,
+                        t.wrapping_add(1),
+                        Ordering::SeqCst,
+                        Ordering::Relaxed,
+                    );
+                    return Ok(());
+                }
+                backoff.snooze();
+            } else {
+                // Occupied: a peer's Tail update lags; help it.
+                let _ = q.tail.compare_exchange(
+                    t,
+                    t.wrapping_add(1),
+                    Ordering::SeqCst,
+                    Ordering::Relaxed,
+                );
+            }
+        }
+    }
+
+    fn dequeue(&mut self) -> Option<T> {
+        let q = self.queue;
+        let mut backoff = Backoff::new();
+        loop {
+            let h = q.head.load(Ordering::SeqCst);
+            if h == q.tail.load(Ordering::SeqCst) {
+                return None;
+            }
+            let slot = &q.slots[(h & q.mask) as usize];
+            let word = slot.load(Ordering::SeqCst);
+            if h != q.head.load(Ordering::SeqCst) {
+                continue;
+            }
+            let (counter, idx) = unpack(word);
+            if idx != NULL_IDX {
+                if slot
+                    .compare_exchange(
+                        word,
+                        pack(counter.wrapping_add(1), NULL_IDX),
+                        Ordering::SeqCst,
+                        Ordering::SeqCst,
+                    )
+                    .is_ok()
+                {
+                    let _ = q.head.compare_exchange(
+                        h,
+                        h.wrapping_add(1),
+                        Ordering::SeqCst,
+                        Ordering::Relaxed,
+                    );
+                    // SAFETY: the winning CAS removed idx from the array;
+                    // we own it exclusively.
+                    return Some(unsafe { q.arena.take(idx) });
+                }
+                backoff.snooze();
+            } else {
+                // Already removed, Head lagging: help.
+                let _ = q.head.compare_exchange(
+                    h,
+                    h.wrapping_add(1),
+                    Ordering::SeqCst,
+                    Ordering::Relaxed,
+                );
+            }
+        }
+    }
+}
+
+impl<T: Send> ConcurrentQueue<T> for ShannQueue<T> {
+    type Handle<'q>
+        = ShannHandle<'q, T>
+    where
+        Self: 'q;
+
+    fn handle(&self) -> Self::Handle<'_> {
+        ShannQueue::handle(self)
+    }
+
+    fn capacity(&self) -> Option<usize> {
+        Some(self.capacity())
+    }
+
+    fn algorithm_name(&self) -> &'static str {
+        "Shann et al. (CAS64)"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_single_thread() {
+        let q = ShannQueue::<u32>::with_capacity(8);
+        let mut h = q.handle();
+        for i in 0..8 {
+            h.enqueue(i).unwrap();
+        }
+        for i in 0..8 {
+            assert_eq!(h.dequeue(), Some(i));
+        }
+        assert_eq!(h.dequeue(), None);
+    }
+
+    #[test]
+    fn full_detection_returns_value() {
+        let q = ShannQueue::<String>::with_capacity(2);
+        let mut h = q.handle();
+        h.enqueue("a".into()).unwrap();
+        h.enqueue("b".into()).unwrap();
+        assert_eq!(h.enqueue("c".into()).unwrap_err().into_inner(), "c");
+    }
+
+    #[test]
+    fn arena_exhaustion_behaves_as_full() {
+        // Slots: 4; arena deliberately tiny (2 usable cells).
+        let q = ShannQueue::<u32>::with_capacity_and_arena(4, 2);
+        let mut h = q.handle();
+        h.enqueue(1).unwrap();
+        h.enqueue(2).unwrap();
+        // Hmm — arena exhausted before the array: treated as full? The
+        // alloc happens first, so this must not panic.
+        // (Behavioral test; see enqueue's arena handling.)
+        let r = h.enqueue(3);
+        assert!(r.is_err());
+        assert_eq!(h.dequeue(), Some(1));
+        h.enqueue(3).unwrap();
+    }
+
+    #[test]
+    fn wraparound_many_laps() {
+        let q = ShannQueue::<u64>::with_capacity(4);
+        let mut h = q.handle();
+        for lap in 0..2_000u64 {
+            h.enqueue(lap).unwrap();
+            assert_eq!(h.dequeue(), Some(lap));
+        }
+    }
+
+    #[test]
+    fn len_tracks_occupancy() {
+        let q = ShannQueue::<u8>::with_capacity(8);
+        let mut h = q.handle();
+        assert!(q.is_empty());
+        for i in 0..5 {
+            h.enqueue(i).unwrap();
+        }
+        assert_eq!(q.len(), 5);
+        h.dequeue();
+        assert_eq!(q.len(), 4);
+    }
+
+    #[test]
+    fn slot_counters_increment_per_write() {
+        let q = ShannQueue::<u8>::with_capacity(2);
+        let mut h = q.handle();
+        h.enqueue(1).unwrap();
+        let (c1, _) = unpack(q.slots[0].load(Ordering::SeqCst));
+        h.dequeue();
+        let (c2, _) = unpack(q.slots[0].load(Ordering::SeqCst));
+        assert_eq!(c2, c1 + 1, "each wide CAS bumps the slot counter");
+    }
+
+    #[test]
+    fn drop_frees_queued_values() {
+        use std::sync::atomic::{AtomicUsize, Ordering as O};
+        use std::sync::Arc;
+        struct Tracked(Arc<AtomicUsize>);
+        impl Drop for Tracked {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, O::SeqCst);
+            }
+        }
+        let drops = Arc::new(AtomicUsize::new(0));
+        {
+            let q = ShannQueue::<Tracked>::with_capacity(8);
+            let mut h = q.handle();
+            for _ in 0..5 {
+                h.enqueue(Tracked(drops.clone())).unwrap();
+            }
+            drop(h.dequeue());
+        }
+        assert_eq!(drops.load(O::SeqCst), 5);
+    }
+
+    #[test]
+    fn mpmc_stress_no_loss_no_dup() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        const PRODUCERS: u64 = 4;
+        const CONSUMERS: u64 = 4;
+        const PER_PRODUCER: u64 = 2_000;
+        let q = ShannQueue::<u64>::with_capacity(64);
+        let seen = Mutex::new(HashSet::new());
+        std::thread::scope(|s| {
+            for p in 0..PRODUCERS {
+                let q = &q;
+                s.spawn(move || {
+                    let mut h = q.handle();
+                    for i in 0..PER_PRODUCER {
+                        while h.enqueue(p * PER_PRODUCER + i).is_err() {
+                            std::thread::yield_now();
+                        }
+                    }
+                });
+            }
+            for _ in 0..CONSUMERS {
+                let q = &q;
+                let seen = &seen;
+                s.spawn(move || {
+                    let mut h = q.handle();
+                    let mut got = Vec::new();
+                    let target = PRODUCERS * PER_PRODUCER / CONSUMERS;
+                    while (got.len() as u64) < target {
+                        if let Some(v) = h.dequeue() {
+                            got.push(v);
+                        } else {
+                            std::thread::yield_now();
+                        }
+                    }
+                    let mut s = seen.lock().unwrap();
+                    for v in got {
+                        assert!(s.insert(v), "duplicate {v}");
+                    }
+                });
+            }
+        });
+        assert_eq!(seen.lock().unwrap().len() as u64, PRODUCERS * PER_PRODUCER);
+    }
+}

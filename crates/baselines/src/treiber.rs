@@ -1,0 +1,309 @@
+//! Treiber's FIFO queue (IBM Almaden TR RJ5118, 1986) — related-work
+//! extension.
+//!
+//! The paper's §2: "Treiber also proposed a similar algorithm that does
+//! not use an infinite array. Although the enqueue operation requires
+//! only a single step, the running time needed for the dequeue operation
+//! is proportional to the number of items in the queue. These last two
+//! algorithms are inefficient for large queue lengths and many dequeue
+//! attempts."
+//!
+//! Reconstruction: enqueue pushes onto a singly-linked LIFO list with one
+//! CAS (the "single step"); dequeue walks the list to its *last* node —
+//! the oldest item — and detaches it with one CAS on its predecessor's
+//! `next` (retrying if a racing dequeuer got there first). Nodes are
+//! reclaimed with hazard pointers (two slots: the candidate and its
+//! predecessor). The walk is Θ(queue length) per dequeue, which the
+//! `ext-modern` benchmark makes visible.
+
+use core::marker::PhantomData;
+use core::mem::ManuallyDrop;
+use core::ptr;
+use core::sync::atomic::{AtomicPtr, Ordering};
+use nbq_hazard::{Config, Domain, LocalHazards, ScanMode};
+use nbq_util::{Backoff, CachePadded, ConcurrentQueue, Full, QueueHandle};
+
+struct TNode<T> {
+    value: ManuallyDrop<T>,
+    next: AtomicPtr<TNode<T>>,
+}
+
+/// Treiber-style FIFO: LIFO push, tail-walk pop.
+pub struct TreiberQueue<T> {
+    head: CachePadded<AtomicPtr<TNode<T>>>,
+    domain: Domain,
+    _marker: PhantomData<T>,
+}
+
+// SAFETY: standard linked-structure ownership transfer through CAS, with
+// hazard-pointer reclamation.
+unsafe impl<T: Send> Send for TreiberQueue<T> {}
+unsafe impl<T: Send> Sync for TreiberQueue<T> {}
+
+const HP_CUR: usize = 1;
+
+impl<T: Send> TreiberQueue<T> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self {
+            head: CachePadded::new(AtomicPtr::new(ptr::null_mut())),
+            domain: Domain::new(Config {
+                scan_mode: ScanMode::Sorted,
+                retire_factor: 4,
+            }),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Registers the calling thread.
+    pub fn handle(&self) -> TreiberHandle<'_, T> {
+        TreiberHandle {
+            queue: self,
+            hp: self.domain.register(),
+        }
+    }
+
+    /// The hazard domain (diagnostics).
+    pub fn domain(&self) -> &Domain {
+        &self.domain
+    }
+}
+
+impl<T: Send> Default for TreiberQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Drop for TreiberQueue<T> {
+    fn drop(&mut self) {
+        let mut cur = *self.head.get_mut();
+        while !cur.is_null() {
+            // SAFETY: exclusive teardown; nodes own live values.
+            let mut node = unsafe { Box::from_raw(cur) };
+            unsafe { ManuallyDrop::drop(&mut node.value) };
+            cur = *node.next.get_mut();
+        }
+    }
+}
+
+/// Per-thread handle for [`TreiberQueue`].
+pub struct TreiberHandle<'q, T> {
+    queue: &'q TreiberQueue<T>,
+    hp: LocalHazards<'q>,
+}
+
+impl<T: Send> QueueHandle<T> for TreiberHandle<'_, T> {
+    fn enqueue(&mut self, value: T) -> Result<(), Full<T>> {
+        // The "single step": one CAS pushing at the list head.
+        let node = Box::into_raw(Box::new(TNode {
+            value: ManuallyDrop::new(value),
+            next: AtomicPtr::new(ptr::null_mut()),
+        }));
+        let mut backoff = Backoff::new();
+        loop {
+            let head = self.queue.head.load(Ordering::SeqCst);
+            // SAFETY: node is ours until published.
+            unsafe { &*node }.next.store(head, Ordering::Relaxed);
+            if self
+                .queue
+                .head
+                .compare_exchange(head, node, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+            {
+                return Ok(());
+            }
+            backoff.snooze();
+        }
+    }
+
+    fn dequeue(&mut self) -> Option<T> {
+        let q = self.queue;
+        let mut backoff = Backoff::new();
+        'retry: loop {
+            // Protect the entry point.
+            let first = self.hp.protect_ptr(HP_CUR, &q.head);
+            if first.is_null() {
+                self.hp.clear_all();
+                return None;
+            }
+            // Walk to the last node (the oldest item), keeping (pred, cur)
+            // protected by alternating the two slots.
+            let mut pred: *mut TNode<T> = ptr::null_mut();
+            let mut cur = first;
+            let mut cur_slot = HP_CUR;
+            loop {
+                // SAFETY: cur is hazard-protected.
+                let next = unsafe { &*cur }.next.load(Ordering::SeqCst);
+                if next.is_null() {
+                    break; // cur is the oldest
+                }
+                // Advance: protect next in the slot pred currently does
+                // not use, re-validating via the link we hold.
+                let next_slot = cur_slot ^ 1;
+                self.hp.set(next_slot, next as usize);
+                // Re-validate: cur.next must still be next (cur is
+                // protected, so its next field is readable; if it changed,
+                // a dequeuer detached next — restart the walk).
+                if unsafe { &*cur }.next.load(Ordering::SeqCst) != next {
+                    backoff.snooze();
+                    continue 'retry;
+                }
+                pred = cur;
+                cur = next;
+                cur_slot = next_slot;
+            }
+            // Detach `cur`.
+            let detached = if pred.is_null() {
+                // Single-node list: detach from head.
+                q.head
+                    .compare_exchange(cur, ptr::null_mut(), Ordering::SeqCst, Ordering::SeqCst)
+                    .is_ok()
+            } else {
+                // SAFETY: pred is hazard-protected (it is in the other
+                // slot — the walk always leaves pred's protection live).
+                unsafe { &*pred }
+                    .next
+                    .compare_exchange(cur, ptr::null_mut(), Ordering::SeqCst, Ordering::SeqCst)
+                    .is_ok()
+            };
+            if detached {
+                // SAFETY: cur is ours exclusively now; move the value out
+                // and retire the node.
+                let value = unsafe { ptr::read(&*(*cur).value) };
+                self.hp.clear_all();
+                // SAFETY: detached, never reachable again.
+                unsafe { self.hp.retire_box(cur) };
+                return Some(value);
+            }
+            backoff.snooze();
+        }
+    }
+}
+
+impl<T: Send> ConcurrentQueue<T> for TreiberQueue<T> {
+    type Handle<'q>
+        = TreiberHandle<'q, T>
+    where
+        Self: 'q;
+
+    fn handle(&self) -> Self::Handle<'_> {
+        TreiberQueue::handle(self)
+    }
+
+    fn capacity(&self) -> Option<usize> {
+        None
+    }
+
+    fn algorithm_name(&self) -> &'static str {
+        "Treiber 1986"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_single_thread() {
+        let q = TreiberQueue::<u32>::new();
+        let mut h = q.handle();
+        for i in 0..50 {
+            h.enqueue(i).unwrap();
+        }
+        for i in 0..50 {
+            assert_eq!(h.dequeue(), Some(i));
+        }
+        assert_eq!(h.dequeue(), None);
+    }
+
+    #[test]
+    fn interleaved_operations() {
+        let q = TreiberQueue::<u32>::new();
+        let mut h = q.handle();
+        for round in 0..100 {
+            h.enqueue(round * 2).unwrap();
+            h.enqueue(round * 2 + 1).unwrap();
+            assert_eq!(h.dequeue(), Some(round * 2));
+            assert_eq!(h.dequeue(), Some(round * 2 + 1));
+        }
+    }
+
+    #[test]
+    fn drop_frees_values() {
+        use std::sync::atomic::{AtomicUsize, Ordering as O};
+        use std::sync::Arc;
+        struct Tracked(Arc<AtomicUsize>);
+        impl Drop for Tracked {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, O::SeqCst);
+            }
+        }
+        let drops = Arc::new(AtomicUsize::new(0));
+        {
+            let q = TreiberQueue::<Tracked>::new();
+            let mut h = q.handle();
+            for _ in 0..8 {
+                h.enqueue(Tracked(drops.clone())).unwrap();
+            }
+            drop(h.dequeue());
+            assert_eq!(drops.load(O::SeqCst), 1);
+        }
+        assert_eq!(drops.load(O::SeqCst), 8);
+    }
+
+    #[test]
+    fn nodes_are_reclaimed() {
+        let q = TreiberQueue::<u64>::new();
+        let mut h = q.handle();
+        for i in 0..500 {
+            h.enqueue(i).unwrap();
+            h.dequeue();
+        }
+        h.hp.flush();
+        assert!(q.domain().reclaimed_count() > 450);
+    }
+
+    #[test]
+    fn mpmc_stress_no_loss_no_dup() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        const PRODUCERS: u64 = 3;
+        const CONSUMERS: u64 = 2;
+        const PER_PRODUCER: u64 = 800;
+        let q = TreiberQueue::<u64>::new();
+        let seen = Mutex::new(HashSet::new());
+        std::thread::scope(|s| {
+            for p in 0..PRODUCERS {
+                let q = &q;
+                s.spawn(move || {
+                    let mut h = q.handle();
+                    for i in 0..PER_PRODUCER {
+                        h.enqueue(p * PER_PRODUCER + i).unwrap();
+                    }
+                });
+            }
+            for _ in 0..CONSUMERS {
+                let q = &q;
+                let seen = &seen;
+                s.spawn(move || {
+                    let mut h = q.handle();
+                    let mut got = Vec::new();
+                    let target = PRODUCERS * PER_PRODUCER / CONSUMERS;
+                    while (got.len() as u64) < target {
+                        if let Some(v) = h.dequeue() {
+                            got.push(v);
+                        } else {
+                            std::thread::yield_now();
+                        }
+                    }
+                    let mut s = seen.lock().unwrap();
+                    for v in got {
+                        assert!(s.insert(v), "duplicate {v}");
+                    }
+                });
+            }
+        });
+        assert_eq!(seen.lock().unwrap().len() as u64, PRODUCERS * PER_PRODUCER);
+    }
+}

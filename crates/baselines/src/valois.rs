@@ -1,0 +1,316 @@
+//! Valois-style circular-array FIFO (PODC 1995) over software DCAS —
+//! related-work extension.
+//!
+//! The paper's §2: "Valois also presented an algorithm based on a bounded
+//! circular array. However, both enqueue and dequeue operations require
+//! that two array locations which may not be adjacent be simultaneously
+//! updated with a CAS primitive. Unfortunately this primitive is not
+//! available on modern processors." This module reconstructs that design
+//! on top of [`nbq_mcas`]'s software double-word CAS, so the cost of the
+//! missing primitive is *measurable* (it is steep: every queue operation
+//! becomes a descriptor-based multi-phase protocol) rather than a
+//! citation.
+//!
+//! With a genuine two-location CAS the algorithm is almost embarrassingly
+//! simple — index and slot move **together**, so none of the paper's §3
+//! ABA problems can arise and no helping paths are needed:
+//!
+//! * `enqueue`: `DCAS((Tail: t → t+1), (Q[t mod L]: null → node))`
+//! * `dequeue`: `DCAS((Head: h → h+1), (Q[h mod L]: node → null))`
+//!
+//! Indices are unbounded counters (stored through
+//! [`McasCell::encode_counter`]); slots hold 8-aligned node addresses
+//! whose two free low bits are the MCAS tag space.
+
+use crate::node_support::{box_node, unbox_node};
+use core::marker::PhantomData;
+use nbq_mcas::{Mcas, McasCell, McasLocal};
+use nbq_util::{Backoff, ConcurrentQueue, Full, QueueHandle};
+
+/// Valois-style array FIFO whose operations are single DCASes.
+pub struct ValoisQueue<T> {
+    mcas: Mcas,
+    slots: Box<[McasCell]>,
+    head: McasCell,
+    tail: McasCell,
+    mask: u64,
+    capacity: u64,
+    _marker: PhantomData<T>,
+}
+
+// SAFETY: slot words own their nodes; ownership transfers through the
+// winning DCAS.
+unsafe impl<T: Send> Send for ValoisQueue<T> {}
+unsafe impl<T: Send> Sync for ValoisQueue<T> {}
+
+impl<T: Send> ValoisQueue<T> {
+    /// Creates a queue with at least `capacity` slots (power of two).
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        let cap = capacity.next_power_of_two().max(2);
+        Self {
+            mcas: Mcas::new(),
+            slots: (0..cap).map(|_| McasCell::new(0)).collect(),
+            head: McasCell::new(McasCell::encode_counter(0)),
+            tail: McasCell::new(McasCell::encode_counter(0)),
+            mask: (cap - 1) as u64,
+            capacity: cap as u64,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Number of slots.
+    pub fn capacity(&self) -> usize {
+        self.capacity as usize
+    }
+
+    /// Registers the calling thread (an MCAS hazard registration).
+    pub fn handle(&self) -> ValoisHandle<'_, T> {
+        ValoisHandle {
+            queue: self,
+            local: self.mcas.register(),
+        }
+    }
+}
+
+impl<T> Drop for ValoisQueue<T> {
+    fn drop(&mut self) {
+        for cell in self.slots.iter() {
+            let v = cell.load_exclusive();
+            if v != 0 {
+                // SAFETY: exclusive teardown; non-null slots own nodes.
+                drop(unsafe { unbox_node::<T>(v) });
+            }
+        }
+    }
+}
+
+/// Per-thread handle for [`ValoisQueue`].
+pub struct ValoisHandle<'q, T> {
+    queue: &'q ValoisQueue<T>,
+    local: McasLocal<'q>,
+}
+
+impl<T: Send> QueueHandle<T> for ValoisHandle<'_, T> {
+    fn enqueue(&mut self, value: T) -> Result<(), Full<T>> {
+        let q = self.queue;
+        let node = box_node(value);
+        debug_assert_eq!(node & 0b11, 0);
+        let mut backoff = Backoff::new();
+        loop {
+            let t = McasCell::decode_counter(self.local.read(&q.tail));
+            // Full test; Head read after Tail (monotonicity argument as in
+            // nbq-core).
+            let h = McasCell::decode_counter(self.local.read(&q.head));
+            if t == h.wrapping_add(q.capacity) {
+                // SAFETY: never published.
+                return Err(Full(unsafe { unbox_node::<T>(node) }));
+            }
+            let slot = &q.slots[(t & q.mask) as usize];
+            // The §2 primitive: index and slot move together or not at
+            // all. No helping paths exist because no half-done state is
+            // ever visible.
+            if self.local.cas2(
+                &q.tail,
+                McasCell::encode_counter(t),
+                McasCell::encode_counter(t.wrapping_add(1)),
+                slot,
+                0,
+                node,
+            ) {
+                return Ok(());
+            }
+            backoff.snooze();
+        }
+    }
+
+    fn dequeue(&mut self) -> Option<T> {
+        let q = self.queue;
+        let mut backoff = Backoff::new();
+        loop {
+            let h = McasCell::decode_counter(self.local.read(&q.head));
+            let t = McasCell::decode_counter(self.local.read(&q.tail));
+            if h == t {
+                return None;
+            }
+            let slot = &q.slots[(h & q.mask) as usize];
+            let v = self.local.read(slot);
+            if v == 0 {
+                // Our head snapshot went stale (the item was dequeued and
+                // the position possibly lapped); re-read.
+                backoff.snooze();
+                continue;
+            }
+            if self.local.cas2(
+                &q.head,
+                McasCell::encode_counter(h),
+                McasCell::encode_counter(h.wrapping_add(1)),
+                slot,
+                v,
+                0,
+            ) {
+                // SAFETY: the winning DCAS removed the node word.
+                return Some(unsafe { unbox_node::<T>(v) });
+            }
+            backoff.snooze();
+        }
+    }
+}
+
+impl<T: Send> ConcurrentQueue<T> for ValoisQueue<T> {
+    type Handle<'q>
+        = ValoisHandle<'q, T>
+    where
+        Self: 'q;
+
+    fn handle(&self) -> Self::Handle<'_> {
+        ValoisQueue::handle(self)
+    }
+
+    fn capacity(&self) -> Option<usize> {
+        Some(self.capacity())
+    }
+
+    fn algorithm_name(&self) -> &'static str {
+        "Valois (software DCAS)"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_single_thread() {
+        let q = ValoisQueue::<u32>::with_capacity(8);
+        let mut h = q.handle();
+        for i in 0..8 {
+            h.enqueue(i).unwrap();
+        }
+        for i in 0..8 {
+            assert_eq!(h.dequeue(), Some(i));
+        }
+        assert_eq!(h.dequeue(), None);
+    }
+
+    #[test]
+    fn full_detection_returns_value() {
+        let q = ValoisQueue::<String>::with_capacity(2);
+        let mut h = q.handle();
+        h.enqueue("a".into()).unwrap();
+        h.enqueue("b".into()).unwrap();
+        assert_eq!(h.enqueue("c".into()).unwrap_err().into_inner(), "c");
+        assert_eq!(h.dequeue().as_deref(), Some("a"));
+        h.enqueue("c".into()).unwrap();
+    }
+
+    #[test]
+    fn wraparound_many_laps() {
+        let q = ValoisQueue::<u64>::with_capacity(4);
+        let mut h = q.handle();
+        for lap in 0..1_000u64 {
+            for i in 0..3 {
+                h.enqueue(lap * 3 + i).unwrap();
+            }
+            for i in 0..3 {
+                assert_eq!(h.dequeue(), Some(lap * 3 + i));
+            }
+        }
+    }
+
+    #[test]
+    fn drop_frees_queued_values() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+        struct Tracked(Arc<AtomicUsize>);
+        impl Drop for Tracked {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let drops = Arc::new(AtomicUsize::new(0));
+        {
+            let q = ValoisQueue::<Tracked>::with_capacity(8);
+            let mut h = q.handle();
+            for _ in 0..5 {
+                h.enqueue(Tracked(drops.clone())).unwrap();
+            }
+            drop(h.dequeue());
+        }
+        assert_eq!(drops.load(Ordering::SeqCst), 5);
+    }
+
+    #[test]
+    fn mpmc_stress_no_loss_no_dup() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        const PRODUCERS: u64 = 3;
+        const CONSUMERS: u64 = 3;
+        const PER_PRODUCER: u64 = 1_000;
+        let q = ValoisQueue::<u64>::with_capacity(64);
+        let seen = Mutex::new(HashSet::new());
+        std::thread::scope(|s| {
+            for p in 0..PRODUCERS {
+                let q = &q;
+                s.spawn(move || {
+                    let mut h = q.handle();
+                    for i in 0..PER_PRODUCER {
+                        while h.enqueue(p * PER_PRODUCER + i).is_err() {
+                            std::thread::yield_now();
+                        }
+                    }
+                });
+            }
+            for _ in 0..CONSUMERS {
+                let q = &q;
+                let seen = &seen;
+                s.spawn(move || {
+                    let mut h = q.handle();
+                    let mut got = Vec::new();
+                    let target = PRODUCERS * PER_PRODUCER / CONSUMERS;
+                    while (got.len() as u64) < target {
+                        if let Some(v) = h.dequeue() {
+                            got.push(v);
+                        } else {
+                            std::thread::yield_now();
+                        }
+                    }
+                    let mut s = seen.lock().unwrap();
+                    for v in got {
+                        assert!(s.insert(v), "duplicate {v}");
+                    }
+                });
+            }
+        });
+        assert_eq!(seen.lock().unwrap().len() as u64, PRODUCERS * PER_PRODUCER);
+    }
+
+    #[test]
+    fn single_producer_single_consumer_order() {
+        const ITEMS: u64 = 1_500;
+        let q = ValoisQueue::<u64>::with_capacity(16);
+        std::thread::scope(|s| {
+            {
+                let q = &q;
+                s.spawn(move || {
+                    let mut h = q.handle();
+                    for i in 0..ITEMS {
+                        while h.enqueue(i).is_err() {
+                            std::thread::yield_now();
+                        }
+                    }
+                });
+            }
+            let mut h = q.handle();
+            let mut expected = 0;
+            while expected < ITEMS {
+                if let Some(v) = h.dequeue() {
+                    assert_eq!(v, expected, "FIFO violated");
+                    expected += 1;
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+        });
+    }
+}

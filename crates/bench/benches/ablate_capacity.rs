@@ -1,0 +1,80 @@
+//! Ablation bench `abl-capacity`: array capacity vs running time for the
+//! CAS queue (the §3 design-space point — a larger array spreads
+//! contention across slots but the paper's algorithms do not *require*
+//! oversizing for correctness, unlike Tsigas–Zhang's preemption bound).
+//! Includes backoff on/off at a fixed capacity (`abl-backoff`).
+
+use criterion::{BenchmarkId, Criterion};
+use nbq_bench::{bench_config, criterion};
+use nbq_core::{CasQueue, CasQueueConfig, GatePolicy, LlScQueue, LlScQueueConfig};
+use nbq_harness::run_once;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("abl_capacity");
+    for capacity in [32usize, 128, 1024, 8192] {
+        group.bench_with_input(
+            BenchmarkId::new("cas_queue", capacity),
+            &capacity,
+            |b, &capacity| {
+                let mut cfg = bench_config(4);
+                cfg.capacity = capacity;
+                b.iter_custom(|iters| {
+                    let mut total = std::time::Duration::ZERO;
+                    for _ in 0..iters {
+                        let q = CasQueue::<u64>::with_capacity(capacity);
+                        total += std::time::Duration::from_secs_f64(run_once(&q, &cfg));
+                    }
+                    total
+                })
+            },
+        );
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("abl_backoff");
+    for backoff in [true, false] {
+        let label = if backoff { "on" } else { "off" };
+        group.bench_with_input(
+            BenchmarkId::new("cas_queue", label),
+            &backoff,
+            |b, &backoff| {
+                let cfg = bench_config(4);
+                b.iter_custom(|iters| {
+                    let mut total = std::time::Duration::ZERO;
+                    for _ in 0..iters {
+                        let q = CasQueue::<u64>::with_config(cfg.capacity, CasQueueConfig {
+                            backoff,
+                            gate: GatePolicy::PerLink,
+                        });
+                        total += std::time::Duration::from_secs_f64(run_once(&q, &cfg));
+                    }
+                    total
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("llsc_queue", label),
+            &backoff,
+            |b, &backoff| {
+                let cfg = bench_config(4);
+                b.iter_custom(|iters| {
+                    let mut total = std::time::Duration::ZERO;
+                    for _ in 0..iters {
+                        let q = LlScQueue::<u64>::with_config(cfg.capacity, LlScQueueConfig {
+                            backoff,
+                        });
+                        total += std::time::Duration::from_secs_f64(run_once(&q, &cfg));
+                    }
+                    total
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn main() {
+    let mut c = criterion();
+    bench(&mut c);
+    c.final_summary();
+}

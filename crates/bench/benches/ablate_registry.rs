@@ -1,0 +1,56 @@
+//! Ablation bench `abl-reregister`: the cost of the corrected
+//! ReRegister-per-link gate (DESIGN.md errata) versus the paper's
+//! ReRegister-per-operation protocol, plus raw registry operation costs.
+
+use criterion::{BenchmarkId, Criterion};
+use nbq_bench::{bench_config, criterion};
+use nbq_core::{CasQueue, CasQueueConfig, GatePolicy};
+use nbq_harness::run_once;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("abl_reregister");
+    for threads in [1usize, 2, 4] {
+        for (label, gate) in [
+            ("per-link", GatePolicy::PerLink),
+            ("per-operation", GatePolicy::PerOperation),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(label, threads),
+                &threads,
+                |b, &threads| {
+                    let cfg = bench_config(threads);
+                    b.iter_custom(|iters| {
+                        let mut total = std::time::Duration::ZERO;
+                        for _ in 0..iters {
+                            let q = CasQueue::<u64>::with_config(cfg.capacity, CasQueueConfig {
+                                backoff: true,
+                                gate,
+                            });
+                            total += std::time::Duration::from_secs_f64(run_once(&q, &cfg));
+                        }
+                        total
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+
+    // Raw handle churn: Register/Deregister cost (population-oblivious
+    // recycling fast path).
+    let mut group = c.benchmark_group("registry_ops");
+    group.bench_function("handle_create_drop", |b| {
+        let q = CasQueue::<u64>::with_capacity(64);
+        b.iter(|| {
+            let h = q.handle();
+            std::hint::black_box(&h);
+        })
+    });
+    group.finish();
+}
+
+fn main() {
+    let mut c = criterion();
+    bench(&mut c);
+    c.final_summary();
+}

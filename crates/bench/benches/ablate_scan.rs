@@ -1,0 +1,73 @@
+//! Ablation bench `abl-scan`: sorted vs unsorted hazard-list probing as
+//! the record count grows — the mechanism behind the paper's observation
+//! that sorting the hazard list pays off at moderate-to-high thread
+//! counts ("As the number of threads increases, so does the time to
+//! traverse all these variables, and hence the benefit of sorting them").
+
+use criterion::{BenchmarkId, Criterion};
+use nbq_bench::criterion;
+use std::hint::black_box;
+
+/// Synthetic hazard snapshot: 3 live hazards per record (what MS dequeue
+/// publishes), mixed hit/miss probes.
+fn hazards_for(records: usize) -> (Vec<usize>, Vec<usize>) {
+    let hazards: Vec<usize> = (0..records * 3)
+        .map(|i| (i.wrapping_mul(2654435761)) | 1)
+        .collect();
+    let probes: Vec<usize> = (0..256)
+        .map(|i| {
+            if i % 4 == 0 {
+                hazards[i % hazards.len()]
+            } else {
+                (i.wrapping_mul(40503)) | 1
+            }
+        })
+        .collect();
+    (hazards, probes)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("abl_scan");
+    for records in [2usize, 8, 32, 128, 512] {
+        let (hazards, probes) = hazards_for(records);
+        group.bench_with_input(
+            BenchmarkId::new("sorted", records),
+            &records,
+            |b, _| {
+                b.iter(|| {
+                    let mut sorted = hazards.clone();
+                    sorted.sort_unstable();
+                    let mut found = 0usize;
+                    for &p in &probes {
+                        if sorted.binary_search(&p).is_ok() {
+                            found += 1;
+                        }
+                    }
+                    black_box(found)
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("unsorted", records),
+            &records,
+            |b, _| {
+                b.iter(|| {
+                    let mut found = 0usize;
+                    for &p in &probes {
+                        if hazards.contains(&p) {
+                            found += 1;
+                        }
+                    }
+                    black_box(found)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn main() {
+    let mut c = criterion();
+    bench(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,86 @@
+//! Bench target for the paper's in-text T2: relative costs of the atomic
+//! primitives the competing queues are built from ("a 64-bit CAS roughly
+//! takes 4.5 more time than its 32-bit counterpart on the AMD" — a 32-bit-
+//! era artifact; here we measure the same mixes on a 64-bit host).
+
+use criterion::Criterion;
+use nbq_bench::criterion;
+use nbq_llsc::VersionedCell;
+use std::hint::black_box;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("t2_cas_width");
+
+    group.bench_function("cas_u32_success", |b| {
+        let a = AtomicU32::new(0);
+        let mut v = 0u32;
+        b.iter(|| {
+            let _ = black_box(a.compare_exchange(
+                v,
+                v.wrapping_add(1),
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            ));
+            v = v.wrapping_add(1);
+        })
+    });
+
+    group.bench_function("cas_u64_success", |b| {
+        let a = AtomicU64::new(0);
+        let mut v = 0u64;
+        b.iter(|| {
+            let _ = black_box(a.compare_exchange(
+                v,
+                v.wrapping_add(1),
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            ));
+            v = v.wrapping_add(1);
+        })
+    });
+
+    group.bench_function("cas_u64_failure", |b| {
+        let a = AtomicU64::new(u64::MAX);
+        b.iter(|| {
+            let _ = black_box(a.compare_exchange(0, 1, Ordering::SeqCst, Ordering::SeqCst));
+        })
+    });
+
+    group.bench_function("fetch_add_u32", |b| {
+        let a = AtomicU32::new(0);
+        b.iter(|| black_box(a.fetch_add(1, Ordering::SeqCst)))
+    });
+
+    group.bench_function("versioned_cell_ll_sc", |b| {
+        let cell = VersionedCell::new(0);
+        b.iter(|| {
+            let (v, t) = cell.ll();
+            black_box(cell.sc(t, (v + 2) & nbq_llsc::VALUE_MASK))
+        })
+    });
+
+    group.bench_function("alg2_bill_3cas_2faa", |b| {
+        // The paper's accounting for Algorithm 2: "three 32-bit CAS and
+        // two FetchAndAdd operations" per queue op (pointer-wide here).
+        let slot = AtomicU64::new(0);
+        let refc = AtomicU32::new(1);
+        let mut cur = 0u64;
+        b.iter(|| {
+            refc.fetch_add(1, Ordering::SeqCst);
+            let _ = slot.compare_exchange(cur, cur | 1, Ordering::SeqCst, Ordering::SeqCst);
+            let _ = slot.compare_exchange(cur | 1, cur + 2, Ordering::SeqCst, Ordering::SeqCst);
+            let _ = slot.compare_exchange(cur + 2, cur + 2, Ordering::SeqCst, Ordering::SeqCst);
+            refc.fetch_sub(1, Ordering::SeqCst);
+            cur += 2;
+        })
+    });
+
+    group.finish();
+}
+
+fn main() {
+    let mut c = criterion();
+    bench(&mut c);
+    c.final_summary();
+}

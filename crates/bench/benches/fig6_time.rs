@@ -1,0 +1,73 @@
+//! Bench target for the paper's Fig. 6(a)/(b): running time of the §6
+//! workload per algorithm and thread count. (The normalized panels (c)/(d)
+//! are a post-processing of the same measurements — `repro fig6c/fig6d`
+//! prints them directly.)
+
+use criterion::{BenchmarkId, Criterion};
+use nbq_bench::{bench_config, criterion, BENCH_THREADS};
+use nbq_harness::{run_once, Algo, AMD_SET, POWERPC_SET};
+
+fn bench_set(c: &mut Criterion, group_name: &str, set: &[Algo]) {
+    let mut group = c.benchmark_group(group_name);
+    for &threads in BENCH_THREADS {
+        let cfg = bench_config(threads);
+        group.throughput(criterion::Throughput::Elements(cfg.total_ops()));
+        for &algo in set {
+            group.bench_with_input(
+                BenchmarkId::new(algo.name(), threads),
+                &threads,
+                |b, &threads| {
+                    let cfg = bench_config(threads);
+                    b.iter_custom(|iters| {
+                        let mut total = std::time::Duration::ZERO;
+                        for _ in 0..iters {
+                            // Fresh queue per run, as in the paper.
+                            let secs = match algo {
+                                Algo::CasQueue => run_once(
+                                    &nbq_core::CasQueue::<u64>::with_capacity(cfg.capacity),
+                                    &cfg,
+                                ),
+                                Algo::LlScQueue => run_once(
+                                    &nbq_core::LlScQueue::<u64>::with_capacity(cfg.capacity),
+                                    &cfg,
+                                ),
+                                Algo::MsHpSorted => run_once(
+                                    &nbq_baselines::MsQueue::<u64>::new(
+                                        nbq_baselines::ScanMode::Sorted,
+                                    ),
+                                    &cfg,
+                                ),
+                                Algo::MsHpUnsorted => run_once(
+                                    &nbq_baselines::MsQueue::<u64>::new(
+                                        nbq_baselines::ScanMode::Unsorted,
+                                    ),
+                                    &cfg,
+                                ),
+                                Algo::MsDoherty => {
+                                    run_once(&nbq_baselines::MsDohertyQueue::<u64>::new(), &cfg)
+                                }
+                                Algo::Shann => run_once(
+                                    &nbq_baselines::ShannQueue::<u64>::with_capacity(
+                                        cfg.capacity,
+                                    ),
+                                    &cfg,
+                                ),
+                                _ => unreachable!("not in the figure sets"),
+                            };
+                            total += std::time::Duration::from_secs_f64(secs);
+                        }
+                        total
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn main() {
+    let mut c = criterion();
+    bench_set(&mut c, "fig6a_powerpc_set", POWERPC_SET);
+    bench_set(&mut c, "fig6b_amd_set", AMD_SET);
+    c.final_summary();
+}

@@ -1,0 +1,66 @@
+//! Bench target for the paper's in-text T1: single-thread, uncontended
+//! overhead of each synchronized queue relative to an unsynchronized
+//! sequential queue ("our LL/SC and CAS-based implementations are
+//! respectively 12% and 50% slower on the PowerPC, and the CAS-based
+//! implementation is 90% slower on the AMD").
+
+use criterion::{BenchmarkId, Criterion};
+use nbq_baselines::{MsQueue, ScanMode, SeqQueue, ShannQueue, TsigasZhangQueue};
+use nbq_bench::criterion;
+use nbq_core::{CasQueue, LlScQueue};
+use nbq_util::{ConcurrentQueue, QueueHandle};
+
+const OPS: u64 = 1_000;
+
+/// One enqueue-5/dequeue-5 burst loop through a fresh handle.
+fn burst_loop<Q: ConcurrentQueue<u64>>(queue: &Q) {
+    let mut h = queue.handle();
+    for i in 0..OPS {
+        for j in 0..5 {
+            h.enqueue(i * 5 + j).unwrap();
+        }
+        for _ in 0..5 {
+            assert!(h.dequeue().is_some());
+        }
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("t1_single_thread_overhead");
+    group.throughput(criterion::Throughput::Elements(OPS * 10));
+
+    group.bench_function(BenchmarkId::new("Sequential (unsynchronized)", 1), |b| {
+        b.iter_batched(
+            || SeqQueue::<u64>::with_capacity(64),
+            |q| burst_loop(&q),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.bench_function(BenchmarkId::new("FIFO Array LL/SC", 1), |b| {
+        let q = LlScQueue::<u64>::with_capacity(64);
+        b.iter(|| burst_loop(&q))
+    });
+    group.bench_function(BenchmarkId::new("FIFO Array Simulated CAS", 1), |b| {
+        let q = CasQueue::<u64>::with_capacity(64);
+        b.iter(|| burst_loop(&q))
+    });
+    group.bench_function(BenchmarkId::new("Shann et al. (CAS64)", 1), |b| {
+        let q = ShannQueue::<u64>::with_capacity(64);
+        b.iter(|| burst_loop(&q))
+    });
+    group.bench_function(BenchmarkId::new("Tsigas-Zhang style", 1), |b| {
+        let q = TsigasZhangQueue::<u64>::with_capacity(64);
+        b.iter(|| burst_loop(&q))
+    });
+    group.bench_function(BenchmarkId::new("MS-Hazard Pointers Sorted", 1), |b| {
+        let q = MsQueue::<u64>::new(ScanMode::Sorted);
+        b.iter(|| burst_loop(&q))
+    });
+    group.finish();
+}
+
+fn main() {
+    let mut c = criterion();
+    bench(&mut c);
+    c.final_summary();
+}

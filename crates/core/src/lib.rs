@@ -1,0 +1,58 @@
+//! The paper's primary contribution: two non-blocking bounded MPMC FIFO
+//! queues over a circular array, using only single-word synchronization
+//! primitives.
+//!
+//! * [`LlScQueue`] — Algorithm 1 (paper Fig. 3), driven by load-linked/
+//!   store-conditional with the full Fig. 2 semantics (emulated by
+//!   [`nbq_llsc::VersionedCell`] on CAS-only hardware). Immune to all
+//!   three ABA problems of §3 by construction; keeps **no per-thread
+//!   state**, so its space consumption depends only on the queue capacity.
+//! * [`CasQueue`] — Algorithm 2 (paper Fig. 5), driven by plain
+//!   pointer-wide CAS plus fetch-and-add. Simulates the LL with tagged
+//!   thread-owned [`registry::LlScVar`] reservations; space consumption is
+//!   `O(capacity + max concurrent threads)` and — like Algorithm 1 —
+//!   requires **no advance knowledge of the thread count**
+//!   (population-oblivious).
+//!
+//! Both implement [`nbq_util::ConcurrentQueue`], the workspace-wide trait
+//! the harness and tests drive every algorithm through.
+//!
+//! ```
+//! use nbq_core::CasQueue;
+//! use nbq_util::{ConcurrentQueue, QueueHandle};
+//!
+//! let q = CasQueue::<u64>::with_capacity(16);
+//! std::thread::scope(|s| {
+//!     s.spawn(|| {
+//!         let mut h = q.handle();
+//!         for i in 0..100 {
+//!             while h.enqueue(i).is_err() {}
+//!         }
+//!     });
+//!     s.spawn(|| {
+//!         let mut h = q.handle();
+//!         let mut last = None;
+//!         let mut n = 0;
+//!         while n < 100 {
+//!             if let Some(v) = h.dequeue() {
+//!                 assert!(last.is_none_or(|l| l < v)); // FIFO per producer
+//!                 last = Some(v);
+//!                 n += 1;
+//!             }
+//!         }
+//!     });
+//! });
+//! ```
+
+#![warn(missing_docs)]
+
+mod node;
+
+pub mod cas_queue;
+pub mod llsc_queue;
+pub mod opstats;
+pub mod registry;
+
+pub use cas_queue::{CasHandle, CasQueue, CasQueueConfig, GatePolicy};
+pub use llsc_queue::{LlScHandle, LlScQueue, LlScQueueConfig};
+pub use opstats::{OpStats, OpStatsSnapshot};

@@ -1,0 +1,526 @@
+//! Algorithm 1 (paper Fig. 3): the LL/SC circular-array FIFO queue.
+//!
+//! The queue is a power-of-two array of LL/SC cells plus two unbounded
+//! `Head`/`Tail` counters. A slot holds a node address or `null`; `Head`
+//! is the logical index of the oldest item, `Tail` of the next free slot.
+//! `index mod capacity` locates the slot; letting the counters run free
+//! (only ever incremented) dissolves the index-ABA problem of the paper's
+//! Fig. 1.
+//!
+//! The LL/SC pair on the slot, combined with re-validating the index
+//! (`t == Tail` at line E10 / `h == Head` at D10), eliminates the data-ABA
+//! and null-ABA problems outright: an SC fails if *anything* wrote the slot
+//! since the LL, so a preempted thread can never install or remove a value
+//! based on a stale view (the Fig. 4 scenario).
+//!
+//! Helping makes the queue lock-free rather than merely obstruction-free:
+//! a thread that finds the slot in the "wrong" state concludes the index is
+//! lagging behind a preempted peer's half-finished operation and advances
+//! the index on the peer's behalf (lines E12–13 / D12–13).
+//!
+//! ## Mapping from the paper's pseudocode
+//!
+//! | Paper | Here |
+//! |---|---|
+//! | `LL(&Q[tail]) / SC(&Q[tail], node)` | [`LlScCell::ll`]/[`LlScCell::sc`] on the slot |
+//! | `if (LL(&Tail) == t) SC(&Tail, t+1)` | `tail.compare_exchange(t, t+1)` — for a *monotonically increasing* counter the LL/SC pair and a CAS are equivalent (the counter can never return to `t` after leaving it, so CAS's ABA blind spot is vacuous). This is also why the paper's own Algorithm 2 uses a plain CAS here. |
+//! | `t == Head + Q_LENGTH` | `t == head + capacity` with wrapping arithmetic (erratum 3 in DESIGN.md) |
+//!
+//! The queue is generic over the cell type so the test suite can run the
+//! *same algorithm* over the strong emulation, the spurious-failure
+//! emulation, and the Fig. 2 oracle.
+
+use crate::node::{node_from_raw, node_into_raw, NULL};
+use core::marker::PhantomData;
+use core::sync::atomic::{AtomicU64, Ordering};
+use nbq_llsc::{LlScCell, VersionedCell};
+use nbq_util::{Backoff, CachePadded, ConcurrentQueue, Full, QueueHandle};
+
+/// Tuning knobs (ablation points, see DESIGN.md `abl-backoff`).
+#[derive(Debug, Clone, Copy)]
+pub struct LlScQueueConfig {
+    /// Exponential backoff after a contended SC failure. The paper's
+    /// pseudocode retries immediately; backoff is our (measured) addition.
+    pub backoff: bool,
+}
+
+impl Default for LlScQueueConfig {
+    fn default() -> Self {
+        Self { backoff: true }
+    }
+}
+
+/// Algorithm 1: non-blocking bounded MPMC FIFO over LL/SC cells.
+///
+/// `C` is the LL/SC cell implementation; the default
+/// [`VersionedCell`] is the production strong emulation.
+pub struct LlScQueue<T, C: LlScCell = VersionedCell> {
+    slots: Box<[C]>,
+    head: CachePadded<AtomicU64>,
+    tail: CachePadded<AtomicU64>,
+    mask: u64,
+    capacity: u64,
+    config: LlScQueueConfig,
+    _marker: PhantomData<T>,
+}
+
+// SAFETY: values are owned by the queue while in slots; handing a value to
+// another thread through the queue requires T: Send. Cells are Sync.
+unsafe impl<T: Send, C: LlScCell> Send for LlScQueue<T, C> {}
+unsafe impl<T: Send, C: LlScCell> Sync for LlScQueue<T, C> {}
+
+impl<T: Send> LlScQueue<T> {
+    /// Creates a queue over [`VersionedCell`]s with room for at least
+    /// `capacity` items (rounded up to a power of two, minimum 2).
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self::with_cells(capacity, LlScQueueConfig::default(), |_, v| {
+            VersionedCell::new(v)
+        })
+    }
+
+    /// [`Self::with_capacity`] with explicit tuning.
+    pub fn with_config(capacity: usize, config: LlScQueueConfig) -> Self {
+        Self::with_cells(capacity, config, |_, v| VersionedCell::new(v))
+    }
+}
+
+impl<T: Send, C: LlScCell> LlScQueue<T, C> {
+    /// Creates a queue whose slot cells are built by `factory`
+    /// (index, initial value) — the hook the fault-injection and oracle
+    /// tests use.
+    pub fn with_cells(
+        capacity: usize,
+        config: LlScQueueConfig,
+        factory: impl Fn(usize, u64) -> C,
+    ) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        let cap = capacity.next_power_of_two().max(2);
+        let slots: Box<[C]> = (0..cap).map(|i| factory(i, NULL)).collect();
+        Self {
+            slots,
+            head: CachePadded::new(AtomicU64::new(0)),
+            tail: CachePadded::new(AtomicU64::new(0)),
+            mask: (cap - 1) as u64,
+            capacity: cap as u64,
+            config,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Number of slots (power of two ≥ requested capacity).
+    pub fn capacity(&self) -> usize {
+        self.capacity as usize
+    }
+
+    /// Approximate number of queued items (exact when quiescent).
+    pub fn len(&self) -> usize {
+        let t = self.tail.load(Ordering::SeqCst);
+        let h = self.head.load(Ordering::SeqCst);
+        t.wrapping_sub(h).min(self.capacity) as usize
+    }
+
+    /// True when the queue appears empty (exact when quiescent).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Registers the calling thread. Algorithm 1 keeps no per-thread
+    /// state, so the handle is a thin reference plus a backoff counter.
+    pub fn handle(&self) -> LlScHandle<'_, T, C> {
+        LlScHandle { queue: self }
+    }
+
+    /// Fig. 3 `Enqueue`, operating on raw node words.
+    fn enqueue_raw(&self, node: u64) -> Result<(), u64> {
+        let mut backoff = if self.config.backoff {
+            Backoff::new()
+        } else {
+            Backoff::disabled()
+        };
+        loop {
+            let t = self.tail.load(Ordering::SeqCst); // E5
+            // E6: full test. Reading Head *after* Tail is load-bearing:
+            // Head is monotone, so head >= (true head when t was read),
+            // hence t <= head + capacity always, and strict equality is the
+            // only full indication (see the invariant argument in
+            // DESIGN.md §1 / the module docs).
+            if t == self.head.load(Ordering::SeqCst).wrapping_add(self.capacity) {
+                return Err(node); // E7
+            }
+            let idx = (t & self.mask) as usize; // E8
+            let (slot, token) = self.slots[idx].ll(); // E9
+            if t == self.tail.load(Ordering::SeqCst) {
+                // E10: Tail unchanged since E5 → the slot we linked is the
+                // one Tail designates (defeats null-ABA).
+                if slot != NULL {
+                    // E11–E13: a peer stored its item but was preempted
+                    // before advancing Tail; help it. (CAS ≡ LL/SC on a
+                    // monotone counter, see module docs.)
+                    let _ = self.tail.compare_exchange(
+                        t,
+                        t.wrapping_add(1),
+                        Ordering::SeqCst,
+                        Ordering::Relaxed,
+                    );
+                } else if self.slots[idx].sc(token, node) {
+                    // E15–E18: item in; advance Tail (best effort — a
+                    // failed CAS means someone helped us).
+                    let _ = self.tail.compare_exchange(
+                        t,
+                        t.wrapping_add(1),
+                        Ordering::SeqCst,
+                        Ordering::Relaxed,
+                    );
+                    return Ok(());
+                } else {
+                    // SC lost a race (or failed spuriously on a WeakCell).
+                    backoff.snooze();
+                }
+            }
+        }
+    }
+
+    /// Fig. 3 `Dequeue`, returning the raw node word.
+    fn dequeue_raw(&self) -> Option<u64> {
+        let mut backoff = if self.config.backoff {
+            Backoff::new()
+        } else {
+            Backoff::disabled()
+        };
+        loop {
+            let h = self.head.load(Ordering::SeqCst); // D5
+            if h == self.tail.load(Ordering::SeqCst) {
+                return None; // D6–D7: empty
+            }
+            let idx = (h & self.mask) as usize; // D8
+            let (slot, token) = self.slots[idx].ll(); // D9
+            if h == self.head.load(Ordering::SeqCst) {
+                // D10: Head unchanged → this is still the oldest item
+                // (defeats the Fig. 4 wrap-around scenario).
+                if slot == NULL {
+                    // D11–D13: item already removed, Head lagging; help.
+                    let _ = self.head.compare_exchange(
+                        h,
+                        h.wrapping_add(1),
+                        Ordering::SeqCst,
+                        Ordering::Relaxed,
+                    );
+                } else if self.slots[idx].sc(token, NULL) {
+                    // D15–D18: removed; advance Head (best effort).
+                    let _ = self.head.compare_exchange(
+                        h,
+                        h.wrapping_add(1),
+                        Ordering::SeqCst,
+                        Ordering::Relaxed,
+                    );
+                    return Some(slot);
+                } else {
+                    backoff.snooze();
+                }
+            }
+        }
+    }
+}
+
+impl<T, C: LlScCell> Drop for LlScQueue<T, C> {
+    fn drop(&mut self) {
+        // Exclusive access: free every still-queued node.
+        for cell in self.slots.iter() {
+            let v = cell.load();
+            if v != NULL {
+                // SAFETY: non-null slot words are uniquely-owned node
+                // addresses created by node_into_raw::<T>.
+                drop(unsafe { node_from_raw::<T>(v) });
+            }
+        }
+    }
+}
+
+/// Per-thread handle for [`LlScQueue`].
+pub struct LlScHandle<'q, T, C: LlScCell = VersionedCell> {
+    queue: &'q LlScQueue<T, C>,
+}
+
+impl<T: Send, C: LlScCell> QueueHandle<T> for LlScHandle<'_, T, C> {
+    fn enqueue(&mut self, value: T) -> Result<(), Full<T>> {
+        let node = node_into_raw(value);
+        self.queue.enqueue_raw(node).map_err(|n| {
+            // SAFETY: the queue rejected the word; we still own it.
+            Full(unsafe { node_from_raw::<T>(n) })
+        })
+    }
+
+    fn dequeue(&mut self) -> Option<T> {
+        self.queue
+            .dequeue_raw()
+            // SAFETY: a successful SC(slot, null) transferred ownership of
+            // the node word to this thread exclusively.
+            .map(|n| unsafe { node_from_raw::<T>(n) })
+    }
+}
+
+impl<T: Send, C: LlScCell> ConcurrentQueue<T> for LlScQueue<T, C> {
+    type Handle<'q>
+        = LlScHandle<'q, T, C>
+    where
+        Self: 'q;
+
+    fn handle(&self) -> Self::Handle<'_> {
+        LlScQueue::handle(self)
+    }
+
+    fn capacity(&self) -> Option<usize> {
+        Some(self.capacity())
+    }
+
+    fn algorithm_name(&self) -> &'static str {
+        "FIFO Array LL/SC"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nbq_llsc::{FaultPlan, OracleCell, WeakCell};
+
+    #[test]
+    fn fifo_order_single_thread() {
+        let q = LlScQueue::<u32>::with_capacity(8);
+        let mut h = q.handle();
+        for i in 0..8 {
+            h.enqueue(i).unwrap();
+        }
+        for i in 0..8 {
+            assert_eq!(h.dequeue(), Some(i));
+        }
+        assert_eq!(h.dequeue(), None);
+    }
+
+    #[test]
+    fn capacity_rounds_to_power_of_two() {
+        let q = LlScQueue::<u8>::with_capacity(5);
+        assert_eq!(q.capacity(), 8);
+        let q = LlScQueue::<u8>::with_capacity(1);
+        assert_eq!(q.capacity(), 2);
+        let q = LlScQueue::<u8>::with_capacity(16);
+        assert_eq!(q.capacity(), 16);
+    }
+
+    #[test]
+    fn full_queue_rejects_and_returns_value() {
+        let q = LlScQueue::<String>::with_capacity(2);
+        let mut h = q.handle();
+        h.enqueue("a".into()).unwrap();
+        h.enqueue("b".into()).unwrap();
+        let err = h.enqueue("c".into()).unwrap_err();
+        assert_eq!(err.into_inner(), "c");
+        assert_eq!(h.dequeue().as_deref(), Some("a"));
+        h.enqueue("c".into()).unwrap();
+        assert_eq!(h.dequeue().as_deref(), Some("b"));
+        assert_eq!(h.dequeue().as_deref(), Some("c"));
+    }
+
+    #[test]
+    fn wraparound_many_laps() {
+        let q = LlScQueue::<u64>::with_capacity(4);
+        let mut h = q.handle();
+        for lap in 0..1000u64 {
+            for i in 0..3 {
+                h.enqueue(lap * 3 + i).unwrap();
+            }
+            for i in 0..3 {
+                assert_eq!(h.dequeue(), Some(lap * 3 + i));
+            }
+        }
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn len_tracks_occupancy() {
+        let q = LlScQueue::<u8>::with_capacity(8);
+        let mut h = q.handle();
+        assert_eq!(q.len(), 0);
+        for i in 0..5 {
+            h.enqueue(i).unwrap();
+        }
+        assert_eq!(q.len(), 5);
+        h.dequeue();
+        assert_eq!(q.len(), 4);
+    }
+
+    #[test]
+    fn drop_frees_queued_values() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+        struct Tracked(Arc<AtomicUsize>);
+        impl Drop for Tracked {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let drops = Arc::new(AtomicUsize::new(0));
+        {
+            let q = LlScQueue::<Tracked>::with_capacity(8);
+            let mut h = q.handle();
+            for _ in 0..6 {
+                h.enqueue(Tracked(drops.clone())).unwrap();
+            }
+            drop(h.dequeue()); // one dropped by the consumer
+            assert_eq!(drops.load(Ordering::SeqCst), 1);
+        }
+        assert_eq!(drops.load(Ordering::SeqCst), 6, "queue drop frees the rest");
+    }
+
+    #[test]
+    fn works_over_weak_cells_with_spurious_failures() {
+        let q: LlScQueue<u32, WeakCell> =
+            LlScQueue::with_cells(8, LlScQueueConfig::default(), |_, v| {
+                WeakCell::new(v, FaultPlan::Probability {
+                    seed: 1234,
+                    num: 1,
+                    den: 3,
+                })
+            });
+        let mut h = q.handle();
+        for round in 0..50 {
+            for i in 0..6 {
+                h.enqueue(round * 6 + i).unwrap();
+            }
+            for i in 0..6 {
+                assert_eq!(h.dequeue(), Some(round * 6 + i));
+            }
+        }
+    }
+
+    #[test]
+    fn works_over_the_fig2_oracle() {
+        let q: LlScQueue<u32, OracleCell> =
+            LlScQueue::with_cells(4, LlScQueueConfig::default(), |_, v| OracleCell::new(v));
+        let mut h = q.handle();
+        for i in 0..100 {
+            h.enqueue(i).unwrap();
+            assert_eq!(h.dequeue(), Some(i));
+        }
+    }
+
+    #[test]
+    fn backoff_disabled_still_correct() {
+        let q = LlScQueue::<u32>::with_config(4, LlScQueueConfig { backoff: false });
+        let mut h = q.handle();
+        for i in 0..100 {
+            h.enqueue(i).unwrap();
+            assert_eq!(h.dequeue(), Some(i));
+        }
+    }
+
+    #[test]
+    fn mpmc_stress_no_loss_no_dup() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        const PRODUCERS: u64 = 4;
+        const CONSUMERS: u64 = 4;
+        const PER_PRODUCER: u64 = 2_000;
+        let q = LlScQueue::<u64>::with_capacity(64);
+        let seen = Mutex::new(HashSet::new());
+        std::thread::scope(|s| {
+            for p in 0..PRODUCERS {
+                let q = &q;
+                s.spawn(move || {
+                    let mut h = q.handle();
+                    for i in 0..PER_PRODUCER {
+                        let v = p * PER_PRODUCER + i;
+                        while h.enqueue(v).is_err() {
+                            std::thread::yield_now();
+                        }
+                    }
+                });
+            }
+            for _ in 0..CONSUMERS {
+                let q = &q;
+                let seen = &seen;
+                s.spawn(move || {
+                    let mut h = q.handle();
+                    let mut got = Vec::new();
+                    let target = PRODUCERS * PER_PRODUCER / CONSUMERS;
+                    while (got.len() as u64) < target {
+                        if let Some(v) = h.dequeue() {
+                            got.push(v);
+                        } else {
+                            std::thread::yield_now();
+                        }
+                    }
+                    let mut s = seen.lock().unwrap();
+                    for v in got {
+                        assert!(s.insert(v), "duplicate value {v}");
+                    }
+                });
+            }
+        });
+        assert_eq!(
+            seen.lock().unwrap().len() as u64,
+            PRODUCERS * PER_PRODUCER,
+            "every value dequeued exactly once"
+        );
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn per_producer_order_is_preserved() {
+        // FIFO: a single producer's items must come out in insertion order
+        // regardless of how many consumers compete. A shared atomic count
+        // of consumed items is the consumers' exit condition (any
+        // consumer-local scheme can livelock both consumers against each
+        // other).
+        use std::sync::atomic::{AtomicU64, Ordering};
+        const ITEMS: u64 = 5_000;
+        let q = LlScQueue::<u64>::with_capacity(32);
+        let consumed = AtomicU64::new(0);
+        let order = std::sync::Mutex::new(Vec::new());
+        std::thread::scope(|s| {
+            let q1 = &q;
+            s.spawn(move || {
+                let mut h = q1.handle();
+                for i in 0..ITEMS {
+                    while h.enqueue(i).is_err() {
+                        std::thread::yield_now();
+                    }
+                }
+            });
+            for _ in 0..2 {
+                let q = &q;
+                let order = &order;
+                let consumed = &consumed;
+                s.spawn(move || {
+                    let mut h = q.handle();
+                    let mut local = Vec::new();
+                    loop {
+                        match h.dequeue() {
+                            Some(v) => {
+                                local.push(v);
+                                consumed.fetch_add(1, Ordering::Relaxed);
+                            }
+                            None => {
+                                if consumed.load(Ordering::Relaxed) >= ITEMS {
+                                    break;
+                                }
+                                std::thread::yield_now();
+                            }
+                        }
+                    }
+                    order.lock().unwrap().push(local);
+                });
+            }
+        });
+        let batches = order.into_inner().unwrap();
+        let mut all: Vec<u64> = Vec::new();
+        for batch in &batches {
+            assert!(
+                batch.windows(2).all(|w| w[0] < w[1]),
+                "each consumer sees the producer's items in order"
+            );
+            all.extend_from_slice(batch);
+        }
+        all.sort_unstable();
+        assert_eq!(all, (0..ITEMS).collect::<Vec<_>>());
+    }
+}

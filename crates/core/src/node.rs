@@ -1,0 +1,115 @@
+//! Heap node representation shared by both queue algorithms.
+//!
+//! Both algorithms store "a pointer to a data item or the value null" in
+//! each array slot, and Algorithm 2 additionally steals the least
+//! significant address bit as a reservation-tag flag ("modern 32- and
+//! 64-bit architectures allocate memory blocks at addresses that are evenly
+//! dividable by 2; therefore, the least significant bit of a valid address
+//! is always 0"). A `Box<T>` for an align-1 `T` (e.g. `u8`) would violate
+//! that, so values are wrapped in an 8-byte-aligned [`QNode`] before
+//! boxing. The LL/SC queue further requires addresses to fit in the
+//! 48 value bits of `nbq_llsc::VersionedCell`; every mainstream 64-bit ABI
+//! satisfies this for user-space heap addresses, and [`node_into_raw`]
+//! asserts it.
+
+/// Null slot marker. A real node address is nonzero (heap) and even
+/// (alignment), so `0` is unambiguous.
+pub(crate) const NULL: u64 = 0;
+
+/// Mask of address bits a node pointer may occupy (the `VersionedCell`
+/// value width).
+const NODE_ADDR_MASK: u64 = (1 << 48) - 1;
+
+/// Owning heap cell for a queued value.
+#[repr(align(8))]
+pub(crate) struct QNode<T> {
+    value: T,
+}
+
+/// Boxes `value` and returns its address as a slot word.
+///
+/// The result is nonzero, even, and fits in 48 bits.
+pub(crate) fn node_into_raw<T>(value: T) -> u64 {
+    let addr = Box::into_raw(Box::new(QNode { value })) as u64;
+    debug_assert_ne!(addr, NULL);
+    debug_assert_eq!(addr & 1, 0, "QNode must be even-aligned");
+    assert_eq!(
+        addr & !NODE_ADDR_MASK,
+        0,
+        "heap address exceeds 48 bits; this platform cannot pack node \
+         pointers into a VersionedCell"
+    );
+    addr
+}
+
+/// Reclaims a slot word produced by [`node_into_raw`], returning the value.
+///
+/// # Safety
+///
+/// `addr` must come from `node_into_raw::<T>` with the same `T` and must
+/// not be reclaimed twice. The caller must own it exclusively (for the
+/// queues: it was removed from a slot by a successful SC/CAS).
+pub(crate) unsafe fn node_from_raw<T>(addr: u64) -> T {
+    debug_assert_ne!(addr, NULL);
+    debug_assert_eq!(addr & 1, 0, "attempted to unbox a tagged word");
+    // SAFETY: per the caller contract this is the unique owner of a
+    // Box<QNode<T>> created in node_into_raw.
+    unsafe { Box::from_raw(addr as *mut QNode<T>) }.value
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn round_trip_preserves_value() {
+        let addr = node_into_raw(String::from("hello"));
+        let s: String = unsafe { node_from_raw(addr) };
+        assert_eq!(s, "hello");
+    }
+
+    #[test]
+    fn addresses_are_even_and_48_bit() {
+        let addrs: Vec<u64> = (0..32).map(|i: u64| node_into_raw(i)).collect();
+        for &a in &addrs {
+            assert_ne!(a, 0);
+            assert_eq!(a & 1, 0);
+            assert_eq!(a >> 48, 0);
+        }
+        for a in addrs {
+            let _: u64 = unsafe { node_from_raw(a) };
+        }
+    }
+
+    #[test]
+    fn align_1_payloads_still_get_even_addresses() {
+        let a = node_into_raw(3u8);
+        assert_eq!(a & 1, 0);
+        assert_eq!(unsafe { node_from_raw::<u8>(a) }, 3);
+    }
+
+    #[test]
+    fn zero_sized_payloads_work() {
+        let a = node_into_raw(());
+        assert_ne!(a, 0);
+        assert_eq!(a & 1, 0);
+        unsafe { node_from_raw::<()>(a) };
+    }
+
+    #[test]
+    fn drop_runs_exactly_once() {
+        struct Tracked(Arc<AtomicUsize>);
+        impl Drop for Tracked {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let drops = Arc::new(AtomicUsize::new(0));
+        let a = node_into_raw(Tracked(drops.clone()));
+        assert_eq!(drops.load(Ordering::SeqCst), 0);
+        drop(unsafe { node_from_raw::<Tracked>(a) });
+        assert_eq!(drops.load(Ordering::SeqCst), 1);
+    }
+}

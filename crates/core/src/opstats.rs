@@ -1,0 +1,100 @@
+//! Per-operation synchronization-instruction accounting.
+//!
+//! The paper argues about its algorithms in units of atomic instructions:
+//! "our CAS-based implementation requires three 32-bit CAS and two
+//! FetchAndAdd operations" per queue operation, against Shann's one wide
+//! CAS + one CAS, Michael–Scott's 1–2 successful CASes, and Doherty's
+//! "7 successful CAS instructions per queueing operation". [`OpStats`]
+//! lets a queue built with `with_stats` count exactly that, so the claim
+//! is *measured* here rather than quoted (experiment `t4-opcounts`).
+//!
+//! Counters are `Relaxed` and live behind an `Option`, so queues built
+//! through the normal constructors pay one well-predicted branch; the
+//! benchmark constructors never enable them.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Atomic-instruction counters for one queue instance.
+#[derive(Debug, Default)]
+pub struct OpStats {
+    /// CAS attempts on array slots (the simulated LL install, the "SC",
+    /// and restores).
+    pub slot_cas_attempts: AtomicU64,
+    /// Successful slot CASes.
+    pub slot_cas_successes: AtomicU64,
+    /// CAS attempts on the `Head`/`Tail` indices.
+    pub index_cas_attempts: AtomicU64,
+    /// Successful index CASes.
+    pub index_cas_successes: AtomicU64,
+    /// Fetch-and-add operations on `LLSCvar` reference counts.
+    pub faa_ops: AtomicU64,
+    /// Completed enqueue+dequeue operations (denominator).
+    pub operations: AtomicU64,
+    /// Help actions (advancing a lagging index on a peer's behalf).
+    pub helps: AtomicU64,
+}
+
+/// A point-in-time, per-operation view of the counters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OpStatsSnapshot {
+    /// Slot CAS attempts per completed operation.
+    pub slot_cas_attempts: f64,
+    /// Successful slot CASes per completed operation.
+    pub slot_cas_successes: f64,
+    /// Index CAS attempts per completed operation.
+    pub index_cas_attempts: f64,
+    /// Successful index CASes per completed operation.
+    pub index_cas_successes: f64,
+    /// Fetch-and-adds per completed operation.
+    pub faa_ops: f64,
+    /// Help actions per completed operation.
+    pub helps: f64,
+    /// Completed operations counted.
+    pub operations: u64,
+}
+
+impl OpStats {
+    #[inline]
+    pub(crate) fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Per-operation averages since construction.
+    pub fn snapshot(&self) -> OpStatsSnapshot {
+        let ops = self.operations.load(Ordering::Relaxed).max(1);
+        let per = |c: &AtomicU64| c.load(Ordering::Relaxed) as f64 / ops as f64;
+        OpStatsSnapshot {
+            slot_cas_attempts: per(&self.slot_cas_attempts),
+            slot_cas_successes: per(&self.slot_cas_successes),
+            index_cas_attempts: per(&self.index_cas_attempts),
+            index_cas_successes: per(&self.index_cas_successes),
+            faa_ops: per(&self.faa_ops),
+            helps: per(&self.helps),
+            operations: self.operations.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_divides_by_operations() {
+        let s = OpStats::default();
+        s.operations.store(4, Ordering::Relaxed);
+        s.slot_cas_attempts.store(12, Ordering::Relaxed);
+        s.faa_ops.store(8, Ordering::Relaxed);
+        let snap = s.snapshot();
+        assert_eq!(snap.slot_cas_attempts, 3.0);
+        assert_eq!(snap.faa_ops, 2.0);
+        assert_eq!(snap.operations, 4);
+    }
+
+    #[test]
+    fn snapshot_of_empty_stats_is_zero_not_nan() {
+        let snap = OpStats::default().snapshot();
+        assert_eq!(snap.slot_cas_attempts, 0.0);
+        assert_eq!(snap.operations, 0);
+    }
+}

@@ -1,0 +1,327 @@
+//! Thread-owned `LLSCvar` registry (paper §5, `Register` / `ReRegister` /
+//! `Deregister` — a simplification of Herlihy–Luchangco–Moir's collect
+//! protocol).
+//!
+//! Each thread operating on the CAS queue owns one `LLSCvar`: a word-sized
+//! placeholder (`node`), a reference counter (`r`), and a link (`next`)
+//! into a grow-only lock-free LIFO list rooted at `First`. The *address*
+//! of the owned variable, with its least significant bit set, is the
+//! thread's reservation tag — the value the simulated `LL` installs in an
+//! array slot.
+//!
+//! Variables are never freed while the queue lives ("allocated variables
+//! are kept permanently in a list but other threads may recycle them"), so
+//! a reader that found a tag in a slot can always dereference it. The list
+//! length therefore tracks the **maximum number of threads that accessed
+//! the queue at any given time** — not the total ever — which is exactly
+//! the population-oblivious space bound the paper claims. The
+//! `population_oblivious` tests pin this down.
+//!
+//! Reference-count protocol:
+//!
+//! * `r == 0` — unowned, recyclable by `Register` (R4's `CAS(&var->r,0,1)`).
+//! * `r == 1` — owned, no concurrent readers.
+//! * `r > 1` — owned and currently being read through a tag found in a
+//!   slot (`LL` lines L7/L14).
+
+use core::sync::atomic::{AtomicPtr, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use core::ptr;
+
+/// A thread-owned simulated-LL/SC variable (paper `struct LLSCvar`).
+///
+/// `#[repr(align(8))]` guarantees even addresses so bit 0 is free to mark
+/// tags (the paper's `var^1`).
+#[repr(align(8))]
+pub struct LlScVar {
+    /// Placeholder for the logical content of the slot this variable
+    /// currently reserves (paper `node`).
+    pub(crate) node: AtomicU64,
+    /// Reference counter (paper `r`). See the module docs for the states.
+    pub(crate) r: AtomicU32,
+    /// Next variable in the registry list (paper `next`); immutable once
+    /// the variable is published.
+    next: AtomicPtr<LlScVar>,
+}
+
+impl LlScVar {
+    /// This variable's reservation tag: its address with bit 0 set.
+    #[inline]
+    pub(crate) fn tag(var: *const LlScVar) -> u64 {
+        debug_assert_eq!(var as u64 & 1, 0);
+        var as u64 | 1
+    }
+
+    /// Recovers the variable address from a tag word (paper `slot ^ 1`).
+    #[inline]
+    pub(crate) fn from_tag(tag: u64) -> *const LlScVar {
+        debug_assert_eq!(tag & 1, 1);
+        (tag ^ 1) as *const LlScVar
+    }
+}
+
+/// The grow-only list of `LLSCvar`s (paper global `First`), owned by a
+/// [`CasQueue`](crate::CasQueue).
+pub struct Registry {
+    first: AtomicPtr<LlScVar>,
+    /// Total variables ever allocated (= max concurrent registrations).
+    total: AtomicUsize,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self {
+            first: AtomicPtr::new(ptr::null_mut()),
+            total: AtomicUsize::new(0),
+        }
+    }
+
+    /// Paper `Register` (R1–R16): recycle an unowned variable or append a
+    /// fresh one.
+    pub fn register(&self) -> *const LlScVar {
+        // R2–R8: traverse and try to claim (r: 0 -> 1).
+        let mut var = self.first.load(Ordering::Acquire);
+        while !var.is_null() {
+            // SAFETY: registry nodes are never freed while the registry
+            // lives.
+            let v = unsafe { &*var };
+            if v.r.load(Ordering::Acquire) == 0
+                && v.r
+                    .compare_exchange(0, 1, Ordering::AcqRel, Ordering::Relaxed)
+                    .is_ok()
+            {
+                return var;
+            }
+            var = v.next.load(Ordering::Acquire);
+        }
+        // R9–R15: none recyclable; allocate and push (LIFO, simple CAS
+        // retry loop — "a FIFO policy would require an extra variable").
+        let fresh = Box::into_raw(Box::new(LlScVar {
+            node: AtomicU64::new(0),
+            r: AtomicU32::new(1),
+            next: AtomicPtr::new(ptr::null_mut()),
+        }));
+        assert_eq!(fresh as u64 & 1, 0, "LLSCvar must be even-aligned");
+        loop {
+            let head = self.first.load(Ordering::Acquire);
+            // SAFETY: fresh is not yet published; exclusive access.
+            unsafe { (*fresh).next.store(head, Ordering::Relaxed) };
+            if self
+                .first
+                .compare_exchange(head, fresh, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                self.total.fetch_add(1, Ordering::Relaxed);
+                return fresh;
+            }
+        }
+    }
+
+    /// Paper `ReRegister` (RR1–RR5): keep `var` if no reader holds it,
+    /// otherwise release it and claim another.
+    ///
+    /// The common case is a single relaxed-ish load (`r == 1`).
+    ///
+    /// # Safety
+    ///
+    /// `var` must have been returned by [`Registry::register`] on this
+    /// registry and be currently owned by the caller.
+    pub unsafe fn reregister(&self, var: *const LlScVar) -> *const LlScVar {
+        // SAFETY: registry variables are never freed while the registry
+        // lives.
+        let v = unsafe { &*var };
+        if v.r.load(Ordering::Acquire) == 1 {
+            return var; // RR2
+        }
+        v.r.fetch_sub(1, Ordering::AcqRel); // RR3
+        self.register() // RR4
+    }
+
+    /// Paper `Deregister` (DR1–DR3): drop the owner's reference so the
+    /// variable becomes recyclable once readers drain.
+    ///
+    /// # Safety
+    ///
+    /// As [`Registry::reregister`]: `var` must come from this registry and
+    /// be owned by the caller; it must not be used after deregistration.
+    pub unsafe fn deregister(&self, var: *const LlScVar) {
+        // SAFETY: as above.
+        unsafe { &*var }.r.fetch_sub(1, Ordering::AcqRel);
+    }
+
+    /// Total variables ever allocated. Bounded by the maximum number of
+    /// simultaneously registered threads (the population-obliviousness
+    /// claim; see tests).
+    pub fn total_vars(&self) -> usize {
+        self.total.load(Ordering::Relaxed)
+    }
+
+    /// Number of variables currently owned or still referenced (`r > 0`).
+    pub fn busy_vars(&self) -> usize {
+        let mut n = 0;
+        let mut var = self.first.load(Ordering::Acquire);
+        while !var.is_null() {
+            // SAFETY: as above.
+            let v = unsafe { &*var };
+            if v.r.load(Ordering::Acquire) > 0 {
+                n += 1;
+            }
+            var = v.next.load(Ordering::Acquire);
+        }
+        n
+    }
+}
+
+impl Drop for Registry {
+    fn drop(&mut self) {
+        // Exclusive: free the whole list. A thread that died between
+        // Register and Deregister leaked its variable *into this list*
+        // (paper: "its LLSCvar variable is never reclaimed and results into
+        // a memory leak") — the leak is bounded by the list and reclaimed
+        // here when the owning queue goes away.
+        let mut var = *self.first.get_mut();
+        while !var.is_null() {
+            // SAFETY: created by Box::into_raw in register(); freed once.
+            let b = unsafe { Box::from_raw(var) };
+            var = b.next.load(Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_claims_and_deregister_releases() {
+        let reg = Registry::new();
+        let a = reg.register();
+        assert_eq!(reg.total_vars(), 1);
+        assert_eq!(reg.busy_vars(), 1);
+        unsafe { reg.deregister(a) };
+        assert_eq!(reg.busy_vars(), 0);
+        // Next register recycles the same variable.
+        let b = reg.register();
+        assert_eq!(b, a);
+        assert_eq!(reg.total_vars(), 1);
+        unsafe { reg.deregister(b) };
+    }
+
+    #[test]
+    fn distinct_threads_get_distinct_vars() {
+        let reg = Registry::new();
+        let a = reg.register();
+        let b = reg.register();
+        assert_ne!(a, b);
+        assert_eq!(reg.total_vars(), 2);
+        unsafe { reg.deregister(a) };
+        unsafe { reg.deregister(b) };
+    }
+
+    #[test]
+    fn reregister_keeps_exclusive_var() {
+        let reg = Registry::new();
+        let a = reg.register();
+        assert_eq!(unsafe { reg.reregister(a) }, a, "r == 1 keeps the variable");
+        unsafe { reg.deregister(a) };
+    }
+
+    #[test]
+    fn reregister_swaps_referenced_var() {
+        let reg = Registry::new();
+        let a = reg.register();
+        // Simulate a reader holding a reference (LL line L7).
+        unsafe { &*a }.r.fetch_add(1, Ordering::SeqCst);
+        let b = unsafe { reg.reregister(a) };
+        assert_ne!(b, a, "r > 1 must yield a different variable");
+        // The reader still holds a on ref 1; releasing makes it recyclable.
+        unsafe { &*a }.r.fetch_sub(1, Ordering::SeqCst);
+        let c = reg.register();
+        assert_eq!(c, a);
+        unsafe { reg.deregister(b) };
+        unsafe { reg.deregister(c) };
+    }
+
+    #[test]
+    fn tags_round_trip() {
+        let reg = Registry::new();
+        let a = reg.register();
+        let tag = LlScVar::tag(a);
+        assert_eq!(tag & 1, 1);
+        assert_eq!(LlScVar::from_tag(tag), a);
+        unsafe { reg.deregister(a) };
+    }
+
+    #[test]
+    fn population_obliviousness_waves_of_threads() {
+        // 10 successive waves of 4 threads each: the registry must top out
+        // at 4 variables, not 40 — space depends on max *concurrent*
+        // threads only.
+        let reg = Registry::new();
+        for _wave in 0..10 {
+            std::thread::scope(|s| {
+                for _ in 0..4 {
+                    let reg = &reg;
+                    s.spawn(move || {
+                        let v = reg.register();
+                        std::thread::yield_now();
+                        unsafe { reg.deregister(v) };
+                    });
+                }
+            });
+        }
+        assert!(
+            reg.total_vars() <= 4,
+            "registry grew beyond max concurrency: {}",
+            reg.total_vars()
+        );
+        assert_eq!(reg.busy_vars(), 0);
+    }
+
+    #[test]
+    fn concurrent_register_never_double_claims() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let reg = Registry::new();
+        let claimed = Mutex::new(HashSet::new());
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let reg = &reg;
+                let claimed = &claimed;
+                s.spawn(move || {
+                    for _ in 0..200 {
+                        let v = reg.register() as usize;
+                        {
+                            let mut c = claimed.lock().unwrap();
+                            assert!(c.insert(v), "variable double-claimed");
+                        }
+                        {
+                            let mut c = claimed.lock().unwrap();
+                            c.remove(&v);
+                        }
+                        unsafe { reg.deregister(v as *const LlScVar) };
+                    }
+                });
+            }
+        });
+        assert!(reg.total_vars() <= 8);
+    }
+
+    #[test]
+    fn dead_thread_leak_is_bounded_and_reclaimed_on_drop() {
+        let reg = Registry::new();
+        // "Dead" thread: registers and never deregisters.
+        let _leaked = reg.register();
+        let live = reg.register();
+        unsafe { reg.deregister(live) };
+        assert_eq!(reg.busy_vars(), 1, "leaked var stays busy");
+        assert_eq!(reg.total_vars(), 2);
+        // Drop reclaims both (no ASAN leak under `cargo test`).
+    }
+}

@@ -1,0 +1,425 @@
+//! Algorithm registry: every queue the experiments drive, keyed by an
+//! enum so the `repro` binary and the Criterion benches share one list.
+
+use crate::workload::{run_workload, WorkloadConfig};
+use nbq_baselines::{
+    MsDohertyQueue, MsQueue, MutexQueue, ScanMode, SeqQueue, ShannQueue, TsigasZhangQueue,
+};
+use nbq_core::{CasQueue, CasQueueConfig, GatePolicy, LlScQueue, LlScQueueConfig};
+use nbq_util::stats::Summary;
+use nbq_util::{ConcurrentQueue, Full, QueueHandle};
+
+/// Every benchmarkable algorithm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algo {
+    /// Paper Algorithm 2 (Fig. 5).
+    CasQueue,
+    /// Paper Algorithm 1 (Fig. 3) over the strong LL/SC emulation.
+    LlScQueue,
+    /// Michael–Scott + hazard pointers, sorted scan.
+    MsHpSorted,
+    /// Michael–Scott + hazard pointers, linear scan.
+    MsHpUnsorted,
+    /// Michael–Scott over Doherty-style LL/SC.
+    MsDoherty,
+    /// Shann et al. wide-CAS array queue.
+    Shann,
+    /// Tsigas–Zhang-style array queue (extension).
+    TsigasZhang,
+    /// Lock-based contrast.
+    Mutex,
+    /// Unsynchronized single-thread baseline (overhead experiment only).
+    Sequential,
+    /// Herlihy–Wing "infinite array" queue (related-work extension).
+    HerlihyWing,
+    /// Valois-style array queue over software DCAS (related-work
+    /// extension).
+    Valois,
+    /// Treiber's 1986 queue: 1-CAS enqueue, O(n)-walk dequeue
+    /// (related-work extension).
+    Treiber,
+    /// Ladan-Mozes & Shavit's optimistic doubly-linked queue
+    /// (related-work extension).
+    Lms,
+    /// crossbeam's bounded `ArrayQueue` (modern comparator extension).
+    CrossbeamArray,
+    /// crossbeam's unbounded `SegQueue` (modern comparator extension).
+    CrossbeamSeg,
+}
+
+impl Algo {
+    /// Display name matching the paper's figure legends where applicable.
+    pub fn name(self) -> &'static str {
+        match self {
+            Algo::CasQueue => "FIFO Array Simulated CAS",
+            Algo::LlScQueue => "FIFO Array LL/SC",
+            Algo::MsHpSorted => "MS-Hazard Pointers Sorted",
+            Algo::MsHpUnsorted => "MS-Hazard Pointers Not Sorted",
+            Algo::MsDoherty => "MS-Doherty et al.",
+            Algo::Shann => "Shann et al. (CAS64)",
+            Algo::TsigasZhang => "Tsigas-Zhang style",
+            Algo::Mutex => "Mutex<VecDeque>",
+            Algo::Sequential => "Sequential (unsynchronized)",
+            Algo::HerlihyWing => "Herlihy-Wing array",
+            Algo::Valois => "Valois (software DCAS)",
+            Algo::Treiber => "Treiber 1986",
+            Algo::Lms => "Ladan-Mozes/Shavit optimistic",
+            Algo::CrossbeamArray => "crossbeam ArrayQueue",
+            Algo::CrossbeamSeg => "crossbeam SegQueue",
+        }
+    }
+
+    /// Parses a CLI name (kebab-case).
+    pub fn parse(s: &str) -> Option<Algo> {
+        Some(match s {
+            "cas" | "cas-queue" => Algo::CasQueue,
+            "llsc" | "llsc-queue" => Algo::LlScQueue,
+            "ms-hp-sorted" => Algo::MsHpSorted,
+            "ms-hp-unsorted" => Algo::MsHpUnsorted,
+            "ms-doherty" => Algo::MsDoherty,
+            "shann" => Algo::Shann,
+            "tsigas-zhang" | "tz" => Algo::TsigasZhang,
+            "mutex" => Algo::Mutex,
+            "seq" | "sequential" => Algo::Sequential,
+            "herlihy-wing" | "hw" => Algo::HerlihyWing,
+            "valois" => Algo::Valois,
+            "treiber" => Algo::Treiber,
+            "lms" | "optimistic" => Algo::Lms,
+            "crossbeam-array" => Algo::CrossbeamArray,
+            "crossbeam-seg" => Algo::CrossbeamSeg,
+            _ => return None,
+        })
+    }
+
+    /// Runs the paper workload for this algorithm.
+    pub fn run(self, config: &WorkloadConfig) -> Summary {
+        let cap = config.capacity;
+        match self {
+            Algo::CasQueue => run_workload(|| CasQueue::<u64>::with_capacity(cap), config),
+            Algo::LlScQueue => run_workload(|| LlScQueue::<u64>::with_capacity(cap), config),
+            Algo::MsHpSorted => run_workload(|| MsQueue::<u64>::new(ScanMode::Sorted), config),
+            Algo::MsHpUnsorted => {
+                run_workload(|| MsQueue::<u64>::new(ScanMode::Unsorted), config)
+            }
+            Algo::MsDoherty => run_workload(MsDohertyQueue::<u64>::new, config),
+            Algo::Shann => run_workload(|| ShannQueue::<u64>::with_capacity(cap), config),
+            Algo::TsigasZhang => {
+                // TZ is only correct while no node address re-enters the
+                // queue within a preemption; realize its assumption by
+                // sizing the delayed-reuse window to the entire run.
+                let window = config.threads * config.iterations * config.burst + 1024;
+                run_workload(
+                    || TsigasZhangQueue::<u64>::with_capacity_and_reuse_delay(cap, window),
+                    config,
+                )
+            }
+            Algo::Mutex => run_workload(|| MutexQueue::<u64>::with_capacity(cap), config),
+            Algo::Sequential => {
+                assert_eq!(
+                    config.threads, 1,
+                    "the sequential baseline is single-thread only"
+                );
+                run_workload(|| SeqQueue::<u64>::with_capacity(cap), config)
+            }
+            Algo::HerlihyWing => {
+                // The HW queue's budget is *lifetime enqueues*; size it to
+                // the whole run.
+                let history = config.threads * config.iterations * config.burst + 1024;
+                run_workload(
+                    || nbq_baselines::HerlihyWingQueue::<u64>::with_history_capacity(history),
+                    config,
+                )
+            }
+            Algo::Valois => run_workload(
+                || nbq_baselines::ValoisQueue::<u64>::with_capacity(cap),
+                config,
+            ),
+            Algo::Treiber => run_workload(nbq_baselines::TreiberQueue::<u64>::new, config),
+            Algo::Lms => run_workload(nbq_baselines::LmsQueue::<u64>::new, config),
+            Algo::CrossbeamArray => {
+                run_workload(|| CrossbeamArrayAdapter::new(cap), config)
+            }
+            Algo::CrossbeamSeg => run_workload(CrossbeamSegAdapter::new, config),
+        }
+    }
+
+    /// Variant of [`Algo::run`] honoring tuning overrides (ablations).
+    pub fn run_tuned(self, config: &WorkloadConfig, tuning: Tuning) -> Summary {
+        let cap = config.capacity;
+        match self {
+            Algo::CasQueue => run_workload(
+                || {
+                    CasQueue::<u64>::with_config(cap, CasQueueConfig {
+                        backoff: tuning.backoff,
+                        gate: tuning.gate,
+                    })
+                },
+                config,
+            ),
+            Algo::LlScQueue => run_workload(
+                || {
+                    LlScQueue::<u64>::with_config(cap, LlScQueueConfig {
+                        backoff: tuning.backoff,
+                    })
+                },
+                config,
+            ),
+            _ => self.run(config),
+        }
+    }
+}
+
+/// Tuning overrides for the ablation experiments.
+#[derive(Debug, Clone, Copy)]
+pub struct Tuning {
+    /// Exponential backoff on contended failures.
+    pub backoff: bool,
+    /// `LLSCvar` re-registration gate placement (CAS queue only).
+    pub gate: GatePolicy,
+}
+
+impl Default for Tuning {
+    fn default() -> Self {
+        Self {
+            backoff: true,
+            gate: GatePolicy::PerLink,
+        }
+    }
+}
+
+/// The paper's Fig. 6(a)/(c) algorithm set (PowerPC experiment).
+pub const POWERPC_SET: &[Algo] = &[
+    Algo::MsDoherty,
+    Algo::CasQueue,
+    Algo::MsHpUnsorted,
+    Algo::MsHpSorted,
+    Algo::LlScQueue,
+];
+
+/// The paper's Fig. 6(b)/(d) algorithm set (AMD experiment).
+pub const AMD_SET: &[Algo] = &[
+    Algo::MsDoherty,
+    Algo::MsHpUnsorted,
+    Algo::MsHpSorted,
+    Algo::CasQueue,
+    Algo::Shann,
+];
+
+/// Extension set: the paper's algorithms against modern comparators.
+pub const MODERN_SET: &[Algo] = &[
+    Algo::CasQueue,
+    Algo::LlScQueue,
+    Algo::Shann,
+    Algo::TsigasZhang,
+    Algo::HerlihyWing,
+    Algo::Valois,
+    Algo::Treiber,
+    Algo::Lms,
+    Algo::Mutex,
+    Algo::CrossbeamArray,
+    Algo::CrossbeamSeg,
+];
+
+// ---------------------------------------------------------------------
+// crossbeam adapters
+
+/// Bounded crossbeam queue behind the workspace trait.
+pub struct CrossbeamArrayAdapter {
+    inner: crossbeam::queue::ArrayQueue<u64>,
+}
+
+impl CrossbeamArrayAdapter {
+    /// Creates an adapter with the given capacity.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            inner: crossbeam::queue::ArrayQueue::new(capacity),
+        }
+    }
+}
+
+/// Handle for [`CrossbeamArrayAdapter`].
+pub struct CrossbeamArrayHandle<'q> {
+    queue: &'q crossbeam::queue::ArrayQueue<u64>,
+}
+
+impl QueueHandle<u64> for CrossbeamArrayHandle<'_> {
+    fn enqueue(&mut self, value: u64) -> Result<(), Full<u64>> {
+        self.queue.push(value).map_err(Full)
+    }
+
+    fn dequeue(&mut self) -> Option<u64> {
+        self.queue.pop()
+    }
+}
+
+impl ConcurrentQueue<u64> for CrossbeamArrayAdapter {
+    type Handle<'q>
+        = CrossbeamArrayHandle<'q>
+    where
+        Self: 'q;
+
+    fn handle(&self) -> Self::Handle<'_> {
+        CrossbeamArrayHandle { queue: &self.inner }
+    }
+
+    fn capacity(&self) -> Option<usize> {
+        Some(self.inner.capacity())
+    }
+
+    fn algorithm_name(&self) -> &'static str {
+        "crossbeam ArrayQueue"
+    }
+}
+
+/// Unbounded crossbeam queue behind the workspace trait.
+pub struct CrossbeamSegAdapter {
+    inner: crossbeam::queue::SegQueue<u64>,
+}
+
+impl CrossbeamSegAdapter {
+    /// Creates an empty adapter.
+    pub fn new() -> Self {
+        Self {
+            inner: crossbeam::queue::SegQueue::new(),
+        }
+    }
+}
+
+impl Default for CrossbeamSegAdapter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Handle for [`CrossbeamSegAdapter`].
+pub struct CrossbeamSegHandle<'q> {
+    queue: &'q crossbeam::queue::SegQueue<u64>,
+}
+
+impl QueueHandle<u64> for CrossbeamSegHandle<'_> {
+    fn enqueue(&mut self, value: u64) -> Result<(), Full<u64>> {
+        self.queue.push(value);
+        Ok(())
+    }
+
+    fn dequeue(&mut self) -> Option<u64> {
+        self.queue.pop()
+    }
+}
+
+impl ConcurrentQueue<u64> for CrossbeamSegAdapter {
+    type Handle<'q>
+        = CrossbeamSegHandle<'q>
+    where
+        Self: 'q;
+
+    fn handle(&self) -> Self::Handle<'_> {
+        CrossbeamSegHandle { queue: &self.inner }
+    }
+
+    fn capacity(&self) -> Option<usize> {
+        None
+    }
+
+    fn algorithm_name(&self) -> &'static str {
+        "crossbeam SegQueue"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> WorkloadConfig {
+        WorkloadConfig {
+            threads: 2,
+            iterations: 25,
+            runs: 1,
+            capacity: 128,
+            burst: 5,
+        }
+    }
+
+    #[test]
+    fn every_algorithm_runs_the_tiny_workload() {
+        for algo in [
+            Algo::CasQueue,
+            Algo::LlScQueue,
+            Algo::MsHpSorted,
+            Algo::MsHpUnsorted,
+            Algo::MsDoherty,
+            Algo::Shann,
+            Algo::TsigasZhang,
+            Algo::HerlihyWing,
+            Algo::Valois,
+            Algo::Treiber,
+            Algo::Lms,
+            Algo::Mutex,
+            Algo::CrossbeamArray,
+            Algo::CrossbeamSeg,
+        ] {
+            let s = algo.run(&tiny());
+            assert!(s.mean > 0.0, "{} returned zero time", algo.name());
+        }
+    }
+
+    #[test]
+    fn sequential_runs_single_threaded() {
+        let cfg = WorkloadConfig {
+            threads: 1,
+            ..tiny()
+        };
+        let s = Algo::Sequential.run(&cfg);
+        assert!(s.mean > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "single-thread only")]
+    fn sequential_rejects_multi_thread() {
+        Algo::Sequential.run(&tiny());
+    }
+
+    #[test]
+    fn parse_round_trips_cli_names() {
+        for (s, a) in [
+            ("cas", Algo::CasQueue),
+            ("llsc", Algo::LlScQueue),
+            ("ms-hp-sorted", Algo::MsHpSorted),
+            ("ms-hp-unsorted", Algo::MsHpUnsorted),
+            ("ms-doherty", Algo::MsDoherty),
+            ("shann", Algo::Shann),
+            ("tz", Algo::TsigasZhang),
+            ("mutex", Algo::Mutex),
+            ("seq", Algo::Sequential),
+            ("hw", Algo::HerlihyWing),
+            ("valois", Algo::Valois),
+            ("treiber", Algo::Treiber),
+            ("lms", Algo::Lms),
+            ("crossbeam-array", Algo::CrossbeamArray),
+            ("crossbeam-seg", Algo::CrossbeamSeg),
+        ] {
+            assert_eq!(Algo::parse(s), Some(a));
+        }
+        assert_eq!(Algo::parse("nope"), None);
+    }
+
+    #[test]
+    fn figure_sets_match_the_paper_legends() {
+        assert_eq!(POWERPC_SET.len(), 5);
+        assert_eq!(AMD_SET.len(), 5);
+        assert!(POWERPC_SET.contains(&Algo::LlScQueue));
+        assert!(!AMD_SET.contains(&Algo::LlScQueue), "no LL/SC on the AMD");
+        assert!(AMD_SET.contains(&Algo::Shann), "CAS64 only on the AMD");
+        assert!(!POWERPC_SET.contains(&Algo::Shann));
+    }
+
+    #[test]
+    fn tuned_run_honors_backoff_flag() {
+        let cfg = tiny();
+        let s = Algo::CasQueue.run_tuned(&cfg, Tuning {
+            backoff: false,
+            gate: GatePolicy::PerOperation,
+        });
+        assert!(s.mean > 0.0);
+    }
+}

@@ -1,0 +1,241 @@
+//! `repro` — regenerate the paper's figures and tables.
+//!
+//! ```text
+//! repro <experiment> [flags]
+//!
+//! experiments:
+//!   fig6a | fig6b | fig6c | fig6d    the paper's Figure 6 panels
+//!   overhead                         in-text T1 (single-thread overhead)
+//!   caswidth                         in-text T2 (primitive costs)
+//!   opcounts                         in-text T4 (instructions per op)
+//!   ablate-scan | ablate-reregister | ablate-capacity | ablate-backoff
+//!   modern                           extension: modern comparators
+//!   all                              everything above
+//!
+//! flags:
+//!   --threads 1,2,4,8   thread counts to sweep
+//!   --iters N           iterations per thread        (default 2000)
+//!   --runs N            runs per cell                (default 5)
+//!   --capacity N        queue capacity               (default 4096)
+//!   --csv DIR           also write <DIR>/<id>.{csv,json}
+//!   --paper             paper-scale parameters (100000 iters, 50 runs)
+//! ```
+
+use nbq_harness::experiments;
+use nbq_harness::{Table, WorkloadConfig};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    experiment: String,
+    threads: Vec<usize>,
+    csv: Option<PathBuf>,
+    config: WorkloadConfig,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: repro <fig6a|fig6b|fig6c|fig6d|overhead|caswidth|opcounts|ablate-scan|\
+         ablate-reregister|ablate-capacity|ablate-backoff|modern|all> \
+         [--threads 1,2,4] [--iters N] [--runs N] [--capacity N] \
+         [--csv DIR] [--paper]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = std::env::args().skip(1);
+    let Some(experiment) = args.next() else {
+        usage()
+    };
+    let mut threads: Option<Vec<usize>> = None;
+    let mut csv = None;
+    let mut config = WorkloadConfig::default();
+    let mut paper = false;
+    while let Some(flag) = args.next() {
+        let mut value = |flag: &str| {
+            args.next()
+                .unwrap_or_else(|| {
+                    eprintln!("missing value for {flag}");
+                    usage()
+                })
+        };
+        match flag.as_str() {
+            "--threads" => {
+                threads = Some(
+                    value("--threads")
+                        .split(',')
+                        .map(|s| {
+                            s.trim().parse().unwrap_or_else(|_| {
+                                eprintln!("bad thread count: {s}");
+                                usage()
+                            })
+                        })
+                        .collect(),
+                );
+            }
+            "--iters" => config.iterations = value("--iters").parse().unwrap_or_else(|_| usage()),
+            "--runs" => config.runs = value("--runs").parse().unwrap_or_else(|_| usage()),
+            "--capacity" => {
+                config.capacity = value("--capacity").parse().unwrap_or_else(|_| usage())
+            }
+            "--csv" => csv = Some(PathBuf::from(value("--csv"))),
+            "--paper" => paper = true,
+            other => {
+                eprintln!("unknown flag: {other}");
+                usage();
+            }
+        }
+    }
+    if paper {
+        config.iterations = 100_000;
+        config.runs = 50;
+    }
+    Args {
+        experiment,
+        threads: threads.unwrap_or_else(|| vec![1, 2, 4, 8, 16, 32]),
+        csv,
+        config,
+    }
+}
+
+fn emit(table: &Table, csv: &Option<PathBuf>) {
+    print!("{}", table.render_text());
+    println!();
+    if let Some(dir) = csv {
+        table
+            .write_to(dir)
+            .unwrap_or_else(|e| eprintln!("warning: writing {dir:?} failed: {e}"));
+    }
+}
+
+fn run_fig6a(args: &Args) -> Table {
+    experiments::fig6a(&args.threads, &args.config)
+}
+
+fn run_fig6b(args: &Args) -> Table {
+    // Paper sweeps the AMD to 64 threads; honor --threads if given.
+    experiments::fig6b(&args.threads, &args.config)
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    eprintln!(
+        "# repro {}: iters={} runs={} capacity={} threads={:?} (host CPUs: {})",
+        args.experiment,
+        args.config.iterations,
+        args.config.runs,
+        args.config.capacity,
+        args.threads,
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    );
+    match args.experiment.as_str() {
+        "fig6a" => {
+            let t = run_fig6a(&args);
+            emit(&t, &args.csv);
+            println!("LL/SC vs CAS speedup by thread count (in-text T3):");
+            for (threads, ratio) in experiments::llsc_vs_cas_ratio(&t) {
+                println!("  {threads:>3} threads: CAS is {:+.1}% vs LL/SC", ratio * 100.0);
+            }
+        }
+        "fig6b" => emit(&run_fig6b(&args), &args.csv),
+        "fig6c" => {
+            let t = experiments::fig6c(&run_fig6a(&args));
+            emit(&t, &args.csv);
+        }
+        "fig6d" => {
+            let t = experiments::fig6d(&run_fig6b(&args));
+            emit(&t, &args.csv);
+        }
+        "overhead" => {
+            let (t, ratios) = experiments::overhead(&args.config);
+            emit(&t, &args.csv);
+            println!("Overhead vs unsynchronized queue (paper: LL/SC +12%, CAS +50%/+90%):");
+            for (name, r) in ratios {
+                println!("  {name}: {:+.1}%", r * 100.0);
+            }
+        }
+        "opcounts" => {
+            emit(
+                &experiments::opcounts(&args.threads, args.config.iterations),
+                &args.csv,
+            );
+            println!(
+                "paper: Algorithm 2 = 3 CAS + 2 FAA per op; MS-Doherty = 7 \
+                 successful CAS per op (incl. its reclamation bookkeeping)"
+            );
+        }
+        "caswidth" => {
+            let iters = (args.config.iterations as u64 * 100).max(100_000);
+            emit(&experiments::cas_width(iters), &args.csv);
+        }
+        "ablate-scan" => {
+            let t = experiments::ablate_scan(&[2, 4, 8, 16, 32, 64, 128, 256], 100_000);
+            emit(&t, &args.csv);
+        }
+        "ablate-reregister" => {
+            emit(
+                &experiments::ablate_reregister(&args.threads, &args.config),
+                &args.csv,
+            );
+        }
+        "ablate-capacity" => {
+            let caps = [32, 64, 256, 1024, 4096, 16384];
+            emit(
+                &experiments::ablate_capacity(&caps, &args.config),
+                &args.csv,
+            );
+        }
+        "ablate-backoff" => {
+            emit(
+                &experiments::ablate_backoff(&args.threads, &args.config),
+                &args.csv,
+            );
+        }
+        "modern" => {
+            emit(&experiments::modern(&args.threads, &args.config), &args.csv);
+        }
+        "all" => {
+            let a = run_fig6a(&args);
+            emit(&a, &args.csv);
+            let b = run_fig6b(&args);
+            emit(&b, &args.csv);
+            emit(&experiments::fig6c(&a), &args.csv);
+            emit(&experiments::fig6d(&b), &args.csv);
+            let (t, ratios) = experiments::overhead(&args.config);
+            emit(&t, &args.csv);
+            for (name, r) in ratios {
+                println!("  {name}: {:+.1}%", r * 100.0);
+            }
+            emit(&experiments::cas_width(1_000_000), &args.csv);
+            emit(
+                &experiments::opcounts(&args.threads, args.config.iterations),
+                &args.csv,
+            );
+            emit(
+                &experiments::ablate_scan(&[2, 4, 8, 16, 32, 64, 128, 256], 100_000),
+                &args.csv,
+            );
+            emit(
+                &experiments::ablate_reregister(&args.threads, &args.config),
+                &args.csv,
+            );
+            emit(
+                &experiments::ablate_capacity(&[32, 64, 256, 1024, 4096], &args.config),
+                &args.csv,
+            );
+            emit(
+                &experiments::ablate_backoff(&args.threads, &args.config),
+                &args.csv,
+            );
+            emit(&experiments::modern(&args.threads, &args.config), &args.csv);
+        }
+        other => {
+            eprintln!("unknown experiment: {other}");
+            usage();
+        }
+    }
+    ExitCode::SUCCESS
+}

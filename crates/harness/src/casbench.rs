@@ -1,0 +1,178 @@
+//! Raw atomic-primitive microbenchmarks (the paper's in-text T2: "a 64-bit
+//! CAS roughly takes 4.5 more time than its 32-bit counterpart on the
+//! AMD").
+//!
+//! On a 64-bit host both widths are native, so the paper's 4.5× gap —
+//! an artifact of its 32-bit AMD Sempron — is not expected to reproduce;
+//! what the experiment *does* establish here is the measured cost ratios
+//! between the primitive mixes the competing queues are built from:
+//!
+//! * one 32-bit CAS (Shann's counter update on the paper's machine),
+//! * one 64-bit CAS (pointer-wide CAS; also Shann's wide slot update here),
+//! * a versioned-cell LL/SC pair (Algorithm 1's slot update),
+//! * the CAS queue's per-slot bill (3 CAS + 2 fetch-and-add, the paper's
+//!   own accounting of Algorithm 2).
+
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::time::Instant;
+
+/// One primitive-mix measurement.
+#[derive(Debug, Clone)]
+pub struct CasCost {
+    /// Mix label.
+    pub name: &'static str,
+    /// Nanoseconds per iteration.
+    pub ns_per_op: f64,
+}
+
+fn time<F: FnMut()>(iters: u64, mut f: F) -> f64 {
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    start.elapsed().as_nanos() as f64 / iters as f64
+}
+
+/// Measures all primitive mixes; `iters` successful operations each.
+pub fn measure(iters: u64) -> Vec<CasCost> {
+    assert!(iters > 0);
+    let mut out = Vec::new();
+
+    let a32 = AtomicU32::new(0);
+    let mut v32 = 0u32;
+    out.push(CasCost {
+        name: "CAS u32 (success)",
+        ns_per_op: time(iters, || {
+            let _ = a32.compare_exchange(
+                v32,
+                v32.wrapping_add(1),
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            );
+            v32 = v32.wrapping_add(1);
+        }),
+    });
+
+    let a64 = AtomicU64::new(0);
+    let mut v64 = 0u64;
+    out.push(CasCost {
+        name: "CAS u64 (success)",
+        ns_per_op: time(iters, || {
+            let _ = a64.compare_exchange(
+                v64,
+                v64.wrapping_add(1),
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            );
+            v64 = v64.wrapping_add(1);
+        }),
+    });
+
+    let cell = nbq_llsc::VersionedCell::new(0);
+    out.push(CasCost {
+        name: "VersionedCell LL+SC",
+        ns_per_op: time(iters, || {
+            let (v, t) = cell.ll();
+            let _ = cell.sc(t, (v + 2) & nbq_llsc::VALUE_MASK);
+        }),
+    });
+
+    // The paper's Algorithm-2 bill: "three 32-bit CAS and two FetchAndAdd
+    // operations" per queue operation (pointer-wide here).
+    let slot = AtomicU64::new(0);
+    let refc = AtomicU32::new(1);
+    let mut cur = 0u64;
+    out.push(CasCost {
+        name: "3x CAS u64 + 2x FAA (Alg. 2 bill)",
+        ns_per_op: time(iters, || {
+            refc.fetch_add(1, Ordering::SeqCst);
+            let _ = slot.compare_exchange(cur, cur | 1, Ordering::SeqCst, Ordering::SeqCst);
+            let _ = slot.compare_exchange(cur | 1, cur + 2, Ordering::SeqCst, Ordering::SeqCst);
+            let _ = slot.compare_exchange(cur + 2, cur + 2, Ordering::SeqCst, Ordering::SeqCst);
+            refc.fetch_sub(1, Ordering::SeqCst);
+            cur += 2;
+        }),
+    });
+
+    // Shann's bill on the paper's AMD: one wide CAS (slot) + one
+    // pointer-wide CAS (index).
+    let wide = AtomicU64::new(0);
+    let idx = AtomicU64::new(0);
+    let mut c = 0u64;
+    out.push(CasCost {
+        name: "1x wide CAS + 1x CAS (Shann bill)",
+        ns_per_op: time(iters, || {
+            let _ = wide.compare_exchange(
+                c << 32,
+                (c + 1) << 32,
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            );
+            let _ = idx.compare_exchange(c, c + 1, Ordering::SeqCst, Ordering::SeqCst);
+            c += 1;
+        }),
+    });
+
+    out
+}
+
+/// Ratio of two measured mixes (for EXPERIMENTS.md's paper-vs-measured
+/// rows).
+pub fn ratio(costs: &[CasCost], num: &str, den: &str) -> Option<f64> {
+    let n = costs.iter().find(|c| c.name == num)?.ns_per_op;
+    let d = costs.iter().find(|c| c.name == den)?.ns_per_op;
+    if d == 0.0 {
+        return None;
+    }
+    Some(n / d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_returns_all_mixes_with_positive_costs() {
+        let costs = measure(10_000);
+        assert_eq!(costs.len(), 5);
+        for c in &costs {
+            assert!(c.ns_per_op > 0.0, "{} measured zero", c.name);
+            assert!(c.ns_per_op < 100_000.0, "{} implausibly slow", c.name);
+        }
+    }
+
+    #[test]
+    fn multi_op_mixes_cost_more_than_single_cas() {
+        let costs = measure(50_000);
+        let single = costs
+            .iter()
+            .find(|c| c.name == "CAS u64 (success)")
+            .unwrap()
+            .ns_per_op;
+        let bill = costs
+            .iter()
+            .find(|c| c.name == "3x CAS u64 + 2x FAA (Alg. 2 bill)")
+            .unwrap()
+            .ns_per_op;
+        assert!(
+            bill > single,
+            "five RMWs ({bill:.1}ns) must cost more than one ({single:.1}ns)"
+        );
+    }
+
+    #[test]
+    fn ratio_helper() {
+        let costs = vec![
+            CasCost {
+                name: "a",
+                ns_per_op: 10.0,
+            },
+            CasCost {
+                name: "b",
+                ns_per_op: 5.0,
+            },
+        ];
+        assert_eq!(ratio(&costs, "a", "b"), Some(2.0));
+        assert_eq!(ratio(&costs, "a", "zz"), None);
+    }
+}

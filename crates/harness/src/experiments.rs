@@ -1,0 +1,492 @@
+//! One driver function per paper figure/table plus the ablations —
+//! the experiment index of DESIGN.md, executable.
+
+use crate::algos::{Algo, Tuning, AMD_SET, MODERN_SET, POWERPC_SET};
+use crate::casbench;
+use crate::report::{Cell, Table};
+use crate::workload::WorkloadConfig;
+use nbq_core::GatePolicy;
+use nbq_util::stats::Summary;
+
+/// Sweeps `algos` over `thread_counts` under the paper workload.
+pub fn time_vs_threads(
+    id: &str,
+    title: &str,
+    algos: &[Algo],
+    thread_counts: &[usize],
+    base: &WorkloadConfig,
+) -> Table {
+    let mut table = Table::new(
+        id,
+        title,
+        "threads",
+        "s",
+        thread_counts.iter().map(|&t| t as u64).collect(),
+    );
+    for &algo in algos {
+        let cells: Vec<Cell> = thread_counts
+            .iter()
+            .map(|&threads| {
+                let cfg = WorkloadConfig {
+                    threads,
+                    ..*base
+                };
+                Cell::from(algo.run(&cfg))
+            })
+            .collect();
+        table.push_row(algo.name(), cells);
+    }
+    table
+}
+
+/// Fig. 6(a): PowerPC set, absolute time.
+pub fn fig6a(thread_counts: &[usize], base: &WorkloadConfig) -> Table {
+    time_vs_threads(
+        "fig6a",
+        "Running time vs threads (PowerPC set)",
+        POWERPC_SET,
+        thread_counts,
+        base,
+    )
+}
+
+/// Fig. 6(b): AMD set, absolute time.
+pub fn fig6b(thread_counts: &[usize], base: &WorkloadConfig) -> Table {
+    time_vs_threads(
+        "fig6b",
+        "Running time vs threads (AMD set)",
+        AMD_SET,
+        thread_counts,
+        base,
+    )
+}
+
+/// Fig. 6(c): Fig. 6(a) normalized to the CAS queue ("the basis of
+/// normalization was chosen to be our CAS-based implementation").
+pub fn fig6c(fig6a: &Table) -> Table {
+    fig6a.normalized_to(
+        Algo::CasQueue.name(),
+        "fig6c",
+        "Normalized running time (PowerPC set)",
+    )
+}
+
+/// Fig. 6(d): Fig. 6(b) normalized to the CAS queue.
+pub fn fig6d(fig6b: &Table) -> Table {
+    fig6b.normalized_to(
+        Algo::CasQueue.name(),
+        "fig6d",
+        "Normalized running time (AMD set)",
+    )
+}
+
+/// In-text T1: single-thread overhead of each synchronized queue over the
+/// unsynchronized sequential queue. Returns (table of times, overhead
+/// ratios keyed by algorithm name).
+pub fn overhead(base: &WorkloadConfig) -> (Table, Vec<(String, f64)>) {
+    let cfg = WorkloadConfig {
+        threads: 1,
+        ..*base
+    };
+    let seq = Algo::Sequential.run(&cfg);
+    let mut table = Table::new(
+        "t1-overhead",
+        "Single-thread time vs unsynchronized queue",
+        "threads",
+        "s",
+        vec![1],
+    );
+    table.push_row(Algo::Sequential.name(), vec![Cell::from(seq)]);
+    let mut ratios = Vec::new();
+    for algo in [
+        Algo::LlScQueue,
+        Algo::CasQueue,
+        Algo::Shann,
+        Algo::MsHpSorted,
+        Algo::TsigasZhang,
+    ] {
+        let s = algo.run(&cfg);
+        table.push_row(algo.name(), vec![Cell::from(s)]);
+        ratios.push((algo.name().to_string(), s.mean / seq.mean - 1.0));
+    }
+    (table, ratios)
+}
+
+/// In-text T2: raw primitive costs.
+pub fn cas_width(iters: u64) -> Table {
+    let costs = casbench::measure(iters);
+    let mut t = Table::new(
+        "t2-caswidth",
+        "Atomic primitive mixes",
+        "ns_per_op",
+        "ns",
+        vec![0],
+    );
+    for c in &costs {
+        t.push_row(c.name, vec![Cell {
+            mean: c.ns_per_op,
+            stddev: 0.0,
+        }]);
+    }
+    t
+}
+
+/// `abl-reregister`: the corrected per-link gate vs the paper's per-op
+/// gate (CAS queue).
+pub fn ablate_reregister(thread_counts: &[usize], base: &WorkloadConfig) -> Table {
+    let mut table = Table::new(
+        "abl-reregister",
+        "CAS queue: ReRegister gate per link vs per operation",
+        "threads",
+        "s",
+        thread_counts.iter().map(|&t| t as u64).collect(),
+    );
+    for (label, gate) in [
+        ("gate per link (corrected)", GatePolicy::PerLink),
+        ("gate per operation (paper)", GatePolicy::PerOperation),
+    ] {
+        let cells: Vec<Cell> = thread_counts
+            .iter()
+            .map(|&threads| {
+                let cfg = WorkloadConfig {
+                    threads,
+                    ..*base
+                };
+                Cell::from(Algo::CasQueue.run_tuned(&cfg, Tuning {
+                    backoff: true,
+                    gate,
+                }))
+            })
+            .collect();
+        table.push_row(label, cells);
+    }
+    table
+}
+
+/// `abl-backoff`: exponential backoff on vs off for both core queues.
+pub fn ablate_backoff(thread_counts: &[usize], base: &WorkloadConfig) -> Table {
+    let mut table = Table::new(
+        "abl-backoff",
+        "Core queues: exponential backoff on vs off",
+        "threads",
+        "s",
+        thread_counts.iter().map(|&t| t as u64).collect(),
+    );
+    for (algo, backoff, label) in [
+        (Algo::CasQueue, true, "CAS queue, backoff on"),
+        (Algo::CasQueue, false, "CAS queue, backoff off"),
+        (Algo::LlScQueue, true, "LL/SC queue, backoff on"),
+        (Algo::LlScQueue, false, "LL/SC queue, backoff off"),
+    ] {
+        let cells: Vec<Cell> = thread_counts
+            .iter()
+            .map(|&threads| {
+                let cfg = WorkloadConfig {
+                    threads,
+                    ..*base
+                };
+                Cell::from(algo.run_tuned(&cfg, Tuning {
+                    backoff,
+                    gate: GatePolicy::PerLink,
+                }))
+            })
+            .collect();
+        table.push_row(label, cells);
+    }
+    table
+}
+
+/// `abl-capacity`: CAS queue time vs array capacity at fixed threads.
+pub fn ablate_capacity(capacities: &[usize], base: &WorkloadConfig) -> Table {
+    let mut table = Table::new(
+        "abl-capacity",
+        "CAS queue: running time vs array capacity",
+        "capacity",
+        "s",
+        capacities.iter().map(|&c| c as u64).collect(),
+    );
+    let cells: Vec<Cell> = capacities
+        .iter()
+        .map(|&capacity| {
+            let cfg = WorkloadConfig {
+                capacity,
+                ..*base
+            };
+            Cell::from(Algo::CasQueue.run(&cfg))
+        })
+        .collect();
+    table.push_row(Algo::CasQueue.name(), cells);
+    table
+}
+
+/// `abl-scan`: raw hazard-scan cost, sorted vs unsorted, as the hazard
+/// list grows (the mechanism behind the MS-HP sorted/unsorted crossover).
+pub fn ablate_scan(record_counts: &[usize], probes: usize) -> Table {
+    use std::time::Instant;
+    let mut table = Table::new(
+        "abl-scan",
+        "Hazard scan: ns per retired-node probe vs record count",
+        "records",
+        "ns",
+        record_counts.iter().map(|&c| c as u64).collect(),
+    );
+    let mut sorted_cells = Vec::new();
+    let mut unsorted_cells = Vec::new();
+    for &records in record_counts {
+        // Build a synthetic hazard snapshot (3 live hazards per record,
+        // roughly what MS dequeue publishes).
+        let hazards: Vec<usize> = (0..records * 3).map(|i| (i * 2654435761) | 1).collect();
+        let lookups: Vec<usize> = (0..probes)
+            .map(|i| {
+                if i % 4 == 0 {
+                    hazards[i % hazards.len()] // hit
+                } else {
+                    (i * 40503) | 1 // almost surely a miss
+                }
+            })
+            .collect();
+
+        let mut sorted = hazards.clone();
+        let t0 = Instant::now();
+        sorted.sort_unstable();
+        let mut found = 0usize;
+        for &p in &lookups {
+            if sorted.binary_search(&p).is_ok() {
+                found += 1;
+            }
+        }
+        let sorted_ns = t0.elapsed().as_nanos() as f64 / probes as f64;
+        std::hint::black_box(found);
+
+        let t0 = Instant::now();
+        let mut found = 0usize;
+        for &p in &lookups {
+            if hazards.contains(&p) {
+                found += 1;
+            }
+        }
+        let unsorted_ns = t0.elapsed().as_nanos() as f64 / probes as f64;
+        std::hint::black_box(found);
+
+        sorted_cells.push(Cell {
+            mean: sorted_ns,
+            stddev: 0.0,
+        });
+        unsorted_cells.push(Cell {
+            mean: unsorted_ns,
+            stddev: 0.0,
+        });
+    }
+    table.push_row("sorted scan (sort + binary search)", sorted_cells);
+    table.push_row("unsorted scan (linear probe)", unsorted_cells);
+    table
+}
+
+/// `ext-modern`: the paper's algorithms against modern comparators.
+pub fn modern(thread_counts: &[usize], base: &WorkloadConfig) -> Table {
+    time_vs_threads(
+        "ext-modern",
+        "Paper algorithms vs modern comparators",
+        MODERN_SET,
+        thread_counts,
+        base,
+    )
+}
+
+/// `t4-opcounts`: the paper's per-operation synchronization-instruction
+/// accounting, measured. Returns a table with one row per (algorithm,
+/// metric) and columns = thread counts.
+pub fn opcounts(thread_counts: &[usize], iterations: usize) -> Table {
+    use nbq_baselines::MsDohertyQueue;
+    use nbq_core::CasQueue;
+    use nbq_util::QueueHandle;
+
+    let mut table = Table::new(
+        "t4-opcounts",
+        "Synchronization instructions per queue operation",
+        "threads",
+        "count/op",
+        thread_counts.iter().map(|&t| t as u64).collect(),
+    );
+    let mut cas_slot = Vec::new();
+    let mut cas_index = Vec::new();
+    let mut cas_faa = Vec::new();
+    let mut md_sc = Vec::new();
+    for &threads in thread_counts {
+        // CAS queue with counters.
+        let q = CasQueue::<u64>::with_stats(4096);
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let q = &q;
+                s.spawn(move || {
+                    let mut h = q.handle();
+                    for i in 0..iterations as u64 {
+                        while h.enqueue((t as u64) << 40 | i).is_err() {
+                            h.dequeue();
+                        }
+                        while h.dequeue().is_none() {
+                            std::thread::yield_now();
+                        }
+                    }
+                });
+            }
+        });
+        let snap = q.stats().expect("stats enabled").snapshot();
+        cas_slot.push(Cell {
+            mean: snap.slot_cas_successes,
+            stddev: 0.0,
+        });
+        cas_index.push(Cell {
+            mean: snap.index_cas_successes,
+            stddev: 0.0,
+        });
+        cas_faa.push(Cell {
+            mean: snap.faa_ops,
+            stddev: 0.0,
+        });
+
+        // MS-Doherty successful SCs per operation.
+        let q = MsDohertyQueue::<u64>::new();
+        let ops = std::sync::atomic::AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let q = &q;
+                let ops = &ops;
+                s.spawn(move || {
+                    let mut h = q.handle();
+                    for i in 0..iterations as u64 {
+                        h.enqueue((t as u64) << 40 | i).unwrap();
+                        while h.dequeue().is_none() {
+                            std::thread::yield_now();
+                        }
+                        ops.fetch_add(2, std::sync::atomic::Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        let total_ops = ops.load(std::sync::atomic::Ordering::Relaxed).max(1);
+        md_sc.push(Cell {
+            mean: q.domain().pool().sc_successes() as f64 / total_ops as f64,
+            stddev: 0.0,
+        });
+    }
+    table.push_row("CAS queue: successful slot CAS", cas_slot);
+    table.push_row("CAS queue: successful index CAS", cas_index);
+    table.push_row("CAS queue: fetch-and-add", cas_faa);
+    table.push_row("MS-Doherty: successful SC (cell CAS)", md_sc);
+    table
+}
+
+/// In-text T3 helper: LL/SC-vs-CAS speed ratio out of a fig6a table.
+pub fn llsc_vs_cas_ratio(fig6a: &Table) -> Vec<(u64, f64)> {
+    fig6a
+        .columns
+        .iter()
+        .filter_map(|&threads| {
+            let llsc = fig6a.cell(Algo::LlScQueue.name(), threads)?;
+            let cas = fig6a.cell(Algo::CasQueue.name(), threads)?;
+            Some((threads, cas.mean / llsc.mean - 1.0))
+        })
+        .collect()
+}
+
+/// Convenience summary used by tests.
+pub fn quick_summary(algo: Algo, cfg: &WorkloadConfig) -> Summary {
+    algo.run(cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> WorkloadConfig {
+        WorkloadConfig {
+            threads: 2,
+            iterations: 20,
+            runs: 1,
+            capacity: 128,
+            burst: 5,
+        }
+    }
+
+    #[test]
+    fn fig6a_has_the_paper_rows() {
+        let t = fig6a(&[1, 2], &tiny());
+        assert_eq!(t.rows.len(), 5);
+        assert_eq!(t.columns, vec![1, 2]);
+        assert!(t.cell("FIFO Array LL/SC", 2).is_some());
+    }
+
+    #[test]
+    fn fig6c_normalizes_cas_row_to_one() {
+        let a = fig6a(&[1], &tiny());
+        let c = fig6c(&a);
+        let cas = c.cell(Algo::CasQueue.name(), 1).unwrap();
+        assert!((cas.mean - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overhead_reports_positive_times_and_finite_ratios() {
+        let (table, ratios) = overhead(&WorkloadConfig {
+            threads: 1,
+            iterations: 200,
+            runs: 2,
+            capacity: 128,
+            burst: 5,
+        });
+        assert_eq!(table.rows.len(), 6);
+        assert_eq!(ratios.len(), 5);
+        for (name, r) in &ratios {
+            assert!(r.is_finite(), "{name} ratio not finite");
+        }
+    }
+
+    #[test]
+    fn cas_width_table_lists_all_mixes() {
+        let t = cas_width(5_000);
+        assert_eq!(t.rows.len(), 5);
+        for (_, cells) in &t.rows {
+            assert!(cells[0].mean > 0.0);
+        }
+    }
+
+    #[test]
+    fn scan_ablation_has_two_strategies() {
+        let t = ablate_scan(&[2, 64], 1_000);
+        assert_eq!(t.rows.len(), 2);
+        // At 64 records (192 hazards), linear probing must not beat
+        // binary search by much; don't assert a winner (machine noise),
+        // just positivity.
+        for (_, cells) in &t.rows {
+            assert!(cells.iter().all(|c| c.mean >= 0.0));
+        }
+    }
+
+    #[test]
+    fn reregister_ablation_runs_both_gates() {
+        let t = ablate_reregister(&[1], &tiny());
+        assert_eq!(t.rows.len(), 2);
+    }
+
+    #[test]
+    fn opcounts_reproduces_the_three_cas_claim() {
+        let t = opcounts(&[1], 300);
+        let slot = t.cell("CAS queue: successful slot CAS", 1).unwrap().mean;
+        let index = t.cell("CAS queue: successful index CAS", 1).unwrap().mean;
+        assert!((slot - 2.0).abs() < 0.05, "slot {slot}");
+        assert!((index - 1.0).abs() < 0.05, "index {index}");
+        let sc = t
+            .cell("MS-Doherty: successful SC (cell CAS)", 1)
+            .unwrap()
+            .mean;
+        assert!(sc >= 1.0, "MS-Doherty does >=1 successful SC per op: {sc}");
+    }
+
+    #[test]
+    fn llsc_ratio_helper() {
+        let a = fig6a(&[1], &tiny());
+        let r = llsc_vs_cas_ratio(&a);
+        assert_eq!(r.len(), 1);
+        assert!(r[0].1.is_finite());
+    }
+}

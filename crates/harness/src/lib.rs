@@ -1,0 +1,29 @@
+//! Reproduction harness for the paper's evaluation (§6).
+//!
+//! * [`workload`] — the 5-enqueue/5-dequeue iteration loop, barrier
+//!   start, mean-of-runs timing.
+//! * [`algos`] — the algorithm registry (paper algorithms, every §6
+//!   baseline, extension comparators) behind one enum.
+//! * [`experiments`] — one driver per figure/table (`fig6a`–`fig6d`,
+//!   the in-text measurements) and per ablation.
+//! * [`casbench`] — raw atomic-primitive cost measurements.
+//! * [`report`] — text/CSV/JSON tables.
+//!
+//! The `repro` binary exposes all of it:
+//!
+//! ```text
+//! repro fig6a --threads 1,2,4,8 --iters 2000 --runs 5 --csv results/
+//! repro all --paper        # the full published parameter set (slow!)
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod algos;
+pub mod casbench;
+pub mod experiments;
+pub mod report;
+pub mod workload;
+
+pub use algos::{Algo, Tuning, AMD_SET, MODERN_SET, POWERPC_SET};
+pub use report::{Cell, Table};
+pub use workload::{run_once, run_workload, WorkloadConfig};

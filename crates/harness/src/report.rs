@@ -1,0 +1,259 @@
+//! Result tables: the text/CSV/JSON output layer of the `repro` binary.
+//!
+//! A [`Table`] is one figure or table from the paper: rows = algorithms,
+//! columns = the swept parameter (usually thread count), cells = mean
+//! seconds (or a normalized ratio).
+
+use nbq_util::stats::Summary;
+use serde::Serialize;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// One measured cell.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct Cell {
+    /// Mean across runs.
+    pub mean: f64,
+    /// Standard deviation across runs.
+    pub stddev: f64,
+}
+
+impl From<Summary> for Cell {
+    fn from(s: Summary) -> Self {
+        Cell {
+            mean: s.mean,
+            stddev: s.stddev,
+        }
+    }
+}
+
+/// A figure/table of results.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table {
+    /// Experiment id, e.g. `fig6a`.
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// Label of the swept column parameter, e.g. `threads`.
+    pub param: String,
+    /// Column parameter values.
+    pub columns: Vec<u64>,
+    /// Cell unit, e.g. `s` or `ratio`.
+    pub unit: String,
+    /// (row label, one cell per column).
+    pub rows: Vec<(String, Vec<Cell>)>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(id: &str, title: &str, param: &str, unit: &str, columns: Vec<u64>) -> Self {
+        Self {
+            id: id.to_string(),
+            title: title.to_string(),
+            param: param.to_string(),
+            unit: unit.to_string(),
+            columns,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row; must have one cell per column.
+    pub fn push_row(&mut self, label: &str, cells: Vec<Cell>) {
+        assert_eq!(
+            cells.len(),
+            self.columns.len(),
+            "row {label} has {} cells for {} columns",
+            cells.len(),
+            self.columns.len()
+        );
+        self.rows.push((label.to_string(), cells));
+    }
+
+    /// Returns this table normalized row-wise against the row labelled
+    /// `baseline` (the paper's Fig. 6(c)/(d) transformation).
+    pub fn normalized_to(&self, baseline: &str, id: &str, title: &str) -> Table {
+        let base = &self
+            .rows
+            .iter()
+            .find(|(l, _)| l == baseline)
+            .unwrap_or_else(|| panic!("baseline row {baseline} missing"))
+            .1;
+        let mut out = Table::new(id, title, &self.param, "ratio", self.columns.clone());
+        for (label, cells) in &self.rows {
+            let normed = cells
+                .iter()
+                .zip(base)
+                .map(|(c, b)| {
+                    assert!(b.mean != 0.0, "zero baseline cell");
+                    Cell {
+                        mean: c.mean / b.mean,
+                        stddev: c.stddev / b.mean,
+                    }
+                })
+                .collect();
+            out.push_row(label, normed);
+        }
+        out
+    }
+
+    /// Renders an aligned text table.
+    pub fn render_text(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "== {} — {} [{}] ==", self.id, self.title, self.unit);
+        let label_w = self
+            .rows
+            .iter()
+            .map(|(l, _)| l.len())
+            .chain(std::iter::once(self.param.len()))
+            .max()
+            .unwrap_or(8)
+            .max(8);
+        let _ = write!(s, "{:<label_w$}", self.param);
+        for c in &self.columns {
+            let _ = write!(s, " {c:>12}");
+        }
+        let _ = writeln!(s);
+        for (label, cells) in &self.rows {
+            let _ = write!(s, "{label:<label_w$}");
+            for cell in cells {
+                let _ = write!(s, " {:>12.6}", cell.mean);
+            }
+            let _ = writeln!(s);
+        }
+        s
+    }
+
+    /// Renders CSV (`row,param,mean,stddev` long format — easy to plot).
+    pub fn render_csv(&self) -> String {
+        let mut s = String::from("algorithm,");
+        let _ = writeln!(s, "{},mean_{},stddev", self.param, self.unit);
+        for (label, cells) in &self.rows {
+            for (col, cell) in self.columns.iter().zip(cells) {
+                let _ = writeln!(s, "{label},{col},{},{}", cell.mean, cell.stddev);
+            }
+        }
+        s
+    }
+
+    /// Writes `<dir>/<id>.csv` and `<dir>/<id>.json`.
+    pub fn write_to(&self, dir: &Path) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        std::fs::write(dir.join(format!("{}.csv", self.id)), self.render_csv())?;
+        std::fs::write(
+            dir.join(format!("{}.json", self.id)),
+            serde_json::to_string_pretty(self).expect("table serializes"),
+        )?;
+        Ok(())
+    }
+
+    /// Looks up a cell by row label and column value.
+    pub fn cell(&self, row: &str, column: u64) -> Option<Cell> {
+        let col = self.columns.iter().position(|&c| c == column)?;
+        let r = self.rows.iter().find(|(l, _)| l == row)?;
+        r.1.get(col).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("t1", "demo", "threads", "s", vec![1, 2, 4]);
+        t.push_row("A", vec![
+            Cell {
+                mean: 1.0,
+                stddev: 0.1,
+            },
+            Cell {
+                mean: 2.0,
+                stddev: 0.1,
+            },
+            Cell {
+                mean: 4.0,
+                stddev: 0.1,
+            },
+        ]);
+        t.push_row("B", vec![
+            Cell {
+                mean: 2.0,
+                stddev: 0.2,
+            },
+            Cell {
+                mean: 2.0,
+                stddev: 0.2,
+            },
+            Cell {
+                mean: 2.0,
+                stddev: 0.2,
+            },
+        ]);
+        t
+    }
+
+    #[test]
+    fn text_render_contains_everything() {
+        let out = sample().render_text();
+        assert!(out.contains("t1"));
+        assert!(out.contains("threads"));
+        assert!(out.contains('A'));
+        assert!(out.contains('B'));
+        assert!(out.contains("4.000000"));
+    }
+
+    #[test]
+    fn csv_long_format() {
+        let csv = sample().render_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 1 + 6, "header + 2 rows x 3 cols");
+        assert_eq!(lines[0], "algorithm,threads,mean_s,stddev");
+        assert!(lines.contains(&"A,1,1,0.1"));
+        assert!(lines.contains(&"B,4,2,0.2"));
+    }
+
+    #[test]
+    fn normalization_divides_by_baseline_row() {
+        let t = sample();
+        let n = t.normalized_to("A", "t1n", "demo normalized");
+        assert_eq!(n.cell("A", 1).unwrap().mean, 1.0);
+        assert_eq!(n.cell("A", 4).unwrap().mean, 1.0);
+        assert_eq!(n.cell("B", 1).unwrap().mean, 2.0);
+        assert_eq!(n.cell("B", 4).unwrap().mean, 0.5);
+        assert_eq!(n.unit, "ratio");
+    }
+
+    #[test]
+    #[should_panic(expected = "baseline row X missing")]
+    fn missing_baseline_panics() {
+        sample().normalized_to("X", "x", "x");
+    }
+
+    #[test]
+    #[should_panic(expected = "has 1 cells")]
+    fn wrong_width_row_panics() {
+        let mut t = sample();
+        t.push_row("C", vec![Cell {
+            mean: 1.0,
+            stddev: 0.0,
+        }]);
+    }
+
+    #[test]
+    fn files_are_written() {
+        let dir = std::env::temp_dir().join(format!("nbq-report-test-{}", std::process::id()));
+        sample().write_to(&dir).unwrap();
+        assert!(dir.join("t1.csv").exists());
+        assert!(dir.join("t1.json").exists());
+        let json = std::fs::read_to_string(dir.join("t1.json")).unwrap();
+        assert!(json.contains("\"id\": \"t1\""));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn cell_lookup() {
+        let t = sample();
+        assert!(t.cell("A", 2).is_some());
+        assert!(t.cell("A", 3).is_none());
+        assert!(t.cell("Z", 1).is_none());
+    }
+}

@@ -1,0 +1,198 @@
+//! The paper's §6 synthetic benchmark workload.
+//!
+//! "In all our experiments, each thread performs 100000 iterations
+//! consisting of a series of 5 enqueue operations followed by 5 dequeue
+//! operations. A node allocation immediately precedes each enqueue
+//! operation, and each dequeued node is freed. We synchronized the threads
+//! so that none can begin its iterations before all others finished their
+//! initialization phase. We report the average of 50 runs where each run
+//! is the mean time needed to complete the thread's iterations."
+//!
+//! Node allocation/free happens inside every queue implementation in this
+//! workspace (each enqueue boxes a node, each dequeue frees one), so the
+//! workload body is pure queue operations, exactly as in the paper.
+//!
+//! Defaults are scaled down for a CI-sized machine; `--paper` on the
+//! `repro` binary restores the 100 000 × 50 parameters.
+
+use nbq_util::stats::Summary;
+use nbq_util::{ConcurrentQueue, QueueHandle};
+use std::sync::Barrier;
+use std::time::Instant;
+
+/// Parameters of one experiment cell.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkloadConfig {
+    /// Concurrent threads.
+    pub threads: usize,
+    /// Iterations per thread; each iteration is `burst` enqueues then
+    /// `burst` dequeues.
+    pub iterations: usize,
+    /// Independent runs (fresh queue each) averaged into the result.
+    pub runs: usize,
+    /// Queue capacity for bounded algorithms.
+    pub capacity: usize,
+    /// Operations per burst (the paper uses 5).
+    pub burst: usize,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        Self {
+            threads: 4,
+            iterations: 2_000,
+            runs: 5,
+            capacity: 4096,
+            burst: 5,
+        }
+    }
+}
+
+impl WorkloadConfig {
+    /// The paper's published parameters (slow on small machines).
+    pub fn paper(threads: usize, capacity: usize) -> Self {
+        Self {
+            threads,
+            iterations: 100_000,
+            runs: 50,
+            capacity,
+            burst: 5,
+        }
+    }
+
+    /// Total operations across all threads in one run.
+    pub fn total_ops(&self) -> u64 {
+        (self.threads * self.iterations * self.burst * 2) as u64
+    }
+}
+
+/// Executes one run against `queue`; returns the mean per-thread wall
+/// time in seconds (the paper's per-run metric).
+pub fn run_once<Q: ConcurrentQueue<u64>>(queue: &Q, config: &WorkloadConfig) -> f64 {
+    // Liveness: if every thread can be mid-enqueue-burst simultaneously
+    // with the queue full (capacity <= threads x (burst-1)), the
+    // enqueue-retry loops deadlock — nobody is in a dequeue phase. The
+    // paper sizes its array to avoid this; so do we, loudly.
+    if let Some(cap) = queue.capacity() {
+        assert!(
+            cap > config.threads * (config.burst - 1),
+            "workload can deadlock: capacity {cap} <= threads {} x (burst {} - 1)",
+            config.threads,
+            config.burst
+        );
+    }
+    let barrier = Barrier::new(config.threads);
+    let mut thread_secs = vec![0.0f64; config.threads];
+    std::thread::scope(|s| {
+        let mut joins = Vec::with_capacity(config.threads);
+        for t in 0..config.threads {
+            let barrier = &barrier;
+            joins.push(s.spawn(move || {
+                // Initialization phase: register before the barrier, per
+                // the paper ("none can begin its iterations before all
+                // others finished their initialization phase").
+                let mut handle = queue.handle();
+                let mut seq: u64 = 0;
+                barrier.wait();
+                let start = Instant::now();
+                for _ in 0..config.iterations {
+                    for _ in 0..config.burst {
+                        let value = ((t as u64) << 40) | seq;
+                        seq += 1;
+                        // Bounded queues may transiently report Full under
+                        // oversubscription; retry (the paper sizes its
+                        // array so this effectively never happens — our
+                        // default capacity >> threads*burst does too).
+                        while handle.enqueue(value).is_err() {
+                            std::thread::yield_now();
+                        }
+                    }
+                    for _ in 0..config.burst {
+                        // Another thread may have taken "our" items;
+                        // retry until one arrives (global counts match).
+                        while handle.dequeue().is_none() {
+                            std::thread::yield_now();
+                        }
+                    }
+                }
+                start.elapsed().as_secs_f64()
+            }));
+        }
+        for (t, j) in joins.into_iter().enumerate() {
+            thread_secs[t] = j.join().expect("workload thread panicked");
+        }
+    });
+    thread_secs.iter().sum::<f64>() / config.threads as f64
+}
+
+/// Runs `config.runs` fresh-queue runs of the workload and summarizes the
+/// per-run times.
+pub fn run_workload<Q, F>(factory: F, config: &WorkloadConfig) -> Summary
+where
+    Q: ConcurrentQueue<u64>,
+    F: Fn() -> Q,
+{
+    let samples: Vec<f64> = (0..config.runs)
+        .map(|_| {
+            let queue = factory();
+            run_once(&queue, config)
+        })
+        .collect();
+    Summary::of(&samples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nbq_baselines::MutexQueue;
+    use nbq_core::CasQueue;
+
+    fn tiny() -> WorkloadConfig {
+        WorkloadConfig {
+            threads: 2,
+            iterations: 50,
+            runs: 2,
+            capacity: 256,
+            burst: 5,
+        }
+    }
+
+    #[test]
+    fn run_once_completes_and_leaves_queue_empty() {
+        let cfg = tiny();
+        let q = CasQueue::<u64>::with_capacity(cfg.capacity);
+        let secs = run_once(&q, &cfg);
+        assert!(secs > 0.0);
+        assert!(q.is_empty(), "balanced workload must drain the queue");
+    }
+
+    #[test]
+    fn run_workload_summarizes_runs() {
+        let cfg = tiny();
+        let s = run_workload(|| MutexQueue::<u64>::with_capacity(cfg.capacity), &cfg);
+        assert_eq!(s.n, 2);
+        assert!(s.mean > 0.0);
+        assert!(s.min <= s.mean && s.mean <= s.max);
+    }
+
+    #[test]
+    fn total_ops_counts_both_directions() {
+        let cfg = WorkloadConfig {
+            threads: 3,
+            iterations: 10,
+            runs: 1,
+            capacity: 64,
+            burst: 5,
+        };
+        assert_eq!(cfg.total_ops(), 3 * 10 * 5 * 2);
+    }
+
+    #[test]
+    fn paper_config_matches_the_publication() {
+        let cfg = WorkloadConfig::paper(8, 1024);
+        assert_eq!(cfg.iterations, 100_000);
+        assert_eq!(cfg.runs, 50);
+        assert_eq!(cfg.burst, 5);
+        assert_eq!(cfg.threads, 8);
+    }
+}

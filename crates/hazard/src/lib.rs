@@ -1,0 +1,646 @@
+//! Hazard-pointer safe memory reclamation (M. Michael, *Hazard Pointers:
+//! Safe Memory Reclamation for Lock-Free Objects*, IEEE TPDS 15(6), 2004).
+//!
+//! This is the reclamation scheme behind the paper's strongest link-based
+//! competitor ("MS-Hazard Pointers"). The paper benchmarks two variants of
+//! the reclamation scan — with and without sorting the collected hazard
+//! list — and finds sorting pays off once the thread count is moderate to
+//! high; both variants are implemented here ([`ScanMode`]) so the
+//! `abl-scan` experiment can reproduce that crossover.
+//!
+//! Design follows the original algorithm:
+//!
+//! * A [`Domain`] owns a grow-only lock-free LIFO list of hazard records.
+//!   Records are never unlinked; a thread leaving merely marks its record
+//!   inactive so a later thread can adopt it. This is what makes the scheme
+//!   population-oblivious in the same sense as the paper's queues.
+//! * Each thread's [`LocalHazards`] handle owns one record with
+//!   [`HP_PER_RECORD`] single-writer hazard slots and a private retire
+//!   list.
+//! * [`LocalHazards::retire_box`] defers reclamation; once the retire list
+//!   reaches `retire_factor ×` (live records) — the paper uses factor 4 —
+//!   a scan collects all published hazards and frees every retired node not
+//!   among them.
+//!
+//! ```
+//! use nbq_hazard::Domain;
+//!
+//! let domain = Domain::default();
+//! let guard = domain.register();
+//! let mut retirer = domain.register();
+//!
+//! let node = Box::into_raw(Box::new(42u64));
+//! guard.set(0, node as usize);              // publish a hazard
+//! unsafe { retirer.retire_box(node) };      // defer destruction
+//! retirer.flush();
+//! assert_eq!(retirer.pending(), 1);         // protected: not freed yet
+//! guard.clear(0);
+//! retirer.flush();
+//! assert_eq!(retirer.pending(), 0);         // unprotected: reclaimed
+//! ```
+
+#![warn(missing_docs)]
+
+use std::ptr;
+use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Number of hazard slots per thread record.
+///
+/// The Michael–Scott queue needs two (head and next); the MS-Doherty
+/// baseline needs five (two descriptor links, two node protections, and a
+/// tail link). Six leaves headroom for composed structures.
+pub const HP_PER_RECORD: usize = 6;
+
+/// How the reclamation scan searches the collected hazard list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScanMode {
+    /// Sort the collected hazards once, then binary-search per retired node
+    /// (the paper's "MS-Hazard Pointers Sorted" configuration).
+    Sorted,
+    /// Linear-probe the unsorted hazard list per retired node
+    /// ("MS-Hazard Pointers Not Sorted").
+    Unsorted,
+}
+
+/// Domain configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct Config {
+    /// Scan strategy.
+    pub scan_mode: ScanMode,
+    /// Retire-list length that triggers a scan, as a multiple of the number
+    /// of live records. The paper's experiments use 4.
+    pub retire_factor: usize,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            scan_mode: ScanMode::Sorted,
+            retire_factor: 4,
+        }
+    }
+}
+
+struct Record {
+    hazards: [AtomicUsize; HP_PER_RECORD],
+    active: AtomicBool,
+    /// Immutable after the record is published in the domain list.
+    next: *const Record,
+}
+
+impl Record {
+    fn new(next: *const Record) -> Self {
+        Self {
+            hazards: Default::default(),
+            active: AtomicBool::new(true),
+            next,
+        }
+    }
+}
+
+/// A deferred reclamation: pointer plus destructor.
+///
+/// `drop_fn` receives `(ptr, ctx)`; `ctx` lets pool-recycling users (the
+/// Doherty-style LL/SC cell) route freed nodes back into an arena instead
+/// of the allocator.
+struct Retired {
+    ptr: *mut u8,
+    ctx: *mut u8,
+    drop_fn: unsafe fn(*mut u8, *mut u8),
+}
+
+// SAFETY: a Retired is only ever handled by the thread that owns the retire
+// list, or by Domain::drop after all threads are gone. The raw pointers are
+// plain data until `drop_fn` runs.
+unsafe impl Send for Retired {}
+
+/// A hazard-pointer domain: the shared record list plus orphaned retire
+/// lists from departed threads.
+///
+/// A domain is typically owned by the data structure whose nodes it
+/// reclaims, so that `Drop` of the structure can free everything that is
+/// still deferred.
+pub struct Domain {
+    head: AtomicPtr<Record>,
+    live_records: AtomicUsize,
+    total_records: AtomicUsize,
+    orphans: Mutex<Vec<Retired>>,
+    config: Config,
+    reclaimed: AtomicUsize,
+}
+
+// SAFETY: all mutation of shared state goes through atomics or the orphans
+// mutex; Record contents are atomics.
+unsafe impl Send for Domain {}
+unsafe impl Sync for Domain {}
+
+impl Default for Domain {
+    fn default() -> Self {
+        Self::new(Config::default())
+    }
+}
+
+impl Domain {
+    /// Creates an empty domain.
+    pub fn new(config: Config) -> Self {
+        assert!(config.retire_factor >= 1, "retire_factor must be >= 1");
+        Self {
+            head: AtomicPtr::new(ptr::null_mut()),
+            live_records: AtomicUsize::new(0),
+            total_records: AtomicUsize::new(0),
+            orphans: Mutex::new(Vec::new()),
+            config,
+            reclaimed: AtomicUsize::new(0),
+        }
+    }
+
+    /// Registers the calling thread: adopts an inactive record or appends a
+    /// new one.
+    pub fn register(&self) -> LocalHazards<'_> {
+        // First try to adopt an inactive record (population-obliviousness:
+        // the list length tracks the *maximum concurrent* thread count, not
+        // the total number of threads ever seen).
+        let mut cur = self.head.load(Ordering::Acquire);
+        while !cur.is_null() {
+            // SAFETY: records are never freed while the domain lives.
+            let rec = unsafe { &*cur };
+            if !rec.active.load(Ordering::Relaxed)
+                && rec
+                    .active
+                    .compare_exchange(false, true, Ordering::AcqRel, Ordering::Relaxed)
+                    .is_ok()
+            {
+                self.live_records.fetch_add(1, Ordering::Relaxed);
+                return LocalHazards {
+                    domain: self,
+                    record: cur,
+                    retired: Vec::new(),
+                };
+            }
+            cur = rec.next as *mut Record;
+        }
+        // No recyclable record: push a fresh one (Treiber push).
+        let mut new = Box::new(Record::new(ptr::null()));
+        loop {
+            let head = self.head.load(Ordering::Acquire);
+            new.next = head;
+            let raw = Box::into_raw(new);
+            match self
+                .head
+                .compare_exchange(head, raw, Ordering::AcqRel, Ordering::Acquire)
+            {
+                Ok(_) => {
+                    self.live_records.fetch_add(1, Ordering::Relaxed);
+                    self.total_records.fetch_add(1, Ordering::Relaxed);
+                    return LocalHazards {
+                        domain: self,
+                        record: raw,
+                        retired: Vec::new(),
+                    };
+                }
+                // SAFETY: on failure the box was not published; reclaim it
+                // and retry.
+                Err(_) => new = unsafe { Box::from_raw(raw) },
+            }
+        }
+    }
+
+    /// Number of records currently marked active (≈ live threads).
+    pub fn live_records(&self) -> usize {
+        self.live_records.load(Ordering::Relaxed)
+    }
+
+    /// Total records ever created (= maximum concurrent registrations).
+    pub fn total_records(&self) -> usize {
+        self.total_records.load(Ordering::Relaxed)
+    }
+
+    /// Total nodes reclaimed so far (for tests and the ablation harness).
+    pub fn reclaimed_count(&self) -> usize {
+        self.reclaimed.load(Ordering::Relaxed)
+    }
+
+    /// The configured scan mode.
+    pub fn scan_mode(&self) -> ScanMode {
+        self.config.scan_mode
+    }
+
+    /// Snapshot of every non-null published hazard.
+    ///
+    /// Exposed so the `abl-scan` benchmark can measure raw collection cost.
+    pub fn collect_hazards(&self, out: &mut Vec<usize>) {
+        out.clear();
+        let mut cur = self.head.load(Ordering::Acquire);
+        while !cur.is_null() {
+            // SAFETY: records live as long as the domain.
+            let rec = unsafe { &*cur };
+            for h in &rec.hazards {
+                let v = h.load(Ordering::Acquire);
+                if v != 0 {
+                    out.push(v);
+                }
+            }
+            cur = rec.next as *mut Record;
+        }
+    }
+
+    fn scan_threshold(&self) -> usize {
+        // The paper: "a thread attempts to free all the nodes it dequeued
+        // when the number of freed nodes it holds is equal to 4 times the
+        // number of threads".
+        self.config.retire_factor * self.live_records().max(1)
+    }
+
+    /// Runs a reclamation pass over `retired`, freeing everything whose
+    /// address is not currently protected. Returns the number freed.
+    fn scan(&self, retired: &mut Vec<Retired>) -> usize {
+        let mut hazards = Vec::with_capacity(self.total_records() * HP_PER_RECORD);
+        self.collect_hazards(&mut hazards);
+        if self.config.scan_mode == ScanMode::Sorted {
+            hazards.sort_unstable();
+        }
+        let is_protected = |p: usize| match self.config.scan_mode {
+            ScanMode::Sorted => hazards.binary_search(&p).is_ok(),
+            ScanMode::Unsorted => hazards.contains(&p),
+        };
+        let before = retired.len();
+        retired.retain(|r| {
+            if is_protected(r.ptr as usize) {
+                true
+            } else {
+                // SAFETY: the node was retired (unlinked, no new references
+                // can be created) and no published hazard covers it, so the
+                // retiring protocol guarantees no thread still holds it.
+                unsafe { (r.drop_fn)(r.ptr, r.ctx) };
+                false
+            }
+        });
+        let freed = before - retired.len();
+        self.reclaimed.fetch_add(freed, Ordering::Relaxed);
+        freed
+    }
+}
+
+impl Drop for Domain {
+    fn drop(&mut self) {
+        // &mut self: no LocalHazards can outlive the domain (they borrow
+        // it), so no hazards are published and everything deferred is free.
+        let orphans = self.orphans.get_mut().unwrap_or_else(|e| e.into_inner());
+        for r in orphans.drain(..) {
+            // SAFETY: no thread can hold a reference anymore.
+            unsafe { (r.drop_fn)(r.ptr, r.ctx) };
+        }
+        let mut cur = *self.head.get_mut();
+        while !cur.is_null() {
+            // SAFETY: records were created by Box::into_raw in register()
+            // and are exclusively owned here.
+            let rec = unsafe { Box::from_raw(cur) };
+            cur = rec.next as *mut Record;
+        }
+    }
+}
+
+/// Per-thread hazard-pointer handle: one record plus a private retire list.
+pub struct LocalHazards<'d> {
+    domain: &'d Domain,
+    record: *const Record,
+    retired: Vec<Retired>,
+}
+
+// SAFETY: the handle is moved between threads only as a whole; the record's
+// hazard slots are written only through this (unique) handle.
+unsafe impl Send for LocalHazards<'_> {}
+
+impl<'d> LocalHazards<'d> {
+    fn rec(&self) -> &Record {
+        // SAFETY: records live as long as the domain, which outlives self.
+        unsafe { &*self.record }
+    }
+
+    /// The owning domain.
+    pub fn domain(&self) -> &'d Domain {
+        self.domain
+    }
+
+    /// Publishes `addr` in hazard slot `slot`.
+    #[inline]
+    pub fn set(&self, slot: usize, addr: usize) {
+        self.rec().hazards[slot].store(addr, Ordering::SeqCst);
+    }
+
+    /// Clears hazard slot `slot`.
+    #[inline]
+    pub fn clear(&self, slot: usize) {
+        self.rec().hazards[slot].store(0, Ordering::Release);
+    }
+
+    /// Clears every hazard slot.
+    pub fn clear_all(&self) {
+        for h in &self.rec().hazards {
+            h.store(0, Ordering::Release);
+        }
+    }
+
+    /// Safely acquires a protected snapshot of `src`.
+    ///
+    /// Classic Michael protocol: read, publish, re-read; repeat until the
+    /// re-read confirms the published value was still current, which
+    /// guarantees the pointee cannot have been reclaimed since.
+    #[inline]
+    pub fn protect_ptr<T>(&self, slot: usize, src: &AtomicPtr<T>) -> *mut T {
+        let mut p = src.load(Ordering::Acquire);
+        #[cfg(debug_assertions)]
+        let mut watchdog = 0u64;
+        loop {
+            #[cfg(debug_assertions)]
+            {
+                watchdog += 1;
+                assert!(watchdog < 100_000_000, "protect_ptr livelocked");
+            }
+            self.set(slot, p as usize);
+            let q = src.load(Ordering::SeqCst);
+            if q == p {
+                return p;
+            }
+            p = q;
+        }
+    }
+
+    /// Defers destruction of a `Box`-allocated node.
+    ///
+    /// # Safety
+    ///
+    /// `ptr` must come from `Box::into_raw`, be unlinked from the shared
+    /// structure (no new references can be created), and not be retired
+    /// twice.
+    pub unsafe fn retire_box<T>(&mut self, ptr: *mut T) {
+        unsafe fn drop_box<T>(p: *mut u8, _ctx: *mut u8) {
+            drop(unsafe { Box::from_raw(p.cast::<T>()) });
+        }
+        unsafe { self.retire_raw(ptr.cast(), ptr::null_mut(), drop_box::<T>) };
+    }
+
+    /// Defers an arbitrary reclamation `(ptr, ctx, drop_fn)`.
+    ///
+    /// # Safety
+    ///
+    /// `drop_fn(ptr, ctx)` must be safe to call exactly once at any point
+    /// after no published hazard equals `ptr`; `ctx` must stay valid until
+    /// the domain is dropped (it may be deferred to `Domain::drop`).
+    pub unsafe fn retire_raw(
+        &mut self,
+        ptr: *mut u8,
+        ctx: *mut u8,
+        drop_fn: unsafe fn(*mut u8, *mut u8),
+    ) {
+        debug_assert!(!ptr.is_null());
+        self.retired.push(Retired { ptr, ctx, drop_fn });
+        if self.retired.len() >= self.domain.scan_threshold() {
+            self.domain.scan(&mut self.retired);
+        }
+    }
+
+    /// Forces a reclamation pass; returns how many nodes were freed.
+    pub fn flush(&mut self) -> usize {
+        self.domain.scan(&mut self.retired)
+    }
+
+    /// Number of nodes currently awaiting reclamation in this handle.
+    pub fn pending(&self) -> usize {
+        self.retired.len()
+    }
+}
+
+impl Drop for LocalHazards<'_> {
+    fn drop(&mut self) {
+        self.clear_all();
+        self.domain.scan(&mut self.retired);
+        if !self.retired.is_empty() {
+            // Still-protected nodes are handed to the domain so a later
+            // scan (or Domain::drop) can free them.
+            let mut orphans = self
+                .domain
+                .orphans
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            orphans.append(&mut self.retired);
+        }
+        self.rec().active.store(false, Ordering::Release);
+        self.domain.live_records.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize as Counter;
+    use std::sync::Arc;
+
+    struct DropTracker(Arc<Counter>);
+    impl Drop for DropTracker {
+        fn drop(&mut self) {
+            self.0.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    fn tracked(counter: &Arc<Counter>) -> *mut DropTracker {
+        Box::into_raw(Box::new(DropTracker(counter.clone())))
+    }
+
+    #[test]
+    fn unprotected_nodes_are_reclaimed_on_flush() {
+        let domain = Domain::default();
+        let drops = Arc::new(Counter::new(0));
+        let mut local = domain.register();
+        for _ in 0..10 {
+            let p = tracked(&drops);
+            unsafe { local.retire_box(p) };
+        }
+        local.flush();
+        assert_eq!(drops.load(Ordering::SeqCst), 10);
+        assert_eq!(domain.reclaimed_count(), 10);
+    }
+
+    #[test]
+    fn protected_node_survives_scan_until_cleared() {
+        let domain = Domain::default();
+        let drops = Arc::new(Counter::new(0));
+        let guard = domain.register();
+        let mut retirer = domain.register();
+
+        let p = tracked(&drops);
+        guard.set(0, p as usize);
+        unsafe { retirer.retire_box(p) };
+        retirer.flush();
+        assert_eq!(drops.load(Ordering::SeqCst), 0, "hazard must protect");
+        assert_eq!(retirer.pending(), 1);
+
+        guard.clear(0);
+        retirer.flush();
+        assert_eq!(drops.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn scan_triggers_automatically_at_threshold() {
+        let domain = Domain::new(Config {
+            scan_mode: ScanMode::Sorted,
+            retire_factor: 4,
+        });
+        let drops = Arc::new(Counter::new(0));
+        let mut local = domain.register();
+        // One live record -> threshold is 4.
+        for _ in 0..3 {
+            unsafe { local.retire_box(tracked(&drops)) };
+        }
+        assert_eq!(drops.load(Ordering::SeqCst), 0);
+        unsafe { local.retire_box(tracked(&drops)) };
+        assert_eq!(drops.load(Ordering::SeqCst), 4, "threshold scan must fire");
+    }
+
+    #[test]
+    fn both_scan_modes_reclaim_identically() {
+        for mode in [ScanMode::Sorted, ScanMode::Unsorted] {
+            let domain = Domain::new(Config {
+                scan_mode: mode,
+                retire_factor: 100,
+            });
+            let drops = Arc::new(Counter::new(0));
+            let guard = domain.register();
+            let mut local = domain.register();
+            let keep = tracked(&drops);
+            guard.set(1, keep as usize);
+            unsafe { local.retire_box(keep) };
+            for _ in 0..20 {
+                unsafe { local.retire_box(tracked(&drops)) };
+            }
+            local.flush();
+            assert_eq!(drops.load(Ordering::SeqCst), 20, "mode {mode:?}");
+            guard.clear(1);
+            local.flush();
+            assert_eq!(drops.load(Ordering::SeqCst), 21, "mode {mode:?}");
+        }
+    }
+
+    #[test]
+    fn records_are_recycled_not_regrown() {
+        let domain = Domain::default();
+        for _ in 0..50 {
+            let l = domain.register();
+            drop(l);
+        }
+        assert_eq!(domain.total_records(), 1);
+        assert_eq!(domain.live_records(), 0);
+
+        let a = domain.register();
+        let b = domain.register();
+        assert_eq!(domain.total_records(), 2);
+        assert_eq!(domain.live_records(), 2);
+        drop(a);
+        drop(b);
+    }
+
+    #[test]
+    fn orphaned_retirees_are_freed_on_domain_drop() {
+        let drops = Arc::new(Counter::new(0));
+        {
+            let domain = Domain::default();
+            let guard = domain.register();
+            let mut local = domain.register();
+            let p = tracked(&drops);
+            guard.set(0, p as usize);
+            unsafe { local.retire_box(p) };
+            drop(local); // still protected -> orphaned
+            assert_eq!(drops.load(Ordering::SeqCst), 0);
+            drop(guard);
+        }
+        assert_eq!(drops.load(Ordering::SeqCst), 1, "domain drop must free");
+    }
+
+    #[test]
+    fn protect_ptr_returns_current_value() {
+        let domain = Domain::default();
+        let local = domain.register();
+        let target = Box::into_raw(Box::new(123u64));
+        let src = AtomicPtr::new(target);
+        let got = local.protect_ptr(0, &src);
+        assert_eq!(got, target);
+        let mut hz = Vec::new();
+        domain.collect_hazards(&mut hz);
+        assert_eq!(hz, vec![target as usize]);
+        drop(unsafe { Box::from_raw(target) });
+    }
+
+    #[test]
+    fn clear_all_unpublishes_everything() {
+        let domain = Domain::default();
+        let local = domain.register();
+        for i in 0..HP_PER_RECORD {
+            local.set(i, 0x1000 + i);
+        }
+        let mut hz = Vec::new();
+        domain.collect_hazards(&mut hz);
+        assert_eq!(hz.len(), HP_PER_RECORD);
+        local.clear_all();
+        domain.collect_hazards(&mut hz);
+        assert!(hz.is_empty());
+    }
+
+    #[test]
+    fn concurrent_register_creates_at_most_thread_count_records() {
+        let domain = Arc::new(Domain::default());
+        let threads = 8;
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                let d = Arc::clone(&domain);
+                s.spawn(move || {
+                    for _ in 0..100 {
+                        let l = d.register();
+                        std::hint::black_box(&l);
+                        drop(l);
+                    }
+                });
+            }
+        });
+        assert!(domain.total_records() <= threads);
+        assert_eq!(domain.live_records(), 0);
+    }
+
+    #[test]
+    fn concurrent_retire_protect_stress() {
+        // Threads retire nodes while sometimes protecting them first; every
+        // node carries a canary validated at reclamation time, so a
+        // premature or double free trips the assertion.
+        const CANARY: u64 = 0xDEAD_BEEF_CAFE_F00D;
+        struct Canary(u64);
+        let domain = Arc::new(Domain::default());
+        let total = Arc::new(Counter::new(0));
+        std::thread::scope(|s| {
+            for t in 0..4usize {
+                let d = Arc::clone(&domain);
+                let total = Arc::clone(&total);
+                s.spawn(move || {
+                    let mut local = d.register();
+                    for i in 0..500usize {
+                        let p = Box::into_raw(Box::new(Canary(CANARY)));
+                        if (i + t) % 3 == 0 {
+                            local.set(0, p as usize);
+                        }
+                        total.fetch_add(1, Ordering::SeqCst);
+                        unsafe {
+                            unsafe fn check_and_free(p: *mut u8, _c: *mut u8) {
+                                let b = unsafe { Box::from_raw(p.cast::<Canary>()) };
+                                assert_eq!(b.0, CANARY, "freed node was corrupted");
+                            }
+                            local.retire_raw(p.cast(), std::ptr::null_mut(), check_and_free);
+                        }
+                        local.clear(0);
+                    }
+                    local.flush();
+                });
+            }
+        });
+        drop(domain);
+        assert_eq!(total.load(Ordering::SeqCst), 2000);
+    }
+}

@@ -1,0 +1,133 @@
+//! Property-based tests for the hazard-pointer domain: reclamation must
+//! free *exactly* the unprotected retirees, regardless of the
+//! protect/retire interleaving, in both scan modes.
+
+use nbq_hazard::{Config, Domain, ScanMode, HP_PER_RECORD};
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+struct Tracked(Arc<AtomicUsize>);
+impl Drop for Tracked {
+    fn drop(&mut self) {
+        self.0.fetch_add(1, Ordering::SeqCst);
+    }
+}
+
+/// One scripted step against the domain.
+#[derive(Debug, Clone)]
+enum Step {
+    /// Allocate a node and retire it, optionally protecting it first in
+    /// the guard's slot `slot`.
+    RetireNode { protect: bool, slot: usize },
+    /// Clear a guard slot.
+    Clear { slot: usize },
+    /// Force a scan.
+    Flush,
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        (any::<bool>(), 0..HP_PER_RECORD).prop_map(|(protect, slot)| Step::RetireNode {
+            protect,
+            slot
+        }),
+        (0..HP_PER_RECORD).prop_map(|slot| Step::Clear { slot }),
+        Just(Step::Flush),
+    ]
+}
+
+fn run_script(mode: ScanMode, steps: &[Step]) {
+    let domain = Domain::new(Config {
+        scan_mode: mode,
+        retire_factor: 4,
+    });
+    let drops = Arc::new(AtomicUsize::new(0));
+    let guard = domain.register();
+    let mut retirer = domain.register();
+    // Model: which retired addresses are currently protected by `guard`,
+    // and how many nodes were retired in total.
+    let mut protected_by_slot: [Option<usize>; HP_PER_RECORD] = [None; HP_PER_RECORD];
+    let mut retired_total = 0usize;
+
+    for step in steps {
+        match step {
+            Step::RetireNode { protect, slot } => {
+                let p = Box::into_raw(Box::new(Tracked(drops.clone())));
+                if *protect {
+                    guard.set(*slot, p as usize);
+                    protected_by_slot[*slot] = Some(p as usize);
+                }
+                // SAFETY: p is unlinked and retired exactly once.
+                unsafe { retirer.retire_box(p) };
+                retired_total += 1;
+            }
+            Step::Clear { slot } => {
+                guard.clear(*slot);
+                protected_by_slot[*slot] = None;
+            }
+            Step::Flush => {
+                retirer.flush();
+                // Invariant: freed + pending == retired; pending >= number
+                // of *distinct currently protected* retirees.
+                let freed = drops.load(Ordering::SeqCst);
+                assert_eq!(freed + retirer.pending(), retired_total);
+                let live_protected: std::collections::HashSet<usize> =
+                    protected_by_slot.iter().flatten().copied().collect();
+                assert!(
+                    retirer.pending() >= live_protected.len(),
+                    "pending {} < protected {}",
+                    retirer.pending(),
+                    live_protected.len()
+                );
+            }
+        }
+    }
+    // Teardown: clear everything; a final flush frees all.
+    guard.clear_all();
+    retirer.flush();
+    assert_eq!(drops.load(Ordering::SeqCst), retired_total);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn reclamation_is_exact_sorted(steps in prop::collection::vec(step_strategy(), 0..80)) {
+        run_script(ScanMode::Sorted, &steps);
+    }
+
+    #[test]
+    fn reclamation_is_exact_unsorted(steps in prop::collection::vec(step_strategy(), 0..80)) {
+        run_script(ScanMode::Unsorted, &steps);
+    }
+
+    #[test]
+    fn register_waves_never_exceed_peak(concurrent in 1usize..6, waves in 1usize..5) {
+        let domain = Domain::default();
+        for _ in 0..waves {
+            let locals: Vec<_> = (0..concurrent).map(|_| domain.register()).collect();
+            prop_assert_eq!(domain.live_records(), concurrent);
+            drop(locals);
+        }
+        prop_assert!(domain.total_records() <= concurrent);
+        prop_assert_eq!(domain.live_records(), 0);
+    }
+}
+
+#[test]
+fn protected_then_cleared_node_is_freed_on_next_scan() {
+    // Deterministic pin of the core protect/clear/flush cycle.
+    let domain = Domain::default();
+    let drops = Arc::new(AtomicUsize::new(0));
+    let guard = domain.register();
+    let mut retirer = domain.register();
+    let p = Box::into_raw(Box::new(Tracked(drops.clone())));
+    guard.set(0, p as usize);
+    unsafe { retirer.retire_box(p) };
+    retirer.flush();
+    assert_eq!(drops.load(Ordering::SeqCst), 0);
+    guard.clear(0);
+    retirer.flush();
+    assert_eq!(drops.load(Ordering::SeqCst), 1);
+}

@@ -1,0 +1,334 @@
+//! Fast necessary-condition checks over complete FIFO histories.
+//!
+//! These run in `O(n log n)` and catch the failure modes the paper's §3
+//! ABA analysis predicts for buggy array queues:
+//!
+//! * **lost values** (a null-ABA'd enqueue writing into the dequeued
+//!   region never surfaces),
+//! * **duplicated values** (a data-ABA'd dequeue returning a stale item),
+//! * **out-of-thin-air values**,
+//! * **FIFO inversions observable in real time** (if `enq(a)` finished
+//!   before `enq(b)` began and `b` was dequeued, `a` must have been
+//!   dequeued no later — formally, not strictly after in real time).
+//!
+//! They are *necessary* conditions (a history failing any is definitely
+//! not linearizable to a FIFO queue) but not sufficient; the exhaustive
+//! [`crate::search`] covers small histories completely.
+
+use crate::history::{History, OpKind};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A concrete violation found in a history.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// A value was enqueued (successfully) more than once — the driver
+    /// must use unique values for checking to be meaningful.
+    DuplicateEnqueue(u64),
+    /// A value came out of a dequeue but was never successfully enqueued.
+    OutOfThinAir(u64),
+    /// A value was dequeued more than once.
+    DuplicateDequeue(u64),
+    /// `enq(first)` really-precedes `enq(second)` and `second` was
+    /// dequeued, but `first` came out strictly later (or never).
+    FifoInversion {
+        /// The earlier-enqueued value.
+        first: u64,
+        /// The later-enqueued value that overtook it.
+        second: u64,
+    },
+    /// More dequeues of a value than enqueues (conservation, should be
+    /// caught by the above but kept for belt-and-braces counting).
+    Conservation {
+        /// Successful enqueue count.
+        enqueued: usize,
+        /// Successful dequeue count.
+        dequeued: usize,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::DuplicateEnqueue(v) => write!(f, "value {v} enqueued twice"),
+            Violation::OutOfThinAir(v) => write!(f, "value {v} dequeued but never enqueued"),
+            Violation::DuplicateDequeue(v) => write!(f, "value {v} dequeued twice"),
+            Violation::FifoInversion { first, second } => write!(
+                f,
+                "FIFO inversion: enq({first}) real-time-precedes enq({second}) \
+                 but {second} was dequeued strictly before {first}"
+            ),
+            Violation::Conservation { enqueued, dequeued } => {
+                write!(f, "conservation: {enqueued} enqueued vs {dequeued} dequeued")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Violation {}
+
+/// Runs every cheap check; `Ok` means no necessary condition is violated.
+pub fn check_history(h: &History) -> Result<(), Violation> {
+    check_value_integrity(h)?;
+    check_realtime_fifo(h)?;
+    Ok(())
+}
+
+/// Uniqueness, conservation, and out-of-thin-air checks.
+pub fn check_value_integrity(h: &History) -> Result<(), Violation> {
+    let mut enqueued: HashMap<u64, usize> = HashMap::new();
+    let mut dequeued: HashMap<u64, usize> = HashMap::new();
+    for op in &h.ops {
+        match op.kind {
+            OpKind::Enqueue(v) => {
+                let c = enqueued.entry(v).or_insert(0);
+                *c += 1;
+                if *c > 1 {
+                    return Err(Violation::DuplicateEnqueue(v));
+                }
+            }
+            OpKind::Dequeue(Some(v)) => {
+                let c = dequeued.entry(v).or_insert(0);
+                *c += 1;
+                if *c > 1 {
+                    return Err(Violation::DuplicateDequeue(v));
+                }
+            }
+            _ => {}
+        }
+    }
+    for v in dequeued.keys() {
+        if !enqueued.contains_key(v) {
+            return Err(Violation::OutOfThinAir(*v));
+        }
+    }
+    if dequeued.len() > enqueued.len() {
+        return Err(Violation::Conservation {
+            enqueued: enqueued.len(),
+            dequeued: dequeued.len(),
+        });
+    }
+    Ok(())
+}
+
+/// Real-time FIFO order check (sweep-line, `O(n log n)`).
+///
+/// For each pair of values where `enq(a)` responds before `enq(b)` is
+/// invoked: if `b` was dequeued, then `a` must also be dequeued, and
+/// `deq(a)` must not begin strictly after `deq(b)` responds.
+pub fn check_realtime_fifo(h: &History) -> Result<(), Violation> {
+    struct Item {
+        value: u64,
+        enq_start: u64,
+        enq_end: u64,
+        /// Invocation of the dequeue that removed it; `u64::MAX` if never
+        /// dequeued.
+        deq_start: u64,
+        /// Response of that dequeue; `u64::MAX` if never dequeued.
+        deq_end: u64,
+    }
+    let mut by_value: HashMap<u64, Item> = HashMap::new();
+    for op in &h.ops {
+        if let OpKind::Enqueue(v) = op.kind {
+            by_value.insert(v, Item {
+                value: v,
+                enq_start: op.start,
+                enq_end: op.end,
+                deq_start: u64::MAX,
+                deq_end: u64::MAX,
+            });
+        }
+    }
+    for op in &h.ops {
+        if let OpKind::Dequeue(Some(v)) = op.kind {
+            if let Some(item) = by_value.get_mut(&v) {
+                item.deq_start = op.start;
+                item.deq_end = op.end;
+            }
+        }
+    }
+    let items: Vec<Item> = by_value.into_values().collect();
+    if items.is_empty() {
+        return Ok(());
+    }
+
+    // Sweep values in order of enqueue invocation; a pointer over values
+    // sorted by enqueue response adds each `a` to the running prefix the
+    // moment enq(a).end < enq(b).start, maintaining the max deq_start seen.
+    let mut by_enq_start: Vec<usize> = (0..items.len()).collect();
+    by_enq_start.sort_by_key(|&i| items[i].enq_start);
+    let mut by_enq_end: Vec<usize> = (0..items.len()).collect();
+    by_enq_end.sort_by_key(|&i| items[i].enq_end);
+
+    let mut ptr = 0;
+    let mut max_deq_start: Option<usize> = None; // index of predecessor with max deq_start
+    for &bi in &by_enq_start {
+        let b = &items[bi];
+        while ptr < by_enq_end.len() && items[by_enq_end[ptr]].enq_end < b.enq_start {
+            let ai = by_enq_end[ptr];
+            if max_deq_start.is_none_or(|m| items[ai].deq_start > items[m].deq_start) {
+                max_deq_start = Some(ai);
+            }
+            ptr += 1;
+        }
+        if b.deq_end == u64::MAX {
+            continue; // b never dequeued: imposes nothing here
+        }
+        if let Some(ai) = max_deq_start {
+            let a = &items[ai];
+            // a's enqueue really precedes b's; if a's dequeue begins
+            // strictly after b's dequeue responds (or never), FIFO is
+            // violated.
+            if a.deq_start > b.deq_end {
+                return Err(Violation::FifoInversion {
+                    first: a.value,
+                    second: b.value,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::Op;
+
+    fn enq(thread: usize, v: u64, start: u64, end: u64) -> Op {
+        Op {
+            thread,
+            kind: OpKind::Enqueue(v),
+            start,
+            end,
+        }
+    }
+
+    fn deq(thread: usize, v: Option<u64>, start: u64, end: u64) -> Op {
+        Op {
+            thread,
+            kind: OpKind::Dequeue(v),
+            start,
+            end,
+        }
+    }
+
+    #[test]
+    fn clean_sequential_history_passes() {
+        let h = History {
+            ops: vec![
+                enq(0, 1, 0, 1),
+                enq(0, 2, 2, 3),
+                deq(0, Some(1), 4, 5),
+                deq(0, Some(2), 6, 7),
+                deq(0, None, 8, 9),
+            ],
+        };
+        assert_eq!(check_history(&h), Ok(()));
+    }
+
+    #[test]
+    fn duplicate_dequeue_is_caught() {
+        let h = History {
+            ops: vec![
+                enq(0, 1, 0, 1),
+                deq(0, Some(1), 2, 3),
+                deq(1, Some(1), 2, 3),
+            ],
+        };
+        assert_eq!(
+            check_value_integrity(&h),
+            Err(Violation::DuplicateDequeue(1))
+        );
+    }
+
+    #[test]
+    fn thin_air_value_is_caught() {
+        let h = History {
+            ops: vec![enq(0, 1, 0, 1), deq(0, Some(99), 2, 3)],
+        };
+        assert_eq!(check_value_integrity(&h), Err(Violation::OutOfThinAir(99)));
+    }
+
+    #[test]
+    fn duplicate_enqueue_is_caught() {
+        let h = History {
+            ops: vec![enq(0, 1, 0, 1), enq(1, 1, 2, 3)],
+        };
+        assert_eq!(
+            check_value_integrity(&h),
+            Err(Violation::DuplicateEnqueue(1))
+        );
+    }
+
+    #[test]
+    fn fifo_inversion_is_caught() {
+        // enq(1) fully before enq(2); 2 dequeued fully before 1.
+        let h = History {
+            ops: vec![
+                enq(0, 1, 0, 1),
+                enq(0, 2, 2, 3),
+                deq(1, Some(2), 10, 11),
+                deq(1, Some(1), 20, 21),
+            ],
+        };
+        assert!(matches!(
+            check_realtime_fifo(&h),
+            Err(Violation::FifoInversion { first: 1, second: 2 })
+        ));
+    }
+
+    #[test]
+    fn lost_value_is_caught_as_inversion() {
+        // enq(1) fully before enq(2); 2 dequeued, 1 never comes out.
+        let h = History {
+            ops: vec![enq(0, 1, 0, 1), enq(0, 2, 2, 3), deq(1, Some(2), 10, 11)],
+        };
+        assert!(matches!(
+            check_realtime_fifo(&h),
+            Err(Violation::FifoInversion { first: 1, second: 2 })
+        ));
+    }
+
+    #[test]
+    fn overlapping_enqueues_permit_either_order() {
+        // enq(1) and enq(2) overlap: either dequeue order linearizes.
+        let h = History {
+            ops: vec![
+                enq(0, 1, 0, 10),
+                enq(1, 2, 5, 6),
+                deq(0, Some(2), 20, 21),
+                deq(0, Some(1), 22, 23),
+            ],
+        };
+        assert_eq!(check_realtime_fifo(&h), Ok(()));
+    }
+
+    #[test]
+    fn overlapping_dequeues_permit_either_completion_order() {
+        // deq windows overlap, so no strict real-time reversal exists.
+        let h = History {
+            ops: vec![
+                enq(0, 1, 0, 1),
+                enq(0, 2, 2, 3),
+                deq(0, Some(2), 10, 30),
+                deq(1, Some(1), 11, 29),
+            ],
+        };
+        assert_eq!(check_realtime_fifo(&h), Ok(()));
+    }
+
+    #[test]
+    fn unmatched_enqueues_at_end_are_fine() {
+        // Values still in the queue when the run stopped.
+        let h = History {
+            ops: vec![enq(0, 1, 0, 1), enq(0, 2, 2, 3), deq(0, Some(1), 4, 5)],
+        };
+        assert_eq!(check_history(&h), Ok(()));
+    }
+
+    #[test]
+    fn empty_history_passes() {
+        assert_eq!(check_history(&History::default()), Ok(()));
+    }
+}

@@ -1,0 +1,224 @@
+//! Instrumented workload driver: runs a randomized mixed workload against
+//! any [`ConcurrentQueue`] while recording a complete history for the
+//! checkers.
+//!
+//! Values are made globally unique (`thread << 32 | seq`) so the
+//! uniqueness-based checks in [`crate::checks`] apply. The op mix is
+//! seeded and deterministic per thread (the interleaving of course is
+//! not — that is the point).
+
+use crate::history::{History, HistoryRecorder};
+use nbq_util::rng::SplitMix64;
+use nbq_util::{ConcurrentQueue, QueueHandle};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Barrier;
+
+/// Workload shape for [`record_run`].
+#[derive(Debug, Clone, Copy)]
+pub struct DriverConfig {
+    /// Concurrent worker threads.
+    pub threads: usize,
+    /// Operations attempted per thread.
+    pub ops_per_thread: usize,
+    /// Probability (percent) that an op is an enqueue; the rest dequeue.
+    pub enqueue_percent: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for DriverConfig {
+    fn default() -> Self {
+        Self {
+            threads: 4,
+            ops_per_thread: 500,
+            enqueue_percent: 55,
+            seed: 0xA11CE,
+        }
+    }
+}
+
+/// Runs the workload and returns the recorded history.
+pub fn record_run<Q: ConcurrentQueue<u64>>(queue: &Q, config: DriverConfig) -> History {
+    let recorder = HistoryRecorder::new();
+    let barrier = Barrier::new(config.threads);
+    let live = AtomicUsize::new(config.threads);
+    std::thread::scope(|s| {
+        for t in 0..config.threads {
+            let recorder = &recorder;
+            let barrier = &barrier;
+            let live = &live;
+            s.spawn(move || {
+                let mut log = recorder.log(t);
+                let mut handle = queue.handle();
+                let mut rng = SplitMix64::new(config.seed.wrapping_add(t as u64 * 0x9E37));
+                let mut seq: u64 = 0;
+                barrier.wait();
+                for _ in 0..config.ops_per_thread {
+                    if rng.chance(config.enqueue_percent, 100) {
+                        let value = ((t as u64) << 32) | seq;
+                        seq += 1;
+                        let start = log.begin();
+                        let ok = handle.enqueue(value).is_ok();
+                        log.end_enqueue(start, value, ok);
+                    } else {
+                        let start = log.begin();
+                        let got = handle.dequeue();
+                        log.end_dequeue(start, got);
+                    }
+                }
+                live.fetch_sub(1, Ordering::Relaxed);
+            });
+        }
+    });
+    recorder.into_history()
+}
+
+/// Runs the paper's §6 iteration shape (bursts of 5 enqueues then 5
+/// dequeues per thread) with recording, for history-checked versions of
+/// the benchmark workload.
+pub fn record_paper_workload<Q: ConcurrentQueue<u64>>(
+    queue: &Q,
+    threads: usize,
+    iterations: usize,
+) -> History {
+    let recorder = HistoryRecorder::new();
+    let barrier = Barrier::new(threads);
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let recorder = &recorder;
+            let barrier = &barrier;
+            s.spawn(move || {
+                let mut log = recorder.log(t);
+                let mut handle = queue.handle();
+                let mut seq: u64 = 0;
+                barrier.wait();
+                for _ in 0..iterations {
+                    for _ in 0..5 {
+                        let value = ((t as u64) << 32) | seq;
+                        seq += 1;
+                        loop {
+                            let start = log.begin();
+                            let ok = handle.enqueue(value).is_ok();
+                            log.end_enqueue(start, value, ok);
+                            if ok {
+                                break;
+                            }
+                            std::thread::yield_now();
+                        }
+                    }
+                    for _ in 0..5 {
+                        loop {
+                            let start = log.begin();
+                            let got = handle.dequeue();
+                            log.end_dequeue(start, got);
+                            if got.is_some() {
+                                break;
+                            }
+                            std::thread::yield_now();
+                        }
+                    }
+                }
+            });
+        }
+    });
+    recorder.into_history()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checks::check_history;
+    use nbq_util::Full;
+    use std::collections::VecDeque;
+    use std::sync::Mutex;
+
+    /// Reference queue for driver self-tests.
+    struct RefQueue {
+        inner: Mutex<VecDeque<u64>>,
+        cap: usize,
+    }
+
+    struct RefHandle<'q>(&'q RefQueue);
+
+    impl QueueHandle<u64> for RefHandle<'_> {
+        fn enqueue(&mut self, v: u64) -> Result<(), Full<u64>> {
+            let mut g = self.0.inner.lock().unwrap();
+            if g.len() >= self.0.cap {
+                return Err(Full(v));
+            }
+            g.push_back(v);
+            Ok(())
+        }
+        fn dequeue(&mut self) -> Option<u64> {
+            self.0.inner.lock().unwrap().pop_front()
+        }
+    }
+
+    impl ConcurrentQueue<u64> for RefQueue {
+        type Handle<'q>
+            = RefHandle<'q>
+        where
+            Self: 'q;
+        fn handle(&self) -> RefHandle<'_> {
+            RefHandle(self)
+        }
+        fn capacity(&self) -> Option<usize> {
+            Some(self.cap)
+        }
+        fn algorithm_name(&self) -> &'static str {
+            "reference"
+        }
+    }
+
+    #[test]
+    fn driver_produces_checkable_history() {
+        let q = RefQueue {
+            inner: Mutex::new(VecDeque::new()),
+            cap: 16,
+        };
+        let h = record_run(&q, DriverConfig {
+            threads: 4,
+            ops_per_thread: 300,
+            enqueue_percent: 60,
+            seed: 7,
+        });
+        assert_eq!(h.ops.len(), 4 * 300);
+        check_history(&h).expect("mutex queue must produce a clean history");
+    }
+
+    #[test]
+    fn paper_workload_shape() {
+        let q = RefQueue {
+            inner: Mutex::new(VecDeque::new()),
+            cap: 1024,
+        };
+        let h = record_paper_workload(&q, 3, 10);
+        // 3 threads x 10 iterations x (5 enq + 5 deq), all succeed.
+        assert_eq!(h.enqueue_count(), 150);
+        assert_eq!(h.dequeue_count(), 150);
+        check_history(&h).expect("clean");
+    }
+
+    #[test]
+    fn driver_is_deterministic_in_op_mix() {
+        // Same seed, single thread: identical op sequences (timestamps
+        // aside).
+        let mk = || {
+            let q = RefQueue {
+                inner: Mutex::new(VecDeque::new()),
+                cap: 8,
+            };
+            let h = record_run(&q, DriverConfig {
+                threads: 1,
+                ops_per_thread: 100,
+                enqueue_percent: 50,
+                seed: 42,
+            });
+            h.sorted_by_start()
+                .iter()
+                .map(|o| format!("{:?}", o.kind))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(mk(), mk());
+    }
+}

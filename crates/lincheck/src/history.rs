@@ -1,0 +1,258 @@
+//! Timestamped operation histories.
+//!
+//! A [`History`] is the raw material of correctness checking: every
+//! enqueue/dequeue invocation with its real-time invocation/response
+//! window. Threads record into private [`ThreadLog`]s (no synchronization
+//! on the hot path beyond an `Instant` read) which merge into the shared
+//! recorder when dropped.
+
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// What an operation did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpKind {
+    /// Successful enqueue of a (unique) value.
+    Enqueue(u64),
+    /// Enqueue rejected with `Full`.
+    EnqueueFull(u64),
+    /// Dequeue returning a value, or `None` for empty.
+    Dequeue(Option<u64>),
+}
+
+/// One completed operation.
+#[derive(Debug, Clone, Copy)]
+pub struct Op {
+    /// Recording thread index.
+    pub thread: usize,
+    /// Operation and outcome.
+    pub kind: OpKind,
+    /// Invocation time, ns since the recorder's epoch.
+    pub start: u64,
+    /// Response time, ns since the recorder's epoch.
+    pub end: u64,
+}
+
+/// A complete history (every recorded operation has responded).
+#[derive(Debug, Default, Clone)]
+pub struct History {
+    /// All operations, in no particular order.
+    pub ops: Vec<Op>,
+}
+
+impl History {
+    /// Operations sorted by invocation time (convenience for checkers).
+    pub fn sorted_by_start(&self) -> Vec<Op> {
+        let mut v = self.ops.clone();
+        v.sort_by_key(|o| (o.start, o.end));
+        v
+    }
+
+    /// Number of successful enqueues.
+    pub fn enqueue_count(&self) -> usize {
+        self.ops
+            .iter()
+            .filter(|o| matches!(o.kind, OpKind::Enqueue(_)))
+            .count()
+    }
+
+    /// Number of successful (Some) dequeues.
+    pub fn dequeue_count(&self) -> usize {
+        self.ops
+            .iter()
+            .filter(|o| matches!(o.kind, OpKind::Dequeue(Some(_))))
+            .count()
+    }
+}
+
+/// Shared collector for a multi-threaded run.
+pub struct HistoryRecorder {
+    epoch: Instant,
+    merged: Mutex<Vec<Op>>,
+}
+
+impl Default for HistoryRecorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl HistoryRecorder {
+    /// Creates a recorder; its construction instant is time zero.
+    pub fn new() -> Self {
+        Self {
+            epoch: Instant::now(),
+            merged: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Creates a thread-local log that merges back on drop.
+    pub fn log(&self, thread: usize) -> ThreadLog<'_> {
+        ThreadLog {
+            recorder: self,
+            thread,
+            ops: Vec::new(),
+        }
+    }
+
+    /// Extracts the merged history. Call after all logs have dropped.
+    pub fn into_history(self) -> History {
+        History {
+            ops: self.merged.into_inner().unwrap_or_else(|e| e.into_inner()),
+        }
+    }
+
+    fn now(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+}
+
+/// Per-thread operation log.
+pub struct ThreadLog<'r> {
+    recorder: &'r HistoryRecorder,
+    thread: usize,
+    ops: Vec<Op>,
+}
+
+impl ThreadLog<'_> {
+    /// Marks an invocation; returns the timestamp to pass to the matching
+    /// `end_*` call.
+    #[inline]
+    pub fn begin(&self) -> u64 {
+        self.recorder.now()
+    }
+
+    /// Records a completed enqueue attempt.
+    #[inline]
+    pub fn end_enqueue(&mut self, start: u64, value: u64, accepted: bool) {
+        let kind = if accepted {
+            OpKind::Enqueue(value)
+        } else {
+            OpKind::EnqueueFull(value)
+        };
+        self.ops.push(Op {
+            thread: self.thread,
+            kind,
+            start,
+            end: self.recorder.now(),
+        });
+    }
+
+    /// Records a completed dequeue.
+    #[inline]
+    pub fn end_dequeue(&mut self, start: u64, result: Option<u64>) {
+        self.ops.push(Op {
+            thread: self.thread,
+            kind: OpKind::Dequeue(result),
+            start,
+            end: self.recorder.now(),
+        });
+    }
+
+    /// Number of operations recorded so far by this thread.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True if no operations were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+}
+
+impl Drop for ThreadLog<'_> {
+    fn drop(&mut self) {
+        let mut merged = self
+            .recorder
+            .merged
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        merged.append(&mut self.ops);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_merge() {
+        let rec = HistoryRecorder::new();
+        {
+            let mut log = rec.log(0);
+            let t = log.begin();
+            log.end_enqueue(t, 7, true);
+            let t = log.begin();
+            log.end_dequeue(t, Some(7));
+            assert_eq!(log.len(), 2);
+        }
+        let h = rec.into_history();
+        assert_eq!(h.ops.len(), 2);
+        assert_eq!(h.enqueue_count(), 1);
+        assert_eq!(h.dequeue_count(), 1);
+    }
+
+    #[test]
+    fn timestamps_are_monotone_per_op() {
+        let rec = HistoryRecorder::new();
+        {
+            let mut log = rec.log(3);
+            for i in 0..10 {
+                let t = log.begin();
+                log.end_enqueue(t, i, true);
+            }
+        }
+        let h = rec.into_history();
+        for op in &h.ops {
+            assert!(op.start <= op.end);
+            assert_eq!(op.thread, 3);
+        }
+    }
+
+    #[test]
+    fn multi_thread_merge_collects_everything() {
+        let rec = HistoryRecorder::new();
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let rec = &rec;
+                s.spawn(move || {
+                    let mut log = rec.log(t);
+                    for i in 0..50u64 {
+                        let ts = log.begin();
+                        log.end_enqueue(ts, (t as u64) << 32 | i, true);
+                    }
+                });
+            }
+        });
+        let h = rec.into_history();
+        assert_eq!(h.ops.len(), 200);
+    }
+
+    #[test]
+    fn sorted_by_start_is_sorted() {
+        let rec = HistoryRecorder::new();
+        {
+            let mut log = rec.log(0);
+            for i in 0..20 {
+                let t = log.begin();
+                log.end_dequeue(t, Some(i));
+            }
+        }
+        let h = rec.into_history();
+        let sorted = h.sorted_by_start();
+        assert!(sorted.windows(2).all(|w| w[0].start <= w[1].start));
+    }
+
+    #[test]
+    fn failed_enqueue_is_distinguished() {
+        let rec = HistoryRecorder::new();
+        {
+            let mut log = rec.log(0);
+            let t = log.begin();
+            log.end_enqueue(t, 1, false);
+        }
+        let h = rec.into_history();
+        assert_eq!(h.enqueue_count(), 0);
+        assert!(matches!(h.ops[0].kind, OpKind::EnqueueFull(1)));
+    }
+}

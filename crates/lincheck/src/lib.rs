@@ -1,0 +1,27 @@
+//! FIFO history recording and linearizability checking.
+//!
+//! The paper's §3 catalogues three ABA failure modes (index-, data-, and
+//! null-ABA) whose observable symptoms are lost values, duplicated values,
+//! and FIFO inversions. This crate provides the machinery the workspace's
+//! tests use to hunt for those symptoms in real executions of every queue:
+//!
+//! * [`history`] — low-overhead timestamped operation recording,
+//! * [`checks`] — `O(n log n)` necessary-condition checks (value
+//!   integrity + real-time FIFO order) for large stress histories,
+//! * [`search`] — an exhaustive Wing–Gong-style linearizability search
+//!   (the paper's reference [16]) for small targeted histories, including
+//!   empty-`None` and `Full` semantics against a bounded model queue,
+//! * [`driver`] — an instrumented workload runner for any
+//!   [`nbq_util::ConcurrentQueue`].
+
+#![warn(missing_docs)]
+
+pub mod checks;
+pub mod driver;
+pub mod history;
+pub mod search;
+
+pub use checks::{check_history, check_realtime_fifo, check_value_integrity, Violation};
+pub use driver::{record_paper_workload, record_run, DriverConfig};
+pub use history::{History, HistoryRecorder, Op, OpKind, ThreadLog};
+pub use search::{check_linearizable, SearchResult, MAX_SEARCH_OPS};

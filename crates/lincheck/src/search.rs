@@ -1,0 +1,330 @@
+//! Exhaustive linearizability search for small FIFO histories, in the
+//! spirit of Wing & Gong, *Testing and Verifying Concurrent Objects*
+//! (JPDC 1993) — the paper's reference [16].
+//!
+//! The search enumerates candidate linearization orders: an operation may
+//! be chosen next iff no other unlinearized operation *responded* before
+//! it was *invoked* (real-time order must be respected), and replaying the
+//! chosen prefix against a sequential FIFO must stay consistent (a
+//! dequeue's result must match the model queue's front; a `None` dequeue
+//! requires an empty model queue; a `Full` enqueue requires a full model
+//! queue when a capacity is supplied).
+//!
+//! Memoization keys on (linearized-set, model-queue content), which keeps
+//! typical histories of a few dozen operations tractable. The search is
+//! exponential in the worst case — use it on targeted small histories and
+//! leave large stress runs to [`crate::checks`].
+
+use crate::history::{History, OpKind};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{HashSet, VecDeque};
+use std::hash::{Hash, Hasher};
+
+/// Hard cap on history size for the exhaustive search.
+pub const MAX_SEARCH_OPS: usize = 64;
+
+/// Outcome of the exhaustive search.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SearchResult {
+    /// A valid linearization exists (one witness order is returned, as
+    /// indices into the sorted op list).
+    Linearizable(Vec<usize>),
+    /// No linearization exists: the history is not a FIFO queue history.
+    NotLinearizable,
+    /// History exceeds [`MAX_SEARCH_OPS`].
+    TooLarge(usize),
+}
+
+/// Exhaustively checks linearizability of `h` against a FIFO queue of
+/// optional bounded `capacity`.
+pub fn check_linearizable(h: &History, capacity: Option<usize>) -> SearchResult {
+    let ops = h.sorted_by_start();
+    if ops.len() > MAX_SEARCH_OPS {
+        return SearchResult::TooLarge(ops.len());
+    }
+    let n = ops.len();
+    if n == 0 {
+        return SearchResult::Linearizable(Vec::new());
+    }
+
+    // chosen[i] = true once op i is linearized.
+    let mut chosen = vec![false; n];
+    let mut model: VecDeque<u64> = VecDeque::new();
+    let mut order: Vec<usize> = Vec::with_capacity(n);
+    let mut memo: HashSet<u64> = HashSet::new();
+
+    fn state_key(chosen: &[bool], model: &VecDeque<u64>) -> u64 {
+        let mut hsh = DefaultHasher::new();
+        chosen.hash(&mut hsh);
+        for v in model {
+            v.hash(&mut hsh);
+        }
+        hsh.finish()
+    }
+
+    fn dfs(
+        ops: &[crate::history::Op],
+        capacity: Option<usize>,
+        chosen: &mut [bool],
+        model: &mut VecDeque<u64>,
+        order: &mut Vec<usize>,
+        memo: &mut HashSet<u64>,
+    ) -> bool {
+        let n = ops.len();
+        if order.len() == n {
+            return true;
+        }
+        if !memo.insert(state_key(chosen, model)) {
+            return false; // state already explored without success
+        }
+        // Earliest response among unlinearized ops: anything invoked after
+        // it cannot be linearized next.
+        let min_end = ops
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !chosen[*i])
+            .map(|(_, o)| o.end)
+            .min()
+            .expect("nonempty");
+        for i in 0..n {
+            if chosen[i] || ops[i].start > min_end {
+                continue;
+            }
+            let op = &ops[i];
+            // Try to apply op to the model.
+            let applied = match op.kind {
+                OpKind::Enqueue(v) => {
+                    if capacity.is_some_and(|c| model.len() >= c) {
+                        false
+                    } else {
+                        model.push_back(v);
+                        true
+                    }
+                }
+                OpKind::EnqueueFull(_) => capacity.is_some_and(|c| model.len() >= c),
+                OpKind::Dequeue(Some(v)) => {
+                    if model.front() == Some(&v) {
+                        model.pop_front();
+                        true
+                    } else {
+                        false
+                    }
+                }
+                OpKind::Dequeue(None) => model.is_empty(),
+            };
+            if !applied {
+                continue;
+            }
+            chosen[i] = true;
+            order.push(i);
+            if dfs(ops, capacity, chosen, model, order, memo) {
+                return true;
+            }
+            // Undo.
+            order.pop();
+            chosen[i] = false;
+            match op.kind {
+                OpKind::Enqueue(_) => {
+                    model.pop_back();
+                }
+                OpKind::Dequeue(Some(v)) => model.push_front(v),
+                _ => {}
+            }
+        }
+        false
+    }
+
+    if dfs(&ops, capacity, &mut chosen, &mut model, &mut order, &mut memo) {
+        SearchResult::Linearizable(order)
+    } else {
+        SearchResult::NotLinearizable
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::Op;
+
+    fn enq(v: u64, start: u64, end: u64) -> Op {
+        Op {
+            thread: 0,
+            kind: OpKind::Enqueue(v),
+            start,
+            end,
+        }
+    }
+
+    fn enq_full(v: u64, start: u64, end: u64) -> Op {
+        Op {
+            thread: 0,
+            kind: OpKind::EnqueueFull(v),
+            start,
+            end,
+        }
+    }
+
+    fn deq(v: Option<u64>, start: u64, end: u64) -> Op {
+        Op {
+            thread: 0,
+            kind: OpKind::Dequeue(v),
+            start,
+            end,
+        }
+    }
+
+    fn lin(h: &History, cap: Option<usize>) -> bool {
+        matches!(check_linearizable(h, cap), SearchResult::Linearizable(_))
+    }
+
+    #[test]
+    fn empty_history_is_linearizable() {
+        assert!(lin(&History::default(), None));
+    }
+
+    #[test]
+    fn simple_sequential_history() {
+        let h = History {
+            ops: vec![
+                enq(1, 0, 1),
+                enq(2, 2, 3),
+                deq(Some(1), 4, 5),
+                deq(Some(2), 6, 7),
+                deq(None, 8, 9),
+            ],
+        };
+        assert!(lin(&h, None));
+    }
+
+    #[test]
+    fn sequential_order_violation_rejected() {
+        let h = History {
+            ops: vec![
+                enq(1, 0, 1),
+                enq(2, 2, 3),
+                deq(Some(2), 4, 5), // 1 is at the front
+            ],
+        };
+        assert!(!lin(&h, None));
+    }
+
+    #[test]
+    fn overlapping_enqueues_allow_either_order() {
+        let h = History {
+            ops: vec![
+                enq(1, 0, 10),
+                enq(2, 0, 10),
+                deq(Some(2), 11, 12),
+                deq(Some(1), 13, 14),
+            ],
+        };
+        assert!(lin(&h, None));
+    }
+
+    #[test]
+    fn none_dequeue_requires_a_moment_of_emptiness() {
+        // deq(None) fully between enq(1) and its dequeue: queue was
+        // definitely nonempty the whole window -> not linearizable.
+        let h = History {
+            ops: vec![
+                enq(1, 0, 1),
+                deq(None, 2, 3),
+                deq(Some(1), 4, 5),
+            ],
+        };
+        assert!(!lin(&h, None));
+    }
+
+    #[test]
+    fn none_dequeue_overlapping_enqueue_is_fine() {
+        // deq(None) overlaps enq(1): linearize the None first.
+        let h = History {
+            ops: vec![enq(1, 0, 10), deq(None, 0, 10), deq(Some(1), 11, 12)],
+        };
+        assert!(lin(&h, None));
+    }
+
+    #[test]
+    fn full_rejection_requires_a_full_queue() {
+        // Capacity 1: enq(1) ok; enq_full(2) while 1 still queued: fine.
+        let h = History {
+            ops: vec![enq(1, 0, 1), enq_full(2, 2, 3), deq(Some(1), 4, 5)],
+        };
+        assert!(lin(&h, Some(1)));
+        // But a Full report when the queue was provably empty is invalid.
+        let h = History {
+            ops: vec![enq_full(2, 0, 1), enq(1, 2, 3), deq(Some(1), 4, 5)],
+        };
+        assert!(!lin(&h, Some(1)));
+    }
+
+    #[test]
+    fn capacity_bound_is_enforced_for_success() {
+        // Two successful enqueues into capacity 1 with no dequeue between
+        // their windows: impossible.
+        let h = History {
+            ops: vec![enq(1, 0, 1), enq(2, 2, 3), deq(Some(1), 4, 5), deq(Some(2), 6, 7)],
+        };
+        assert!(!lin(&h, Some(1)));
+        assert!(lin(&h, Some(2)));
+    }
+
+    #[test]
+    fn duplicate_dequeue_rejected() {
+        let h = History {
+            ops: vec![enq(1, 0, 1), deq(Some(1), 2, 3), deq(Some(1), 4, 5)],
+        };
+        assert!(!lin(&h, None));
+    }
+
+    #[test]
+    fn witness_order_replays_correctly() {
+        let h = History {
+            ops: vec![enq(1, 0, 5), enq(2, 1, 6), deq(Some(2), 7, 8), deq(Some(1), 9, 10)],
+        };
+        match check_linearizable(&h, None) {
+            SearchResult::Linearizable(order) => {
+                assert_eq!(order.len(), 4);
+                // Replay: 2 must be enqueued before 1 in the witness.
+                let ops = h.sorted_by_start();
+                let pos = |v: u64| {
+                    order
+                        .iter()
+                        .position(|&i| matches!(ops[i].kind, OpKind::Enqueue(x) if x == v))
+                        .unwrap()
+                };
+                assert!(pos(2) < pos(1));
+            }
+            other => panic!("expected linearizable, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn too_large_is_reported() {
+        let ops = (0..(MAX_SEARCH_OPS as u64 + 1))
+            .map(|i| enq(i, i * 2, i * 2 + 1))
+            .collect();
+        assert_eq!(
+            check_linearizable(&History { ops }, None),
+            SearchResult::TooLarge(MAX_SEARCH_OPS + 1)
+        );
+    }
+
+    #[test]
+    fn concurrent_soup_is_linearizable() {
+        // Heavily overlapping, generated from a real sequential execution
+        // so a witness must exist.
+        let h = History {
+            ops: vec![
+                enq(1, 0, 20),
+                enq(2, 0, 20),
+                enq(3, 0, 20),
+                deq(Some(2), 5, 25),
+                deq(Some(1), 5, 25),
+                deq(Some(3), 5, 25),
+                deq(None, 30, 31),
+            ],
+        };
+        assert!(lin(&h, None));
+    }
+}

@@ -1,0 +1,149 @@
+//! Abstraction over LL/SC cell implementations.
+//!
+//! Algorithm 1 of the paper is parametric in the LL/SC primitive: the
+//! algorithm text only needs `LL`, `SC`, and a plain read. [`LlScCell`]
+//! captures that, so `nbq_core::LlScQueue` can be instantiated over
+//!
+//! * [`VersionedCell`](crate::VersionedCell) — the production emulation,
+//! * [`WeakCell`](crate::WeakCell) — with injected spurious SC failures,
+//!   to exercise every retry path deterministically, and
+//! * [`OracleCell`](crate::OracleCell) — the Fig. 2 reference semantics,
+//!   for differential testing of the queue itself.
+
+use crate::oracle::OracleCell;
+use crate::versioned::VersionedCell;
+use crate::weak::WeakCell;
+
+/// A single-word LL/SC variable holding values up to 48 bits.
+pub trait LlScCell: Send + Sync {
+    /// Link token produced by [`LlScCell::ll`] and consumed by
+    /// [`LlScCell::sc`].
+    type Token;
+
+    /// Load-linked: current value plus a token for one store-conditional.
+    fn ll(&self) -> (u64, Self::Token);
+
+    /// Store-conditional: writes `new` iff the cell is unwritten since the
+    /// `LL` that produced `token` (implementations may also fail
+    /// spuriously).
+    fn sc(&self, token: Self::Token, new: u64) -> bool;
+
+    /// Plain read, no link established.
+    fn load(&self) -> u64;
+}
+
+/// Factory for building a queue's backing array of cells.
+pub trait CellFactory<C: LlScCell> {
+    /// Creates the cell for slot `index`, holding initial value `value`.
+    fn make(&self, index: usize, value: u64) -> C;
+}
+
+impl<C: LlScCell, F: Fn(usize, u64) -> C> CellFactory<C> for F {
+    fn make(&self, index: usize, value: u64) -> C {
+        self(index, value)
+    }
+}
+
+impl LlScCell for VersionedCell {
+    type Token = crate::versioned::LinkToken;
+
+    #[inline]
+    fn ll(&self) -> (u64, Self::Token) {
+        VersionedCell::ll(self)
+    }
+
+    #[inline]
+    fn sc(&self, token: Self::Token, new: u64) -> bool {
+        VersionedCell::sc(self, token, new)
+    }
+
+    #[inline]
+    fn load(&self) -> u64 {
+        VersionedCell::load(self)
+    }
+}
+
+impl LlScCell for WeakCell {
+    type Token = crate::versioned::LinkToken;
+
+    #[inline]
+    fn ll(&self) -> (u64, Self::Token) {
+        WeakCell::ll(self)
+    }
+
+    #[inline]
+    fn sc(&self, token: Self::Token, new: u64) -> bool {
+        WeakCell::sc(self, token, new)
+    }
+
+    #[inline]
+    fn load(&self) -> u64 {
+        WeakCell::load(self)
+    }
+}
+
+impl LlScCell for OracleCell {
+    /// The oracle tracks links by thread identity (Fig. 2), so the token
+    /// carries no information.
+    type Token = ();
+
+    fn ll(&self) -> (u64, Self::Token) {
+        (OracleCell::ll(self), ())
+    }
+
+    fn sc(&self, _token: Self::Token, new: u64) -> bool {
+        OracleCell::sc(self, new)
+    }
+
+    fn load(&self) -> u64 {
+        OracleCell::load(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise<C: LlScCell>(cell: C) {
+        let (v, t) = cell.ll();
+        assert_eq!(v, 10);
+        assert!(cell.sc(t, 11));
+        assert_eq!(cell.load(), 11);
+        let (_, stale) = cell.ll();
+        let (_, fresh) = cell.ll();
+        assert!(cell.sc(fresh, 12));
+        assert!(!cell.sc(stale, 13) || cell.load() == 13);
+    }
+
+    #[test]
+    fn versioned_cell_implements_the_trait() {
+        exercise(VersionedCell::new(10));
+    }
+
+    #[test]
+    fn weak_cell_implements_the_trait() {
+        exercise(WeakCell::new(10, crate::FaultPlan::None));
+    }
+
+    #[test]
+    fn oracle_cell_single_thread_smoke() {
+        // The oracle links per-thread: a second LL before SC keeps the
+        // thread in validX, so the "stale" SC still succeeds here. The
+        // generic exercise() tolerates that.
+        let c = OracleCell::new(10);
+        let (v, t) = LlScCell::ll(&c);
+        assert_eq!(v, 10);
+        assert!(LlScCell::sc(&c, t, 11));
+        assert_eq!(LlScCell::load(&c), 11);
+        let (_, t) = LlScCell::ll(&c);
+        assert!(LlScCell::sc(&c, t, 12));
+        assert!(!LlScCell::sc(&c, (), 13), "set cleared by success");
+    }
+
+    #[test]
+    fn closure_factories_build_cells() {
+        let f = |_: usize, v: u64| VersionedCell::new(v);
+        let c = f.make(3, 9);
+        assert_eq!(c.load(), 9);
+    }
+}

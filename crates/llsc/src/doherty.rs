@@ -1,0 +1,614 @@
+//! CAS-based LL/SC for full 64-bit values, in the style of Doherty,
+//! Herlihy, Luchangco & Moir, *Bringing Practical Lock-Free Synchronization
+//! to 64-bit Applications* (PODC 2004).
+//!
+//! The paper's evaluation includes Michael–Scott running over this
+//! construction ("MS-Doherty et al.") and finds it the slowest contender
+//! because every LL/SC pair costs several successful CAS/bookkeeping
+//! operations. The construction here keeps the key structural ideas —
+//! every LL/SC variable is a pointer to an immutable *descriptor* holding
+//! the value; `SC` swings the pointer to a fresh descriptor; retired
+//! descriptors are recycled through a free pool once proven unreferenced —
+//! while delegating the proof of quiescence to this workspace's hazard
+//! pointers rather than Doherty's bespoke entry/exit counters. The cost
+//! profile (allocation-free steady state, several atomic RMWs per
+//! successful SC, population-oblivious space) matches; DESIGN.md records
+//! the substitution.
+//!
+//! Unlike [`crate::VersionedCell`], a [`DohertyCell`] carries full 64-bit
+//! values — this is exactly the "64-bit application" problem the original
+//! paper solves, at the price the ICPP'08 paper's Fig. 6 quantifies.
+
+use nbq_hazard::{Domain as HazardDomain, LocalHazards};
+use std::sync::atomic::{AtomicPtr, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+const ADDR_BITS: u32 = 48;
+const ADDR_MASK: u64 = (1 << ADDR_BITS) - 1;
+
+/// An immutable value descriptor. `value` is written only while the
+/// descriptor is private (freshly allocated or proven unreferenced by a
+/// hazard scan) but is atomic anyway so stale speculative readers can never
+/// cause UB — their protect/validate protocol discards the result.
+struct Desc {
+    value: AtomicU64,
+    /// Link used only while the descriptor sits in the free pool.
+    next_free: AtomicU64,
+}
+
+/// Lock-free descriptor pool: a version-tagged Treiber stack plus a
+/// registry of every descriptor ever allocated (for teardown).
+pub struct Pool {
+    /// Packed `(tag:16 | addr:48)`; the tag defeats pop/push ABA.
+    free_head: AtomicU64,
+    all: Mutex<Vec<*mut Desc>>,
+    allocated: AtomicUsize,
+    recycled: AtomicUsize,
+    sc_attempts: AtomicUsize,
+    sc_successes: AtomicUsize,
+}
+
+// SAFETY: the raw pointers in `all` are only dereferenced under the mutex
+// or during exclusive teardown; the freelist is manipulated with atomics.
+unsafe impl Send for Pool {}
+unsafe impl Sync for Pool {}
+
+#[inline]
+fn pack_head(tag: u64, addr: u64) -> u64 {
+    (tag << ADDR_BITS) | addr
+}
+
+impl Pool {
+    fn new() -> Self {
+        Self {
+            free_head: AtomicU64::new(0),
+            all: Mutex::new(Vec::new()),
+            allocated: AtomicUsize::new(0),
+            recycled: AtomicUsize::new(0),
+            sc_attempts: AtomicUsize::new(0),
+            sc_successes: AtomicUsize::new(0),
+        }
+    }
+
+    /// Takes a descriptor (recycled if possible) and writes `value` into it.
+    fn alloc(&self, value: u64) -> *mut Desc {
+        #[cfg(debug_assertions)]
+        let mut watchdog = 0u64;
+        loop {
+            #[cfg(debug_assertions)]
+            {
+                watchdog += 1;
+                assert!(watchdog < 100_000_000, "pool alloc livelocked");
+            }
+            let head = self.free_head.load(Ordering::Acquire);
+            let addr = head & ADDR_MASK;
+            if addr == 0 {
+                break;
+            }
+            let desc = addr as *mut Desc;
+            // SAFETY: descriptors are never deallocated while the pool
+            // lives, so this is a read of live (if possibly recycled)
+            // memory; the tagged CAS below rejects stale pops.
+            let next = unsafe { (*desc).next_free.load(Ordering::Acquire) };
+            let tag = head >> ADDR_BITS;
+            if self
+                .free_head
+                .compare_exchange(
+                    head,
+                    pack_head(tag.wrapping_add(1) & 0xFFFF, next),
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                )
+                .is_ok()
+            {
+                self.recycled.fetch_add(1, Ordering::Relaxed);
+                // SAFETY: the descriptor was popped exclusively; it is
+                // unreferenced (it entered the pool via a hazard scan).
+                unsafe { (*desc).value.store(value, Ordering::Relaxed) };
+                return desc;
+            }
+        }
+        let desc = Box::into_raw(Box::new(Desc {
+            value: AtomicU64::new(value),
+            next_free: AtomicU64::new(0),
+        }));
+        assert!(
+            (desc as u64) & !ADDR_MASK == 0,
+            "descriptor address exceeds 48 bits"
+        );
+        self.all
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(desc);
+        self.allocated.fetch_add(1, Ordering::Relaxed);
+        desc
+    }
+
+    /// Returns a descriptor to the freelist.
+    ///
+    /// # Safety
+    ///
+    /// `desc` must have come from [`Pool::alloc`] of this pool and be
+    /// unreferenced (never published, or proven quiescent by a hazard
+    /// scan).
+    unsafe fn push(&self, desc: *mut Desc) {
+        #[cfg(debug_assertions)]
+        let mut watchdog = 0u64;
+        loop {
+            #[cfg(debug_assertions)]
+            {
+                watchdog += 1;
+                assert!(watchdog < 100_000_000, "pool push livelocked");
+            }
+            let head = self.free_head.load(Ordering::Acquire);
+            // SAFETY: exclusive access per the contract.
+            unsafe { (*desc).next_free.store(head & ADDR_MASK, Ordering::Release) };
+            let tag = head >> ADDR_BITS;
+            if self
+                .free_head
+                .compare_exchange(
+                    head,
+                    pack_head(tag.wrapping_add(1) & 0xFFFF, desc as u64),
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                )
+                .is_ok()
+            {
+                return;
+            }
+        }
+    }
+
+    /// Number of descriptors ever heap-allocated (tests/diagnostics).
+    pub fn allocated(&self) -> usize {
+        self.allocated.load(Ordering::Relaxed)
+    }
+
+    /// Number of allocations served by recycling (tests/diagnostics).
+    pub fn recycled(&self) -> usize {
+        self.recycled.load(Ordering::Relaxed)
+    }
+
+    /// Total SC attempts across all cells of this domain (the paper's
+    /// per-operation synchronization accounting, experiment
+    /// `t4-opcounts`).
+    pub fn sc_attempts(&self) -> usize {
+        self.sc_attempts.load(Ordering::Relaxed)
+    }
+
+    /// Successful SCs across all cells of this domain.
+    pub fn sc_successes(&self) -> usize {
+        self.sc_successes.load(Ordering::Relaxed)
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        let all = self.all.get_mut().unwrap_or_else(|e| e.into_inner());
+        for &d in all.iter() {
+            // SAFETY: teardown is exclusive; every descriptor was created
+            // by Box::into_raw in alloc() and is freed exactly once here.
+            drop(unsafe { Box::from_raw(d) });
+        }
+    }
+}
+
+/// Shared state for a family of [`DohertyCell`]s: the hazard domain that
+/// proves descriptor quiescence plus the recycling pool.
+///
+/// Field order matters: the hazard domain must drop first so its orphaned
+/// retirees can still recycle into the pool.
+pub struct DohertyDomain {
+    hazard: HazardDomain,
+    pool: Box<Pool>,
+}
+
+impl Default for DohertyDomain {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DohertyDomain {
+    /// Creates an empty domain.
+    pub fn new() -> Self {
+        Self {
+            hazard: HazardDomain::default(),
+            pool: Box::new(Pool::new()),
+        }
+    }
+
+    /// Registers the calling thread.
+    pub fn register(&self) -> DohertyLocal<'_> {
+        DohertyLocal {
+            hp: self.hazard.register(),
+            pool: &self.pool,
+        }
+    }
+
+    /// The descriptor pool (diagnostics and cell teardown).
+    pub fn pool(&self) -> &Pool {
+        &self.pool
+    }
+
+    /// The underlying hazard domain (for structures that co-manage their
+    /// own nodes with the same domain, like the MS-Doherty baseline).
+    pub fn hazard_domain(&self) -> &HazardDomain {
+        &self.hazard
+    }
+}
+
+/// Per-thread handle: hazard slots plus pool access.
+pub struct DohertyLocal<'d> {
+    hp: LocalHazards<'d>,
+    pool: &'d Pool,
+}
+
+impl<'d> DohertyLocal<'d> {
+    /// Clears hazard slot `slot` (drops an un-SC'd link).
+    pub fn clear(&self, slot: usize) {
+        self.hp.clear(slot);
+    }
+
+    /// Direct access to the hazard handle, for callers co-managing their
+    /// own nodes in the same domain.
+    pub fn hazards(&mut self) -> &mut LocalHazards<'d> {
+        &mut self.hp
+    }
+
+    /// Shared access to the hazard handle.
+    pub fn hazards_ref(&self) -> &LocalHazards<'d> {
+        &self.hp
+    }
+
+    /// The pool this local allocates descriptors from.
+    pub fn pool(&self) -> &'d Pool {
+        self.pool
+    }
+}
+
+/// Token returned by [`DohertyCell::ll`]; licenses one `SC`.
+#[derive(Debug)]
+#[must_use = "an LL token should be consumed by sc() or released via release()"]
+pub struct DohertyToken {
+    desc: *mut Desc,
+    slot: usize,
+}
+
+impl DohertyToken {
+    /// The hazard slot the link occupies.
+    pub fn slot(&self) -> usize {
+        self.slot
+    }
+}
+
+/// recycle callback handed to the hazard domain: push the descriptor back
+/// into the pool.
+unsafe fn recycle_desc(ptr: *mut u8, ctx: *mut u8) {
+    let pool = ctx.cast::<Pool>();
+    // SAFETY: ctx is the pool pointer stored at retire time; pools are
+    // boxed inside the domain and outlive the hazard domain (field order in
+    // DohertyDomain). The descriptor passed a hazard scan, so it is
+    // unreferenced.
+    unsafe { (*pool).push(ptr.cast::<Desc>()) };
+}
+
+/// An LL/SC variable over a full 64-bit value.
+///
+/// # Usage contract
+///
+/// A cell must only be used with locals registered in the [`DohertyDomain`]
+/// it was created in, and must not outlive that domain. The queue types
+/// embedding cells enforce this structurally (they own the domain and the
+/// cells together).
+pub struct DohertyCell {
+    ptr: AtomicPtr<Desc>,
+}
+
+impl DohertyCell {
+    /// Creates a cell holding `value`, allocating its first descriptor
+    /// from `domain`'s pool.
+    pub fn new(value: u64, domain: &DohertyDomain) -> Self {
+        Self {
+            ptr: AtomicPtr::new(domain.pool.alloc(value)),
+        }
+    }
+
+    /// Creates a cell from a local handle (same pool).
+    pub fn new_with_local(value: u64, local: &DohertyLocal<'_>) -> Self {
+        Self {
+            ptr: AtomicPtr::new(local.pool.alloc(value)),
+        }
+    }
+
+    /// Load-linked: protects the current descriptor in hazard slot `slot`
+    /// and returns its value plus the token for a later `SC`.
+    ///
+    /// The hazard slot stays published until [`Self::sc`] or
+    /// [`Self::release`] consumes the token — this is what makes the
+    /// subsequent `SC`'s CAS ABA-free (the linked descriptor cannot be
+    /// recycled while protected).
+    pub fn ll(&self, local: &DohertyLocal<'_>, slot: usize) -> (u64, DohertyToken) {
+        let desc = local.hp.protect_ptr(slot, &self.ptr);
+        // SAFETY: desc is hazard-protected and was current in self.ptr, so
+        // it is a live descriptor whose value was published before
+        // installation.
+        let value = unsafe { (*desc).value.load(Ordering::Acquire) };
+        (value, DohertyToken { desc, slot })
+    }
+
+    /// Store-conditional: writes `new` iff the cell still holds the linked
+    /// descriptor. Succeeds at most once per token.
+    pub fn sc(&self, local: &mut DohertyLocal<'_>, token: DohertyToken, new: u64) -> bool {
+        let fresh = local.pool.alloc(new);
+        let ok = self
+            .ptr
+            .compare_exchange(token.desc, fresh, Ordering::SeqCst, Ordering::Relaxed)
+            .is_ok();
+        local.pool.sc_attempts.fetch_add(1, Ordering::Relaxed);
+        if ok {
+            local.pool.sc_successes.fetch_add(1, Ordering::Relaxed);
+        }
+        if ok {
+            // SAFETY: the old descriptor is now unlinked; no new references
+            // can be created (protect_ptr re-validates against self.ptr).
+            // It is recycled once no hazard covers it. The ctx pointer (the
+            // pool) outlives the hazard domain per DohertyDomain field
+            // order.
+            unsafe {
+                local.hp.retire_raw(
+                    token.desc.cast(),
+                    (local.pool as *const Pool).cast_mut().cast(),
+                    recycle_desc,
+                )
+            };
+        } else {
+            // SAFETY: `fresh` was never published.
+            unsafe { local.pool.push(fresh) };
+        }
+        local.hp.clear(token.slot);
+        ok
+    }
+
+    /// Abandons a link without storing.
+    pub fn release(&self, local: &DohertyLocal<'_>, token: DohertyToken) {
+        local.hp.clear(token.slot);
+    }
+
+    /// Validates that the cell is unwritten since the `LL` that produced
+    /// `token`; returns the token back if still valid.
+    pub fn validate(&self, token: DohertyToken) -> Result<DohertyToken, DohertyToken> {
+        if self.ptr.load(Ordering::SeqCst) == token.desc {
+            Ok(token)
+        } else {
+            Err(token)
+        }
+    }
+
+    /// Protected read: LL immediately followed by release.
+    pub fn load(&self, local: &DohertyLocal<'_>, slot: usize) -> u64 {
+        let (v, token) = self.ll(local, slot);
+        self.release(local, token);
+        v
+    }
+
+    /// Unprotected read for exclusive contexts (e.g. `Drop` of the owning
+    /// structure).
+    ///
+    /// # Safety
+    ///
+    /// No concurrent `sc` may be in flight.
+    pub unsafe fn load_exclusive(&self) -> u64 {
+        let desc = self.ptr.load(Ordering::Acquire);
+        // SAFETY: exclusivity per the contract; descriptors outlive cells
+        // (pool teardown frees them after the structure drops its cells).
+        unsafe { (*desc).value.load(Ordering::Acquire) }
+    }
+
+    /// Immediately recycles the cell's current descriptor into `pool`.
+    ///
+    /// This must only run from a context that *proves* unreachability —
+    /// e.g. the hazard-reclamation callback of the object embedding the
+    /// cell, which runs only once no hazard covers that object. It must
+    /// **not** run while any thread could still reach the cell: a
+    /// descriptor recycled while a cell still points at it is the
+    /// textbook reuse bug (a reader would revalidate against the
+    /// unchanged cell pointer and read the descriptor's *new* owner's
+    /// value).
+    ///
+    /// # Safety
+    ///
+    /// No thread can reach this cell anymore, and — by the nested
+    /// protection discipline (a descriptor link is always released before
+    /// its enclosing object's protection) — no hazard covers the current
+    /// descriptor.
+    pub unsafe fn reclaim_exclusive(&self, pool: &Pool) {
+        let desc = self.ptr.load(Ordering::Acquire);
+        if !desc.is_null() {
+            // SAFETY: per the caller contract.
+            unsafe { pool.push(desc) };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn ll_reads_initial_value() {
+        let dom = DohertyDomain::new();
+        let local = dom.register();
+        let cell = DohertyCell::new(42, &dom);
+        let (v, t) = cell.ll(&local, 0);
+        assert_eq!(v, 42);
+        cell.release(&local, t);
+    }
+
+    #[test]
+    fn full_64_bit_values_are_supported() {
+        let dom = DohertyDomain::new();
+        let mut local = dom.register();
+        let cell = DohertyCell::new(u64::MAX, &dom);
+        let (v, t) = cell.ll(&local, 0);
+        assert_eq!(v, u64::MAX);
+        assert!(cell.sc(&mut local, t, u64::MAX - 1));
+        assert_eq!(cell.load(&local, 0), u64::MAX - 1);
+    }
+
+    #[test]
+    fn sc_succeeds_when_quiet_and_fails_after_write() {
+        let dom = DohertyDomain::new();
+        let mut local = dom.register();
+        let cell = DohertyCell::new(1, &dom);
+
+        let (_, stale) = cell.ll(&local, 0);
+        let (_, fresh) = cell.ll(&local, 1);
+        assert!(cell.sc(&mut local, fresh, 2));
+        assert!(!cell.sc(&mut local, stale, 3));
+        assert_eq!(cell.load(&local, 0), 2);
+    }
+
+    #[test]
+    fn aba_value_restoration_is_detected() {
+        let dom = DohertyDomain::new();
+        let mut local = dom.register();
+        let cell = DohertyCell::new(1, &dom);
+        let (_, stale) = cell.ll(&local, 0);
+        let (_, t) = cell.ll(&local, 1);
+        assert!(cell.sc(&mut local, t, 2));
+        let (_, t) = cell.ll(&local, 1);
+        assert!(cell.sc(&mut local, t, 1)); // value back to 1
+        assert!(
+            !cell.sc(&mut local, stale, 9),
+            "descriptor identity differs even though the value matches"
+        );
+    }
+
+    #[test]
+    fn descriptors_recycle_in_steady_state() {
+        let dom = DohertyDomain::new();
+        let mut local = dom.register();
+        let cell = DohertyCell::new(0, &dom);
+        for i in 0..10_000u64 {
+            loop {
+                let (_, t) = cell.ll(&local, 0);
+                if cell.sc(&mut local, t, i) {
+                    break;
+                }
+            }
+        }
+        local.hazards().flush();
+        let allocated = dom.pool().allocated();
+        assert!(
+            allocated < 100,
+            "steady state must recycle, not allocate: allocated={allocated}"
+        );
+        assert!(dom.pool().recycled() > 9_000);
+    }
+
+    #[test]
+    fn failed_sc_returns_fresh_descriptor_to_pool() {
+        let dom = DohertyDomain::new();
+        let mut local = dom.register();
+        let cell = DohertyCell::new(0, &dom);
+        let (_, stale) = cell.ll(&local, 0);
+        let (_, t) = cell.ll(&local, 1);
+        assert!(cell.sc(&mut local, t, 1));
+        let before = dom.pool().allocated();
+        // The failed SC allocates then immediately recycles its fresh desc.
+        assert!(!cell.sc(&mut local, stale, 2));
+        let (_, t) = cell.ll(&local, 0);
+        assert!(cell.sc(&mut local, t, 3));
+        assert!(
+            dom.pool().allocated() <= before + 2,
+            "failure path must not leak descriptors"
+        );
+    }
+
+    #[test]
+    fn validate_detects_interference() {
+        let dom = DohertyDomain::new();
+        let mut local = dom.register();
+        let cell = DohertyCell::new(5, &dom);
+        let (_, t) = cell.ll(&local, 0);
+        let t = cell.validate(t).expect("untouched");
+        let (_, t2) = cell.ll(&local, 1);
+        assert!(cell.sc(&mut local, t2, 6));
+        match cell.validate(t) {
+            Ok(_) => panic!("validate must fail after a write"),
+            Err(t) => cell.release(&local, t),
+        }
+    }
+
+    #[test]
+    fn concurrent_increments_lose_no_updates() {
+        const THREADS: usize = 4;
+        const ITERS: u64 = 1_000;
+        let dom = Arc::new(DohertyDomain::new());
+        let cell = Arc::new(DohertyCell::new(0, &dom));
+        std::thread::scope(|s| {
+            for _ in 0..THREADS {
+                let dom = Arc::clone(&dom);
+                let cell = Arc::clone(&cell);
+                s.spawn(move || {
+                    let mut local = dom.register();
+                    for _ in 0..ITERS {
+                        loop {
+                            let (v, t) = cell.ll(&local, 0);
+                            if cell.sc(&mut local, t, v + 1) {
+                                break;
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        let local = dom.register();
+        assert_eq!(cell.load(&local, 0), THREADS as u64 * ITERS);
+    }
+
+    #[test]
+    fn pool_tagged_freelist_survives_concurrent_churn() {
+        // Hammer alloc/push from several threads; the version tag must
+        // prevent freelist corruption (a lost or doubled node would either
+        // hang alloc or double-serve an address within one thread's batch).
+        let dom = Arc::new(DohertyDomain::new());
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let dom = Arc::clone(&dom);
+                s.spawn(move || {
+                    for round in 0..200u64 {
+                        let batch: Vec<*mut Desc> =
+                            (0..8).map(|i| dom.pool().alloc(round * 8 + i)).collect();
+                        let mut unique = batch.clone();
+                        unique.sort_unstable();
+                        unique.dedup();
+                        assert_eq!(unique.len(), batch.len(), "double-served descriptor");
+                        for d in batch {
+                            // SAFETY: just allocated, never published.
+                            unsafe { dom.pool().push(d) };
+                        }
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn reclaim_exclusive_recycles_the_final_descriptor() {
+        let dom = DohertyDomain::new();
+        let local = dom.register();
+        let cell = DohertyCell::new(7, &dom);
+        // SAFETY: no other thread exists and the cell is never used again.
+        unsafe { cell.reclaim_exclusive(dom.pool()) };
+        let served_before = dom.pool().recycled();
+        let _cell2 = DohertyCell::new_with_local(8, &local);
+        assert_eq!(
+            dom.pool().recycled(),
+            served_before + 1,
+            "new cell must reuse the reclaimed descriptor"
+        );
+    }
+}

@@ -1,0 +1,43 @@
+//! Load-linked / store-conditional emulation substrate.
+//!
+//! The paper's Algorithm 1 (Fig. 3) is written against the *theoretical*
+//! LL/SC semantics of its Fig. 2: `SC(X, y)` succeeds iff no write to `X`
+//! occurred since the calling thread's last `LL(X)`. No mainstream ISA
+//! ships those semantics (x86 has none at all; ARM/POWER variants carry the
+//! restrictions the paper lists in §5), so a reproduction on commodity
+//! hardware has to *build* them. This crate provides four constructions:
+//!
+//! * [`VersionedCell`] — the workhorse: a single `AtomicU64` packing a
+//!   48-bit value with a 16-bit modification counter. `SC` is a CAS that
+//!   bumps the counter, so it fails iff the cell was written since the
+//!   paired `LL` (modulo a 2^16 wraparound — the same "extremely remote"
+//!   ABA residue the paper accepts for its unbounded indices). This is the
+//!   cell under `nbq_core`'s `LlScQueue`.
+//! * [`WeakCell`] — a `VersionedCell` wrapper that injects deterministic
+//!   spurious SC failures, modelling restriction 3 of §5 ("the SC
+//!   instruction may fail spuriously"). Used by tests to show Algorithm 1
+//!   still *works* under weak LL/SC (it just retries) and to exercise the
+//!   retry paths deterministically.
+//! * [`OracleCell`] — a mutex-based, literally-transcribed implementation
+//!   of Fig. 2 (value plus a `validX` set of thread IDs). Never
+//!   benchmarked; it is the test oracle the emulations are checked against.
+//! * [`doherty`] — a CAS-based LL/SC for *full 64-bit values* in the style
+//!   of Doherty, Herlihy, Luchangco & Moir (PODC 2004): each cell points to
+//!   an immutable descriptor; `SC` installs a fresh descriptor and retires
+//!   the old one. Descriptors are recycled through a pool once a
+//!   hazard-pointer scan proves them unreferenced. This powers the
+//!   "MS-Doherty et al." baseline, the slowest curve in the paper's Fig. 6.
+
+#![warn(missing_docs)]
+
+pub mod cell;
+pub mod doherty;
+pub mod oracle;
+pub mod versioned;
+pub mod weak;
+
+pub use cell::{CellFactory, LlScCell};
+pub use doherty::{DohertyCell, DohertyDomain, DohertyLocal};
+pub use oracle::OracleCell;
+pub use versioned::{LinkToken, VersionedCell, VALUE_BITS, VALUE_MASK};
+pub use weak::{FaultPlan, WeakCell};

@@ -1,0 +1,170 @@
+//! Literal transcription of the paper's Fig. 2 LL/SC semantics, used as a
+//! test oracle.
+//!
+//! ```text
+//! LL(X)    ≡ validX ← validX ∪ {threadID}; return X
+//! SC(X,Y)  ≡ if threadID ∈ validX then validX ← ∅; X ← Y; return true
+//!            else return false
+//! ```
+//!
+//! One big mutex makes the two statements atomic, exactly as the figure's
+//! "equivalent atomic statements" demand. This is deliberately slow and is
+//! excluded from every benchmark: its only job is to adjudicate what the
+//! fast emulations *should* do in differential tests.
+
+use std::collections::HashSet;
+use std::sync::Mutex;
+use std::thread::ThreadId;
+
+struct State {
+    value: u64,
+    valid: HashSet<ThreadId>,
+}
+
+/// Fig. 2 reference cell.
+pub struct OracleCell {
+    state: Mutex<State>,
+}
+
+impl OracleCell {
+    /// Creates an oracle cell holding `value` with an empty valid-set.
+    pub fn new(value: u64) -> Self {
+        Self {
+            state: Mutex::new(State {
+                value,
+                valid: HashSet::new(),
+            }),
+        }
+    }
+
+    /// `LL(X)`: adds the calling thread to `validX` and returns the value.
+    pub fn ll(&self) -> u64 {
+        let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        s.valid.insert(std::thread::current().id());
+        s.value
+    }
+
+    /// `SC(X, new)`: succeeds iff the calling thread is in `validX`; on
+    /// success clears the set and writes the value.
+    pub fn sc(&self, new: u64) -> bool {
+        let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if s.valid.contains(&std::thread::current().id()) {
+            s.valid.clear();
+            s.value = new;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Plain read (does not touch the valid-set).
+    pub fn load(&self) -> u64 {
+        self.state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn sc_without_ll_fails() {
+        let c = OracleCell::new(0);
+        assert!(!c.sc(1), "Fig. 2: SC requires membership in validX");
+        assert_eq!(c.load(), 0);
+    }
+
+    #[test]
+    fn ll_then_sc_succeeds() {
+        let c = OracleCell::new(0);
+        assert_eq!(c.ll(), 0);
+        assert!(c.sc(5));
+        assert_eq!(c.load(), 5);
+    }
+
+    #[test]
+    fn successful_sc_clears_the_whole_valid_set() {
+        // Thread A links; main thread links and SCs; A's link must be dead.
+        let c = Arc::new(OracleCell::new(0));
+        let c2 = Arc::clone(&c);
+        let handle = std::thread::spawn(move || {
+            c2.ll();
+            // Wait for main to SC, then try ours.
+            std::thread::park();
+            c2.sc(99)
+        });
+        // Give the spawned thread time to LL (park() is our sync point; a
+        // short sleep keeps the test simple and failure merely spurious-
+        // free: if the LL hasn't happened yet the test still passes
+        // vacuously, so loop until the set is non-empty).
+        loop {
+            if !c
+                .state
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .valid
+                .is_empty()
+            {
+                break;
+            }
+            std::thread::yield_now();
+        }
+        c.ll();
+        assert!(c.sc(7));
+        handle.thread().unpark();
+        let other_sc = handle.join().unwrap();
+        assert!(!other_sc, "a successful SC invalidates all other links");
+        assert_eq!(c.load(), 7);
+    }
+
+    #[test]
+    fn failed_sc_does_not_clear_other_links() {
+        let c = OracleCell::new(0);
+        // This thread never linked from another thread, so: link, then a
+        // *foreign* failed SC shouldn't revoke it. (Single-threaded
+        // approximation: SC-fail happens when set lacks the caller, here we
+        // verify a failing SC leaves value untouched.)
+        c.ll();
+        assert!(c.sc(1));
+        assert!(!c.sc(2), "second SC has no link");
+        assert_eq!(c.load(), 1);
+    }
+
+    #[test]
+    fn repeated_ll_is_idempotent_for_same_thread() {
+        let c = OracleCell::new(4);
+        assert_eq!(c.ll(), 4);
+        assert_eq!(c.ll(), 4);
+        assert!(c.sc(5));
+        assert!(!c.sc(6), "set cleared by the first success");
+    }
+
+    #[test]
+    fn concurrent_increment_agreement_with_versioned_cell() {
+        // Differential progress test: the oracle supports the same
+        // LL/SC retry-loop pattern and loses no increments.
+        const THREADS: usize = 4;
+        const ITERS: u64 = 500;
+        let c = Arc::new(OracleCell::new(0));
+        std::thread::scope(|s| {
+            for _ in 0..THREADS {
+                let c = Arc::clone(&c);
+                s.spawn(move || {
+                    for _ in 0..ITERS {
+                        loop {
+                            let v = c.ll();
+                            if c.sc(v + 1) {
+                                break;
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(c.load(), THREADS as u64 * ITERS);
+    }
+}

@@ -1,0 +1,223 @@
+//! Weak LL/SC: strong emulation plus injected spurious SC failures.
+//!
+//! Section 5 of the paper lists the ways shipping LL/SC implementations
+//! fall short of the Fig. 2 semantics; restriction 3 — "the cache coherence
+//! mechanism may allow the SC instruction to fail spuriously" — is the one
+//! that changes *progress* rather than safety. [`WeakCell`] models it: SCs
+//! that would succeed are failed according to a deterministic, seedable
+//! [`FaultPlan`], so tests can drive every retry path of Algorithm 1 on
+//! demand and show the algorithm remains correct (merely slower) under a
+//! weak primitive.
+
+use crate::versioned::{LinkToken, VersionedCell};
+use nbq_util::rng::SplitMix64;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Deterministic spurious-failure schedule.
+#[derive(Debug, Clone)]
+pub enum FaultPlan {
+    /// Never fail spuriously (behaves exactly like [`VersionedCell`]).
+    None,
+    /// Fail every `n`-th SC attempt (1-based): `EveryNth(3)` fails attempts
+    /// 3, 6, 9, …
+    EveryNth(u64),
+    /// Fail each SC attempt independently with probability `num`/`den`,
+    /// driven by a seeded [`SplitMix64`].
+    Probability {
+        /// RNG seed (equal seeds replay equal failure schedules).
+        seed: u64,
+        /// Numerator of the failure probability.
+        num: u64,
+        /// Denominator of the failure probability.
+        den: u64,
+    },
+}
+
+enum FaultState {
+    None,
+    EveryNth { n: u64, count: AtomicU64 },
+    Probability { num: u64, den: u64, rng: Mutex<SplitMix64> },
+}
+
+/// A [`VersionedCell`] whose SC can fail spuriously per a [`FaultPlan`].
+pub struct WeakCell {
+    inner: VersionedCell,
+    faults: FaultState,
+    spurious: AtomicU64,
+}
+
+impl WeakCell {
+    /// Creates a weak cell holding `value` with the given failure plan.
+    pub fn new(value: u64, plan: FaultPlan) -> Self {
+        let faults = match plan {
+            FaultPlan::None => FaultState::None,
+            FaultPlan::EveryNth(n) => {
+                assert!(n >= 1, "EveryNth(0) is meaningless");
+                FaultState::EveryNth {
+                    n,
+                    count: AtomicU64::new(0),
+                }
+            }
+            FaultPlan::Probability { seed, num, den } => {
+                assert!(den > 0 && num <= den, "probability must be in [0, 1]");
+                FaultState::Probability {
+                    num,
+                    den,
+                    rng: Mutex::new(SplitMix64::new(seed)),
+                }
+            }
+        };
+        Self {
+            inner: VersionedCell::new(value),
+            faults,
+            spurious: AtomicU64::new(0),
+        }
+    }
+
+    fn should_fail_spuriously(&self) -> bool {
+        match &self.faults {
+            FaultState::None => false,
+            FaultState::EveryNth { n, count } => {
+                (count.fetch_add(1, Ordering::Relaxed) + 1) % n == 0
+            }
+            FaultState::Probability { num, den, rng } => rng
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .chance(*num, *den),
+        }
+    }
+
+    /// Load-linked (never fails; only SC is weak).
+    #[inline]
+    pub fn ll(&self) -> (u64, LinkToken) {
+        self.inner.ll()
+    }
+
+    /// Store-conditional with possible spurious failure.
+    ///
+    /// A spuriously failed SC consumes the token — exactly like hardware,
+    /// where the reservation is lost and the caller must re-LL.
+    pub fn sc(&self, token: LinkToken, new: u64) -> bool {
+        if self.should_fail_spuriously() {
+            self.spurious.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+        self.inner.sc(token, new)
+    }
+
+    /// Plain read.
+    #[inline]
+    pub fn load(&self) -> u64 {
+        self.inner.load()
+    }
+
+    /// How many SCs were failed spuriously so far.
+    pub fn spurious_failures(&self) -> u64 {
+        self.spurious.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_none_is_transparent() {
+        let c = WeakCell::new(5, FaultPlan::None);
+        let (v, t) = c.ll();
+        assert_eq!(v, 5);
+        assert!(c.sc(t, 6));
+        assert_eq!(c.load(), 6);
+        assert_eq!(c.spurious_failures(), 0);
+    }
+
+    #[test]
+    fn every_nth_fails_on_schedule() {
+        let c = WeakCell::new(0, FaultPlan::EveryNth(3));
+        let mut outcomes = Vec::new();
+        for i in 0..9 {
+            let (_, t) = c.ll();
+            outcomes.push(c.sc(t, i));
+        }
+        assert_eq!(
+            outcomes,
+            vec![true, true, false, true, true, false, true, true, false]
+        );
+        assert_eq!(c.spurious_failures(), 3);
+    }
+
+    #[test]
+    fn every_first_fails_always_yet_value_is_safe() {
+        let c = WeakCell::new(1, FaultPlan::EveryNth(1));
+        for _ in 0..10 {
+            let (_, t) = c.ll();
+            assert!(!c.sc(t, 99));
+        }
+        assert_eq!(c.load(), 1, "spurious failure must never write");
+    }
+
+    #[test]
+    fn probability_plan_is_reproducible() {
+        let run = || {
+            let c = WeakCell::new(0, FaultPlan::Probability {
+                seed: 99,
+                num: 1,
+                den: 2,
+            });
+            (0..64)
+                .map(|i| {
+                    let (_, t) = c.ll();
+                    c.sc(t, i)
+                })
+                .collect::<Vec<bool>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn retry_loop_still_makes_progress_under_faults() {
+        // A standard LL/SC increment loop completes despite 50% spurious
+        // failures — weak LL/SC costs retries, not correctness.
+        let c = WeakCell::new(0, FaultPlan::Probability {
+            seed: 7,
+            num: 1,
+            den: 2,
+        });
+        for _ in 0..1000 {
+            loop {
+                let (v, t) = c.ll();
+                if c.sc(t, v + 1) {
+                    break;
+                }
+            }
+        }
+        assert_eq!(c.load(), 1000);
+        assert!(c.spurious_failures() > 0);
+    }
+
+    #[test]
+    fn real_conflicts_still_fail_under_plan_none() {
+        let c = WeakCell::new(0, FaultPlan::None);
+        let (_, stale) = c.ll();
+        let (_, t) = c.ll();
+        assert!(c.sc(t, 1));
+        assert!(!c.sc(stale, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "EveryNth(0)")]
+    fn zero_period_panics() {
+        WeakCell::new(0, FaultPlan::EveryNth(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn bad_probability_panics() {
+        WeakCell::new(0, FaultPlan::Probability {
+            seed: 0,
+            num: 3,
+            den: 2,
+        });
+    }
+}

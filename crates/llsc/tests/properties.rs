@@ -1,0 +1,182 @@
+//! Property-based tests for the LL/SC emulations: every cell must satisfy
+//! the Fig. 2 contract — an SC succeeds iff its cell is unwritten since
+//! the paired LL (with WeakCell additionally allowed to fail spuriously,
+//! never to succeed wrongly).
+
+use nbq_llsc::{DohertyCell, DohertyDomain, FaultPlan, VersionedCell, WeakCell, VALUE_MASK};
+use proptest::prelude::*;
+
+/// A single-thread script over a pool of outstanding link tokens.
+#[derive(Debug, Clone)]
+enum Step {
+    /// Take a new LL, remembering its token at the next slot.
+    Link,
+    /// SC through the `i`-th outstanding token with a new value.
+    Store { token: usize, value: u64 },
+    /// Plain read.
+    Load,
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        2 => Just(Step::Link),
+        3 => (any::<usize>(), 0u64..1_000_000).prop_map(|(token, value)| Step::Store {
+            token,
+            value
+        }),
+        1 => Just(Step::Load),
+    ]
+}
+
+/// Reference model: value + per-token write-counts at link time.
+struct Model {
+    value: u64,
+    writes: u64,
+    tokens: Vec<u64>, // writes count at each LL
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// VersionedCell implements Fig. 2 exactly (single thread): an SC
+    /// through token t succeeds iff no write happened since t's LL.
+    #[test]
+    fn versioned_cell_matches_the_token_model(
+        steps in prop::collection::vec(step_strategy(), 1..80),
+    ) {
+        let cell = VersionedCell::new(0);
+        let mut model = Model { value: 0, writes: 0, tokens: Vec::new() };
+        let mut live_tokens = Vec::new();
+
+        for step in steps {
+            match step {
+                Step::Link => {
+                    let (v, tok) = cell.ll();
+                    prop_assert_eq!(v, model.value);
+                    live_tokens.push(tok);
+                    model.tokens.push(model.writes);
+                }
+                Step::Store { token, value } => {
+                    if live_tokens.is_empty() {
+                        continue;
+                    }
+                    let idx = token % live_tokens.len();
+                    let tok = live_tokens.swap_remove(idx);
+                    let linked_at = model.tokens.swap_remove(idx);
+                    let expect_ok = linked_at == model.writes;
+                    let ok = cell.sc(tok, value);
+                    prop_assert_eq!(
+                        ok, expect_ok,
+                        "SC must succeed iff unwritten since LL"
+                    );
+                    if ok {
+                        model.value = value;
+                        model.writes += 1;
+                    }
+                }
+                Step::Load => {
+                    prop_assert_eq!(cell.load(), model.value);
+                }
+            }
+        }
+    }
+
+    /// WeakCell never *wrongly succeeds*: whenever its SC returns true the
+    /// strong model also allows it; and the cell's value always matches a
+    /// model that records only true successes.
+    #[test]
+    fn weak_cell_failures_are_only_ever_extra(
+        steps in prop::collection::vec(step_strategy(), 1..60),
+        seed in any::<u64>(),
+    ) {
+        let cell = WeakCell::new(0, FaultPlan::Probability { seed, num: 1, den: 3 });
+        let mut model = Model { value: 0, writes: 0, tokens: Vec::new() };
+        let mut live_tokens = Vec::new();
+        for step in steps {
+            match step {
+                Step::Link => {
+                    let (v, tok) = cell.ll();
+                    prop_assert_eq!(v, model.value);
+                    live_tokens.push(tok);
+                    model.tokens.push(model.writes);
+                }
+                Step::Store { token, value } => {
+                    if live_tokens.is_empty() {
+                        continue;
+                    }
+                    let idx = token % live_tokens.len();
+                    let tok = live_tokens.swap_remove(idx);
+                    let linked_at = model.tokens.swap_remove(idx);
+                    let allowed = linked_at == model.writes;
+                    let ok = cell.sc(tok, value);
+                    prop_assert!(!ok || allowed, "weak SC succeeded wrongly");
+                    if ok {
+                        model.value = value;
+                        model.writes += 1;
+                    }
+                }
+                Step::Load => prop_assert_eq!(cell.load(), model.value),
+            }
+        }
+    }
+
+    /// DohertyCell satisfies the same contract for full 64-bit values.
+    #[test]
+    fn doherty_cell_matches_the_token_model(
+        steps in prop::collection::vec(step_strategy(), 1..40),
+    ) {
+        let dom = DohertyDomain::new();
+        let mut local = dom.register();
+        let cell = DohertyCell::new(u64::MAX, &dom);
+        let mut value_model: u64 = u64::MAX;
+        let mut writes: u64 = 0;
+        // At most one live token (one hazard slot used per link here).
+        let mut live: Option<(nbq_llsc::doherty::DohertyToken, u64)> = None;
+        for step in steps {
+            match step {
+                Step::Link => {
+                    if let Some((tok, _)) = live.take() {
+                        cell.release(&local, tok);
+                    }
+                    let (v, tok) = cell.ll(&local, 0);
+                    prop_assert_eq!(v, value_model);
+                    live = Some((tok, writes));
+                }
+                Step::Store { value, .. } => {
+                    if let Some((tok, linked_at)) = live.take() {
+                        let expect_ok = linked_at == writes;
+                        let ok = cell.sc(&mut local, tok, value);
+                        prop_assert_eq!(ok, expect_ok);
+                        if ok {
+                            value_model = value;
+                            writes += 1;
+                        }
+                    }
+                }
+                Step::Load => {
+                    prop_assert_eq!(cell.load(&local, 1), value_model);
+                }
+            }
+        }
+        if let Some((tok, _)) = live.take() {
+            cell.release(&local, tok);
+        }
+    }
+
+    /// Values survive the 48-bit packing across arbitrary updates.
+    #[test]
+    fn versioned_cell_preserves_arbitrary_48_bit_values(
+        values in prop::collection::vec(0u64..=VALUE_MASK, 1..50),
+    ) {
+        let cell = VersionedCell::new(0);
+        for v in values {
+            loop {
+                let (_, tok) = cell.ll();
+                if cell.sc(tok, v) {
+                    break;
+                }
+            }
+            prop_assert_eq!(cell.load(), v);
+        }
+    }
+}

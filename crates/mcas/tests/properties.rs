@@ -1,0 +1,154 @@
+//! Property-based tests: MCAS over a pool of cells must behave exactly
+//! like an atomic multi-word memory model under arbitrary single-threaded
+//! scripts (the concurrent guarantees are exercised by the unit stress
+//! tests and the Valois queue's linearizability tests downstream).
+
+use nbq_mcas::{Mcas, McasCell};
+use proptest::prelude::*;
+
+const CELLS: usize = 4;
+
+#[derive(Debug, Clone)]
+enum Step {
+    /// cas2 over cells (i, j≠i) expecting model values shifted by
+    /// (stale_a, stale_b) — zero shifts mean a must-succeed CAS.
+    Cas2 {
+        i: usize,
+        j: usize,
+        stale_a: u64,
+        stale_b: u64,
+        new_a: u64,
+        new_b: u64,
+    },
+    /// cas_n over ALL cells with per-cell staleness.
+    CasN { stale: [u64; CELLS], add: u64 },
+    Read { i: usize },
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        (
+            0..CELLS,
+            0..CELLS,
+            0u64..3,
+            0u64..3,
+            0u64..1000,
+            0u64..1000
+        )
+            .prop_map(|(i, j, stale_a, stale_b, new_a, new_b)| Step::Cas2 {
+                i,
+                j,
+                stale_a,
+                stale_b,
+                new_a,
+                new_b,
+            }),
+        (prop::array::uniform4(0u64..2), 0u64..1000)
+            .prop_map(|(stale, add)| Step::CasN { stale, add }),
+        (0..CELLS).prop_map(|i| Step::Read { i }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn mcas_matches_the_multiword_model(steps in prop::collection::vec(step_strategy(), 1..60)) {
+        let domain = Mcas::new();
+        let mut local = domain.register();
+        let cells: Vec<McasCell> = (0..CELLS).map(|_| McasCell::new(0)).collect();
+        let mut model = [0u64; CELLS];
+
+        for step in steps {
+            match step {
+                Step::Cas2 { i, j, stale_a, stale_b, new_a, new_b } => {
+                    if i == j {
+                        continue;
+                    }
+                    // Expected values: the true model values, possibly
+                    // perturbed (staleness) to exercise the failure path.
+                    let ea = model[i].wrapping_add(stale_a * 4);
+                    let eb = model[j].wrapping_add(stale_b * 4);
+                    let na = new_a * 4;
+                    let nb = new_b * 4;
+                    let should = ea == model[i] && eb == model[j];
+                    let did = local.cas2(&cells[i], ea, na, &cells[j], eb, nb);
+                    prop_assert_eq!(did, should, "cas2 outcome mismatch");
+                    if did {
+                        model[i] = na;
+                        model[j] = nb;
+                    }
+                    // Failure must leave both untouched.
+                    prop_assert_eq!(local.read(&cells[i]), model[i]);
+                    prop_assert_eq!(local.read(&cells[j]), model[j]);
+                }
+                Step::CasN { stale, add } => {
+                    let expects: Vec<u64> = (0..CELLS)
+                        .map(|k| model[k].wrapping_add(stale[k] * 4))
+                        .collect();
+                    let news: Vec<u64> = (0..CELLS).map(|k| model[k].wrapping_add(add * 4 + k as u64 * 4)).collect();
+                    let ops: Vec<(&McasCell, u64, u64)> = (0..CELLS)
+                        .map(|k| (&cells[k], expects[k], news[k]))
+                        .collect();
+                    let should = (0..CELLS).all(|k| expects[k] == model[k]);
+                    let did = local.cas_n(&ops);
+                    prop_assert_eq!(did, should, "cas_n outcome mismatch");
+                    if did {
+                        model.copy_from_slice(&news[..CELLS]);
+                    }
+                    for k in 0..CELLS {
+                        prop_assert_eq!(local.read(&cells[k]), model[k], "cell {} diverged", k);
+                    }
+                }
+                Step::Read { i } => {
+                    prop_assert_eq!(local.read(&cells[i]), model[i]);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn two_thread_disjoint_and_overlapping_mix() {
+    // One thread transfers a<->b, the other b<->c, concurrently; all
+    // updates conserve each thread's invariant and the final sums agree.
+    let domain = Mcas::new();
+    let a = McasCell::new(1000 * 4);
+    let b = McasCell::new(1000 * 4);
+    let c = McasCell::new(1000 * 4);
+    std::thread::scope(|s| {
+        {
+            let (domain, a, b) = (&domain, &a, &b);
+            s.spawn(move || {
+                let mut l = domain.register();
+                let mut done = 0;
+                while done < 800 {
+                    let va = l.read(a);
+                    let vb = l.read(b);
+                    if va >= 4 && l.cas2(a, va, va - 4, b, vb, vb + 4) {
+                        done += 1;
+                    }
+                }
+            });
+        }
+        {
+            let (domain, b, c) = (&domain, &b, &c);
+            s.spawn(move || {
+                let mut l = domain.register();
+                let mut done = 0;
+                while done < 800 {
+                    let vb = l.read(b);
+                    let vc = l.read(c);
+                    if vb >= 4 && l.cas2(b, vb, vb - 4, c, vc, vc + 4) {
+                        done += 1;
+                    }
+                }
+            });
+        }
+    });
+    let mut l = domain.register();
+    let total = l.read(&a) + l.read(&b) + l.read(&c);
+    assert_eq!(total, 3000 * 4, "transfers conserve the total");
+    assert_eq!(l.read(&a), (1000 - 800) * 4);
+    assert_eq!(l.read(&c), (1000 + 800) * 4);
+}

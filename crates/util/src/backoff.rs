@@ -1,0 +1,148 @@
+//! Bounded exponential backoff for lock-free retry loops.
+
+use core::sync::atomic::{self, Ordering};
+
+/// Spin limit exponent: spin up to `1 << SPIN_LIMIT` times before yielding.
+const SPIN_LIMIT: u32 = 6;
+/// Total limit exponent: after this many doublings, `is_completed` is true.
+const YIELD_LIMIT: u32 = 10;
+
+/// Exponential backoff used around failed CAS/SC attempts.
+///
+/// The queues in this workspace are lock-free, not wait-free: a failed CAS
+/// means another thread made progress, and retrying immediately under heavy
+/// contention mostly burns coherence bandwidth. `Backoff` first spins with a
+/// growing number of `spin_loop` hints and then starts yielding the OS
+/// thread — essential on the single-CPU hosts this reproduction targets
+/// (the paper's preemptive-multithreading regime), where a preempted lagging
+/// thread can only be helped so far and the scheduler must eventually run it.
+///
+/// The `abl-backoff` experiment measures the effect of disabling this.
+#[derive(Debug)]
+pub struct Backoff {
+    step: u32,
+    enabled: bool,
+}
+
+impl Default for Backoff {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Backoff {
+    /// Creates a fresh backoff counter.
+    pub const fn new() -> Self {
+        Self {
+            step: 0,
+            enabled: true,
+        }
+    }
+
+    /// Creates a backoff object that does nothing, for the ablation study.
+    pub const fn disabled() -> Self {
+        Self {
+            step: 0,
+            enabled: false,
+        }
+    }
+
+    /// Resets the counter (call after a successful operation).
+    pub fn reset(&mut self) {
+        self.step = 0;
+    }
+
+    /// Backs off once after a failed attempt caused by contention.
+    ///
+    /// Spins for the first few steps, then yields the thread so a preempted
+    /// peer holding the "logical turn" (e.g. a lagging `Tail` updater) can
+    /// run.
+    pub fn snooze(&mut self) {
+        if !self.enabled {
+            return;
+        }
+        if self.step <= SPIN_LIMIT {
+            for _ in 0..1u32 << self.step {
+                core::hint::spin_loop();
+            }
+        } else {
+            std::thread::yield_now();
+        }
+        if self.step <= YIELD_LIMIT {
+            self.step += 1;
+        }
+    }
+
+    /// Spins without ever yielding; for very short waits where the other
+    /// party is known to be mid-instruction rather than descheduled.
+    pub fn spin(&mut self) {
+        if !self.enabled {
+            return;
+        }
+        for _ in 0..1u32 << self.step.min(SPIN_LIMIT) {
+            core::hint::spin_loop();
+        }
+        if self.step <= SPIN_LIMIT {
+            self.step += 1;
+        }
+    }
+
+    /// True once the backoff has saturated; callers doing bounded helping
+    /// can use this to switch strategy (e.g. from spinning to yielding).
+    pub fn is_completed(&self) -> bool {
+        self.step > YIELD_LIMIT
+    }
+}
+
+/// Full sequentially-consistent fence.
+///
+/// The array queues rely on cross-variable (`Head`/`Tail` vs. slot) ordering
+/// arguments; this helper keeps those call sites greppable.
+#[inline]
+pub fn full_fence() {
+    atomic::fence(Ordering::SeqCst);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snooze_advances_and_saturates() {
+        let mut b = Backoff::new();
+        assert!(!b.is_completed());
+        for _ in 0..64 {
+            b.snooze();
+        }
+        assert!(b.is_completed());
+        b.reset();
+        assert!(!b.is_completed());
+    }
+
+    #[test]
+    fn disabled_backoff_never_completes() {
+        let mut b = Backoff::disabled();
+        for _ in 0..1000 {
+            b.snooze();
+            b.spin();
+        }
+        assert!(!b.is_completed());
+    }
+
+    #[test]
+    fn spin_only_saturates_at_spin_limit() {
+        let mut b = Backoff::new();
+        for _ in 0..100 {
+            b.spin();
+        }
+        // spin() alone never pushes past the spin limit.
+        assert!(!b.is_completed());
+    }
+
+    #[test]
+    fn default_is_enabled() {
+        let mut b = Backoff::default();
+        b.snooze();
+        assert!(!b.is_completed());
+    }
+}

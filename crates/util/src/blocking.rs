@@ -1,0 +1,308 @@
+//! Opt-in blocking layer over any non-blocking queue.
+//!
+//! The paper's queues never block — that is their point. Applications,
+//! however, often want a *bounded channel* feel: block the producer while
+//! full, block the consumer while empty. [`BlockingQueue`] wraps any
+//! [`ConcurrentQueue`] with condition-variable parking while keeping the
+//! fast path (queue non-empty / non-full) completely lock-free: the lock
+//! and condvar are touched only after a failed attempt.
+//!
+//! ## Wakeup-race note
+//!
+//! Notifiers signal *without* holding the mutex (taking it on every
+//! operation would serialize the queue and defeat the wrapped algorithm).
+//! That leaves the textbook lost-wakeup window between a waiter's
+//! re-check and its `wait`; it is closed pragmatically with short timed
+//! waits, so a lost signal costs at most [`WAIT_SLICE`] of latency, never
+//! a deadlock. This is an adapter-level convenience, not part of the
+//! reproduced algorithms.
+
+use crate::queue::{ConcurrentQueue, Full, QueueHandle};
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Upper bound a parked thread sleeps before re-checking.
+pub const WAIT_SLICE: Duration = Duration::from_millis(1);
+
+/// A [`ConcurrentQueue`] with blocking `send`/`recv`.
+pub struct BlockingQueue<T: Send, Q: ConcurrentQueue<T>> {
+    inner: Q,
+    gate: Mutex<()>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    _marker: core::marker::PhantomData<fn(T) -> T>,
+}
+
+impl<T: Send, Q: ConcurrentQueue<T>> BlockingQueue<T, Q> {
+    /// Wraps `inner`.
+    pub fn new(inner: Q) -> Self {
+        Self {
+            inner,
+            gate: Mutex::new(()),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            _marker: core::marker::PhantomData,
+        }
+    }
+
+    /// The wrapped queue.
+    pub fn inner(&self) -> &Q {
+        &self.inner
+    }
+
+    /// Registers the calling thread.
+    pub fn handle(&self) -> BlockingHandle<'_, T, Q> {
+        BlockingHandle {
+            queue: self,
+            handle: self.inner.handle(),
+        }
+    }
+}
+
+/// Per-thread handle for [`BlockingQueue`].
+pub struct BlockingHandle<'q, T: Send, Q: ConcurrentQueue<T> + 'q> {
+    queue: &'q BlockingQueue<T, Q>,
+    handle: Q::Handle<'q>,
+}
+
+impl<'q, T: Send, Q: ConcurrentQueue<T>> BlockingHandle<'q, T, Q> {
+    /// Non-blocking enqueue (delegates to the wrapped queue).
+    pub fn try_send(&mut self, value: T) -> Result<(), Full<T>> {
+        let r = self.handle.enqueue(value);
+        if r.is_ok() {
+            self.queue.not_empty.notify_one();
+        }
+        r
+    }
+
+    /// Non-blocking dequeue (delegates to the wrapped queue).
+    pub fn try_recv(&mut self) -> Option<T> {
+        let v = self.handle.dequeue();
+        if v.is_some() {
+            self.queue.not_full.notify_one();
+        }
+        v
+    }
+
+    /// Enqueues, parking while the queue is full.
+    pub fn send(&mut self, value: T) {
+        let mut value = value;
+        loop {
+            match self.try_send(value) {
+                Ok(()) => return,
+                Err(Full(v)) => {
+                    value = v;
+                    let guard = self
+                        .queue
+                        .gate
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner());
+                    // Timed wait bounds the lost-wakeup window.
+                    let (_g, _timeout) = self
+                        .queue
+                        .not_full
+                        .wait_timeout(guard, WAIT_SLICE)
+                        .unwrap_or_else(|e| e.into_inner());
+                }
+            }
+        }
+    }
+
+    /// Enqueues with a deadline; on timeout the value comes back.
+    pub fn send_timeout(&mut self, value: T, timeout: Duration) -> Result<(), Full<T>> {
+        let deadline = Instant::now() + timeout;
+        let mut value = value;
+        loop {
+            match self.try_send(value) {
+                Ok(()) => return Ok(()),
+                Err(Full(v)) => {
+                    if Instant::now() >= deadline {
+                        return Err(Full(v));
+                    }
+                    value = v;
+                    let guard = self
+                        .queue
+                        .gate
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner());
+                    let remaining = deadline.saturating_duration_since(Instant::now());
+                    let _ = self
+                        .queue
+                        .not_full
+                        .wait_timeout(guard, remaining.min(WAIT_SLICE))
+                        .unwrap_or_else(|e| e.into_inner());
+                }
+            }
+        }
+    }
+
+    /// Dequeues, parking while the queue is empty.
+    pub fn recv(&mut self) -> T {
+        loop {
+            if let Some(v) = self.try_recv() {
+                return v;
+            }
+            let guard = self
+                .queue
+                .gate
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            let _ = self
+                .queue
+                .not_empty
+                .wait_timeout(guard, WAIT_SLICE)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Dequeues with a deadline.
+    pub fn recv_timeout(&mut self, timeout: Duration) -> Option<T> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if let Some(v) = self.try_recv() {
+                return Some(v);
+            }
+            if Instant::now() >= deadline {
+                return None;
+            }
+            let guard = self
+                .queue
+                .gate
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            let _ = self
+                .queue
+                .not_empty
+                .wait_timeout(guard, remaining.min(WAIT_SLICE))
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::VecDeque;
+
+    // Minimal bounded reference queue (util cannot depend on nbq-core).
+    struct RefQueue {
+        inner: Mutex<VecDeque<u64>>,
+        cap: usize,
+    }
+
+    struct RefHandle<'q>(&'q RefQueue);
+
+    impl QueueHandle<u64> for RefHandle<'_> {
+        fn enqueue(&mut self, v: u64) -> Result<(), Full<u64>> {
+            let mut g = self.0.inner.lock().unwrap();
+            if g.len() >= self.0.cap {
+                return Err(Full(v));
+            }
+            g.push_back(v);
+            Ok(())
+        }
+        fn dequeue(&mut self) -> Option<u64> {
+            self.0.inner.lock().unwrap().pop_front()
+        }
+    }
+
+    impl ConcurrentQueue<u64> for RefQueue {
+        type Handle<'q>
+            = RefHandle<'q>
+        where
+            Self: 'q;
+        fn handle(&self) -> RefHandle<'_> {
+            RefHandle(self)
+        }
+        fn capacity(&self) -> Option<usize> {
+            Some(self.cap)
+        }
+        fn algorithm_name(&self) -> &'static str {
+            "ref"
+        }
+    }
+
+    fn make(cap: usize) -> BlockingQueue<u64, RefQueue> {
+        BlockingQueue::new(RefQueue {
+            inner: Mutex::new(VecDeque::new()),
+            cap,
+        })
+    }
+
+    #[test]
+    fn try_ops_delegate() {
+        let q = make(2);
+        let mut h = q.handle();
+        h.try_send(1).unwrap();
+        h.try_send(2).unwrap();
+        assert!(h.try_send(3).is_err());
+        assert_eq!(h.try_recv(), Some(1));
+        assert_eq!(h.try_recv(), Some(2));
+        assert_eq!(h.try_recv(), None);
+    }
+
+    #[test]
+    fn recv_blocks_until_item_arrives() {
+        let q = make(4);
+        let got = std::thread::scope(|s| {
+            let consumer = s.spawn(|| q.handle().recv());
+            std::thread::sleep(Duration::from_millis(20));
+            q.handle().try_send(42).unwrap();
+            consumer.join().unwrap()
+        });
+        assert_eq!(got, 42);
+    }
+
+    #[test]
+    fn send_blocks_until_space_appears() {
+        let q = make(1);
+        q.handle().try_send(1).unwrap();
+        std::thread::scope(|s| {
+            let producer = s.spawn(|| q.handle().send(2));
+            std::thread::sleep(Duration::from_millis(20));
+            assert_eq!(q.handle().try_recv(), Some(1));
+            producer.join().unwrap();
+        });
+        assert_eq!(q.handle().try_recv(), Some(2));
+    }
+
+    #[test]
+    fn recv_timeout_expires_on_empty_queue() {
+        let q = make(4);
+        let t0 = Instant::now();
+        assert_eq!(q.handle().recv_timeout(Duration::from_millis(30)), None);
+        assert!(t0.elapsed() >= Duration::from_millis(25));
+    }
+
+    #[test]
+    fn send_timeout_returns_the_value() {
+        let q = make(1);
+        q.handle().try_send(7).unwrap();
+        let e = q
+            .handle()
+            .send_timeout(8, Duration::from_millis(20))
+            .unwrap_err();
+        assert_eq!(e.into_inner(), 8);
+    }
+
+    #[test]
+    fn pipeline_of_blocking_handles_moves_everything() {
+        const N: u64 = 2_000;
+        let q = make(8);
+        let sum = std::thread::scope(|s| {
+            s.spawn(|| {
+                let mut h = q.handle();
+                for i in 1..=N {
+                    h.send(i);
+                }
+            });
+            let consumer = s.spawn(|| {
+                let mut h = q.handle();
+                (0..N).map(|_| h.recv()).sum::<u64>()
+            });
+            consumer.join().unwrap()
+        });
+        assert_eq!(sum, N * (N + 1) / 2);
+    }
+}

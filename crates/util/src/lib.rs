@@ -1,0 +1,32 @@
+//! Shared substrate for the `nbq` workspace.
+//!
+//! This crate holds the pieces every queue implementation and the benchmark
+//! harness need but that are not themselves part of any single algorithm:
+//!
+//! * [`CachePadded`] — false-sharing avoidance for hot atomics such as the
+//!   `Head` and `Tail` indices of the array queues.
+//! * [`Backoff`] — bounded exponential backoff for retry loops around failed
+//!   CAS/SC attempts.
+//! * [`ConcurrentQueue`] / [`QueueHandle`] — the uniform bounded-FIFO
+//!   interface all queues in the workspace implement, so the harness,
+//!   integration tests, and the linearizability checker can drive any of
+//!   them interchangeably.
+//! * [`BlockingQueue`] — an opt-in parking layer giving any of the
+//!   non-blocking queues bounded-channel `send`/`recv` semantics.
+//! * [`rng::SplitMix64`] — tiny deterministic RNG for fault injection and
+//!   workload shuffling without pulling `rand` into the core crates.
+//! * [`stats`] — mean/stddev/min/max summaries used by the harness.
+
+#![warn(missing_docs)]
+
+pub mod backoff;
+pub mod blocking;
+pub mod pad;
+pub mod queue;
+pub mod rng;
+pub mod stats;
+
+pub use backoff::Backoff;
+pub use blocking::{BlockingHandle, BlockingQueue};
+pub use pad::CachePadded;
+pub use queue::{ConcurrentQueue, Full, QueueHandle};

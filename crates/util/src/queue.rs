@@ -1,0 +1,117 @@
+//! The uniform bounded-FIFO interface implemented by every queue in the
+//! workspace.
+//!
+//! The paper's algorithms (and several of the baselines it compares against)
+//! require a small amount of per-thread state: the CAS-based queue of Fig. 5
+//! needs a registered `LLSCvar`, and the Michael–Scott baselines need hazard
+//! pointer slots. The trait therefore hands out a per-thread
+//! [`QueueHandle`] rather than exposing `enqueue`/`dequeue` on the shared
+//! object directly; queues without per-thread state simply return a trivial
+//! handle.
+
+use core::fmt;
+
+/// Error returned by [`QueueHandle::enqueue`] when the queue is full.
+///
+/// Carries the rejected value back to the caller so nothing is lost — the
+/// paper's `FULL_QUEUE` return, made ownership-safe.
+pub struct Full<T>(pub T);
+
+impl<T> Full<T> {
+    /// Recovers the value that could not be enqueued.
+    pub fn into_inner(self) -> T {
+        self.0
+    }
+}
+
+impl<T> fmt::Debug for Full<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Full(..)")
+    }
+}
+
+impl<T> fmt::Display for Full<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("queue is full")
+    }
+}
+
+impl<T> std::error::Error for Full<T> {}
+
+/// Per-thread access point to a concurrent FIFO queue.
+///
+/// Handles are `Send` but deliberately not `Sync`/`Clone`: a handle is the
+/// owner of thread-local protocol state (an `LLSCvar`, hazard slots, a
+/// retire list). Each thread obtains its own via
+/// [`ConcurrentQueue::handle`].
+pub trait QueueHandle<T> {
+    /// Inserts `value` at the tail.
+    ///
+    /// Returns `Err(Full(value))` if the queue is at capacity. Lock-free
+    /// implementations may perform internal helping/retries but never block.
+    fn enqueue(&mut self, value: T) -> Result<(), Full<T>>;
+
+    /// Removes and returns the item at the head, or `None` if the queue is
+    /// (linearizably) empty.
+    fn dequeue(&mut self) -> Option<T>;
+}
+
+/// A multi-producer multi-consumer FIFO queue.
+///
+/// All queues in the workspace — the paper's two algorithms, every baseline,
+/// and the extension comparators — implement this so that the harness, the
+/// stress tests, and the linearizability checker can drive them uniformly.
+pub trait ConcurrentQueue<T: Send>: Send + Sync {
+    /// The per-thread handle type.
+    type Handle<'q>: QueueHandle<T> + Send
+    where
+        Self: 'q;
+
+    /// Registers the calling thread and returns its handle.
+    fn handle(&self) -> Self::Handle<'_>;
+
+    /// The maximum number of items the queue can hold, if bounded.
+    fn capacity(&self) -> Option<usize>;
+
+    /// A short human-readable algorithm name used in harness tables.
+    fn algorithm_name(&self) -> &'static str;
+}
+
+/// Convenience: run one enqueue through a fresh handle.
+///
+/// Only appropriate for tests and examples — taking a handle per operation
+/// defeats the per-thread-state amortization the algorithms are designed
+/// around.
+pub fn enqueue_once<T: Send, Q: ConcurrentQueue<T>>(q: &Q, value: T) -> Result<(), Full<T>> {
+    q.handle().enqueue(value)
+}
+
+/// Convenience: run one dequeue through a fresh handle. See [`enqueue_once`].
+pub fn dequeue_once<T: Send, Q: ConcurrentQueue<T>>(q: &Q) -> Option<T> {
+    q.handle().dequeue()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_round_trips_value() {
+        let f = Full(String::from("payload"));
+        assert_eq!(f.into_inner(), "payload");
+    }
+
+    #[test]
+    fn full_debug_and_display_do_not_require_t_debug() {
+        struct Opaque;
+        let f = Full(Opaque);
+        assert_eq!(format!("{f:?}"), "Full(..)");
+        assert_eq!(format!("{f}"), "queue is full");
+    }
+
+    #[test]
+    fn full_is_an_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&Full(0u8));
+    }
+}

@@ -1,0 +1,140 @@
+//! Summary statistics for benchmark runs.
+//!
+//! The paper reports "the average of 50 runs where each run is the mean time
+//! needed to complete the thread's iterations"; [`Summary`] captures exactly
+//! that (plus dispersion, which the paper omits but a reproduction should
+//! report).
+
+/// Mean/stddev/min/max over a set of per-run measurements.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (n-1 denominator); 0 for fewer than 2 runs.
+    pub stddev: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+    /// Number of observations.
+    pub n: usize,
+}
+
+impl Summary {
+    /// Summarizes a slice of observations. Panics on an empty slice.
+    pub fn of(samples: &[f64]) -> Self {
+        assert!(!samples.is_empty(), "Summary::of on empty sample set");
+        let n = samples.len();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = if n > 1 {
+            samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / (n - 1) as f64
+        } else {
+            0.0
+        };
+        let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        Self {
+            mean,
+            stddev: var.sqrt(),
+            min,
+            max,
+            n,
+        }
+    }
+
+    /// Relative standard deviation (stddev / mean), `0` when mean is 0.
+    pub fn rsd(&self) -> f64 {
+        if self.mean == 0.0 {
+            0.0
+        } else {
+            self.stddev / self.mean
+        }
+    }
+}
+
+/// Normalizes `series` point-wise against `baseline` (the paper's
+/// Fig. 6(c)/(d) transformation: every curve divided by the
+/// FIFO-Array-Simulated-CAS curve).
+///
+/// Panics if the lengths differ or a baseline entry is zero.
+pub fn normalize(series: &[f64], baseline: &[f64]) -> Vec<f64> {
+    assert_eq!(
+        series.len(),
+        baseline.len(),
+        "normalize: length mismatch ({} vs {})",
+        series.len(),
+        baseline.len()
+    );
+    series
+        .iter()
+        .zip(baseline)
+        .map(|(s, b)| {
+            assert!(*b != 0.0, "normalize: zero baseline");
+            s / b
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_constant_series() {
+        let s = Summary::of(&[5.0, 5.0, 5.0]);
+        assert_eq!(s.mean, 5.0);
+        assert_eq!(s.stddev, 0.0);
+        assert_eq!(s.min, 5.0);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.n, 3);
+    }
+
+    #[test]
+    fn summary_known_values() {
+        // mean 2, sample variance ((1)^2+(0)^2+(1)^2)/2 = 1
+        let s = Summary::of(&[1.0, 2.0, 3.0]);
+        assert!((s.mean - 2.0).abs() < 1e-12);
+        assert!((s.stddev - 1.0).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 3.0);
+    }
+
+    #[test]
+    fn single_sample_has_zero_stddev() {
+        let s = Summary::of(&[7.5]);
+        assert_eq!(s.stddev, 0.0);
+        assert_eq!(s.n, 1);
+    }
+
+    #[test]
+    fn rsd_handles_zero_mean() {
+        let s = Summary::of(&[0.0, 0.0]);
+        assert_eq!(s.rsd(), 0.0);
+        let t = Summary::of(&[1.0, 3.0]);
+        assert!(t.rsd() > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample set")]
+    fn empty_summary_panics() {
+        Summary::of(&[]);
+    }
+
+    #[test]
+    fn normalize_matches_hand_computation() {
+        let out = normalize(&[2.0, 9.0, 8.0], &[1.0, 3.0, 4.0]);
+        assert_eq!(out, vec![2.0, 3.0, 2.0]);
+    }
+
+    #[test]
+    fn normalizing_baseline_by_itself_is_all_ones() {
+        let b = [3.5, 1.25, 0.5];
+        assert_eq!(normalize(&b, &b), vec![1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn normalize_length_mismatch_panics() {
+        normalize(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,100 @@
+//! Quickstart: the public API in two minutes.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Shows both of the paper's queues behind the common trait, per-thread
+//! handles, bounded-capacity semantics, and a small multi-threaded
+//! producer/consumer run.
+
+use nbq::{CasQueue, ConcurrentQueue, LlScQueue, QueueHandle};
+
+fn main() {
+    // --- Algorithm 2 (Fig. 5): CAS + thread-owned reservations ---------
+    let queue = CasQueue::<String>::with_capacity(8);
+    let mut handle = queue.handle(); // registers this thread's LLSCvar
+
+    handle.enqueue("first".to_string()).unwrap();
+    handle.enqueue("second".to_string()).unwrap();
+    assert_eq!(handle.dequeue().as_deref(), Some("first"));
+    assert_eq!(handle.dequeue().as_deref(), Some("second"));
+    assert_eq!(handle.dequeue(), None); // linearizably empty
+    println!("CasQueue: FIFO order, None on empty ✓");
+
+    // Bounded: a full queue rejects the value and hands it back.
+    let small = CasQueue::<u32>::with_capacity(2);
+    let mut h = small.handle();
+    h.enqueue(1).unwrap();
+    h.enqueue(2).unwrap();
+    let err = h.enqueue(3).unwrap_err();
+    println!(
+        "CasQueue: capacity {} reached, value {} returned in Full ✓",
+        small.capacity(),
+        err.into_inner()
+    );
+
+    // --- Algorithm 1 (Fig. 3): emulated LL/SC ---------------------------
+    let queue = LlScQueue::<u64>::with_capacity(1024);
+    let produced: u64 = 4 * 10_000;
+    let sum = std::sync::atomic::AtomicU64::new(0);
+    let consumed = std::sync::atomic::AtomicU64::new(0);
+    std::thread::scope(|s| {
+        for p in 0..4u64 {
+            let queue = &queue;
+            s.spawn(move || {
+                let mut h = queue.handle();
+                for i in 0..10_000u64 {
+                    let value = p * 10_000 + i;
+                    while h.enqueue(value).is_err() {
+                        std::thread::yield_now(); // transiently full
+                    }
+                }
+            });
+        }
+        for _ in 0..2 {
+            let queue = &queue;
+            let sum = &sum;
+            let consumed = &consumed;
+            s.spawn(move || {
+                let mut h = queue.handle();
+                loop {
+                    match h.dequeue() {
+                        Some(v) => {
+                            sum.fetch_add(v, std::sync::atomic::Ordering::Relaxed);
+                            consumed.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        }
+                        None => {
+                            if consumed.load(std::sync::atomic::Ordering::Relaxed) >= produced {
+                                break;
+                            }
+                            std::thread::yield_now();
+                        }
+                    }
+                }
+            });
+        }
+    });
+    println!("LlScQueue: 4 producers / 2 consumers moved {produced} values ✓");
+
+    // --- The uniform trait ----------------------------------------------
+    fn drain<Q: ConcurrentQueue<u64>>(q: &Q) -> usize {
+        let mut h = q.handle();
+        let mut n = 0;
+        while h.dequeue().is_some() {
+            n += 1;
+        }
+        n
+    }
+    let q = CasQueue::<u64>::with_capacity(16);
+    let mut h = q.handle();
+    for i in 0..10 {
+        h.enqueue(i).unwrap();
+    }
+    drop(h);
+    println!(
+        "trait object style: drained {} items from a {} ✓",
+        drain(&q),
+        q.algorithm_name()
+    );
+}

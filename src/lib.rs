@@ -1,0 +1,43 @@
+//! # nbq — non-blocking bounded FIFO queues
+//!
+//! Facade crate for the reproduction of **Evequoz, “Non-Blocking Concurrent
+//! FIFO Queues With Single Word Synchronization Primitives”, ICPP 2008**.
+//!
+//! The paper's two contributions are re-exported at the root:
+//!
+//! * [`LlScQueue`] — Algorithm 1 (Fig. 3): a circular-array queue driven by
+//!   load-linked/store-conditional, emulated on x86-64 by
+//!   [`nbq_llsc::VersionedCell`].
+//! * [`CasQueue`] — Algorithm 2 (Fig. 5): the same queue driven by plain
+//!   pointer-wide CAS via tagged thread-owned `LLSCvar` reservations.
+//!
+//! Everything the paper's evaluation compares against lives in
+//! [`baselines`] (including the full §2 related-work catalogue:
+//! Michael–Scott over two reclamation schemes, Shann, Tsigas–Zhang,
+//! Herlihy–Wing, Treiber, Ladan-Mozes/Shavit, and Valois over the
+//! software DCAS in [`mcas`]), the substrates in [`llsc`] and
+//! [`hazard`], the history checker in [`lincheck`], and the benchmark
+//! machinery in [`harness`].
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use nbq::{CasQueue, ConcurrentQueue, QueueHandle};
+//!
+//! let q = CasQueue::<String>::with_capacity(8);
+//! let mut h = q.handle();
+//! h.enqueue("first".into()).unwrap();
+//! h.enqueue("second".into()).unwrap();
+//! assert_eq!(h.dequeue().as_deref(), Some("first"));
+//! assert_eq!(h.dequeue().as_deref(), Some("second"));
+//! assert_eq!(h.dequeue(), None);
+//! ```
+
+pub use nbq_baselines as baselines;
+pub use nbq_core::{CasQueue, LlScQueue};
+pub use nbq_harness as harness;
+pub use nbq_hazard as hazard;
+pub use nbq_lincheck as lincheck;
+pub use nbq_llsc as llsc;
+pub use nbq_mcas as mcas;
+pub use nbq_util::{Backoff, BlockingQueue, CachePadded, ConcurrentQueue, Full, QueueHandle};

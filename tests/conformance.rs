@@ -1,0 +1,222 @@
+//! Cross-crate conformance suite: every queue in the workspace — the
+//! paper's two algorithms and every baseline — must satisfy the same
+//! behavioural contract through the common `ConcurrentQueue` trait.
+
+use nbq::baselines::{
+    HerlihyWingQueue, LmsQueue, MsDohertyQueue, MsQueue, MutexQueue, ScanMode, ShannQueue,
+    TreiberQueue, TsigasZhangQueue, ValoisQueue,
+};
+use nbq::{CasQueue, ConcurrentQueue, LlScQueue, QueueHandle};
+
+/// FIFO order, empty semantics, interleaving, value ownership.
+fn conformance_suite<Q: ConcurrentQueue<String>>(make: impl Fn(usize) -> Q) {
+    // Order.
+    let q = make(16);
+    let mut h = q.handle();
+    assert_eq!(h.dequeue(), None, "{}: new queue is empty", q.algorithm_name());
+    for i in 0..10 {
+        h.enqueue(format!("v{i}")).unwrap();
+    }
+    for i in 0..10 {
+        assert_eq!(
+            h.dequeue().as_deref(),
+            Some(format!("v{i}").as_str()),
+            "{}: FIFO order",
+            q.algorithm_name()
+        );
+    }
+    assert_eq!(h.dequeue(), None);
+
+    // Interleaving with wraparound (several laps of a small array).
+    let q = make(4);
+    let mut h = q.handle();
+    for round in 0..100 {
+        h.enqueue(format!("a{round}")).unwrap();
+        h.enqueue(format!("b{round}")).unwrap();
+        assert_eq!(h.dequeue().as_deref(), Some(format!("a{round}").as_str()));
+        assert_eq!(h.dequeue().as_deref(), Some(format!("b{round}").as_str()));
+    }
+
+    // Two handles see one queue.
+    let q = make(8);
+    let mut producer = q.handle();
+    let mut consumer = q.handle();
+    producer.enqueue("x".into()).unwrap();
+    assert_eq!(consumer.dequeue().as_deref(), Some("x"));
+}
+
+/// Bounded queues: Full returns the value; space reappears after dequeue.
+fn bounded_suite<Q: ConcurrentQueue<String>>(make: impl Fn(usize) -> Q) {
+    let q = make(2);
+    let cap = ConcurrentQueue::capacity(&q).expect("bounded");
+    let mut h = q.handle();
+    for i in 0..cap {
+        h.enqueue(format!("fill{i}")).unwrap();
+    }
+    let back = h.enqueue("overflow".into()).unwrap_err().into_inner();
+    assert_eq!(back, "overflow", "{}: Full returns value", q.algorithm_name());
+    assert_eq!(h.dequeue().as_deref(), Some("fill0"));
+    h.enqueue("refill".into()).unwrap();
+    let mut drained = Vec::new();
+    while let Some(v) = h.dequeue() {
+        drained.push(v);
+    }
+    assert_eq!(drained.last().map(String::as_str), Some("refill"));
+}
+
+/// Drop frees everything exactly once (no leak, no double free).
+fn drop_suite<Q: ConcurrentQueue<DropCounter>>(make: impl Fn(usize) -> Q) {
+    use std::sync::atomic::Ordering;
+    let drops = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
+    {
+        let q = make(16);
+        let mut h = q.handle();
+        for _ in 0..10 {
+            h.enqueue(DropCounter(drops.clone())).unwrap();
+        }
+        for _ in 0..3 {
+            drop(h.dequeue());
+        }
+        assert_eq!(drops.load(Ordering::SeqCst), 3, "{}", q.algorithm_name());
+    }
+    assert_eq!(drops.load(Ordering::SeqCst), 10, "queue drop frees the rest");
+}
+
+struct DropCounter(std::sync::Arc<std::sync::atomic::AtomicUsize>);
+impl Drop for DropCounter {
+    fn drop(&mut self) {
+        self.0.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+    }
+}
+
+#[test]
+fn cas_queue_conformance() {
+    conformance_suite(CasQueue::<String>::with_capacity);
+    bounded_suite(CasQueue::<String>::with_capacity);
+    drop_suite(CasQueue::<DropCounter>::with_capacity);
+}
+
+#[test]
+fn llsc_queue_conformance() {
+    conformance_suite(LlScQueue::<String>::with_capacity);
+    bounded_suite(LlScQueue::<String>::with_capacity);
+    drop_suite(LlScQueue::<DropCounter>::with_capacity);
+}
+
+#[test]
+fn shann_queue_conformance() {
+    conformance_suite(ShannQueue::<String>::with_capacity);
+    bounded_suite(ShannQueue::<String>::with_capacity);
+    drop_suite(ShannQueue::<DropCounter>::with_capacity);
+}
+
+#[test]
+fn tsigas_zhang_conformance() {
+    conformance_suite(TsigasZhangQueue::<String>::with_capacity);
+    bounded_suite(TsigasZhangQueue::<String>::with_capacity);
+    drop_suite(TsigasZhangQueue::<DropCounter>::with_capacity);
+}
+
+#[test]
+fn mutex_queue_conformance() {
+    conformance_suite(MutexQueue::<String>::with_capacity);
+    bounded_suite(MutexQueue::<String>::with_capacity);
+}
+
+#[test]
+fn ms_hp_sorted_conformance() {
+    conformance_suite(|_| MsQueue::<String>::new(ScanMode::Sorted));
+    drop_suite(|_| MsQueue::<DropCounter>::new(ScanMode::Sorted));
+}
+
+#[test]
+fn ms_hp_unsorted_conformance() {
+    conformance_suite(|_| MsQueue::<String>::new(ScanMode::Unsorted));
+    drop_suite(|_| MsQueue::<DropCounter>::new(ScanMode::Unsorted));
+}
+
+#[test]
+fn ms_doherty_conformance() {
+    conformance_suite(|_| MsDohertyQueue::<String>::new());
+    drop_suite(|_| MsDohertyQueue::<DropCounter>::new());
+}
+
+#[test]
+fn herlihy_wing_conformance() {
+    conformance_suite(|_| HerlihyWingQueue::<String>::with_history_capacity(65_536));
+    drop_suite(|_| HerlihyWingQueue::<DropCounter>::with_history_capacity(65_536));
+}
+
+#[test]
+fn lms_conformance() {
+    conformance_suite(|_| LmsQueue::<String>::new());
+    drop_suite(|_| LmsQueue::<DropCounter>::new());
+}
+
+#[test]
+fn treiber_conformance() {
+    conformance_suite(|_| TreiberQueue::<String>::new());
+    drop_suite(|_| TreiberQueue::<DropCounter>::new());
+}
+
+#[test]
+fn valois_conformance() {
+    conformance_suite(ValoisQueue::<String>::with_capacity);
+    bounded_suite(ValoisQueue::<String>::with_capacity);
+    drop_suite(ValoisQueue::<DropCounter>::with_capacity);
+}
+
+#[test]
+fn blocking_adapter_over_cas_queue() {
+    use nbq::BlockingQueue;
+    let q = BlockingQueue::new(CasQueue::<String>::with_capacity(4));
+    let mut h = q.handle();
+    h.try_send("a".into()).unwrap();
+    assert_eq!(h.try_recv().as_deref(), Some("a"));
+    // Blocking recv across threads.
+    let got = std::thread::scope(|s| {
+        let consumer = s.spawn(|| q.handle().recv());
+        q.handle().try_send("b".into()).unwrap();
+        consumer.join().unwrap()
+    });
+    assert_eq!(got, "b");
+}
+
+#[test]
+fn algorithm_names_are_distinct() {
+    let names = [
+        ConcurrentQueue::<String>::algorithm_name(&CasQueue::with_capacity(2)),
+        ConcurrentQueue::<String>::algorithm_name(&LlScQueue::with_capacity(2)),
+        ConcurrentQueue::<String>::algorithm_name(&ShannQueue::with_capacity(2)),
+        ConcurrentQueue::<String>::algorithm_name(&TsigasZhangQueue::with_capacity(2)),
+        ConcurrentQueue::<String>::algorithm_name(&MutexQueue::with_capacity(2)),
+        ConcurrentQueue::<String>::algorithm_name(&MsQueue::new(ScanMode::Sorted)),
+        ConcurrentQueue::<String>::algorithm_name(&MsQueue::new(ScanMode::Unsorted)),
+        ConcurrentQueue::<String>::algorithm_name(&MsDohertyQueue::new()),
+        ConcurrentQueue::<String>::algorithm_name(&HerlihyWingQueue::with_history_capacity(1)),
+        ConcurrentQueue::<String>::algorithm_name(&ValoisQueue::with_capacity(2)),
+        ConcurrentQueue::<String>::algorithm_name(&TreiberQueue::new()),
+        ConcurrentQueue::<String>::algorithm_name(&LmsQueue::new()),
+    ];
+    let mut unique = names.to_vec();
+    unique.sort_unstable();
+    unique.dedup();
+    assert_eq!(unique.len(), names.len(), "names: {names:?}");
+}
+
+#[test]
+fn unbounded_queues_report_no_capacity() {
+    assert_eq!(
+        ConcurrentQueue::<String>::capacity(&MsQueue::new(ScanMode::Sorted)),
+        None
+    );
+    assert_eq!(
+        ConcurrentQueue::<String>::capacity(&MsDohertyQueue::new()),
+        None
+    );
+    assert_eq!(
+        ConcurrentQueue::<String>::capacity(&CasQueue::with_capacity(5)),
+        Some(8),
+        "array queues round capacity up to a power of two"
+    );
+}

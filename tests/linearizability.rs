@@ -1,0 +1,200 @@
+//! Linearizability validation: every queue is driven by the instrumented
+//! workload recorder and its history is checked for the ABA symptoms the
+//! paper's §3 predicts for buggy designs (lost values, duplicates, FIFO
+//! inversions), plus exhaustive Wing–Gong searches on small histories.
+//!
+//! A fresh queue is built per recorded run: the checkers' sequential FIFO
+//! model starts empty, so the real queue must too.
+
+use nbq::baselines::{
+    HerlihyWingQueue, LmsQueue, MsDohertyQueue, MsQueue, MutexQueue, ScanMode, ShannQueue,
+    TreiberQueue, TsigasZhangQueue, ValoisQueue,
+};
+use nbq::lincheck::{
+    check_history, check_linearizable, record_paper_workload, record_run, DriverConfig,
+    SearchResult,
+};
+use nbq::{CasQueue, ConcurrentQueue, LlScQueue};
+
+fn stress_config(seed: u64) -> DriverConfig {
+    DriverConfig {
+        threads: 4,
+        ops_per_thread: 400,
+        enqueue_percent: 55,
+        seed,
+    }
+}
+
+fn small_config(seed: u64) -> DriverConfig {
+    DriverConfig {
+        threads: 3,
+        ops_per_thread: 8,
+        enqueue_percent: 60,
+        seed,
+    }
+}
+
+fn assert_clean<Q: ConcurrentQueue<u64>>(make: impl Fn() -> Q, seeds: &[u64]) {
+    for &seed in seeds {
+        let q = make();
+        let h = record_run(&q, stress_config(seed));
+        check_history(&h).unwrap_or_else(|v| {
+            panic!("{}: history violation (seed {seed}): {v}", q.algorithm_name())
+        });
+    }
+}
+
+fn assert_small_linearizable<Q: ConcurrentQueue<u64>>(make: impl Fn() -> Q, seeds: &[u64]) {
+    for &seed in seeds {
+        let q = make();
+        let cap = ConcurrentQueue::capacity(&q);
+        let h = record_run(&q, small_config(seed));
+        match check_linearizable(&h, cap) {
+            SearchResult::Linearizable(_) => {}
+            SearchResult::NotLinearizable => panic!(
+                "{}: small history not linearizable (seed {seed}): {:?}",
+                q.algorithm_name(),
+                h.sorted_by_start()
+            ),
+            SearchResult::TooLarge(n) => panic!("history unexpectedly large: {n}"),
+        }
+    }
+}
+
+#[test]
+fn cas_queue_histories_are_clean() {
+    assert_clean(|| CasQueue::<u64>::with_capacity(64), &[1, 2, 3]);
+}
+
+#[test]
+fn cas_queue_small_histories_linearizable() {
+    assert_small_linearizable(|| CasQueue::<u64>::with_capacity(64), &[10, 11, 12, 13]);
+}
+
+#[test]
+fn llsc_queue_histories_are_clean() {
+    assert_clean(|| LlScQueue::<u64>::with_capacity(64), &[4, 5, 6]);
+}
+
+#[test]
+fn llsc_queue_small_histories_linearizable() {
+    assert_small_linearizable(|| LlScQueue::<u64>::with_capacity(64), &[20, 21, 22, 23]);
+}
+
+#[test]
+fn shann_queue_histories_are_clean() {
+    assert_clean(|| ShannQueue::<u64>::with_capacity(64), &[7, 8]);
+}
+
+#[test]
+fn tsigas_zhang_histories_are_clean() {
+    assert_clean(|| TsigasZhangQueue::<u64>::with_capacity(64), &[9, 10]);
+}
+
+#[test]
+fn ms_hp_histories_are_clean() {
+    assert_clean(|| MsQueue::<u64>::new(ScanMode::Sorted), &[11, 12]);
+    assert_clean(|| MsQueue::<u64>::new(ScanMode::Unsorted), &[11, 12]);
+}
+
+#[test]
+fn ms_doherty_histories_are_clean() {
+    assert_clean(MsDohertyQueue::<u64>::new, &[13, 14]);
+}
+
+#[test]
+fn mutex_queue_histories_are_clean() {
+    assert_clean(|| MutexQueue::<u64>::with_capacity(64), &[15]);
+    assert_small_linearizable(|| MutexQueue::<u64>::with_capacity(64), &[30, 31]);
+}
+
+#[test]
+fn ms_queues_small_histories_linearizable() {
+    assert_small_linearizable(|| MsQueue::<u64>::new(ScanMode::Sorted), &[24, 25]);
+    assert_small_linearizable(MsDohertyQueue::<u64>::new, &[26, 27]);
+}
+
+#[test]
+fn herlihy_wing_histories_are_clean() {
+    assert_clean(
+        || HerlihyWingQueue::<u64>::with_history_capacity(65_536),
+        &[16, 17],
+    );
+}
+
+#[test]
+fn herlihy_wing_small_histories_linearizable() {
+    // The HW queue's "capacity" is a history bound, not an occupancy
+    // bound, so check against the unbounded model.
+    for seed in [33, 34] {
+        let q = HerlihyWingQueue::<u64>::with_history_capacity(65_536);
+        let h = record_run(&q, small_config(seed));
+        match check_linearizable(&h, None) {
+            SearchResult::Linearizable(_) => {}
+            other => panic!("HW history not linearizable (seed {seed}): {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn lms_histories_are_clean() {
+    assert_clean(LmsQueue::<u64>::new, &[22, 23]);
+}
+
+#[test]
+fn lms_small_histories_linearizable() {
+    assert_small_linearizable(LmsQueue::<u64>::new, &[39, 40]);
+}
+
+#[test]
+fn treiber_histories_are_clean() {
+    assert_clean(TreiberQueue::<u64>::new, &[20, 21]);
+}
+
+#[test]
+fn treiber_small_histories_linearizable() {
+    assert_small_linearizable(TreiberQueue::<u64>::new, &[37, 38]);
+}
+
+#[test]
+fn valois_histories_are_clean() {
+    assert_clean(|| ValoisQueue::<u64>::with_capacity(64), &[18, 19]);
+}
+
+#[test]
+fn valois_small_histories_linearizable() {
+    assert_small_linearizable(|| ValoisQueue::<u64>::with_capacity(64), &[35, 36]);
+}
+
+#[test]
+fn paper_workload_histories_are_clean_for_core_queues() {
+    // The exact §6 shape (5 enq then 5 deq per iteration) with recording.
+    let q = CasQueue::<u64>::with_capacity(256);
+    let h = record_paper_workload(&q, 4, 50);
+    assert_eq!(h.enqueue_count(), 4 * 50 * 5);
+    assert_eq!(h.dequeue_count(), 4 * 50 * 5);
+    check_history(&h).expect("CAS queue paper workload");
+
+    let q = LlScQueue::<u64>::with_capacity(256);
+    let h = record_paper_workload(&q, 4, 50);
+    check_history(&h).expect("LL/SC queue paper workload");
+}
+
+#[test]
+fn tiny_capacity_full_semantics_linearize() {
+    // Capacity-2 CAS queue under a small concurrent run: Full outcomes
+    // must be consistent with a bounded FIFO model.
+    for seed in [40, 41, 42] {
+        let q = CasQueue::<u64>::with_capacity(2);
+        let h = record_run(&q, DriverConfig {
+            threads: 2,
+            ops_per_thread: 10,
+            enqueue_percent: 70,
+            seed,
+        });
+        match check_linearizable(&h, Some(2)) {
+            SearchResult::Linearizable(_) => {}
+            other => panic!("capacity-2 history not linearizable (seed {seed}): {other:?}"),
+        }
+    }
+}

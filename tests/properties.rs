@@ -1,0 +1,273 @@
+//! Property-based tests (proptest): random operation sequences against a
+//! reference model, differential testing of the LL/SC emulations, and
+//! cross-validation of the two linearizability checkers.
+
+use nbq::baselines::{
+    HerlihyWingQueue, LmsQueue, MsQueue, ScanMode, ShannQueue, TreiberQueue, TsigasZhangQueue,
+    ValoisQueue,
+};
+use nbq::lincheck::{check_history, check_linearizable, History, Op, OpKind, SearchResult};
+use nbq::llsc::{FaultPlan, LlScCell, OracleCell, VersionedCell, WeakCell};
+use nbq::{CasQueue, ConcurrentQueue, LlScQueue, QueueHandle};
+use proptest::prelude::*;
+use std::collections::VecDeque;
+
+/// A single-threaded op script.
+#[derive(Debug, Clone)]
+enum ScriptOp {
+    Enqueue(u64),
+    Dequeue,
+}
+
+fn script_strategy(max_len: usize) -> impl Strategy<Value = Vec<ScriptOp>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0u64..1_000_000).prop_map(ScriptOp::Enqueue),
+            Just(ScriptOp::Dequeue),
+        ],
+        0..max_len,
+    )
+}
+
+/// Replays a script against a queue and a VecDeque model with the same
+/// capacity; results must agree exactly (sequential linearizability).
+fn assert_matches_model<Q: ConcurrentQueue<u64>>(queue: &Q, script: &[ScriptOp]) {
+    let cap = ConcurrentQueue::capacity(queue);
+    let mut model: VecDeque<u64> = VecDeque::new();
+    let mut h = queue.handle();
+    for (i, op) in script.iter().enumerate() {
+        match op {
+            ScriptOp::Enqueue(v) => {
+                let queue_result = h.enqueue(*v);
+                let model_full = cap.is_some_and(|c| model.len() >= c);
+                match (queue_result, model_full) {
+                    (Ok(()), false) => model.push_back(*v),
+                    (Err(e), true) => assert_eq!(e.into_inner(), *v),
+                    (Ok(()), true) => panic!(
+                        "{} op {i}: accepted into a full queue",
+                        queue.algorithm_name()
+                    ),
+                    (Err(_), false) => panic!(
+                        "{} op {i}: rejected though model has {} < cap {:?}",
+                        queue.algorithm_name(),
+                        model.len(),
+                        cap
+                    ),
+                }
+            }
+            ScriptOp::Dequeue => {
+                assert_eq!(
+                    h.dequeue(),
+                    model.pop_front(),
+                    "{} op {i}: dequeue mismatch",
+                    queue.algorithm_name()
+                );
+            }
+        }
+    }
+    // Drain and compare the tails.
+    let mut rest = Vec::new();
+    while let Some(v) = h.dequeue() {
+        rest.push(v);
+    }
+    assert_eq!(rest, model.into_iter().collect::<Vec<_>>());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn cas_queue_matches_model(script in script_strategy(120), cap in 1usize..20) {
+        assert_matches_model(&CasQueue::<u64>::with_capacity(cap), &script);
+    }
+
+    #[test]
+    fn llsc_queue_matches_model(script in script_strategy(120), cap in 1usize..20) {
+        assert_matches_model(&LlScQueue::<u64>::with_capacity(cap), &script);
+    }
+
+    #[test]
+    fn llsc_queue_over_weak_cells_matches_model(
+        script in script_strategy(80),
+        cap in 1usize..12,
+        seed in any::<u64>(),
+    ) {
+        let q: LlScQueue<u64, WeakCell> = LlScQueue::with_cells(
+            cap,
+            nbq_core::llsc_queue::LlScQueueConfig::default(),
+            |_, v| WeakCell::new(v, FaultPlan::Probability { seed, num: 1, den: 3 }),
+        );
+        assert_matches_model(&q, &script);
+    }
+
+    #[test]
+    fn shann_queue_matches_model(script in script_strategy(120), cap in 1usize..20) {
+        assert_matches_model(&ShannQueue::<u64>::with_capacity(cap), &script);
+    }
+
+    #[test]
+    fn tsigas_zhang_matches_model(script in script_strategy(120), cap in 1usize..20) {
+        assert_matches_model(&TsigasZhangQueue::<u64>::with_capacity(cap), &script);
+    }
+
+    #[test]
+    fn ms_queue_matches_model(script in script_strategy(120)) {
+        // Unbounded: model never reports full.
+        assert_matches_model(&MsQueue::<u64>::new(ScanMode::Sorted), &script);
+    }
+
+    #[test]
+    fn valois_queue_matches_model(script in script_strategy(100), cap in 1usize..16) {
+        assert_matches_model(&ValoisQueue::<u64>::with_capacity(cap), &script);
+    }
+
+    #[test]
+    fn treiber_queue_matches_model(script in script_strategy(100)) {
+        assert_matches_model(&TreiberQueue::<u64>::new(), &script);
+    }
+
+    #[test]
+    fn lms_queue_matches_model(script in script_strategy(100)) {
+        assert_matches_model(&LmsQueue::<u64>::new(), &script);
+    }
+
+    #[test]
+    fn herlihy_wing_matches_model_within_history(script in script_strategy(100)) {
+        // The HW "capacity" is a lifetime-enqueue budget; with a budget
+        // far above the script length the occupancy model never sees Full,
+        // matching HW's behavior exactly.
+        assert_matches_model(
+            &HerlihyWingQueue::<u64>::with_history_capacity(100_000),
+            &script,
+        );
+    }
+
+    #[test]
+    fn versioned_cell_agrees_with_fig2_oracle_single_thread(
+        ops in prop::collection::vec((any::<bool>(), 0u64..1000), 1..60),
+    ) {
+        // Single-threaded differential test: a sequence of (ll+sc | load)
+        // steps must behave identically on the emulation and the Fig. 2
+        // oracle (single thread => the oracle's validX membership matches
+        // the emulation's unwritten-since-LL exactly, as every SC
+        // immediately follows its LL).
+        let cell = VersionedCell::new(0);
+        let oracle = OracleCell::new(0);
+        for (do_store, v) in ops {
+            if do_store {
+                let (a, t) = LlScCell::ll(&cell);
+                let (b, tb) = LlScCell::ll(&oracle);
+                prop_assert_eq!(a, b);
+                let ra = LlScCell::sc(&cell, t, v);
+                let rb = LlScCell::sc(&oracle, tb, v);
+                prop_assert_eq!(ra, rb);
+            } else {
+                prop_assert_eq!(LlScCell::load(&cell), LlScCell::load(&oracle));
+            }
+        }
+    }
+
+    #[test]
+    fn search_and_cheap_checks_agree_on_sequential_histories(
+        script in script_strategy(20),
+    ) {
+        // Build a history by running the script on a model queue with
+        // strictly increasing timestamps: such a history is linearizable
+        // by construction, so both checkers must accept it.
+        let mut model: VecDeque<u64> = VecDeque::new();
+        let mut ops = Vec::new();
+        let mut ts = 0u64;
+        let mut tag = 0u64;
+        for op in &script {
+            let (start, end) = (ts, ts + 1);
+            ts += 2;
+            match op {
+                ScriptOp::Enqueue(_) => {
+                    // Unique values for the integrity checks.
+                    tag += 1;
+                    model.push_back(tag);
+                    ops.push(Op { thread: 0, kind: OpKind::Enqueue(tag), start, end });
+                }
+                ScriptOp::Dequeue => {
+                    let got = model.pop_front();
+                    ops.push(Op { thread: 0, kind: OpKind::Dequeue(got), start, end });
+                }
+            }
+        }
+        let h = History { ops };
+        prop_assert_eq!(check_history(&h), Ok(()));
+        if h.ops.len() <= 20 {
+            prop_assert!(matches!(
+                check_linearizable(&h, None),
+                SearchResult::Linearizable(_)
+            ));
+        }
+    }
+
+    #[test]
+    fn corrupted_histories_are_rejected(
+        script in script_strategy(20),
+        flip in 0usize..20,
+    ) {
+        // Take a valid sequential history with >= 2 dequeues and corrupt
+        // one dequeue's value; at least one checker must object.
+        let mut model: VecDeque<u64> = VecDeque::new();
+        let mut ops = Vec::new();
+        let mut ts = 0u64;
+        let mut tag = 0u64;
+        for op in &script {
+            let (start, end) = (ts, ts + 1);
+            ts += 2;
+            match op {
+                ScriptOp::Enqueue(_) => {
+                    tag += 1;
+                    model.push_back(tag);
+                    ops.push(Op { thread: 0, kind: OpKind::Enqueue(tag), start, end });
+                }
+                ScriptOp::Dequeue => {
+                    let got = model.pop_front();
+                    ops.push(Op { thread: 0, kind: OpKind::Dequeue(got), start, end });
+                }
+            }
+        }
+        let deq_positions: Vec<usize> = ops
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| matches!(o.kind, OpKind::Dequeue(Some(_))))
+            .map(|(i, _)| i)
+            .collect();
+        prop_assume!(!deq_positions.is_empty());
+        let target = deq_positions[flip % deq_positions.len()];
+        // Corrupt: claim a never-enqueued value came out.
+        ops[target].kind = OpKind::Dequeue(Some(999_999_999));
+        let h = History { ops };
+        let cheap_rejects = check_history(&h).is_err();
+        let search_rejects = h.ops.len() <= 20
+            && matches!(check_linearizable(&h, None), SearchResult::NotLinearizable);
+        prop_assert!(cheap_rejects || search_rejects);
+    }
+}
+
+#[test]
+fn regression_fixed_scripts() {
+    // Deterministic corner scripts kept out of proptest for clarity.
+    let scripts: Vec<Vec<ScriptOp>> = vec![
+        vec![ScriptOp::Dequeue, ScriptOp::Dequeue],
+        vec![ScriptOp::Enqueue(1), ScriptOp::Enqueue(2), ScriptOp::Enqueue(3)],
+        (0..40)
+            .map(|i| {
+                if i % 3 == 0 {
+                    ScriptOp::Dequeue
+                } else {
+                    ScriptOp::Enqueue(i)
+                }
+            })
+            .collect(),
+    ];
+    for script in &scripts {
+        assert_matches_model(&CasQueue::<u64>::with_capacity(2), script);
+        assert_matches_model(&LlScQueue::<u64>::with_capacity(2), script);
+        assert_matches_model(&ShannQueue::<u64>::with_capacity(2), script);
+        assert_matches_model(&TsigasZhangQueue::<u64>::with_capacity(2), script);
+    }
+}

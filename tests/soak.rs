@@ -1,0 +1,92 @@
+//! Long-running soak tests, excluded from the default run.
+//!
+//! ```text
+//! cargo test --release --test soak -- --ignored --test-threads 1
+//! ```
+//!
+//! These hammer the queues far past the default suite's scale — millions
+//! of operations under heavy oversubscription — hunting for the
+//! low-probability interleavings that short runs miss (the MS-Doherty
+//! descriptor-reuse bug documented in DESIGN.md §3b was exactly such a
+//! find). Watchdog counters in the debug builds of every retry loop turn
+//! any non-termination into a named panic.
+
+use nbq::baselines::{LmsQueue, MsDohertyQueue, MsQueue, ScanMode, ShannQueue, TreiberQueue};
+use nbq::harness::{run_once, WorkloadConfig};
+use nbq::lincheck::{check_history, record_run, DriverConfig};
+use nbq::{CasQueue, ConcurrentQueue, LlScQueue};
+
+fn soak_cfg(threads: usize, iterations: usize) -> WorkloadConfig {
+    WorkloadConfig {
+        threads,
+        iterations,
+        runs: 1,
+        capacity: 1024,
+        burst: 5,
+    }
+}
+
+#[test]
+#[ignore = "soak: minutes of runtime"]
+fn cas_queue_million_ops_oversubscribed() {
+    let cfg = soak_cfg(16, 6_250); // 16 x 6250 x 10 = 1M ops
+    let q = CasQueue::<u64>::with_capacity(cfg.capacity);
+    run_once(&q, &cfg);
+    assert!(q.is_empty());
+    assert!(q.vars_allocated() <= 16);
+}
+
+#[test]
+#[ignore = "soak: minutes of runtime"]
+fn llsc_queue_million_ops_oversubscribed() {
+    let cfg = soak_cfg(16, 6_250);
+    let q = LlScQueue::<u64>::with_capacity(cfg.capacity);
+    run_once(&q, &cfg);
+    assert!(q.is_empty());
+}
+
+#[test]
+#[ignore = "soak: minutes of runtime"]
+fn ms_doherty_sustained_descriptor_recycling() {
+    // The regression soak for the DESIGN.md §3b descriptor-reuse bug.
+    let cfg = soak_cfg(8, 6_000);
+    for _ in 0..5 {
+        let q = MsDohertyQueue::<u64>::new();
+        run_once(&q, &cfg);
+        let allocated = q.domain().pool().allocated();
+        assert!(
+            allocated < 50_000,
+            "descriptor churn must recycle; allocated={allocated}"
+        );
+    }
+}
+
+#[test]
+#[ignore = "soak: minutes of runtime"]
+fn every_queue_long_checked_histories() {
+    // Instrumented (recorded) runs with the cheap linearizability checks,
+    // at 20x the default suite's op count.
+    let cfg = DriverConfig {
+        threads: 8,
+        ops_per_thread: 8_000,
+        enqueue_percent: 55,
+        seed: 0x50A_u64,
+    };
+    macro_rules! soak {
+        ($make:expr) => {{
+            let q = $make;
+            let h = record_run(&q, cfg);
+            check_history(&h).unwrap_or_else(|v| {
+                panic!("{}: {v}", ConcurrentQueue::<u64>::algorithm_name(&q))
+            });
+        }};
+    }
+    soak!(CasQueue::<u64>::with_capacity(256));
+    soak!(LlScQueue::<u64>::with_capacity(256));
+    soak!(ShannQueue::<u64>::with_capacity(256));
+    soak!(MsQueue::<u64>::new(ScanMode::Sorted));
+    soak!(MsQueue::<u64>::new(ScanMode::Unsorted));
+    soak!(MsDohertyQueue::<u64>::new());
+    soak!(TreiberQueue::<u64>::new());
+    soak!(LmsQueue::<u64>::new());
+}

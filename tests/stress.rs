@@ -1,0 +1,210 @@
+//! Cross-crate stress tests: the paper's workload, oversubscription
+//! (threads ≫ cores — the "preemptive multithreaded systems" regime the
+//! paper targets), population-obliviousness end-to-end, and leak/drop
+//! accounting under concurrency.
+
+use nbq::baselines::{MsDohertyQueue, MsQueue, ScanMode, ShannQueue, TsigasZhangQueue};
+use nbq::harness::{run_once, WorkloadConfig};
+use nbq::{CasQueue, LlScQueue, QueueHandle};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+fn stress_cfg(threads: usize) -> WorkloadConfig {
+    WorkloadConfig {
+        threads,
+        iterations: 300,
+        runs: 1,
+        capacity: 512,
+        burst: 5,
+    }
+}
+
+#[test]
+fn paper_workload_all_queues_oversubscribed() {
+    // 8 threads on (typically) one CPU: forced preemption mid-operation,
+    // exactly the schedule that triggers the §3 ABA scenarios in unsound
+    // designs. The workload itself asserts balance by construction
+    // (every dequeue retries until it gets a value).
+    let cfg = stress_cfg(8);
+    run_once(&CasQueue::<u64>::with_capacity(cfg.capacity), &cfg);
+    run_once(&LlScQueue::<u64>::with_capacity(cfg.capacity), &cfg);
+    run_once(&ShannQueue::<u64>::with_capacity(cfg.capacity), &cfg);
+    run_once(&TsigasZhangQueue::<u64>::with_capacity(cfg.capacity), &cfg);
+    run_once(&MsQueue::<u64>::new(ScanMode::Sorted), &cfg);
+    run_once(&MsQueue::<u64>::new(ScanMode::Unsorted), &cfg);
+    run_once(&MsDohertyQueue::<u64>::new(), &cfg);
+}
+
+#[test]
+fn queues_drain_to_empty_after_balanced_runs() {
+    let cfg = stress_cfg(4);
+    let q = CasQueue::<u64>::with_capacity(cfg.capacity);
+    run_once(&q, &cfg);
+    assert!(q.is_empty());
+    let q = LlScQueue::<u64>::with_capacity(cfg.capacity);
+    run_once(&q, &cfg);
+    assert!(q.is_empty());
+}
+
+#[test]
+fn drop_accounting_under_concurrency() {
+    // Values with destructors moved through the queue by many threads:
+    // exactly one drop per value, whether consumed or left behind.
+    struct Tracked(Arc<AtomicUsize>);
+    impl Drop for Tracked {
+        fn drop(&mut self) {
+            self.0.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+    const PRODUCERS: usize = 4;
+    const PER_PRODUCER: usize = 500;
+    let drops = Arc::new(AtomicUsize::new(0));
+    {
+        let q = CasQueue::<Tracked>::with_capacity(64);
+        std::thread::scope(|s| {
+            for _ in 0..PRODUCERS {
+                let q = &q;
+                let drops = drops.clone();
+                s.spawn(move || {
+                    let mut h = q.handle();
+                    for _ in 0..PER_PRODUCER {
+                        let mut v = Tracked(drops.clone());
+                        loop {
+                            match h.enqueue(v) {
+                                Ok(()) => break,
+                                Err(e) => {
+                                    v = e.into_inner();
+                                    std::thread::yield_now();
+                                }
+                            }
+                        }
+                    }
+                });
+            }
+            // One consumer eats all but a queue-capacity's worth, leaving
+            // the remainder behind for the queue's Drop to free. (It must
+            // eat more than total - capacity, or the producers' retry
+            // loops could wedge against a permanently full queue.)
+            let q = &q;
+            s.spawn(move || {
+                let mut h = q.handle();
+                let mut eaten = 0;
+                while eaten < PRODUCERS * PER_PRODUCER - 32 {
+                    if h.dequeue().is_some() {
+                        eaten += 1;
+                    } else {
+                        std::thread::yield_now();
+                    }
+                }
+            });
+        });
+        let eaten = drops.load(Ordering::SeqCst);
+        assert_eq!(eaten, PRODUCERS * PER_PRODUCER - 32);
+    }
+    assert_eq!(
+        drops.load(Ordering::SeqCst),
+        PRODUCERS * PER_PRODUCER,
+        "every value dropped exactly once"
+    );
+}
+
+#[test]
+fn population_obliviousness_end_to_end() {
+    // 20 sequential waves of 3 threads each against one CAS queue: 60
+    // threads total, at most 3 concurrent -> at most 3 LLSCvars (+1 slack
+    // for scheduling overlap at wave boundaries is NOT allowed here since
+    // waves are strictly joined).
+    let q = CasQueue::<u64>::with_capacity(128);
+    for wave in 0..20u64 {
+        std::thread::scope(|s| {
+            for t in 0..3u64 {
+                let q = &q;
+                s.spawn(move || {
+                    let mut h = q.handle();
+                    for i in 0..200 {
+                        let v = (wave << 32) | (t << 16) | i;
+                        while h.enqueue(v).is_err() {
+                            h.dequeue();
+                        }
+                        h.dequeue();
+                    }
+                });
+            }
+        });
+    }
+    assert!(
+        q.vars_allocated() <= 3,
+        "60 threads must reuse at most 3 LLSCvars, got {}",
+        q.vars_allocated()
+    );
+}
+
+#[test]
+fn hazard_domain_bounds_memory_in_ms_queue() {
+    // The MS queue's retire threshold is 4x live threads; after a long
+    // run with a flush, the pending set must be small and the reclaim
+    // counter large.
+    let q = MsQueue::<u64>::new(ScanMode::Sorted);
+    std::thread::scope(|s| {
+        for _ in 0..4 {
+            let q = &q;
+            s.spawn(move || {
+                let mut h = q.handle();
+                for i in 0..2_000u64 {
+                    h.enqueue(i).unwrap();
+                    h.dequeue();
+                }
+            });
+        }
+    });
+    assert!(
+        q.domain().reclaimed_count() > 6_000,
+        "most of the 8000 nodes must have been reclaimed, got {}",
+        q.domain().reclaimed_count()
+    );
+    assert!(q.domain().total_records() <= 4);
+}
+
+#[test]
+fn doherty_descriptor_pool_stays_bounded() {
+    let q = MsDohertyQueue::<u64>::new();
+    std::thread::scope(|s| {
+        for _ in 0..3 {
+            let q = &q;
+            s.spawn(move || {
+                let mut h = q.handle();
+                for i in 0..2_000u64 {
+                    h.enqueue(i).unwrap();
+                    h.dequeue();
+                }
+            });
+        }
+    });
+    let allocated = q.domain().pool().allocated();
+    assert!(
+        allocated < 2_000,
+        "descriptors must recycle in steady state; allocated {allocated}"
+    );
+    assert!(q.domain().pool().recycled() > 5_000);
+}
+
+#[test]
+fn mixed_queue_sizes_under_contention() {
+    // Tiny arrays maximize wraparound (index laps) under contention —
+    // the regime where index-ABA bugs would bite.
+    for capacity in [2usize, 4, 8] {
+        let cfg = WorkloadConfig {
+            threads: 4,
+            iterations: 150,
+            runs: 1,
+            capacity,
+            burst: 1, // burst must fit within tiny capacities
+        };
+        let q = CasQueue::<u64>::with_capacity(capacity);
+        run_once(&q, &cfg);
+        assert!(q.is_empty(), "capacity {capacity}");
+        let q = LlScQueue::<u64>::with_capacity(capacity);
+        run_once(&q, &cfg);
+        assert!(q.is_empty(), "capacity {capacity}");
+    }
+}
