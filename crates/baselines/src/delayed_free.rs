@@ -57,10 +57,7 @@ impl DelayedFree {
 
     /// Number of allocations currently parked.
     pub fn parked(&self) -> usize {
-        self.pending
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .len()
+        self.pending.lock().unwrap_or_else(|e| e.into_inner()).len()
     }
 }
 

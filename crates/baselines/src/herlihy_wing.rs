@@ -48,8 +48,10 @@ impl Segment {
         // temporary.
         let mut v = Vec::with_capacity(SEG_SIZE);
         v.resize_with(SEG_SIZE, || AtomicU64::new(EMPTY));
-        let boxed: Box<[AtomicU64; SEG_SIZE]> =
-            v.into_boxed_slice().try_into().unwrap_or_else(|_| unreachable!("exact length"));
+        let boxed: Box<[AtomicU64; SEG_SIZE]> = v
+            .into_boxed_slice()
+            .try_into()
+            .unwrap_or_else(|_| unreachable!("exact length"));
         // SAFETY: Segment is repr(transparent) over the array.
         unsafe { Box::from_raw(Box::into_raw(boxed).cast::<Segment>()) }
     }
@@ -180,7 +182,10 @@ impl<T: Send> QueueHandle<T> for HwHandle<'_, T> {
 
     fn dequeue(&mut self) -> Option<T> {
         let q = self.queue;
-        let back = q.back.load(Ordering::SeqCst).min(q.history_capacity() as u64);
+        let back = q
+            .back
+            .load(Ordering::SeqCst)
+            .min(q.history_capacity() as u64);
         let start = q.watermark.load(Ordering::SeqCst);
         let mut advancing = true;
         for pos in start..back {

@@ -143,7 +143,11 @@ impl<T: Send> LmsHandle<'_, T> {
             if next.is_null() {
                 return; // inconsistent snapshot; caller retries
             }
-            let next_slot = if cur_slot == HP_WALK { HP_PREV } else { HP_WALK };
+            let next_slot = if cur_slot == HP_WALK {
+                HP_PREV
+            } else {
+                HP_WALK
+            };
             self.hp.set(next_slot, next as usize);
             if q.head.load(Ordering::SeqCst) != head {
                 return;
@@ -171,8 +175,7 @@ impl<T: Send> QueueHandle<T> for LmsHandle<'_, T> {
             // The "simple write" before the one CAS.
             // SAFETY: node is private until the CAS below publishes it.
             unsafe { &*node }.next.store(tail, Ordering::SeqCst);
-            if q
-                .tail
+            if q.tail
                 .compare_exchange(tail, node, Ordering::SeqCst, Ordering::SeqCst)
                 .is_ok()
             {
@@ -224,8 +227,7 @@ impl<T: Send> QueueHandle<T> for LmsHandle<'_, T> {
             // SAFETY: prev is protected; its value is initialized (it is
             // not the dummy: the dummy is `head`, and prev != head).
             let value = unsafe { ptr::read((*prev).value.as_ptr()) };
-            if q
-                .head
+            if q.head
                 .compare_exchange(head, prev, Ordering::SeqCst, Ordering::SeqCst)
                 .is_ok()
             {

@@ -10,11 +10,11 @@
 //!   an experiment with a single thread ... without any synchronization in
 //!   order to evaluate the overhead imposed by our implementations").
 
+use nbq_util::{ConcurrentQueue, Full, QueueHandle};
 use parking_lot::Mutex;
 use std::cell::UnsafeCell;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
-use nbq_util::{ConcurrentQueue, Full, QueueHandle};
 
 /// Bounded FIFO behind a mutex.
 pub struct MutexQueue<T> {

@@ -223,7 +223,9 @@ impl<T: Send> QueueHandle<T> for MsDohertyHandle<'_, T> {
             let (next_val, next_token) = unsafe { &*h_node }.next.ll(&self.local, HP_NEXT_DESC);
             // Protect the next node before trusting it, then re-validate
             // that the head is unchanged (Michael's D5).
-            self.local.hazards_ref().set(HP_NEXT_NODE, next_val as usize);
+            self.local
+                .hazards_ref()
+                .set(HP_NEXT_NODE, next_val as usize);
             let h_token = match q.head.validate(h_token) {
                 Ok(t) => t,
                 Err(t) => {

@@ -188,8 +188,7 @@ impl<T: Send> QueueHandle<T> for MsHandle<'_, T> {
                     .compare_exchange(t, next, Ordering::SeqCst, Ordering::Relaxed);
                 continue;
             }
-            if q
-                .head
+            if q.head
                 .compare_exchange(h, next, Ordering::SeqCst, Ordering::SeqCst)
                 .is_ok()
             {
@@ -308,10 +307,7 @@ mod tests {
     fn unbounded_capacity_reported() {
         let q = MsQueue::<u8>::new(ScanMode::Sorted);
         assert_eq!(ConcurrentQueue::capacity(&q), None);
-        assert_eq!(
-            q.algorithm_name(),
-            "MS-Hazard Pointers Sorted"
-        );
+        assert_eq!(q.algorithm_name(), "MS-Hazard Pointers Sorted");
         let q = MsQueue::<u8>::new(ScanMode::Unsorted);
         assert_eq!(q.algorithm_name(), "MS-Hazard Pointers Not Sorted");
     }

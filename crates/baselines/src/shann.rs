@@ -152,7 +152,9 @@ impl<T: Send> ShannQueue<T> {
     pub fn with_capacity_and_arena(capacity: usize, arena_len: usize) -> Self {
         assert!(capacity > 0, "capacity must be positive");
         let cap = capacity.next_power_of_two().max(2);
-        let slots: Box<[AtomicU64]> = (0..cap).map(|_| AtomicU64::new(pack(0, NULL_IDX))).collect();
+        let slots: Box<[AtomicU64]> = (0..cap)
+            .map(|_| AtomicU64::new(pack(0, NULL_IDX)))
+            .collect();
         Self {
             slots,
             head: CachePadded::new(AtomicU64::new(0)),
@@ -325,6 +327,14 @@ impl<T: Send> ConcurrentQueue<T> for ShannQueue<T> {
 
     fn capacity(&self) -> Option<usize> {
         Some(self.capacity())
+    }
+
+    fn len(&self) -> Option<usize> {
+        Some(ShannQueue::len(self))
+    }
+
+    fn is_empty(&self) -> Option<bool> {
+        Some(ShannQueue::is_empty(self))
     }
 
     fn algorithm_name(&self) -> &'static str {

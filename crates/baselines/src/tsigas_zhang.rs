@@ -132,7 +132,6 @@ impl<T: Send> TsigasZhangQueue<T> {
     fn null_for(&self, pos: u64) -> u64 {
         (pos >> self.lap_shift) & 1
     }
-
 }
 
 #[inline]
@@ -306,6 +305,14 @@ impl<T: Send> ConcurrentQueue<T> for TsigasZhangQueue<T> {
 
     fn capacity(&self) -> Option<usize> {
         Some(self.capacity())
+    }
+
+    fn len(&self) -> Option<usize> {
+        Some(TsigasZhangQueue::len(self))
+    }
+
+    fn is_empty(&self) -> Option<bool> {
+        Some(TsigasZhangQueue::is_empty(self))
     }
 
     fn algorithm_name(&self) -> &'static str {

@@ -42,10 +42,13 @@ fn bench(c: &mut Criterion) {
                 b.iter_custom(|iters| {
                     let mut total = std::time::Duration::ZERO;
                     for _ in 0..iters {
-                        let q = CasQueue::<u64>::with_config(cfg.capacity, CasQueueConfig {
-                            backoff,
-                            gate: GatePolicy::PerLink,
-                        });
+                        let q = CasQueue::<u64>::with_config(
+                            cfg.capacity,
+                            CasQueueConfig {
+                                backoff,
+                                gate: GatePolicy::PerLink,
+                            },
+                        );
                         total += std::time::Duration::from_secs_f64(run_once(&q, &cfg));
                     }
                     total
@@ -60,9 +63,10 @@ fn bench(c: &mut Criterion) {
                 b.iter_custom(|iters| {
                     let mut total = std::time::Duration::ZERO;
                     for _ in 0..iters {
-                        let q = LlScQueue::<u64>::with_config(cfg.capacity, LlScQueueConfig {
-                            backoff,
-                        });
+                        let q = LlScQueue::<u64>::with_config(
+                            cfg.capacity,
+                            LlScQueueConfig { backoff },
+                        );
                         total += std::time::Duration::from_secs_f64(run_once(&q, &cfg));
                     }
                     total

@@ -14,24 +14,23 @@ fn bench(c: &mut Criterion) {
             ("per-link", GatePolicy::PerLink),
             ("per-operation", GatePolicy::PerOperation),
         ] {
-            group.bench_with_input(
-                BenchmarkId::new(label, threads),
-                &threads,
-                |b, &threads| {
-                    let cfg = bench_config(threads);
-                    b.iter_custom(|iters| {
-                        let mut total = std::time::Duration::ZERO;
-                        for _ in 0..iters {
-                            let q = CasQueue::<u64>::with_config(cfg.capacity, CasQueueConfig {
+            group.bench_with_input(BenchmarkId::new(label, threads), &threads, |b, &threads| {
+                let cfg = bench_config(threads);
+                b.iter_custom(|iters| {
+                    let mut total = std::time::Duration::ZERO;
+                    for _ in 0..iters {
+                        let q = CasQueue::<u64>::with_config(
+                            cfg.capacity,
+                            CasQueueConfig {
                                 backoff: true,
                                 gate,
-                            });
-                            total += std::time::Duration::from_secs_f64(run_once(&q, &cfg));
-                        }
-                        total
-                    })
-                },
-            );
+                            },
+                        );
+                        total += std::time::Duration::from_secs_f64(run_once(&q, &cfg));
+                    }
+                    total
+                })
+            });
         }
     }
     group.finish();

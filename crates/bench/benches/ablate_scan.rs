@@ -30,38 +30,30 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("abl_scan");
     for records in [2usize, 8, 32, 128, 512] {
         let (hazards, probes) = hazards_for(records);
-        group.bench_with_input(
-            BenchmarkId::new("sorted", records),
-            &records,
-            |b, _| {
-                b.iter(|| {
-                    let mut sorted = hazards.clone();
-                    sorted.sort_unstable();
-                    let mut found = 0usize;
-                    for &p in &probes {
-                        if sorted.binary_search(&p).is_ok() {
-                            found += 1;
-                        }
+        group.bench_with_input(BenchmarkId::new("sorted", records), &records, |b, _| {
+            b.iter(|| {
+                let mut sorted = hazards.clone();
+                sorted.sort_unstable();
+                let mut found = 0usize;
+                for &p in &probes {
+                    if sorted.binary_search(&p).is_ok() {
+                        found += 1;
                     }
-                    black_box(found)
-                })
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("unsorted", records),
-            &records,
-            |b, _| {
-                b.iter(|| {
-                    let mut found = 0usize;
-                    for &p in &probes {
-                        if hazards.contains(&p) {
-                            found += 1;
-                        }
+                }
+                black_box(found)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("unsorted", records), &records, |b, _| {
+            b.iter(|| {
+                let mut found = 0usize;
+                for &p in &probes {
+                    if hazards.contains(&p) {
+                        found += 1;
                     }
-                    black_box(found)
-                })
-            },
-        );
+                }
+                black_box(found)
+            })
+        });
     }
     group.finish();
 }

@@ -1,0 +1,67 @@
+//! Bench target for the batch API extension: elements/second moved by
+//! `enqueue_batch`/`dequeue_batch` round trips as the batch size grows.
+//!
+//! The native overrides on the two paper queues pay the per-element slot
+//! protocol but only one Head/Tail jump-CAS per batch, so throughput
+//! should rise with batch size; the Mutex baseline goes through the
+//! trait's element-wise default batch impls and provides the
+//! no-amortization reference.
+
+use criterion::{BenchmarkId, Criterion};
+use nbq_baselines::MutexQueue;
+use nbq_bench::criterion;
+use nbq_core::{CasQueue, LlScQueue};
+use nbq_util::{ConcurrentQueue, QueueHandle};
+
+/// Batch sizes swept (1 = degenerate batch, the single-op reference).
+const BATCH_SIZES: &[usize] = &[1, 4, 16, 64];
+
+/// Elements moved per measured iteration, independent of batch size.
+const ELEMENTS: usize = 1_024;
+
+/// Moves `ELEMENTS` values through the queue in `batch`-sized batch
+/// calls through one persistent handle.
+fn batch_round_trips<Q: ConcurrentQueue<u64>>(queue: &Q, batch: usize) {
+    let mut h = queue.handle();
+    let mut out = Vec::with_capacity(batch);
+    let rounds = ELEMENTS / batch;
+    for r in 0..rounds as u64 {
+        let base = r * batch as u64;
+        let items: Vec<u64> = (base..base + batch as u64).collect();
+        h.enqueue_batch(items.into_iter())
+            .expect("capacity exceeds batch size");
+        out.clear();
+        assert_eq!(h.dequeue_batch(&mut out, batch), batch);
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ext_batch");
+    group.throughput(criterion::Throughput::Elements(ELEMENTS as u64));
+
+    for &batch in BATCH_SIZES {
+        let cap = (batch * 2).max(64);
+        group.bench_function(BenchmarkId::new("FIFO Array Simulated CAS", batch), |b| {
+            let q = CasQueue::<u64>::with_capacity(cap);
+            b.iter(|| batch_round_trips(&q, batch))
+        });
+        group.bench_function(BenchmarkId::new("FIFO Array LL/SC", batch), |b| {
+            let q = LlScQueue::<u64>::with_capacity(cap);
+            b.iter(|| batch_round_trips(&q, batch))
+        });
+        group.bench_function(
+            BenchmarkId::new("Mutex<VecDeque> (default impls)", batch),
+            |b| {
+                let q = MutexQueue::<u64>::with_capacity(cap);
+                b.iter(|| batch_round_trips(&q, batch))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn main() {
+    let mut c = criterion();
+    bench(&mut c);
+    c.final_summary();
+}

@@ -47,9 +47,7 @@ fn bench_set(c: &mut Criterion, group_name: &str, set: &[Algo]) {
                                     run_once(&nbq_baselines::MsDohertyQueue::<u64>::new(), &cfg)
                                 }
                                 Algo::Shann => run_once(
-                                    &nbq_baselines::ShannQueue::<u64>::with_capacity(
-                                        cfg.capacity,
-                                    ),
+                                    &nbq_baselines::ShannQueue::<u64>::with_capacity(cfg.capacity),
                                     &cfg,
                                 ),
                                 _ => unreachable!("not in the figure sets"),

@@ -46,12 +46,12 @@
 //!   is kept as [`GatePolicy::PerOperation`] for the `abl-reregister`
 //!   ablation (the cost difference is one uncontended load per retry).
 
-use crate::node::{node_from_raw, node_into_raw, NULL};
+use crate::node::{index_precedes, node_from_raw, node_into_raw, NULL};
 use crate::opstats::OpStats;
 use crate::registry::{LlScVar, Registry};
 use core::marker::PhantomData;
 use core::sync::atomic::{AtomicU64, Ordering};
-use nbq_util::{Backoff, CachePadded, ConcurrentQueue, Full, QueueHandle};
+use nbq_util::{Backoff, BatchFull, CachePadded, ConcurrentQueue, Full, QueueHandle};
 
 /// When the owner re-validates exclusive ownership of its `LLSCvar`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -275,8 +275,8 @@ impl<T: Send> CasHandle<'_, T> {
                     continue;
                 }
                 let value = other.node.load(Ordering::SeqCst); // L8
-                // SAFETY: `var` is exclusively ours (gate) — no reader can
-                // be consuming it because our tag is installed nowhere.
+                                                               // SAFETY: `var` is exclusively ours (gate) — no reader can
+                                                               // be consuming it because our tag is installed nowhere.
                 unsafe { &*var }.node.store(value, Ordering::SeqCst);
                 let installed = cell
                     .compare_exchange(slot, tag, Ordering::SeqCst, Ordering::SeqCst)
@@ -388,8 +388,7 @@ impl<T: Send> CasHandle<'_, T> {
             } else {
                 // Tail moved since we read it: undo the reservation
                 // (paper's trailing `else CAS(&Q[tail], var^1, slot)`).
-                let restored =
-                    cell.compare_exchange(tag, slot, Ordering::SeqCst, Ordering::SeqCst);
+                let restored = cell.compare_exchange(tag, slot, Ordering::SeqCst, Ordering::SeqCst);
                 if let Some(st) = self.op_stats() {
                     OpStats::bump(&st.slot_cas_attempts);
                     if restored.is_ok() {
@@ -461,14 +460,205 @@ impl<T: Send> CasHandle<'_, T> {
                     backoff.snooze();
                 }
             } else {
-                let restored =
-                    cell.compare_exchange(tag, slot, Ordering::SeqCst, Ordering::SeqCst);
+                let restored = cell.compare_exchange(tag, slot, Ordering::SeqCst, Ordering::SeqCst);
                 if let Some(st) = self.op_stats() {
                     OpStats::bump(&st.slot_cas_attempts);
                     if restored.is_ok() {
                         OpStats::bump(&st.slot_cas_successes);
                     }
                 }
+            }
+        }
+    }
+
+    /// Restore `word` over our own reservation tag in `cell` (a non-SC
+    /// exit path), with instruction accounting.
+    #[inline]
+    fn restore_slot(&self, cell: &AtomicU64, tag: u64, word: u64) {
+        let restored = cell.compare_exchange(tag, word, Ordering::SeqCst, Ordering::SeqCst);
+        if let Some(st) = self.op_stats() {
+            OpStats::bump(&st.slot_cas_attempts);
+            if restored.is_ok() {
+                OpStats::bump(&st.slot_cas_successes);
+            }
+        }
+    }
+
+    /// Batched-enqueue slot fill: installs `node` into the first free slot
+    /// at or after `*pos` with the full tag/restore protocol, **without**
+    /// advancing `Tail` (the caller publishes the whole run with one
+    /// [`Self::publish_tail`]). Returns the logical index filled, or gives
+    /// `node` back if the queue is full at `*pos`.
+    ///
+    /// ABA safety matches [`Self::enqueue_value`]'s with the `t == Tail`
+    /// recheck generalized to `Tail <= pos`: `Tail` cannot pass a
+    /// logically-free slot, so while the recheck holds, physical slot
+    /// `pos & mask` is logical position `pos` (no wrap), and any
+    /// interleaved write fails our tag-expecting "SC" CAS. See DESIGN.md
+    /// "Batched operations".
+    fn fill_slot(&mut self, node: u64, pos: &mut u64) -> Result<u64, u64> {
+        let q = self.queue;
+        let mut backoff = self.backoff();
+        loop {
+            let t = q.tail.load(Ordering::SeqCst);
+            if index_precedes(*pos, t) {
+                // Tail already moved past our cursor; re-anchor (same as
+                // the single-op loop re-reading Tail).
+                *pos = t;
+            }
+            if (*pos).wrapping_sub(q.head.load(Ordering::SeqCst)) >= q.capacity {
+                // Positions [Head, pos) are all occupied (each verified at
+                // or after the anchor, and Head is monotone), so this is a
+                // genuine full — unless the cursor is stale.
+                let t = q.tail.load(Ordering::SeqCst);
+                if index_precedes(*pos, t) {
+                    *pos = t;
+                    continue;
+                }
+                return Err(node);
+            }
+            let idx = (*pos & q.mask) as usize;
+            let slot = self.sim_ll(idx); // our tag is now installed
+            let tag = LlScVar::tag(self.var);
+            let cell = &q.slots[idx];
+            if index_precedes(*pos, q.tail.load(Ordering::SeqCst)) {
+                // Generalized recheck failed: position already published
+                // past; undo the reservation and retry against fresh Tail.
+                self.restore_slot(cell, tag, slot);
+                continue;
+            }
+            if slot != NULL {
+                // A peer filled `pos` but its Tail update lags: restore,
+                // help (succeeds only if Tail is exactly here), move on.
+                self.restore_slot(cell, tag, slot);
+                let helped = q.tail.compare_exchange(
+                    *pos,
+                    (*pos).wrapping_add(1),
+                    Ordering::SeqCst,
+                    Ordering::Relaxed,
+                );
+                if let Some(st) = self.op_stats() {
+                    OpStats::bump(&st.index_cas_attempts);
+                    if helped.is_ok() {
+                        OpStats::bump(&st.index_cas_successes);
+                    }
+                    OpStats::bump(&st.helps);
+                }
+                *pos = (*pos).wrapping_add(1);
+                continue;
+            }
+            if self.counted_slot_cas(cell, tag, node) {
+                // "SC": the item is in; Tail publication is deferred.
+                let filled = *pos;
+                *pos = filled.wrapping_add(1);
+                return Ok(filled);
+            }
+            backoff.snooze();
+        }
+    }
+
+    /// Batched-dequeue slot drain: removes the item at the first occupied
+    /// slot at or after `*pos`, without advancing `Head` (the caller
+    /// publishes with one [`Self::publish_head`]). `None` means the queue
+    /// is empty past `*pos`. Symmetric to [`Self::fill_slot`].
+    fn drain_slot(&mut self, pos: &mut u64) -> Option<u64> {
+        let q = self.queue;
+        let mut backoff = self.backoff();
+        loop {
+            let h = q.head.load(Ordering::SeqCst);
+            if index_precedes(*pos, h) {
+                *pos = h;
+            }
+            if *pos == q.tail.load(Ordering::SeqCst) {
+                return None; // nothing published at or after the cursor
+            }
+            let idx = (*pos & q.mask) as usize;
+            let slot = self.sim_ll(idx);
+            let tag = LlScVar::tag(self.var);
+            let cell = &q.slots[idx];
+            if index_precedes(*pos, q.head.load(Ordering::SeqCst)) {
+                // Generalized recheck: position consumed; undo and retry.
+                self.restore_slot(cell, tag, slot);
+                continue;
+            }
+            if slot == NULL {
+                // A peer removed `pos` but its Head update lags: help.
+                self.restore_slot(cell, tag, NULL);
+                let helped = q.head.compare_exchange(
+                    *pos,
+                    (*pos).wrapping_add(1),
+                    Ordering::SeqCst,
+                    Ordering::Relaxed,
+                );
+                if let Some(st) = self.op_stats() {
+                    OpStats::bump(&st.index_cas_attempts);
+                    if helped.is_ok() {
+                        OpStats::bump(&st.index_cas_successes);
+                    }
+                    OpStats::bump(&st.helps);
+                }
+                *pos = (*pos).wrapping_add(1);
+                continue;
+            }
+            if self.counted_slot_cas(cell, tag, NULL) {
+                *pos = (*pos).wrapping_add(1);
+                return Some(slot);
+            }
+            backoff.snooze();
+        }
+    }
+
+    /// Publishes a filled run: ensures `Tail >= target` with a single
+    /// jump-CAS in the uncontended case. Jumping is sound because while
+    /// `Tail == t < target` every position in `[t, target)` holds an item
+    /// and a filled position cannot empty until `Tail` passes it; see the
+    /// LL/SC queue's `publish_tail` and DESIGN.md "Batched operations".
+    fn publish_tail(&self, target: u64) {
+        let q = self.queue;
+        loop {
+            let t = q.tail.load(Ordering::SeqCst);
+            if !index_precedes(t, target) {
+                return; // helpers already published past us
+            }
+            let ok = q
+                .tail
+                .compare_exchange(t, target, Ordering::SeqCst, Ordering::Relaxed)
+                .is_ok();
+            if let Some(st) = self.op_stats() {
+                OpStats::bump(&st.index_cas_attempts);
+                if ok {
+                    OpStats::bump(&st.index_cas_successes);
+                }
+            }
+            if ok {
+                return;
+            }
+        }
+    }
+
+    /// Publishes a drained run: ensures `Head >= target`; symmetric to
+    /// [`Self::publish_tail`] (a drained slot cannot refill until `Head`
+    /// passes it, because the enqueuer of `pos + capacity` is
+    /// full-checked).
+    fn publish_head(&self, target: u64) {
+        let q = self.queue;
+        loop {
+            let h = q.head.load(Ordering::SeqCst);
+            if !index_precedes(h, target) {
+                return;
+            }
+            let ok = q
+                .head
+                .compare_exchange(h, target, Ordering::SeqCst, Ordering::Relaxed)
+                .is_ok();
+            if let Some(st) = self.op_stats() {
+                OpStats::bump(&st.index_cas_attempts);
+                if ok {
+                    OpStats::bump(&st.index_cas_successes);
+                }
+            }
+            if ok {
+                return;
             }
         }
     }
@@ -481,6 +671,83 @@ impl<T: Send> QueueHandle<T> for CasHandle<'_, T> {
 
     fn dequeue(&mut self) -> Option<T> {
         self.dequeue_value()
+    }
+
+    fn enqueue_batch(
+        &mut self,
+        items: impl ExactSizeIterator<Item = T>,
+    ) -> Result<usize, BatchFull<T>> {
+        if self.queue.config.gate == GatePolicy::PerOperation {
+            self.gate();
+        }
+        let q = self.queue;
+        let mut items = items;
+        let mut pos = q.tail.load(Ordering::SeqCst);
+        let mut end = None;
+        let mut enqueued = 0usize;
+        let result = loop {
+            let Some(value) = items.next() else {
+                break Ok(enqueued);
+            };
+            let node = node_into_raw(value);
+            match self.fill_slot(node, &mut pos) {
+                Ok(filled) => {
+                    end = Some(filled.wrapping_add(1));
+                    enqueued += 1;
+                }
+                Err(node) => {
+                    // SAFETY: the queue rejected the word; we still own it.
+                    let value = unsafe { node_from_raw::<T>(node) };
+                    let mut remaining = Vec::with_capacity(items.len() + 1);
+                    remaining.push(value);
+                    remaining.extend(items);
+                    break Err(BatchFull {
+                        enqueued,
+                        remaining,
+                    });
+                }
+            }
+        };
+        if let Some(end) = end {
+            // Publication obligation: the items are not linearized until
+            // Tail covers them, so the batch must not return beforehand.
+            self.publish_tail(end);
+        }
+        if let Some(st) = self.op_stats() {
+            st.operations.fetch_add(enqueued as u64, Ordering::Relaxed);
+            OpStats::bump(&st.batch_ops);
+            st.batch_items.fetch_add(enqueued as u64, Ordering::Relaxed);
+        }
+        result
+    }
+
+    fn dequeue_batch(&mut self, out: &mut Vec<T>, max: usize) -> usize {
+        if self.queue.config.gate == GatePolicy::PerOperation {
+            self.gate();
+        }
+        let q = self.queue;
+        let mut pos = q.head.load(Ordering::SeqCst);
+        let mut taken = 0usize;
+        while taken < max {
+            match self.drain_slot(&mut pos) {
+                // SAFETY: the successful tag-expecting CAS to null inside
+                // drain_slot transferred the node word to us exclusively.
+                Some(raw) => {
+                    out.push(unsafe { node_from_raw::<T>(raw) });
+                    taken += 1;
+                }
+                None => break,
+            }
+        }
+        if taken > 0 {
+            self.publish_head(pos); // cursor sits one past the last drain
+        }
+        if let Some(st) = self.op_stats() {
+            st.operations.fetch_add(taken as u64, Ordering::Relaxed);
+            OpStats::bump(&st.batch_ops);
+            st.batch_items.fetch_add(taken as u64, Ordering::Relaxed);
+        }
+        taken
     }
 }
 
@@ -506,6 +773,14 @@ impl<T: Send> ConcurrentQueue<T> for CasQueue<T> {
 
     fn capacity(&self) -> Option<usize> {
         Some(self.capacity())
+    }
+
+    fn len(&self) -> Option<usize> {
+        Some(CasQueue::len(self))
+    }
+
+    fn is_empty(&self) -> Option<bool> {
+        Some(CasQueue::is_empty(self))
     }
 
     fn algorithm_name(&self) -> &'static str {
@@ -632,10 +907,13 @@ mod tests {
 
     #[test]
     fn per_operation_gate_mode_works() {
-        let q = CasQueue::<u32>::with_config(8, CasQueueConfig {
-            backoff: false,
-            gate: GatePolicy::PerOperation,
-        });
+        let q = CasQueue::<u32>::with_config(
+            8,
+            CasQueueConfig {
+                backoff: false,
+                gate: GatePolicy::PerOperation,
+            },
+        );
         let mut h = q.handle();
         for i in 0..500 {
             h.enqueue(i).unwrap();
@@ -759,6 +1037,187 @@ mod tests {
         assert_eq!(seen.lock().unwrap().len() as u64, PRODUCERS * PER_PRODUCER);
         assert!(q.is_empty());
         assert!(q.vars_allocated() <= (PRODUCERS + CONSUMERS) as usize);
+    }
+
+    #[test]
+    fn batch_round_trip_single_thread() {
+        let q = CasQueue::<u32>::with_capacity(32);
+        let mut h = q.handle();
+        assert_eq!(
+            h.enqueue_batch((0u32..20).collect::<Vec<_>>().into_iter())
+                .unwrap(),
+            20
+        );
+        assert_eq!(q.len(), 20);
+        let mut out = Vec::new();
+        assert_eq!(h.dequeue_batch(&mut out, 64), 20);
+        assert_eq!(out, (0..20).collect::<Vec<_>>());
+        assert!(q.is_empty());
+        assert_eq!(h.dequeue(), None);
+    }
+
+    #[test]
+    fn batch_enqueue_reports_partial_fill_in_order() {
+        let q = CasQueue::<u32>::with_capacity(8);
+        let mut h = q.handle();
+        let e = h
+            .enqueue_batch((0u32..12).collect::<Vec<_>>().into_iter())
+            .unwrap_err();
+        assert_eq!(e.enqueued, 8);
+        assert_eq!(e.remaining, vec![8, 9, 10, 11]);
+        let mut out = Vec::new();
+        assert_eq!(h.dequeue_batch(&mut out, 64), 8);
+        assert_eq!(out, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn batch_interleaves_with_single_ops() {
+        let q = CasQueue::<u32>::with_capacity(16);
+        let mut h = q.handle();
+        h.enqueue(1).unwrap();
+        assert_eq!(h.enqueue_batch(vec![2, 3, 4].into_iter()).unwrap(), 3);
+        h.enqueue(5).unwrap();
+        assert_eq!(h.dequeue(), Some(1));
+        let mut out = Vec::new();
+        assert_eq!(h.dequeue_batch(&mut out, 3), 3);
+        assert_eq!(out, vec![2, 3, 4]);
+        assert_eq!(h.dequeue(), Some(5));
+        assert_eq!(h.dequeue(), None);
+    }
+
+    #[test]
+    fn batch_wraparound_many_laps() {
+        let q = CasQueue::<u64>::with_capacity(8);
+        let mut h = q.handle();
+        let mut out = Vec::new();
+        for lap in 0..500u64 {
+            let base = lap * 5;
+            let items: Vec<u64> = (base..base + 5).collect();
+            assert_eq!(h.enqueue_batch(items.into_iter()).unwrap(), 5);
+            out.clear();
+            assert_eq!(h.dequeue_batch(&mut out, 5), 5);
+            assert_eq!(out, (base..base + 5).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn batch_per_operation_gate_mode_works() {
+        let q = CasQueue::<u32>::with_config(
+            16,
+            CasQueueConfig {
+                backoff: false,
+                gate: GatePolicy::PerOperation,
+            },
+        );
+        let mut h = q.handle();
+        let mut out = Vec::new();
+        for lap in 0..200u32 {
+            let base = lap * 10;
+            let items: Vec<u32> = (base..base + 10).collect();
+            assert_eq!(h.enqueue_batch(items.into_iter()).unwrap(), 10);
+            out.clear();
+            assert_eq!(h.dequeue_batch(&mut out, 10), 10);
+            assert_eq!(out, (base..base + 10).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn batch_amortizes_index_cas() {
+        // The point of the batch API on this queue: the slot protocol is
+        // per-element (2 successful slot CASes, unavoidable — each element
+        // needs its reservation installed and replaced), but the Head/Tail
+        // advance is one jump-CAS per *batch*. At batch 16 the index-CAS
+        // rate per element must drop below 25% of the single-op rate of 1.
+        let q = CasQueue::<u64>::with_stats(64);
+        let mut h = q.handle();
+        let mut out = Vec::new();
+        for lap in 0..200u64 {
+            let base = lap * 16;
+            let items: Vec<u64> = (base..base + 16).collect();
+            assert_eq!(h.enqueue_batch(items.into_iter()).unwrap(), 16);
+            out.clear();
+            assert_eq!(h.dequeue_batch(&mut out, 16), 16);
+        }
+        let s = q.stats().unwrap().snapshot();
+        assert_eq!(s.operations, 6_400);
+        assert_eq!(s.batch_ops, 400);
+        assert_eq!(s.batch_items, 6_400);
+        assert!(
+            s.index_cas_attempts < 0.25,
+            "index CAS per element {} not amortized",
+            s.index_cas_attempts
+        );
+        // Slot cost is unchanged relative to the single-op path.
+        assert!(
+            (s.slot_cas_successes - 2.0).abs() < 0.01,
+            "2 slot CASes per element expected, got {}",
+            s.slot_cas_successes
+        );
+        assert_eq!(s.faa_ops, 0.0, "no foreign tags single-threaded");
+    }
+
+    #[test]
+    fn batch_mpmc_no_loss_no_dup() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        const PRODUCERS: u64 = 3;
+        const CONSUMERS: u64 = 3;
+        const BATCHES: u64 = 300;
+        const BATCH: u64 = 7;
+        let q = CasQueue::<u64>::with_capacity(64);
+        let seen = Mutex::new(HashSet::new());
+        let total = PRODUCERS * BATCHES * BATCH;
+        std::thread::scope(|s| {
+            for p in 0..PRODUCERS {
+                let q = &q;
+                s.spawn(move || {
+                    let mut h = q.handle();
+                    for b in 0..BATCHES {
+                        let base = p * BATCHES * BATCH + b * BATCH;
+                        let mut pending: Vec<u64> = (base..base + BATCH).collect();
+                        loop {
+                            match h.enqueue_batch(pending.into_iter()) {
+                                Ok(_) => break,
+                                Err(e) => {
+                                    pending = e.remaining;
+                                    std::thread::yield_now();
+                                }
+                            }
+                        }
+                    }
+                });
+            }
+            let taken = std::sync::atomic::AtomicU64::new(0);
+            std::thread::scope(|cs| {
+                for _ in 0..CONSUMERS {
+                    let q = &q;
+                    let seen = &seen;
+                    let taken = &taken;
+                    cs.spawn(move || {
+                        let mut h = q.handle();
+                        let mut got = Vec::new();
+                        loop {
+                            let before = got.len();
+                            h.dequeue_batch(&mut got, 5);
+                            if got.len() == before {
+                                if taken.load(Ordering::SeqCst) >= total {
+                                    break;
+                                }
+                                std::thread::yield_now();
+                            } else {
+                                taken.fetch_add((got.len() - before) as u64, Ordering::SeqCst);
+                            }
+                        }
+                        let mut s = seen.lock().unwrap();
+                        for v in got {
+                            assert!(s.insert(v), "duplicate value {v}");
+                        }
+                    });
+                }
+            });
+        });
+        assert_eq!(seen.lock().unwrap().len() as u64, total);
+        assert!(q.is_empty());
     }
 
     #[test]

@@ -30,11 +30,11 @@
 //! *same algorithm* over the strong emulation, the spurious-failure
 //! emulation, and the Fig. 2 oracle.
 
-use crate::node::{node_from_raw, node_into_raw, NULL};
+use crate::node::{index_precedes, node_from_raw, node_into_raw, NULL};
 use core::marker::PhantomData;
 use core::sync::atomic::{AtomicU64, Ordering};
 use nbq_llsc::{LlScCell, VersionedCell};
-use nbq_util::{Backoff, CachePadded, ConcurrentQueue, Full, QueueHandle};
+use nbq_util::{Backoff, BatchFull, CachePadded, ConcurrentQueue, Full, QueueHandle};
 
 /// Tuning knobs (ablation points, see DESIGN.md `abl-backoff`).
 #[derive(Debug, Clone, Copy)]
@@ -139,11 +139,11 @@ impl<T: Send, C: LlScCell> LlScQueue<T, C> {
         };
         loop {
             let t = self.tail.load(Ordering::SeqCst); // E5
-            // E6: full test. Reading Head *after* Tail is load-bearing:
-            // Head is monotone, so head >= (true head when t was read),
-            // hence t <= head + capacity always, and strict equality is the
-            // only full indication (see the invariant argument in
-            // DESIGN.md §1 / the module docs).
+                                                      // E6: full test. Reading Head *after* Tail is load-bearing:
+                                                      // Head is monotone, so head >= (true head when t was read),
+                                                      // hence t <= head + capacity always, and strict equality is the
+                                                      // only full indication (see the invariant argument in
+                                                      // DESIGN.md §1 / the module docs).
             if t == self.head.load(Ordering::SeqCst).wrapping_add(self.capacity) {
                 return Err(node); // E7
             }
@@ -220,6 +220,156 @@ impl<T: Send, C: LlScCell> LlScQueue<T, C> {
             }
         }
     }
+
+    /// Batched-enqueue slot fill: installs `node` into the first free slot
+    /// at or after `*pos` with the per-slot LL/SC protocol, **without**
+    /// advancing `Tail`. Returns the logical index filled (the caller
+    /// publishes the whole run with one [`Self::publish_tail`]), or gives
+    /// `node` back if the queue is full at `*pos`.
+    ///
+    /// ABA safety is the same as [`Self::enqueue_raw`]'s with the E10
+    /// `t == Tail` recheck generalized to `Tail <= pos`: `Tail` cannot
+    /// pass a logically-free slot, so while the recheck holds, physical
+    /// slot `pos & mask` is logical position `pos` (no wrap), and any
+    /// interleaved write to it fails our SC via the cell's LL token.
+    /// See DESIGN.md "Batched operations".
+    fn fill_slot_raw(&self, node: u64, pos: &mut u64) -> Result<u64, u64> {
+        let mut backoff = if self.config.backoff {
+            Backoff::new()
+        } else {
+            Backoff::disabled()
+        };
+        loop {
+            let t = self.tail.load(Ordering::SeqCst);
+            if index_precedes(*pos, t) {
+                // Tail already moved past our cursor; re-anchor (same as
+                // the single-op loop re-reading Tail).
+                *pos = t;
+            }
+            if (*pos).wrapping_sub(self.head.load(Ordering::SeqCst)) >= self.capacity {
+                // Positions [Head, pos) are all occupied (we verified each
+                // one at or after the anchor, and Head is monotone), so
+                // this is a genuine full — unless the cursor is stale.
+                let t = self.tail.load(Ordering::SeqCst);
+                if index_precedes(*pos, t) {
+                    *pos = t;
+                    continue;
+                }
+                return Err(node);
+            }
+            let idx = (*pos & self.mask) as usize;
+            let (slot, token) = self.slots[idx].ll();
+            if index_precedes(*pos, self.tail.load(Ordering::SeqCst)) {
+                // Generalized E10 recheck failed: position already
+                // published past; retry against the fresh Tail.
+                continue;
+            }
+            if slot != NULL {
+                // A peer filled `pos` but its Tail update lags: help
+                // (succeeds only if Tail is exactly here) and move on.
+                let _ = self.tail.compare_exchange(
+                    *pos,
+                    (*pos).wrapping_add(1),
+                    Ordering::SeqCst,
+                    Ordering::Relaxed,
+                );
+                *pos = (*pos).wrapping_add(1);
+                continue;
+            }
+            if self.slots[idx].sc(token, node) {
+                let filled = *pos;
+                *pos = filled.wrapping_add(1);
+                return Ok(filled);
+            }
+            backoff.snooze();
+        }
+    }
+
+    /// Batched-dequeue slot drain: removes the item at the first occupied
+    /// slot at or after `*pos`, without advancing `Head` (the caller
+    /// publishes with one [`Self::publish_head`]). `None` means the queue
+    /// is empty past `*pos`. Symmetric to [`Self::fill_slot_raw`].
+    fn drain_slot_raw(&self, pos: &mut u64) -> Option<u64> {
+        let mut backoff = if self.config.backoff {
+            Backoff::new()
+        } else {
+            Backoff::disabled()
+        };
+        loop {
+            let h = self.head.load(Ordering::SeqCst);
+            if index_precedes(*pos, h) {
+                *pos = h;
+            }
+            if *pos == self.tail.load(Ordering::SeqCst) {
+                return None; // nothing published at or after the cursor
+            }
+            let idx = (*pos & self.mask) as usize;
+            let (slot, token) = self.slots[idx].ll();
+            if index_precedes(*pos, self.head.load(Ordering::SeqCst)) {
+                continue; // D10 recheck (generalized): position consumed
+            }
+            if slot == NULL {
+                // A peer removed `pos` but its Head update lags: help.
+                let _ = self.head.compare_exchange(
+                    *pos,
+                    (*pos).wrapping_add(1),
+                    Ordering::SeqCst,
+                    Ordering::Relaxed,
+                );
+                *pos = (*pos).wrapping_add(1);
+                continue;
+            }
+            if self.slots[idx].sc(token, NULL) {
+                *pos = (*pos).wrapping_add(1);
+                return Some(slot);
+            }
+            backoff.snooze();
+        }
+    }
+
+    /// Publishes a filled run: ensures `Tail >= target` with a single
+    /// jump-CAS in the uncontended case.
+    ///
+    /// Jumping is sound because while `Tail == t < target` every logical
+    /// position in `[t, target)` holds an item — each was observed or
+    /// installed by the batch, and a filled position cannot empty until
+    /// `Tail` passes it — so the jump is indistinguishable from `target -
+    /// t` rapid single advances.
+    fn publish_tail(&self, target: u64) {
+        loop {
+            let t = self.tail.load(Ordering::SeqCst);
+            if !index_precedes(t, target) {
+                return; // someone (helpers) already published past us
+            }
+            if self
+                .tail
+                .compare_exchange(t, target, Ordering::SeqCst, Ordering::Relaxed)
+                .is_ok()
+            {
+                return;
+            }
+        }
+    }
+
+    /// Publishes a drained run: ensures `Head >= target`; see
+    /// [`Self::publish_tail`] (the emptied-run argument is symmetric: a
+    /// slot drained at position `p` cannot refill until `Head` passes
+    /// `p`, because the enqueuer of `p + capacity` is full-checked).
+    fn publish_head(&self, target: u64) {
+        loop {
+            let h = self.head.load(Ordering::SeqCst);
+            if !index_precedes(h, target) {
+                return;
+            }
+            if self
+                .head
+                .compare_exchange(h, target, Ordering::SeqCst, Ordering::Relaxed)
+                .is_ok()
+            {
+                return;
+            }
+        }
+    }
 }
 
 impl<T, C: LlScCell> Drop for LlScQueue<T, C> {
@@ -257,6 +407,67 @@ impl<T: Send, C: LlScCell> QueueHandle<T> for LlScHandle<'_, T, C> {
             // the node word to this thread exclusively.
             .map(|n| unsafe { node_from_raw::<T>(n) })
     }
+
+    fn enqueue_batch(
+        &mut self,
+        items: impl ExactSizeIterator<Item = T>,
+    ) -> Result<usize, BatchFull<T>> {
+        let q = self.queue;
+        let mut items = items;
+        let mut pos = q.tail.load(Ordering::SeqCst);
+        let mut end = None;
+        let mut enqueued = 0usize;
+        let result = loop {
+            let Some(value) = items.next() else {
+                break Ok(enqueued);
+            };
+            let node = node_into_raw(value);
+            match q.fill_slot_raw(node, &mut pos) {
+                Ok(filled) => {
+                    end = Some(filled.wrapping_add(1));
+                    enqueued += 1;
+                }
+                Err(node) => {
+                    // SAFETY: the queue rejected the word; we still own it.
+                    let value = unsafe { node_from_raw::<T>(node) };
+                    let mut remaining = Vec::with_capacity(items.len() + 1);
+                    remaining.push(value);
+                    remaining.extend(items);
+                    break Err(BatchFull {
+                        enqueued,
+                        remaining,
+                    });
+                }
+            }
+        };
+        if let Some(end) = end {
+            // Publication obligation: the items are not linearized until
+            // Tail covers them, so the batch must not return beforehand.
+            q.publish_tail(end);
+        }
+        result
+    }
+
+    fn dequeue_batch(&mut self, out: &mut Vec<T>, max: usize) -> usize {
+        let q = self.queue;
+        let mut pos = q.head.load(Ordering::SeqCst);
+        let mut taken = 0usize;
+        while taken < max {
+            match q.drain_slot_raw(&mut pos) {
+                // SAFETY: the successful SC(slot, null) inside
+                // drain_slot_raw transferred the node word to us.
+                Some(raw) => {
+                    out.push(unsafe { node_from_raw::<T>(raw) });
+                    taken += 1;
+                }
+                None => break,
+            }
+        }
+        if taken > 0 {
+            q.publish_head(pos); // cursor sits one past the last drain
+        }
+        taken
+    }
 }
 
 impl<T: Send, C: LlScCell> ConcurrentQueue<T> for LlScQueue<T, C> {
@@ -271,6 +482,14 @@ impl<T: Send, C: LlScCell> ConcurrentQueue<T> for LlScQueue<T, C> {
 
     fn capacity(&self) -> Option<usize> {
         Some(self.capacity())
+    }
+
+    fn len(&self) -> Option<usize> {
+        Some(LlScQueue::len(self))
+    }
+
+    fn is_empty(&self) -> Option<bool> {
+        Some(LlScQueue::is_empty(self))
     }
 
     fn algorithm_name(&self) -> &'static str {
@@ -375,11 +594,14 @@ mod tests {
     fn works_over_weak_cells_with_spurious_failures() {
         let q: LlScQueue<u32, WeakCell> =
             LlScQueue::with_cells(8, LlScQueueConfig::default(), |_, v| {
-                WeakCell::new(v, FaultPlan::Probability {
-                    seed: 1234,
-                    num: 1,
-                    den: 3,
-                })
+                WeakCell::new(
+                    v,
+                    FaultPlan::Probability {
+                        seed: 1234,
+                        num: 1,
+                        den: 3,
+                    },
+                )
             });
         let mut h = q.handle();
         for round in 0..50 {
@@ -461,6 +683,160 @@ mod tests {
             PRODUCERS * PER_PRODUCER,
             "every value dequeued exactly once"
         );
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn batch_round_trip_single_thread() {
+        let q = LlScQueue::<u64>::with_capacity(64);
+        let mut h = q.handle();
+        assert_eq!(
+            h.enqueue_batch((0..20u64).collect::<Vec<_>>().into_iter())
+                .unwrap(),
+            20
+        );
+        assert_eq!(q.len(), 20);
+        let mut out = Vec::new();
+        assert_eq!(h.dequeue_batch(&mut out, 7), 7);
+        assert_eq!(h.dequeue_batch(&mut out, 64), 13);
+        assert_eq!(out, (0..20).collect::<Vec<_>>());
+        assert!(q.is_empty());
+        assert_eq!(h.dequeue_batch(&mut out, 4), 0);
+    }
+
+    #[test]
+    fn batch_enqueue_reports_partial_fill_in_order() {
+        let q = LlScQueue::<u64>::with_capacity(8);
+        let mut h = q.handle();
+        let err = h
+            .enqueue_batch((0..12u64).collect::<Vec<_>>().into_iter())
+            .unwrap_err();
+        assert_eq!(err.enqueued, 8);
+        assert_eq!(err.remaining, vec![8, 9, 10, 11]);
+        let mut out = Vec::new();
+        assert_eq!(h.dequeue_batch(&mut out, 100), 8);
+        assert_eq!(out, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn batch_interleaves_with_single_ops() {
+        let q = LlScQueue::<u64>::with_capacity(16);
+        let mut h = q.handle();
+        h.enqueue(100).unwrap();
+        assert_eq!(h.enqueue_batch(vec![101, 102, 103].into_iter()).unwrap(), 3);
+        h.enqueue(104).unwrap();
+        assert_eq!(h.dequeue(), Some(100));
+        let mut out = Vec::new();
+        assert_eq!(h.dequeue_batch(&mut out, 3), 3);
+        assert_eq!(out, vec![101, 102, 103]);
+        assert_eq!(h.dequeue(), Some(104));
+    }
+
+    #[test]
+    fn batch_wraparound_many_laps() {
+        let q = LlScQueue::<u64>::with_capacity(8);
+        let mut h = q.handle();
+        let mut out = Vec::new();
+        for lap in 0..500u64 {
+            let base = lap * 5;
+            assert_eq!(
+                h.enqueue_batch((base..base + 5).collect::<Vec<_>>().into_iter())
+                    .unwrap(),
+                5
+            );
+            out.clear();
+            assert_eq!(h.dequeue_batch(&mut out, 5), 5);
+            assert_eq!(out, (base..base + 5).collect::<Vec<_>>());
+        }
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn batch_works_over_weak_cells_with_spurious_failures() {
+        let q: LlScQueue<u64, WeakCell> =
+            LlScQueue::with_cells(16, LlScQueueConfig::default(), |_, v| {
+                WeakCell::new(
+                    v,
+                    FaultPlan::Probability {
+                        seed: 77,
+                        num: 1,
+                        den: 3,
+                    },
+                )
+            });
+        let mut h = q.handle();
+        let mut out = Vec::new();
+        for round in 0..100u64 {
+            let base = round * 10;
+            assert_eq!(
+                h.enqueue_batch((base..base + 10).collect::<Vec<_>>().into_iter())
+                    .unwrap(),
+                10
+            );
+            out.clear();
+            assert_eq!(h.dequeue_batch(&mut out, 10), 10);
+            assert_eq!(out, (base..base + 10).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn batch_mpmc_no_loss_no_dup() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        const PRODUCERS: u64 = 3;
+        const CONSUMERS: u64 = 3;
+        const BATCHES: u64 = 300;
+        const BATCH: u64 = 7;
+        let q = LlScQueue::<u64>::with_capacity(64);
+        let seen = Mutex::new(HashSet::new());
+        let total = PRODUCERS * BATCHES * BATCH;
+        let consumed = std::sync::atomic::AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for p in 0..PRODUCERS {
+                let q = &q;
+                s.spawn(move || {
+                    let mut h = q.handle();
+                    for b in 0..BATCHES {
+                        let base = (p * BATCHES + b) * BATCH;
+                        let mut pending: Vec<u64> = (base..base + BATCH).collect();
+                        loop {
+                            match h.enqueue_batch(pending.into_iter()) {
+                                Ok(_) => break,
+                                Err(e) => {
+                                    pending = e.remaining;
+                                    std::thread::yield_now();
+                                }
+                            }
+                        }
+                    }
+                });
+            }
+            for _ in 0..CONSUMERS {
+                let q = &q;
+                let seen = &seen;
+                let consumed = &consumed;
+                s.spawn(move || {
+                    let mut h = q.handle();
+                    let mut out = Vec::new();
+                    loop {
+                        let n = h.dequeue_batch(&mut out, 5);
+                        if n == 0 {
+                            if consumed.load(Ordering::Relaxed) >= total {
+                                break;
+                            }
+                            std::thread::yield_now();
+                        } else {
+                            consumed.fetch_add(n as u64, Ordering::Relaxed);
+                        }
+                    }
+                    let mut s = seen.lock().unwrap();
+                    for v in out {
+                        assert!(s.insert(v), "duplicate value {v}");
+                    }
+                });
+            }
+        });
+        assert_eq!(seen.lock().unwrap().len() as u64, total);
         assert!(q.is_empty());
     }
 

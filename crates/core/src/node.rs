@@ -20,6 +20,16 @@ pub(crate) const NULL: u64 = 0;
 /// value width).
 const NODE_ADDR_MASK: u64 = (1 << 48) - 1;
 
+/// `a < b` for the unbounded monotone `Head`/`Tail` logical indices.
+///
+/// The counters only ever grow, so two observations of the same counter
+/// (or of `Head` vs `Tail`) are never more than `2^63` apart; interpreting
+/// the wrapping difference as signed gives the right order even across a
+/// (theoretical) u64 wrap.
+pub(crate) fn index_precedes(a: u64, b: u64) -> bool {
+    (b.wrapping_sub(a) as i64) > 0
+}
+
 /// Owning heap cell for a queued value.
 #[repr(align(8))]
 pub(crate) struct QNode<T> {

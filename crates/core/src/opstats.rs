@@ -28,10 +28,16 @@ pub struct OpStats {
     pub index_cas_successes: AtomicU64,
     /// Fetch-and-add operations on `LLSCvar` reference counts.
     pub faa_ops: AtomicU64,
-    /// Completed enqueue+dequeue operations (denominator).
+    /// Completed enqueue+dequeue operations (denominator). Batch calls
+    /// count one operation per *element*, so the per-operation ratios
+    /// stay comparable between the single and batched paths.
     pub operations: AtomicU64,
     /// Help actions (advancing a lagging index on a peer's behalf).
     pub helps: AtomicU64,
+    /// Batch calls (`enqueue_batch`/`dequeue_batch`) completed.
+    pub batch_ops: AtomicU64,
+    /// Elements moved by batch calls (sums into `operations` too).
+    pub batch_items: AtomicU64,
 }
 
 /// A point-in-time, per-operation view of the counters.
@@ -51,6 +57,10 @@ pub struct OpStatsSnapshot {
     pub helps: f64,
     /// Completed operations counted.
     pub operations: u64,
+    /// Batch calls completed.
+    pub batch_ops: u64,
+    /// Elements moved through batch calls.
+    pub batch_items: u64,
 }
 
 impl OpStats {
@@ -71,6 +81,8 @@ impl OpStats {
             faa_ops: per(&self.faa_ops),
             helps: per(&self.helps),
             operations: self.operations.load(Ordering::Relaxed),
+            batch_ops: self.batch_ops.load(Ordering::Relaxed),
+            batch_items: self.batch_items.load(Ordering::Relaxed),
         }
     }
 }

@@ -24,8 +24,8 @@
 //! * `r > 1` — owned and currently being read through a tag found in a
 //!   slot (`LL` lines L7/L14).
 
-use core::sync::atomic::{AtomicPtr, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use core::ptr;
+use core::sync::atomic::{AtomicPtr, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 
 /// A thread-owned simulated-LL/SC variable (paper `struct LLSCvar`).
 ///

@@ -98,9 +98,7 @@ impl Algo {
             Algo::CasQueue => run_workload(|| CasQueue::<u64>::with_capacity(cap), config),
             Algo::LlScQueue => run_workload(|| LlScQueue::<u64>::with_capacity(cap), config),
             Algo::MsHpSorted => run_workload(|| MsQueue::<u64>::new(ScanMode::Sorted), config),
-            Algo::MsHpUnsorted => {
-                run_workload(|| MsQueue::<u64>::new(ScanMode::Unsorted), config)
-            }
+            Algo::MsHpUnsorted => run_workload(|| MsQueue::<u64>::new(ScanMode::Unsorted), config),
             Algo::MsDoherty => run_workload(MsDohertyQueue::<u64>::new, config),
             Algo::Shann => run_workload(|| ShannQueue::<u64>::with_capacity(cap), config),
             Algo::TsigasZhang => {
@@ -136,9 +134,7 @@ impl Algo {
             ),
             Algo::Treiber => run_workload(nbq_baselines::TreiberQueue::<u64>::new, config),
             Algo::Lms => run_workload(nbq_baselines::LmsQueue::<u64>::new, config),
-            Algo::CrossbeamArray => {
-                run_workload(|| CrossbeamArrayAdapter::new(cap), config)
-            }
+            Algo::CrossbeamArray => run_workload(|| CrossbeamArrayAdapter::new(cap), config),
             Algo::CrossbeamSeg => run_workload(CrossbeamSegAdapter::new, config),
         }
     }
@@ -149,18 +145,24 @@ impl Algo {
         match self {
             Algo::CasQueue => run_workload(
                 || {
-                    CasQueue::<u64>::with_config(cap, CasQueueConfig {
-                        backoff: tuning.backoff,
-                        gate: tuning.gate,
-                    })
+                    CasQueue::<u64>::with_config(
+                        cap,
+                        CasQueueConfig {
+                            backoff: tuning.backoff,
+                            gate: tuning.gate,
+                        },
+                    )
                 },
                 config,
             ),
             Algo::LlScQueue => run_workload(
                 || {
-                    LlScQueue::<u64>::with_config(cap, LlScQueueConfig {
-                        backoff: tuning.backoff,
-                    })
+                    LlScQueue::<u64>::with_config(
+                        cap,
+                        LlScQueueConfig {
+                            backoff: tuning.backoff,
+                        },
+                    )
                 },
                 config,
             ),
@@ -266,6 +268,10 @@ impl ConcurrentQueue<u64> for CrossbeamArrayAdapter {
         Some(self.inner.capacity())
     }
 
+    fn len(&self) -> Option<usize> {
+        Some(self.inner.len())
+    }
+
     fn algorithm_name(&self) -> &'static str {
         "crossbeam ArrayQueue"
     }
@@ -319,6 +325,10 @@ impl ConcurrentQueue<u64> for CrossbeamSegAdapter {
 
     fn capacity(&self) -> Option<usize> {
         None
+    }
+
+    fn len(&self) -> Option<usize> {
+        Some(self.inner.len())
     }
 
     fn algorithm_name(&self) -> &'static str {
@@ -416,10 +426,13 @@ mod tests {
     #[test]
     fn tuned_run_honors_backoff_flag() {
         let cfg = tiny();
-        let s = Algo::CasQueue.run_tuned(&cfg, Tuning {
-            backoff: false,
-            gate: GatePolicy::PerOperation,
-        });
+        let s = Algo::CasQueue.run_tuned(
+            &cfg,
+            Tuning {
+                backoff: false,
+                gate: GatePolicy::PerOperation,
+            },
+        );
         assert!(s.mean > 0.0);
     }
 }

@@ -10,6 +10,7 @@
 //!   opcounts                         in-text T4 (instructions per op)
 //!   ablate-scan | ablate-reregister | ablate-capacity | ablate-backoff
 //!   modern                           extension: modern comparators
+//!   batch                            extension: batch API amortization
 //!   all                              everything above
 //!
 //! flags:
@@ -36,7 +37,7 @@ struct Args {
 fn usage() -> ! {
     eprintln!(
         "usage: repro <fig6a|fig6b|fig6c|fig6d|overhead|caswidth|opcounts|ablate-scan|\
-         ablate-reregister|ablate-capacity|ablate-backoff|modern|all> \
+         ablate-reregister|ablate-capacity|ablate-backoff|modern|batch|all> \
          [--threads 1,2,4] [--iters N] [--runs N] [--capacity N] \
          [--csv DIR] [--paper]"
     );
@@ -54,11 +55,10 @@ fn parse_args() -> Args {
     let mut paper = false;
     while let Some(flag) = args.next() {
         let mut value = |flag: &str| {
-            args.next()
-                .unwrap_or_else(|| {
-                    eprintln!("missing value for {flag}");
-                    usage()
-                })
+            args.next().unwrap_or_else(|| {
+                eprintln!("missing value for {flag}");
+                usage()
+            })
         };
         match flag.as_str() {
             "--threads" => {
@@ -137,7 +137,10 @@ fn main() -> ExitCode {
             emit(&t, &args.csv);
             println!("LL/SC vs CAS speedup by thread count (in-text T3):");
             for (threads, ratio) in experiments::llsc_vs_cas_ratio(&t) {
-                println!("  {threads:>3} threads: CAS is {:+.1}% vs LL/SC", ratio * 100.0);
+                println!(
+                    "  {threads:>3} threads: CAS is {:+.1}% vs LL/SC",
+                    ratio * 100.0
+                );
             }
         }
         "fig6b" => emit(&run_fig6b(&args), &args.csv),
@@ -197,6 +200,21 @@ fn main() -> ExitCode {
         "modern" => {
             emit(&experiments::modern(&args.threads, &args.config), &args.csv);
         }
+        "batch" => {
+            let laps = args.config.iterations.max(200);
+            emit(
+                &experiments::batch_amortization(&[1, 4, 16, 64], laps),
+                &args.csv,
+            );
+            emit(
+                &experiments::batch_time(&args.threads, &args.config),
+                &args.csv,
+            );
+            println!(
+                "batch calls amortize the Head/Tail index CAS (one jump per \
+                 batch); the 2 slot CASes per element are irreducible"
+            );
+        }
         "all" => {
             let a = run_fig6a(&args);
             emit(&a, &args.csv);
@@ -231,6 +249,14 @@ fn main() -> ExitCode {
                 &args.csv,
             );
             emit(&experiments::modern(&args.threads, &args.config), &args.csv);
+            emit(
+                &experiments::batch_amortization(&[1, 4, 16, 64], args.config.iterations),
+                &args.csv,
+            );
+            emit(
+                &experiments::batch_time(&args.threads, &args.config),
+                &args.csv,
+            );
         }
         other => {
             eprintln!("unknown experiment: {other}");

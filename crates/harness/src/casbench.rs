@@ -43,12 +43,8 @@ pub fn measure(iters: u64) -> Vec<CasCost> {
     out.push(CasCost {
         name: "CAS u32 (success)",
         ns_per_op: time(iters, || {
-            let _ = a32.compare_exchange(
-                v32,
-                v32.wrapping_add(1),
-                Ordering::SeqCst,
-                Ordering::SeqCst,
-            );
+            let _ =
+                a32.compare_exchange(v32, v32.wrapping_add(1), Ordering::SeqCst, Ordering::SeqCst);
             v32 = v32.wrapping_add(1);
         }),
     });
@@ -58,12 +54,8 @@ pub fn measure(iters: u64) -> Vec<CasCost> {
     out.push(CasCost {
         name: "CAS u64 (success)",
         ns_per_op: time(iters, || {
-            let _ = a64.compare_exchange(
-                v64,
-                v64.wrapping_add(1),
-                Ordering::SeqCst,
-                Ordering::SeqCst,
-            );
+            let _ =
+                a64.compare_exchange(v64, v64.wrapping_add(1), Ordering::SeqCst, Ordering::SeqCst);
             v64 = v64.wrapping_add(1);
         }),
     });
@@ -102,12 +94,8 @@ pub fn measure(iters: u64) -> Vec<CasCost> {
     out.push(CasCost {
         name: "1x wide CAS + 1x CAS (Shann bill)",
         ns_per_op: time(iters, || {
-            let _ = wide.compare_exchange(
-                c << 32,
-                (c + 1) << 32,
-                Ordering::SeqCst,
-                Ordering::SeqCst,
-            );
+            let _ =
+                wide.compare_exchange(c << 32, (c + 1) << 32, Ordering::SeqCst, Ordering::SeqCst);
             let _ = idx.compare_exchange(c, c + 1, Ordering::SeqCst, Ordering::SeqCst);
             c += 1;
         }),

@@ -27,10 +27,7 @@ pub fn time_vs_threads(
         let cells: Vec<Cell> = thread_counts
             .iter()
             .map(|&threads| {
-                let cfg = WorkloadConfig {
-                    threads,
-                    ..*base
-                };
+                let cfg = WorkloadConfig { threads, ..*base };
                 Cell::from(algo.run(&cfg))
             })
             .collect();
@@ -123,10 +120,13 @@ pub fn cas_width(iters: u64) -> Table {
         vec![0],
     );
     for c in &costs {
-        t.push_row(c.name, vec![Cell {
-            mean: c.ns_per_op,
-            stddev: 0.0,
-        }]);
+        t.push_row(
+            c.name,
+            vec![Cell {
+                mean: c.ns_per_op,
+                stddev: 0.0,
+            }],
+        );
     }
     t
 }
@@ -148,14 +148,14 @@ pub fn ablate_reregister(thread_counts: &[usize], base: &WorkloadConfig) -> Tabl
         let cells: Vec<Cell> = thread_counts
             .iter()
             .map(|&threads| {
-                let cfg = WorkloadConfig {
-                    threads,
-                    ..*base
-                };
-                Cell::from(Algo::CasQueue.run_tuned(&cfg, Tuning {
-                    backoff: true,
-                    gate,
-                }))
+                let cfg = WorkloadConfig { threads, ..*base };
+                Cell::from(Algo::CasQueue.run_tuned(
+                    &cfg,
+                    Tuning {
+                        backoff: true,
+                        gate,
+                    },
+                ))
             })
             .collect();
         table.push_row(label, cells);
@@ -181,14 +181,14 @@ pub fn ablate_backoff(thread_counts: &[usize], base: &WorkloadConfig) -> Table {
         let cells: Vec<Cell> = thread_counts
             .iter()
             .map(|&threads| {
-                let cfg = WorkloadConfig {
-                    threads,
-                    ..*base
-                };
-                Cell::from(algo.run_tuned(&cfg, Tuning {
-                    backoff,
-                    gate: GatePolicy::PerLink,
-                }))
+                let cfg = WorkloadConfig { threads, ..*base };
+                Cell::from(algo.run_tuned(
+                    &cfg,
+                    Tuning {
+                        backoff,
+                        gate: GatePolicy::PerLink,
+                    },
+                ))
             })
             .collect();
         table.push_row(label, cells);
@@ -208,10 +208,7 @@ pub fn ablate_capacity(capacities: &[usize], base: &WorkloadConfig) -> Table {
     let cells: Vec<Cell> = capacities
         .iter()
         .map(|&capacity| {
-            let cfg = WorkloadConfig {
-                capacity,
-                ..*base
-            };
+            let cfg = WorkloadConfig { capacity, ..*base };
             Cell::from(Algo::CasQueue.run(&cfg))
         })
         .collect();
@@ -377,6 +374,111 @@ pub fn opcounts(thread_counts: &[usize], iterations: usize) -> Table {
     table
 }
 
+/// `ext-batch` (instructions): index-CAS cost per element for the CAS
+/// queue as the batch size grows, measured with [`nbq_core::OpStats`].
+///
+/// The batch API's claim is that the slot protocol stays per-element
+/// (2 successful slot CASes, irreducible) while the Head/Tail advance
+/// becomes one jump-CAS per *batch*; this table shows the index row
+/// falling as `~2/batch` while the slot row stays flat.
+pub fn batch_amortization(batch_sizes: &[usize], laps: usize) -> Table {
+    use nbq_core::CasQueue;
+    use nbq_util::QueueHandle;
+
+    let mut table = Table::new(
+        "ext-batch-ops",
+        "CAS queue: synchronization instructions per element vs batch size",
+        "batch",
+        "count/element",
+        batch_sizes.iter().map(|&b| b as u64).collect(),
+    );
+    let mut index_cells = Vec::new();
+    let mut slot_cells = Vec::new();
+    for &batch in batch_sizes {
+        let q = CasQueue::<u64>::with_stats((batch * 4).max(64));
+        let mut h = q.handle();
+        let mut out = Vec::with_capacity(batch);
+        for lap in 0..laps as u64 {
+            let base = lap * batch as u64;
+            let items: Vec<u64> = (base..base + batch as u64).collect();
+            if batch == 1 {
+                // Batch 1 through the single-op path: the baseline the
+                // amortization is measured against.
+                for v in items {
+                    h.enqueue(v).expect("capacity sized for the lap");
+                }
+                while h.dequeue().is_some() {}
+            } else {
+                h.enqueue_batch(items.into_iter())
+                    .expect("capacity sized for the lap");
+                out.clear();
+                h.dequeue_batch(&mut out, batch);
+            }
+        }
+        let snap = q.stats().expect("stats enabled").snapshot();
+        index_cells.push(Cell {
+            mean: snap.index_cas_attempts,
+            stddev: 0.0,
+        });
+        slot_cells.push(Cell {
+            mean: snap.slot_cas_successes,
+            stddev: 0.0,
+        });
+    }
+    table.push_row("index CAS attempts", index_cells);
+    table.push_row("successful slot CAS", slot_cells);
+    table
+}
+
+/// `ext-batch` (time): the paper workload with `burst`-sized batch calls
+/// vs `burst` single calls, for both core queues.
+pub fn batch_time(thread_counts: &[usize], base: &WorkloadConfig) -> Table {
+    use crate::workload::{run_workload, run_workload_batched};
+    use nbq_core::{CasQueue, LlScQueue};
+
+    let mut table = Table::new(
+        "ext-batch-time",
+        "Core queues: batched vs single-op workload",
+        "threads",
+        "s",
+        thread_counts.iter().map(|&t| t as u64).collect(),
+    );
+    for batched in [false, true] {
+        for algo in [Algo::CasQueue, Algo::LlScQueue] {
+            let cells: Vec<Cell> = thread_counts
+                .iter()
+                .map(|&threads| {
+                    let cfg = WorkloadConfig { threads, ..*base };
+                    let cap = cfg.capacity;
+                    let summary = match (algo, batched) {
+                        (Algo::CasQueue, false) => {
+                            run_workload(|| CasQueue::<u64>::with_capacity(cap), &cfg)
+                        }
+                        (Algo::CasQueue, true) => {
+                            run_workload_batched(|| CasQueue::<u64>::with_capacity(cap), &cfg)
+                        }
+                        (Algo::LlScQueue, false) => {
+                            run_workload(|| LlScQueue::<u64>::with_capacity(cap), &cfg)
+                        }
+                        (Algo::LlScQueue, true) => {
+                            run_workload_batched(|| LlScQueue::<u64>::with_capacity(cap), &cfg)
+                        }
+                        _ => unreachable!(),
+                    };
+                    Cell::from(summary)
+                })
+                .collect();
+            let label = if batched {
+                format!("{}, batched x{}", algo.name(), base.burst)
+            } else {
+                format!("{}, single ops", algo.name())
+            };
+            table.push_row(&label, cells);
+        }
+    }
+    table
+}
+
 /// In-text T3 helper: LL/SC-vs-CAS speed ratio out of a fig6a table.
 pub fn llsc_vs_cas_ratio(fig6a: &Table) -> Vec<(u64, f64)> {
     fig6a
@@ -480,6 +582,28 @@ mod tests {
             .unwrap()
             .mean;
         assert!(sc >= 1.0, "MS-Doherty does >=1 successful SC per op: {sc}");
+    }
+
+    #[test]
+    fn batch_amortization_index_row_falls_with_batch_size() {
+        let t = batch_amortization(&[1, 16], 200);
+        let at1 = t.cell("index CAS attempts", 1).unwrap().mean;
+        let at16 = t.cell("index CAS attempts", 16).unwrap().mean;
+        assert!((at1 - 1.0).abs() < 0.05, "single-op baseline {at1}");
+        assert!(at16 < 0.25 * at1, "batch 16 not amortized: {at16} vs {at1}");
+        // Slot cost is flat: 2 successful slot CASes per element either way.
+        let s1 = t.cell("successful slot CAS", 1).unwrap().mean;
+        let s16 = t.cell("successful slot CAS", 16).unwrap().mean;
+        assert!((s1 - 2.0).abs() < 0.05 && (s16 - 2.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn batch_time_runs_all_four_rows() {
+        let t = batch_time(&[2], &tiny());
+        assert_eq!(t.rows.len(), 4);
+        for (label, cells) in &t.rows {
+            assert!(cells[0].mean > 0.0, "{label} returned zero time");
+        }
     }
 
     #[test]

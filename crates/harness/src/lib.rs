@@ -26,4 +26,6 @@ pub mod workload;
 
 pub use algos::{Algo, Tuning, AMD_SET, MODERN_SET, POWERPC_SET};
 pub use report::{Cell, Table};
-pub use workload::{run_once, run_workload, WorkloadConfig};
+pub use workload::{
+    run_once, run_once_batched, run_workload, run_workload_batched, WorkloadConfig,
+};

@@ -5,12 +5,11 @@
 //! seconds (or a normalized ratio).
 
 use nbq_util::stats::Summary;
-use serde::Serialize;
 use std::fmt::Write as _;
 use std::path::Path;
 
 /// One measured cell.
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct Cell {
     /// Mean across runs.
     pub mean: f64,
@@ -28,7 +27,7 @@ impl From<Summary> for Cell {
 }
 
 /// A figure/table of results.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table {
     /// Experiment id, e.g. `fig6a`.
     pub id: String,
@@ -135,14 +134,43 @@ impl Table {
         s
     }
 
+    /// Renders pretty-printed JSON (same shape serde_json derived when
+    /// this module depended on it — kept hand-rolled so the workspace
+    /// builds without registry access).
+    pub fn render_json(&self) -> String {
+        let mut s = String::from("{\n");
+        let _ = writeln!(s, "  \"id\": {},", json_str(&self.id));
+        let _ = writeln!(s, "  \"title\": {},", json_str(&self.title));
+        let _ = writeln!(s, "  \"param\": {},", json_str(&self.param));
+        let cols: Vec<String> = self.columns.iter().map(|c| c.to_string()).collect();
+        let _ = writeln!(s, "  \"columns\": [{}],", cols.join(", "));
+        let _ = writeln!(s, "  \"unit\": {},", json_str(&self.unit));
+        s.push_str("  \"rows\": [\n");
+        for (i, (label, cells)) in self.rows.iter().enumerate() {
+            let _ = writeln!(s, "    [");
+            let _ = writeln!(s, "      {},", json_str(label));
+            s.push_str("      [\n");
+            for (j, cell) in cells.iter().enumerate() {
+                let _ = writeln!(
+                    s,
+                    "        {{ \"mean\": {}, \"stddev\": {} }}{}",
+                    json_f64(cell.mean),
+                    json_f64(cell.stddev),
+                    if j + 1 < cells.len() { "," } else { "" }
+                );
+            }
+            s.push_str("      ]\n");
+            let _ = writeln!(s, "    ]{}", if i + 1 < self.rows.len() { "," } else { "" });
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+
     /// Writes `<dir>/<id>.csv` and `<dir>/<id>.json`.
     pub fn write_to(&self, dir: &Path) -> std::io::Result<()> {
         std::fs::create_dir_all(dir)?;
         std::fs::write(dir.join(format!("{}.csv", self.id)), self.render_csv())?;
-        std::fs::write(
-            dir.join(format!("{}.json", self.id)),
-            serde_json::to_string_pretty(self).expect("table serializes"),
-        )?;
+        std::fs::write(dir.join(format!("{}.json", self.id)), self.render_json())?;
         Ok(())
     }
 
@@ -154,40 +182,74 @@ impl Table {
     }
 }
 
+/// JSON string literal with the escapes table ids can contain.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// JSON number; NaN/inf have no JSON form, so encode as null.
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn sample() -> Table {
         let mut t = Table::new("t1", "demo", "threads", "s", vec![1, 2, 4]);
-        t.push_row("A", vec![
-            Cell {
-                mean: 1.0,
-                stddev: 0.1,
-            },
-            Cell {
-                mean: 2.0,
-                stddev: 0.1,
-            },
-            Cell {
-                mean: 4.0,
-                stddev: 0.1,
-            },
-        ]);
-        t.push_row("B", vec![
-            Cell {
-                mean: 2.0,
-                stddev: 0.2,
-            },
-            Cell {
-                mean: 2.0,
-                stddev: 0.2,
-            },
-            Cell {
-                mean: 2.0,
-                stddev: 0.2,
-            },
-        ]);
+        t.push_row(
+            "A",
+            vec![
+                Cell {
+                    mean: 1.0,
+                    stddev: 0.1,
+                },
+                Cell {
+                    mean: 2.0,
+                    stddev: 0.1,
+                },
+                Cell {
+                    mean: 4.0,
+                    stddev: 0.1,
+                },
+            ],
+        );
+        t.push_row(
+            "B",
+            vec![
+                Cell {
+                    mean: 2.0,
+                    stddev: 0.2,
+                },
+                Cell {
+                    mean: 2.0,
+                    stddev: 0.2,
+                },
+                Cell {
+                    mean: 2.0,
+                    stddev: 0.2,
+                },
+            ],
+        );
         t
     }
 
@@ -232,10 +294,13 @@ mod tests {
     #[should_panic(expected = "has 1 cells")]
     fn wrong_width_row_panics() {
         let mut t = sample();
-        t.push_row("C", vec![Cell {
-            mean: 1.0,
-            stddev: 0.0,
-        }]);
+        t.push_row(
+            "C",
+            vec![Cell {
+                mean: 1.0,
+                stddev: 0.0,
+            }],
+        );
     }
 
     #[test]

@@ -125,6 +125,69 @@ pub fn run_once<Q: ConcurrentQueue<u64>>(queue: &Q, config: &WorkloadConfig) -> 
     thread_secs.iter().sum::<f64>() / config.threads as f64
 }
 
+/// Batched variant of [`run_once`]: each iteration moves its `burst`
+/// items with one `enqueue_batch` and one `dequeue_batch` call instead of
+/// `burst` single calls. Queues without a native batch path fall through
+/// to the trait's element-wise defaults, so the comparison isolates
+/// exactly the amortization the batch API buys.
+pub fn run_once_batched<Q: ConcurrentQueue<u64>>(queue: &Q, config: &WorkloadConfig) -> f64 {
+    if let Some(cap) = queue.capacity() {
+        assert!(
+            cap > config.threads * (config.burst - 1),
+            "workload can deadlock: capacity {cap} <= threads {} x (burst {} - 1)",
+            config.threads,
+            config.burst
+        );
+    }
+    let barrier = Barrier::new(config.threads);
+    let mut thread_secs = vec![0.0f64; config.threads];
+    std::thread::scope(|s| {
+        let mut joins = Vec::with_capacity(config.threads);
+        for t in 0..config.threads {
+            let barrier = &barrier;
+            joins.push(s.spawn(move || {
+                let mut handle = queue.handle();
+                let mut seq: u64 = 0;
+                let mut out: Vec<u64> = Vec::with_capacity(config.burst);
+                barrier.wait();
+                let start = Instant::now();
+                for _ in 0..config.iterations {
+                    let mut batch: Vec<u64> = (0..config.burst)
+                        .map(|_| {
+                            let value = ((t as u64) << 40) | seq;
+                            seq += 1;
+                            value
+                        })
+                        .collect();
+                    loop {
+                        match handle.enqueue_batch(batch.into_iter()) {
+                            Ok(_) => break,
+                            Err(e) => {
+                                // Transient full under oversubscription:
+                                // retry the leftover suffix only.
+                                batch = e.remaining;
+                                std::thread::yield_now();
+                            }
+                        }
+                    }
+                    out.clear();
+                    while out.len() < config.burst {
+                        let want = config.burst - out.len();
+                        if handle.dequeue_batch(&mut out, want) == 0 {
+                            std::thread::yield_now();
+                        }
+                    }
+                }
+                start.elapsed().as_secs_f64()
+            }));
+        }
+        for (t, j) in joins.into_iter().enumerate() {
+            thread_secs[t] = j.join().expect("workload thread panicked");
+        }
+    });
+    thread_secs.iter().sum::<f64>() / config.threads as f64
+}
+
 /// Runs `config.runs` fresh-queue runs of the workload and summarizes the
 /// per-run times.
 pub fn run_workload<Q, F>(factory: F, config: &WorkloadConfig) -> Summary
@@ -136,6 +199,21 @@ where
         .map(|_| {
             let queue = factory();
             run_once(&queue, config)
+        })
+        .collect();
+    Summary::of(&samples)
+}
+
+/// [`run_workload`] over the batched workload body.
+pub fn run_workload_batched<Q, F>(factory: F, config: &WorkloadConfig) -> Summary
+where
+    Q: ConcurrentQueue<u64>,
+    F: Fn() -> Q,
+{
+    let samples: Vec<f64> = (0..config.runs)
+        .map(|_| {
+            let queue = factory();
+            run_once_batched(&queue, config)
         })
         .collect();
     Summary::of(&samples)
@@ -164,6 +242,24 @@ mod tests {
         let secs = run_once(&q, &cfg);
         assert!(secs > 0.0);
         assert!(q.is_empty(), "balanced workload must drain the queue");
+    }
+
+    #[test]
+    fn run_once_batched_completes_and_leaves_queue_empty() {
+        let cfg = tiny();
+        let q = CasQueue::<u64>::with_capacity(cfg.capacity);
+        let secs = run_once_batched(&q, &cfg);
+        assert!(secs > 0.0);
+        assert!(q.is_empty(), "balanced workload must drain the queue");
+    }
+
+    #[test]
+    fn run_once_batched_works_via_default_fallbacks() {
+        // MutexQueue has no batch override; the trait defaults carry it.
+        let cfg = tiny();
+        let q = MutexQueue::<u64>::with_capacity(cfg.capacity);
+        let secs = run_once_batched(&q, &cfg);
+        assert!(secs > 0.0);
     }
 
     #[test]

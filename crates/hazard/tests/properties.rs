@@ -28,10 +28,8 @@ enum Step {
 
 fn step_strategy() -> impl Strategy<Value = Step> {
     prop_oneof![
-        (any::<bool>(), 0..HP_PER_RECORD).prop_map(|(protect, slot)| Step::RetireNode {
-            protect,
-            slot
-        }),
+        (any::<bool>(), 0..HP_PER_RECORD)
+            .prop_map(|(protect, slot)| Step::RetireNode { protect, slot }),
         (0..HP_PER_RECORD).prop_map(|slot| Step::Clear { slot }),
         Just(Step::Flush),
     ]

@@ -59,7 +59,10 @@ impl fmt::Display for Violation {
                  but {second} was dequeued strictly before {first}"
             ),
             Violation::Conservation { enqueued, dequeued } => {
-                write!(f, "conservation: {enqueued} enqueued vs {dequeued} dequeued")
+                write!(
+                    f,
+                    "conservation: {enqueued} enqueued vs {dequeued} dequeued"
+                )
             }
         }
     }
@@ -130,13 +133,16 @@ pub fn check_realtime_fifo(h: &History) -> Result<(), Violation> {
     let mut by_value: HashMap<u64, Item> = HashMap::new();
     for op in &h.ops {
         if let OpKind::Enqueue(v) = op.kind {
-            by_value.insert(v, Item {
-                value: v,
-                enq_start: op.start,
-                enq_end: op.end,
-                deq_start: u64::MAX,
-                deq_end: u64::MAX,
-            });
+            by_value.insert(
+                v,
+                Item {
+                    value: v,
+                    enq_start: op.start,
+                    enq_end: op.end,
+                    deq_start: u64::MAX,
+                    deq_end: u64::MAX,
+                },
+            );
         }
     }
     for op in &h.ops {
@@ -274,7 +280,10 @@ mod tests {
         };
         assert!(matches!(
             check_realtime_fifo(&h),
-            Err(Violation::FifoInversion { first: 1, second: 2 })
+            Err(Violation::FifoInversion {
+                first: 1,
+                second: 2
+            })
         ));
     }
 
@@ -286,7 +295,10 @@ mod tests {
         };
         assert!(matches!(
             check_realtime_fifo(&h),
-            Err(Violation::FifoInversion { first: 1, second: 2 })
+            Err(Violation::FifoInversion {
+                first: 1,
+                second: 2
+            })
         ));
     }
 

@@ -176,12 +176,15 @@ mod tests {
             inner: Mutex::new(VecDeque::new()),
             cap: 16,
         };
-        let h = record_run(&q, DriverConfig {
-            threads: 4,
-            ops_per_thread: 300,
-            enqueue_percent: 60,
-            seed: 7,
-        });
+        let h = record_run(
+            &q,
+            DriverConfig {
+                threads: 4,
+                ops_per_thread: 300,
+                enqueue_percent: 60,
+                seed: 7,
+            },
+        );
         assert_eq!(h.ops.len(), 4 * 300);
         check_history(&h).expect("mutex queue must produce a clean history");
     }
@@ -208,12 +211,15 @@ mod tests {
                 inner: Mutex::new(VecDeque::new()),
                 cap: 8,
             };
-            let h = record_run(&q, DriverConfig {
-                threads: 1,
-                ops_per_thread: 100,
-                enqueue_percent: 50,
-                seed: 42,
-            });
+            let h = record_run(
+                &q,
+                DriverConfig {
+                    threads: 1,
+                    ops_per_thread: 100,
+                    enqueue_percent: 50,
+                    seed: 42,
+                },
+            );
             h.sorted_by_start()
                 .iter()
                 .map(|o| format!("{:?}", o.kind))

@@ -134,7 +134,14 @@ pub fn check_linearizable(h: &History, capacity: Option<usize>) -> SearchResult 
         false
     }
 
-    if dfs(&ops, capacity, &mut chosen, &mut model, &mut order, &mut memo) {
+    if dfs(
+        &ops,
+        capacity,
+        &mut chosen,
+        &mut model,
+        &mut order,
+        &mut memo,
+    ) {
         SearchResult::Linearizable(order)
     } else {
         SearchResult::NotLinearizable
@@ -226,11 +233,7 @@ mod tests {
         // deq(None) fully between enq(1) and its dequeue: queue was
         // definitely nonempty the whole window -> not linearizable.
         let h = History {
-            ops: vec![
-                enq(1, 0, 1),
-                deq(None, 2, 3),
-                deq(Some(1), 4, 5),
-            ],
+            ops: vec![enq(1, 0, 1), deq(None, 2, 3), deq(Some(1), 4, 5)],
         };
         assert!(!lin(&h, None));
     }
@@ -263,7 +266,12 @@ mod tests {
         // Two successful enqueues into capacity 1 with no dequeue between
         // their windows: impossible.
         let h = History {
-            ops: vec![enq(1, 0, 1), enq(2, 2, 3), deq(Some(1), 4, 5), deq(Some(2), 6, 7)],
+            ops: vec![
+                enq(1, 0, 1),
+                enq(2, 2, 3),
+                deq(Some(1), 4, 5),
+                deq(Some(2), 6, 7),
+            ],
         };
         assert!(!lin(&h, Some(1)));
         assert!(lin(&h, Some(2)));
@@ -280,7 +288,12 @@ mod tests {
     #[test]
     fn witness_order_replays_correctly() {
         let h = History {
-            ops: vec![enq(1, 0, 5), enq(2, 1, 6), deq(Some(2), 7, 8), deq(Some(1), 9, 10)],
+            ops: vec![
+                enq(1, 0, 5),
+                enq(2, 1, 6),
+                deq(Some(2), 7, 8),
+                deq(Some(1), 9, 10),
+            ],
         };
         match check_linearizable(&h, None) {
             SearchResult::Linearizable(order) => {

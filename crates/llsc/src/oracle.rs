@@ -59,10 +59,7 @@ impl OracleCell {
 
     /// Plain read (does not touch the valid-set).
     pub fn load(&self) -> u64 {
-        self.state
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .value
+        self.state.lock().unwrap_or_else(|e| e.into_inner()).value
     }
 }
 

@@ -36,8 +36,15 @@ pub enum FaultPlan {
 
 enum FaultState {
     None,
-    EveryNth { n: u64, count: AtomicU64 },
-    Probability { num: u64, den: u64, rng: Mutex<SplitMix64> },
+    EveryNth {
+        n: u64,
+        count: AtomicU64,
+    },
+    Probability {
+        num: u64,
+        den: u64,
+        rng: Mutex<SplitMix64>,
+    },
 }
 
 /// A [`VersionedCell`] whose SC can fail spuriously per a [`FaultPlan`].
@@ -160,11 +167,14 @@ mod tests {
     #[test]
     fn probability_plan_is_reproducible() {
         let run = || {
-            let c = WeakCell::new(0, FaultPlan::Probability {
-                seed: 99,
-                num: 1,
-                den: 2,
-            });
+            let c = WeakCell::new(
+                0,
+                FaultPlan::Probability {
+                    seed: 99,
+                    num: 1,
+                    den: 2,
+                },
+            );
             (0..64)
                 .map(|i| {
                     let (_, t) = c.ll();
@@ -179,11 +189,14 @@ mod tests {
     fn retry_loop_still_makes_progress_under_faults() {
         // A standard LL/SC increment loop completes despite 50% spurious
         // failures — weak LL/SC costs retries, not correctness.
-        let c = WeakCell::new(0, FaultPlan::Probability {
-            seed: 7,
-            num: 1,
-            den: 2,
-        });
+        let c = WeakCell::new(
+            0,
+            FaultPlan::Probability {
+                seed: 7,
+                num: 1,
+                den: 2,
+            },
+        );
         for _ in 0..1000 {
             loop {
                 let (v, t) = c.ll();
@@ -214,10 +227,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "probability")]
     fn bad_probability_panics() {
-        WeakCell::new(0, FaultPlan::Probability {
-            seed: 0,
-            num: 3,
-            den: 2,
-        });
+        WeakCell::new(
+            0,
+            FaultPlan::Probability {
+                seed: 0,
+                num: 3,
+                den: 2,
+            },
+        );
     }
 }

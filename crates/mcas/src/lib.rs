@@ -193,19 +193,8 @@ impl McasLocal<'_> {
     /// return true. The cells may be any two distinct [`McasCell`]s.
     ///
     /// All four values must have clear tag bits.
-    pub fn cas2(
-        &mut self,
-        a: &McasCell,
-        ae: u64,
-        an: u64,
-        b: &McasCell,
-        be: u64,
-        bn: u64,
-    ) -> bool {
-        assert!(
-            !std::ptr::eq(a, b),
-            "cas2 requires two distinct cells"
-        );
+    pub fn cas2(&mut self, a: &McasCell, ae: u64, an: u64, b: &McasCell, be: u64, bn: u64) -> bool {
+        assert!(!std::ptr::eq(a, b), "cas2 requires two distinct cells");
         for v in [ae, an, be, bn] {
             debug_assert_eq!(v & TAG_MASK, 0, "value uses reserved tag bits");
         }
@@ -251,16 +240,14 @@ impl McasLocal<'_> {
             .map(|&(cell, expect, new)| {
                 debug_assert_eq!(expect & TAG_MASK, 0);
                 debug_assert_eq!(new & TAG_MASK, 0);
-                Entry {
-                    cell,
-                    expect,
-                    new,
-                }
+                Entry { cell, expect, new }
             })
             .collect();
         entries.sort_by_key(|e| e.cell as usize);
         assert!(
-            entries.windows(2).all(|w| !std::ptr::eq(w[0].cell, w[1].cell)),
+            entries
+                .windows(2)
+                .all(|w| !std::ptr::eq(w[0].cell, w[1].cell)),
             "cas_n requires pairwise distinct cells"
         );
         self.run_mcas(entries)
@@ -349,8 +336,7 @@ unsafe fn help_rdcss_at(hp: &mut LocalHazards<'_>, cell: &McasCell, tagged: u64)
         return;
     }
     // SAFETY: owner is hazard-protected and was alive at validation.
-    let status_ok =
-        unsafe { &*d.owner }.status.load(Ordering::SeqCst) == d.expect_status;
+    let status_ok = unsafe { &*d.owner }.status.load(Ordering::SeqCst) == d.expect_status;
     let replacement = if status_ok { d.new } else { d.expect };
     let _ = cell
         .word
@@ -432,8 +418,7 @@ unsafe fn mcas_help(hp: &mut LocalHazards<'_>, desc: *mut McasDesc, depth: usize
                         if installed {
                             // Complete our own RDCSS (helpers may race us
                             // benignly — the completion CAS is idempotent).
-                            let status_ok =
-                                d.status.load(Ordering::SeqCst) == UNDECIDED;
+                            let status_ok = d.status.load(Ordering::SeqCst) == UNDECIDED;
                             let replacement = if status_ok { tagged } else { e.expect };
                             let _ = cell.word.compare_exchange(
                                 r_tagged,
@@ -627,10 +612,7 @@ mod tests {
             assert_eq!(l.read(c), (i as u64) * 4 + 100);
         }
         // Mismatch on any entry rolls everything back.
-        let bad: Vec<(&McasCell, u64, u64)> = cells
-            .iter()
-            .map(|c| (c, 0, 200))
-            .collect();
+        let bad: Vec<(&McasCell, u64, u64)> = cells.iter().map(|c| (c, 0, 200)).collect();
         assert!(!l.cas_n(&bad));
         for (i, c) in cells.iter().enumerate() {
             assert_eq!(l.read(c), (i as u64) * 4 + 100, "rolled back");

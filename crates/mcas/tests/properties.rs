@@ -21,28 +21,27 @@ enum Step {
         new_b: u64,
     },
     /// cas_n over ALL cells with per-cell staleness.
-    CasN { stale: [u64; CELLS], add: u64 },
-    Read { i: usize },
+    CasN {
+        stale: [u64; CELLS],
+        add: u64,
+    },
+    Read {
+        i: usize,
+    },
 }
 
 fn step_strategy() -> impl Strategy<Value = Step> {
     prop_oneof![
-        (
-            0..CELLS,
-            0..CELLS,
-            0u64..3,
-            0u64..3,
-            0u64..1000,
-            0u64..1000
-        )
-            .prop_map(|(i, j, stale_a, stale_b, new_a, new_b)| Step::Cas2 {
+        (0..CELLS, 0..CELLS, 0u64..3, 0u64..3, 0u64..1000, 0u64..1000).prop_map(
+            |(i, j, stale_a, stale_b, new_a, new_b)| Step::Cas2 {
                 i,
                 j,
                 stale_a,
                 stale_b,
                 new_a,
                 new_b,
-            }),
+            }
+        ),
         (prop::array::uniform4(0u64..2), 0u64..1000)
             .prop_map(|(stale, add)| Step::CasN { stale, add }),
         (0..CELLS).prop_map(|i| Step::Read { i }),

@@ -92,11 +92,7 @@ impl<'q, T: Send, Q: ConcurrentQueue<T>> BlockingHandle<'q, T, Q> {
                 Ok(()) => return,
                 Err(Full(v)) => {
                     value = v;
-                    let guard = self
-                        .queue
-                        .gate
-                        .lock()
-                        .unwrap_or_else(|e| e.into_inner());
+                    let guard = self.queue.gate.lock().unwrap_or_else(|e| e.into_inner());
                     // Timed wait bounds the lost-wakeup window.
                     let (_g, _timeout) = self
                         .queue
@@ -108,9 +104,18 @@ impl<'q, T: Send, Q: ConcurrentQueue<T>> BlockingHandle<'q, T, Q> {
         }
     }
 
-    /// Enqueues with a deadline; on timeout the value comes back.
+    /// Enqueues with a relative timeout; on expiry the value comes back.
+    ///
+    /// Equivalent to [`Self::send_deadline`] at `now + timeout`; prefer
+    /// the deadline form when retrying, so the budget is not restarted
+    /// on every attempt.
     pub fn send_timeout(&mut self, value: T, timeout: Duration) -> Result<(), Full<T>> {
-        let deadline = Instant::now() + timeout;
+        self.send_deadline(value, Instant::now() + timeout)
+    }
+
+    /// Enqueues, parking until `deadline`; on expiry the value comes
+    /// back in the `Err` so nothing is lost.
+    pub fn send_deadline(&mut self, value: T, deadline: Instant) -> Result<(), Full<T>> {
         let mut value = value;
         loop {
             match self.try_send(value) {
@@ -120,11 +125,7 @@ impl<'q, T: Send, Q: ConcurrentQueue<T>> BlockingHandle<'q, T, Q> {
                         return Err(Full(v));
                     }
                     value = v;
-                    let guard = self
-                        .queue
-                        .gate
-                        .lock()
-                        .unwrap_or_else(|e| e.into_inner());
+                    let guard = self.queue.gate.lock().unwrap_or_else(|e| e.into_inner());
                     let remaining = deadline.saturating_duration_since(Instant::now());
                     let _ = self
                         .queue
@@ -142,11 +143,7 @@ impl<'q, T: Send, Q: ConcurrentQueue<T>> BlockingHandle<'q, T, Q> {
             if let Some(v) = self.try_recv() {
                 return v;
             }
-            let guard = self
-                .queue
-                .gate
-                .lock()
-                .unwrap_or_else(|e| e.into_inner());
+            let guard = self.queue.gate.lock().unwrap_or_else(|e| e.into_inner());
             let _ = self
                 .queue
                 .not_empty
@@ -155,9 +152,14 @@ impl<'q, T: Send, Q: ConcurrentQueue<T>> BlockingHandle<'q, T, Q> {
         }
     }
 
-    /// Dequeues with a deadline.
+    /// Dequeues with a relative timeout; see [`Self::recv_deadline`].
     pub fn recv_timeout(&mut self, timeout: Duration) -> Option<T> {
-        let deadline = Instant::now() + timeout;
+        self.recv_deadline(Instant::now() + timeout)
+    }
+
+    /// Dequeues, parking until `deadline`; `None` means the queue stayed
+    /// empty through the deadline.
+    pub fn recv_deadline(&mut self, deadline: Instant) -> Option<T> {
         loop {
             if let Some(v) = self.try_recv() {
                 return Some(v);
@@ -165,11 +167,7 @@ impl<'q, T: Send, Q: ConcurrentQueue<T>> BlockingHandle<'q, T, Q> {
             if Instant::now() >= deadline {
                 return None;
             }
-            let guard = self
-                .queue
-                .gate
-                .lock()
-                .unwrap_or_else(|e| e.into_inner());
+            let guard = self.queue.gate.lock().unwrap_or_else(|e| e.into_inner());
             let remaining = deadline.saturating_duration_since(Instant::now());
             let _ = self
                 .queue
@@ -284,6 +282,43 @@ mod tests {
             .send_timeout(8, Duration::from_millis(20))
             .unwrap_err();
         assert_eq!(e.into_inner(), 8);
+    }
+
+    #[test]
+    fn recv_deadline_expires_on_empty_queue() {
+        let q = make(4);
+        let deadline = Instant::now() + Duration::from_millis(30);
+        assert_eq!(q.handle().recv_deadline(deadline), None);
+        assert!(Instant::now() >= deadline);
+    }
+
+    #[test]
+    fn send_deadline_returns_the_value_on_expiry() {
+        let q = make(1);
+        q.handle().try_send(7).unwrap();
+        let deadline = Instant::now() + Duration::from_millis(20);
+        let e = q.handle().send_deadline(8, deadline).unwrap_err();
+        assert_eq!(e.into_inner(), 8);
+        assert!(Instant::now() >= deadline);
+    }
+
+    #[test]
+    fn deadline_variants_succeed_when_unblocked_in_time() {
+        let q = make(1);
+        q.handle().try_send(1).unwrap();
+        std::thread::scope(|s| {
+            let producer = s.spawn(|| {
+                q.handle()
+                    .send_deadline(2, Instant::now() + Duration::from_secs(5))
+            });
+            std::thread::sleep(Duration::from_millis(10));
+            assert_eq!(q.handle().try_recv(), Some(1));
+            producer.join().unwrap().unwrap();
+        });
+        let got = q
+            .handle()
+            .recv_deadline(Instant::now() + Duration::from_secs(5));
+        assert_eq!(got, Some(2));
     }
 
     #[test]

@@ -38,6 +38,48 @@ impl<T> fmt::Display for Full<T> {
 
 impl<T> std::error::Error for Full<T> {}
 
+/// Error returned by [`QueueHandle::enqueue_batch`] when the queue fills
+/// before the whole batch fits.
+///
+/// Like [`Full`], it is ownership-safe: every item that was not enqueued
+/// comes back to the caller, in its original order, together with the
+/// count that *did* make it in.
+pub struct BatchFull<T> {
+    /// Number of items enqueued before the queue filled.
+    pub enqueued: usize,
+    /// The items that did not fit, in their original order.
+    pub remaining: Vec<T>,
+}
+
+impl<T> BatchFull<T> {
+    /// Recovers the items that could not be enqueued.
+    pub fn into_remaining(self) -> Vec<T> {
+        self.remaining
+    }
+}
+
+impl<T> fmt::Debug for BatchFull<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BatchFull")
+            .field("enqueued", &self.enqueued)
+            .field("remaining", &self.remaining.len())
+            .finish()
+    }
+}
+
+impl<T> fmt::Display for BatchFull<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "queue filled after {} items ({} not enqueued)",
+            self.enqueued,
+            self.remaining.len()
+        )
+    }
+}
+
+impl<T> std::error::Error for BatchFull<T> {}
+
 /// Per-thread access point to a concurrent FIFO queue.
 ///
 /// Handles are `Send` but deliberately not `Sync`/`Clone`: a handle is the
@@ -54,6 +96,60 @@ pub trait QueueHandle<T> {
     /// Removes and returns the item at the head, or `None` if the queue is
     /// (linearizably) empty.
     fn dequeue(&mut self) -> Option<T>;
+
+    /// Inserts every item of `items` at the tail, preserving their order.
+    ///
+    /// Returns `Ok(n)` (with `n == items.len()`) when everything fit, or
+    /// `Err(BatchFull)` carrying the count enqueued plus the leftover
+    /// items once the queue fills mid-batch.
+    ///
+    /// The default implementation loops over [`QueueHandle::enqueue`];
+    /// queues with an amortized multi-slot path (one index update per
+    /// batch rather than per element) override it. Either way the items
+    /// that do land are contiguous per producer: no other semantics
+    /// change, only the synchronization cost.
+    fn enqueue_batch(
+        &mut self,
+        items: impl ExactSizeIterator<Item = T>,
+    ) -> Result<usize, BatchFull<T>> {
+        let mut items = items;
+        let mut enqueued = 0usize;
+        while let Some(value) = items.next() {
+            match self.enqueue(value) {
+                Ok(()) => enqueued += 1,
+                Err(Full(value)) => {
+                    let mut remaining = Vec::with_capacity(items.len() + 1);
+                    remaining.push(value);
+                    remaining.extend(items);
+                    return Err(BatchFull {
+                        enqueued,
+                        remaining,
+                    });
+                }
+            }
+        }
+        Ok(enqueued)
+    }
+
+    /// Removes up to `max` items from the head, appending them to `out`
+    /// in FIFO order, and returns how many were taken.
+    ///
+    /// Stops early when the queue is (linearizably) empty. The default
+    /// implementation loops over [`QueueHandle::dequeue`]; see
+    /// [`QueueHandle::enqueue_batch`] for the override contract.
+    fn dequeue_batch(&mut self, out: &mut Vec<T>, max: usize) -> usize {
+        let mut taken = 0usize;
+        while taken < max {
+            match self.dequeue() {
+                Some(value) => {
+                    out.push(value);
+                    taken += 1;
+                }
+                None => break,
+            }
+        }
+        taken
+    }
 }
 
 /// A multi-producer multi-consumer FIFO queue.
@@ -72,6 +168,23 @@ pub trait ConcurrentQueue<T: Send>: Send + Sync {
 
     /// The maximum number of items the queue can hold, if bounded.
     fn capacity(&self) -> Option<usize>;
+
+    /// Approximate number of queued items (exact when quiescent), or
+    /// `None` if the algorithm cannot observe occupancy cheaply.
+    ///
+    /// The array queues derive it from `Tail - Head`; list-based queues
+    /// without a counter keep the `None` default. The value is a
+    /// point-in-time observation — under concurrent mutation it may be
+    /// stale by the time the caller reads it.
+    fn len(&self) -> Option<usize> {
+        None
+    }
+
+    /// Whether the queue appears empty (exact when quiescent), or `None`
+    /// if occupancy is unobservable; see [`ConcurrentQueue::len`].
+    fn is_empty(&self) -> Option<bool> {
+        self.len().map(|n| n == 0)
+    }
 
     /// A short human-readable algorithm name used in harness tables.
     fn algorithm_name(&self) -> &'static str;
@@ -113,5 +226,81 @@ mod tests {
     fn full_is_an_error() {
         fn takes_err(_: &dyn std::error::Error) {}
         takes_err(&Full(0u8));
+    }
+
+    /// Minimal bounded queue to exercise the default batch impls.
+    struct TinyHandle {
+        items: Vec<u8>,
+        cap: usize,
+    }
+
+    impl QueueHandle<u8> for TinyHandle {
+        fn enqueue(&mut self, value: u8) -> Result<(), Full<u8>> {
+            if self.items.len() == self.cap {
+                return Err(Full(value));
+            }
+            self.items.push(value);
+            Ok(())
+        }
+
+        fn dequeue(&mut self) -> Option<u8> {
+            if self.items.is_empty() {
+                None
+            } else {
+                Some(self.items.remove(0))
+            }
+        }
+    }
+
+    #[test]
+    fn default_enqueue_batch_reports_partial_fill() {
+        let mut h = TinyHandle {
+            items: Vec::new(),
+            cap: 3,
+        };
+        assert_eq!(h.enqueue_batch([1u8, 2].into_iter()).unwrap(), 2);
+        let err = h.enqueue_batch([3u8, 4, 5].into_iter()).unwrap_err();
+        assert_eq!(err.enqueued, 1);
+        assert_eq!(err.remaining, vec![4, 5]);
+        assert_eq!(h.items, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn default_dequeue_batch_stops_at_empty() {
+        let mut h = TinyHandle {
+            items: vec![1, 2, 3],
+            cap: 8,
+        };
+        let mut out = Vec::new();
+        assert_eq!(h.dequeue_batch(&mut out, 2), 2);
+        assert_eq!(out, vec![1, 2]);
+        assert_eq!(h.dequeue_batch(&mut out, 10), 1);
+        assert_eq!(out, vec![1, 2, 3]);
+        assert_eq!(h.dequeue_batch(&mut out, 10), 0);
+    }
+
+    #[test]
+    fn empty_batch_is_ok_zero() {
+        let mut h = TinyHandle {
+            items: Vec::new(),
+            cap: 0,
+        };
+        assert_eq!(h.enqueue_batch(std::iter::empty()).unwrap(), 0);
+    }
+
+    #[test]
+    fn batch_full_debug_display_and_error() {
+        let e = BatchFull {
+            enqueued: 2,
+            remaining: vec![9u8, 10],
+        };
+        assert_eq!(format!("{e:?}"), "BatchFull { enqueued: 2, remaining: 2 }");
+        assert_eq!(
+            format!("{e}"),
+            "queue filled after 2 items (2 not enqueued)"
+        );
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&e);
+        assert_eq!(e.into_remaining(), vec![9, 10]);
     }
 }

@@ -78,7 +78,10 @@ fn main() {
     let mut rx = channel.handle();
     let t = Instant::now();
     assert!(rx.recv_timeout(Duration::from_millis(50)).is_none());
-    println!("empty recv_timeout(50ms) returned None after {:?} ✓", t.elapsed());
+    println!(
+        "empty recv_timeout(50ms) returned None after {:?} ✓",
+        t.elapsed()
+    );
 
     // Full-channel send_timeout hands the value back instead of dropping it.
     let small = BlockingQueue::new(CasQueue::<u32>::with_capacity(2));

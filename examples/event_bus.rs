@@ -11,8 +11,8 @@
 //! holds locally (a real-time design choice the bounded non-blocking
 //! queue makes explicit — no hidden allocation, no hidden blocking).
 
-use nbq::{LlScQueue, QueueHandle};
 use nbq::llsc;
+use nbq::{LlScQueue, QueueHandle};
 use std::sync::atomic::{AtomicBool, Ordering};
 
 #[derive(Debug)]
@@ -73,7 +73,10 @@ fn main() {
                     }
                     std::hint::spin_loop(); // inter-burst gap
                 }
-                println!("sensor {sensor}: emitted {} readings, shed {dropped}", BURSTS * BURST_LEN);
+                println!(
+                    "sensor {sensor}: emitted {} readings, shed {dropped}",
+                    BURSTS * BURST_LEN
+                );
             }));
         }
         {
@@ -103,7 +106,10 @@ fn main() {
                     }
                 }
                 let total: u64 = count.iter().sum();
-                println!("\nmonitor: {total} events processed, mean value {:.4}", sum / total as f64);
+                println!(
+                    "\nmonitor: {total} events processed, mean value {:.4}",
+                    sum / total as f64
+                );
                 for (s, c) in count.iter().enumerate() {
                     println!("  sensor {s}: {c} events");
                 }
@@ -126,11 +132,14 @@ fn demo_weak_llsc() {
     use nbq_core::llsc_queue::LlScQueueConfig;
     let q: LlScQueue<u64, llsc::WeakCell> =
         LlScQueue::with_cells(64, LlScQueueConfig::default(), |_, v| {
-            llsc::WeakCell::new(v, llsc::FaultPlan::Probability {
-                seed: 2024,
-                num: 1,
-                den: 4,
-            })
+            llsc::WeakCell::new(
+                v,
+                llsc::FaultPlan::Probability {
+                    seed: 2024,
+                    num: 1,
+                    den: 4,
+                },
+            )
         });
     let mut h = q.handle();
     for i in 0..1_000u64 {

@@ -154,5 +154,8 @@ fn main() {
         raw_q.vars_allocated() <= 1 + PARSERS + 1,
         "registry must not grow with thread waves"
     );
-    println!("grand total checksum: {}", grand_total.load(Ordering::Relaxed));
+    println!(
+        "grand total checksum: {}",
+        grand_total.load(Ordering::Relaxed)
+    );
 }

@@ -22,7 +22,7 @@
 //! ## Quickstart
 //!
 //! ```
-//! use nbq::{CasQueue, ConcurrentQueue, QueueHandle};
+//! use nbq::prelude::*;
 //!
 //! let q = CasQueue::<String>::with_capacity(8);
 //! let mut h = q.handle();
@@ -32,6 +32,39 @@
 //! assert_eq!(h.dequeue().as_deref(), Some("second"));
 //! assert_eq!(h.dequeue(), None);
 //! ```
+//!
+//! ## Batched operations
+//!
+//! Both paper queues override the [`QueueHandle`] batch methods with a
+//! native multi-slot path: the per-slot protocol is unchanged (so every
+//! ABA defense of §3 still applies) but `Head`/`Tail` advance with one
+//! jump-CAS per batch instead of one CAS per element. Every other queue
+//! gets element-wise defaults with identical semantics.
+//!
+//! ```
+//! use nbq::prelude::*;
+//!
+//! let q = LlScQueue::<u32>::with_capacity(16);
+//! let mut h = q.handle();
+//! assert_eq!(h.enqueue_batch(vec![1, 2, 3].into_iter()).unwrap(), 3);
+//! assert_eq!(q.len(), 3);
+//! let mut out = Vec::new();
+//! assert_eq!(h.dequeue_batch(&mut out, 8), 3);
+//! assert_eq!(out, vec![1, 2, 3]);
+//! ```
+//!
+//! A batch that no longer fits reports how far it got and returns the
+//! leftovers in order ([`BatchFull`]), so nothing is lost:
+//!
+//! ```
+//! use nbq::prelude::*;
+//!
+//! let q = CasQueue::<u32>::with_capacity(2);
+//! let mut h = q.handle();
+//! let err = h.enqueue_batch(vec![1, 2, 3, 4].into_iter()).unwrap_err();
+//! assert_eq!(err.enqueued, 2);
+//! assert_eq!(err.remaining, vec![3, 4]);
+//! ```
 
 pub use nbq_baselines as baselines;
 pub use nbq_core::{CasQueue, LlScQueue};
@@ -40,4 +73,22 @@ pub use nbq_hazard as hazard;
 pub use nbq_lincheck as lincheck;
 pub use nbq_llsc as llsc;
 pub use nbq_mcas as mcas;
-pub use nbq_util::{Backoff, BlockingQueue, CachePadded, ConcurrentQueue, Full, QueueHandle};
+pub use nbq_util::{
+    Backoff, BatchFull, BlockingQueue, CachePadded, ConcurrentQueue, Full, QueueHandle,
+};
+
+/// One-line import for the common case: the two paper queues plus the
+/// traits and error types needed to drive them.
+///
+/// ```
+/// use nbq::prelude::*;
+///
+/// let q = CasQueue::<u64>::with_capacity(4);
+/// let mut h = q.handle();
+/// h.enqueue(7).unwrap();
+/// assert_eq!(h.dequeue(), Some(7));
+/// ```
+pub mod prelude {
+    pub use nbq_core::{CasQueue, LlScQueue};
+    pub use nbq_util::{BatchFull, ConcurrentQueue, Full, QueueHandle};
+}

@@ -32,9 +32,15 @@ fn mpmc_transfer<Q: nbq::ConcurrentQueue<u64>>(queue: Q, producers: u64, per_pro
                 let mut rx = chan.handle();
                 // Count-based exit: stop once the collective receive count
                 // reaches the known total (timeout-based exits can misfire
-                // if a producer is descheduled for a long stretch).
+                // if a producer is descheduled for a long stretch). Each
+                // wait parks against a short deadline rather than spinning,
+                // and the hard deadline turns a stall into a failure
+                // instead of a hung test.
+                let hard_deadline = Instant::now() + Duration::from_secs(60);
                 while received.load(Ordering::Relaxed) < total {
-                    if let Some(v) = rx.recv_timeout(Duration::from_millis(20)) {
+                    assert!(Instant::now() < hard_deadline, "transfer stalled");
+                    let slice = Instant::now() + Duration::from_millis(20);
+                    if let Some(v) = rx.recv_deadline(slice.min(hard_deadline)) {
                         assert!(seen.lock().unwrap().insert(v), "duplicate {v}");
                         received.fetch_add(1, Ordering::Relaxed);
                     }
@@ -105,6 +111,23 @@ fn timeouts_are_respected_on_both_sides() {
     let t0 = Instant::now();
     let back = h.send_timeout(3, Duration::from_millis(40)).unwrap_err();
     assert!(t0.elapsed() >= Duration::from_millis(35));
+    assert_eq!(back.into_inner(), 3);
+}
+
+#[test]
+fn deadlines_are_respected_on_both_sides() {
+    let chan = BlockingQueue::new(LlScQueue::<u64>::with_capacity(2));
+    let mut h = chan.handle();
+    // Empty receive parks until the absolute deadline.
+    let deadline = Instant::now() + Duration::from_millis(40);
+    assert_eq!(h.recv_deadline(deadline), None);
+    assert!(Instant::now() >= deadline);
+    // Full send parks until the deadline and hands the value back.
+    h.try_send(1).unwrap();
+    h.try_send(2).unwrap();
+    let deadline = Instant::now() + Duration::from_millis(40);
+    let back = h.send_deadline(3, deadline).unwrap_err();
+    assert!(Instant::now() >= deadline);
     assert_eq!(back.into_inner(), 3);
 }
 

@@ -13,7 +13,12 @@ fn conformance_suite<Q: ConcurrentQueue<String>>(make: impl Fn(usize) -> Q) {
     // Order.
     let q = make(16);
     let mut h = q.handle();
-    assert_eq!(h.dequeue(), None, "{}: new queue is empty", q.algorithm_name());
+    assert_eq!(
+        h.dequeue(),
+        None,
+        "{}: new queue is empty",
+        q.algorithm_name()
+    );
     for i in 0..10 {
         h.enqueue(format!("v{i}")).unwrap();
     }
@@ -54,7 +59,12 @@ fn bounded_suite<Q: ConcurrentQueue<String>>(make: impl Fn(usize) -> Q) {
         h.enqueue(format!("fill{i}")).unwrap();
     }
     let back = h.enqueue("overflow".into()).unwrap_err().into_inner();
-    assert_eq!(back, "overflow", "{}: Full returns value", q.algorithm_name());
+    assert_eq!(
+        back,
+        "overflow",
+        "{}: Full returns value",
+        q.algorithm_name()
+    );
     assert_eq!(h.dequeue().as_deref(), Some("fill0"));
     h.enqueue("refill".into()).unwrap();
     let mut drained = Vec::new();
@@ -62,6 +72,64 @@ fn bounded_suite<Q: ConcurrentQueue<String>>(make: impl Fn(usize) -> Q) {
         drained.push(v);
     }
     assert_eq!(drained.last().map(String::as_str), Some("refill"));
+}
+
+/// Batch calls must be observably equivalent to element-wise loops,
+/// whether a queue runs the trait defaults or a native override.
+fn batch_suite<Q: ConcurrentQueue<String>>(make: impl Fn(usize) -> Q) {
+    let q = make(16);
+    let mut h = q.handle();
+    let n = h.enqueue_batch((0..10).map(|i| format!("v{i}"))).unwrap();
+    assert_eq!(n, 10, "{}", q.algorithm_name());
+    let mut out = Vec::new();
+    assert_eq!(h.dequeue_batch(&mut out, 4), 4, "{}", q.algorithm_name());
+    assert_eq!(
+        h.dequeue_batch(&mut out, 64),
+        6,
+        "{}: stops at empty",
+        q.algorithm_name()
+    );
+    let expect: Vec<String> = (0..10).map(|i| format!("v{i}")).collect();
+    assert_eq!(out, expect, "{}: batch FIFO order", q.algorithm_name());
+    assert_eq!(h.dequeue(), None);
+
+    // Degenerate calls.
+    assert_eq!(h.enqueue_batch(std::iter::empty()).unwrap(), 0);
+    assert_eq!(h.dequeue_batch(&mut out, 8), 0);
+    assert_eq!(h.dequeue_batch(&mut out, 0), 0);
+
+    // Batch and single ops interleave on one FIFO stream.
+    h.enqueue("s1".into()).unwrap();
+    h.enqueue_batch(["s2".to_string(), "s3".to_string()].into_iter())
+        .unwrap();
+    assert_eq!(h.dequeue().as_deref(), Some("s1"));
+    out.clear();
+    assert_eq!(h.dequeue_batch(&mut out, 8), 2);
+    assert_eq!(out, vec!["s2".to_string(), "s3".to_string()]);
+}
+
+/// Bounded queues: a batch that exceeds free space lands a FIFO prefix
+/// and returns the exact suffix, matching what an element-wise loop
+/// would have done.
+fn bounded_batch_suite<Q: ConcurrentQueue<String>>(make: impl Fn(usize) -> Q) {
+    let q = make(4);
+    let cap = ConcurrentQueue::capacity(&q).expect("bounded");
+    let mut h = q.handle();
+    let e = h
+        .enqueue_batch((0..cap + 3).map(|i| format!("b{i}")))
+        .unwrap_err();
+    assert_eq!(e.enqueued, cap, "{}", q.algorithm_name());
+    let expect_left: Vec<String> = (cap..cap + 3).map(|i| format!("b{i}")).collect();
+    assert_eq!(e.remaining, expect_left, "{}", q.algorithm_name());
+    let mut out = Vec::new();
+    assert_eq!(h.dequeue_batch(&mut out, cap + 8), cap);
+    let expect_in: Vec<String> = (0..cap).map(|i| format!("b{i}")).collect();
+    assert_eq!(
+        out,
+        expect_in,
+        "{}: prefix landed in order",
+        q.algorithm_name()
+    );
 }
 
 /// Drop frees everything exactly once (no leak, no double free).
@@ -79,7 +147,11 @@ fn drop_suite<Q: ConcurrentQueue<DropCounter>>(make: impl Fn(usize) -> Q) {
         }
         assert_eq!(drops.load(Ordering::SeqCst), 3, "{}", q.algorithm_name());
     }
-    assert_eq!(drops.load(Ordering::SeqCst), 10, "queue drop frees the rest");
+    assert_eq!(
+        drops.load(Ordering::SeqCst),
+        10,
+        "queue drop frees the rest"
+    );
 }
 
 struct DropCounter(std::sync::Arc<std::sync::atomic::AtomicUsize>);
@@ -92,6 +164,8 @@ impl Drop for DropCounter {
 #[test]
 fn cas_queue_conformance() {
     conformance_suite(CasQueue::<String>::with_capacity);
+    batch_suite(CasQueue::<String>::with_capacity);
+    bounded_batch_suite(CasQueue::<String>::with_capacity);
     bounded_suite(CasQueue::<String>::with_capacity);
     drop_suite(CasQueue::<DropCounter>::with_capacity);
 }
@@ -99,6 +173,8 @@ fn cas_queue_conformance() {
 #[test]
 fn llsc_queue_conformance() {
     conformance_suite(LlScQueue::<String>::with_capacity);
+    batch_suite(LlScQueue::<String>::with_capacity);
+    bounded_batch_suite(LlScQueue::<String>::with_capacity);
     bounded_suite(LlScQueue::<String>::with_capacity);
     drop_suite(LlScQueue::<DropCounter>::with_capacity);
 }
@@ -106,6 +182,8 @@ fn llsc_queue_conformance() {
 #[test]
 fn shann_queue_conformance() {
     conformance_suite(ShannQueue::<String>::with_capacity);
+    batch_suite(ShannQueue::<String>::with_capacity);
+    bounded_batch_suite(ShannQueue::<String>::with_capacity);
     bounded_suite(ShannQueue::<String>::with_capacity);
     drop_suite(ShannQueue::<DropCounter>::with_capacity);
 }
@@ -113,6 +191,8 @@ fn shann_queue_conformance() {
 #[test]
 fn tsigas_zhang_conformance() {
     conformance_suite(TsigasZhangQueue::<String>::with_capacity);
+    batch_suite(TsigasZhangQueue::<String>::with_capacity);
+    bounded_batch_suite(TsigasZhangQueue::<String>::with_capacity);
     bounded_suite(TsigasZhangQueue::<String>::with_capacity);
     drop_suite(TsigasZhangQueue::<DropCounter>::with_capacity);
 }
@@ -120,48 +200,58 @@ fn tsigas_zhang_conformance() {
 #[test]
 fn mutex_queue_conformance() {
     conformance_suite(MutexQueue::<String>::with_capacity);
+    batch_suite(MutexQueue::<String>::with_capacity);
+    bounded_batch_suite(MutexQueue::<String>::with_capacity);
     bounded_suite(MutexQueue::<String>::with_capacity);
 }
 
 #[test]
 fn ms_hp_sorted_conformance() {
     conformance_suite(|_| MsQueue::<String>::new(ScanMode::Sorted));
+    batch_suite(|_| MsQueue::<String>::new(ScanMode::Sorted));
     drop_suite(|_| MsQueue::<DropCounter>::new(ScanMode::Sorted));
 }
 
 #[test]
 fn ms_hp_unsorted_conformance() {
     conformance_suite(|_| MsQueue::<String>::new(ScanMode::Unsorted));
+    batch_suite(|_| MsQueue::<String>::new(ScanMode::Unsorted));
     drop_suite(|_| MsQueue::<DropCounter>::new(ScanMode::Unsorted));
 }
 
 #[test]
 fn ms_doherty_conformance() {
     conformance_suite(|_| MsDohertyQueue::<String>::new());
+    batch_suite(|_| MsDohertyQueue::<String>::new());
     drop_suite(|_| MsDohertyQueue::<DropCounter>::new());
 }
 
 #[test]
 fn herlihy_wing_conformance() {
     conformance_suite(|_| HerlihyWingQueue::<String>::with_history_capacity(65_536));
+    batch_suite(|_| HerlihyWingQueue::<String>::with_history_capacity(65_536));
     drop_suite(|_| HerlihyWingQueue::<DropCounter>::with_history_capacity(65_536));
 }
 
 #[test]
 fn lms_conformance() {
     conformance_suite(|_| LmsQueue::<String>::new());
+    batch_suite(|_| LmsQueue::<String>::new());
     drop_suite(|_| LmsQueue::<DropCounter>::new());
 }
 
 #[test]
 fn treiber_conformance() {
     conformance_suite(|_| TreiberQueue::<String>::new());
+    batch_suite(|_| TreiberQueue::<String>::new());
     drop_suite(|_| TreiberQueue::<DropCounter>::new());
 }
 
 #[test]
 fn valois_conformance() {
     conformance_suite(ValoisQueue::<String>::with_capacity);
+    batch_suite(ValoisQueue::<String>::with_capacity);
+    bounded_batch_suite(ValoisQueue::<String>::with_capacity);
     bounded_suite(ValoisQueue::<String>::with_capacity);
     drop_suite(ValoisQueue::<DropCounter>::with_capacity);
 }
@@ -202,6 +292,48 @@ fn algorithm_names_are_distinct() {
     unique.sort_unstable();
     unique.dedup();
     assert_eq!(unique.len(), names.len(), "names: {names:?}");
+}
+
+#[test]
+fn occupancy_observers_report_through_the_trait() {
+    // Array queues derive occupancy from Tail - Head.
+    let q = CasQueue::<String>::with_capacity(4);
+    assert_eq!(ConcurrentQueue::len(&q), Some(0));
+    assert_eq!(ConcurrentQueue::is_empty(&q), Some(true));
+    q.handle().enqueue("x".into()).unwrap();
+    assert_eq!(ConcurrentQueue::len(&q), Some(1));
+    assert_eq!(ConcurrentQueue::is_empty(&q), Some(false));
+
+    for (len, is_empty) in [
+        {
+            let q = LlScQueue::<String>::with_capacity(4);
+            q.handle().enqueue("x".into()).unwrap();
+            (ConcurrentQueue::len(&q), ConcurrentQueue::is_empty(&q))
+        },
+        {
+            let q = ShannQueue::<String>::with_capacity(4);
+            q.handle().enqueue("x".into()).unwrap();
+            (ConcurrentQueue::len(&q), ConcurrentQueue::is_empty(&q))
+        },
+        {
+            let q = TsigasZhangQueue::<String>::with_capacity(4);
+            q.handle().enqueue("x".into()).unwrap();
+            (ConcurrentQueue::len(&q), ConcurrentQueue::is_empty(&q))
+        },
+    ] {
+        assert_eq!(len, Some(1));
+        assert_eq!(is_empty, Some(false));
+    }
+
+    // List-based queues without a counter keep the None default.
+    assert_eq!(
+        ConcurrentQueue::<String>::len(&MsQueue::new(ScanMode::Sorted)),
+        None
+    );
+    assert_eq!(
+        ConcurrentQueue::<String>::is_empty(&TreiberQueue::<String>::new()),
+        None
+    );
 }
 
 #[test]

@@ -39,7 +39,10 @@ fn assert_clean<Q: ConcurrentQueue<u64>>(make: impl Fn() -> Q, seeds: &[u64]) {
         let q = make();
         let h = record_run(&q, stress_config(seed));
         check_history(&h).unwrap_or_else(|v| {
-            panic!("{}: history violation (seed {seed}): {v}", q.algorithm_name())
+            panic!(
+                "{}: history violation (seed {seed}): {v}",
+                q.algorithm_name()
+            )
         });
     }
 }
@@ -186,12 +189,15 @@ fn tiny_capacity_full_semantics_linearize() {
     // must be consistent with a bounded FIFO model.
     for seed in [40, 41, 42] {
         let q = CasQueue::<u64>::with_capacity(2);
-        let h = record_run(&q, DriverConfig {
-            threads: 2,
-            ops_per_thread: 10,
-            enqueue_percent: 70,
-            seed,
-        });
+        let h = record_run(
+            &q,
+            DriverConfig {
+                threads: 2,
+                ops_per_thread: 10,
+                enqueue_percent: 70,
+                seed,
+            },
+        );
         match check_linearizable(&h, Some(2)) {
             SearchResult::Linearizable(_) => {}
             other => panic!("capacity-2 history not linearizable (seed {seed}): {other:?}"),

@@ -253,7 +253,11 @@ fn regression_fixed_scripts() {
     // Deterministic corner scripts kept out of proptest for clarity.
     let scripts: Vec<Vec<ScriptOp>> = vec![
         vec![ScriptOp::Dequeue, ScriptOp::Dequeue],
-        vec![ScriptOp::Enqueue(1), ScriptOp::Enqueue(2), ScriptOp::Enqueue(3)],
+        vec![
+            ScriptOp::Enqueue(1),
+            ScriptOp::Enqueue(2),
+            ScriptOp::Enqueue(3),
+        ],
         (0..40)
             .map(|i| {
                 if i % 3 == 0 {

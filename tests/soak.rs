@@ -76,9 +76,8 @@ fn every_queue_long_checked_histories() {
         ($make:expr) => {{
             let q = $make;
             let h = record_run(&q, cfg);
-            check_history(&h).unwrap_or_else(|v| {
-                panic!("{}: {v}", ConcurrentQueue::<u64>::algorithm_name(&q))
-            });
+            check_history(&h)
+                .unwrap_or_else(|v| panic!("{}: {v}", ConcurrentQueue::<u64>::algorithm_name(&q)));
         }};
     }
     soak!(CasQueue::<u64>::with_capacity(256));

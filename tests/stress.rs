@@ -108,6 +108,113 @@ fn drop_accounting_under_concurrency() {
     );
 }
 
+/// Mixed batch/single-op MPMC transfer: half the producers enqueue in
+/// batches, half one element at a time, and likewise for consumers. No
+/// value may be lost or duplicated, and within each consumer's stream
+/// every producer's sequence numbers must be strictly increasing (each
+/// dequeue completes before the consumer's next begins, so linearizable
+/// FIFO implies per-producer order per consumer — batched or not).
+fn batch_mixed_transfer<Q: nbq::ConcurrentQueue<u64>>(q: Q) {
+    use std::collections::HashSet;
+    use std::sync::atomic::AtomicU64;
+    use std::sync::Mutex;
+    const PRODUCERS: u64 = 4;
+    const CONSUMERS: u64 = 4;
+    const PER_PRODUCER: u64 = 1_200;
+    const BATCH: usize = 6;
+    let total = PRODUCERS * PER_PRODUCER;
+    let consumed = AtomicU64::new(0);
+    let streams: Mutex<Vec<Vec<u64>>> = Mutex::new(Vec::new());
+    std::thread::scope(|s| {
+        for p in 0..PRODUCERS {
+            let q = &q;
+            s.spawn(move || {
+                let mut h = q.handle();
+                if p % 2 == 0 {
+                    // Batch producer: retry the leftover suffix on Full.
+                    let mut seq = 0u64;
+                    while seq < PER_PRODUCER {
+                        let n = BATCH.min((PER_PRODUCER - seq) as usize);
+                        let mut batch: Vec<u64> =
+                            (seq..seq + n as u64).map(|i| (p << 32) | i).collect();
+                        loop {
+                            match h.enqueue_batch(batch.into_iter()) {
+                                Ok(_) => break,
+                                Err(e) => {
+                                    batch = e.remaining;
+                                    std::thread::yield_now();
+                                }
+                            }
+                        }
+                        seq += n as u64;
+                    }
+                } else {
+                    for i in 0..PER_PRODUCER {
+                        while h.enqueue((p << 32) | i).is_err() {
+                            std::thread::yield_now();
+                        }
+                    }
+                }
+            });
+        }
+        for c in 0..CONSUMERS {
+            let q = &q;
+            let consumed = &consumed;
+            let streams = &streams;
+            s.spawn(move || {
+                let mut h = q.handle();
+                let mut got = Vec::new();
+                loop {
+                    let before = got.len();
+                    if c % 2 == 0 {
+                        h.dequeue_batch(&mut got, BATCH);
+                    } else if let Some(v) = h.dequeue() {
+                        got.push(v);
+                    }
+                    let taken = got.len() - before;
+                    if taken == 0 {
+                        if consumed.load(Ordering::SeqCst) >= total {
+                            break;
+                        }
+                        std::thread::yield_now();
+                    } else {
+                        consumed.fetch_add(taken as u64, Ordering::SeqCst);
+                    }
+                }
+                streams.lock().unwrap().push(got);
+            });
+        }
+    });
+    let streams = streams.into_inner().unwrap();
+    let mut seen = HashSet::new();
+    for stream in &streams {
+        let mut last = vec![None::<u64>; PRODUCERS as usize];
+        for &v in stream {
+            assert!(seen.insert(v), "duplicate value {v:#x}");
+            let p = (v >> 32) as usize;
+            let i = v & 0xffff_ffff;
+            if let Some(prev) = last[p] {
+                assert!(
+                    prev < i,
+                    "per-producer FIFO violated: producer {p} item {i} after {prev}"
+                );
+            }
+            last[p] = Some(i);
+        }
+    }
+    assert_eq!(seen.len() as u64, total, "lost values");
+}
+
+#[test]
+fn batch_mixed_stress_cas_queue() {
+    batch_mixed_transfer(CasQueue::<u64>::with_capacity(64));
+}
+
+#[test]
+fn batch_mixed_stress_llsc_queue() {
+    batch_mixed_transfer(LlScQueue::<u64>::with_capacity(64));
+}
+
 #[test]
 fn population_obliviousness_end_to_end() {
     // 20 sequential waves of 3 threads each against one CAS queue: 60

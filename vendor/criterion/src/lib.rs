@@ -1,0 +1,448 @@
+//! Offline stand-in for [criterion](https://crates.io/crates/criterion).
+//!
+//! The build container has no registry access, so this crate implements a
+//! real (if simple) measuring harness behind the subset of criterion's
+//! API the workspace's bench targets use: the `Criterion` builder,
+//! benchmark groups with element throughput, `BenchmarkId`, and the three
+//! bencher styles (`iter`, `iter_custom`, `iter_batched`).
+//!
+//! Differences from the real crate, by design:
+//!
+//! * No statistical outlier analysis, no comparison against saved
+//!   baselines, no HTML reports. Each benchmark prints mean ± stddev over
+//!   `sample_size` samples (and throughput when configured).
+//! * Command-line handling is limited to positional substring filters;
+//!   flags (`--bench`, `--exact`, ...) are accepted and ignored.
+//!
+//! The measurement model mirrors criterion's: warm up for
+//! `warm_up_time`, size each sample so the whole run fits roughly in
+//! `measurement_time`, then time `sample_size` samples and report
+//! per-iteration statistics.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+// ---------------------------------------------------------------------
+// Identifiers and knobs
+
+/// Names one benchmark: a function name plus an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Id rendered as `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+}
+
+/// Anything usable as a benchmark id (`&str`, `String`, [`BenchmarkId`]).
+pub trait IntoBenchmarkId {
+    /// The rendered id string.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Units for reporting how much work one iteration performs.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Batch sizing hint for [`Bencher::iter_batched`] (ignored by this shim:
+/// every batch is one routine call with its setup untimed).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+}
+
+// ---------------------------------------------------------------------
+// Criterion
+
+/// Top-level harness configuration and run state.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    filters: Vec<String>,
+    benchmarks_run: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(500),
+            filters: Vec::new(),
+            benchmarks_run: 0,
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of samples collected per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be non-zero");
+        self.sample_size = n;
+        self
+    }
+
+    /// Target wall-clock time for one benchmark's samples.
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Wall-clock time spent warming up before sampling.
+    pub fn warm_up_time(mut self, t: Duration) -> Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// Reads positional command-line arguments as benchmark-name
+    /// substring filters; flags are accepted and ignored.
+    pub fn configure_from_args(mut self) -> Self {
+        self.filters = std::env::args()
+            .skip(1)
+            .filter(|a| !a.starts_with('-'))
+            .collect();
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into_id();
+        self.run_one(&id, None, &mut f);
+        self
+    }
+
+    /// Prints the closing line; call once after all benchmarks.
+    pub fn final_summary(&mut self) {
+        println!("\ncompleted {} benchmark(s)", self.benchmarks_run);
+    }
+
+    fn matches(&self, id: &str) -> bool {
+        self.filters.is_empty() || self.filters.iter().any(|f| id.contains(f.as_str()))
+    }
+
+    fn run_one<F>(&mut self, id: &str, throughput: Option<Throughput>, f: &mut F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if !self.matches(id) {
+            return;
+        }
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            warm_up_time: self.warm_up_time,
+            samples: Vec::new(),
+        };
+        f(&mut bencher);
+        self.benchmarks_run += 1;
+        report(id, &bencher.samples, throughput);
+    }
+}
+
+/// Group of benchmarks sharing a name prefix and throughput setting.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration work reported for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into_id());
+        self.criterion.run_one(&id, self.throughput, &mut f);
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = format!("{}/{}", self.name, id.into_id());
+        self.criterion
+            .run_one(&id, self.throughput, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    /// Closes the group (reporting already happened per benchmark).
+    pub fn finish(self) {}
+}
+
+// ---------------------------------------------------------------------
+// Bencher
+
+/// Collects timing samples for one benchmark.
+pub struct Bencher {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    /// Seconds per iteration, one entry per sample.
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Times `routine`, called in a tight loop.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up doubles as iteration-cost estimation.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up_time || warm_iters == 0 {
+            black_box(routine());
+            warm_iters += 1;
+            if warm_iters >= 1_000_000_000 {
+                break;
+            }
+        }
+        let est = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+        let iters = self.iters_per_sample(est);
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            self.samples.push(t0.elapsed().as_secs_f64() / iters as f64);
+        }
+    }
+
+    /// Times via `routine(iters)`, which runs `iters` iterations and
+    /// returns only the duration that should count.
+    pub fn iter_custom<R: FnMut(u64) -> Duration>(&mut self, mut routine: R) {
+        // Estimate cost from single-iteration calls for warm_up_time.
+        let warm_start = Instant::now();
+        let mut warm_total = Duration::ZERO;
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up_time || warm_iters == 0 {
+            warm_total += routine(1);
+            warm_iters += 1;
+        }
+        let est = (warm_total.as_secs_f64() / warm_iters as f64).max(1e-12);
+        let iters = self.iters_per_sample(est);
+        for _ in 0..self.sample_size {
+            let d = routine(iters);
+            self.samples.push(d.as_secs_f64() / iters as f64);
+        }
+    }
+
+    /// Times `routine` over fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let warm_start = Instant::now();
+        let mut warm_timed = Duration::ZERO;
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up_time || warm_iters == 0 {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            warm_timed += t0.elapsed();
+            warm_iters += 1;
+        }
+        let est = (warm_timed.as_secs_f64() / warm_iters as f64).max(1e-12);
+        let iters = self.iters_per_sample(est);
+        for _ in 0..self.sample_size {
+            let mut timed = Duration::ZERO;
+            for _ in 0..iters {
+                let input = setup();
+                let t0 = Instant::now();
+                black_box(routine(input));
+                timed += t0.elapsed();
+            }
+            self.samples.push(timed.as_secs_f64() / iters as f64);
+        }
+    }
+
+    /// Iterations per sample so all samples fit in `measurement_time`.
+    fn iters_per_sample(&self, est_seconds_per_iter: f64) -> u64 {
+        let per_sample = self.measurement_time.as_secs_f64() / self.sample_size as f64;
+        let iters = (per_sample / est_seconds_per_iter.max(1e-12)).round();
+        (iters as u64).clamp(1, 1_000_000_000)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Reporting
+
+fn report(id: &str, samples: &[f64], throughput: Option<Throughput>) {
+    if samples.is_empty() {
+        println!("{id:<50} (no samples)");
+        return;
+    }
+    let n = samples.len() as f64;
+    let mean = samples.iter().sum::<f64>() / n;
+    let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / n;
+    let stddev = var.sqrt();
+    let mut line = format!("{id:<50} time: [{} ± {}]", fmt_time(mean), fmt_time(stddev));
+    match throughput {
+        Some(Throughput::Elements(elems)) if mean > 0.0 => {
+            line.push_str(&format!(
+                "  thrpt: {}",
+                fmt_rate(elems as f64 / mean, "elem/s")
+            ));
+        }
+        Some(Throughput::Bytes(bytes)) if mean > 0.0 => {
+            line.push_str(&format!(
+                "  thrpt: {}",
+                fmt_rate(bytes as f64 / mean, "B/s")
+            ));
+        }
+        _ => {}
+    }
+    println!("{line}");
+}
+
+fn fmt_time(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.4} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.4} ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.4} µs", seconds * 1e6)
+    } else {
+        format!("{:.2} ns", seconds * 1e9)
+    }
+}
+
+fn fmt_rate(per_second: f64, unit: &str) -> String {
+    if per_second >= 1e9 {
+        format!("{:.3} G{unit}", per_second / 1e9)
+    } else if per_second >= 1e6 {
+        format!("{:.3} M{unit}", per_second / 1e6)
+    } else if per_second >= 1e3 {
+        format!("{:.3} K{unit}", per_second / 1e3)
+    } else {
+        format!("{per_second:.3} {unit}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast() -> Criterion {
+        Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(30))
+            .warm_up_time(Duration::from_millis(5))
+    }
+
+    #[test]
+    fn iter_collects_samples_and_counts_runs() {
+        let mut c = fast();
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Elements(10));
+        group.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        group.bench_with_input(BenchmarkId::new("param", 4), &4usize, |b, &n| {
+            b.iter(|| black_box(n * 2))
+        });
+        group.finish();
+        c.final_summary();
+        assert_eq!(c.benchmarks_run, 2);
+    }
+
+    #[test]
+    fn iter_custom_uses_reported_duration() {
+        let mut c = fast();
+        c.bench_function("custom", |b| {
+            b.iter_custom(|iters| Duration::from_nanos(100) * iters as u32)
+        });
+        assert_eq!(c.benchmarks_run, 1);
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_call() {
+        let mut c = fast();
+        c.bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![1u64; 8],
+                |v| v.iter().sum::<u64>(),
+                BatchSize::SmallInput,
+            )
+        });
+        assert_eq!(c.benchmarks_run, 1);
+    }
+
+    #[test]
+    fn filters_skip_non_matching() {
+        let mut c = fast();
+        c.filters = vec!["only-this".into()];
+        c.bench_function("something-else", |b| b.iter(|| 1));
+        assert_eq!(c.benchmarks_run, 0);
+        c.bench_function("contains-only-this-name", |b| b.iter(|| 1));
+        assert_eq!(c.benchmarks_run, 1);
+    }
+
+    #[test]
+    fn formatting_picks_units() {
+        assert!(fmt_time(2.0).ends_with(" s"));
+        assert!(fmt_time(2e-3).ends_with(" ms"));
+        assert!(fmt_time(2e-6).ends_with(" µs"));
+        assert!(fmt_time(2e-9).ends_with(" ns"));
+        assert!(fmt_rate(2e9, "elem/s").starts_with("2.000 G"));
+        assert!(fmt_rate(5.0, "elem/s").starts_with("5.000 "));
+    }
+}

@@ -1,0 +1,310 @@
+//! Offline stand-in for [crossbeam](https://crates.io/crates/crossbeam).
+//!
+//! The build container has no registry access, so this crate provides the
+//! two queue types the harness's "modern comparator" adapters use, with
+//! crossbeam's public API:
+//!
+//! * [`queue::ArrayQueue`] — implemented here as a genuine Vyukov
+//!   sequence-numbered bounded MPMC ring, the same design the real
+//!   crossbeam uses, so comparator benchmarks still measure a lock-free
+//!   ring rather than a mutex in disguise.
+//! * [`queue::SegQueue`] — implemented as a mutex-guarded `VecDeque`.
+//!   This one is **not** performance-faithful (upstream is a lock-free
+//!   segmented list); it exists so the unbounded comparator compiles and
+//!   behaves correctly. Treat its bench numbers as a lower bound only.
+
+pub mod queue {
+    use std::cell::UnsafeCell;
+    use std::collections::VecDeque;
+    use std::mem::MaybeUninit;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    /// One ring slot: a sequence word gating a possibly-initialized value.
+    struct Slot<T> {
+        /// Vyukov sequence number. `seq == index` means free for the
+        /// enqueuer of `index`; `seq == index + 1` means holding the value
+        /// for the dequeuer of `index`.
+        seq: AtomicUsize,
+        value: UnsafeCell<MaybeUninit<T>>,
+    }
+
+    /// Bounded MPMC queue (Vyukov ring, API-compatible with crossbeam's).
+    pub struct ArrayQueue<T> {
+        slots: Box<[Slot<T>]>,
+        /// Next logical enqueue index (monotone; slot = index % cap).
+        tail: AtomicUsize,
+        /// Next logical dequeue index.
+        head: AtomicUsize,
+        cap: usize,
+    }
+
+    unsafe impl<T: Send> Send for ArrayQueue<T> {}
+    unsafe impl<T: Send> Sync for ArrayQueue<T> {}
+
+    impl<T> ArrayQueue<T> {
+        /// Creates a queue holding at most `cap` elements.
+        ///
+        /// # Panics
+        /// Panics if `cap` is zero (as the real crate does).
+        pub fn new(cap: usize) -> Self {
+            assert!(cap > 0, "capacity must be non-zero");
+            let slots = (0..cap)
+                .map(|i| Slot {
+                    seq: AtomicUsize::new(i),
+                    value: UnsafeCell::new(MaybeUninit::uninit()),
+                })
+                .collect();
+            Self {
+                slots,
+                tail: AtomicUsize::new(0),
+                head: AtomicUsize::new(0),
+                cap,
+            }
+        }
+
+        /// Maximum number of elements the queue holds.
+        pub fn capacity(&self) -> usize {
+            self.cap
+        }
+
+        /// Attempts to enqueue, returning `value` back if the queue is full.
+        pub fn push(&self, value: T) -> Result<(), T> {
+            let mut tail = self.tail.load(Ordering::Relaxed);
+            loop {
+                let slot = &self.slots[tail % self.cap];
+                let seq = slot.seq.load(Ordering::Acquire);
+                if seq == tail {
+                    // Slot free for this index: claim it.
+                    match self.tail.compare_exchange_weak(
+                        tail,
+                        tail.wrapping_add(1),
+                        Ordering::Relaxed,
+                        Ordering::Relaxed,
+                    ) {
+                        Ok(_) => {
+                            unsafe { (*slot.value.get()).write(value) };
+                            slot.seq.store(tail.wrapping_add(1), Ordering::Release);
+                            return Ok(());
+                        }
+                        Err(current) => tail = current,
+                    }
+                } else if (seq as isize).wrapping_sub(tail as isize) < 0 {
+                    // Slot still holds the value from `tail - cap`: if the
+                    // tail has not moved meanwhile, the queue is full.
+                    let current = self.tail.load(Ordering::Relaxed);
+                    if current == tail {
+                        return Err(value);
+                    }
+                    tail = current;
+                } else {
+                    // Another enqueuer claimed this index; chase the tail.
+                    tail = self.tail.load(Ordering::Relaxed);
+                }
+            }
+        }
+
+        /// Attempts to dequeue the oldest element.
+        pub fn pop(&self) -> Option<T> {
+            let mut head = self.head.load(Ordering::Relaxed);
+            loop {
+                let slot = &self.slots[head % self.cap];
+                let seq = slot.seq.load(Ordering::Acquire);
+                let filled = head.wrapping_add(1);
+                if seq == filled {
+                    match self.head.compare_exchange_weak(
+                        head,
+                        filled,
+                        Ordering::Relaxed,
+                        Ordering::Relaxed,
+                    ) {
+                        Ok(_) => {
+                            let value = unsafe { (*slot.value.get()).assume_init_read() };
+                            // Free the slot for the enqueuer one lap ahead.
+                            slot.seq
+                                .store(head.wrapping_add(self.cap), Ordering::Release);
+                            return Some(value);
+                        }
+                        Err(current) => head = current,
+                    }
+                } else if (seq as isize).wrapping_sub(filled as isize) < 0 {
+                    let current = self.head.load(Ordering::Relaxed);
+                    if current == head {
+                        return None;
+                    }
+                    head = current;
+                } else {
+                    head = self.head.load(Ordering::Relaxed);
+                }
+            }
+        }
+
+        /// Number of elements currently queued (approximate under races).
+        pub fn len(&self) -> usize {
+            loop {
+                let tail = self.tail.load(Ordering::SeqCst);
+                let head = self.head.load(Ordering::SeqCst);
+                if self.tail.load(Ordering::SeqCst) == tail {
+                    return tail.wrapping_sub(head);
+                }
+            }
+        }
+
+        /// Whether the queue is empty (approximate under races).
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    impl<T> Drop for ArrayQueue<T> {
+        fn drop(&mut self) {
+            while self.pop().is_some() {}
+        }
+    }
+
+    /// Unbounded MPMC queue (mutexed `VecDeque`; see module docs for the
+    /// fidelity caveat versus the real segmented lock-free list).
+    pub struct SegQueue<T> {
+        inner: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> SegQueue<T> {
+        /// Creates an empty queue.
+        pub fn new() -> Self {
+            Self {
+                inner: Mutex::new(VecDeque::new()),
+            }
+        }
+
+        /// Enqueues `value`; never fails (unbounded).
+        pub fn push(&self, value: T) {
+            self.lock().push_back(value);
+        }
+
+        /// Dequeues the oldest element.
+        pub fn pop(&self) -> Option<T> {
+            self.lock().pop_front()
+        }
+
+        /// Number of elements currently queued.
+        pub fn len(&self) -> usize {
+            self.lock().len()
+        }
+
+        /// Whether the queue is empty.
+        pub fn is_empty(&self) -> bool {
+            self.lock().is_empty()
+        }
+
+        fn lock(&self) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+            match self.inner.lock() {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            }
+        }
+    }
+
+    impl<T> Default for SegQueue<T> {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use std::sync::Arc;
+
+        #[test]
+        fn array_queue_fifo_and_full() {
+            let q = ArrayQueue::new(2);
+            assert_eq!(q.capacity(), 2);
+            q.push(1).unwrap();
+            q.push(2).unwrap();
+            assert_eq!(q.push(3), Err(3));
+            assert_eq!(q.pop(), Some(1));
+            q.push(3).unwrap();
+            assert_eq!(q.pop(), Some(2));
+            assert_eq!(q.pop(), Some(3));
+            assert_eq!(q.pop(), None);
+        }
+
+        #[test]
+        fn array_queue_wraps_many_laps() {
+            let q = ArrayQueue::new(3);
+            for i in 0..100u64 {
+                q.push(i).unwrap();
+                assert_eq!(q.pop(), Some(i));
+            }
+            assert!(q.is_empty());
+        }
+
+        #[test]
+        fn array_queue_mpmc_no_loss_no_dup() {
+            const PRODUCERS: usize = 4;
+            const PER: u64 = 2_000;
+            let q = Arc::new(ArrayQueue::new(64));
+            let got = Arc::new(Mutex::new(Vec::new()));
+            let mut handles = Vec::new();
+            for p in 0..PRODUCERS as u64 {
+                let q = q.clone();
+                handles.push(std::thread::spawn(move || {
+                    for i in 0..PER {
+                        let mut v = p * PER + i;
+                        loop {
+                            match q.push(v) {
+                                Ok(()) => break,
+                                Err(back) => {
+                                    v = back;
+                                    std::thread::yield_now();
+                                }
+                            }
+                        }
+                    }
+                }));
+            }
+            for _ in 0..PRODUCERS {
+                let q = q.clone();
+                let got = got.clone();
+                handles.push(std::thread::spawn(move || {
+                    let mut mine = Vec::new();
+                    while mine.len() < PER as usize {
+                        match q.pop() {
+                            Some(v) => mine.push(v),
+                            None => std::thread::yield_now(),
+                        }
+                    }
+                    got.lock().unwrap().extend(mine);
+                }));
+            }
+            for h in handles {
+                h.join().unwrap();
+            }
+            let mut all = got.lock().unwrap().clone();
+            all.sort_unstable();
+            let expect: Vec<u64> = (0..PRODUCERS as u64 * PER).collect();
+            assert_eq!(all, expect);
+        }
+
+        #[test]
+        fn array_queue_drops_leftovers() {
+            // Drop with live contents must run element destructors.
+            let q = ArrayQueue::new(8);
+            q.push(String::from("leftover")).unwrap();
+            q.push(String::from("also")).unwrap();
+            drop(q);
+        }
+
+        #[test]
+        fn seg_queue_fifo() {
+            let q = SegQueue::new();
+            assert!(q.is_empty());
+            q.push(10);
+            q.push(20);
+            assert_eq!(q.len(), 2);
+            assert_eq!(q.pop(), Some(10));
+            assert_eq!(q.pop(), Some(20));
+            assert_eq!(q.pop(), None);
+        }
+    }
+}

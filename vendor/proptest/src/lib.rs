@@ -1,0 +1,483 @@
+//! Offline stand-in for [proptest](https://crates.io/crates/proptest).
+//!
+//! The container this workspace builds in has no network access to
+//! crates.io, so the real proptest cannot be vendored as a binary
+//! dependency. This crate re-implements, from the documented public API,
+//! exactly the subset the workspace's property tests use:
+//!
+//! * the [`proptest!`] macro (with `#![proptest_config(..)]` headers),
+//! * [`Strategy`] with `prop_map`, integer-range / tuple / [`Just`] /
+//!   [`any`] strategies, `prop::collection::vec`, `prop::array::uniform4`,
+//! * weighted and unweighted [`prop_oneof!`],
+//! * [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assume!`],
+//! * [`ProptestConfig::with_cases`].
+//!
+//! Differences from the real crate, by design:
+//!
+//! * **No shrinking.** A failing case reports its deterministic seed
+//!   (test name + case index) instead of a minimized input; re-running the
+//!   same test binary reproduces it exactly.
+//! * **Deterministic by default.** Case `i` of test `t` is generated from
+//!   `hash(t) ^ i`, so failures are reproducible across runs and machines.
+//!   Set `PROPTEST_RNG_SEED` to an integer to perturb the whole run.
+//!
+//! If the real proptest ever becomes available, deleting this crate and
+//! restoring the registry dependency should require no source changes in
+//! the test files.
+
+// Shim, not a library surface: keep clippy focused on the workspace proper.
+#![allow(clippy::type_complexity)]
+
+use std::fmt::Debug;
+
+// ---------------------------------------------------------------------
+// RNG
+
+/// Deterministic generator handed to strategies (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// RNG for case `case` of the test named `name` (stable across runs).
+    pub fn for_case(name: &str, case: u64) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        let env = std::env::var("PROPTEST_RNG_SEED")
+            .ok()
+            .and_then(|s| s.parse::<u64>().ok())
+            .unwrap_or(0);
+        Self {
+            state: h ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ env,
+        }
+    }
+
+    /// Next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw from `[0, bound)`; `bound` must be nonzero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        // Modulo bias is irrelevant at test-generation quality.
+        self.next_u64() % bound
+    }
+}
+
+// ---------------------------------------------------------------------
+// Config
+
+/// Subset of proptest's runner configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u64,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// `ProptestConfig` running `cases` cases per property.
+    pub fn with_cases(cases: u64) -> Self {
+        Self { cases }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Strategy core
+
+/// A recipe for generating random values (no shrinking in this shim).
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical "any value" strategy (shim subset).
+pub trait Arbitrary {
+    /// Draws an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arb_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Strategy produced by [`any`].
+pub struct Any<T>(std::marker::PhantomData<fn() -> T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The full range of `T` as a strategy.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// Integers drawable uniformly from a range (shim-internal).
+pub trait RangeValue: Copy {
+    /// Converts to the u64 sampling domain.
+    fn to_u64(self) -> u64;
+    /// Converts back from the u64 sampling domain.
+    fn from_u64(v: u64) -> Self;
+}
+
+macro_rules! range_value {
+    ($($t:ty),*) => {$(
+        impl RangeValue for $t {
+            fn to_u64(self) -> u64 { self as u64 }
+            fn from_u64(v: u64) -> Self { v as $t }
+        }
+    )*};
+}
+range_value!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<T: RangeValue> Strategy for std::ops::Range<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let (lo, hi) = (self.start.to_u64(), self.end.to_u64());
+        assert!(lo < hi, "empty range strategy");
+        T::from_u64(lo + rng.below(hi - lo))
+    }
+}
+
+impl<T: RangeValue> Strategy for std::ops::RangeInclusive<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let (lo, hi) = (self.start().to_u64(), self.end().to_u64());
+        assert!(lo <= hi, "empty range strategy");
+        let span = hi - lo;
+        if span == u64::MAX {
+            return T::from_u64(rng.next_u64());
+        }
+        T::from_u64(lo + rng.below(span + 1))
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident $idx:tt),+);)*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy! {
+    (A 0);
+    (A 0, B 1);
+    (A 0, B 1, C 2);
+    (A 0, B 1, C 2, D 3);
+    (A 0, B 1, C 2, D 3, E 4);
+    (A 0, B 1, C 2, D 3, E 4, F 5);
+}
+
+/// Weighted union of same-valued strategies (built by [`prop_oneof!`]).
+pub struct OneOf<T> {
+    arms: Vec<(u32, Box<dyn Fn(&mut TestRng) -> T>)>,
+    total: u64,
+}
+
+impl<T> OneOf<T> {
+    /// Builds from `(weight, generator)` arms.
+    pub fn new(arms: Vec<(u32, Box<dyn Fn(&mut TestRng) -> T>)>) -> Self {
+        let total = arms.iter().map(|(w, _)| *w as u64).sum();
+        assert!(total > 0, "prop_oneof! needs at least one weighted arm");
+        Self { arms, total }
+    }
+}
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let mut pick = rng.below(self.total);
+        for (w, gen) in &self.arms {
+            if pick < *w as u64 {
+                return gen(rng);
+            }
+            pick -= *w as u64;
+        }
+        unreachable!("weights summed incorrectly")
+    }
+}
+
+// ---------------------------------------------------------------------
+// Collection / array strategies
+
+/// `prop::collection` — sized collections of a base strategy.
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `len`.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: std::ops::Range<usize>,
+    }
+
+    /// Vector of `element` values with length in `len`.
+    pub fn vec<S: Strategy>(element: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let (lo, hi) = (self.len.start as u64, self.len.end as u64);
+            let n = if lo >= hi {
+                lo
+            } else {
+                lo + rng.below(hi - lo)
+            };
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// `prop::array` — fixed-size arrays of a base strategy.
+pub mod array {
+    use super::{Strategy, TestRng};
+
+    /// Strategy for `[S::Value; 4]`.
+    pub struct Uniform4<S>(S);
+
+    /// Array of four independent draws from `element`.
+    pub fn uniform4<S: Strategy>(element: S) -> Uniform4<S> {
+        Uniform4(element)
+    }
+
+    impl<S: Strategy> Strategy for Uniform4<S> {
+        type Value = [S::Value; 4];
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            [
+                self.0.generate(rng),
+                self.0.generate(rng),
+                self.0.generate(rng),
+                self.0.generate(rng),
+            ]
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Macros
+
+/// Defines `#[test]` functions whose arguments are drawn from strategies.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!{@impl ($config); $($rest)*}
+    };
+    (@impl ($config:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                for case in 0..config.cases {
+                    let mut rng = $crate::TestRng::for_case(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        case,
+                    );
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)+
+                    // One closure per case so prop_assume! can skip via
+                    // `return`; panics propagate with the case number.
+                    let run = move || { $body };
+                    run();
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!{@impl ($crate::ProptestConfig::default()); $($rest)*}
+    };
+}
+
+/// Weighted (`w => strat`) or unweighted union of strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {{
+        $crate::OneOf::new(vec![
+            $((
+                $weight as u32,
+                {
+                    let s = $strat;
+                    Box::new(move |rng: &mut $crate::TestRng| {
+                        $crate::Strategy::generate(&s, rng)
+                    }) as Box<dyn Fn(&mut $crate::TestRng) -> _>
+                },
+            )),+
+        ])
+    }};
+    ($($strat:expr),+ $(,)?) => {
+        $crate::prop_oneof![$(1 => $strat),+]
+    };
+}
+
+/// Asserts within a property (plain `assert!` in this shim).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality within a property (plain `assert_eq!` in this shim).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Skips the current case when the assumption does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($rest:tt)*)?) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+// ---------------------------------------------------------------------
+// Prelude
+
+/// The subset of `proptest::prelude` the workspace uses.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest, Just, ProptestConfig,
+        Strategy,
+    };
+
+    /// Mirror of the real prelude's `prop` module path.
+    pub mod prop {
+        pub use crate::array;
+        pub use crate::collection;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = crate::TestRng::for_case("ranges", 0);
+        for _ in 0..1_000 {
+            let v = (3u64..17).generate(&mut rng);
+            assert!((3..17).contains(&v));
+            let w = (5usize..=9).generate(&mut rng);
+            assert!((5..=9).contains(&w));
+        }
+    }
+
+    #[test]
+    fn oneof_respects_zero_weight_absence_and_hits_all_arms() {
+        let s = prop_oneof![2 => Just(1u8), 1 => Just(2u8)];
+        let mut rng = crate::TestRng::for_case("oneof", 0);
+        let mut seen = [0u32; 3];
+        for _ in 0..600 {
+            seen[s.generate(&mut rng) as usize] += 1;
+        }
+        assert_eq!(seen[0], 0);
+        assert!(seen[1] > seen[2], "weight 2 arm drawn more: {seen:?}");
+        assert!(seen[2] > 0);
+    }
+
+    #[test]
+    fn vec_and_map_compose() {
+        let s = prop::collection::vec((0u64..10).prop_map(|v| v * 2), 1..5);
+        let mut rng = crate::TestRng::for_case("vec", 7);
+        for _ in 0..200 {
+            let v = s.generate(&mut rng);
+            assert!((1..5).contains(&v.len()));
+            assert!(v.iter().all(|x| x % 2 == 0 && *x < 20));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_case() {
+        let a = crate::TestRng::for_case("t", 3).next_u64();
+        let b = crate::TestRng::for_case("t", 3).next_u64();
+        let c = crate::TestRng::for_case("t", 4).next_u64();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn the_macro_itself_runs(x in 0u64..100, flip in any::<bool>()) {
+            prop_assume!(x != 99);
+            prop_assert!(x < 99);
+            if flip {
+                prop_assert_eq!(x + 1, 1 + x);
+            }
+        }
+    }
+}
