@@ -16,9 +16,9 @@
 use core::marker::PhantomData;
 use core::mem::MaybeUninit;
 use core::ptr;
-use core::sync::atomic::{AtomicPtr, Ordering};
+use core::sync::atomic::AtomicPtr;
 use nbq_hazard::{Config, Domain, LocalHazards, ScanMode};
-use nbq_util::{Backoff, CachePadded, ConcurrentQueue, Full, QueueHandle};
+use nbq_util::{mem, Backoff, CachePadded, ConcurrentQueue, Full, QueueHandle};
 
 struct MsNode<T> {
     /// Uninitialized in the dummy node and in nodes whose value has been
@@ -128,24 +128,28 @@ impl<T: Send> QueueHandle<T> for MsHandle<'_, T> {
         let q = self.queue;
         let mut backoff = Backoff::new();
         loop {
-            // Protect Tail (publish + re-read).
+            // Protect Tail (publish + re-read; the SC hazard handshake
+            // lives inside protect_ptr — this loop's own re-reads are
+            // plain staleness checks and may be acquire).
             let t = self.hp.protect_ptr(HP_TAIL, &q.tail);
             // SAFETY: t is hazard-protected, hence not freed.
-            let next = unsafe { &*t }.next.load(Ordering::SeqCst);
-            if t != q.tail.load(Ordering::SeqCst) {
+            let next = unsafe { &*t }.next.load(mem::NODE_READ);
+            if t != q.tail.load(mem::INDEX_LOAD) {
                 continue;
             }
             if next.is_null() {
                 // SAFETY: as above.
+                // SLOT_CAS: release publishes the node's value to the
+                // dequeuer that acquires it via NODE_READ.
                 if unsafe { &*t }
                     .next
-                    .compare_exchange(ptr::null_mut(), node, Ordering::SeqCst, Ordering::SeqCst)
+                    .compare_exchange(ptr::null_mut(), node, mem::SLOT_CAS, mem::SLOT_CAS_FAIL)
                     .is_ok()
                 {
                     // Linearized. Swing Tail (best effort: anyone may help).
                     let _ = q
                         .tail
-                        .compare_exchange(t, node, Ordering::SeqCst, Ordering::Relaxed);
+                        .compare_exchange(t, node, mem::INDEX_CAS, mem::INDEX_CAS_FAIL);
                     self.hp.clear(HP_TAIL);
                     return Ok(());
                 }
@@ -154,7 +158,7 @@ impl<T: Send> QueueHandle<T> for MsHandle<'_, T> {
                 // Tail lagging: help swing it.
                 let _ = q
                     .tail
-                    .compare_exchange(t, next, Ordering::SeqCst, Ordering::Relaxed);
+                    .compare_exchange(t, next, mem::INDEX_CAS, mem::INDEX_CAS_FAIL);
             }
         }
     }
@@ -164,10 +168,10 @@ impl<T: Send> QueueHandle<T> for MsHandle<'_, T> {
         let mut backoff = Backoff::new();
         loop {
             let h = self.hp.protect_ptr(HP_HEAD, &q.head);
-            let t = q.tail.load(Ordering::SeqCst);
+            let t = q.tail.load(mem::INDEX_LOAD);
             // SAFETY: h is hazard-protected.
-            let next = unsafe { &*h }.next.load(Ordering::SeqCst);
-            if h != q.head.load(Ordering::SeqCst) {
+            let next = unsafe { &*h }.next.load(mem::NODE_READ);
+            if h != q.head.load(mem::INDEX_LOAD) {
                 continue;
             }
             if next.is_null() {
@@ -177,19 +181,23 @@ impl<T: Send> QueueHandle<T> for MsHandle<'_, T> {
             }
             // Protect next before dereferencing it; re-validate that h is
             // still the head so next cannot have been retired earlier.
+            // HP_VALIDATE (SeqCst-pinned): this load completes the hazard
+            // handshake for HP_NEXT against a retirer's scan.
             self.hp.set(HP_NEXT, next as usize);
-            if h != q.head.load(Ordering::SeqCst) {
+            if h != q.head.load(mem::HP_VALIDATE) {
                 continue;
             }
             if h == t {
                 // Tail lagging behind a half-finished enqueue: help.
                 let _ = q
                     .tail
-                    .compare_exchange(t, next, Ordering::SeqCst, Ordering::Relaxed);
+                    .compare_exchange(t, next, mem::INDEX_CAS, mem::INDEX_CAS_FAIL);
                 continue;
             }
+            // INDEX_CAS (AcqRel): the unlink need not be SC because the
+            // hazard publish/validate/scan triple already is (DESIGN.md §7).
             if q.head
-                .compare_exchange(h, next, Ordering::SeqCst, Ordering::SeqCst)
+                .compare_exchange(h, next, mem::INDEX_CAS, mem::INDEX_CAS_FAIL)
                 .is_ok()
             {
                 // We own the value in `next` (it becomes the new dummy).

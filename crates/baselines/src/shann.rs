@@ -21,7 +21,7 @@ use core::cell::UnsafeCell;
 use core::marker::PhantomData;
 use core::mem::MaybeUninit;
 use core::sync::atomic::{AtomicU32, AtomicU64, Ordering};
-use nbq_util::{Backoff, CachePadded, ConcurrentQueue, Full, QueueHandle};
+use nbq_util::{mem, Backoff, CachePadded, ConcurrentQueue, Full, QueueHandle};
 
 const NULL_IDX: u32 = 0;
 
@@ -171,14 +171,15 @@ impl<T: Send> ShannQueue<T> {
         self.capacity as usize
     }
 
-    /// Approximate number of queued items (exact when quiescent).
+    /// Approximate number of queued items (advisory snapshot, exact when
+    /// quiescent — see the array queues in `nbq-core` for the contract).
     pub fn len(&self) -> usize {
-        let t = self.tail.load(Ordering::SeqCst);
-        let h = self.head.load(Ordering::SeqCst);
+        let t = self.tail.load(mem::INDEX_LOAD);
+        let h = self.head.load(mem::INDEX_LOAD);
         t.wrapping_sub(h).min(self.capacity) as usize
     }
 
-    /// True when the queue appears empty (exact when quiescent).
+    /// True when the queue appears empty (advisory, as [`Self::len`]).
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
@@ -220,18 +221,20 @@ impl<T: Send> QueueHandle<T> for ShannHandle<'_, T> {
         };
         let mut backoff = Backoff::new();
         loop {
-            let t = q.tail.load(Ordering::SeqCst);
+            let t = q.tail.load(mem::INDEX_LOAD);
             // Full test — Head read after Tail (monotonicity argument as in
             // the array queues of nbq-core).
-            if t == q.head.load(Ordering::SeqCst).wrapping_add(q.capacity) {
+            if t == q.head.load(mem::INDEX_LOAD).wrapping_add(q.capacity) {
                 // SAFETY: node_idx is ours and initialized; take the value
                 // back and free the cell.
                 let value = unsafe { q.arena.take(node_idx) };
                 return Err(Full(value));
             }
             let slot = &q.slots[(t & q.mask) as usize];
-            let word = slot.load(Ordering::SeqCst);
-            if t != q.tail.load(Ordering::SeqCst) {
+            // SLOT_LOAD (acquire): staleness is caught by the per-slot
+            // counter in the CAS expected value, not by SC ordering.
+            let word = slot.load(mem::SLOT_LOAD);
+            if t != q.tail.load(mem::INDEX_LOAD) {
                 continue;
             }
             let (counter, idx) = unpack(word);
@@ -241,16 +244,16 @@ impl<T: Send> QueueHandle<T> for ShannHandle<'_, T> {
                     .compare_exchange(
                         word,
                         pack(counter.wrapping_add(1), node_idx),
-                        Ordering::SeqCst,
-                        Ordering::SeqCst,
+                        mem::SLOT_CAS,
+                        mem::SLOT_CAS_FAIL,
                     )
                     .is_ok()
                 {
                     let _ = q.tail.compare_exchange(
                         t,
                         t.wrapping_add(1),
-                        Ordering::SeqCst,
-                        Ordering::Relaxed,
+                        mem::INDEX_CAS,
+                        mem::INDEX_CAS_FAIL,
                     );
                     return Ok(());
                 }
@@ -260,8 +263,8 @@ impl<T: Send> QueueHandle<T> for ShannHandle<'_, T> {
                 let _ = q.tail.compare_exchange(
                     t,
                     t.wrapping_add(1),
-                    Ordering::SeqCst,
-                    Ordering::Relaxed,
+                    mem::INDEX_CAS,
+                    mem::INDEX_CAS_FAIL,
                 );
             }
         }
@@ -271,13 +274,13 @@ impl<T: Send> QueueHandle<T> for ShannHandle<'_, T> {
         let q = self.queue;
         let mut backoff = Backoff::new();
         loop {
-            let h = q.head.load(Ordering::SeqCst);
-            if h == q.tail.load(Ordering::SeqCst) {
+            let h = q.head.load(mem::INDEX_LOAD);
+            if h == q.tail.load(mem::INDEX_LOAD) {
                 return None;
             }
             let slot = &q.slots[(h & q.mask) as usize];
-            let word = slot.load(Ordering::SeqCst);
-            if h != q.head.load(Ordering::SeqCst) {
+            let word = slot.load(mem::SLOT_LOAD);
+            if h != q.head.load(mem::INDEX_LOAD) {
                 continue;
             }
             let (counter, idx) = unpack(word);
@@ -286,16 +289,16 @@ impl<T: Send> QueueHandle<T> for ShannHandle<'_, T> {
                     .compare_exchange(
                         word,
                         pack(counter.wrapping_add(1), NULL_IDX),
-                        Ordering::SeqCst,
-                        Ordering::SeqCst,
+                        mem::SLOT_CAS,
+                        mem::SLOT_CAS_FAIL,
                     )
                     .is_ok()
                 {
                     let _ = q.head.compare_exchange(
                         h,
                         h.wrapping_add(1),
-                        Ordering::SeqCst,
-                        Ordering::Relaxed,
+                        mem::INDEX_CAS,
+                        mem::INDEX_CAS_FAIL,
                     );
                     // SAFETY: the winning CAS removed idx from the array;
                     // we own it exclusively.
@@ -307,8 +310,8 @@ impl<T: Send> QueueHandle<T> for ShannHandle<'_, T> {
                 let _ = q.head.compare_exchange(
                     h,
                     h.wrapping_add(1),
-                    Ordering::SeqCst,
-                    Ordering::Relaxed,
+                    mem::INDEX_CAS,
+                    mem::INDEX_CAS_FAIL,
                 );
             }
         }

@@ -28,7 +28,7 @@
 use crate::delayed_free::DelayedFree;
 use core::marker::PhantomData;
 use core::sync::atomic::{AtomicU64, Ordering};
-use nbq_util::{Backoff, CachePadded, ConcurrentQueue, Full, QueueHandle};
+use nbq_util::{mem, Backoff, CachePadded, ConcurrentQueue, Full, QueueHandle};
 
 /// Default delayed-reuse window (frees a node box survives before really
 /// returning to the allocator) — the software stand-in for TZ's
@@ -109,14 +109,15 @@ impl<T: Send> TsigasZhangQueue<T> {
         self.capacity as usize
     }
 
-    /// Approximate number of queued items (exact when quiescent).
+    /// Approximate number of queued items (advisory snapshot, exact when
+    /// quiescent — see the array queues in `nbq-core` for the contract).
     pub fn len(&self) -> usize {
-        let t = self.tail.load(Ordering::SeqCst);
-        let h = self.head.load(Ordering::SeqCst);
+        let t = self.tail.load(mem::INDEX_LOAD);
+        let h = self.head.load(mem::INDEX_LOAD);
         t.wrapping_sub(h).min(self.capacity) as usize
     }
 
-    /// True when the queue appears empty (exact when quiescent).
+    /// True when the queue appears empty (advisory, as [`Self::len`]).
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
@@ -181,8 +182,8 @@ impl<T: Send> QueueHandle<T> for TzHandle<'_, T> {
                      violated (grow the reuse window)"
                 );
             }
-            let t = q.tail.load(Ordering::SeqCst);
-            if t == q.head.load(Ordering::SeqCst).wrapping_add(q.capacity) {
+            let t = q.tail.load(mem::INDEX_LOAD);
+            if t == q.head.load(mem::INDEX_LOAD).wrapping_add(q.capacity) {
                 // SAFETY: never published; we still own the box.
                 let mut b = unsafe { Box::from_raw(node as *mut TzNode<T>) };
                 // SAFETY: the value is initialized and taken exactly once.
@@ -191,20 +192,25 @@ impl<T: Send> QueueHandle<T> for TzHandle<'_, T> {
             }
             let slot = &q.slots[(t & q.mask) as usize];
             let expected_null = q.null_for(t);
-            let word = slot.load(Ordering::SeqCst);
-            if t != q.tail.load(Ordering::SeqCst) {
+            // SLOT_LOAD (acquire): a stale word either fails the CAS below
+            // (expected value mismatch) or shows the wrong-parity null and
+            // retries.
+            let word = slot.load(mem::SLOT_LOAD);
+            if t != q.tail.load(mem::INDEX_LOAD) {
                 continue;
             }
             if word == expected_null {
+                // SLOT_CAS: release publishes the node's value to the
+                // dequeuer that acquires the word via its own SLOT_LOAD.
                 if slot
-                    .compare_exchange(expected_null, node, Ordering::SeqCst, Ordering::SeqCst)
+                    .compare_exchange(expected_null, node, mem::SLOT_CAS, mem::SLOT_CAS_FAIL)
                     .is_ok()
                 {
                     let _ = q.tail.compare_exchange(
                         t,
                         t.wrapping_add(1),
-                        Ordering::SeqCst,
-                        Ordering::Relaxed,
+                        mem::INDEX_CAS,
+                        mem::INDEX_CAS_FAIL,
                     );
                     return Ok(());
                 }
@@ -218,8 +224,8 @@ impl<T: Send> QueueHandle<T> for TzHandle<'_, T> {
                 let _ = q.tail.compare_exchange(
                     t,
                     t.wrapping_add(1),
-                    Ordering::SeqCst,
-                    Ordering::Relaxed,
+                    mem::INDEX_CAS,
+                    mem::INDEX_CAS_FAIL,
                 );
             }
         }
@@ -240,27 +246,27 @@ impl<T: Send> QueueHandle<T> for TzHandle<'_, T> {
                      violated (grow the reuse window)"
                 );
             }
-            let h = q.head.load(Ordering::SeqCst);
-            if h == q.tail.load(Ordering::SeqCst) {
+            let h = q.head.load(mem::INDEX_LOAD);
+            if h == q.tail.load(mem::INDEX_LOAD) {
                 return None;
             }
             let slot = &q.slots[(h & q.mask) as usize];
             // A dequeuer leaves the *next* lap's expected marker behind.
             let next_null = q.null_for(h.wrapping_add(q.capacity));
-            let word = slot.load(Ordering::SeqCst);
-            if h != q.head.load(Ordering::SeqCst) {
+            let word = slot.load(mem::SLOT_LOAD);
+            if h != q.head.load(mem::INDEX_LOAD) {
                 continue;
             }
             if !is_null(word) {
                 if slot
-                    .compare_exchange(word, next_null, Ordering::SeqCst, Ordering::SeqCst)
+                    .compare_exchange(word, next_null, mem::SLOT_CAS, mem::SLOT_CAS_FAIL)
                     .is_ok()
                 {
                     let _ = q.head.compare_exchange(
                         h,
                         h.wrapping_add(1),
-                        Ordering::SeqCst,
-                        Ordering::Relaxed,
+                        mem::INDEX_CAS,
+                        mem::INDEX_CAS_FAIL,
                     );
                     // SAFETY: the winning CAS removed the node from the
                     // array; we own it exclusively. Move the value out,
@@ -282,8 +288,8 @@ impl<T: Send> QueueHandle<T> for TzHandle<'_, T> {
                 let _ = q.head.compare_exchange(
                     h,
                     h.wrapping_add(1),
-                    Ordering::SeqCst,
-                    Ordering::Relaxed,
+                    mem::INDEX_CAS,
+                    mem::INDEX_CAS_FAIL,
                 );
             } else {
                 // Enqueue for this position is still in flight.

@@ -1,0 +1,63 @@
+//! `abl-ordering`: the §6 workload for the two core queues under the
+//! memory-ordering mode compiled into this binary.
+//!
+//! The per-site relaxed policy (`nbq_util::mem`) and the strict-SC
+//! fallback are a cargo feature, not a runtime switch, so one binary
+//! measures one mode; benchmark ids carry `mem::mode()` so Criterion
+//! keeps the two builds' histories side by side:
+//!
+//! ```text
+//! cargo bench -p nbq-bench --bench abl_ordering
+//! cargo bench -p nbq-bench --bench abl_ordering --features strict-sc
+//! ```
+//!
+//! `repro ordering --csv results` produces the same comparison as a
+//! mergeable table (`results/ext-ordering.csv`).
+
+use criterion::{BenchmarkId, Criterion};
+use nbq_bench::{bench_config, criterion, BENCH_THREADS};
+use nbq_harness::run_once;
+use nbq_util::mem;
+
+fn bench_ordering(c: &mut Criterion) {
+    let mut group = c.benchmark_group("abl_ordering");
+    for &threads in BENCH_THREADS {
+        let cfg = bench_config(threads);
+        group.throughput(criterion::Throughput::Elements(cfg.total_ops()));
+        for cas in [true, false] {
+            let name = if cas {
+                format!("FIFO Array Simulated CAS [{}]", mem::mode())
+            } else {
+                format!("FIFO Array LL/SC [{}]", mem::mode())
+            };
+            group.bench_with_input(BenchmarkId::new(name, threads), &threads, |b, &threads| {
+                let cfg = bench_config(threads);
+                b.iter_custom(|iters| {
+                    let mut total = std::time::Duration::ZERO;
+                    for _ in 0..iters {
+                        let secs = if cas {
+                            run_once(
+                                &nbq_core::CasQueue::<u64>::with_capacity(cfg.capacity),
+                                &cfg,
+                            )
+                        } else {
+                            run_once(
+                                &nbq_core::LlScQueue::<u64>::with_capacity(cfg.capacity),
+                                &cfg,
+                            )
+                        };
+                        total += std::time::Duration::from_secs_f64(secs);
+                    }
+                    total
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+fn main() {
+    let mut c = criterion();
+    bench_ordering(&mut c);
+    c.final_summary();
+}

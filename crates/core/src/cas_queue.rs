@@ -51,7 +51,7 @@ use crate::opstats::OpStats;
 use crate::registry::{LlScVar, Registry};
 use core::marker::PhantomData;
 use core::sync::atomic::{AtomicU64, Ordering};
-use nbq_util::{Backoff, BatchFull, CachePadded, ConcurrentQueue, Full, QueueHandle};
+use nbq_util::{mem, Backoff, BatchFull, CachePadded, ConcurrentQueue, Full, QueueHandle};
 
 /// When the owner re-validates exclusive ownership of its `LLSCvar`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -139,6 +139,15 @@ impl<T: Send> CasQueue<T> {
         q
     }
 
+    /// [`Self::with_config`] plus instruction/contention accounting — the
+    /// combination the tuning ablations use to attribute time differences
+    /// to retry pressure.
+    pub fn with_config_stats(capacity: usize, config: CasQueueConfig) -> Self {
+        let mut q = Self::with_config(capacity, config);
+        q.stats = Some(Box::default());
+        q
+    }
+
     /// The instruction counters, if built via [`Self::with_stats`].
     pub fn stats(&self) -> Option<&OpStats> {
         self.stats.as_deref()
@@ -149,14 +158,22 @@ impl<T: Send> CasQueue<T> {
         self.capacity as usize
     }
 
-    /// Approximate number of queued items (exact when quiescent).
+    /// Approximate number of queued items.
+    ///
+    /// **Advisory snapshot**: the two index reads are individually
+    /// acquire-ordered but not mutually atomic, so under concurrent
+    /// operations the result may be stale by the time it returns (it is
+    /// exact when quiescent, and always within `0..=capacity`). Callers
+    /// must not use it to guarantee a subsequent `enqueue`/`dequeue`
+    /// succeeds.
     pub fn len(&self) -> usize {
-        let t = self.tail.load(Ordering::SeqCst);
-        let h = self.head.load(Ordering::SeqCst);
+        let t = self.tail.load(mem::INDEX_LOAD);
+        let h = self.head.load(mem::INDEX_LOAD);
         t.wrapping_sub(h).min(self.capacity) as usize
     }
 
-    /// True when the queue appears empty (exact when quiescent).
+    /// True when the queue appears empty — the same advisory-snapshot
+    /// contract as [`Self::len`].
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
@@ -217,10 +234,15 @@ impl<T: Send> CasHandle<'_, T> {
     }
 
     /// Slot CAS with instruction accounting (the Fig. 5 "SC").
+    ///
+    /// TAG_CAS (SeqCst-pinned): every slot CAS either installs or removes
+    /// a reservation tag, and tag removal is one edge of the Dekker cycle
+    /// with the owner's `r` gate (DESIGN.md §7). Pinning is free here —
+    /// an RMW compiles identically at AcqRel on x86-64/AArch64.
     #[inline]
     fn counted_slot_cas(&self, cell: &AtomicU64, expected: u64, new: u64) -> bool {
         let ok = cell
-            .compare_exchange(expected, new, Ordering::SeqCst, Ordering::SeqCst)
+            .compare_exchange(expected, new, mem::TAG_CAS, mem::TAG_CAS_FAIL)
             .is_ok();
         if let Some(st) = self.op_stats() {
             OpStats::bump(&st.slot_cas_attempts);
@@ -252,36 +274,44 @@ impl<T: Send> CasHandle<'_, T> {
             }
             let var = self.var;
             let tag = LlScVar::tag(var);
-            let slot = cell.load(Ordering::SeqCst); // L5
+            let slot = cell.load(mem::SLOT_LOAD); // L5
             if slot & 1 == 1 {
                 // L6: the slot holds another thread's reservation.
                 debug_assert_ne!(slot, tag, "own tag found in slot");
                 let other = LlScVar::from_tag(slot);
                 // SAFETY: LLSCvars are never freed while the queue lives.
                 let other = unsafe { &*other };
-                other.r.fetch_add(1, Ordering::SeqCst); // L7
+                // REFCOUNT_ACQUIRE (SeqCst-pinned): reader's edge of the
+                // Dekker race with the owner's REFCOUNT_GATE load — must
+                // be globally ordered before TAG_REVALIDATE below.
+                other.r.fetch_add(1, mem::REFCOUNT_ACQUIRE); // L7
                 if let Some(st) = self.op_stats() {
                     OpStats::bump(&st.faa_ops);
                 }
                 // Correction: only trust other->node if the reservation is
                 // still physically installed now that we hold a reference —
                 // this orders our read against the owner's next rewrite
-                // (which is gated on r == 1).
-                if cell.load(Ordering::SeqCst) != slot {
-                    other.r.fetch_sub(1, Ordering::SeqCst);
+                // (which is gated on r == 1). TAG_REVALIDATE (SeqCst-
+                // pinned): store-buffering pattern; acquire/release cannot
+                // exclude both threads missing each other's write.
+                if cell.load(mem::TAG_REVALIDATE) != slot {
+                    other.r.fetch_sub(1, mem::REFCOUNT_RELEASE);
                     if let Some(st) = self.op_stats() {
                         OpStats::bump(&st.faa_ops);
                     }
                     continue;
                 }
-                let value = other.node.load(Ordering::SeqCst); // L8
-                                                               // SAFETY: `var` is exclusively ours (gate) — no reader can
-                                                               // be consuming it because our tag is installed nowhere.
-                unsafe { &*var }.node.store(value, Ordering::SeqCst);
+                // L8
+                let value = other.node.load(mem::NODE_READ);
+                // SAFETY: `var` is exclusively ours (gate) — no reader can
+                // be consuming it because our tag is installed nowhere.
+                // NODE_PUBLISH (release): readers acquire via NODE_READ;
+                // visibility before tag install is carried by TAG_CAS.
+                unsafe { &*var }.node.store(value, mem::NODE_PUBLISH);
                 let installed = cell
-                    .compare_exchange(slot, tag, Ordering::SeqCst, Ordering::SeqCst)
+                    .compare_exchange(slot, tag, mem::TAG_CAS, mem::TAG_CAS_FAIL)
                     .is_ok(); // L12
-                other.r.fetch_sub(1, Ordering::SeqCst); // L13–L14
+                other.r.fetch_sub(1, mem::REFCOUNT_RELEASE); // L13–L14
                 if let Some(st) = self.op_stats() {
                     OpStats::bump(&st.slot_cas_attempts);
                     OpStats::bump(&st.faa_ops);
@@ -296,9 +326,9 @@ impl<T: Send> CasHandle<'_, T> {
                 // Slot holds data (or null): copy it to our placeholder
                 // and try to install the reservation.
                 // SAFETY: as above, `var` is exclusively ours.
-                unsafe { &*var }.node.store(slot, Ordering::SeqCst); // L11
+                unsafe { &*var }.node.store(slot, mem::NODE_PUBLISH); // L11
                 let installed = cell
-                    .compare_exchange(slot, tag, Ordering::SeqCst, Ordering::SeqCst)
+                    .compare_exchange(slot, tag, mem::TAG_CAS, mem::TAG_CAS_FAIL)
                     .is_ok();
                 if let Some(st) = self.op_stats() {
                     OpStats::bump(&st.slot_cas_attempts);
@@ -321,6 +351,15 @@ impl<T: Send> CasHandle<'_, T> {
         }
     }
 
+    /// Folds a finished retry loop's snooze count into the stats
+    /// (contention reporting for `abl-backoff`/`abl-ordering`).
+    #[inline]
+    fn record_snoozes(&self, backoff: &Backoff) {
+        if let Some(st) = self.op_stats() {
+            st.add_snoozes(backoff.snoozes());
+        }
+    }
+
     /// Fig. 5 `Enqueue`.
     fn enqueue_value(&mut self, value: T) -> Result<(), Full<T>> {
         if self.queue.config.gate == GatePolicy::PerOperation {
@@ -330,10 +369,14 @@ impl<T: Send> CasHandle<'_, T> {
         let node = node_into_raw(value);
         let mut backoff = self.backoff();
         loop {
-            let t = q.tail.load(Ordering::SeqCst);
+            // INDEX_LOAD (acquire): index staleness is caught by the
+            // `t == Tail` recheck after sim_ll; the full/empty tests only
+            // need Head/Tail monotonicity, as in Algorithm 1.
+            let t = q.tail.load(mem::INDEX_LOAD);
             // Full test; Head read after Tail (same monotonicity argument
             // as Algorithm 1).
-            if t == q.head.load(Ordering::SeqCst).wrapping_add(q.capacity) {
+            if t == q.head.load(mem::INDEX_LOAD).wrapping_add(q.capacity) {
+                self.record_snoozes(&backoff);
                 // SAFETY: the node was never published.
                 return Err(Full(unsafe { node_from_raw::<T>(node) }));
             }
@@ -341,18 +384,18 @@ impl<T: Send> CasHandle<'_, T> {
             let slot = self.sim_ll(idx); // our tag is now installed
             let tag = LlScVar::tag(self.var);
             let cell = &q.slots[idx];
-            if t == q.tail.load(Ordering::SeqCst) {
+            if t == q.tail.load(mem::INDEX_LOAD) {
                 if slot != NULL {
                     // Slot already filled by a peer whose Tail update is
                     // lagging: restore the value over our tag, help
                     // advance Tail, retry.
                     let restored =
-                        cell.compare_exchange(tag, slot, Ordering::SeqCst, Ordering::SeqCst);
+                        cell.compare_exchange(tag, slot, mem::TAG_CAS, mem::TAG_CAS_FAIL);
                     let helped = q.tail.compare_exchange(
                         t,
                         t.wrapping_add(1),
-                        Ordering::SeqCst,
-                        Ordering::Relaxed,
+                        mem::INDEX_CAS,
+                        mem::INDEX_CAS_FAIL,
                     );
                     if let Some(st) = self.op_stats() {
                         OpStats::bump(&st.slot_cas_attempts);
@@ -370,8 +413,8 @@ impl<T: Send> CasHandle<'_, T> {
                     let advanced = q.tail.compare_exchange(
                         t,
                         t.wrapping_add(1),
-                        Ordering::SeqCst,
-                        Ordering::Relaxed,
+                        mem::INDEX_CAS,
+                        mem::INDEX_CAS_FAIL,
                     );
                     if let Some(st) = self.op_stats() {
                         OpStats::bump(&st.index_cas_attempts);
@@ -380,6 +423,7 @@ impl<T: Send> CasHandle<'_, T> {
                         }
                         OpStats::bump(&st.operations);
                     }
+                    self.record_snoozes(&backoff);
                     return Ok(());
                 } else {
                     // Reservation stolen by a competing LL; retry.
@@ -388,7 +432,7 @@ impl<T: Send> CasHandle<'_, T> {
             } else {
                 // Tail moved since we read it: undo the reservation
                 // (paper's trailing `else CAS(&Q[tail], var^1, slot)`).
-                let restored = cell.compare_exchange(tag, slot, Ordering::SeqCst, Ordering::SeqCst);
+                let restored = cell.compare_exchange(tag, slot, mem::TAG_CAS, mem::TAG_CAS_FAIL);
                 if let Some(st) = self.op_stats() {
                     OpStats::bump(&st.slot_cas_attempts);
                     if restored.is_ok() {
@@ -407,25 +451,26 @@ impl<T: Send> CasHandle<'_, T> {
         let q = self.queue;
         let mut backoff = self.backoff();
         loop {
-            let h = q.head.load(Ordering::SeqCst);
-            if h == q.tail.load(Ordering::SeqCst) {
+            let h = q.head.load(mem::INDEX_LOAD);
+            if h == q.tail.load(mem::INDEX_LOAD) {
+                self.record_snoozes(&backoff);
                 return None; // empty
             }
             let idx = (h & q.mask) as usize;
             let slot = self.sim_ll(idx);
             let tag = LlScVar::tag(self.var);
             let cell = &q.slots[idx];
-            if h == q.head.load(Ordering::SeqCst) {
+            if h == q.head.load(mem::INDEX_LOAD) {
                 if slot == NULL {
                     // Item already removed, Head lagging: restore the null
                     // and help advance Head.
                     let restored =
-                        cell.compare_exchange(tag, NULL, Ordering::SeqCst, Ordering::SeqCst);
+                        cell.compare_exchange(tag, NULL, mem::TAG_CAS, mem::TAG_CAS_FAIL);
                     let helped = q.head.compare_exchange(
                         h,
                         h.wrapping_add(1),
-                        Ordering::SeqCst,
-                        Ordering::Relaxed,
+                        mem::INDEX_CAS,
+                        mem::INDEX_CAS_FAIL,
                     );
                     if let Some(st) = self.op_stats() {
                         OpStats::bump(&st.slot_cas_attempts);
@@ -443,8 +488,8 @@ impl<T: Send> CasHandle<'_, T> {
                     let advanced = q.head.compare_exchange(
                         h,
                         h.wrapping_add(1),
-                        Ordering::SeqCst,
-                        Ordering::Relaxed,
+                        mem::INDEX_CAS,
+                        mem::INDEX_CAS_FAIL,
                     );
                     if let Some(st) = self.op_stats() {
                         OpStats::bump(&st.index_cas_attempts);
@@ -453,6 +498,7 @@ impl<T: Send> CasHandle<'_, T> {
                         }
                         OpStats::bump(&st.operations);
                     }
+                    self.record_snoozes(&backoff);
                     // SAFETY: the successful CAS removed the node word from
                     // the array; we own it exclusively.
                     return Some(unsafe { node_from_raw::<T>(slot) });
@@ -460,7 +506,7 @@ impl<T: Send> CasHandle<'_, T> {
                     backoff.snooze();
                 }
             } else {
-                let restored = cell.compare_exchange(tag, slot, Ordering::SeqCst, Ordering::SeqCst);
+                let restored = cell.compare_exchange(tag, slot, mem::TAG_CAS, mem::TAG_CAS_FAIL);
                 if let Some(st) = self.op_stats() {
                     OpStats::bump(&st.slot_cas_attempts);
                     if restored.is_ok() {
@@ -475,7 +521,7 @@ impl<T: Send> CasHandle<'_, T> {
     /// exit path), with instruction accounting.
     #[inline]
     fn restore_slot(&self, cell: &AtomicU64, tag: u64, word: u64) {
-        let restored = cell.compare_exchange(tag, word, Ordering::SeqCst, Ordering::SeqCst);
+        let restored = cell.compare_exchange(tag, word, mem::TAG_CAS, mem::TAG_CAS_FAIL);
         if let Some(st) = self.op_stats() {
             OpStats::bump(&st.slot_cas_attempts);
             if restored.is_ok() {
@@ -500,28 +546,29 @@ impl<T: Send> CasHandle<'_, T> {
         let q = self.queue;
         let mut backoff = self.backoff();
         loop {
-            let t = q.tail.load(Ordering::SeqCst);
+            let t = q.tail.load(mem::INDEX_LOAD);
             if index_precedes(*pos, t) {
                 // Tail already moved past our cursor; re-anchor (same as
                 // the single-op loop re-reading Tail).
                 *pos = t;
             }
-            if (*pos).wrapping_sub(q.head.load(Ordering::SeqCst)) >= q.capacity {
+            if (*pos).wrapping_sub(q.head.load(mem::INDEX_LOAD)) >= q.capacity {
                 // Positions [Head, pos) are all occupied (each verified at
                 // or after the anchor, and Head is monotone), so this is a
                 // genuine full — unless the cursor is stale.
-                let t = q.tail.load(Ordering::SeqCst);
+                let t = q.tail.load(mem::INDEX_LOAD);
                 if index_precedes(*pos, t) {
                     *pos = t;
                     continue;
                 }
+                self.record_snoozes(&backoff);
                 return Err(node);
             }
             let idx = (*pos & q.mask) as usize;
             let slot = self.sim_ll(idx); // our tag is now installed
             let tag = LlScVar::tag(self.var);
             let cell = &q.slots[idx];
-            if index_precedes(*pos, q.tail.load(Ordering::SeqCst)) {
+            if index_precedes(*pos, q.tail.load(mem::INDEX_LOAD)) {
                 // Generalized recheck failed: position already published
                 // past; undo the reservation and retry against fresh Tail.
                 self.restore_slot(cell, tag, slot);
@@ -534,8 +581,8 @@ impl<T: Send> CasHandle<'_, T> {
                 let helped = q.tail.compare_exchange(
                     *pos,
                     (*pos).wrapping_add(1),
-                    Ordering::SeqCst,
-                    Ordering::Relaxed,
+                    mem::INDEX_CAS,
+                    mem::INDEX_CAS_FAIL,
                 );
                 if let Some(st) = self.op_stats() {
                     OpStats::bump(&st.index_cas_attempts);
@@ -551,6 +598,7 @@ impl<T: Send> CasHandle<'_, T> {
                 // "SC": the item is in; Tail publication is deferred.
                 let filled = *pos;
                 *pos = filled.wrapping_add(1);
+                self.record_snoozes(&backoff);
                 return Ok(filled);
             }
             backoff.snooze();
@@ -565,18 +613,19 @@ impl<T: Send> CasHandle<'_, T> {
         let q = self.queue;
         let mut backoff = self.backoff();
         loop {
-            let h = q.head.load(Ordering::SeqCst);
+            let h = q.head.load(mem::INDEX_LOAD);
             if index_precedes(*pos, h) {
                 *pos = h;
             }
-            if *pos == q.tail.load(Ordering::SeqCst) {
+            if *pos == q.tail.load(mem::INDEX_LOAD) {
+                self.record_snoozes(&backoff);
                 return None; // nothing published at or after the cursor
             }
             let idx = (*pos & q.mask) as usize;
             let slot = self.sim_ll(idx);
             let tag = LlScVar::tag(self.var);
             let cell = &q.slots[idx];
-            if index_precedes(*pos, q.head.load(Ordering::SeqCst)) {
+            if index_precedes(*pos, q.head.load(mem::INDEX_LOAD)) {
                 // Generalized recheck: position consumed; undo and retry.
                 self.restore_slot(cell, tag, slot);
                 continue;
@@ -587,8 +636,8 @@ impl<T: Send> CasHandle<'_, T> {
                 let helped = q.head.compare_exchange(
                     *pos,
                     (*pos).wrapping_add(1),
-                    Ordering::SeqCst,
-                    Ordering::Relaxed,
+                    mem::INDEX_CAS,
+                    mem::INDEX_CAS_FAIL,
                 );
                 if let Some(st) = self.op_stats() {
                     OpStats::bump(&st.index_cas_attempts);
@@ -602,6 +651,7 @@ impl<T: Send> CasHandle<'_, T> {
             }
             if self.counted_slot_cas(cell, tag, NULL) {
                 *pos = (*pos).wrapping_add(1);
+                self.record_snoozes(&backoff);
                 return Some(slot);
             }
             backoff.snooze();
@@ -616,13 +666,13 @@ impl<T: Send> CasHandle<'_, T> {
     fn publish_tail(&self, target: u64) {
         let q = self.queue;
         loop {
-            let t = q.tail.load(Ordering::SeqCst);
+            let t = q.tail.load(mem::INDEX_LOAD);
             if !index_precedes(t, target) {
                 return; // helpers already published past us
             }
             let ok = q
                 .tail
-                .compare_exchange(t, target, Ordering::SeqCst, Ordering::Relaxed)
+                .compare_exchange(t, target, mem::INDEX_CAS, mem::INDEX_CAS_FAIL)
                 .is_ok();
             if let Some(st) = self.op_stats() {
                 OpStats::bump(&st.index_cas_attempts);
@@ -643,13 +693,13 @@ impl<T: Send> CasHandle<'_, T> {
     fn publish_head(&self, target: u64) {
         let q = self.queue;
         loop {
-            let h = q.head.load(Ordering::SeqCst);
+            let h = q.head.load(mem::INDEX_LOAD);
             if !index_precedes(h, target) {
                 return;
             }
             let ok = q
                 .head
-                .compare_exchange(h, target, Ordering::SeqCst, Ordering::Relaxed)
+                .compare_exchange(h, target, mem::INDEX_CAS, mem::INDEX_CAS_FAIL)
                 .is_ok();
             if let Some(st) = self.op_stats() {
                 OpStats::bump(&st.index_cas_attempts);
@@ -682,7 +732,7 @@ impl<T: Send> QueueHandle<T> for CasHandle<'_, T> {
         }
         let q = self.queue;
         let mut items = items;
-        let mut pos = q.tail.load(Ordering::SeqCst);
+        let mut pos = q.tail.load(mem::INDEX_LOAD);
         let mut end = None;
         let mut enqueued = 0usize;
         let result = loop {
@@ -726,7 +776,7 @@ impl<T: Send> QueueHandle<T> for CasHandle<'_, T> {
             self.gate();
         }
         let q = self.queue;
-        let mut pos = q.head.load(Ordering::SeqCst);
+        let mut pos = q.head.load(mem::INDEX_LOAD);
         let mut taken = 0usize;
         while taken < max {
             match self.drain_slot(&mut pos) {

@@ -31,10 +31,11 @@
 //! emulation, and the Fig. 2 oracle.
 
 use crate::node::{index_precedes, node_from_raw, node_into_raw, NULL};
+use crate::opstats::OpStats;
 use core::marker::PhantomData;
-use core::sync::atomic::{AtomicU64, Ordering};
+use core::sync::atomic::AtomicU64;
 use nbq_llsc::{LlScCell, VersionedCell};
-use nbq_util::{Backoff, BatchFull, CachePadded, ConcurrentQueue, Full, QueueHandle};
+use nbq_util::{mem, Backoff, BatchFull, CachePadded, ConcurrentQueue, Full, QueueHandle};
 
 /// Tuning knobs (ablation points, see DESIGN.md `abl-backoff`).
 #[derive(Debug, Clone, Copy)]
@@ -61,6 +62,7 @@ pub struct LlScQueue<T, C: LlScCell = VersionedCell> {
     mask: u64,
     capacity: u64,
     config: LlScQueueConfig,
+    stats: Option<Box<OpStats>>,
     _marker: PhantomData<T>,
 }
 
@@ -81,6 +83,23 @@ impl<T: Send> LlScQueue<T> {
     /// [`Self::with_capacity`] with explicit tuning.
     pub fn with_config(capacity: usize, config: LlScQueueConfig) -> Self {
         Self::with_cells(capacity, config, |_, v| VersionedCell::new(v))
+    }
+
+    /// [`Self::with_capacity`] plus contention accounting (backoff snooze
+    /// counts); see [`OpStats`].
+    pub fn with_stats(capacity: usize) -> Self {
+        let mut q = Self::with_capacity(capacity);
+        q.stats = Some(Box::default());
+        q
+    }
+
+    /// [`Self::with_config`] plus contention accounting — the combination
+    /// the tuning ablations use to attribute time differences to retry
+    /// pressure.
+    pub fn with_config_stats(capacity: usize, config: LlScQueueConfig) -> Self {
+        let mut q = Self::with_config(capacity, config);
+        q.stats = Some(Box::default());
+        q
     }
 }
 
@@ -103,7 +122,21 @@ impl<T: Send, C: LlScCell> LlScQueue<T, C> {
             mask: (cap - 1) as u64,
             capacity: cap as u64,
             config,
+            stats: None,
             _marker: PhantomData,
+        }
+    }
+
+    /// The contention counters, if built via [`Self::with_stats`].
+    pub fn stats(&self) -> Option<&OpStats> {
+        self.stats.as_deref()
+    }
+
+    /// Folds a finished retry loop's backoff count into the stats.
+    #[inline]
+    fn record_snoozes(&self, backoff: &Backoff) {
+        if let Some(st) = self.stats.as_deref() {
+            st.add_snoozes(backoff.snoozes());
         }
     }
 
@@ -112,14 +145,22 @@ impl<T: Send, C: LlScCell> LlScQueue<T, C> {
         self.capacity as usize
     }
 
-    /// Approximate number of queued items (exact when quiescent).
+    /// Approximate number of queued items.
+    ///
+    /// **Advisory snapshot**: the two index reads are individually
+    /// acquire-ordered but not mutually atomic, so under concurrent
+    /// operations the result may be stale by the time it returns (it is
+    /// exact when quiescent, and always within `0..=capacity`). Callers
+    /// must not use it to guarantee a subsequent `enqueue`/`dequeue`
+    /// succeeds.
     pub fn len(&self) -> usize {
-        let t = self.tail.load(Ordering::SeqCst);
-        let h = self.head.load(Ordering::SeqCst);
+        let t = self.tail.load(mem::INDEX_LOAD);
+        let h = self.head.load(mem::INDEX_LOAD);
         t.wrapping_sub(h).min(self.capacity) as usize
     }
 
-    /// True when the queue appears empty (exact when quiescent).
+    /// True when the queue appears empty — the same advisory-snapshot
+    /// contract as [`Self::len`].
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
@@ -138,18 +179,22 @@ impl<T: Send, C: LlScCell> LlScQueue<T, C> {
             Backoff::disabled()
         };
         loop {
-            let t = self.tail.load(Ordering::SeqCst); // E5
-                                                      // E6: full test. Reading Head *after* Tail is load-bearing:
-                                                      // Head is monotone, so head >= (true head when t was read),
-                                                      // hence t <= head + capacity always, and strict equality is the
-                                                      // only full indication (see the invariant argument in
-                                                      // DESIGN.md §1 / the module docs).
-            if t == self.head.load(Ordering::SeqCst).wrapping_add(self.capacity) {
+            // INDEX_LOAD (acquire): a stale Tail is caught by the E10
+            // recheck; correctness rests on the LL/SC version check plus
+            // Head/Tail monotonicity, not on SC index reads (DESIGN.md §7).
+            let t = self.tail.load(mem::INDEX_LOAD); // E5
+                                                     // E6: full test. Reading Head *after* Tail is load-bearing:
+                                                     // Head is monotone, so head >= (true head when t was read),
+                                                     // hence t <= head + capacity always, and strict equality is the
+                                                     // only full indication (see the invariant argument in
+                                                     // DESIGN.md §1 / the module docs).
+            if t == self.head.load(mem::INDEX_LOAD).wrapping_add(self.capacity) {
+                self.record_snoozes(&backoff);
                 return Err(node); // E7
             }
             let idx = (t & self.mask) as usize; // E8
             let (slot, token) = self.slots[idx].ll(); // E9
-            if t == self.tail.load(Ordering::SeqCst) {
+            if t == self.tail.load(mem::INDEX_LOAD) {
                 // E10: Tail unchanged since E5 → the slot we linked is the
                 // one Tail designates (defeats null-ABA).
                 if slot != NULL {
@@ -159,8 +204,8 @@ impl<T: Send, C: LlScCell> LlScQueue<T, C> {
                     let _ = self.tail.compare_exchange(
                         t,
                         t.wrapping_add(1),
-                        Ordering::SeqCst,
-                        Ordering::Relaxed,
+                        mem::INDEX_CAS,
+                        mem::INDEX_CAS_FAIL,
                     );
                 } else if self.slots[idx].sc(token, node) {
                     // E15–E18: item in; advance Tail (best effort — a
@@ -168,9 +213,13 @@ impl<T: Send, C: LlScCell> LlScQueue<T, C> {
                     let _ = self.tail.compare_exchange(
                         t,
                         t.wrapping_add(1),
-                        Ordering::SeqCst,
-                        Ordering::Relaxed,
+                        mem::INDEX_CAS,
+                        mem::INDEX_CAS_FAIL,
                     );
+                    self.record_snoozes(&backoff);
+                    if let Some(st) = self.stats.as_deref() {
+                        OpStats::bump(&st.operations);
+                    }
                     return Ok(());
                 } else {
                     // SC lost a race (or failed spuriously on a WeakCell).
@@ -188,13 +237,14 @@ impl<T: Send, C: LlScCell> LlScQueue<T, C> {
             Backoff::disabled()
         };
         loop {
-            let h = self.head.load(Ordering::SeqCst); // D5
-            if h == self.tail.load(Ordering::SeqCst) {
+            let h = self.head.load(mem::INDEX_LOAD); // D5
+            if h == self.tail.load(mem::INDEX_LOAD) {
+                self.record_snoozes(&backoff);
                 return None; // D6–D7: empty
             }
             let idx = (h & self.mask) as usize; // D8
             let (slot, token) = self.slots[idx].ll(); // D9
-            if h == self.head.load(Ordering::SeqCst) {
+            if h == self.head.load(mem::INDEX_LOAD) {
                 // D10: Head unchanged → this is still the oldest item
                 // (defeats the Fig. 4 wrap-around scenario).
                 if slot == NULL {
@@ -202,17 +252,21 @@ impl<T: Send, C: LlScCell> LlScQueue<T, C> {
                     let _ = self.head.compare_exchange(
                         h,
                         h.wrapping_add(1),
-                        Ordering::SeqCst,
-                        Ordering::Relaxed,
+                        mem::INDEX_CAS,
+                        mem::INDEX_CAS_FAIL,
                     );
                 } else if self.slots[idx].sc(token, NULL) {
                     // D15–D18: removed; advance Head (best effort).
                     let _ = self.head.compare_exchange(
                         h,
                         h.wrapping_add(1),
-                        Ordering::SeqCst,
-                        Ordering::Relaxed,
+                        mem::INDEX_CAS,
+                        mem::INDEX_CAS_FAIL,
                     );
+                    self.record_snoozes(&backoff);
+                    if let Some(st) = self.stats.as_deref() {
+                        OpStats::bump(&st.operations);
+                    }
                     return Some(slot);
                 } else {
                     backoff.snooze();
@@ -240,26 +294,27 @@ impl<T: Send, C: LlScCell> LlScQueue<T, C> {
             Backoff::disabled()
         };
         loop {
-            let t = self.tail.load(Ordering::SeqCst);
+            let t = self.tail.load(mem::INDEX_LOAD);
             if index_precedes(*pos, t) {
                 // Tail already moved past our cursor; re-anchor (same as
                 // the single-op loop re-reading Tail).
                 *pos = t;
             }
-            if (*pos).wrapping_sub(self.head.load(Ordering::SeqCst)) >= self.capacity {
+            if (*pos).wrapping_sub(self.head.load(mem::INDEX_LOAD)) >= self.capacity {
                 // Positions [Head, pos) are all occupied (we verified each
                 // one at or after the anchor, and Head is monotone), so
                 // this is a genuine full — unless the cursor is stale.
-                let t = self.tail.load(Ordering::SeqCst);
+                let t = self.tail.load(mem::INDEX_LOAD);
                 if index_precedes(*pos, t) {
                     *pos = t;
                     continue;
                 }
+                self.record_snoozes(&backoff);
                 return Err(node);
             }
             let idx = (*pos & self.mask) as usize;
             let (slot, token) = self.slots[idx].ll();
-            if index_precedes(*pos, self.tail.load(Ordering::SeqCst)) {
+            if index_precedes(*pos, self.tail.load(mem::INDEX_LOAD)) {
                 // Generalized E10 recheck failed: position already
                 // published past; retry against the fresh Tail.
                 continue;
@@ -270,8 +325,8 @@ impl<T: Send, C: LlScCell> LlScQueue<T, C> {
                 let _ = self.tail.compare_exchange(
                     *pos,
                     (*pos).wrapping_add(1),
-                    Ordering::SeqCst,
-                    Ordering::Relaxed,
+                    mem::INDEX_CAS,
+                    mem::INDEX_CAS_FAIL,
                 );
                 *pos = (*pos).wrapping_add(1);
                 continue;
@@ -279,6 +334,10 @@ impl<T: Send, C: LlScCell> LlScQueue<T, C> {
             if self.slots[idx].sc(token, node) {
                 let filled = *pos;
                 *pos = filled.wrapping_add(1);
+                self.record_snoozes(&backoff);
+                if let Some(st) = self.stats.as_deref() {
+                    OpStats::bump(&st.operations);
+                }
                 return Ok(filled);
             }
             backoff.snooze();
@@ -296,16 +355,17 @@ impl<T: Send, C: LlScCell> LlScQueue<T, C> {
             Backoff::disabled()
         };
         loop {
-            let h = self.head.load(Ordering::SeqCst);
+            let h = self.head.load(mem::INDEX_LOAD);
             if index_precedes(*pos, h) {
                 *pos = h;
             }
-            if *pos == self.tail.load(Ordering::SeqCst) {
+            if *pos == self.tail.load(mem::INDEX_LOAD) {
+                self.record_snoozes(&backoff);
                 return None; // nothing published at or after the cursor
             }
             let idx = (*pos & self.mask) as usize;
             let (slot, token) = self.slots[idx].ll();
-            if index_precedes(*pos, self.head.load(Ordering::SeqCst)) {
+            if index_precedes(*pos, self.head.load(mem::INDEX_LOAD)) {
                 continue; // D10 recheck (generalized): position consumed
             }
             if slot == NULL {
@@ -313,14 +373,18 @@ impl<T: Send, C: LlScCell> LlScQueue<T, C> {
                 let _ = self.head.compare_exchange(
                     *pos,
                     (*pos).wrapping_add(1),
-                    Ordering::SeqCst,
-                    Ordering::Relaxed,
+                    mem::INDEX_CAS,
+                    mem::INDEX_CAS_FAIL,
                 );
                 *pos = (*pos).wrapping_add(1);
                 continue;
             }
             if self.slots[idx].sc(token, NULL) {
                 *pos = (*pos).wrapping_add(1);
+                self.record_snoozes(&backoff);
+                if let Some(st) = self.stats.as_deref() {
+                    OpStats::bump(&st.operations);
+                }
                 return Some(slot);
             }
             backoff.snooze();
@@ -337,13 +401,13 @@ impl<T: Send, C: LlScCell> LlScQueue<T, C> {
     /// t` rapid single advances.
     fn publish_tail(&self, target: u64) {
         loop {
-            let t = self.tail.load(Ordering::SeqCst);
+            let t = self.tail.load(mem::INDEX_LOAD);
             if !index_precedes(t, target) {
                 return; // someone (helpers) already published past us
             }
             if self
                 .tail
-                .compare_exchange(t, target, Ordering::SeqCst, Ordering::Relaxed)
+                .compare_exchange(t, target, mem::INDEX_CAS, mem::INDEX_CAS_FAIL)
                 .is_ok()
             {
                 return;
@@ -357,13 +421,13 @@ impl<T: Send, C: LlScCell> LlScQueue<T, C> {
     /// `p`, because the enqueuer of `p + capacity` is full-checked).
     fn publish_head(&self, target: u64) {
         loop {
-            let h = self.head.load(Ordering::SeqCst);
+            let h = self.head.load(mem::INDEX_LOAD);
             if !index_precedes(h, target) {
                 return;
             }
             if self
                 .head
-                .compare_exchange(h, target, Ordering::SeqCst, Ordering::Relaxed)
+                .compare_exchange(h, target, mem::INDEX_CAS, mem::INDEX_CAS_FAIL)
                 .is_ok()
             {
                 return;
@@ -414,7 +478,7 @@ impl<T: Send, C: LlScCell> QueueHandle<T> for LlScHandle<'_, T, C> {
     ) -> Result<usize, BatchFull<T>> {
         let q = self.queue;
         let mut items = items;
-        let mut pos = q.tail.load(Ordering::SeqCst);
+        let mut pos = q.tail.load(mem::INDEX_LOAD);
         let mut end = None;
         let mut enqueued = 0usize;
         let result = loop {
@@ -450,7 +514,7 @@ impl<T: Send, C: LlScCell> QueueHandle<T> for LlScHandle<'_, T, C> {
 
     fn dequeue_batch(&mut self, out: &mut Vec<T>, max: usize) -> usize {
         let q = self.queue;
-        let mut pos = q.head.load(Ordering::SeqCst);
+        let mut pos = q.head.load(mem::INDEX_LOAD);
         let mut taken = 0usize;
         while taken < max {
             match q.drain_slot_raw(&mut pos) {
@@ -500,6 +564,7 @@ impl<T: Send, C: LlScCell> ConcurrentQueue<T> for LlScQueue<T, C> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use core::sync::atomic::Ordering;
     use nbq_llsc::{FaultPlan, OracleCell, WeakCell};
 
     #[test]

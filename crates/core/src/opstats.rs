@@ -38,6 +38,11 @@ pub struct OpStats {
     pub batch_ops: AtomicU64,
     /// Elements moved by batch calls (sums into `operations` too).
     pub batch_items: AtomicU64,
+    /// `Backoff::snooze` invocations — one per contention-induced retry,
+    /// counted even when backoff is disabled (see `Backoff::snoozes`), so
+    /// `abl-backoff` and `abl-ordering` can report contention on an equal
+    /// footing across configurations.
+    pub backoff_snoozes: AtomicU64,
 }
 
 /// A point-in-time, per-operation view of the counters.
@@ -61,6 +66,8 @@ pub struct OpStatsSnapshot {
     pub batch_ops: u64,
     /// Elements moved through batch calls.
     pub batch_items: u64,
+    /// Backoff snoozes per completed operation (contention measure).
+    pub backoff_snoozes: f64,
 }
 
 impl OpStats {
@@ -83,6 +90,17 @@ impl OpStats {
             operations: self.operations.load(Ordering::Relaxed),
             batch_ops: self.batch_ops.load(Ordering::Relaxed),
             batch_items: self.batch_items.load(Ordering::Relaxed),
+            backoff_snoozes: per(&self.backoff_snoozes),
+        }
+    }
+
+    /// Folds a finished retry loop's [`nbq_util::Backoff`] snooze count
+    /// into the contention counter (no-op for a zero count, keeping the
+    /// uncontended fast path store-free).
+    #[inline]
+    pub(crate) fn add_snoozes(&self, snoozes: u64) {
+        if snoozes > 0 {
+            self.backoff_snoozes.fetch_add(snoozes, Ordering::Relaxed);
         }
     }
 }

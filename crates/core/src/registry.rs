@@ -26,6 +26,7 @@
 
 use core::ptr;
 use core::sync::atomic::{AtomicPtr, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use nbq_util::mem;
 
 /// A thread-owned simulated-LL/SC variable (paper `struct LLSCvar`).
 ///
@@ -136,10 +137,17 @@ impl Registry {
         // SAFETY: registry variables are never freed while the registry
         // lives.
         let v = unsafe { &*var };
-        if v.r.load(Ordering::Acquire) == 1 {
+        // REFCOUNT_GATE (SeqCst-pinned): the owner's edge of the Dekker
+        // race with a reader's REFCOUNT_ACQUIRE fetch_add. If this load
+        // were weaker, it could miss a reader's increment that the
+        // reader's subsequent TAG_REVALIDATE "confirms" — both sides
+        // passing their checks and the reader copying a stale `node`.
+        // SeqCst on all four edges makes that interleaving a cycle in the
+        // SC total order (DESIGN.md §7).
+        if v.r.load(mem::REFCOUNT_GATE) == 1 {
             return var; // RR2
         }
-        v.r.fetch_sub(1, Ordering::AcqRel); // RR3
+        v.r.fetch_sub(1, mem::REFCOUNT_RELEASE); // RR3
         self.register() // RR4
     }
 
@@ -152,7 +160,7 @@ impl Registry {
     /// be owned by the caller; it must not be used after deregistration.
     pub unsafe fn deregister(&self, var: *const LlScVar) {
         // SAFETY: as above.
-        unsafe { &*var }.r.fetch_sub(1, Ordering::AcqRel);
+        unsafe { &*var }.r.fetch_sub(1, mem::REFCOUNT_RELEASE);
     }
 
     /// Total variables ever allocated. Bounded by the maximum number of

@@ -11,6 +11,9 @@
 //!   ablate-scan | ablate-reregister | ablate-capacity | ablate-backoff
 //!   modern                           extension: modern comparators
 //!   batch                            extension: batch API amortization
+//!   ordering                         extension: per-site relaxed orderings
+//!                                    vs strict SeqCst (build once per
+//!                                    mode; --csv merges across builds)
 //!   all                              everything above
 //!
 //! flags:
@@ -37,7 +40,7 @@ struct Args {
 fn usage() -> ! {
     eprintln!(
         "usage: repro <fig6a|fig6b|fig6c|fig6d|overhead|caswidth|opcounts|ablate-scan|\
-         ablate-reregister|ablate-capacity|ablate-backoff|modern|batch|all> \
+         ablate-reregister|ablate-capacity|ablate-backoff|modern|batch|ordering|all> \
          [--threads 1,2,4] [--iters N] [--runs N] [--capacity N] \
          [--csv DIR] [--paper]"
     );
@@ -118,6 +121,30 @@ fn run_fig6b(args: &Args) -> Table {
     experiments::fig6b(&args.threads, &args.config)
 }
 
+/// The `ordering` experiment: this build measures one compiled mode
+/// (`strict-sc` is a cargo feature), so rows from a previous run's CSV —
+/// the other mode's build — are merged in before writing, accumulating
+/// the relaxed-vs-SeqCst table across two invocations.
+fn run_ordering(args: &Args) {
+    let mut t = experiments::ordering(&args.threads, &args.config);
+    let mut c = experiments::ordering_contention(&args.threads, &args.config);
+    if let Some(dir) = &args.csv {
+        for table in [&mut t, &mut c] {
+            let path = dir.join(format!("{}.csv", table.id));
+            if let Ok(prev) = std::fs::read_to_string(&path) {
+                table.merge_csv_rows(&prev);
+            }
+        }
+    }
+    emit(&t, &args.csv);
+    emit(&c, &args.csv);
+    println!(
+        "mode compiled into this binary: {} (rebuild with --features \
+         strict-sc for the SeqCst rows; --csv merges both builds' rows)",
+        nbq_util::mem::mode()
+    );
+}
+
 fn main() -> ExitCode {
     let args = parse_args();
     eprintln!(
@@ -196,6 +223,13 @@ fn main() -> ExitCode {
                 &experiments::ablate_backoff(&args.threads, &args.config),
                 &args.csv,
             );
+            emit(
+                &experiments::backoff_contention(&args.threads, &args.config),
+                &args.csv,
+            );
+        }
+        "ordering" => {
+            run_ordering(&args);
         }
         "modern" => {
             emit(&experiments::modern(&args.threads, &args.config), &args.csv);
@@ -248,6 +282,10 @@ fn main() -> ExitCode {
                 &experiments::ablate_backoff(&args.threads, &args.config),
                 &args.csv,
             );
+            emit(
+                &experiments::backoff_contention(&args.threads, &args.config),
+                &args.csv,
+            );
             emit(&experiments::modern(&args.threads, &args.config), &args.csv);
             emit(
                 &experiments::batch_amortization(&[1, 4, 16, 64], args.config.iterations),
@@ -257,6 +295,7 @@ fn main() -> ExitCode {
                 &experiments::batch_time(&args.threads, &args.config),
                 &args.csv,
             );
+            run_ordering(&args);
         }
         other => {
             eprintln!("unknown experiment: {other}");

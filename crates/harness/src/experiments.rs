@@ -279,6 +279,126 @@ pub fn ablate_scan(record_counts: &[usize], probes: usize) -> Table {
     table
 }
 
+/// `ext-ordering`: the compiled memory-ordering mode's throughput for the
+/// two core queues.
+///
+/// Row labels carry [`nbq_util::mem::mode()`] (`relaxed` for the default
+/// per-site policy, `seqcst` under `--features strict-sc`), so running the
+/// experiment once per build and merging the CSVs (see
+/// [`Table::merge_csv_rows`]) yields the relaxed-vs-SeqCst comparison —
+/// the ordering sweep's measured payoff.
+pub fn ordering(thread_counts: &[usize], base: &WorkloadConfig) -> Table {
+    let mode = nbq_util::mem::mode();
+    let mut table = Table::new(
+        "ext-ordering",
+        "Core queues: per-site relaxed orderings vs strict SeqCst",
+        "threads",
+        "s",
+        thread_counts.iter().map(|&t| t as u64).collect(),
+    );
+    for algo in [Algo::CasQueue, Algo::LlScQueue] {
+        let cells: Vec<Cell> = thread_counts
+            .iter()
+            .map(|&threads| {
+                let cfg = WorkloadConfig { threads, ..*base };
+                Cell::from(algo.run(&cfg))
+            })
+            .collect();
+        table.push_row(&format!("{} [{mode}]", algo.name()), cells);
+    }
+    table
+}
+
+/// Backoff snoozes per completed operation for one core queue under the
+/// paper workload — the contention metric behind the `abl-backoff` and
+/// `ext-ordering` tables.
+fn snoozes_per_op(algo: Algo, backoff: bool, cfg: &WorkloadConfig) -> f64 {
+    use crate::workload::run_once;
+    use nbq_core::{CasQueue, CasQueueConfig, LlScQueue, LlScQueueConfig};
+
+    let cap = cfg.capacity;
+    match algo {
+        Algo::CasQueue => {
+            let q = CasQueue::<u64>::with_config_stats(
+                cap,
+                CasQueueConfig {
+                    backoff,
+                    gate: GatePolicy::PerLink,
+                },
+            );
+            run_once(&q, cfg);
+            q.stats().expect("stats enabled").snapshot().backoff_snoozes
+        }
+        Algo::LlScQueue => {
+            let q = LlScQueue::<u64>::with_config_stats(cap, LlScQueueConfig { backoff });
+            run_once(&q, cfg);
+            q.stats().expect("stats enabled").snapshot().backoff_snoozes
+        }
+        _ => panic!("contention accounting only exists for the core queues"),
+    }
+}
+
+/// `ext-ordering-contention`: backoff snoozes per operation alongside
+/// [`ordering`]'s times, labeled with the same compiled mode. A mode that
+/// wins on time but loses on snoozes is winning on instruction cost, not
+/// on reduced contention.
+pub fn ordering_contention(thread_counts: &[usize], base: &WorkloadConfig) -> Table {
+    let mode = nbq_util::mem::mode();
+    let mut table = Table::new(
+        "ext-ordering-contention",
+        "Core queues: backoff snoozes per op by ordering mode",
+        "threads",
+        "snoozes/op",
+        thread_counts.iter().map(|&t| t as u64).collect(),
+    );
+    for algo in [Algo::CasQueue, Algo::LlScQueue] {
+        let cells: Vec<Cell> = thread_counts
+            .iter()
+            .map(|&threads| {
+                let cfg = WorkloadConfig { threads, ..*base };
+                Cell {
+                    mean: snoozes_per_op(algo, true, &cfg),
+                    stddev: 0.0,
+                }
+            })
+            .collect();
+        table.push_row(&format!("{} [{mode}]", algo.name()), cells);
+    }
+    table
+}
+
+/// `abl-backoff-contention`: snoozes per operation for the [`ablate_backoff`]
+/// grid. The snooze counter ticks even when backoff is disabled (the
+/// would-have-yielded count), so the on/off rows compare like for like.
+pub fn backoff_contention(thread_counts: &[usize], base: &WorkloadConfig) -> Table {
+    let mut table = Table::new(
+        "abl-backoff-contention",
+        "Core queues: backoff snoozes per op, backoff on vs off",
+        "threads",
+        "snoozes/op",
+        thread_counts.iter().map(|&t| t as u64).collect(),
+    );
+    for (algo, backoff, label) in [
+        (Algo::CasQueue, true, "CAS queue, backoff on"),
+        (Algo::CasQueue, false, "CAS queue, backoff off"),
+        (Algo::LlScQueue, true, "LL/SC queue, backoff on"),
+        (Algo::LlScQueue, false, "LL/SC queue, backoff off"),
+    ] {
+        let cells: Vec<Cell> = thread_counts
+            .iter()
+            .map(|&threads| {
+                let cfg = WorkloadConfig { threads, ..*base };
+                Cell {
+                    mean: snoozes_per_op(algo, backoff, &cfg),
+                    stddev: 0.0,
+                }
+            })
+            .collect();
+        table.push_row(label, cells);
+    }
+    table
+}
+
 /// `ext-modern`: the paper's algorithms against modern comparators.
 pub fn modern(thread_counts: &[usize], base: &WorkloadConfig) -> Table {
     time_vs_threads(
@@ -603,6 +723,40 @@ mod tests {
         assert_eq!(t.rows.len(), 4);
         for (label, cells) in &t.rows {
             assert!(cells[0].mean > 0.0, "{label} returned zero time");
+        }
+    }
+
+    #[test]
+    fn ordering_rows_carry_the_compiled_mode() {
+        let t = ordering(&[1, 2], &tiny());
+        assert_eq!(t.rows.len(), 2);
+        let mode = nbq_util::mem::mode();
+        for (label, cells) in &t.rows {
+            assert!(
+                label.ends_with(&format!("[{mode}]")),
+                "row {label} missing mode suffix"
+            );
+            assert!(cells.iter().all(|c| c.mean > 0.0));
+        }
+        #[cfg(feature = "strict-sc")]
+        assert_eq!(mode, "seqcst");
+        #[cfg(not(feature = "strict-sc"))]
+        assert_eq!(mode, "relaxed");
+    }
+
+    #[test]
+    fn contention_tables_report_finite_snoozes() {
+        let t = ordering_contention(&[2], &tiny());
+        assert_eq!(t.rows.len(), 2);
+        let b = backoff_contention(&[2], &tiny());
+        assert_eq!(b.rows.len(), 4);
+        for table in [&t, &b] {
+            for (label, cells) in &table.rows {
+                assert!(
+                    cells.iter().all(|c| c.mean.is_finite() && c.mean >= 0.0),
+                    "{label} snoozes not finite"
+                );
+            }
         }
     }
 

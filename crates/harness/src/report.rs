@@ -174,6 +174,56 @@ impl Table {
         Ok(())
     }
 
+    /// Merges rows from a previously written long-format CSV (the output
+    /// of [`Table::render_csv`]) into this table, skipping rows whose
+    /// label this table already has and cells whose column value is not
+    /// in `self.columns`.
+    ///
+    /// This is how cross-build experiments compose: `ext-ordering` runs
+    /// once per compiled ordering mode (`strict-sc` is a cargo feature,
+    /// not a runtime switch), and the second build folds the first
+    /// build's rows into its table before writing results.
+    pub fn merge_csv_rows(&mut self, csv: &str) {
+        use std::collections::HashMap;
+        // label -> column -> cell, preserving first-seen label order.
+        let mut labels: Vec<String> = Vec::new();
+        let mut cells: HashMap<String, HashMap<u64, Cell>> = HashMap::new();
+        for line in csv.lines().skip(1) {
+            let mut f = line.splitn(4, ',');
+            let (Some(label), Some(col), Some(mean), Some(stddev)) =
+                (f.next(), f.next(), f.next(), f.next())
+            else {
+                continue;
+            };
+            let (Ok(col), Ok(mean), Ok(stddev)) = (
+                col.parse::<u64>(),
+                mean.parse::<f64>(),
+                stddev.parse::<f64>(),
+            ) else {
+                continue;
+            };
+            if self.rows.iter().any(|(l, _)| l == label) {
+                continue;
+            }
+            if !cells.contains_key(label) {
+                labels.push(label.to_string());
+            }
+            cells
+                .entry(label.to_string())
+                .or_default()
+                .insert(col, Cell { mean, stddev });
+        }
+        for label in labels {
+            let row = &cells[&label];
+            // Only merge rows that cover every column of this table;
+            // partial rows would mislabel missing cells as measured.
+            if self.columns.iter().all(|c| row.contains_key(c)) {
+                let cells: Vec<Cell> = self.columns.iter().map(|c| row[c]).collect();
+                self.push_row(&label, cells);
+            }
+        }
+    }
+
     /// Looks up a cell by row label and column value.
     pub fn cell(&self, row: &str, column: u64) -> Option<Cell> {
         let col = self.columns.iter().position(|&c| c == column)?;
@@ -312,6 +362,24 @@ mod tests {
         let json = std::fs::read_to_string(dir.join("t1.json")).unwrap();
         assert!(json.contains("\"id\": \"t1\""));
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn merge_csv_rows_appends_other_modes_and_skips_duplicates_and_partials() {
+        let mut t = sample();
+        let csv = "algorithm,threads,mean_s,stddev\n\
+                   A,1,9,0\nA,2,9,0\nA,4,9,0\n\
+                   C,1,5,0.5\nC,2,6,0.5\nC,4,7,0.5\n\
+                   D,1,8,0\n";
+        t.merge_csv_rows(csv);
+        // A already exists: kept, not overwritten.
+        assert_eq!(t.cell("A", 1).unwrap().mean, 1.0);
+        // C covers all columns: merged.
+        assert_eq!(t.cell("C", 2).unwrap().mean, 6.0);
+        assert_eq!(t.cell("C", 4).unwrap().stddev, 0.5);
+        // D only covers column 1: dropped rather than mislabeled.
+        assert!(t.cell("D", 1).is_none());
+        assert_eq!(t.rows.len(), 3);
     }
 
     #[test]

@@ -41,6 +41,7 @@
 
 #![warn(missing_docs)]
 
+use nbq_util::mem;
 use std::ptr;
 use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -236,7 +237,13 @@ impl Domain {
             // SAFETY: records live as long as the domain.
             let rec = unsafe { &*cur };
             for h in &rec.hazards {
-                let v = h.load(Ordering::Acquire);
+                // HP_SCAN is SC-pinned: together with the SC publish
+                // (`set`) and SC re-validation (`protect_ptr`), the C++17
+                // SC coherence rules guarantee that a reader this scan
+                // missed will observe the unlink (sequenced before the
+                // scan) in its re-validation and retry — so a node can be
+                // freed only if no thread can still reach it.
+                let v = h.load(mem::HP_SCAN);
                 if v != 0 {
                     out.push(v);
                 }
@@ -324,21 +331,27 @@ impl<'d> LocalHazards<'d> {
     }
 
     /// Publishes `addr` in hazard slot `slot`.
+    ///
+    /// This is the one deliberately sequentially-consistent *store* in the
+    /// workspace (`mem::HP_PUBLISH`): Michael's protocol needs the publish
+    /// ordered before the re-validating load on this thread and visible to
+    /// the scanner's SC reads — an acquire/release pair cannot provide
+    /// that store-load ordering.
     #[inline]
     pub fn set(&self, slot: usize, addr: usize) {
-        self.rec().hazards[slot].store(addr, Ordering::SeqCst);
+        self.rec().hazards[slot].store(addr, mem::HP_PUBLISH);
     }
 
     /// Clears hazard slot `slot`.
     #[inline]
     pub fn clear(&self, slot: usize) {
-        self.rec().hazards[slot].store(0, Ordering::Release);
+        self.rec().hazards[slot].store(0, mem::HP_CLEAR);
     }
 
     /// Clears every hazard slot.
     pub fn clear_all(&self) {
         for h in &self.rec().hazards {
-            h.store(0, Ordering::Release);
+            h.store(0, mem::HP_CLEAR);
         }
     }
 
@@ -359,7 +372,10 @@ impl<'d> LocalHazards<'d> {
                 assert!(watchdog < 100_000_000, "protect_ptr livelocked");
             }
             self.set(slot, p as usize);
-            let q = src.load(Ordering::SeqCst);
+            // SC-pinned re-read (`mem::HP_VALIDATE`): pairs with the SC
+            // publish above and the scanner's SC hazard reads to close the
+            // publish/scan store-buffering race.
+            let q = src.load(mem::HP_VALIDATE);
             if q == p {
                 return p;
             }

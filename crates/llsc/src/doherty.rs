@@ -20,6 +20,7 @@
 //! paper solves, at the price the ICPP'08 paper's Fig. 6 quantifies.
 
 use nbq_hazard::{Domain as HazardDomain, LocalHazards};
+use nbq_util::mem;
 use std::sync::atomic::{AtomicPtr, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -341,9 +342,12 @@ impl DohertyCell {
     /// descriptor. Succeeds at most once per token.
     pub fn sc(&self, local: &mut DohertyLocal<'_>, token: DohertyToken, new: u64) -> bool {
         let fresh = local.pool.alloc(new);
+        // CELL_SC: release publishes the fresh descriptor's value (written
+        // in alloc before this swing); the ABA defense is descriptor
+        // *identity* under hazard protection, not ordering strength.
         let ok = self
             .ptr
-            .compare_exchange(token.desc, fresh, Ordering::SeqCst, Ordering::Relaxed)
+            .compare_exchange(token.desc, fresh, mem::CELL_SC, mem::CELL_SC_FAIL)
             .is_ok();
         local.pool.sc_attempts.fetch_add(1, Ordering::Relaxed);
         if ok {
@@ -378,7 +382,7 @@ impl DohertyCell {
     /// Validates that the cell is unwritten since the `LL` that produced
     /// `token`; returns the token back if still valid.
     pub fn validate(&self, token: DohertyToken) -> Result<DohertyToken, DohertyToken> {
-        if self.ptr.load(Ordering::SeqCst) == token.desc {
+        if self.ptr.load(mem::CELL_LL) == token.desc {
             Ok(token)
         } else {
             Err(token)

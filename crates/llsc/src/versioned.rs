@@ -21,7 +21,8 @@
 //! guarantee that the ABA problem will not occur, [but] its likelihood is
 //! extremely remote").
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use nbq_util::mem;
+use std::sync::atomic::AtomicU64;
 
 /// Number of value bits a cell can store.
 pub const VALUE_BITS: u32 = 48;
@@ -84,7 +85,11 @@ impl VersionedCell {
     /// store-conditional.
     #[inline]
     pub fn ll(&self) -> (u64, LinkToken) {
-        let snapshot = self.state.load(Ordering::SeqCst);
+        // CELL_LL (acquire): pairs with CELL_SC's release so a node
+        // pointer read out of a queue slot has its pointee visible.
+        // Staleness is harmless — any intervening write bumps the version
+        // and the paired SC fails.
+        let snapshot = self.state.load(mem::CELL_LL);
         (snapshot & VALUE_MASK, LinkToken { snapshot })
     }
 
@@ -100,12 +105,15 @@ impl VersionedCell {
     pub fn sc(&self, token: LinkToken, new: u64) -> bool {
         debug_assert!(new <= VALUE_MASK, "SC value exceeds 48 bits: {new:#x}");
         let next_version = (token.snapshot >> VALUE_BITS).wrapping_add(1) as u16;
+        // CELL_SC (AcqRel success): release publishes the payload staged
+        // before the SC; acquire orders the winner behind the value it
+        // replaces. Failure transfers nothing — the caller must re-LL.
         self.state
             .compare_exchange(
                 token.snapshot,
                 pack(new & VALUE_MASK, next_version),
-                Ordering::SeqCst,
-                Ordering::Relaxed,
+                mem::CELL_SC,
+                mem::CELL_SC_FAIL,
             )
             .is_ok()
     }
@@ -113,14 +121,14 @@ impl VersionedCell {
     /// Plain read of the current value (no link established).
     #[inline]
     pub fn load(&self) -> u64 {
-        self.state.load(Ordering::SeqCst) & VALUE_MASK
+        self.state.load(mem::CELL_LL) & VALUE_MASK
     }
 
     /// Checks whether the cell is still unwritten since `token`'s `LL`,
     /// without consuming the right to `SC` (the token is returned).
     #[inline]
     pub fn validate(&self, token: LinkToken) -> Option<LinkToken> {
-        if self.state.load(Ordering::SeqCst) == token.snapshot {
+        if self.state.load(mem::CELL_LL) == token.snapshot {
             Some(token)
         } else {
             None
@@ -136,7 +144,7 @@ impl VersionedCell {
 
     /// Current version counter (test/diagnostic use).
     pub fn version(&self) -> u16 {
-        (self.state.load(Ordering::SeqCst) >> VALUE_BITS) as u16
+        (self.state.load(mem::CELL_LL) >> VALUE_BITS) as u16
     }
 }
 

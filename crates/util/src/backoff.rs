@@ -21,6 +21,10 @@ const YIELD_LIMIT: u32 = 10;
 #[derive(Debug)]
 pub struct Backoff {
     step: u32,
+    /// Total `snooze` invocations since construction (reset does not
+    /// clear it): every call marks one contention event — a failed
+    /// CAS/SC that sent the caller around its retry loop.
+    snoozes: u64,
     enabled: bool,
 }
 
@@ -32,22 +36,27 @@ impl Default for Backoff {
 
 impl Backoff {
     /// Creates a fresh backoff counter.
+    #[inline]
     pub const fn new() -> Self {
         Self {
             step: 0,
+            snoozes: 0,
             enabled: true,
         }
     }
 
     /// Creates a backoff object that does nothing, for the ablation study.
+    #[inline]
     pub const fn disabled() -> Self {
         Self {
             step: 0,
+            snoozes: 0,
             enabled: false,
         }
     }
 
     /// Resets the counter (call after a successful operation).
+    #[inline]
     pub fn reset(&mut self) {
         self.step = 0;
     }
@@ -57,7 +66,9 @@ impl Backoff {
     /// Spins for the first few steps, then yields the thread so a preempted
     /// peer holding the "logical turn" (e.g. a lagging `Tail` updater) can
     /// run.
+    #[inline]
     pub fn snooze(&mut self) {
+        self.snoozes += 1;
         if !self.enabled {
             return;
         }
@@ -75,6 +86,7 @@ impl Backoff {
 
     /// Spins without ever yielding; for very short waits where the other
     /// party is known to be mid-instruction rather than descheduled.
+    #[inline]
     pub fn spin(&mut self) {
         if !self.enabled {
             return;
@@ -89,8 +101,19 @@ impl Backoff {
 
     /// True once the backoff has saturated; callers doing bounded helping
     /// can use this to switch strategy (e.g. from spinning to yielding).
+    #[inline]
     pub fn is_completed(&self) -> bool {
         self.step > YIELD_LIMIT
+    }
+
+    /// How many times `snooze` ran since construction — one per
+    /// contention-induced retry, counted whether or not the backoff is
+    /// enabled so the `abl-backoff` ablation can compare contention at
+    /// equal footing. The queues forward this into
+    /// `OpStats.backoff_snoozes`.
+    #[inline]
+    pub fn snoozes(&self) -> u64 {
+        self.snoozes
     }
 }
 
@@ -144,5 +167,19 @@ mod tests {
         let mut b = Backoff::default();
         b.snooze();
         assert!(!b.is_completed());
+    }
+
+    #[test]
+    fn snooze_count_survives_reset_and_counts_disabled_calls() {
+        let mut b = Backoff::new();
+        for _ in 0..3 {
+            b.snooze();
+        }
+        b.reset();
+        b.snooze();
+        assert_eq!(b.snoozes(), 4, "reset clears the step, not the count");
+        let mut d = Backoff::disabled();
+        d.snooze();
+        assert_eq!(d.snoozes(), 1, "contention is counted even when disabled");
     }
 }

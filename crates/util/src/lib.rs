@@ -16,11 +16,15 @@
 //! * [`rng::SplitMix64`] — tiny deterministic RNG for fault injection and
 //!   workload shuffling without pulling `rand` into the core crates.
 //! * [`stats`] — mean/stddev/min/max summaries used by the harness.
+//! * [`mem`] — the per-site memory-ordering policy every hot path names
+//!   its orderings through; the `strict-sc` cargo feature maps all of
+//!   them back to `SeqCst`.
 
 #![warn(missing_docs)]
 
 pub mod backoff;
 pub mod blocking;
+pub mod mem;
 pub mod pad;
 pub mod queue;
 pub mod rng;

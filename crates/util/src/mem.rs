@@ -1,0 +1,209 @@
+//! Per-site memory-ordering policy for the whole workspace.
+//!
+//! Every atomic in the hot paths names its ordering through this module
+//! instead of writing `Ordering::…` inline. Each name stands for one
+//! *class* of sites with one invariant, so the ordering argument lives in
+//! exactly one place (here and in DESIGN.md §7, "per-site ordering
+//! argument") rather than being re-derived at 50 call sites.
+//!
+//! Two groups of names:
+//!
+//! * **Relaxable** — sites whose invariant is a plain acquire/release
+//!   pairing (payload publication, monotone index counters). These carry
+//!   the weakest ordering the invariant permits by default and are mapped
+//!   back to `SeqCst` by the `strict-sc` cargo feature, the
+//!   debugging/triage escape hatch: if a concurrency bug reproduces under
+//!   the default build but not under `--features strict-sc`, the ordering
+//!   relaxation is the prime suspect.
+//! * **SC-pinned** — sites that participate in a store-buffering (Dekker)
+//!   handshake, where acquire/release provably cannot exclude both sides
+//!   missing each other's writes: hazard-pointer publication (Michael,
+//!   TPDS 2004, Fig. 2 — the publish/re-validate vs. unlink/scan pair)
+//!   and the `CasQueue` reservation-tag/refcount handshake (paper lines
+//!   L7–L12 vs. RR2), which is the same pattern. These are `SeqCst` in
+//!   *both* modes. On x86-64 and AArch64 this pinning is free where it
+//!   lands on RMWs and loads (`lock cmpxchg` / `ldar` regardless); the
+//!   measurable cost of `SeqCst` is on plain *stores*, none of which are
+//!   pinned.
+
+use core::sync::atomic::Ordering;
+
+/// Expands to one `pub const` per named site: the given ordering by
+/// default, `SeqCst` under `--features strict-sc`.
+macro_rules! relaxable {
+    ($($(#[$doc:meta])* $name:ident = $ord:ident;)*) => {
+        $(
+            $(#[$doc])*
+            #[cfg(not(feature = "strict-sc"))]
+            pub const $name: Ordering = Ordering::$ord;
+            $(#[$doc])*
+            #[cfg(feature = "strict-sc")]
+            pub const $name: Ordering = Ordering::SeqCst;
+        )*
+    };
+}
+
+relaxable! {
+    /// Loads of the monotone `Head`/`Tail` counters (paper lines E5/E6,
+    /// D5/D6, the E10/D10 rechecks, batch cursor re-anchoring, and
+    /// `len()`/`is_empty()`). The counters only grow and every consequent
+    /// slot write is validated by the slot protocol itself (tag-expecting
+    /// CAS / versioned SC), so a stale value costs a retry, never safety.
+    INDEX_LOAD = Acquire;
+    /// Success ordering of `Head`/`Tail` CASes (E15/E17, D15/D17 helping,
+    /// and the batch jump-CAS publication). Release publishes the filled
+    /// (resp. drained) slots to threads that acquire-load the index;
+    /// acquire on the RMW keeps helpers ordered behind the slots they
+    /// publish past.
+    INDEX_CAS = AcqRel;
+    /// Failure ordering of index CASes: the loaded value is either
+    /// discarded or re-validated through `INDEX_LOAD` on the next lap.
+    INDEX_CAS_FAIL = Relaxed;
+    /// First read of an array slot (paper line L5; E7/D7 on the
+    /// baselines). Acquire pairs with the release in `SLOT_CAS` /
+    /// `TAG_CAS` so a node pointer read here has its pointee's contents
+    /// visible.
+    SLOT_LOAD = Acquire;
+    /// Success ordering of slot CASes in the *baseline* queues
+    /// (Michael–Scott link/swing, Shann, Tsigas–Zhang): release publishes
+    /// the enqueued payload, acquire transfers ownership to the dequeuer.
+    /// (`CasQueue` slot CASes are `TAG_CAS`, which is SC-pinned.)
+    SLOT_CAS = AcqRel;
+    /// Failure ordering of baseline slot CASes (value is re-read via
+    /// `SLOT_LOAD` before reuse).
+    SLOT_CAS_FAIL = Relaxed;
+    /// `VersionedCell::ll` / `load` / `validate` (Algorithm 1's LL, line
+    /// E7/D7): acquire pairs with `CELL_SC`'s release so the 48-bit node
+    /// pointer's contents are visible to the linking thread.
+    CELL_LL = Acquire;
+    /// `VersionedCell::sc` / `DohertyCell::sc` success (the SC of lines
+    /// E13/D13): release publishes the payload written before the SC;
+    /// acquire orders the successful writer behind the value it replaced.
+    CELL_SC = AcqRel;
+    /// SC failure ordering: a failed SC transfers no ownership; the
+    /// caller must re-LL (`CELL_LL`) before retrying.
+    CELL_SC_FAIL = Relaxed;
+    /// Owner's write of its `LLSCvar.node` placeholder (line L10): release
+    /// so a reader that acquire-loads it (`NODE_READ`) after the SC-pinned
+    /// handshake sees the value the owner staged. This is the single
+    /// hottest relaxation in the workspace: on x86-64 it turns an
+    /// `xchg`/`mfence` per operation into a plain store.
+    NODE_PUBLISH = Release;
+    /// Reader's copy of a foreign `LLSCvar.node` (line L8), paired with
+    /// `NODE_PUBLISH`.
+    NODE_READ = Acquire;
+    /// `LLSCvar.r` / hazard-record release decrements (lines L13–L14,
+    /// RR3, DR2, HP record release): release so the reference holder's
+    /// reads complete before the variable becomes recyclable; acquire on
+    /// the RMW so the recycler's claim (`register`'s 0→1 CAS) observes
+    /// them.
+    REFCOUNT_RELEASE = AcqRel;
+    /// Clearing a hazard slot after the protected access: release keeps
+    /// the protected reads ordered before the slot is surrendered to the
+    /// scanner.
+    HP_CLEAR = Release;
+}
+
+/// CASes that install or remove a `CasQueue` reservation tag in a slot
+/// (line L12's tag install, the own-tag "SC" of E13/D13, and every
+/// restore). SC-pinned: each tag transition is one of the four edges of
+/// the reader/owner store-buffering cycle (see [`REFCOUNT_GATE`]); the
+/// total order over these SC operations is what forbids a reader trusting
+/// a re-installed tag while the owner has already passed its gate. Free
+/// pinning: CAS compiles to `lock cmpxchg`/`ldaxr;stlxr` at `AcqRel`
+/// already.
+pub const TAG_CAS: Ordering = Ordering::SeqCst;
+/// Failure ordering of tag CASes: the observed value is re-examined
+/// through `SLOT_LOAD`/`TAG_REVALIDATE` before any further trust.
+pub const TAG_CAS_FAIL: Ordering = Ordering::Relaxed;
+/// Reader's re-read of the slot *after* its refcount increment (the
+/// second half of the L5–L7 correction; see DESIGN.md §3). SC-pinned:
+/// this is the reader's "load" edge of the store-buffering cycle — at
+/// `Acquire` both the reader and the owner could miss each other's
+/// writes. Free pinning: SC loads are `mov`/`ldar`.
+pub const TAG_REVALIDATE: Ordering = Ordering::SeqCst;
+/// Reader's `FetchAndAdd(&var->r, 1)` (line L7). SC-pinned: the reader's
+/// "store" edge of the cycle, the exact analogue of hazard-pointer
+/// publication. Free pinning: RMW.
+pub const REFCOUNT_ACQUIRE: Ordering = Ordering::SeqCst;
+/// Owner's `r == 1` check in `ReRegister` (line RR2), run before every
+/// link attempt (DESIGN.md §3 correction). SC-pinned: the owner's "load"
+/// edge — if this read misses a reader's increment, the SC total order
+/// forces that reader's `TAG_REVALIDATE` to see the owner's tag removal
+/// and retry. Free pinning: SC loads are `mov`/`ldar`.
+pub const REFCOUNT_GATE: Ordering = Ordering::SeqCst;
+/// Publishing a hazard pointer (Michael, TPDS 2004: the store of the
+/// protected address). SC-pinned per the paper's Fig. 2 requirement — the
+/// store must be ordered before the re-validating load on the reader side
+/// and before the scanner's reads on the reclaimer side; this is the one
+/// SC *store* we keep, and it is inherent to hazard pointers, not to the
+/// queues.
+pub const HP_PUBLISH: Ordering = Ordering::SeqCst;
+/// The re-read of the source pointer that validates a just-published
+/// hazard (`protect_ptr`'s loop load). SC-pinned: reader's "load" edge.
+pub const HP_VALIDATE: Ordering = Ordering::SeqCst;
+/// The scanner's reads of all published hazard slots. SC-pinned: with
+/// the unlinking CAS sequenced before the scan, the C++17 SC-fence/SC-op
+/// coherence rules guarantee a reader that the scan missed will fail its
+/// `HP_VALIDATE` re-read. Free pinning: SC loads are `mov`/`ldar`.
+pub const HP_SCAN: Ordering = Ordering::SeqCst;
+
+/// The ordering mode this workspace was compiled with: `"relaxed"` for
+/// the per-site policy above, `"seqcst"` under `--features strict-sc`.
+/// The `abl-ordering` experiment stamps its rows with this so results
+/// from the two builds can sit in one table.
+pub fn mode() -> &'static str {
+    if cfg!(feature = "strict-sc") {
+        "seqcst"
+    } else {
+        "relaxed"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relaxable_names_follow_the_feature() {
+        if cfg!(feature = "strict-sc") {
+            assert_eq!(INDEX_LOAD, Ordering::SeqCst);
+            assert_eq!(INDEX_CAS, Ordering::SeqCst);
+            assert_eq!(CELL_SC, Ordering::SeqCst);
+            assert_eq!(NODE_PUBLISH, Ordering::SeqCst);
+            assert_eq!(mode(), "seqcst");
+        } else {
+            assert_eq!(INDEX_LOAD, Ordering::Acquire);
+            assert_eq!(INDEX_CAS, Ordering::AcqRel);
+            assert_eq!(CELL_SC, Ordering::AcqRel);
+            assert_eq!(NODE_PUBLISH, Ordering::Release);
+            assert_eq!(mode(), "relaxed");
+        }
+    }
+
+    #[test]
+    fn dekker_sites_are_pinned_in_every_mode() {
+        // The store-buffering participants must stay SeqCst even in the
+        // relaxed build; a regression here is a memory-safety bug, not a
+        // performance choice.
+        assert_eq!(TAG_CAS, Ordering::SeqCst);
+        assert_eq!(TAG_REVALIDATE, Ordering::SeqCst);
+        assert_eq!(REFCOUNT_ACQUIRE, Ordering::SeqCst);
+        assert_eq!(REFCOUNT_GATE, Ordering::SeqCst);
+        assert_eq!(HP_PUBLISH, Ordering::SeqCst);
+        assert_eq!(HP_VALIDATE, Ordering::SeqCst);
+        assert_eq!(HP_SCAN, Ordering::SeqCst);
+    }
+
+    #[test]
+    fn cas_failure_orderings_are_valid_for_compare_exchange() {
+        // compare_exchange rejects Release/AcqRel failure orderings at
+        // runtime; make sure no feature combination produces one.
+        for fail in [INDEX_CAS_FAIL, SLOT_CAS_FAIL, CELL_SC_FAIL, TAG_CAS_FAIL] {
+            assert!(matches!(
+                fail,
+                Ordering::Relaxed | Ordering::Acquire | Ordering::SeqCst
+            ));
+        }
+    }
+}

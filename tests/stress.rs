@@ -315,3 +315,179 @@ fn mixed_queue_sizes_under_contention() {
         assert!(q.is_empty(), "capacity {capacity}");
     }
 }
+
+// ---------------------------------------------------------------------
+// Memory-ordering litmus tests (DESIGN.md §7).
+//
+// Classic two-thread message passing through each queue whose hot paths
+// run under the per-site relaxed policy in `nbq_util::mem`: the producer
+// fills a heap payload with *plain* (non-atomic) stores and enqueues it;
+// the consumer asserts every field is consistent with the first. If an
+// enqueue-side publish were weaker than release or a dequeue-side read
+// weaker than acquire, the consumer could observe a torn/stale payload.
+// The suite runs under both the relaxed build and `--features strict-sc`
+// (CI's matrix), so a failure only under one mode indicts the policy
+// rather than the algorithm.
+
+/// Heap payload written with plain stores; `b`/`c` are derived from `a`
+/// so any stale field shows up as an internal inconsistency.
+struct Payload {
+    a: u64,
+    b: u64,
+    c: u64,
+}
+
+fn mp_litmus<Q: nbq::ConcurrentQueue<Box<Payload>>>(q: &Q, rounds: u64) {
+    std::thread::scope(|s| {
+        s.spawn(|| {
+            let mut h = q.handle();
+            for i in 0..rounds {
+                let mut p = Box::new(Payload { a: 0, b: 0, c: 0 });
+                p.a = i;
+                p.b = i.wrapping_mul(3);
+                p.c = i ^ 0xdead_beef;
+                let mut v = p;
+                loop {
+                    match h.enqueue(v) {
+                        Ok(()) => break,
+                        Err(e) => {
+                            v = e.into_inner();
+                            std::hint::spin_loop();
+                        }
+                    }
+                }
+            }
+        });
+        s.spawn(|| {
+            let mut h = q.handle();
+            for i in 0..rounds {
+                let p = loop {
+                    if let Some(p) = h.dequeue() {
+                        break p;
+                    }
+                    std::hint::spin_loop();
+                };
+                // Single producer + single consumer: FIFO fixes the order.
+                assert_eq!(p.a, i, "FIFO order violated");
+                assert_eq!(p.b, i.wrapping_mul(3), "stale payload field b");
+                assert_eq!(p.c, i ^ 0xdead_beef, "stale payload field c");
+            }
+        });
+    });
+}
+
+const LITMUS_ROUNDS: u64 = 20_000;
+
+#[test]
+fn litmus_message_passing_cas_queue() {
+    mp_litmus(&CasQueue::<Box<Payload>>::with_capacity(64), LITMUS_ROUNDS);
+}
+
+#[test]
+fn litmus_message_passing_llsc_queue() {
+    mp_litmus(&LlScQueue::<Box<Payload>>::with_capacity(64), LITMUS_ROUNDS);
+}
+
+#[test]
+fn litmus_message_passing_shann() {
+    mp_litmus(
+        &ShannQueue::<Box<Payload>>::with_capacity(64),
+        LITMUS_ROUNDS,
+    );
+}
+
+#[test]
+fn litmus_message_passing_tsigas_zhang() {
+    mp_litmus(
+        &TsigasZhangQueue::<Box<Payload>>::with_capacity_and_reuse_delay(
+            64,
+            2 * LITMUS_ROUNDS as usize,
+        ),
+        LITMUS_ROUNDS,
+    );
+}
+
+#[test]
+fn litmus_message_passing_ms_hazard() {
+    mp_litmus(
+        &MsQueue::<Box<Payload>>::new(ScanMode::Sorted),
+        LITMUS_ROUNDS,
+    );
+}
+
+#[test]
+fn litmus_message_passing_ms_doherty() {
+    mp_litmus(&MsDohertyQueue::<Box<Payload>>::new(), LITMUS_ROUNDS);
+}
+
+#[test]
+fn weak_cell_fault_injection_mpmc() {
+    // LL/SC failure paths under the relaxed orderings: WeakCell injects
+    // spurious SC failures (CELL_SC_FAIL edges) on top of real contention
+    // from 4 threads, so the E10/D10 retry arms and the
+    // publish-helping paths all execute under the policy being validated.
+    use nbq::llsc::{FaultPlan, WeakCell};
+    use nbq_core::LlScQueueConfig;
+
+    let q: nbq::LlScQueue<u64, WeakCell> =
+        nbq::LlScQueue::with_cells(32, LlScQueueConfig::default(), |i, v| {
+            WeakCell::new(
+                v,
+                FaultPlan::Probability {
+                    seed: 0x5eed ^ i as u64,
+                    num: 1,
+                    den: 4,
+                },
+            )
+        });
+    let produced = AtomicUsize::new(0);
+    let consumed = AtomicUsize::new(0);
+    let sum_in = AtomicUsize::new(0);
+    let sum_out = AtomicUsize::new(0);
+    const PER_THREAD: usize = 3_000;
+    std::thread::scope(|s| {
+        for t in 0..2usize {
+            let (q, produced, sum_in) = (&q, &produced, &sum_in);
+            s.spawn(move || {
+                let mut h = q.handle();
+                for i in 0..PER_THREAD {
+                    let v = (t * PER_THREAD + i) as u64;
+                    while h.enqueue(v).is_err() {
+                        std::thread::yield_now();
+                    }
+                    produced.fetch_add(1, Ordering::Relaxed);
+                    sum_in.fetch_add(v as usize, Ordering::Relaxed);
+                }
+            });
+        }
+        for _ in 0..2usize {
+            let (q, produced, consumed, sum_out) = (&q, &produced, &consumed, &sum_out);
+            s.spawn(move || {
+                let mut h = q.handle();
+                loop {
+                    match h.dequeue() {
+                        Some(v) => {
+                            consumed.fetch_add(1, Ordering::Relaxed);
+                            sum_out.fetch_add(v as usize, Ordering::Relaxed);
+                        }
+                        None => {
+                            if produced.load(Ordering::Relaxed) == 2 * PER_THREAD
+                                && consumed.load(Ordering::Relaxed) == 2 * PER_THREAD
+                            {
+                                break;
+                            }
+                            std::thread::yield_now();
+                        }
+                    }
+                }
+            });
+        }
+    });
+    assert_eq!(consumed.load(Ordering::Relaxed), 2 * PER_THREAD);
+    assert_eq!(
+        sum_in.load(Ordering::Relaxed),
+        sum_out.load(Ordering::Relaxed),
+        "values lost or duplicated through spurious-failure retries"
+    );
+    assert!(q.is_empty());
+}
