@@ -1,0 +1,84 @@
+//! Bench target for the sharded multi-lane frontend: paper-workload
+//! round trips per second as the lane count grows, against the
+//! single-lane CAS queue reference.
+//!
+//! Every lane is a complete paper queue (all §3 ABA defenses intact);
+//! the frontend only spreads contention, so the win should appear as
+//! thread count climbs past what one `Head`/`Tail` pair absorbs and
+//! each handle settles onto its own lane. Lane count 1 is the
+//! degenerate frontend — its gap to the bare queue is the dispatch
+//! overhead.
+
+use criterion::{BenchmarkId, Criterion};
+use nbq_bench::criterion;
+use nbq_core::{CasQueue, ShardedQueue};
+use nbq_util::{ConcurrentQueue, QueueHandle};
+use std::sync::Barrier;
+
+/// Lane counts swept (1 = dispatch-overhead reference).
+const LANE_COUNTS: &[usize] = &[1, 2, 4, 8];
+
+/// Contending threads (past the single-queue saturation point).
+const THREADS: usize = 8;
+
+/// Enqueue/dequeue pairs per thread per measured iteration.
+const PAIRS_PER_THREAD: usize = 256;
+
+/// Total capacity split across lanes, matching the harness experiment.
+const CAPACITY: usize = 1024;
+
+/// One paper-style burst workload: every thread moves
+/// `PAIRS_PER_THREAD` values through the queue in bursts of 5.
+fn contended_round_trips<Q: ConcurrentQueue<u64>>(queue: &Q) {
+    let barrier = Barrier::new(THREADS);
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let barrier = &barrier;
+            s.spawn(move || {
+                let mut h = queue.handle();
+                let mut seq: u64 = 0;
+                barrier.wait();
+                for _ in 0..PAIRS_PER_THREAD / 5 {
+                    for _ in 0..5 {
+                        let v = ((t as u64) << 40) | seq;
+                        seq += 1;
+                        while h.enqueue(v).is_err() {
+                            std::thread::yield_now();
+                        }
+                    }
+                    for _ in 0..5 {
+                        while h.dequeue().is_none() {
+                            std::thread::yield_now();
+                        }
+                    }
+                }
+            });
+        }
+    });
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("abl_sharding");
+    group.throughput(criterion::Throughput::Elements(
+        (THREADS * PAIRS_PER_THREAD * 2) as u64,
+    ));
+
+    group.bench_function(BenchmarkId::new("single-lane CAS queue", 0), |b| {
+        let q = CasQueue::<u64>::with_capacity(CAPACITY);
+        b.iter(|| contended_round_trips(&q))
+    });
+    for &lanes in LANE_COUNTS {
+        group.bench_function(BenchmarkId::new("sharded-cas", lanes), |b| {
+            let per_lane = CAPACITY.div_ceil(lanes);
+            let q = ShardedQueue::with_lanes(lanes, |_| CasQueue::<u64>::with_capacity(per_lane));
+            b.iter(|| contended_round_trips(&q))
+        });
+    }
+    group.finish();
+}
+
+fn main() {
+    let mut c = criterion();
+    bench(&mut c);
+    c.final_summary();
+}

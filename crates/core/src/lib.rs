@@ -17,6 +17,11 @@
 //! Both implement [`nbq_util::ConcurrentQueue`], the workspace-wide trait
 //! the harness and tests drive every algorithm through.
 //!
+//! For scaling past the single `Head`/`Tail` pair both algorithms share,
+//! [`ShardedQueue`] composes `N` independent lanes of either queue into a
+//! relaxed-FIFO frontend (per-lane FIFO strict, per-producer FIFO
+//! preserved on-lane, cross-lane order advisory — see [`sharded`]).
+//!
 //! ```
 //! use nbq_core::CasQueue;
 //! use nbq_util::{ConcurrentQueue, QueueHandle};
@@ -52,7 +57,9 @@ pub mod cas_queue;
 pub mod llsc_queue;
 pub mod opstats;
 pub mod registry;
+pub mod sharded;
 
 pub use cas_queue::{CasHandle, CasQueue, CasQueueConfig, GatePolicy};
 pub use llsc_queue::{LlScHandle, LlScQueue, LlScQueueConfig};
 pub use opstats::{OpStats, OpStatsSnapshot};
+pub use sharded::{BatchPolicy, ShardedConfig, ShardedHandle, ShardedQueue};

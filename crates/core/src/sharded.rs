@@ -1,0 +1,592 @@
+//! A sharded multi-lane frontend over any workspace queue.
+//!
+//! Both paper algorithms funnel every operation through a single
+//! `Head`/`Tail` pair, so throughput plateaus once those two cache lines
+//! saturate — the bottleneck that motivates ring-segmented designs such
+//! as Nikolaev's SCQ/wCQ. [`ShardedQueue`] composes `N` independent
+//! *lanes* (each any [`ConcurrentQueue`], e.g. a [`crate::CasQueue`] or
+//! [`crate::LlScQueue`]) behind one queue interface, spreading the index
+//! contention across `N` `Head`/`Tail` pairs while every lane keeps the
+//! paper's §3 ABA defenses intact unchanged.
+//!
+//! # The relaxed-FIFO contract
+//!
+//! Sharding trades global FIFO order for scalability. Precisely:
+//!
+//! * **Per-lane FIFO is strict.** Each lane is a linearizable FIFO
+//!   queue; nothing about its protocol changes.
+//! * **Per-producer FIFO is preserved while a producer stays on its
+//!   lane.** A handle owns an *affinity cursor* selecting its lane; all
+//!   of a producer's items pass through that single FIFO lane and are
+//!   therefore dequeued in enqueue order — machine-checked by
+//!   `nbq_lincheck::check_per_producer_fifo` on recorded histories.
+//!   Handles created with [`ShardedQueue::handle_pinned`] (or with
+//!   `steal_attempts == 0`) never leave their lane, so their per-producer
+//!   order is unconditional.
+//! * **Bounded work-stealing relaxes order only at migration points.**
+//!   A default handle that finds its lane `Full` (enqueue) or empty
+//!   (dequeue) probes up to `steal_attempts` neighboring lanes and
+//!   *migrates* its cursor to the lane that served it. Items enqueued
+//!   after a migration are ordered after the migration only within the
+//!   new lane; the two lane-resident runs may interleave at the
+//!   consumers. Migration happens at most once per `Full`/empty
+//!   encounter, so the relaxation is proportional to how often lanes
+//!   overflow or drain, not to the op count.
+//! * **Cross-lane order is advisory.** Two values enqueued by different
+//!   producers on different lanes may be dequeued in either order even
+//!   when the enqueues did not overlap in real time. Consumers that need
+//!   global FIFO must use a single-lane queue.
+//!
+//! Conservation is unconditional: no value is ever lost, duplicated, or
+//! invented, because every value lives in exactly one lane and lanes are
+//! linearizable (`nbq_lincheck::check_value_integrity` holds on every
+//! recorded history).
+//!
+//! # Batches
+//!
+//! The native [`QueueHandle::enqueue_batch`]/[`QueueHandle::dequeue_batch`]
+//! overrides forward to the lanes' own native batch paths, so the
+//! amortized index publication from the batch API composes with the
+//! sharded frontend. [`BatchPolicy`] selects how a batch maps to lanes:
+//!
+//! * [`BatchPolicy::Pin`] (default) hands the whole batch to the
+//!   affinity lane (overflowing into stolen lanes only on `Full`),
+//!   keeping the batch contiguous per lane and per-producer order exact.
+//! * [`BatchPolicy::Stripe`] splits a batch into contiguous chunks round-
+//!   robined across all lanes, maximizing lane parallelism for bulk
+//!   loads at the cost of cross-chunk ordering.
+
+use core::fmt;
+use core::marker::PhantomData;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use nbq_util::{BatchFull, CachePadded, ConcurrentQueue, Full, QueueHandle};
+
+/// How a batch call maps onto lanes. See the [module docs](self).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BatchPolicy {
+    /// Whole batch to the affinity lane; overflow spills into stolen
+    /// lanes only on `Full`. Preserves per-producer batch contiguity.
+    #[default]
+    Pin,
+    /// Split the batch into contiguous chunks striped across all lanes
+    /// starting at the affinity lane. Chunks stay internally ordered;
+    /// cross-chunk order is advisory.
+    Stripe,
+}
+
+/// Construction parameters for [`ShardedQueue`].
+#[derive(Debug, Clone, Copy)]
+pub struct ShardedConfig {
+    /// Number of independent lanes (≥ 1).
+    pub lanes: usize,
+    /// How many neighboring lanes an operation may probe after its
+    /// affinity lane reports `Full`/empty. `0` pins every handle to its
+    /// lane (strict per-producer FIFO, but a full/empty lane surfaces
+    /// immediately as `Full`/`None`). Values ≥ `lanes - 1` probe every
+    /// other lane.
+    pub steal_attempts: usize,
+    /// Batch-to-lane mapping policy.
+    pub batch_policy: BatchPolicy,
+}
+
+impl ShardedConfig {
+    /// A config with `lanes` lanes, full stealing, and pinned batches —
+    /// the setup the `ext-sharding` experiment sweeps.
+    pub fn with_lanes(lanes: usize) -> Self {
+        Self {
+            lanes,
+            steal_attempts: lanes.saturating_sub(1),
+            batch_policy: BatchPolicy::Pin,
+        }
+    }
+}
+
+impl Default for ShardedConfig {
+    fn default() -> Self {
+        Self::with_lanes(4)
+    }
+}
+
+/// A sharded multi-lane frontend composing `N` independent FIFO lanes
+/// into one relaxed-FIFO queue. See the [module docs](self) for the
+/// ordering contract.
+pub struct ShardedQueue<T: Send, Q: ConcurrentQueue<T>> {
+    /// Each lane on its own cache line(s): a lane's `Head`/`Tail` traffic
+    /// must not false-share with its neighbor's.
+    lanes: Box<[CachePadded<Q>]>,
+    /// Round-robin assignment cursor for new handles.
+    next_handle: AtomicUsize,
+    config: ShardedConfig,
+    _marker: PhantomData<fn(T) -> T>,
+}
+
+impl<T: Send, Q: ConcurrentQueue<T>> ShardedQueue<T, Q> {
+    /// Builds a sharded queue whose lane `i` is `factory(i)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.lanes == 0`.
+    pub fn with_config(config: ShardedConfig, factory: impl FnMut(usize) -> Q) -> Self {
+        assert!(config.lanes > 0, "a sharded queue needs at least one lane");
+        let lanes: Box<[CachePadded<Q>]> = (0..config.lanes)
+            .map(factory)
+            .map(CachePadded::new)
+            .collect();
+        Self {
+            lanes,
+            next_handle: AtomicUsize::new(0),
+            config,
+            _marker: PhantomData,
+        }
+    }
+
+    /// [`ShardedQueue::with_config`] with the default full-steal,
+    /// pin-batch configuration for `lanes` lanes.
+    pub fn with_lanes(lanes: usize, factory: impl FnMut(usize) -> Q) -> Self {
+        Self::with_config(ShardedConfig::with_lanes(lanes), factory)
+    }
+
+    /// Number of lanes.
+    pub fn lanes(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Direct access to lane `i` (for per-lane statistics and tests —
+    /// each lane is itself a complete [`ConcurrentQueue`]).
+    pub fn lane(&self, i: usize) -> &Q {
+        &self.lanes[i]
+    }
+
+    /// A handle pinned to `lane`: it never steals, so its per-producer
+    /// FIFO order is unconditional and a full/empty lane surfaces
+    /// immediately as `Full`/`None`.
+    pub fn handle_pinned(&self, lane: usize) -> ShardedHandle<'_, T, Q> {
+        assert!(lane < self.lanes.len(), "lane {lane} out of range");
+        self.make_handle(lane, 0)
+    }
+
+    fn make_handle(&self, cursor: usize, steal_attempts: usize) -> ShardedHandle<'_, T, Q> {
+        ShardedHandle {
+            handles: self.lanes.iter().map(|l| l.handle()).collect(),
+            cursor,
+            steal_attempts,
+            batch_policy: self.config.batch_policy,
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<T: Send, Q: ConcurrentQueue<T> + fmt::Debug> fmt::Debug for ShardedQueue<T, Q> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ShardedQueue")
+            .field("lanes", &self.lanes)
+            .field("config", &self.config)
+            .finish()
+    }
+}
+
+/// Per-thread handle to a [`ShardedQueue`]: one inner handle per lane
+/// plus the affinity cursor steering lane selection.
+pub struct ShardedHandle<'q, T: Send, Q: ConcurrentQueue<T> + 'q> {
+    handles: Vec<Q::Handle<'q>>,
+    /// Affinity lane; migrates to the serving lane on successful steals.
+    cursor: usize,
+    steal_attempts: usize,
+    batch_policy: BatchPolicy,
+    _marker: PhantomData<fn(T) -> T>,
+}
+
+impl<'q, T: Send, Q: ConcurrentQueue<T> + 'q> ShardedHandle<'q, T, Q> {
+    /// The lane this handle currently prefers.
+    pub fn affinity(&self) -> usize {
+        self.cursor
+    }
+
+    /// Lane probe order: affinity lane first, then up to
+    /// `steal_attempts` neighbors, wrapping.
+    fn probe_order(&self) -> impl Iterator<Item = usize> {
+        let lanes = self.handles.len();
+        let cursor = self.cursor;
+        let probes = self.steal_attempts.min(lanes - 1);
+        (0..=probes).map(move |i| (cursor + i) % lanes)
+    }
+}
+
+impl<'q, T: Send, Q: ConcurrentQueue<T> + 'q> QueueHandle<T> for ShardedHandle<'q, T, Q> {
+    fn enqueue(&mut self, value: T) -> Result<(), Full<T>> {
+        let mut value = value;
+        for lane in self.probe_order() {
+            match self.handles[lane].enqueue(value) {
+                Ok(()) => {
+                    // Sticky affinity: follow the lane that had room, so a
+                    // producer's run of items stays contiguous per lane.
+                    self.cursor = lane;
+                    return Ok(());
+                }
+                Err(Full(v)) => value = v,
+            }
+        }
+        Err(Full(value))
+    }
+
+    fn dequeue(&mut self) -> Option<T> {
+        for lane in self.probe_order() {
+            if let Some(v) = self.handles[lane].dequeue() {
+                // Follow the non-empty lane: the next dequeue drains it
+                // without re-probing the empty ones.
+                self.cursor = lane;
+                return Some(v);
+            }
+        }
+        None
+    }
+
+    fn enqueue_batch(
+        &mut self,
+        items: impl ExactSizeIterator<Item = T>,
+    ) -> Result<usize, BatchFull<T>> {
+        match self.batch_policy {
+            BatchPolicy::Pin => {
+                // Whole batch to the affinity lane's native batch path;
+                // on Full, spill the leftover suffix into stolen lanes.
+                let mut probes = self.probe_order();
+                let first = probes.next().expect("at least one lane");
+                let mut total = 0usize;
+                let mut remaining = match self.handles[first].enqueue_batch(items) {
+                    Ok(n) => return Ok(n),
+                    Err(e) => {
+                        total += e.enqueued;
+                        e.remaining
+                    }
+                };
+                for lane in probes {
+                    match self.handles[lane].enqueue_batch(remaining.into_iter()) {
+                        Ok(n) => {
+                            // Sticky affinity: the batch's tail landed
+                            // here, so follow it (a migration point in
+                            // the relaxed-FIFO contract).
+                            self.cursor = lane;
+                            return Ok(total + n);
+                        }
+                        Err(e) => {
+                            total += e.enqueued;
+                            remaining = e.remaining;
+                        }
+                    }
+                }
+                Err(BatchFull {
+                    enqueued: total,
+                    remaining,
+                })
+            }
+            BatchPolicy::Stripe => {
+                // Contiguous chunks round-robined across all lanes
+                // starting at the affinity lane. Leftovers of filled
+                // lanes come back in their original relative order.
+                let lanes = self.handles.len();
+                let len = items.len();
+                if len == 0 {
+                    return Ok(0);
+                }
+                let chunk = len.div_ceil(lanes);
+                let mut iter = items;
+                let mut total = 0usize;
+                let mut leftovers: Vec<T> = Vec::new();
+                let start = self.cursor;
+                for k in 0..lanes {
+                    let chunk_items: Vec<T> = iter.by_ref().take(chunk).collect();
+                    if chunk_items.is_empty() {
+                        break;
+                    }
+                    let lane = (start + k) % lanes;
+                    match self.handles[lane].enqueue_batch(chunk_items.into_iter()) {
+                        Ok(n) => total += n,
+                        Err(e) => {
+                            total += e.enqueued;
+                            leftovers.extend(e.remaining);
+                        }
+                    }
+                }
+                // Rotate so successive striped batches start one lane on.
+                self.cursor = (start + 1) % lanes;
+                if leftovers.is_empty() {
+                    Ok(total)
+                } else {
+                    Err(BatchFull {
+                        enqueued: total,
+                        remaining: leftovers,
+                    })
+                }
+            }
+        }
+    }
+
+    fn dequeue_batch(&mut self, out: &mut Vec<T>, max: usize) -> usize {
+        let mut taken = 0usize;
+        for lane in self.probe_order() {
+            if taken >= max {
+                break;
+            }
+            let got = self.handles[lane].dequeue_batch(out, max - taken);
+            if got > 0 && taken == 0 {
+                self.cursor = lane;
+            }
+            taken += got;
+        }
+        taken
+    }
+}
+
+impl<T: Send, Q: ConcurrentQueue<T>> ConcurrentQueue<T> for ShardedQueue<T, Q> {
+    type Handle<'q>
+        = ShardedHandle<'q, T, Q>
+    where
+        Self: 'q;
+
+    fn handle(&self) -> Self::Handle<'_> {
+        // Round-robin lane assignment spreads threads across lanes; the
+        // Relaxed ticket is only a load-balancing hint, never a
+        // correctness input.
+        let cursor = self.next_handle.fetch_add(1, Ordering::Relaxed) % self.lanes.len();
+        self.make_handle(cursor, self.config.steal_attempts)
+    }
+
+    fn capacity(&self) -> Option<usize> {
+        self.lanes
+            .iter()
+            .map(|l| l.capacity())
+            .try_fold(0usize, |acc, c| c.map(|c| acc + c))
+    }
+
+    fn len(&self) -> Option<usize> {
+        self.lanes
+            .iter()
+            .map(|l| ConcurrentQueue::len(&**l))
+            .try_fold(0usize, |acc, n| n.map(|n| acc + n))
+    }
+
+    fn algorithm_name(&self) -> &'static str {
+        "Sharded frontend"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CasQueue;
+
+    fn sharded_cas(lanes: usize, lane_cap: usize) -> ShardedQueue<u64, CasQueue<u64>> {
+        ShardedQueue::with_lanes(lanes, |_| CasQueue::with_capacity(lane_cap))
+    }
+
+    #[test]
+    fn capacity_and_len_sum_over_lanes() {
+        let q = sharded_cas(4, 8);
+        assert_eq!(q.lanes(), 4);
+        assert_eq!(ConcurrentQueue::capacity(&q), Some(32));
+        assert_eq!(ConcurrentQueue::len(&q), Some(0));
+        let mut h = q.handle();
+        for i in 0..10 {
+            h.enqueue(i).unwrap();
+        }
+        assert_eq!(ConcurrentQueue::len(&q), Some(10));
+    }
+
+    #[test]
+    fn single_handle_round_trip_is_fifo_per_lane_run() {
+        // One pinned handle uses exactly one lane, so it is plain FIFO.
+        let q = sharded_cas(4, 16);
+        let mut h = q.handle_pinned(2);
+        for i in 0..10 {
+            h.enqueue(i).unwrap();
+        }
+        assert_eq!(ConcurrentQueue::len(q.lane(2)), Some(10));
+        for i in 0..10 {
+            assert_eq!(h.dequeue(), Some(i));
+        }
+        assert_eq!(h.dequeue(), None);
+    }
+
+    #[test]
+    fn pinned_handle_surfaces_full_and_empty_immediately() {
+        let q = sharded_cas(2, 2);
+        let mut h = q.handle_pinned(0);
+        h.enqueue(1).unwrap();
+        h.enqueue(2).unwrap();
+        // Lane 1 has room, but a pinned handle must not touch it.
+        let err = h.enqueue(3).unwrap_err();
+        assert_eq!(err.into_inner(), 3);
+        let mut other = q.handle_pinned(1);
+        assert_eq!(other.dequeue(), None);
+    }
+
+    #[test]
+    fn enqueue_steals_on_full_and_migrates() {
+        let q = sharded_cas(2, 2);
+        let mut h = q.handle_pinned(0);
+        let mut stealer = q.make_handle(0, 1);
+        h.enqueue(10).unwrap();
+        h.enqueue(11).unwrap(); // lane 0 now full
+        assert_eq!(stealer.affinity(), 0);
+        stealer.enqueue(12).unwrap(); // lands on lane 1 via steal
+        assert_eq!(stealer.affinity(), 1, "cursor follows the serving lane");
+        assert_eq!(ConcurrentQueue::len(q.lane(1)), Some(1));
+    }
+
+    #[test]
+    fn dequeue_steals_from_nonempty_lanes() {
+        let q = sharded_cas(4, 8);
+        q.handle_pinned(3).enqueue(99).unwrap();
+        let mut h = q.make_handle(0, 3);
+        assert_eq!(h.dequeue(), Some(99));
+        assert_eq!(h.affinity(), 3);
+        assert_eq!(h.dequeue(), None);
+    }
+
+    #[test]
+    fn all_lanes_full_reports_full() {
+        // CasQueue rounds capacity up to a minimum of 2, so 2 lanes x 2.
+        let q = sharded_cas(2, 2);
+        let mut h = q.handle();
+        for v in 1..=4 {
+            h.enqueue(v).unwrap();
+        }
+        let err = h.enqueue(5).unwrap_err();
+        assert_eq!(err.into_inner(), 5);
+    }
+
+    #[test]
+    fn pinned_batches_spill_only_on_full() {
+        let q = sharded_cas(2, 4);
+        let mut h = q.make_handle(0, 1);
+        assert_eq!(
+            h.enqueue_batch((0..3u64).collect::<Vec<_>>().into_iter())
+                .unwrap(),
+            3
+        );
+        // Whole batch stayed on lane 0.
+        assert_eq!(ConcurrentQueue::len(q.lane(0)), Some(3));
+        assert_eq!(ConcurrentQueue::len(q.lane(1)), Some(0));
+        // 3 more: 1 fits on lane 0, 2 spill to lane 1, cursor migrates.
+        assert_eq!(
+            h.enqueue_batch((3..6u64).collect::<Vec<_>>().into_iter())
+                .unwrap(),
+            3
+        );
+        assert_eq!(ConcurrentQueue::len(q.lane(0)), Some(4));
+        assert_eq!(ConcurrentQueue::len(q.lane(1)), Some(2));
+        assert_eq!(h.affinity(), 1);
+    }
+
+    #[test]
+    fn striped_batches_spread_across_lanes() {
+        let q = ShardedQueue::with_config(
+            ShardedConfig {
+                lanes: 4,
+                steal_attempts: 3,
+                batch_policy: BatchPolicy::Stripe,
+            },
+            |_| CasQueue::<u64>::with_capacity(16),
+        );
+        let mut h = q.handle();
+        assert_eq!(
+            h.enqueue_batch((0..8u64).collect::<Vec<_>>().into_iter())
+                .unwrap(),
+            8
+        );
+        for lane in 0..4 {
+            assert_eq!(
+                ConcurrentQueue::len(q.lane(lane)),
+                Some(2),
+                "stripe must balance lanes"
+            );
+        }
+        let mut out = Vec::new();
+        assert_eq!(h.dequeue_batch(&mut out, 8), 8);
+        out.sort_unstable();
+        assert_eq!(out, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn batch_full_returns_leftovers_in_order() {
+        let q = sharded_cas(2, 2);
+        let mut h = q.handle();
+        let err = h
+            .enqueue_batch((0..6u64).collect::<Vec<_>>().into_iter())
+            .unwrap_err();
+        assert_eq!(err.enqueued, 4);
+        assert_eq!(err.remaining, vec![4, 5]);
+    }
+
+    #[test]
+    fn dequeue_batch_collects_across_lanes() {
+        let q = sharded_cas(3, 4);
+        for lane in 0..3u64 {
+            let mut h = q.handle_pinned(lane as usize);
+            h.enqueue(lane * 10).unwrap();
+            h.enqueue(lane * 10 + 1).unwrap();
+        }
+        let mut h = q.make_handle(0, 2);
+        let mut out = Vec::new();
+        assert_eq!(h.dequeue_batch(&mut out, 6), 6);
+        // Per-lane runs stay contiguous and in FIFO order.
+        assert_eq!(out, vec![0, 1, 10, 11, 20, 21]);
+    }
+
+    #[test]
+    fn handles_round_robin_across_lanes() {
+        let q = sharded_cas(3, 4);
+        let a = q.handle();
+        let b = q.handle();
+        let c = q.handle();
+        let d = q.handle();
+        let mut seen: Vec<usize> = [&a, &b, &c, &d].iter().map(|h| h.affinity()).collect();
+        assert_eq!(seen.remove(3), 0, "fourth handle wraps to lane 0");
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 1, 2], "first three handles cover all lanes");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one lane")]
+    fn zero_lanes_rejected() {
+        let _ = ShardedQueue::with_config(
+            ShardedConfig {
+                lanes: 0,
+                steal_attempts: 0,
+                batch_policy: BatchPolicy::Pin,
+            },
+            |_| CasQueue::<u64>::with_capacity(4),
+        );
+    }
+
+    #[test]
+    fn unbounded_lane_makes_capacity_none() {
+        use nbq_util::Full;
+        struct Unbounded;
+        struct UnboundedHandle;
+        impl QueueHandle<u64> for UnboundedHandle {
+            fn enqueue(&mut self, _v: u64) -> Result<(), Full<u64>> {
+                Ok(())
+            }
+            fn dequeue(&mut self) -> Option<u64> {
+                None
+            }
+        }
+        impl ConcurrentQueue<u64> for Unbounded {
+            type Handle<'q> = UnboundedHandle;
+            fn handle(&self) -> UnboundedHandle {
+                UnboundedHandle
+            }
+            fn capacity(&self) -> Option<usize> {
+                None
+            }
+            fn algorithm_name(&self) -> &'static str {
+                "unbounded stub"
+            }
+        }
+        let q = ShardedQueue::with_lanes(2, |_| Unbounded);
+        assert_eq!(ConcurrentQueue::capacity(&q), None);
+        assert_eq!(ConcurrentQueue::len(&q), None);
+    }
+}

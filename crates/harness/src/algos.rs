@@ -5,7 +5,7 @@ use crate::workload::{run_workload, WorkloadConfig};
 use nbq_baselines::{
     MsDohertyQueue, MsQueue, MutexQueue, ScanMode, SeqQueue, ShannQueue, TsigasZhangQueue,
 };
-use nbq_core::{CasQueue, CasQueueConfig, GatePolicy, LlScQueue, LlScQueueConfig};
+use nbq_core::{CasQueue, CasQueueConfig, GatePolicy, LlScQueue, LlScQueueConfig, ShardedQueue};
 use nbq_util::stats::Summary;
 use nbq_util::{ConcurrentQueue, Full, QueueHandle};
 
@@ -45,6 +45,17 @@ pub enum Algo {
     CrossbeamArray,
     /// crossbeam's unbounded `SegQueue` (modern comparator extension).
     CrossbeamSeg,
+    /// Sharded relaxed-FIFO frontend over `lanes` CAS-queue lanes
+    /// (scaling extension; total capacity split across lanes).
+    ShardedCas {
+        /// Number of independent lanes.
+        lanes: usize,
+    },
+    /// Sharded relaxed-FIFO frontend over `lanes` LL/SC-queue lanes.
+    ShardedLlsc {
+        /// Number of independent lanes.
+        lanes: usize,
+    },
 }
 
 impl Algo {
@@ -66,11 +77,36 @@ impl Algo {
             Algo::Lms => "Ladan-Mozes/Shavit optimistic",
             Algo::CrossbeamArray => "crossbeam ArrayQueue",
             Algo::CrossbeamSeg => "crossbeam SegQueue",
+            Algo::ShardedCas { lanes } => match lanes {
+                1 => "Sharded CAS x1",
+                2 => "Sharded CAS x2",
+                4 => "Sharded CAS x4",
+                8 => "Sharded CAS x8",
+                16 => "Sharded CAS x16",
+                _ => "Sharded CAS",
+            },
+            Algo::ShardedLlsc { lanes } => match lanes {
+                1 => "Sharded LL/SC x1",
+                2 => "Sharded LL/SC x2",
+                4 => "Sharded LL/SC x4",
+                8 => "Sharded LL/SC x8",
+                16 => "Sharded LL/SC x16",
+                _ => "Sharded LL/SC",
+            },
         }
     }
 
-    /// Parses a CLI name (kebab-case).
+    /// Parses a CLI name (kebab-case). Sharded frontends take their lane
+    /// count as a suffix: `sharded-cas-4`, `sharded-llsc-8`.
     pub fn parse(s: &str) -> Option<Algo> {
+        if let Some(lanes) = s.strip_prefix("sharded-cas-") {
+            let lanes = lanes.parse().ok().filter(|&l| l > 0)?;
+            return Some(Algo::ShardedCas { lanes });
+        }
+        if let Some(lanes) = s.strip_prefix("sharded-llsc-") {
+            let lanes = lanes.parse().ok().filter(|&l| l > 0)?;
+            return Some(Algo::ShardedLlsc { lanes });
+        }
         Some(match s {
             "cas" | "cas-queue" => Algo::CasQueue,
             "llsc" | "llsc-queue" => Algo::LlScQueue,
@@ -136,6 +172,28 @@ impl Algo {
             Algo::Lms => run_workload(nbq_baselines::LmsQueue::<u64>::new, config),
             Algo::CrossbeamArray => run_workload(|| CrossbeamArrayAdapter::new(cap), config),
             Algo::CrossbeamSeg => run_workload(CrossbeamSegAdapter::new, config),
+            Algo::ShardedCas { lanes } => {
+                let per_lane = cap.div_ceil(lanes);
+                run_workload(
+                    || {
+                        ShardedQueue::with_lanes(lanes, |_| {
+                            CasQueue::<u64>::with_capacity(per_lane)
+                        })
+                    },
+                    config,
+                )
+            }
+            Algo::ShardedLlsc { lanes } => {
+                let per_lane = cap.div_ceil(lanes);
+                run_workload(
+                    || {
+                        ShardedQueue::with_lanes(lanes, |_| {
+                            LlScQueue::<u64>::with_capacity(per_lane)
+                        })
+                    },
+                    config,
+                )
+            }
         }
     }
 
@@ -407,10 +465,27 @@ mod tests {
             ("lms", Algo::Lms),
             ("crossbeam-array", Algo::CrossbeamArray),
             ("crossbeam-seg", Algo::CrossbeamSeg),
+            ("sharded-cas-4", Algo::ShardedCas { lanes: 4 }),
+            ("sharded-llsc-2", Algo::ShardedLlsc { lanes: 2 }),
+            ("sharded-cas-16", Algo::ShardedCas { lanes: 16 }),
         ] {
             assert_eq!(Algo::parse(s), Some(a));
         }
         assert_eq!(Algo::parse("nope"), None);
+        assert_eq!(Algo::parse("sharded-cas-0"), None, "zero lanes rejected");
+        assert_eq!(Algo::parse("sharded-cas-x"), None);
+    }
+
+    #[test]
+    fn sharded_algos_run_the_tiny_workload() {
+        for algo in [
+            Algo::ShardedCas { lanes: 2 },
+            Algo::ShardedCas { lanes: 4 },
+            Algo::ShardedLlsc { lanes: 2 },
+        ] {
+            let s = algo.run(&tiny());
+            assert!(s.mean > 0.0, "{} returned zero time", algo.name());
+        }
     }
 
     #[test]

@@ -14,10 +14,14 @@
 //!   ordering                         extension: per-site relaxed orderings
 //!                                    vs strict SeqCst (build once per
 //!                                    mode; --csv merges across builds)
+//!   sharding                         extension: sharded multi-lane
+//!                                    frontend throughput + per-lane CAS
+//!                                    contention (--lanes to sweep)
 //!   all                              everything above
 //!
 //! flags:
 //!   --threads 1,2,4,8   thread counts to sweep
+//!   --lanes 2,4,8       lane counts for `sharding`   (default 2,4,8)
 //!   --iters N           iterations per thread        (default 2000)
 //!   --runs N            runs per cell                (default 5)
 //!   --capacity N        queue capacity               (default 4096)
@@ -33,6 +37,7 @@ use std::process::ExitCode;
 struct Args {
     experiment: String,
     threads: Vec<usize>,
+    lanes: Vec<usize>,
     csv: Option<PathBuf>,
     config: WorkloadConfig,
 }
@@ -40,8 +45,8 @@ struct Args {
 fn usage() -> ! {
     eprintln!(
         "usage: repro <fig6a|fig6b|fig6c|fig6d|overhead|caswidth|opcounts|ablate-scan|\
-         ablate-reregister|ablate-capacity|ablate-backoff|modern|batch|ordering|all> \
-         [--threads 1,2,4] [--iters N] [--runs N] [--capacity N] \
+         ablate-reregister|ablate-capacity|ablate-backoff|modern|batch|ordering|sharding|all> \
+         [--threads 1,2,4] [--lanes 2,4,8] [--iters N] [--runs N] [--capacity N] \
          [--csv DIR] [--paper]"
     );
     std::process::exit(2);
@@ -53,6 +58,7 @@ fn parse_args() -> Args {
         usage()
     };
     let mut threads: Option<Vec<usize>> = None;
+    let mut lanes: Option<Vec<usize>> = None;
     let mut csv = None;
     let mut config = WorkloadConfig::default();
     let mut paper = false;
@@ -71,6 +77,19 @@ fn parse_args() -> Args {
                         .map(|s| {
                             s.trim().parse().unwrap_or_else(|_| {
                                 eprintln!("bad thread count: {s}");
+                                usage()
+                            })
+                        })
+                        .collect(),
+                );
+            }
+            "--lanes" => {
+                lanes = Some(
+                    value("--lanes")
+                        .split(',')
+                        .map(|s| {
+                            s.trim().parse().unwrap_or_else(|_| {
+                                eprintln!("bad lane count: {s}");
                                 usage()
                             })
                         })
@@ -97,6 +116,7 @@ fn parse_args() -> Args {
     Args {
         experiment,
         threads: threads.unwrap_or_else(|| vec![1, 2, 4, 8, 16, 32]),
+        lanes: lanes.unwrap_or_else(|| vec![2, 4, 8]),
         csv,
         config,
     }
@@ -142,6 +162,22 @@ fn run_ordering(args: &Args) {
         "mode compiled into this binary: {} (rebuild with --features \
          strict-sc for the SeqCst rows; --csv merges both builds' rows)",
         nbq_util::mem::mode()
+    );
+}
+
+/// The `sharding` experiment: throughput table (the scaling claim) plus
+/// the per-lane contention table that explains it.
+fn run_sharding(args: &Args) {
+    let t = experiments::sharding(&args.threads, &args.lanes, &args.config);
+    emit(&t, &args.csv);
+    let lanes = args.lanes.iter().copied().max().unwrap_or(4);
+    emit(
+        &experiments::sharding_opstats(&args.threads, lanes, &args.config),
+        &args.csv,
+    );
+    println!(
+        "relaxed-FIFO contract: per-lane FIFO strict, per-producer FIFO \
+         preserved on-lane, cross-lane order advisory (DESIGN.md §5c)"
     );
 }
 
@@ -231,6 +267,9 @@ fn main() -> ExitCode {
         "ordering" => {
             run_ordering(&args);
         }
+        "sharding" => {
+            run_sharding(&args);
+        }
         "modern" => {
             emit(&experiments::modern(&args.threads, &args.config), &args.csv);
         }
@@ -296,6 +335,7 @@ fn main() -> ExitCode {
                 &args.csv,
             );
             run_ordering(&args);
+            run_sharding(&args);
         }
         other => {
             eprintln!("unknown experiment: {other}");

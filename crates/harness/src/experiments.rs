@@ -599,6 +599,95 @@ pub fn batch_time(thread_counts: &[usize], base: &WorkloadConfig) -> Table {
     table
 }
 
+/// `ext-sharding`: throughput of the sharded frontend vs the single-lane
+/// core queues across thread counts.
+///
+/// Reported in Mops/s (higher is better) rather than seconds so the
+/// scaling claim — some lane count > 1 beating the single-lane queue's
+/// peak once the `Head`/`Tail` pair saturates — is directly readable off
+/// the CSV. Row set: both single-lane paper queues plus `sharded-cas-N` /
+/// `sharded-llsc-N` for every `N` in `lane_counts`.
+pub fn sharding(thread_counts: &[usize], lane_counts: &[usize], base: &WorkloadConfig) -> Table {
+    let mut table = Table::new(
+        "ext-sharding",
+        "Sharded frontend: throughput vs lane count vs threads",
+        "threads",
+        "Mops/s",
+        thread_counts.iter().map(|&t| t as u64).collect(),
+    );
+    let mut algos: Vec<Algo> = vec![Algo::CasQueue, Algo::LlScQueue];
+    for &lanes in lane_counts {
+        algos.push(Algo::ShardedCas { lanes });
+    }
+    for &lanes in lane_counts {
+        algos.push(Algo::ShardedLlsc { lanes });
+    }
+    for algo in algos {
+        let cells: Vec<Cell> = thread_counts
+            .iter()
+            .map(|&threads| {
+                let cfg = WorkloadConfig { threads, ..*base };
+                let s = algo.run(&cfg);
+                let ops = cfg.total_ops() as f64;
+                let mean = ops / s.mean / 1e6;
+                // First-order error propagation: d(ops/t) = ops * dt / t^2.
+                let stddev = ops * s.stddev / (s.mean * s.mean) / 1e6;
+                Cell { mean, stddev }
+            })
+            .collect();
+        table.push_row(algo.name(), cells);
+    }
+    table
+}
+
+/// `ext-sharding-ops`: per-lane index-CAS attempts per completed
+/// operation for a `sharded-cas-<lanes>` frontend under the paper
+/// workload — the contention picture behind [`sharding`]'s times.
+///
+/// One row per lane plus a `single lane (baseline)` row measuring an
+/// unsharded CAS queue under the same load. Lane affinity working means
+/// every lane's row sits near the uncontended ~1 attempt/op while the
+/// baseline row climbs with the thread count.
+pub fn sharding_opstats(thread_counts: &[usize], lanes: usize, base: &WorkloadConfig) -> Table {
+    use crate::workload::run_once;
+    use nbq_core::{CasQueue, ShardedQueue};
+
+    let mut table = Table::new(
+        "ext-sharding-ops",
+        "Sharded CAS frontend: index CAS attempts per op, by lane",
+        "threads",
+        "attempts/op",
+        thread_counts.iter().map(|&t| t as u64).collect(),
+    );
+    let mut lane_cells: Vec<Vec<Cell>> = vec![Vec::new(); lanes];
+    let mut baseline_cells: Vec<Cell> = Vec::new();
+    for &threads in thread_counts {
+        let cfg = WorkloadConfig { threads, ..*base };
+        let per_lane = cfg.capacity.div_ceil(lanes);
+        let q = ShardedQueue::with_lanes(lanes, |_| CasQueue::<u64>::with_stats(per_lane));
+        run_once(&q, &cfg);
+        for (lane, cells) in lane_cells.iter_mut().enumerate() {
+            let snap = q.lane(lane).stats().expect("stats enabled").snapshot();
+            cells.push(Cell {
+                mean: snap.index_cas_attempts,
+                stddev: 0.0,
+            });
+        }
+        let q = CasQueue::<u64>::with_stats(cfg.capacity);
+        run_once(&q, &cfg);
+        let snap = q.stats().expect("stats enabled").snapshot();
+        baseline_cells.push(Cell {
+            mean: snap.index_cas_attempts,
+            stddev: 0.0,
+        });
+    }
+    for (lane, cells) in lane_cells.into_iter().enumerate() {
+        table.push_row(&format!("lane {lane} of {lanes}"), cells);
+    }
+    table.push_row("single lane (baseline)", baseline_cells);
+    table
+}
+
 /// In-text T3 helper: LL/SC-vs-CAS speed ratio out of a fig6a table.
 pub fn llsc_vs_cas_ratio(fig6a: &Table) -> Vec<(u64, f64)> {
     fig6a
@@ -757,6 +846,36 @@ mod tests {
                     "{label} snoozes not finite"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn sharding_table_has_baselines_and_all_lane_counts() {
+        let t = sharding(&[1, 2], &[2, 4], &tiny());
+        // 2 single-lane baselines + 2 sharded-cas + 2 sharded-llsc.
+        assert_eq!(t.rows.len(), 6);
+        assert!(t.cell("FIFO Array Simulated CAS", 2).is_some());
+        assert!(t.cell("Sharded CAS x2", 2).is_some());
+        assert!(t.cell("Sharded LL/SC x4", 1).is_some());
+        for (label, cells) in &t.rows {
+            assert!(
+                cells.iter().all(|c| c.mean > 0.0 && c.mean.is_finite()),
+                "{label} throughput not positive"
+            );
+        }
+    }
+
+    #[test]
+    fn sharding_opstats_reports_every_lane_plus_baseline() {
+        let t = sharding_opstats(&[2], 2, &tiny());
+        assert_eq!(t.rows.len(), 3);
+        assert!(t.cell("lane 0 of 2", 2).is_some());
+        assert!(t.cell("single lane (baseline)", 2).is_some());
+        for (label, cells) in &t.rows {
+            assert!(
+                cells.iter().all(|c| c.mean.is_finite() && c.mean >= 0.0),
+                "{label} attempts not finite"
+            );
         }
     }
 

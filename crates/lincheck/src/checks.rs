@@ -45,6 +45,19 @@ pub enum Violation {
         /// Successful dequeue count.
         dequeued: usize,
     },
+    /// One producer thread enqueued `first` before `second`, and `second`
+    /// was dequeued, but `first` came out strictly later (or never). This
+    /// is the violation the sharded frontend's relaxed-FIFO contract
+    /// still forbids: cross-producer order is advisory, same-producer
+    /// order is not.
+    ProducerFifoInversion {
+        /// The producer thread that enqueued both values.
+        thread: usize,
+        /// The earlier-enqueued value.
+        first: u64,
+        /// The later-enqueued value that overtook it.
+        second: u64,
+    },
 }
 
 impl fmt::Display for Violation {
@@ -64,6 +77,15 @@ impl fmt::Display for Violation {
                     "conservation: {enqueued} enqueued vs {dequeued} dequeued"
                 )
             }
+            Violation::ProducerFifoInversion {
+                thread,
+                first,
+                second,
+            } => write!(
+                f,
+                "per-producer FIFO inversion: thread {thread} enqueued {first} \
+                 before {second} but {second} was dequeued strictly before {first}"
+            ),
         }
     }
 }
@@ -190,6 +212,59 @@ pub fn check_realtime_fifo(h: &History) -> Result<(), Violation> {
                     first: a.value,
                     second: b.value,
                 });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Per-producer FIFO order check (`O(n)` after grouping by thread).
+///
+/// The weakest order guarantee in the workspace: for two successful
+/// enqueues by the *same thread*, the earlier value must not be dequeued
+/// strictly after the later one (never-dequeued counts as "after" once
+/// the later value came out). Single queues satisfy this as a corollary
+/// of [`check_realtime_fifo`]; the sharded frontend promises it outright
+/// for pinned (non-migrating) producers while leaving cross-producer
+/// order advisory, so this is the check its relaxed histories must pass.
+pub fn check_per_producer_fifo(h: &History) -> Result<(), Violation> {
+    // deq_start / deq_end per value (u64::MAX = never dequeued).
+    let mut deq_window: HashMap<u64, (u64, u64)> = HashMap::new();
+    for op in &h.ops {
+        if let OpKind::Dequeue(Some(v)) = op.kind {
+            deq_window.insert(v, (op.start, op.end));
+        }
+    }
+    // Successful enqueues grouped per thread, in that thread's program
+    // order (a thread's ops are totally ordered, so start time is it).
+    let mut per_thread: HashMap<usize, Vec<(u64, u64)>> = HashMap::new(); // (enq_start, value)
+    for op in &h.ops {
+        if let OpKind::Enqueue(v) = op.kind {
+            per_thread.entry(op.thread).or_default().push((op.start, v));
+        }
+    }
+    for (&thread, enqs) in per_thread.iter_mut() {
+        enqs.sort_unstable();
+        // Running max of deq_start over the enqueue-order prefix: if any
+        // predecessor's dequeue begins strictly after b's responds, the
+        // producer's order was inverted.
+        let mut max_prefix: Option<(u64, u64)> = None; // (deq_start, value)
+        for &(_, b) in enqs.iter() {
+            let (b_deq_start, b_deq_end) =
+                deq_window.get(&b).copied().unwrap_or((u64::MAX, u64::MAX));
+            if b_deq_end != u64::MAX {
+                if let Some((a_deq_start, a)) = max_prefix {
+                    if a_deq_start > b_deq_end {
+                        return Err(Violation::ProducerFifoInversion {
+                            thread,
+                            first: a,
+                            second: b,
+                        });
+                    }
+                }
+            }
+            if max_prefix.is_none_or(|(m, _)| b_deq_start > m) {
+                max_prefix = Some((b_deq_start, b));
             }
         }
     }
@@ -342,5 +417,85 @@ mod tests {
     #[test]
     fn empty_history_passes() {
         assert_eq!(check_history(&History::default()), Ok(()));
+    }
+
+    #[test]
+    fn per_producer_fifo_accepts_cross_producer_reordering() {
+        // Thread 0 enqueued 1 well before thread 1 enqueued 2, and 2 came
+        // out first: a strict FIFO inversion, but fine per-producer (the
+        // sharded relaxation).
+        let h = History {
+            ops: vec![
+                enq(0, 1, 0, 1),
+                enq(1, 2, 2, 3),
+                deq(2, Some(2), 10, 11),
+                deq(2, Some(1), 20, 21),
+            ],
+        };
+        assert!(matches!(
+            check_realtime_fifo(&h),
+            Err(Violation::FifoInversion { .. })
+        ));
+        assert_eq!(check_per_producer_fifo(&h), Ok(()));
+    }
+
+    #[test]
+    fn per_producer_fifo_catches_same_thread_inversion() {
+        let h = History {
+            ops: vec![
+                enq(0, 1, 0, 1),
+                enq(0, 2, 2, 3),
+                deq(1, Some(2), 10, 11),
+                deq(1, Some(1), 20, 21),
+            ],
+        };
+        assert_eq!(
+            check_per_producer_fifo(&h),
+            Err(Violation::ProducerFifoInversion {
+                thread: 0,
+                first: 1,
+                second: 2
+            })
+        );
+    }
+
+    #[test]
+    fn per_producer_fifo_catches_lost_earlier_value() {
+        // Thread 0's first value never surfaces while its second does.
+        let h = History {
+            ops: vec![enq(0, 1, 0, 1), enq(0, 2, 2, 3), deq(1, Some(2), 10, 11)],
+        };
+        assert_eq!(
+            check_per_producer_fifo(&h),
+            Err(Violation::ProducerFifoInversion {
+                thread: 0,
+                first: 1,
+                second: 2
+            })
+        );
+    }
+
+    #[test]
+    fn per_producer_fifo_permits_overlapping_dequeues() {
+        // Same producer, but the two dequeue windows overlap: either
+        // completion order linearizes, so no violation.
+        let h = History {
+            ops: vec![
+                enq(0, 1, 0, 1),
+                enq(0, 2, 2, 3),
+                deq(1, Some(2), 10, 30),
+                deq(2, Some(1), 11, 29),
+            ],
+        };
+        assert_eq!(check_per_producer_fifo(&h), Ok(()));
+    }
+
+    #[test]
+    fn per_producer_fifo_ignores_unmatched_tail() {
+        // Later values still in the queue impose nothing.
+        let h = History {
+            ops: vec![enq(0, 1, 0, 1), enq(0, 2, 2, 3), deq(1, Some(1), 4, 5)],
+        };
+        assert_eq!(check_per_producer_fifo(&h), Ok(()));
     }
 }

@@ -10,6 +10,7 @@
 use crate::history::{History, HistoryRecorder};
 use nbq_util::rng::SplitMix64;
 use nbq_util::{ConcurrentQueue, QueueHandle};
+use std::collections::HashSet;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Barrier;
 
@@ -67,6 +68,73 @@ pub fn record_run<Q: ConcurrentQueue<u64>>(queue: &Q, config: DriverConfig) -> H
                     }
                 }
                 live.fetch_sub(1, Ordering::Relaxed);
+            });
+        }
+    });
+    recorder.into_history()
+}
+
+/// Runs a batched mixed workload and returns the recorded history.
+///
+/// Each logical step either enqueues a batch of `batch` fresh unique
+/// values or drains up to `batch` values, through the [`QueueHandle`]
+/// batch API. Every element of a batch is recorded as its own operation
+/// sharing the batch's invocation window (the element's real
+/// linearization point lies inside it, so the real-time checks stay
+/// sound — they just see more overlap than actually occurred). Partially
+/// accepted batches record the rejected elements as failed enqueues by
+/// membership in the returned `remaining` (batch frontends such as the
+/// sharded stripe policy may accept a non-prefix subset).
+pub fn record_batch_run<Q: ConcurrentQueue<u64>>(
+    queue: &Q,
+    config: DriverConfig,
+    batch: usize,
+) -> History {
+    assert!(batch > 0, "batch size must be at least 1");
+    let recorder = HistoryRecorder::new();
+    let barrier = Barrier::new(config.threads);
+    std::thread::scope(|s| {
+        for t in 0..config.threads {
+            let recorder = &recorder;
+            let barrier = &barrier;
+            s.spawn(move || {
+                let mut log = recorder.log(t);
+                let mut handle = queue.handle();
+                let mut rng = SplitMix64::new(config.seed.wrapping_add(t as u64 * 0x9E37));
+                let mut seq: u64 = 0;
+                let mut out = Vec::with_capacity(batch);
+                barrier.wait();
+                for _ in 0..config.ops_per_thread {
+                    if rng.chance(config.enqueue_percent, 100) {
+                        let values: Vec<u64> = (0..batch)
+                            .map(|_| {
+                                let v = ((t as u64) << 32) | seq;
+                                seq += 1;
+                                v
+                            })
+                            .collect();
+                        let start = log.begin();
+                        let rejected: HashSet<u64> =
+                            match handle.enqueue_batch(values.clone().into_iter()) {
+                                Ok(_) => HashSet::new(),
+                                Err(e) => e.remaining.iter().copied().collect(),
+                            };
+                        for &v in &values {
+                            log.end_enqueue(start, v, !rejected.contains(&v));
+                        }
+                    } else {
+                        out.clear();
+                        let start = log.begin();
+                        let got = handle.dequeue_batch(&mut out, batch);
+                        if got == 0 {
+                            log.end_dequeue(start, None);
+                        } else {
+                            for &v in &out {
+                                log.end_dequeue(start, Some(v));
+                            }
+                        }
+                    }
+                }
             });
         }
     });
@@ -200,6 +268,55 @@ mod tests {
         assert_eq!(h.enqueue_count(), 150);
         assert_eq!(h.dequeue_count(), 150);
         check_history(&h).expect("clean");
+    }
+
+    #[test]
+    fn batch_driver_produces_checkable_history() {
+        let q = RefQueue {
+            inner: Mutex::new(VecDeque::new()),
+            cap: 24,
+        };
+        let h = record_batch_run(
+            &q,
+            DriverConfig {
+                threads: 4,
+                ops_per_thread: 100,
+                enqueue_percent: 55,
+                seed: 11,
+            },
+            5,
+        );
+        assert!(h.enqueue_count() > 0, "some batches must land");
+        check_history(&h).expect("mutex queue must produce a clean batch history");
+        crate::checks::check_per_producer_fifo(&h).expect("per-producer order");
+    }
+
+    #[test]
+    fn batch_driver_records_partial_rejections() {
+        // Capacity smaller than one batch: every accepted batch is partial,
+        // and the rejected elements must show up as EnqueueFull.
+        let q = RefQueue {
+            inner: Mutex::new(VecDeque::new()),
+            cap: 3,
+        };
+        let h = record_batch_run(
+            &q,
+            DriverConfig {
+                threads: 2,
+                ops_per_thread: 50,
+                enqueue_percent: 80,
+                seed: 3,
+            },
+            8,
+        );
+        use crate::history::OpKind;
+        let full = h
+            .ops
+            .iter()
+            .filter(|o| matches!(o.kind, OpKind::EnqueueFull(_)))
+            .count();
+        assert!(full > 0, "batches larger than capacity must be cut short");
+        check_history(&h).expect("partial batches must still be clean");
     }
 
     #[test]

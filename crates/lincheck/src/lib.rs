@@ -21,7 +21,9 @@ pub mod driver;
 pub mod history;
 pub mod search;
 
-pub use checks::{check_history, check_realtime_fifo, check_value_integrity, Violation};
-pub use driver::{record_paper_workload, record_run, DriverConfig};
+pub use checks::{
+    check_history, check_per_producer_fifo, check_realtime_fifo, check_value_integrity, Violation,
+};
+pub use driver::{record_batch_run, record_paper_workload, record_run, DriverConfig};
 pub use history::{History, HistoryRecorder, Op, OpKind, ThreadLog};
 pub use search::{check_linearizable, SearchResult, MAX_SEARCH_OPS};

@@ -35,6 +35,51 @@ pub enum SearchResult {
     TooLarge(usize),
 }
 
+impl SearchResult {
+    /// True iff a witness linearization was found.
+    ///
+    /// `TooLarge` is `false` here: a skipped search is **not** evidence of
+    /// linearizability. Assertions that intend "verified, and I promise
+    /// the history is small enough to verify" should use
+    /// [`SearchResult::expect_linearizable`] so an accidentally oversized
+    /// history fails loudly instead of silently passing as unchecked.
+    pub fn is_linearizable(&self) -> bool {
+        matches!(self, SearchResult::Linearizable(_))
+    }
+
+    /// True iff the search found a witness *or* declined to run because
+    /// the history exceeds [`MAX_SEARCH_OPS`].
+    ///
+    /// Use this only where a history's size is workload-dependent and an
+    /// unchecked run is acceptable; prefer
+    /// [`SearchResult::expect_linearizable`] in tests that are supposed
+    /// to stay under the cap.
+    pub fn is_linearizable_or_skipped(&self) -> bool {
+        matches!(
+            self,
+            SearchResult::Linearizable(_) | SearchResult::TooLarge(_)
+        )
+    }
+
+    /// Returns the witness order, panicking with a diagnostic if the
+    /// history is not linearizable **or** was too large to search — the
+    /// loud-failure counterpart to [`SearchResult::is_linearizable`].
+    #[track_caller]
+    pub fn expect_linearizable(self) -> Vec<usize> {
+        match self {
+            SearchResult::Linearizable(order) => order,
+            SearchResult::NotLinearizable => {
+                panic!("history is not linearizable to a FIFO queue")
+            }
+            SearchResult::TooLarge(n) => panic!(
+                "history has {n} ops, exceeding MAX_SEARCH_OPS = {MAX_SEARCH_OPS}; \
+                 the exhaustive search was skipped, which this assertion treats \
+                 as a failure — shrink the workload or use the O(n log n) checks"
+            ),
+        }
+    }
+}
+
 /// Exhaustively checks linearizability of `h` against a FIFO queue of
 /// optional bounded `capacity`.
 pub fn check_linearizable(h: &History, capacity: Option<usize>) -> SearchResult {
@@ -321,6 +366,32 @@ mod tests {
             check_linearizable(&History { ops }, None),
             SearchResult::TooLarge(MAX_SEARCH_OPS + 1)
         );
+    }
+
+    #[test]
+    fn helpers_distinguish_skipped_from_verified() {
+        let verified = SearchResult::Linearizable(vec![0, 1]);
+        let refuted = SearchResult::NotLinearizable;
+        let skipped = SearchResult::TooLarge(MAX_SEARCH_OPS + 9);
+        assert!(verified.is_linearizable());
+        assert!(!refuted.is_linearizable());
+        assert!(!skipped.is_linearizable(), "skipped is not verified");
+        assert!(verified.is_linearizable_or_skipped());
+        assert!(!refuted.is_linearizable_or_skipped());
+        assert!(skipped.is_linearizable_or_skipped());
+        assert_eq!(verified.expect_linearizable(), vec![0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeding MAX_SEARCH_OPS")]
+    fn expect_linearizable_fails_loudly_on_oversized_history() {
+        SearchResult::TooLarge(MAX_SEARCH_OPS + 1).expect_linearizable();
+    }
+
+    #[test]
+    #[should_panic(expected = "not linearizable")]
+    fn expect_linearizable_fails_on_refuted_history() {
+        SearchResult::NotLinearizable.expect_linearizable();
     }
 
     #[test]

@@ -65,9 +65,35 @@
 //! assert_eq!(err.enqueued, 2);
 //! assert_eq!(err.remaining, vec![3, 4]);
 //! ```
+//!
+//! ## Sharded multi-lane frontend
+//!
+//! Past ~8 heavily contending threads the single `Head`/`Tail` pair of
+//! either queue saturates; [`ShardedQueue`] spreads the load over `N`
+//! independent lanes (each a complete paper queue with all §3 ABA
+//! defenses) behind the same [`ConcurrentQueue`] interface. The cost is
+//! a documented *relaxed-FIFO* contract: per-lane FIFO stays strict and
+//! per-producer FIFO is preserved while a producer stays on its lane,
+//! but cross-lane ordering is advisory (see [`nbq_core::sharded`]).
+//!
+//! ```
+//! use nbq::prelude::*;
+//!
+//! // 4 CAS-queue lanes of 1024 slots each.
+//! let q = ShardedQueue::with_lanes(4, |_| CasQueue::<u64>::with_capacity(1024));
+//! let mut h = q.handle();
+//! h.enqueue(7).unwrap();
+//! assert_eq!(h.dequeue(), Some(7));
+//! // A pinned handle never leaves its lane: strict FIFO per producer.
+//! let mut pinned = q.handle_pinned(0);
+//! pinned.enqueue(1).unwrap();
+//! pinned.enqueue(2).unwrap();
+//! assert_eq!(pinned.dequeue(), Some(1));
+//! assert_eq!(pinned.dequeue(), Some(2));
+//! ```
 
 pub use nbq_baselines as baselines;
-pub use nbq_core::{CasQueue, LlScQueue};
+pub use nbq_core::{BatchPolicy, CasQueue, LlScQueue, ShardedConfig, ShardedQueue};
 pub use nbq_harness as harness;
 pub use nbq_hazard as hazard;
 pub use nbq_lincheck as lincheck;
@@ -89,6 +115,6 @@ pub use nbq_util::{
 /// assert_eq!(h.dequeue(), Some(7));
 /// ```
 pub mod prelude {
-    pub use nbq_core::{CasQueue, LlScQueue};
+    pub use nbq_core::{BatchPolicy, CasQueue, LlScQueue, ShardedConfig, ShardedQueue};
     pub use nbq_util::{BatchFull, ConcurrentQueue, Full, QueueHandle};
 }

@@ -11,10 +11,10 @@ use nbq::baselines::{
     TreiberQueue, TsigasZhangQueue, ValoisQueue,
 };
 use nbq::lincheck::{
-    check_history, check_linearizable, record_paper_workload, record_run, DriverConfig,
-    SearchResult,
+    check_history, check_linearizable, record_paper_workload, record_run, DriverConfig, History,
+    HistoryRecorder, SearchResult, MAX_SEARCH_OPS,
 };
-use nbq::{CasQueue, ConcurrentQueue, LlScQueue};
+use nbq::{CasQueue, ConcurrentQueue, LlScQueue, QueueHandle, ShardedQueue};
 
 fn stress_config(seed: u64) -> DriverConfig {
     DriverConfig {
@@ -52,15 +52,16 @@ fn assert_small_linearizable<Q: ConcurrentQueue<u64>>(make: impl Fn() -> Q, seed
         let q = make();
         let cap = ConcurrentQueue::capacity(&q);
         let h = record_run(&q, small_config(seed));
-        match check_linearizable(&h, cap) {
-            SearchResult::Linearizable(_) => {}
-            SearchResult::NotLinearizable => panic!(
-                "{}: small history not linearizable (seed {seed}): {:?}",
-                q.algorithm_name(),
-                h.sorted_by_start()
-            ),
-            SearchResult::TooLarge(n) => panic!("history unexpectedly large: {n}"),
-        }
+        let result = check_linearizable(&h, cap);
+        // `is_linearizable` (not `is_linearizable_or_skipped`): a history
+        // that accidentally outgrows MAX_SEARCH_OPS must fail this test,
+        // not silently pass unsearched.
+        assert!(
+            result.is_linearizable(),
+            "{}: small history not linearizable (seed {seed}): {result:?}\n{:?}",
+            q.algorithm_name(),
+            h.sorted_by_start()
+        );
     }
 }
 
@@ -181,6 +182,123 @@ fn paper_workload_histories_are_clean_for_core_queues() {
     let q = LlScQueue::<u64>::with_capacity(256);
     let h = record_paper_workload(&q, 4, 50);
     check_history(&h).expect("LL/SC queue paper workload");
+}
+
+/// Splits a history of lane-pinned threads into per-shard histories:
+/// with `handle_pinned(thread % lanes)`, every op of a thread hits
+/// exactly that lane, so the partition by thread index is the partition
+/// by shard.
+fn per_lane_histories(h: &History, lanes: usize) -> Vec<History> {
+    let mut out = vec![History::default(); lanes];
+    for op in &h.ops {
+        out[op.thread % lanes].ops.push(*op);
+    }
+    out
+}
+
+/// Records `threads` lane-pinned workers against a 2-lane sharded queue,
+/// each doing `enqs` enqueues then `deqs` dequeues, and returns the
+/// merged history.
+fn record_pinned_sharded<Q: ConcurrentQueue<u64>>(
+    q: &ShardedQueue<u64, Q>,
+    threads: usize,
+    enqs: u64,
+    deqs: usize,
+) -> History {
+    let recorder = HistoryRecorder::new();
+    let barrier = std::sync::Barrier::new(threads);
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let recorder = &recorder;
+            let barrier = &barrier;
+            s.spawn(move || {
+                let mut log = recorder.log(t);
+                let mut h = q.handle_pinned(t % q.lanes());
+                barrier.wait();
+                for i in 0..enqs {
+                    let v = ((t as u64) << 32) | i;
+                    let start = log.begin();
+                    let ok = h.enqueue(v).is_ok();
+                    log.end_enqueue(start, v, ok);
+                }
+                for _ in 0..deqs {
+                    let start = log.begin();
+                    let got = h.dequeue();
+                    log.end_dequeue(start, got);
+                }
+            });
+        }
+    });
+    recorder.into_history()
+}
+
+#[test]
+fn sharded_two_lane_shards_linearize_independently() {
+    // Each shard of a 2-lane frontend is a complete paper queue; under
+    // lane pinning its slice of the history must pass the exhaustive
+    // Wing–Gong search on its own (per-lane FIFO is strict even though
+    // the frontend as a whole is relaxed).
+    for round in 0..4 {
+        let q = ShardedQueue::with_lanes(2, |_| CasQueue::<u64>::with_capacity(32));
+        let h = record_pinned_sharded(&q, 4, 5 + round, 3);
+        for (lane, lane_h) in per_lane_histories(&h, 2).into_iter().enumerate() {
+            assert!(
+                lane_h.ops.len() <= MAX_SEARCH_OPS,
+                "shard {lane} history outgrew the search cap: {}",
+                lane_h.ops.len()
+            );
+            let result = check_linearizable(&lane_h, ConcurrentQueue::capacity(q.lane(lane)));
+            assert!(
+                result.is_linearizable(),
+                "shard {lane} (round {round}) not linearizable: {result:?}\n{:?}",
+                lane_h.sorted_by_start()
+            );
+        }
+    }
+}
+
+#[test]
+fn sharded_llsc_shards_linearize_independently() {
+    let q = ShardedQueue::with_lanes(2, |_| LlScQueue::<u64>::with_capacity(32));
+    let h = record_pinned_sharded(&q, 4, 6, 4);
+    for (lane, lane_h) in per_lane_histories(&h, 2).into_iter().enumerate() {
+        let result = check_linearizable(&lane_h, ConcurrentQueue::capacity(q.lane(lane)));
+        assert!(
+            result.is_linearizable(),
+            "LL/SC shard {lane} not linearizable: {result:?}"
+        );
+    }
+}
+
+#[test]
+fn sharded_pinned_full_semantics_linearize_per_shard() {
+    // Capacity-2 lanes and enqueue-heavy pinned workers: Full rejections
+    // stay on the pinned lane (no spill/steal), so each shard's history —
+    // Full outcomes included — must linearize against a bounded model of
+    // exactly that lane's capacity.
+    for round in 0..4 {
+        let q = ShardedQueue::with_lanes(2, |_| CasQueue::<u64>::with_capacity(2));
+        let h = record_pinned_sharded(&q, 4, 4 + round, 2);
+        let full_count = h
+            .ops
+            .iter()
+            .filter(|o| matches!(o.kind, nbq::lincheck::OpKind::EnqueueFull(_)))
+            .count();
+        assert!(
+            full_count > 0,
+            "workload must actually exercise Full semantics (round {round})"
+        );
+        for (lane, lane_h) in per_lane_histories(&h, 2).into_iter().enumerate() {
+            let cap = ConcurrentQueue::capacity(q.lane(lane));
+            assert_eq!(cap, Some(2));
+            let result = check_linearizable(&lane_h, cap);
+            assert!(
+                result.is_linearizable(),
+                "shard {lane} (round {round}) Full history not linearizable: {result:?}\n{:?}",
+                lane_h.sorted_by_start()
+            );
+        }
+    }
 }
 
 #[test]

@@ -6,11 +6,15 @@ use nbq::baselines::{
     HerlihyWingQueue, LmsQueue, MsQueue, ScanMode, ShannQueue, TreiberQueue, TsigasZhangQueue,
     ValoisQueue,
 };
-use nbq::lincheck::{check_history, check_linearizable, History, Op, OpKind, SearchResult};
+use nbq::lincheck::{
+    check_history, check_linearizable, check_value_integrity, History, Op, OpKind, SearchResult,
+};
 use nbq::llsc::{FaultPlan, LlScCell, OracleCell, VersionedCell, WeakCell};
-use nbq::{CasQueue, ConcurrentQueue, LlScQueue, QueueHandle};
+use nbq::{
+    BatchPolicy, CasQueue, ConcurrentQueue, LlScQueue, QueueHandle, ShardedConfig, ShardedQueue,
+};
 use proptest::prelude::*;
-use std::collections::VecDeque;
+use std::collections::{HashSet, VecDeque};
 
 /// A single-threaded op script.
 #[derive(Debug, Clone)]
@@ -73,12 +77,243 @@ fn assert_matches_model<Q: ConcurrentQueue<u64>>(queue: &Q, script: &[ScriptOp])
     assert_eq!(rest, model.into_iter().collect::<Vec<_>>());
 }
 
+/// A single-threaded script mixing batch calls with element-wise ops.
+#[derive(Debug, Clone)]
+enum BatchScriptOp {
+    Enqueue,
+    Dequeue,
+    /// Enqueue a batch of this many fresh values (0 = empty batch).
+    EnqueueBatch(usize),
+    /// Dequeue up to this many values (0 = degenerate request).
+    DequeueBatch(usize),
+}
+
+fn batch_script_strategy(max_len: usize) -> impl Strategy<Value = Vec<BatchScriptOp>> {
+    prop::collection::vec(
+        prop_oneof![
+            Just(BatchScriptOp::Enqueue),
+            Just(BatchScriptOp::Dequeue),
+            // Up to 16: with capacities drawn from 1..12 this covers
+            // batches strictly larger than the whole queue.
+            (0usize..17).prop_map(BatchScriptOp::EnqueueBatch),
+            (0usize..17).prop_map(BatchScriptOp::DequeueBatch),
+        ],
+        0..max_len,
+    )
+}
+
+/// Replays a batch script against a queue and a VecDeque model, checking
+/// every partial-acceptance boundary exactly, while recording a history
+/// whose value integrity is then checked through `lincheck`.
+fn assert_batch_matches_model<Q: ConcurrentQueue<u64>>(queue: &Q, script: &[BatchScriptOp]) {
+    let cap = ConcurrentQueue::capacity(queue).expect("batch model tests need a bounded queue");
+    let name = queue.algorithm_name();
+    let mut model: VecDeque<u64> = VecDeque::new();
+    let mut h = queue.handle();
+    let mut tag = 0u64;
+    let mut ts = 0u64;
+    let mut ops: Vec<Op> = Vec::new();
+    let mut record = |kind: OpKind, ts: &mut u64| {
+        ops.push(Op {
+            thread: 0,
+            kind,
+            start: *ts,
+            end: *ts + 1,
+        });
+        *ts += 2;
+    };
+    for (i, op) in script.iter().enumerate() {
+        match op {
+            BatchScriptOp::Enqueue => {
+                tag += 1;
+                let accepted = h.enqueue(tag).is_ok();
+                assert_eq!(
+                    accepted,
+                    model.len() < cap,
+                    "{name} op {i}: single enqueue full-boundary mismatch"
+                );
+                if accepted {
+                    model.push_back(tag);
+                }
+                record(
+                    if accepted {
+                        OpKind::Enqueue(tag)
+                    } else {
+                        OpKind::EnqueueFull(tag)
+                    },
+                    &mut ts,
+                );
+            }
+            BatchScriptOp::Dequeue => {
+                let got = h.dequeue();
+                assert_eq!(got, model.pop_front(), "{name} op {i}: dequeue mismatch");
+                record(OpKind::Dequeue(got), &mut ts);
+            }
+            BatchScriptOp::EnqueueBatch(len) => {
+                let values: Vec<u64> = (0..*len)
+                    .map(|_| {
+                        tag += 1;
+                        tag
+                    })
+                    .collect();
+                let free = cap - model.len();
+                match h.enqueue_batch(values.clone().into_iter()) {
+                    Ok(n) => {
+                        assert_eq!(n, values.len(), "{name} op {i}: wrong Ok count");
+                        assert!(
+                            values.len() <= free,
+                            "{name} op {i}: accepted {n} with only {free} free"
+                        );
+                        model.extend(&values);
+                        for &v in &values {
+                            record(OpKind::Enqueue(v), &mut ts);
+                        }
+                    }
+                    Err(e) => {
+                        assert!(
+                            values.len() > free,
+                            "{name} op {i}: rejected batch of {} with {free} free",
+                            values.len()
+                        );
+                        assert_eq!(e.enqueued, free, "{name} op {i}: partial-fill count");
+                        assert_eq!(
+                            e.remaining,
+                            &values[free..],
+                            "{name} op {i}: leftovers not the in-order tail"
+                        );
+                        model.extend(&values[..free]);
+                        for &v in &values[..free] {
+                            record(OpKind::Enqueue(v), &mut ts);
+                        }
+                        for &v in &values[free..] {
+                            record(OpKind::EnqueueFull(v), &mut ts);
+                        }
+                    }
+                }
+            }
+            BatchScriptOp::DequeueBatch(max) => {
+                let mut out = Vec::new();
+                let got = h.dequeue_batch(&mut out, *max);
+                assert_eq!(got, out.len(), "{name} op {i}: count/out disagree");
+                let expect: Vec<u64> = (0..(*max).min(model.len()))
+                    .map(|_| model.pop_front().expect("sized by min"))
+                    .collect();
+                assert_eq!(out, expect, "{name} op {i}: batch dequeue mismatch");
+                if got == 0 && *max > 0 {
+                    record(OpKind::Dequeue(None), &mut ts);
+                }
+                for &v in &out {
+                    record(OpKind::Dequeue(Some(v)), &mut ts);
+                }
+            }
+        }
+    }
+    // Drain the tail and close out the history.
+    let mut rest = Vec::new();
+    while let Some(v) = h.dequeue() {
+        record(OpKind::Dequeue(Some(v)), &mut ts);
+        rest.push(v);
+    }
+    assert_eq!(rest, model.into_iter().collect::<Vec<_>>(), "{name}: tail");
+    let history = History { ops };
+    check_value_integrity(&history)
+        .unwrap_or_else(|v| panic!("{name}: batch history integrity: {v}"));
+    check_history(&history).unwrap_or_else(|v| panic!("{name}: batch history: {v}"));
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
     #[test]
     fn cas_queue_matches_model(script in script_strategy(120), cap in 1usize..20) {
         assert_matches_model(&CasQueue::<u64>::with_capacity(cap), &script);
+    }
+
+    #[test]
+    fn cas_queue_batches_match_model(script in batch_script_strategy(60), cap in 1usize..12) {
+        // Covers zero-length batches, batches larger than the capacity,
+        // and batch/element interleavings on one queue in a single sweep.
+        assert_batch_matches_model(&CasQueue::<u64>::with_capacity(cap), &script);
+    }
+
+    #[test]
+    fn llsc_queue_batches_match_model(script in batch_script_strategy(60), cap in 1usize..12) {
+        assert_batch_matches_model(&LlScQueue::<u64>::with_capacity(cap), &script);
+    }
+
+    #[test]
+    fn mutex_queue_batches_match_model_via_defaults(
+        script in batch_script_strategy(50),
+        cap in 1usize..10,
+    ) {
+        // The element-wise default impls must obey the same contract as
+        // the native overrides.
+        assert_batch_matches_model(
+            &nbq::baselines::MutexQueue::<u64>::with_capacity(cap),
+            &script,
+        );
+    }
+
+    #[test]
+    fn sharded_queue_conserves_values_through_batches(
+        script in batch_script_strategy(60),
+        lanes in 1usize..5,
+        per_lane_cap in 1usize..8,
+        stripe in any::<bool>(),
+    ) {
+        // The sharded frontend reorders across lanes, so it cannot be
+        // held to the single-FIFO model; what it must never do is lose
+        // or duplicate a value, under either batch policy.
+        let config = ShardedConfig {
+            lanes,
+            steal_attempts: lanes.saturating_sub(1),
+            batch_policy: if stripe { BatchPolicy::Stripe } else { BatchPolicy::Pin },
+        };
+        let q = ShardedQueue::with_config(config, |_| {
+            CasQueue::<u64>::with_capacity(per_lane_cap)
+        });
+        let mut h = q.handle();
+        let mut tag = 0u64;
+        let mut accepted: HashSet<u64> = HashSet::new();
+        let mut drained: Vec<u64> = Vec::new();
+        for op in &script {
+            match op {
+                BatchScriptOp::Enqueue => {
+                    tag += 1;
+                    if h.enqueue(tag).is_ok() {
+                        accepted.insert(tag);
+                    }
+                }
+                BatchScriptOp::Dequeue => drained.extend(h.dequeue()),
+                BatchScriptOp::EnqueueBatch(len) => {
+                    let values: Vec<u64> = (0..*len).map(|_| { tag += 1; tag }).collect();
+                    match h.enqueue_batch(values.clone().into_iter()) {
+                        Ok(n) => {
+                            prop_assert_eq!(n, values.len());
+                            accepted.extend(values);
+                        }
+                        Err(e) => {
+                            prop_assert_eq!(e.enqueued + e.remaining.len(), values.len());
+                            let rejected: HashSet<u64> = e.remaining.iter().copied().collect();
+                            prop_assert_eq!(rejected.len(), e.remaining.len(), "dup leftovers");
+                            accepted.extend(values.into_iter().filter(|v| !rejected.contains(v)));
+                        }
+                    }
+                }
+                BatchScriptOp::DequeueBatch(max) => {
+                    let mut out = Vec::new();
+                    let got = h.dequeue_batch(&mut out, *max);
+                    prop_assert_eq!(got, out.len());
+                    drained.append(&mut out);
+                }
+            }
+        }
+        while let Some(v) = h.dequeue() {
+            drained.push(v);
+        }
+        let drained_set: HashSet<u64> = drained.iter().copied().collect();
+        prop_assert_eq!(drained_set.len(), drained.len(), "a value came out twice");
+        prop_assert_eq!(drained_set, accepted, "loss or thin-air value");
     }
 
     #[test]
@@ -246,6 +481,56 @@ proptest! {
             && matches!(check_linearizable(&h, None), SearchResult::NotLinearizable);
         prop_assert!(cheap_rejects || search_rejects);
     }
+}
+
+#[test]
+fn zero_length_batches_are_noops_everywhere() {
+    fn check<Q: ConcurrentQueue<u64>>(queue: &Q) {
+        let name = queue.algorithm_name();
+        let mut h = queue.handle();
+        h.enqueue(7).unwrap();
+        assert_eq!(
+            h.enqueue_batch(Vec::new().into_iter()).unwrap_or_else(|_| {
+                panic!("{name}: empty batch reported Full");
+            }),
+            0,
+            "{name}: empty batch enqueued something"
+        );
+        let mut out = Vec::new();
+        assert_eq!(h.dequeue_batch(&mut out, 0), 0, "{name}: max=0 dequeued");
+        assert!(out.is_empty());
+        assert_eq!(
+            h.dequeue(),
+            Some(7),
+            "{name}: no-op batches disturbed state"
+        );
+        assert_eq!(h.dequeue(), None);
+    }
+    check(&CasQueue::<u64>::with_capacity(4));
+    check(&LlScQueue::<u64>::with_capacity(4));
+    check(&ShardedQueue::with_lanes(2, |_| {
+        CasQueue::<u64>::with_capacity(4)
+    }));
+    check(&nbq::baselines::MutexQueue::<u64>::with_capacity(4));
+}
+
+#[test]
+fn batch_larger_than_total_capacity_reports_exact_split() {
+    // Capacity 4 (2 lanes x 2): a batch of 10 must land exactly 4 and
+    // return the other 6 — across lanes, not just within one.
+    let q = ShardedQueue::with_lanes(2, |_| CasQueue::<u64>::with_capacity(2));
+    let mut h = q.handle();
+    let e = h
+        .enqueue_batch((0..10u64).collect::<Vec<_>>().into_iter())
+        .unwrap_err();
+    assert_eq!(e.enqueued, 4);
+    assert_eq!(e.remaining.len(), 6);
+    let mut out = Vec::new();
+    assert_eq!(h.dequeue_batch(&mut out, 16), 4);
+    let mut all: Vec<u64> = out.clone();
+    all.extend(&e.remaining);
+    all.sort_unstable();
+    assert_eq!(all, (0..10).collect::<Vec<_>>(), "split lost a value");
 }
 
 #[test]

@@ -13,8 +13,11 @@
 
 use nbq::baselines::{LmsQueue, MsDohertyQueue, MsQueue, ScanMode, ShannQueue, TreiberQueue};
 use nbq::harness::{run_once, WorkloadConfig};
-use nbq::lincheck::{check_history, record_run, DriverConfig};
-use nbq::{CasQueue, ConcurrentQueue, LlScQueue};
+use nbq::lincheck::{
+    check_history, check_per_producer_fifo, check_value_integrity, record_batch_run,
+    record_paper_workload, record_run, DriverConfig,
+};
+use nbq::{BatchPolicy, CasQueue, ConcurrentQueue, LlScQueue, ShardedConfig, ShardedQueue};
 
 fn soak_cfg(threads: usize, iterations: usize) -> WorkloadConfig {
     WorkloadConfig {
@@ -88,4 +91,101 @@ fn every_queue_long_checked_histories() {
     soak!(MsDohertyQueue::<u64>::new());
     soak!(TreiberQueue::<u64>::new());
     soak!(LmsQueue::<u64>::new());
+}
+
+#[test]
+#[ignore = "soak: minutes of runtime"]
+fn paper_workload_recorded_histories() {
+    // The §6 benchmark shape itself, recorded and checked — the workload
+    // the throughput numbers come from must also be a clean history.
+    for threads in [4, 8] {
+        let q = CasQueue::<u64>::with_capacity(1024);
+        let h = record_paper_workload(&q, threads, 4_000);
+        check_history(&h).unwrap_or_else(|v| panic!("cas paper workload ({threads}t): {v}"));
+        let q = LlScQueue::<u64>::with_capacity(1024);
+        let h = record_paper_workload(&q, threads, 4_000);
+        check_history(&h).unwrap_or_else(|v| panic!("llsc paper workload ({threads}t): {v}"));
+    }
+}
+
+#[test]
+#[ignore = "soak: minutes of runtime"]
+fn batch_workload_recorded_histories() {
+    // The native multi-slot batch paths under contention: every recorded
+    // element must satisfy the same necessary conditions as single ops.
+    let cfg = DriverConfig {
+        threads: 8,
+        ops_per_thread: 4_000,
+        enqueue_percent: 55,
+        seed: 0xBA7C_u64,
+    };
+    for batch in [2, 5, 16] {
+        let q = CasQueue::<u64>::with_capacity(1024);
+        let h = record_batch_run(&q, cfg, batch);
+        check_history(&h).unwrap_or_else(|v| panic!("cas batch x{batch}: {v}"));
+        let q = LlScQueue::<u64>::with_capacity(1024);
+        let h = record_batch_run(&q, cfg, batch);
+        check_history(&h).unwrap_or_else(|v| panic!("llsc batch x{batch}: {v}"));
+    }
+}
+
+#[test]
+#[ignore = "soak: minutes of runtime"]
+fn sharded_recorded_histories() {
+    // The sharded frontend is relaxed-FIFO: cross-lane order is advisory,
+    // so the strict real-time FIFO sweep does not apply. What every
+    // history must still satisfy is value integrity (nothing lost,
+    // duplicated, or out of thin air) and per-producer FIFO — capacity is
+    // ample, so producers never migrate lanes mid-stream.
+    // Balanced mix: queue occupancy stays a short random walk around 0,
+    // far from any lane's capacity, so Full-triggered migration (the one
+    // per-producer FIFO relaxation point) cannot occur.
+    let cfg = DriverConfig {
+        threads: 8,
+        ops_per_thread: 6_000,
+        enqueue_percent: 50,
+        seed: 0x5AD_u64,
+    };
+    for lanes in [2, 4, 8] {
+        let q = ShardedQueue::with_lanes(lanes, |_| CasQueue::<u64>::with_capacity(4096));
+        let h = record_run(&q, cfg);
+        check_value_integrity(&h).unwrap_or_else(|v| panic!("sharded-cas-{lanes}: {v}"));
+        check_per_producer_fifo(&h)
+            .unwrap_or_else(|v| panic!("sharded-cas-{lanes} producer order: {v}"));
+
+        let q = ShardedQueue::with_lanes(lanes, |_| LlScQueue::<u64>::with_capacity(4096));
+        let h = record_run(&q, cfg);
+        check_value_integrity(&h).unwrap_or_else(|v| panic!("sharded-llsc-{lanes}: {v}"));
+        check_per_producer_fifo(&h)
+            .unwrap_or_else(|v| panic!("sharded-llsc-{lanes} producer order: {v}"));
+    }
+}
+
+#[test]
+#[ignore = "soak: minutes of runtime"]
+fn sharded_batch_recorded_histories() {
+    // Pin-policy batches keep whole batches on one lane (spilling only on
+    // Full, which ample capacity rules out), so per-producer FIFO must
+    // survive batching; Stripe trades exactly that away, so it is held to
+    // value integrity only.
+    let cfg = DriverConfig {
+        threads: 8,
+        ops_per_thread: 2_000,
+        enqueue_percent: 50,
+        seed: 0x0BA7_C5AD_u64,
+    };
+    for policy in [BatchPolicy::Pin, BatchPolicy::Stripe] {
+        let config = ShardedConfig {
+            lanes: 4,
+            steal_attempts: 3,
+            batch_policy: policy,
+        };
+        let q = ShardedQueue::with_config(config, |_| CasQueue::<u64>::with_capacity(4096));
+        let h = record_batch_run(&q, cfg, 5);
+        check_value_integrity(&h).unwrap_or_else(|v| panic!("sharded {policy:?} batch: {v}"));
+        if policy == BatchPolicy::Pin {
+            check_per_producer_fifo(&h)
+                .unwrap_or_else(|v| panic!("sharded Pin batch producer order: {v}"));
+        }
+    }
 }

@@ -5,7 +5,8 @@
 
 use nbq::baselines::{MsDohertyQueue, MsQueue, ScanMode, ShannQueue, TsigasZhangQueue};
 use nbq::harness::{run_once, WorkloadConfig};
-use nbq::{CasQueue, LlScQueue, QueueHandle};
+use nbq::lincheck::{check_per_producer_fifo, check_value_integrity, record_run, DriverConfig};
+use nbq::{CasQueue, ConcurrentQueue, LlScQueue, QueueHandle, ShardedQueue};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
@@ -293,6 +294,75 @@ fn doherty_descriptor_pool_stays_bounded() {
         "descriptors must recycle in steady state; allocated {allocated}"
     );
     assert!(q.domain().pool().recycled() > 5_000);
+}
+
+#[test]
+fn sharded_paper_workload_oversubscribed() {
+    // The sharded frontend through the same oversubscribed paper workload
+    // as the single-lane queues: every lane must drain and the frontend's
+    // balance must hold by construction (this is also the target the CI
+    // ThreadSanitizer leg drives).
+    let cfg = stress_cfg(8);
+    for lanes in [2usize, 4] {
+        let per_lane = cfg.capacity.div_ceil(lanes);
+        let q = ShardedQueue::with_lanes(lanes, |_| CasQueue::<u64>::with_capacity(per_lane));
+        run_once(&q, &cfg);
+        assert_eq!(q.is_empty(), Some(true), "sharded-cas-{lanes} must drain");
+        let q = ShardedQueue::with_lanes(lanes, |_| LlScQueue::<u64>::with_capacity(per_lane));
+        run_once(&q, &cfg);
+        assert_eq!(q.is_empty(), Some(true), "sharded-llsc-{lanes} must drain");
+    }
+}
+
+#[test]
+fn sharded_recorded_histories_keep_producer_fifo_and_values() {
+    // Every recorded sharded history must pass value integrity (nothing
+    // lost, duplicated, or out of thin air) and per-producer FIFO. Ample
+    // per-lane capacity plus a balanced mix keeps occupancy far from Full,
+    // so producers never migrate lanes mid-stream; dequeue-side stealing
+    // alone cannot invert a single producer's order (the empty-lane
+    // observation that triggers a steal implies the earlier value's
+    // dequeue already began).
+    let cfg = DriverConfig {
+        threads: 6,
+        ops_per_thread: 1_000,
+        enqueue_percent: 50,
+        seed: 0x5AD_u64,
+    };
+    for lanes in [2usize, 4] {
+        let q = ShardedQueue::with_lanes(lanes, |_| CasQueue::<u64>::with_capacity(1024));
+        let h = record_run(&q, cfg);
+        check_value_integrity(&h).unwrap_or_else(|v| panic!("sharded-cas-{lanes}: {v}"));
+        check_per_producer_fifo(&h)
+            .unwrap_or_else(|v| panic!("sharded-cas-{lanes} producer order: {v}"));
+
+        let q = ShardedQueue::with_lanes(lanes, |_| LlScQueue::<u64>::with_capacity(1024));
+        let h = record_run(&q, cfg);
+        check_value_integrity(&h).unwrap_or_else(|v| panic!("sharded-llsc-{lanes}: {v}"));
+        check_per_producer_fifo(&h)
+            .unwrap_or_else(|v| panic!("sharded-llsc-{lanes} producer order: {v}"));
+    }
+}
+
+#[test]
+fn sharded_full_pressure_steals_conserve_values() {
+    // Tiny lanes and an enqueue-heavy mix force Full-triggered migration —
+    // the one point where the frontend trades per-producer FIFO for
+    // progress. Cross-lane order is advisory there, but value integrity
+    // is not: the recorded history must still show every accepted value
+    // dequeued at most once and never out of thin air.
+    let cfg = DriverConfig {
+        threads: 6,
+        ops_per_thread: 1_000,
+        enqueue_percent: 70,
+        seed: 0xF11_u64,
+    };
+    for lanes in [2usize, 4] {
+        let q = ShardedQueue::with_lanes(lanes, |_| CasQueue::<u64>::with_capacity(4));
+        let h = record_run(&q, cfg);
+        check_value_integrity(&h)
+            .unwrap_or_else(|v| panic!("sharded-cas-{lanes} under Full pressure: {v}"));
+    }
 }
 
 #[test]
