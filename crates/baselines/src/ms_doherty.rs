@@ -21,6 +21,7 @@ use core::mem::MaybeUninit;
 use core::ptr;
 use nbq_llsc::doherty::Pool;
 use nbq_llsc::{DohertyCell, DohertyDomain, DohertyLocal};
+use nbq_util::pool::{NodePool, PoolHandle, PoolNode};
 use nbq_util::{Backoff, CachePadded, ConcurrentQueue, Full, QueueHandle};
 
 /// Hazard slot partition (see `nbq_hazard::HP_PER_RECORD` = 6).
@@ -30,9 +31,30 @@ const HP_TAIL_DESC: usize = 2;
 const HP_NEXT_DESC: usize = 3;
 const HP_NEXT_NODE: usize = 4;
 
+/// Queue nodes live inside [`PoolNode`]s so retired nodes re-enter the
+/// node pool once a hazard scan proves them unprotected.
+type MdPtr<T> = *mut PoolNode<MdNode<T>>;
+
 struct MdNode<T> {
     value: MaybeUninit<T>,
     next: DohertyCell, // holds the successor's address (0 = none)
+}
+
+/// Shared view of a node's payload. Callers guarantee the node is alive
+/// (hazard-protected, chain-reachable during exclusive teardown, or
+/// freshly acquired).
+unsafe fn md_ref<'a, T>(node: MdPtr<T>) -> &'a MdNode<T> {
+    // SAFETY: forwarded caller contract.
+    unsafe { &*PoolNode::payload_ptr(node) }
+}
+
+/// Deleter context for retired queue nodes: the reclamation callback must
+/// reach both the descriptor pool (to recycle the node's final
+/// `next`-descriptor) and the node pool (to recycle the node memory).
+/// Boxed in the queue for a stable address.
+struct MdCtx<T> {
+    descriptors: *const Pool,
+    nodes: *const NodePool<MdNode<T>>,
 }
 
 /// Hazard-reclamation callback for a retired queue node: runs only after
@@ -40,15 +62,19 @@ struct MdNode<T> {
 /// `next` cell anymore — the one moment its descriptor may safely re-enter
 /// the pool.
 unsafe fn reclaim_md_node<T>(p: *mut u8, ctx: *mut u8) {
-    let node = p.cast::<MdNode<T>>();
-    // SAFETY: ctx is the domain's boxed pool (outlives the hazard domain);
-    // unreachability per the retire contract.
+    let node = p.cast::<PoolNode<MdNode<T>>>();
+    // SAFETY: ctx is the queue's boxed MdCtx (outlives the hazard domain,
+    // as do both pools it points to); unreachability per the retire
+    // contract.
     unsafe {
-        (*node).next.reclaim_exclusive(&*ctx.cast::<Pool>());
-        // The value was moved out by the dequeuer (or never initialized in
-        // the dummy); dropping the box must not drop the value — and does
-        // not, since it is MaybeUninit.
-        drop(Box::from_raw(node));
+        let ctx = &*ctx.cast::<MdCtx<T>>();
+        (*PoolNode::payload_ptr(node))
+            .next
+            .reclaim_exclusive(&*ctx.descriptors);
+        // The value was moved out by the dequeuer (or never initialized
+        // in the dummy), so recycling the node memory must not drop it —
+        // and does not, since it is MaybeUninit.
+        (*ctx.nodes).recycle_raw(node);
     }
 }
 
@@ -57,6 +83,12 @@ pub struct MsDohertyQueue<T> {
     domain: DohertyDomain,
     head: CachePadded<DohertyCell>,
     tail: CachePadded<DohertyCell>,
+    /// Declared after `domain`: the domain's drop runs pending
+    /// `reclaim_md_node` deleters, which dereference `ctx` and recycle
+    /// into `nodes` — both must still be alive at that point (fields drop
+    /// in declaration order).
+    nodes: Box<NodePool<MdNode<T>>>,
+    ctx: Box<MdCtx<T>>,
     _marker: PhantomData<T>,
 }
 
@@ -69,16 +101,26 @@ impl<T: Send> MsDohertyQueue<T> {
     /// Creates an empty queue (allocates the dummy node).
     pub fn new() -> Self {
         let domain = DohertyDomain::new();
-        let dummy = Box::into_raw(Box::new(MdNode::<T> {
-            value: MaybeUninit::uninit(),
-            next: DohertyCell::new(0, &domain),
-        }));
+        let nodes = Box::new(NodePool::new());
+        let dummy = nodes
+            .handle()
+            .acquire(MdNode::<T> {
+                value: MaybeUninit::uninit(),
+                next: DohertyCell::new(0, &domain),
+            })
+            .0;
         let head = CachePadded::new(DohertyCell::new(dummy as u64, &domain));
         let tail = CachePadded::new(DohertyCell::new(dummy as u64, &domain));
+        let ctx = Box::new(MdCtx {
+            descriptors: domain.pool() as *const Pool,
+            nodes: &*nodes as *const NodePool<MdNode<T>>,
+        });
         Self {
             domain,
             head,
             tail,
+            nodes,
+            ctx,
             _marker: PhantomData,
         }
     }
@@ -88,12 +130,18 @@ impl<T: Send> MsDohertyQueue<T> {
         MsDohertyHandle {
             queue: self,
             local: self.domain.register(),
+            pool: self.nodes.handle(),
         }
     }
 
     /// The descriptor pool (diagnostics: allocation vs recycling).
     pub fn domain(&self) -> &DohertyDomain {
         &self.domain
+    }
+
+    /// The node pool's counters (diagnostics: allocation vs recycling).
+    pub fn pool_stats(&self) -> nbq_util::pool::PoolStats {
+        self.nodes.stats()
     }
 }
 
@@ -106,24 +154,27 @@ impl<T: Send> Default for MsDohertyQueue<T> {
 impl<T> Drop for MsDohertyQueue<T> {
     fn drop(&mut self) {
         // Exclusive teardown: walk the chain, dropping values of non-dummy
-        // nodes and freeing the node boxes. Descriptors are freed by the
-        // pool inside `domain` (which drops after head/tail per field
-        // order... fields drop in declaration order, so `domain` drops
-        // first — but Domain teardown only frees *descriptors*, which the
-        // cells no longer touch; the node walk below uses raw loads only).
+        // nodes and recycling the node memory. Descriptors are freed by
+        // the pool inside `domain` (which drops after this body; its
+        // hazard teardown runs the pending reclaim_md_node deleters for
+        // retired nodes NOT in this chain, then `nodes`/`ctx` drop last
+        // per field order). The walk uses raw loads only.
         // SAFETY: exclusive access; load_exclusive reads the final value.
-        let mut cur = unsafe { self.head.load_exclusive() } as *mut MdNode<T>;
+        let mut cur = unsafe { self.head.load_exclusive() } as MdPtr<T>;
         let mut is_dummy = true;
         while !cur.is_null() {
-            // SAFETY: nodes came from Box::into_raw and are owned here.
-            let mut node = unsafe { Box::from_raw(cur) };
+            // SAFETY: nodes came from this queue's pool, visited once.
+            let node = unsafe { &mut *PoolNode::payload_ptr(cur) };
             if !is_dummy {
                 // SAFETY: non-dummy nodes own their value.
                 unsafe { node.value.assume_init_drop() };
             }
             is_dummy = false;
             // SAFETY: exclusive.
-            cur = unsafe { node.next.load_exclusive() } as *mut MdNode<T>;
+            let next = unsafe { node.next.load_exclusive() } as MdPtr<T>;
+            // SAFETY: value dropped/moved out above; unique owner.
+            unsafe { self.nodes.recycle_raw(cur) };
+            cur = next;
         }
     }
 }
@@ -132,15 +183,22 @@ impl<T> Drop for MsDohertyQueue<T> {
 pub struct MsDohertyHandle<'q, T> {
     queue: &'q MsDohertyQueue<T>,
     local: DohertyLocal<'q>,
+    pool: PoolHandle<'q, MdNode<T>>,
 }
 
 impl<T: Send> QueueHandle<T> for MsDohertyHandle<'_, T> {
     fn enqueue(&mut self, value: T) -> Result<(), Full<T>> {
         let q = self.queue;
-        let node = Box::into_raw(Box::new(MdNode {
-            value: MaybeUninit::new(value),
-            next: DohertyCell::new_with_local(0, &self.local),
-        }));
+        // The acquire overwrites the node's whole payload (value AND next
+        // cell), so a recycled node is indistinguishable from a fresh one
+        // when it is published below (DESIGN.md §8).
+        let node = self
+            .pool
+            .acquire(MdNode {
+                value: MaybeUninit::new(value),
+                next: DohertyCell::new_with_local(0, &self.local),
+            })
+            .0;
         let mut backoff = Backoff::new();
         #[cfg(debug_assertions)]
         let mut watchdog = 0u64;
@@ -166,13 +224,14 @@ impl<T: Send> QueueHandle<T> for MsDohertyHandle<'_, T> {
                     continue;
                 }
             };
-            let t_node = t_val as *mut MdNode<T>;
+            let t_node = t_val as MdPtr<T>;
             // LL the tail node's next cell.
             // SAFETY: t_node is hazard-protected and was the current tail.
-            let (next_val, next_token) = unsafe { &*t_node }.next.ll(&self.local, HP_NEXT_DESC);
+            let (next_val, next_token) =
+                unsafe { md_ref(t_node) }.next.ll(&self.local, HP_NEXT_DESC);
             if next_val == 0 {
                 // SAFETY: as above.
-                if unsafe { &*t_node }
+                if unsafe { md_ref(t_node) }
                     .next
                     .sc(&mut self.local, next_token, node as u64)
                 {
@@ -187,7 +246,9 @@ impl<T: Send> QueueHandle<T> for MsDohertyHandle<'_, T> {
             } else {
                 // Tail lagging: help swing it to the real last node.
                 // SAFETY: next_token's descriptor read is done.
-                unsafe { &*t_node }.next.release(&self.local, next_token);
+                unsafe { md_ref(t_node) }
+                    .next
+                    .release(&self.local, next_token);
                 let _ = q.tail.sc(&mut self.local, t_token, next_val);
             }
             self.local.hazards_ref().clear(HP_NODE);
@@ -217,10 +278,11 @@ impl<T: Send> QueueHandle<T> for MsDohertyHandle<'_, T> {
                     continue;
                 }
             };
-            let h_node = h_val as *mut MdNode<T>;
+            let h_node = h_val as MdPtr<T>;
             let (t_val, t_token) = q.tail.ll(&self.local, HP_TAIL_DESC);
             // SAFETY: h_node is protected (HP_NODE) and was current head.
-            let (next_val, next_token) = unsafe { &*h_node }.next.ll(&self.local, HP_NEXT_DESC);
+            let (next_val, next_token) =
+                unsafe { md_ref(h_node) }.next.ll(&self.local, HP_NEXT_DESC);
             // Protect the next node before trusting it, then re-validate
             // that the head is unchanged (Michael's D5).
             self.local
@@ -232,7 +294,9 @@ impl<T: Send> QueueHandle<T> for MsDohertyHandle<'_, T> {
                     q.head.release(&self.local, t);
                     q.tail.release(&self.local, t_token);
                     // SAFETY: releasing an un-SC'd link.
-                    unsafe { &*h_node }.next.release(&self.local, next_token);
+                    unsafe { md_ref(h_node) }
+                        .next
+                        .release(&self.local, next_token);
                     self.clear_node_slots();
                     continue;
                 }
@@ -242,14 +306,18 @@ impl<T: Send> QueueHandle<T> for MsDohertyHandle<'_, T> {
                 q.head.release(&self.local, h_token);
                 q.tail.release(&self.local, t_token);
                 // SAFETY: as above.
-                unsafe { &*h_node }.next.release(&self.local, next_token);
+                unsafe { md_ref(h_node) }
+                    .next
+                    .release(&self.local, next_token);
                 self.clear_node_slots();
                 return None;
             }
             if h_val == t_val {
                 // Tail lagging: help.
                 // SAFETY: as above.
-                unsafe { &*h_node }.next.release(&self.local, next_token);
+                unsafe { md_ref(h_node) }
+                    .next
+                    .release(&self.local, next_token);
                 let _ = q.tail.sc(&mut self.local, t_token, next_val);
                 q.head.release(&self.local, h_token);
                 self.clear_node_slots();
@@ -257,13 +325,15 @@ impl<T: Send> QueueHandle<T> for MsDohertyHandle<'_, T> {
             }
             q.tail.release(&self.local, t_token);
             // SAFETY: as above.
-            unsafe { &*h_node }.next.release(&self.local, next_token);
+            unsafe { md_ref(h_node) }
+                .next
+                .release(&self.local, next_token);
             if q.head.sc(&mut self.local, h_token, next_val) {
-                let next_node = next_val as *mut MdNode<T>;
+                let next_node = next_val as MdPtr<T>;
                 // SAFETY: next_node is protected by HP_NEXT_NODE and the
                 // winning SC makes this thread the unique reader of its
                 // value.
-                let value = unsafe { ptr::read((*next_node).value.as_ptr()) };
+                let value = unsafe { ptr::read(md_ref(next_node).value.as_ptr()) };
                 self.clear_node_slots();
                 // Retire the old dummy. Its final next-descriptor is
                 // recycled *inside the node's reclamation callback* — only
@@ -272,15 +342,16 @@ impl<T: Send> QueueHandle<T> for MsDohertyHandle<'_, T> {
                 // provably uninstallable. Recycling it any earlier is the
                 // descriptor-reuse bug DESIGN.md's erratum notes describe
                 // (a stale enqueuer would revalidate against the unchanged
-                // cell and read the recycled descriptor's new value).
+                // cell and read the recycled descriptor's new value). The
+                // node memory re-enters the node pool in the same callback.
                 // SAFETY: h_node is unlinked (head moved past it), retired
-                // once; the pool (ctx) is boxed inside the domain and
-                // outlives the hazard domain.
+                // once; ctx is boxed in the queue and outlives the hazard
+                // domain, as do both pools it points to.
                 unsafe {
-                    let pool: *const Pool = self.local.pool();
+                    let ctx: *const MdCtx<T> = &*self.queue.ctx;
                     self.local.hazards().retire_raw(
                         h_node.cast(),
-                        pool.cast_mut().cast(),
+                        ctx.cast_mut().cast(),
                         reclaim_md_node::<T>,
                     );
                 }
@@ -363,6 +434,24 @@ mod tests {
             "descriptor churn must be recycled: allocated={allocated}"
         );
         assert!(q.domain().pool().recycled() > 1_000);
+        // The *node* pool recycles on the same cadence as the descriptor
+        // pool: both are handed back by the reclaim_md_node callback.
+        drop(h);
+        let nodes = q.pool_stats();
+        if cfg!(feature = "no-pool") {
+            assert_eq!(nodes.recycled, 0, "no-pool never recycles nodes");
+        } else {
+            assert!(
+                nodes.fresh < 2_500,
+                "fresh node carving must stall, got {}",
+                nodes.fresh
+            );
+            assert!(
+                nodes.recycled > 2_000,
+                "recycled nodes must feed enqueues, got {}",
+                nodes.recycled
+            );
+        }
     }
 
     #[test]

@@ -18,29 +18,44 @@ use core::mem::MaybeUninit;
 use core::ptr;
 use core::sync::atomic::AtomicPtr;
 use nbq_hazard::{Config, Domain, LocalHazards, ScanMode};
+use nbq_util::pool::{NodePool, PoolHandle, PoolNode};
 use nbq_util::{mem, Backoff, CachePadded, ConcurrentQueue, Full, QueueHandle};
+
+/// Queue nodes live inside [`PoolNode`]s so retired dummies can re-enter
+/// the node pool via `retire_recycle` the moment a hazard scan proves
+/// them unprotected, making steady state allocation-free.
+type MsPtr<T> = *mut PoolNode<MsNode<T>>;
 
 struct MsNode<T> {
     /// Uninitialized in the dummy node and in nodes whose value has been
     /// moved out by the winning dequeuer.
     value: MaybeUninit<T>,
-    next: AtomicPtr<MsNode<T>>,
+    next: AtomicPtr<PoolNode<MsNode<T>>>,
 }
 
 impl<T> MsNode<T> {
-    fn dummy() -> *mut Self {
-        Box::into_raw(Box::new(Self {
+    fn dummy() -> Self {
+        Self {
             value: MaybeUninit::uninit(),
             next: AtomicPtr::new(ptr::null_mut()),
-        }))
+        }
     }
 
-    fn with_value(value: T) -> *mut Self {
-        Box::into_raw(Box::new(Self {
+    fn with_value(value: T) -> Self {
+        Self {
             value: MaybeUninit::new(value),
             next: AtomicPtr::new(ptr::null_mut()),
-        }))
+        }
     }
+}
+
+/// Shared view of a node's payload. Callers guarantee the node is alive
+/// (hazard-protected, chain-reachable during exclusive teardown, or
+/// freshly acquired).
+unsafe fn ms_ref<'a, T>(node: MsPtr<T>) -> &'a MsNode<T> {
+    // SAFETY: forwarded caller contract; the payload was initialized by
+    // the `acquire` that produced the node.
+    unsafe { &*PoolNode::payload_ptr(node) }
 }
 
 /// Michael–Scott queue with hazard-pointer reclamation.
@@ -48,9 +63,15 @@ impl<T> MsNode<T> {
 /// Unbounded (link-based queues "may vary dynamically" — the paper's §2);
 /// `capacity()` reports `None`.
 pub struct MsQueue<T> {
-    head: CachePadded<AtomicPtr<MsNode<T>>>,
-    tail: CachePadded<AtomicPtr<MsNode<T>>>,
+    head: CachePadded<AtomicPtr<PoolNode<MsNode<T>>>>,
+    tail: CachePadded<AtomicPtr<PoolNode<MsNode<T>>>>,
     domain: Domain,
+    /// Boxed for a stable address: `retire_recycle` stores `&*pool` as
+    /// deleter context inside the domain while retirements are pending,
+    /// and the queue may be moved in the meantime. Declared after
+    /// `domain` so the domain's drop (which runs those deleters) strictly
+    /// precedes the pool's.
+    pool: Box<NodePool<MsNode<T>>>,
     scan_mode: ScanMode,
     _marker: PhantomData<T>,
 }
@@ -65,7 +86,8 @@ impl<T: Send> MsQueue<T> {
     /// Creates an empty queue using the given hazard scan mode (the
     /// paper's two "MS-Hazard Pointers" configurations).
     pub fn new(scan_mode: ScanMode) -> Self {
-        let dummy = MsNode::<T>::dummy();
+        let pool = Box::new(NodePool::new());
+        let dummy = pool.handle().acquire(MsNode::<T>::dummy()).0;
         Self {
             head: CachePadded::new(AtomicPtr::new(dummy)),
             tail: CachePadded::new(AtomicPtr::new(dummy)),
@@ -73,6 +95,7 @@ impl<T: Send> MsQueue<T> {
                 scan_mode,
                 retire_factor: 4, // paper §6
             }),
+            pool,
             scan_mode,
             _marker: PhantomData,
         }
@@ -84,38 +107,53 @@ impl<T: Send> MsQueue<T> {
         &self.domain
     }
 
+    /// The node pool's counters (diagnostics: allocation vs recycling).
+    pub fn pool_stats(&self) -> nbq_util::pool::PoolStats {
+        self.pool.stats()
+    }
+
     /// Registers the calling thread.
     pub fn handle(&self) -> MsHandle<'_, T> {
         MsHandle {
             queue: self,
             hp: self.domain.register(),
+            pool: self.pool.handle(),
         }
     }
 }
 
 impl<T> Drop for MsQueue<T> {
     fn drop(&mut self) {
-        // Exclusive: free the chain. The first node is the dummy (value
-        // uninitialized / moved out); the rest hold live values.
+        // Exclusive: recycle the chain. The first node is the dummy
+        // (value uninitialized / moved out); the rest hold live values.
+        // Retired-but-unreclaimed old dummies are NOT in this chain; the
+        // domain's drop (running after this body, before `pool`'s) hands
+        // them back through their retire_recycle deleters.
         let mut cur = *self.head.get_mut();
         let mut is_dummy = true;
         while !cur.is_null() {
-            // SAFETY: exclusive teardown; nodes came from Box::into_raw.
-            let mut node = unsafe { Box::from_raw(cur) };
+            // SAFETY: exclusive teardown; nodes came from this queue's
+            // pool and are visited exactly once.
+            let node = unsafe { &mut *PoolNode::payload_ptr(cur) };
             if !is_dummy {
                 // SAFETY: non-dummy nodes still own their value.
                 unsafe { node.value.assume_init_drop() };
             }
             is_dummy = false;
-            cur = *node.next.get_mut();
+            let next = *node.next.get_mut();
+            // SAFETY: value dropped/moved out above; unique owner.
+            unsafe { self.pool.recycle_raw(cur) };
+            cur = next;
         }
     }
 }
 
-/// Per-thread handle for [`MsQueue`]: hazard slots + retire list.
+/// Per-thread handle for [`MsQueue`]: hazard slots + retire list + node
+/// cache.
 pub struct MsHandle<'q, T> {
     queue: &'q MsQueue<T>,
     hp: LocalHazards<'q>,
+    pool: PoolHandle<'q, MsNode<T>>,
 }
 
 const HP_HEAD: usize = 0;
@@ -124,7 +162,10 @@ const HP_TAIL: usize = 0;
 
 impl<T: Send> QueueHandle<T> for MsHandle<'_, T> {
     fn enqueue(&mut self, value: T) -> Result<(), Full<T>> {
-        let node = MsNode::with_value(value);
+        // The acquire overwrites the node's whole payload (value AND next
+        // link), so a recycled node is indistinguishable from a fresh one
+        // when it is published below (DESIGN.md §8).
+        let node = self.pool.acquire(MsNode::with_value(value)).0;
         let q = self.queue;
         let mut backoff = Backoff::new();
         loop {
@@ -133,7 +174,7 @@ impl<T: Send> QueueHandle<T> for MsHandle<'_, T> {
             // plain staleness checks and may be acquire).
             let t = self.hp.protect_ptr(HP_TAIL, &q.tail);
             // SAFETY: t is hazard-protected, hence not freed.
-            let next = unsafe { &*t }.next.load(mem::NODE_READ);
+            let next = unsafe { ms_ref(t) }.next.load(mem::NODE_READ);
             if t != q.tail.load(mem::INDEX_LOAD) {
                 continue;
             }
@@ -141,7 +182,7 @@ impl<T: Send> QueueHandle<T> for MsHandle<'_, T> {
                 // SAFETY: as above.
                 // SLOT_CAS: release publishes the node's value to the
                 // dequeuer that acquires it via NODE_READ.
-                if unsafe { &*t }
+                if unsafe { ms_ref(t) }
                     .next
                     .compare_exchange(ptr::null_mut(), node, mem::SLOT_CAS, mem::SLOT_CAS_FAIL)
                     .is_ok()
@@ -170,7 +211,7 @@ impl<T: Send> QueueHandle<T> for MsHandle<'_, T> {
             let h = self.hp.protect_ptr(HP_HEAD, &q.head);
             let t = q.tail.load(mem::INDEX_LOAD);
             // SAFETY: h is hazard-protected.
-            let next = unsafe { &*h }.next.load(mem::NODE_READ);
+            let next = unsafe { ms_ref(h) }.next.load(mem::NODE_READ);
             if h != q.head.load(mem::INDEX_LOAD) {
                 continue;
             }
@@ -204,13 +245,15 @@ impl<T: Send> QueueHandle<T> for MsHandle<'_, T> {
                 // SAFETY: next is hazard-protected (HP_NEXT) so it cannot
                 // have been reclaimed; the winning CAS makes this thread
                 // the unique reader of its value.
-                let value = unsafe { ptr::read((*next).value.as_ptr()) };
+                let value = unsafe { ptr::read(ms_ref(next).value.as_ptr()) };
                 self.hp.clear(HP_HEAD);
                 self.hp.clear(HP_NEXT);
                 // SAFETY: h (the old dummy) is unlinked; no new references
-                // can form. Its value slot is uninit/moved — the retire
-                // deleter frees the box without touching the value.
-                unsafe { self.hp.retire_box(h) };
+                // can form. Its value slot is uninit/moved — once a scan
+                // proves it unprotected the deleter pushes the node back
+                // into the pool without touching the value. The pool is
+                // boxed in the queue and outlives the domain.
+                unsafe { self.hp.retire_recycle(h, &self.queue.pool) };
                 return Some(value);
             }
             backoff.snooze();
@@ -284,6 +327,41 @@ mod tests {
             "retired dummies must be reclaimed, got {}",
             q.domain().reclaimed_count()
         );
+    }
+
+    #[test]
+    fn retired_dummies_reenter_the_node_pool() {
+        let q = MsQueue::<u64>::new(ScanMode::Unsorted);
+        {
+            let mut h = q.handle();
+            for i in 0..1_000 {
+                h.enqueue(i).unwrap();
+                h.dequeue();
+            }
+            h.hp.flush();
+        }
+        let stats = q.pool_stats();
+        if cfg!(feature = "no-pool") {
+            assert_eq!(stats.recycled, 0, "no-pool never recycles");
+            assert_eq!(stats.fresh, 1_001, "dummy + one node per enqueue");
+        } else {
+            // Hazard scans hand retired dummies back to the pool, so fresh
+            // carving stalls while the recycle stream feeds new enqueues.
+            assert!(
+                stats.fresh < 600,
+                "fresh allocations must stall, got {}",
+                stats.fresh
+            );
+            assert!(
+                stats.recycled > 400,
+                "recycled nodes must feed enqueues, got {}",
+                stats.recycled
+            );
+            assert!(
+                stats.spills > 0,
+                "retire_recycle pushes via the spill stack"
+            );
+        }
     }
 
     #[test]

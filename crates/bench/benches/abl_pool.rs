@@ -1,0 +1,76 @@
+//! `abl-pool`: the §6 workload under the node-lifecycle mode compiled
+//! into this binary — pooled recycling (default) or per-node malloc
+//! (`no-pool`).
+//!
+//! Like the ordering ablation, the mode is a cargo feature, not a runtime
+//! switch, so one binary measures one mode; benchmark ids carry
+//! `pool::mode()` so Criterion keeps the two builds' histories side by
+//! side:
+//!
+//! ```text
+//! cargo bench -p nbq-bench --bench abl_pool
+//! cargo bench -p nbq-bench --bench abl_pool --features no-pool
+//! ```
+//!
+//! `repro alloc --csv results` produces the same comparison as a
+//! mergeable table (`results/ext-alloc.csv`). Besides the core queues,
+//! this one benches MS-HP, whose nodes come back through the hazard
+//! domain's `retire_recycle` path rather than direct exclusive recycling.
+
+use criterion::{BenchmarkId, Criterion};
+use nbq_baselines::{MsQueue, ScanMode};
+use nbq_bench::{bench_config, criterion, BENCH_THREADS};
+use nbq_harness::run_once;
+use nbq_util::pool;
+
+#[derive(Clone, Copy)]
+enum Subject {
+    Cas,
+    LlSc,
+    MsHp,
+}
+
+fn bench_pool(c: &mut Criterion) {
+    let mut group = c.benchmark_group("abl_pool");
+    for &threads in BENCH_THREADS {
+        let cfg = bench_config(threads);
+        group.throughput(criterion::Throughput::Elements(cfg.total_ops()));
+        for subject in [Subject::Cas, Subject::LlSc, Subject::MsHp] {
+            let name = match subject {
+                Subject::Cas => format!("FIFO Array Simulated CAS [{}]", pool::mode()),
+                Subject::LlSc => format!("FIFO Array LL/SC [{}]", pool::mode()),
+                Subject::MsHp => format!("MS-Hazard Pointers Not Sorted [{}]", pool::mode()),
+            };
+            group.bench_with_input(BenchmarkId::new(name, threads), &threads, |b, &threads| {
+                let cfg = bench_config(threads);
+                b.iter_custom(|iters| {
+                    let mut total = std::time::Duration::ZERO;
+                    for _ in 0..iters {
+                        let secs = match subject {
+                            Subject::Cas => run_once(
+                                &nbq_core::CasQueue::<u64>::with_capacity(cfg.capacity),
+                                &cfg,
+                            ),
+                            Subject::LlSc => run_once(
+                                &nbq_core::LlScQueue::<u64>::with_capacity(cfg.capacity),
+                                &cfg,
+                            ),
+                            Subject::MsHp => {
+                                run_once(&MsQueue::<u64>::new(ScanMode::Unsorted), &cfg)
+                            }
+                        };
+                        total += std::time::Duration::from_secs_f64(secs);
+                    }
+                    total
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+fn main() {
+    let mut c = criterion();
+    bench_pool(&mut c);
+    c.final_summary();
+}

@@ -46,11 +46,12 @@
 //!   is kept as [`GatePolicy::PerOperation`] for the `abl-reregister`
 //!   ablation (the cost difference is one uncontended load per retry).
 
-use crate::node::{index_precedes, node_from_raw, node_into_raw, NULL};
+use crate::node::{index_precedes, node_from_raw, node_into_raw, node_take_exclusive, NULL};
 use crate::opstats::OpStats;
 use crate::registry::{LlScVar, Registry};
 use core::marker::PhantomData;
 use core::sync::atomic::{AtomicU64, Ordering};
+use nbq_util::pool::{NodePool, PoolHandle};
 use nbq_util::{mem, Backoff, BatchFull, CachePadded, ConcurrentQueue, Full, QueueHandle};
 
 /// When the owner re-validates exclusive ownership of its `LLSCvar`.
@@ -97,6 +98,11 @@ pub struct CasQueue<T> {
     registry: Registry,
     config: CasQueueConfig,
     stats: Option<Box<OpStats>>,
+    /// Node recycler: after warm-up the enqueue/dequeue hot path never
+    /// touches the global allocator (DESIGN.md §8). Unlike the MS-queue
+    /// baselines no hazard domain holds pointers into this pool, so it
+    /// needs no boxed/stable address.
+    pool: NodePool<T>,
     _marker: PhantomData<T>,
 }
 
@@ -126,6 +132,7 @@ impl<T: Send> CasQueue<T> {
             registry: Registry::new(),
             config,
             stats: None,
+            pool: NodePool::new(),
             _marker: PhantomData,
         }
     }
@@ -184,7 +191,14 @@ impl<T: Send> CasQueue<T> {
         CasHandle {
             queue: self,
             var: self.registry.register(),
+            pool: self.pool.handle(),
         }
+    }
+
+    /// The node pool's own counters (tests/diagnostics); the per-handle
+    /// tallies fold in when handles drop.
+    pub fn pool_stats(&self) -> nbq_util::pool::PoolStats {
+        self.pool.stats()
     }
 
     /// Total `LLSCvar`s ever allocated — tracks the maximum number of
@@ -209,11 +223,13 @@ impl<T> Drop for CasQueue<T> {
             debug_assert_eq!(v & 1, 0, "reservation tag leaked into Drop");
             if v != NULL {
                 // SAFETY: non-null even slot words are uniquely-owned node
-                // addresses created by node_into_raw::<T>.
-                drop(unsafe { node_from_raw::<T>(v) });
+                // addresses created by node_into_raw::<T> against our pool,
+                // and `&mut self` means no live handles.
+                drop(unsafe { node_take_exclusive::<T>(&self.pool, v) });
             }
         }
-        // `registry` drops afterwards, freeing the LLSCvar list.
+        // `registry` and `pool` drop afterwards, freeing the LLSCvar list
+        // and the node slabs.
     }
 }
 
@@ -221,6 +237,7 @@ impl<T> Drop for CasQueue<T> {
 pub struct CasHandle<'q, T> {
     queue: &'q CasQueue<T>,
     var: *const LlScVar,
+    pool: PoolHandle<'q, T>,
 }
 
 // SAFETY: the handle owns its LLSCvar registration; moving the handle to
@@ -231,6 +248,33 @@ impl<T: Send> CasHandle<'_, T> {
     #[inline]
     fn op_stats(&self) -> Option<&OpStats> {
         self.queue.stats.as_deref()
+    }
+
+    /// Wraps `value` in a pool node and returns its slot word, recording
+    /// where the node came from.
+    #[inline]
+    fn pool_acquire(&mut self, value: T) -> u64 {
+        let (node, src) = node_into_raw(&mut self.pool, value);
+        if let Some(st) = self.queue.stats.as_deref() {
+            st.record_pool_acquire(src);
+        }
+        node
+    }
+
+    /// Unwraps a slot word this handle owns exclusively, recycling the
+    /// node and recording where it went.
+    ///
+    /// # Safety
+    ///
+    /// Same contract as [`node_from_raw`].
+    #[inline]
+    unsafe fn pool_release(&mut self, addr: u64) -> T {
+        // SAFETY: forwarded caller contract.
+        let (value, target) = unsafe { node_from_raw(&mut self.pool, addr) };
+        if let Some(st) = self.queue.stats.as_deref() {
+            st.record_pool_release(target);
+        }
+        value
     }
 
     /// Slot CAS with instruction accounting (the Fig. 5 "SC").
@@ -366,7 +410,7 @@ impl<T: Send> CasHandle<'_, T> {
             self.gate();
         }
         let q = self.queue;
-        let node = node_into_raw(value);
+        let node = self.pool_acquire(value);
         let mut backoff = self.backoff();
         loop {
             // INDEX_LOAD (acquire): index staleness is caught by the
@@ -378,7 +422,7 @@ impl<T: Send> CasHandle<'_, T> {
             if t == q.head.load(mem::INDEX_LOAD).wrapping_add(q.capacity) {
                 self.record_snoozes(&backoff);
                 // SAFETY: the node was never published.
-                return Err(Full(unsafe { node_from_raw::<T>(node) }));
+                return Err(Full(unsafe { self.pool_release(node) }));
             }
             let idx = (t & q.mask) as usize;
             let slot = self.sim_ll(idx); // our tag is now installed
@@ -501,7 +545,7 @@ impl<T: Send> CasHandle<'_, T> {
                     self.record_snoozes(&backoff);
                     // SAFETY: the successful CAS removed the node word from
                     // the array; we own it exclusively.
-                    return Some(unsafe { node_from_raw::<T>(slot) });
+                    return Some(unsafe { self.pool_release(slot) });
                 } else {
                     backoff.snooze();
                 }
@@ -732,6 +776,10 @@ impl<T: Send> QueueHandle<T> for CasHandle<'_, T> {
         }
         let q = self.queue;
         let mut items = items;
+        // One amortized pool grab for the whole batch (capped at the
+        // handle-cache capacity): per-element acquires below then hit the
+        // private cache even when the cache started cold.
+        self.pool.reserve(items.len());
         let mut pos = q.tail.load(mem::INDEX_LOAD);
         let mut end = None;
         let mut enqueued = 0usize;
@@ -739,7 +787,7 @@ impl<T: Send> QueueHandle<T> for CasHandle<'_, T> {
             let Some(value) = items.next() else {
                 break Ok(enqueued);
             };
-            let node = node_into_raw(value);
+            let node = self.pool_acquire(value);
             match self.fill_slot(node, &mut pos) {
                 Ok(filled) => {
                     end = Some(filled.wrapping_add(1));
@@ -747,7 +795,7 @@ impl<T: Send> QueueHandle<T> for CasHandle<'_, T> {
                 }
                 Err(node) => {
                     // SAFETY: the queue rejected the word; we still own it.
-                    let value = unsafe { node_from_raw::<T>(node) };
+                    let value = unsafe { self.pool_release(node) };
                     let mut remaining = Vec::with_capacity(items.len() + 1);
                     remaining.push(value);
                     remaining.extend(items);
@@ -783,7 +831,7 @@ impl<T: Send> QueueHandle<T> for CasHandle<'_, T> {
                 // SAFETY: the successful tag-expecting CAS to null inside
                 // drain_slot transferred the node word to us exclusively.
                 Some(raw) => {
-                    out.push(unsafe { node_from_raw::<T>(raw) });
+                    out.push(unsafe { self.pool_release(raw) });
                     taken += 1;
                 }
                 None => break,
@@ -1001,6 +1049,28 @@ mod tests {
         assert_eq!(s.helps, 0.0);
         // Attempts == successes when uncontended.
         assert!((s.slot_cas_attempts - s.slot_cas_successes).abs() < 0.01);
+    }
+
+    #[test]
+    fn pool_counters_show_steady_state_recycling() {
+        let q = CasQueue::<u64>::with_stats(8);
+        {
+            let mut h = q.handle();
+            for i in 0..1_000 {
+                h.enqueue(i).unwrap();
+                assert_eq!(h.dequeue(), Some(i));
+            }
+        }
+        let s = q.stats().unwrap().snapshot();
+        if cfg!(feature = "no-pool") {
+            assert_eq!(s.pool_alloc, 1_000, "no-pool: every acquire is fresh");
+            assert_eq!(s.pool_recycle_hits, 0);
+        } else {
+            assert_eq!(s.pool_alloc, 1, "only the very first acquire carves");
+            assert_eq!(s.pool_recycle_hits, 999, "steady state is all recycling");
+            assert_eq!(s.pool_spills, 0, "single handle never overflows its cache");
+            assert_eq!(q.pool_stats().recycled, 999);
+        }
     }
 
     #[test]

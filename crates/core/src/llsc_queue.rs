@@ -30,11 +30,12 @@
 //! *same algorithm* over the strong emulation, the spurious-failure
 //! emulation, and the Fig. 2 oracle.
 
-use crate::node::{index_precedes, node_from_raw, node_into_raw, NULL};
+use crate::node::{index_precedes, node_from_raw, node_into_raw, node_take_exclusive, NULL};
 use crate::opstats::OpStats;
 use core::marker::PhantomData;
 use core::sync::atomic::AtomicU64;
 use nbq_llsc::{LlScCell, VersionedCell};
+use nbq_util::pool::{NodePool, PoolHandle};
 use nbq_util::{mem, Backoff, BatchFull, CachePadded, ConcurrentQueue, Full, QueueHandle};
 
 /// Tuning knobs (ablation points, see DESIGN.md `abl-backoff`).
@@ -63,6 +64,9 @@ pub struct LlScQueue<T, C: LlScCell = VersionedCell> {
     capacity: u64,
     config: LlScQueueConfig,
     stats: Option<Box<OpStats>>,
+    /// Node recycler: after warm-up the enqueue/dequeue hot path never
+    /// touches the global allocator (DESIGN.md §8).
+    pool: NodePool<T>,
     _marker: PhantomData<T>,
 }
 
@@ -123,6 +127,7 @@ impl<T: Send, C: LlScCell> LlScQueue<T, C> {
             capacity: cap as u64,
             config,
             stats: None,
+            pool: NodePool::new(),
             _marker: PhantomData,
         }
     }
@@ -130,6 +135,12 @@ impl<T: Send, C: LlScCell> LlScQueue<T, C> {
     /// The contention counters, if built via [`Self::with_stats`].
     pub fn stats(&self) -> Option<&OpStats> {
         self.stats.as_deref()
+    }
+
+    /// The node pool's own counters (tests/diagnostics); the per-handle
+    /// tallies fold in when handles drop.
+    pub fn pool_stats(&self) -> nbq_util::pool::PoolStats {
+        self.pool.stats()
     }
 
     /// Folds a finished retry loop's backoff count into the stats.
@@ -166,9 +177,13 @@ impl<T: Send, C: LlScCell> LlScQueue<T, C> {
     }
 
     /// Registers the calling thread. Algorithm 1 keeps no per-thread
-    /// state, so the handle is a thin reference plus a backoff counter.
+    /// state of its own, so the handle is a reference plus the thread's
+    /// private node-pool cache.
     pub fn handle(&self) -> LlScHandle<'_, T, C> {
-        LlScHandle { queue: self }
+        LlScHandle {
+            queue: self,
+            pool: self.pool.handle(),
+        }
     }
 
     /// Fig. 3 `Enqueue`, operating on raw node words.
@@ -443,8 +458,9 @@ impl<T, C: LlScCell> Drop for LlScQueue<T, C> {
             let v = cell.load();
             if v != NULL {
                 // SAFETY: non-null slot words are uniquely-owned node
-                // addresses created by node_into_raw::<T>.
-                drop(unsafe { node_from_raw::<T>(v) });
+                // addresses created by node_into_raw::<T> against our pool,
+                // and `&mut self` means no live handles.
+                drop(unsafe { node_take_exclusive::<T>(&self.pool, v) });
             }
         }
     }
@@ -453,23 +469,53 @@ impl<T, C: LlScCell> Drop for LlScQueue<T, C> {
 /// Per-thread handle for [`LlScQueue`].
 pub struct LlScHandle<'q, T, C: LlScCell = VersionedCell> {
     queue: &'q LlScQueue<T, C>,
+    pool: PoolHandle<'q, T>,
+}
+
+impl<T: Send, C: LlScCell> LlScHandle<'_, T, C> {
+    /// Wraps `value` in a pool node and returns its slot word, recording
+    /// where the node came from.
+    #[inline]
+    fn pool_acquire(&mut self, value: T) -> u64 {
+        let (node, src) = node_into_raw(&mut self.pool, value);
+        if let Some(st) = self.queue.stats.as_deref() {
+            st.record_pool_acquire(src);
+        }
+        node
+    }
+
+    /// Unwraps a slot word this handle owns exclusively, recycling the
+    /// node and recording where it went.
+    ///
+    /// # Safety
+    ///
+    /// Same contract as [`node_from_raw`].
+    #[inline]
+    unsafe fn pool_release(&mut self, addr: u64) -> T {
+        // SAFETY: forwarded caller contract.
+        let (value, target) = unsafe { node_from_raw(&mut self.pool, addr) };
+        if let Some(st) = self.queue.stats.as_deref() {
+            st.record_pool_release(target);
+        }
+        value
+    }
 }
 
 impl<T: Send, C: LlScCell> QueueHandle<T> for LlScHandle<'_, T, C> {
     fn enqueue(&mut self, value: T) -> Result<(), Full<T>> {
-        let node = node_into_raw(value);
-        self.queue.enqueue_raw(node).map_err(|n| {
+        let node = self.pool_acquire(value);
+        match self.queue.enqueue_raw(node) {
+            Ok(()) => Ok(()),
             // SAFETY: the queue rejected the word; we still own it.
-            Full(unsafe { node_from_raw::<T>(n) })
-        })
+            Err(n) => Err(Full(unsafe { self.pool_release(n) })),
+        }
     }
 
     fn dequeue(&mut self) -> Option<T> {
-        self.queue
-            .dequeue_raw()
-            // SAFETY: a successful SC(slot, null) transferred ownership of
-            // the node word to this thread exclusively.
-            .map(|n| unsafe { node_from_raw::<T>(n) })
+        let raw = self.queue.dequeue_raw()?;
+        // SAFETY: a successful SC(slot, null) transferred ownership of
+        // the node word to this thread exclusively.
+        Some(unsafe { self.pool_release(raw) })
     }
 
     fn enqueue_batch(
@@ -478,6 +524,10 @@ impl<T: Send, C: LlScCell> QueueHandle<T> for LlScHandle<'_, T, C> {
     ) -> Result<usize, BatchFull<T>> {
         let q = self.queue;
         let mut items = items;
+        // One amortized pool grab for the whole batch (capped at the
+        // handle-cache capacity): per-element acquires below then hit the
+        // private cache even when the cache started cold.
+        self.pool.reserve(items.len());
         let mut pos = q.tail.load(mem::INDEX_LOAD);
         let mut end = None;
         let mut enqueued = 0usize;
@@ -485,7 +535,7 @@ impl<T: Send, C: LlScCell> QueueHandle<T> for LlScHandle<'_, T, C> {
             let Some(value) = items.next() else {
                 break Ok(enqueued);
             };
-            let node = node_into_raw(value);
+            let node = self.pool_acquire(value);
             match q.fill_slot_raw(node, &mut pos) {
                 Ok(filled) => {
                     end = Some(filled.wrapping_add(1));
@@ -493,7 +543,7 @@ impl<T: Send, C: LlScCell> QueueHandle<T> for LlScHandle<'_, T, C> {
                 }
                 Err(node) => {
                     // SAFETY: the queue rejected the word; we still own it.
-                    let value = unsafe { node_from_raw::<T>(node) };
+                    let value = unsafe { self.pool_release(node) };
                     let mut remaining = Vec::with_capacity(items.len() + 1);
                     remaining.push(value);
                     remaining.extend(items);
@@ -521,7 +571,7 @@ impl<T: Send, C: LlScCell> QueueHandle<T> for LlScHandle<'_, T, C> {
                 // SAFETY: the successful SC(slot, null) inside
                 // drain_slot_raw transferred the node word to us.
                 Some(raw) => {
-                    out.push(unsafe { node_from_raw::<T>(raw) });
+                    out.push(unsafe { self.pool_release(raw) });
                     taken += 1;
                 }
                 None => break,
@@ -697,6 +747,28 @@ mod tests {
         for i in 0..100 {
             h.enqueue(i).unwrap();
             assert_eq!(h.dequeue(), Some(i));
+        }
+    }
+
+    #[test]
+    fn pool_counters_show_steady_state_recycling() {
+        let q = LlScQueue::<u64>::with_stats(8);
+        {
+            let mut h = q.handle();
+            for i in 0..1_000 {
+                h.enqueue(i).unwrap();
+                assert_eq!(h.dequeue(), Some(i));
+            }
+        }
+        let s = q.stats().unwrap().snapshot();
+        if cfg!(feature = "no-pool") {
+            assert_eq!(s.pool_alloc, 1_000, "no-pool: every acquire is fresh");
+            assert_eq!(s.pool_recycle_hits, 0);
+        } else {
+            assert_eq!(s.pool_alloc, 1, "only the very first acquire carves");
+            assert_eq!(s.pool_recycle_hits, 999, "steady state is all recycling");
+            assert_eq!(s.pool_spills, 0, "single handle never overflows its cache");
+            assert_eq!(q.pool_stats().recycled, 999);
         }
     }
 

@@ -5,20 +5,27 @@
 //! significant address bit as a reservation-tag flag ("modern 32- and
 //! 64-bit architectures allocate memory blocks at addresses that are evenly
 //! dividable by 2; therefore, the least significant bit of a valid address
-//! is always 0"). A `Box<T>` for an align-1 `T` (e.g. `u8`) would violate
-//! that, so values are wrapped in an 8-byte-aligned [`QNode`] before
-//! boxing. The LL/SC queue further requires addresses to fit in the
-//! 48 value bits of `nbq_llsc::VersionedCell`; every mainstream 64-bit ABI
-//! satisfies this for user-space heap addresses, and [`node_into_raw`]
-//! asserts it.
+//! is always 0"). Values therefore live in [`nbq_util::pool::PoolNode`]s,
+//! whose atomic header forces ≥ 8-byte alignment even for an align-1 `T`
+//! (e.g. `u8`). The LL/SC queue further requires addresses to fit in the
+//! 48 value bits of `nbq_llsc::VersionedCell`; the pool asserts that for
+//! every slab it carves.
+//!
+//! Since the pooled-recycling PR, nodes are drawn from a per-queue
+//! [`NodePool`] instead of `Box`: the steady-state enqueue/dequeue path
+//! performs **zero** global-allocator calls (DESIGN.md §8). The
+//! address-recycling this introduces cannot resurrect any of the §3 ABA
+//! defenses — the argument is walked in DESIGN.md §8; the short version is
+//! that both algorithms already tolerate arbitrary slot-value recurrence
+//! (monotone index re-validation + versioned SC / tag-expecting CAS), so a
+//! node address returning to a slot is exactly the data-ABA case the paper
+//! defends against, whether the address came from malloc or the pool.
+
+use nbq_util::pool::{AcquireSource, NodePool, PoolHandle, PoolNode, ReleaseTarget};
 
 /// Null slot marker. A real node address is nonzero (heap) and even
 /// (alignment), so `0` is unambiguous.
 pub(crate) const NULL: u64 = 0;
-
-/// Mask of address bits a node pointer may occupy (the `VersionedCell`
-/// value width).
-const NODE_ADDR_MASK: u64 = (1 << 48) - 1;
 
 /// `a < b` for the unbounded monotone `Head`/`Tail` logical indices.
 ///
@@ -30,41 +37,57 @@ pub(crate) fn index_precedes(a: u64, b: u64) -> bool {
     (b.wrapping_sub(a) as i64) > 0
 }
 
-/// Owning heap cell for a queued value.
-#[repr(align(8))]
-pub(crate) struct QNode<T> {
-    value: T,
-}
-
-/// Boxes `value` and returns its address as a slot word.
+/// Acquires a pool node holding `value` and returns its address as a slot
+/// word, plus where the node came from (for OpStats).
 ///
-/// The result is nonzero, even, and fits in 48 bits.
-pub(crate) fn node_into_raw<T>(value: T) -> u64 {
-    let addr = Box::into_raw(Box::new(QNode { value })) as u64;
+/// The result is nonzero, even (the pool node's atomic header forces
+/// 8-byte alignment), and fits in 48 bits (asserted per slab by the pool).
+pub(crate) fn node_into_raw<T>(pool: &mut PoolHandle<'_, T>, value: T) -> (u64, AcquireSource) {
+    let (node, source) = pool.acquire(value);
+    let addr = node as u64;
     debug_assert_ne!(addr, NULL);
-    debug_assert_eq!(addr & 1, 0, "QNode must be even-aligned");
-    assert_eq!(
-        addr & !NODE_ADDR_MASK,
-        0,
-        "heap address exceeds 48 bits; this platform cannot pack node \
-         pointers into a VersionedCell"
-    );
-    addr
+    debug_assert_eq!(addr & 1, 0, "pool nodes must be even-aligned");
+    (addr, source)
 }
 
-/// Reclaims a slot word produced by [`node_into_raw`], returning the value.
+/// Reclaims a slot word produced by [`node_into_raw`], returning the value
+/// and recycling the node through the pool (for OpStats, also where the
+/// node went).
 ///
 /// # Safety
 ///
-/// `addr` must come from `node_into_raw::<T>` with the same `T` and must
-/// not be reclaimed twice. The caller must own it exclusively (for the
-/// queues: it was removed from a slot by a successful SC/CAS).
-pub(crate) unsafe fn node_from_raw<T>(addr: u64) -> T {
+/// `addr` must come from `node_into_raw::<T>` against the same pool and
+/// must not be reclaimed twice. The caller must own it exclusively (for
+/// the queues: it was removed from a slot by a successful SC/CAS).
+pub(crate) unsafe fn node_from_raw<T>(
+    pool: &mut PoolHandle<'_, T>,
+    addr: u64,
+) -> (T, ReleaseTarget) {
     debug_assert_ne!(addr, NULL);
     debug_assert_eq!(addr & 1, 0, "attempted to unbox a tagged word");
-    // SAFETY: per the caller contract this is the unique owner of a
-    // Box<QNode<T>> created in node_into_raw.
-    unsafe { Box::from_raw(addr as *mut QNode<T>) }.value
+    // SAFETY: per the caller contract this is the unique owner of a node
+    // acquired from this pool in node_into_raw.
+    unsafe { pool.take(addr as *mut PoolNode<T>) }
+}
+
+/// Exclusive-teardown variant of [`node_from_raw`] for queue `Drop` paths,
+/// where no per-thread handle exists: moves the value out and hands the
+/// node memory straight back to the pool.
+///
+/// # Safety
+///
+/// Same contract as [`node_from_raw`], plus exclusive access to `pool`
+/// (no live handles).
+pub(crate) unsafe fn node_take_exclusive<T>(pool: &NodePool<T>, addr: u64) -> T {
+    debug_assert_ne!(addr, NULL);
+    debug_assert_eq!(addr & 1, 0, "attempted to unbox a tagged word");
+    let node = addr as *mut PoolNode<T>;
+    // SAFETY: unique owner per the caller contract; the payload slot was
+    // initialized by node_into_raw.
+    let value = unsafe { PoolNode::payload_ptr(node).read() };
+    // SAFETY: the payload has just been moved out.
+    unsafe { pool.recycle_raw(node) };
+    value
 }
 
 #[cfg(test)]
@@ -75,37 +98,71 @@ mod tests {
 
     #[test]
     fn round_trip_preserves_value() {
-        let addr = node_into_raw(String::from("hello"));
-        let s: String = unsafe { node_from_raw(addr) };
+        let pool = NodePool::new();
+        let mut h = pool.handle();
+        let (addr, _) = node_into_raw(&mut h, String::from("hello"));
+        let (s, _) = unsafe { node_from_raw::<String>(&mut h, addr) };
         assert_eq!(s, "hello");
     }
 
     #[test]
     fn addresses_are_even_and_48_bit() {
-        let addrs: Vec<u64> = (0..32).map(|i: u64| node_into_raw(i)).collect();
+        let pool = NodePool::new();
+        let mut h = pool.handle();
+        let addrs: Vec<u64> = (0..32).map(|i: u64| node_into_raw(&mut h, i).0).collect();
         for &a in &addrs {
             assert_ne!(a, 0);
             assert_eq!(a & 1, 0);
             assert_eq!(a >> 48, 0);
         }
         for a in addrs {
-            let _: u64 = unsafe { node_from_raw(a) };
+            let _: (u64, _) = unsafe { node_from_raw(&mut h, a) };
         }
     }
 
     #[test]
     fn align_1_payloads_still_get_even_addresses() {
-        let a = node_into_raw(3u8);
+        let pool = NodePool::new();
+        let mut h = pool.handle();
+        let (a, _) = node_into_raw(&mut h, 3u8);
         assert_eq!(a & 1, 0);
-        assert_eq!(unsafe { node_from_raw::<u8>(a) }, 3);
+        assert_eq!(unsafe { node_from_raw::<u8>(&mut h, a) }.0, 3);
     }
 
     #[test]
     fn zero_sized_payloads_work() {
-        let a = node_into_raw(());
+        let pool = NodePool::new();
+        let mut h = pool.handle();
+        let (a, _) = node_into_raw(&mut h, ());
         assert_ne!(a, 0);
         assert_eq!(a & 1, 0);
-        unsafe { node_from_raw::<()>(a) };
+        unsafe { node_from_raw::<()>(&mut h, a) };
+    }
+
+    #[test]
+    fn steady_state_round_trips_recycle_the_same_node(/* tentpole invariant */) {
+        let pool = NodePool::new();
+        let mut h = pool.handle();
+        let (first, _) = node_into_raw(&mut h, 0u64);
+        unsafe { node_from_raw::<u64>(&mut h, first) };
+        for i in 1..100u64 {
+            let (a, src) = node_into_raw(&mut h, i);
+            if cfg!(not(feature = "no-pool")) {
+                assert_eq!(a, first, "steady state must reuse the node");
+                assert_eq!(src, AcquireSource::CacheHit);
+            }
+            assert_eq!(unsafe { node_from_raw::<u64>(&mut h, a) }.0, i);
+        }
+    }
+
+    #[test]
+    fn take_exclusive_reclaims_without_a_handle() {
+        let pool = NodePool::new();
+        let addr = {
+            let mut h = pool.handle();
+            node_into_raw(&mut h, 41u64).0
+        };
+        assert_eq!(unsafe { node_take_exclusive::<u64>(&pool, addr) }, 41);
     }
 
     #[test]
@@ -116,10 +173,12 @@ mod tests {
                 self.0.fetch_add(1, Ordering::SeqCst);
             }
         }
+        let pool = NodePool::new();
+        let mut h = pool.handle();
         let drops = Arc::new(AtomicUsize::new(0));
-        let a = node_into_raw(Tracked(drops.clone()));
+        let (a, _) = node_into_raw(&mut h, Tracked(drops.clone()));
         assert_eq!(drops.load(Ordering::SeqCst), 0);
-        drop(unsafe { node_from_raw::<Tracked>(a) });
+        drop(unsafe { node_from_raw::<Tracked>(&mut h, a) }.0);
         assert_eq!(drops.load(Ordering::SeqCst), 1);
     }
 }

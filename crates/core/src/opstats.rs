@@ -12,6 +12,7 @@
 //! through the normal constructors pay one well-predicted branch; the
 //! benchmark constructors never enable them.
 
+use nbq_util::pool::{AcquireSource, ReleaseTarget};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Atomic-instruction counters for one queue instance.
@@ -43,6 +44,19 @@ pub struct OpStats {
     /// `abl-backoff` and `abl-ordering` can report contention on an equal
     /// footing across configurations.
     pub backoff_snoozes: AtomicU64,
+    /// Node acquisitions that carved fresh memory (pool slab growth, or
+    /// every acquisition under `no-pool`). In steady state this stays flat
+    /// while `operations` grows — the tentpole claim of DESIGN.md §8.
+    pub pool_alloc: AtomicU64,
+    /// Node acquisitions served by recycling (handle cache or global
+    /// spill stack).
+    pub pool_recycle_hits: AtomicU64,
+    /// Node releases that overflowed the handle cache onto the shared
+    /// spill stack (cross-thread producer/consumer imbalance measure).
+    pub pool_spills: AtomicU64,
+    /// Acquisitions that pulled a batch from the spill stack into the
+    /// handle cache.
+    pub pool_refills: AtomicU64,
 }
 
 /// A point-in-time, per-operation view of the counters.
@@ -68,6 +82,15 @@ pub struct OpStatsSnapshot {
     pub batch_items: u64,
     /// Backoff snoozes per completed operation (contention measure).
     pub backoff_snoozes: f64,
+    /// Total node acquisitions that carved fresh memory (absolute count,
+    /// not per-op: the headline is that it stops growing).
+    pub pool_alloc: u64,
+    /// Total recycled node acquisitions (absolute count).
+    pub pool_recycle_hits: u64,
+    /// Total cache-overflow spills to the shared stack (absolute count).
+    pub pool_spills: u64,
+    /// Total batch refills from the shared stack (absolute count).
+    pub pool_refills: u64,
 }
 
 impl OpStats {
@@ -91,6 +114,35 @@ impl OpStats {
             batch_ops: self.batch_ops.load(Ordering::Relaxed),
             batch_items: self.batch_items.load(Ordering::Relaxed),
             backoff_snoozes: per(&self.backoff_snoozes),
+            pool_alloc: self.pool_alloc.load(Ordering::Relaxed),
+            pool_recycle_hits: self.pool_recycle_hits.load(Ordering::Relaxed),
+            pool_spills: self.pool_spills.load(Ordering::Relaxed),
+            pool_refills: self.pool_refills.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Classifies where a node acquisition came from. A `Refill` both
+    /// counts as a recycle hit (the node was recycled memory) and ticks
+    /// the refill counter (it paid one shared-stack round trip).
+    #[inline]
+    pub(crate) fn record_pool_acquire(&self, src: AcquireSource) {
+        match src {
+            AcquireSource::Fresh => Self::bump(&self.pool_alloc),
+            AcquireSource::CacheHit => Self::bump(&self.pool_recycle_hits),
+            AcquireSource::Refill => {
+                Self::bump(&self.pool_recycle_hits);
+                Self::bump(&self.pool_refills);
+            }
+        }
+    }
+
+    /// Classifies where a released node went. Only cache overflows are
+    /// interesting (`Cache` is the free fast path; `Freed` only happens
+    /// under `no-pool`, where `pool_alloc` already tells the story).
+    #[inline]
+    pub(crate) fn record_pool_release(&self, target: ReleaseTarget) {
+        if target == ReleaseTarget::Spill {
+            Self::bump(&self.pool_spills);
         }
     }
 

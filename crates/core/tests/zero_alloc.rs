@@ -1,0 +1,143 @@
+//! The tentpole acceptance test for pooled node recycling: once warmed
+//! up, element-wise enqueue/dequeue on both core queues performs **zero**
+//! global-allocator calls (DESIGN.md §8). A counting `#[global_allocator]`
+//! wrapped around `System` measures this directly rather than inferring it
+//! from pool counters.
+//!
+//! Meaningless under `no-pool` (every node is a malloc), so the whole file
+//! is compiled out there.
+//!
+//! Counting is gated on a thread-local flag: the test harness's own
+//! threads allocate lazily (thread parkers, channel internals) at
+//! unpredictable moments, and only allocations made *by the measuring
+//! thread inside the measured window* are the queue's doing. The flag is
+//! const-initialized so reading it inside the allocator never itself
+//! allocates.
+#![cfg(not(feature = "no-pool"))]
+
+use nbq_core::{CasQueue, LlScQueue};
+use nbq_util::QueueHandle;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+static DEALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    /// True only on the measuring thread, only inside the measured window.
+    static TRACKING: Cell<bool> = const { Cell::new(false) };
+}
+
+fn tracking() -> bool {
+    // try_with: TLS may be mid-teardown when late allocator calls arrive.
+    TRACKING.try_with(Cell::get).unwrap_or(false)
+}
+
+// SAFETY: defers to System for every operation; the counting path touches
+// only a const-init thread-local and an atomic, neither of which allocate.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if tracking() {
+            ALLOC_CALLS.fetch_add(1, Ordering::SeqCst);
+        }
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        if tracking() {
+            DEALLOC_CALLS.fetch_add(1, Ordering::SeqCst);
+        }
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        if tracking() {
+            ALLOC_CALLS.fetch_add(1, Ordering::SeqCst);
+        }
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if tracking() {
+            ALLOC_CALLS.fetch_add(1, Ordering::SeqCst);
+        }
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+/// Runs the closure with this thread's allocator calls counted and asserts
+/// there were none.
+fn assert_zero_alloc(label: &str, mut op: impl FnMut()) {
+    TRACKING.with(|t| t.set(true));
+    let a0 = ALLOC_CALLS.load(Ordering::SeqCst);
+    let d0 = DEALLOC_CALLS.load(Ordering::SeqCst);
+    op();
+    let a1 = ALLOC_CALLS.load(Ordering::SeqCst);
+    let d1 = DEALLOC_CALLS.load(Ordering::SeqCst);
+    TRACKING.with(|t| t.set(false));
+    assert_eq!(a1 - a0, 0, "{label}: steady state must not allocate");
+    assert_eq!(d1 - d0, 0, "{label}: steady state must not deallocate");
+}
+
+#[test]
+fn steady_state_element_ops_never_touch_the_allocator() {
+    // --- CasQueue, element-wise ---
+    let q = CasQueue::<u64>::with_capacity(16);
+    let mut h = q.handle();
+    // Warm up: lap the slot array several times and cycle enough nodes to
+    // fill the handle cache, so the measured section reuses pooled memory.
+    for i in 0..1_000u64 {
+        h.enqueue(i).unwrap();
+        assert_eq!(h.dequeue(), Some(i));
+    }
+    assert_zero_alloc("CasQueue element-wise", || {
+        for i in 0..10_000u64 {
+            h.enqueue(i).unwrap();
+            assert_eq!(h.dequeue(), Some(i));
+        }
+    });
+    drop(h);
+
+    // --- LlScQueue, element-wise ---
+    let q = LlScQueue::<u64>::with_capacity(16);
+    let mut h = q.handle();
+    for i in 0..1_000u64 {
+        h.enqueue(i).unwrap();
+        assert_eq!(h.dequeue(), Some(i));
+    }
+    assert_zero_alloc("LlScQueue element-wise", || {
+        for i in 0..10_000u64 {
+            h.enqueue(i).unwrap();
+            assert_eq!(h.dequeue(), Some(i));
+        }
+    });
+    drop(h);
+
+    // --- Batch paths (buffers pre-sized outside the measured region) ---
+    let q = LlScQueue::<u64>::with_capacity(64);
+    let mut h = q.handle();
+    let mut src: Vec<u64> = Vec::with_capacity(16);
+    let mut out: Vec<u64> = Vec::with_capacity(16);
+    for lap in 0..100u64 {
+        src.clear();
+        src.extend(lap * 16..(lap + 1) * 16);
+        h.enqueue_batch(src.drain(..)).unwrap();
+        out.clear();
+        assert_eq!(h.dequeue_batch(&mut out, 16), 16);
+    }
+    assert_zero_alloc("LlScQueue batch", || {
+        for lap in 0..1_000u64 {
+            src.clear();
+            src.extend(lap * 16..(lap + 1) * 16);
+            h.enqueue_batch(src.drain(..)).unwrap();
+            out.clear();
+            assert_eq!(h.dequeue_batch(&mut out, 16), 16);
+        }
+    });
+}

@@ -17,6 +17,10 @@
 //!   sharding                         extension: sharded multi-lane
 //!                                    frontend throughput + per-lane CAS
 //!                                    contention (--lanes to sweep)
+//!   alloc                            extension: pooled node recycling vs
+//!                                    per-node malloc (build once per
+//!                                    mode; --csv merges builds, see
+//!                                    `no-pool` feature)
 //!   all                              everything above
 //!
 //! flags:
@@ -45,7 +49,7 @@ struct Args {
 fn usage() -> ! {
     eprintln!(
         "usage: repro <fig6a|fig6b|fig6c|fig6d|overhead|caswidth|opcounts|ablate-scan|\
-         ablate-reregister|ablate-capacity|ablate-backoff|modern|batch|ordering|sharding|all> \
+         ablate-reregister|ablate-capacity|ablate-backoff|modern|batch|ordering|sharding|alloc|all> \
          [--threads 1,2,4] [--lanes 2,4,8] [--iters N] [--runs N] [--capacity N] \
          [--csv DIR] [--paper]"
     );
@@ -165,6 +169,31 @@ fn run_ordering(args: &Args) {
     );
 }
 
+/// The `alloc` experiment: like [`run_ordering`], one build measures one
+/// compiled node-lifecycle mode (`no-pool` is a cargo feature), so rows
+/// from a previous run's CSV — the other mode's build — are merged in
+/// before writing, accumulating the pooled-vs-malloc table across two
+/// invocations.
+fn run_alloc(args: &Args) {
+    let mut t = experiments::alloc_throughput(&args.threads, &args.config);
+    let mut c = experiments::alloc_counters(&args.threads, &args.config);
+    if let Some(dir) = &args.csv {
+        for table in [&mut t, &mut c] {
+            let path = dir.join(format!("{}.csv", table.id));
+            if let Ok(prev) = std::fs::read_to_string(&path) {
+                table.merge_csv_rows(&prev);
+            }
+        }
+    }
+    emit(&t, &args.csv);
+    emit(&c, &args.csv);
+    println!(
+        "mode compiled into this binary: {} (rebuild with --features \
+         no-pool for the malloc rows; --csv merges both builds' rows)",
+        nbq_util::pool::mode()
+    );
+}
+
 /// The `sharding` experiment: throughput table (the scaling claim) plus
 /// the per-lane contention table that explains it.
 fn run_sharding(args: &Args) {
@@ -270,6 +299,9 @@ fn main() -> ExitCode {
         "sharding" => {
             run_sharding(&args);
         }
+        "alloc" => {
+            run_alloc(&args);
+        }
         "modern" => {
             emit(&experiments::modern(&args.threads, &args.config), &args.csv);
         }
@@ -336,6 +368,7 @@ fn main() -> ExitCode {
             );
             run_ordering(&args);
             run_sharding(&args);
+            run_alloc(&args);
         }
         other => {
             eprintln!("unknown experiment: {other}");

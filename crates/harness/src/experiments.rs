@@ -399,6 +399,97 @@ pub fn backoff_contention(thread_counts: &[usize], base: &WorkloadConfig) -> Tab
     table
 }
 
+/// `ext-alloc`: throughput of the compiled node-lifecycle mode — pooled
+/// recycling vs the `no-pool` per-node malloc build — for the two core
+/// queues and the hazard-reclaimed MS baselines.
+///
+/// Row labels carry [`nbq_util::pool::mode()`] (`pooled` for the default
+/// build, `malloc` under `--features no-pool`), so running once per build
+/// and merging the CSVs (see [`Table::merge_csv_rows`]) yields the
+/// cross-build comparison, exactly as `ext-ordering` does for memory
+/// orderings. Reported in Mops/s (higher is better) so the pooled-vs-
+/// malloc margin reads directly off the table.
+pub fn alloc_throughput(thread_counts: &[usize], base: &WorkloadConfig) -> Table {
+    let mode = nbq_util::pool::mode();
+    let mut table = Table::new(
+        "ext-alloc",
+        "Node lifecycle: pooled recycling vs per-node malloc",
+        "threads",
+        "Mops/s",
+        thread_counts.iter().map(|&t| t as u64).collect(),
+    );
+    for algo in [
+        Algo::CasQueue,
+        Algo::LlScQueue,
+        Algo::MsHpUnsorted,
+        Algo::MsDoherty,
+    ] {
+        let cells: Vec<Cell> = thread_counts
+            .iter()
+            .map(|&threads| {
+                let cfg = WorkloadConfig { threads, ..*base };
+                let s = algo.run(&cfg);
+                let ops = cfg.total_ops() as f64;
+                let mean = ops / s.mean / 1e6;
+                // First-order error propagation: d(ops/t) = ops * dt / t^2.
+                let stddev = ops * s.stddev / (s.mean * s.mean) / 1e6;
+                Cell { mean, stddev }
+            })
+            .collect();
+        table.push_row(&format!("{} [{mode}]", algo.name()), cells);
+    }
+    table
+}
+
+/// `ext-alloc-counters`: where the CAS queue's nodes actually come from
+/// under the paper workload — fresh allocations, recycle hits, spills and
+/// refills per completed operation (the counter-to-code-site table in
+/// DESIGN.md §8, measured).
+///
+/// Under the pooled build the `fresh alloc/op` row collapses toward zero
+/// after warmup while `recycle hit/op` absorbs the traffic; under
+/// `no-pool` every acquire is fresh and the recycle rows are zero.
+pub fn alloc_counters(thread_counts: &[usize], base: &WorkloadConfig) -> Table {
+    use crate::workload::run_once;
+    use nbq_core::CasQueue;
+
+    let mode = nbq_util::pool::mode();
+    let mut table = Table::new(
+        "ext-alloc-counters",
+        "CAS queue: node-pool events per operation",
+        "threads",
+        "events/op",
+        thread_counts.iter().map(|&t| t as u64).collect(),
+    );
+    let mut alloc_cells = Vec::new();
+    let mut hit_cells = Vec::new();
+    let mut spill_cells = Vec::new();
+    let mut refill_cells = Vec::new();
+    for &threads in thread_counts {
+        let cfg = WorkloadConfig { threads, ..*base };
+        let q = CasQueue::<u64>::with_stats(cfg.capacity);
+        run_once(&q, &cfg);
+        let snap = q.stats().expect("stats enabled").snapshot();
+        let ops = cfg.total_ops().max(1) as f64;
+        for (cells, total) in [
+            (&mut alloc_cells, snap.pool_alloc),
+            (&mut hit_cells, snap.pool_recycle_hits),
+            (&mut spill_cells, snap.pool_spills),
+            (&mut refill_cells, snap.pool_refills),
+        ] {
+            cells.push(Cell {
+                mean: total as f64 / ops,
+                stddev: 0.0,
+            });
+        }
+    }
+    table.push_row(&format!("fresh alloc/op [{mode}]"), alloc_cells);
+    table.push_row(&format!("recycle hit/op [{mode}]"), hit_cells);
+    table.push_row(&format!("spill/op [{mode}]"), spill_cells);
+    table.push_row(&format!("refill/op [{mode}]"), refill_cells);
+    table
+}
+
 /// `ext-modern`: the paper's algorithms against modern comparators.
 pub fn modern(thread_counts: &[usize], base: &WorkloadConfig) -> Table {
     time_vs_threads(
@@ -847,6 +938,41 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn alloc_rows_carry_the_compiled_mode() {
+        let t = alloc_throughput(&[1, 2], &tiny());
+        assert_eq!(t.rows.len(), 4);
+        let mode = nbq_util::pool::mode();
+        for (label, cells) in &t.rows {
+            assert!(
+                label.ends_with(&format!("[{mode}]")),
+                "row {label} missing mode suffix"
+            );
+            assert!(cells.iter().all(|c| c.mean > 0.0 && c.mean.is_finite()));
+        }
+        #[cfg(feature = "no-pool")]
+        assert_eq!(mode, "malloc");
+        #[cfg(not(feature = "no-pool"))]
+        assert_eq!(mode, "pooled");
+    }
+
+    #[test]
+    fn alloc_counters_split_fresh_from_recycled() {
+        let t = alloc_counters(&[2], &tiny());
+        assert_eq!(t.rows.len(), 4);
+        let mode = nbq_util::pool::mode();
+        let fresh = t.cell(&format!("fresh alloc/op [{mode}]"), 2).unwrap().mean;
+        let hits = t.cell(&format!("recycle hit/op [{mode}]"), 2).unwrap().mean;
+        assert!(fresh >= 0.0 && hits >= 0.0);
+        #[cfg(feature = "no-pool")]
+        assert_eq!(hits, 0.0, "malloc mode never reports recycle hits");
+        #[cfg(not(feature = "no-pool"))]
+        assert!(
+            hits > 0.0,
+            "pooled mode must recycle under a cyclic workload"
+        );
     }
 
     #[test]

@@ -42,9 +42,10 @@
 #![warn(missing_docs)]
 
 use nbq_util::mem;
+use nbq_util::pool::{NodePool, PoolNode};
 use std::ptr;
 use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, TryLockError};
 
 /// Number of hazard slots per thread record.
 ///
@@ -177,6 +178,7 @@ impl Domain {
                     domain: self,
                     record: cur,
                     retired: Vec::new(),
+                    scratch: Vec::new(),
                 };
             }
             cur = rec.next as *mut Record;
@@ -198,6 +200,7 @@ impl Domain {
                         domain: self,
                         record: raw,
                         retired: Vec::new(),
+                        scratch: Vec::new(),
                     };
                 }
                 // SAFETY: on failure the box was not published; reclaim it
@@ -261,12 +264,25 @@ impl Domain {
 
     /// Runs a reclamation pass over `retired`, freeing everything whose
     /// address is not currently protected. Returns the number freed.
-    fn scan(&self, retired: &mut Vec<Retired>) -> usize {
-        let mut hazards = Vec::with_capacity(self.total_records() * HP_PER_RECORD);
-        self.collect_hazards(&mut hazards);
-        if self.config.scan_mode == ScanMode::Sorted {
-            hazards.sort_unstable();
+    ///
+    /// `scratch` is the hazard-snapshot buffer, owned by the caller so a
+    /// steady-state scan performs no allocation once the buffer has
+    /// reached its working size (part of the allocation-free hot path;
+    /// DESIGN.md §8). Any orphaned retire lists left behind by departed
+    /// threads are adopted into `retired` first, so they are reclaimed by
+    /// the surviving threads' ordinary scans, not only by `Domain::drop`.
+    fn scan(&self, retired: &mut Vec<Retired>, scratch: &mut Vec<usize>) -> usize {
+        match self.orphans.try_lock() {
+            Ok(mut orphans) => retired.append(&mut orphans),
+            Err(TryLockError::Poisoned(e)) => retired.append(&mut e.into_inner()),
+            // Contended: another thread is orphaning or adopting; skip.
+            Err(TryLockError::WouldBlock) => {}
         }
+        self.collect_hazards(scratch);
+        if self.config.scan_mode == ScanMode::Sorted {
+            scratch.sort_unstable();
+        }
+        let hazards = &*scratch;
         let is_protected = |p: usize| match self.config.scan_mode {
             ScanMode::Sorted => hazards.binary_search(&p).is_ok(),
             ScanMode::Unsorted => hazards.contains(&p),
@@ -293,6 +309,14 @@ impl Drop for Domain {
     fn drop(&mut self) {
         // &mut self: no LocalHazards can outlive the domain (they borrow
         // it), so no hazards are published and everything deferred is free.
+        // A record still marked active here means a handle was leaked
+        // (e.g. `mem::forget`) — its retire list is gone and anything on
+        // it leaks silently. Make that loud in debug builds.
+        debug_assert_eq!(
+            self.live_records(),
+            0,
+            "a registered LocalHazards outlived its Domain (leaked handle?)"
+        );
         let orphans = self.orphans.get_mut().unwrap_or_else(|e| e.into_inner());
         for r in orphans.drain(..) {
             // SAFETY: no thread can hold a reference anymore.
@@ -313,6 +337,9 @@ pub struct LocalHazards<'d> {
     domain: &'d Domain,
     record: *const Record,
     retired: Vec<Retired>,
+    /// Reusable hazard-snapshot buffer for scans: after warm-up, a scan
+    /// allocates nothing.
+    scratch: Vec<usize>,
 }
 
 // SAFETY: the handle is moved between threads only as a whole; the record's
@@ -397,6 +424,40 @@ impl<'d> LocalHazards<'d> {
         unsafe { self.retire_raw(ptr.cast(), ptr::null_mut(), drop_box::<T>) };
     }
 
+    /// Defers *recycling* of a pool-carved node: once a scan proves no
+    /// published hazard covers `node`, it is pushed back into `pool`
+    /// instead of being freed — the allocation-free counterpart of
+    /// [`retire_box`](Self::retire_box). The factor-4 scan trigger and
+    /// both [`ScanMode`]s apply unchanged; only the final disposition of
+    /// an unprotected node differs. (Under the `no-pool` feature the pool
+    /// degenerates to `dealloc`, restoring `retire_box` behavior.)
+    ///
+    /// # Safety
+    ///
+    /// `node` must have been acquired from `pool`, be unlinked from the
+    /// shared structure (no new references can be created), not be
+    /// retired twice, and its payload slot must no longer hold a live
+    /// `T` (the pool never runs payload destructors). `pool` must stay
+    /// at a stable address until the domain is dropped — the recycle may
+    /// be deferred all the way to `Domain::drop`, so keep the pool boxed
+    /// and declared *after* the domain in the owning struct (fields drop
+    /// in declaration order).
+    pub unsafe fn retire_recycle<T>(&mut self, node: *mut PoolNode<T>, pool: &NodePool<T>) {
+        unsafe fn recycle<T>(p: *mut u8, ctx: *mut u8) {
+            // SAFETY: ctx is the NodePool the node came from, alive per
+            // the caller contract; p is that pool's node, empty.
+            let pool = unsafe { &*(ctx as *const NodePool<T>) };
+            unsafe { pool.recycle_raw(p.cast::<PoolNode<T>>()) };
+        }
+        unsafe {
+            self.retire_raw(
+                node.cast(),
+                pool as *const NodePool<T> as *mut u8,
+                recycle::<T>,
+            )
+        };
+    }
+
     /// Defers an arbitrary reclamation `(ptr, ctx, drop_fn)`.
     ///
     /// # Safety
@@ -413,25 +474,42 @@ impl<'d> LocalHazards<'d> {
         debug_assert!(!ptr.is_null());
         self.retired.push(Retired { ptr, ctx, drop_fn });
         if self.retired.len() >= self.domain.scan_threshold() {
-            self.domain.scan(&mut self.retired);
+            self.domain.scan(&mut self.retired, &mut self.scratch);
         }
     }
 
     /// Forces a reclamation pass; returns how many nodes were freed.
+    ///
+    /// Unlike the automatic threshold scans (which deliberately keep the
+    /// retire list's capacity for reuse — the allocation-free steady
+    /// state), an explicit flush that frees more than half the list also
+    /// releases the list's excess capacity, so a burst of retirements
+    /// does not pin its high-water mark forever.
     pub fn flush(&mut self) -> usize {
-        self.domain.scan(&mut self.retired)
+        let before = self.retired.len();
+        let freed = self.domain.scan(&mut self.retired, &mut self.scratch);
+        if freed * 2 > before {
+            self.retired.shrink_to_fit();
+        }
+        freed
     }
 
     /// Number of nodes currently awaiting reclamation in this handle.
     pub fn pending(&self) -> usize {
         self.retired.len()
     }
+
+    /// Current capacity of the retire list (observability for the
+    /// high-water-mark regression test; see [`flush`](Self::flush)).
+    pub fn retired_capacity(&self) -> usize {
+        self.retired.capacity()
+    }
 }
 
 impl Drop for LocalHazards<'_> {
     fn drop(&mut self) {
         self.clear_all();
-        self.domain.scan(&mut self.retired);
+        self.domain.scan(&mut self.retired, &mut self.scratch);
         if !self.retired.is_empty() {
             // Still-protected nodes are handed to the domain so a later
             // scan (or Domain::drop) can free them.
@@ -571,6 +649,132 @@ mod tests {
             drop(guard);
         }
         assert_eq!(drops.load(Ordering::SeqCst), 1, "domain drop must free");
+    }
+
+    #[test]
+    fn flush_releases_high_water_capacity() {
+        // Regression: flush used to leave the retire list allocated at
+        // its high-water mark forever.
+        let domain = Domain::new(Config {
+            scan_mode: ScanMode::Sorted,
+            retire_factor: 100_000, // no automatic scans
+        });
+        let drops = Arc::new(Counter::new(0));
+        let mut local = domain.register();
+        for _ in 0..4_096 {
+            unsafe { local.retire_box(tracked(&drops)) };
+        }
+        assert!(local.retired_capacity() >= 4_096);
+        let freed = local.flush();
+        assert_eq!(freed, 4_096);
+        assert_eq!(local.pending(), 0);
+        assert!(
+            local.retired_capacity() < 4_096,
+            "flush must shrink the emptied retire list, capacity still {}",
+            local.retired_capacity()
+        );
+    }
+
+    #[test]
+    fn threshold_scans_keep_capacity_for_reuse() {
+        // The automatic scans must NOT shrink: the steady state reuses
+        // the same buffer with zero allocator traffic.
+        let domain = Domain::default();
+        let drops = Arc::new(Counter::new(0));
+        let mut local = domain.register();
+        for _ in 0..64 {
+            unsafe { local.retire_box(tracked(&drops)) };
+        }
+        let warm = local.retired_capacity();
+        assert!(warm > 0);
+        for _ in 0..256 {
+            unsafe { local.retire_box(tracked(&drops)) };
+        }
+        assert_eq!(local.retired_capacity(), warm);
+    }
+
+    #[test]
+    fn orphans_are_adopted_by_surviving_threads_scans() {
+        let drops = Arc::new(Counter::new(0));
+        let domain = Domain::default();
+        let guard = domain.register();
+        {
+            let mut departing = domain.register();
+            let p = tracked(&drops);
+            guard.set(0, p as usize);
+            unsafe { departing.retire_box(p) };
+            // departing drops here: p is still protected, so its retire
+            // list is orphaned onto the domain.
+        }
+        assert_eq!(drops.load(Ordering::SeqCst), 0);
+        guard.clear(0);
+        let mut survivor = domain.register();
+        let freed = survivor.flush();
+        assert_eq!(freed, 1, "survivor's scan must adopt and free orphans");
+        assert_eq!(drops.load(Ordering::SeqCst), 1);
+        assert_eq!(domain.reclaimed_count(), 1);
+    }
+
+    #[test]
+    fn retire_recycle_returns_nodes_to_the_pool() {
+        let pool = NodePool::<u64>::new();
+        let domain = Domain::default();
+        let guard = domain.register();
+        let mut local = domain.register();
+        let mut ph = pool.handle();
+
+        let (node, _) = ph.acquire(77);
+        guard.set(0, node as usize);
+        // Move the payload out first: the pool never drops payloads.
+        assert_eq!(unsafe { PoolNode::payload_ptr(node).read() }, 77);
+        unsafe { local.retire_recycle(node, &pool) };
+        local.flush();
+        assert_eq!(local.pending(), 1, "protected node must not recycle");
+
+        guard.clear(0);
+        local.flush();
+        assert_eq!(local.pending(), 0);
+        assert_eq!(domain.reclaimed_count(), 1);
+        if cfg!(not(feature = "no-pool")) {
+            assert_eq!(pool.stats().spills, 1, "recycled into the global spill");
+            // A fresh handle must get the very same node back.
+            let mut ph2 = pool.handle();
+            let (again, src) = ph2.acquire(88);
+            assert_eq!(again, node);
+            assert_eq!(src, nbq_util::pool::AcquireSource::Refill);
+            unsafe { ph2.take(again) };
+        }
+    }
+
+    #[test]
+    fn retire_recycle_outlives_the_retiring_handle() {
+        // A node still protected when its retirer leaves is orphaned;
+        // the recycle (whose ctx is the pool's address) then runs from
+        // whichever later scan adopts it — here the guard's own drop
+        // scan, after it clears its hazards. The pool must therefore
+        // outlive the domain (declare it before the domain in an owning
+        // struct, so it drops after).
+        let pool = NodePool::<u64>::new();
+        {
+            let domain = Domain::default();
+            let guard = domain.register();
+            let mut local = domain.register();
+            let mut ph = pool.handle();
+            let (node, _) = ph.acquire(5);
+            guard.set(0, node as usize);
+            unsafe {
+                PoolNode::payload_ptr(node).read();
+                local.retire_recycle(node, &pool);
+            }
+            drop(local); // still protected: orphaned, not recycled
+            if cfg!(not(feature = "no-pool")) {
+                assert_eq!(pool.stats().spills, 0);
+            }
+            drop(guard); // clears the hazard, adopts, recycles
+        }
+        if cfg!(not(feature = "no-pool")) {
+            assert_eq!(pool.stats().spills, 1, "orphaned recycle must land");
+        }
     }
 
     #[test]

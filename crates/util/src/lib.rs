@@ -19,6 +19,10 @@
 //! * [`mem`] — the per-site memory-ordering policy every hot path names
 //!   its orderings through; the `strict-sc` cargo feature maps all of
 //!   them back to `SeqCst`.
+//! * [`pool`] — pooled node recycling ([`pool::NodePool`]) so the
+//!   node-per-element queues' steady state never touches the global
+//!   allocator; the `no-pool` cargo feature maps it back to per-node
+//!   `alloc`/`dealloc`.
 
 #![warn(missing_docs)]
 
@@ -26,6 +30,7 @@ pub mod backoff;
 pub mod blocking;
 pub mod mem;
 pub mod pad;
+pub mod pool;
 pub mod queue;
 pub mod rng;
 pub mod stats;

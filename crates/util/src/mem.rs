@@ -102,6 +102,23 @@ relaxable! {
     /// the protected reads ordered before the slot is surrendered to the
     /// scanner.
     HP_CLEAR = Release;
+    /// Load of the node pool's packed spill-stack head (`version<<48 |
+    /// addr`). Acquire pairs with [`POOL_CAS`]'s release so a popped
+    /// node's header link (written by the pusher) is visible.
+    POOL_HEAD_LOAD = Acquire;
+    /// Success ordering of the spill-stack head CAS (push and pop).
+    /// Release publishes the pushed node's header; acquire orders the
+    /// popper behind the push it consumes. The 16-bit version stamped
+    /// into the head on every transition is the ABA defense — correctness
+    /// never rides on the ordering of the header link itself.
+    POOL_CAS = AcqRel;
+    /// Failure ordering of the spill-stack head CAS: the loaded word is
+    /// fed straight back into the retry loop.
+    POOL_CAS_FAIL = Relaxed;
+    /// Reads/writes of a pooled node's header link. Relaxed: the link is
+    /// only trusted after the versioned head CAS validates it, and pooled
+    /// nodes are never individually freed, so a stale read is harmless.
+    POOL_NEXT = Relaxed;
 }
 
 /// CASes that install or remove a `CasQueue` reservation tag in a slot
@@ -171,12 +188,15 @@ mod tests {
             assert_eq!(INDEX_CAS, Ordering::SeqCst);
             assert_eq!(CELL_SC, Ordering::SeqCst);
             assert_eq!(NODE_PUBLISH, Ordering::SeqCst);
+            assert_eq!(POOL_CAS, Ordering::SeqCst);
             assert_eq!(mode(), "seqcst");
         } else {
             assert_eq!(INDEX_LOAD, Ordering::Acquire);
             assert_eq!(INDEX_CAS, Ordering::AcqRel);
             assert_eq!(CELL_SC, Ordering::AcqRel);
             assert_eq!(NODE_PUBLISH, Ordering::Release);
+            assert_eq!(POOL_HEAD_LOAD, Ordering::Acquire);
+            assert_eq!(POOL_CAS, Ordering::AcqRel);
             assert_eq!(mode(), "relaxed");
         }
     }
@@ -199,7 +219,13 @@ mod tests {
     fn cas_failure_orderings_are_valid_for_compare_exchange() {
         // compare_exchange rejects Release/AcqRel failure orderings at
         // runtime; make sure no feature combination produces one.
-        for fail in [INDEX_CAS_FAIL, SLOT_CAS_FAIL, CELL_SC_FAIL, TAG_CAS_FAIL] {
+        for fail in [
+            INDEX_CAS_FAIL,
+            SLOT_CAS_FAIL,
+            CELL_SC_FAIL,
+            TAG_CAS_FAIL,
+            POOL_CAS_FAIL,
+        ] {
             assert!(matches!(
                 fail,
                 Ordering::Relaxed | Ordering::Acquire | Ordering::SeqCst

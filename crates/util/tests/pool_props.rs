@@ -1,0 +1,147 @@
+//! Property-based tests for the node pool: whatever the
+//! acquire/take/reserve interleaving, (1) a recycled node's payload slot
+//! is overwritten before the node is republished, (2) a node that is
+//! currently live is never handed out a second time, and (3) every
+//! payload moved into the pool is dropped exactly once.
+//!
+//! The same properties must hold under `--features no-pool`, where every
+//! acquire is a fresh malloc — the API contract is mode-independent.
+
+use nbq_util::pool::{NodePool, PoolNode};
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// One scripted step against a pool with (up to) two handles.
+#[derive(Debug, Clone)]
+enum Step {
+    /// Acquire a freshly-tagged payload on handle `h`.
+    Acquire { h: usize },
+    /// Take the oldest live node back through handle `h` (cross-handle
+    /// takes push nodes into the *other* handle's cache, forcing spill
+    /// traffic once it fills).
+    TakeOldest { h: usize },
+    /// Take the newest live node (LIFO pressure on the cache).
+    TakeNewest { h: usize },
+    /// Pre-fill handle `h`'s cache.
+    Reserve { h: usize, n: usize },
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        4 => (0..2usize).prop_map(|h| Step::Acquire { h }),
+        2 => (0..2usize).prop_map(|h| Step::TakeOldest { h }),
+        2 => (0..2usize).prop_map(|h| Step::TakeNewest { h }),
+        1 => (0..2usize, 0..96usize).prop_map(|(h, n)| Step::Reserve { h, n }),
+    ]
+}
+
+/// Payload whose drop is counted, carrying a unique tag.
+struct Tracked {
+    tag: u64,
+    drops: Arc<AtomicUsize>,
+}
+
+impl Drop for Tracked {
+    fn drop(&mut self) {
+        self.drops.fetch_add(1, Ordering::SeqCst);
+    }
+}
+
+fn run_script(steps: &[Step]) {
+    let pool = NodePool::<Tracked>::new();
+    let mut handles = [pool.handle(), pool.handle()];
+    let drops = Arc::new(AtomicUsize::new(0));
+    // Model: the live (acquired, not yet taken) nodes with their tags.
+    let mut live: Vec<(*mut PoolNode<Tracked>, u64)> = Vec::new();
+    let mut next_tag = 1u64;
+    let mut acquired = 0usize;
+    let mut taken = 0usize;
+
+    for step in steps {
+        match *step {
+            Step::Acquire { h } => {
+                let tag = next_tag;
+                next_tag += 1;
+                let (node, _src) = handles[h].acquire(Tracked {
+                    tag,
+                    drops: drops.clone(),
+                });
+                assert!(
+                    !live.iter().any(|&(p, _)| p == node),
+                    "pool republished a node that is still live"
+                );
+                // The payload slot must hold exactly the value just
+                // written, whatever the node's recycling history.
+                // SAFETY: node is live with an initialized payload.
+                assert_eq!(
+                    unsafe { (*PoolNode::payload_ptr(node)).tag },
+                    tag,
+                    "payload slot not overwritten before republication"
+                );
+                live.push((node, tag));
+                acquired += 1;
+            }
+            Step::TakeOldest { h } if !live.is_empty() => {
+                let (node, tag) = live.remove(0);
+                // SAFETY: node is live, from this pool, taken exactly once.
+                let (value, _target) = unsafe { handles[h].take(node) };
+                assert_eq!(value.tag, tag, "take returned a different payload");
+                taken += 1;
+            }
+            Step::TakeNewest { h } => {
+                if let Some((node, tag)) = live.pop() {
+                    // SAFETY: as above.
+                    let (value, _target) = unsafe { handles[h].take(node) };
+                    assert_eq!(value.tag, tag, "take returned a different payload");
+                    taken += 1;
+                }
+            }
+            Step::Reserve { h, n } => handles[h].reserve(n),
+            Step::TakeOldest { .. } => {}
+        }
+        assert_eq!(
+            drops.load(Ordering::SeqCst),
+            taken,
+            "a payload dropped early or more than once"
+        );
+    }
+
+    // Drain the survivors so nothing leaks, then the totals must line up.
+    for (node, tag) in live.drain(..) {
+        // SAFETY: as above.
+        let (value, _target) = unsafe { handles[0].take(node) };
+        assert_eq!(value.tag, tag);
+        taken += 1;
+    }
+    assert_eq!(acquired, taken);
+    assert_eq!(drops.load(Ordering::SeqCst), taken, "drop count mismatch");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn recycled_payloads_are_always_overwritten(
+        steps in proptest::collection::vec(step_strategy(), 1..200)
+    ) {
+        run_script(&steps);
+    }
+}
+
+/// Deterministic worst case: hammer one handle far past the cache
+/// capacity so spill pushes, refills, and slab growth all run, with the
+/// same invariants checked every lap.
+#[test]
+fn heavy_churn_exercises_spill_and_refill() {
+    let mut steps = Vec::new();
+    for _ in 0..3 {
+        for _ in 0..200 {
+            steps.push(Step::Acquire { h: 0 });
+        }
+        for _ in 0..200 {
+            steps.push(Step::TakeOldest { h: 1 });
+        }
+    }
+    run_script(&steps);
+}
