@@ -1,0 +1,347 @@
+//! The send/recv futures: two-phase poll protocol with cancellation-safe
+//! deregistration.
+//!
+//! Every future follows the same shape:
+//!
+//! 1. **Resolve** any slot left by a previous `Pending` poll. The cancel
+//!    CAS tells the future whether it was genuinely woken (`NOTIFIED`) or
+//!    merely re-polled (timer fired, `select` sibling woke, executor
+//!    quirk).
+//! 2. **Attempt** the operation. Success resolves the future.
+//! 3. On failure, **register** a fresh slot carrying the current waker,
+//!    issue the Dekker fence, and **re-attempt** once. Only if the
+//!    re-attempt also fails does the future return `Pending` — any
+//!    operation that completed before the registration became visible is
+//!    caught by the re-attempt, and any later one sees the slot.
+//!
+//! Each registration is a *fresh* slot rather than a waker update on the
+//! old one: slot state is a one-shot CAS race, which keeps the waker cell
+//! lock-free (see `waiters`); the price is one `Arc` per park, paid only
+//! on the contended path.
+//!
+//! `Drop` cancels a live slot, passing the wake token to a peer if a
+//! notifier got there first, so cancellation (`timeout`, `select`, task
+//! abort, runtime teardown) can never strand another waiter.
+
+use crate::waiters::{dekker_fence, WaiterSlot};
+use crate::{AsyncQueue, RecvAttempt};
+use nbq_util::queue::{Closed, ConcurrentQueue, QueueHandle, TrySendError};
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::Arc;
+use std::task::{Context, Poll};
+
+/// Future returned by [`AsyncQueue::send`].
+pub struct SendFuture<'q, T: Send, Q: ConcurrentQueue<T>> {
+    queue: &'q AsyncQueue<T, Q>,
+    handle: Q::Handle<'q>,
+    value: Option<T>,
+    slot: Option<Arc<WaiterSlot>>,
+}
+
+// The futures never pin-project: fields are only ever used through plain
+// `&mut`, and nothing is self-referential, so `Unpin` holds regardless
+// of `Q::Handle` (the handle itself is never pinned).
+impl<T: Send, Q: ConcurrentQueue<T>> Unpin for SendFuture<'_, T, Q> {}
+
+impl<'q, T: Send, Q: ConcurrentQueue<T>> SendFuture<'q, T, Q> {
+    pub(crate) fn new(queue: &'q AsyncQueue<T, Q>, value: T) -> Self {
+        Self {
+            queue,
+            handle: queue.inner().handle(),
+            value: Some(value),
+            slot: None,
+        }
+    }
+}
+
+impl<T: Send, Q: ConcurrentQueue<T>> Future for SendFuture<'_, T, Q> {
+    type Output = Result<(), Closed<T>>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let this = self.get_mut();
+        let was_parked = this.queue.resolve_prior_sender(&mut this.slot);
+        let value = this
+            .value
+            .take()
+            .expect("SendFuture polled after completion");
+        match this.queue.try_send_with(&mut this.handle, value) {
+            Ok(()) => Poll::Ready(Ok(())),
+            Err(TrySendError::Closed(v)) => Poll::Ready(Err(Closed(v))),
+            Err(TrySendError::Full(v)) => {
+                if was_parked {
+                    this.queue.record_spurious_poll();
+                }
+                let slot = this.queue.register_sender(cx.waker().clone());
+                dekker_fence();
+                match this.queue.try_send_with(&mut this.handle, v) {
+                    Ok(()) => {
+                        this.queue.resolve_sender_slot(slot);
+                        Poll::Ready(Ok(()))
+                    }
+                    Err(TrySendError::Closed(v)) => {
+                        this.queue.resolve_sender_slot(slot);
+                        Poll::Ready(Err(Closed(v)))
+                    }
+                    Err(TrySendError::Full(v)) => {
+                        this.value = Some(v);
+                        this.slot = Some(slot);
+                        Poll::Pending
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl<T: Send, Q: ConcurrentQueue<T>> Drop for SendFuture<'_, T, Q> {
+    fn drop(&mut self) {
+        if let Some(slot) = self.slot.take() {
+            self.queue.resolve_sender_slot(slot);
+        }
+    }
+}
+
+/// Future returned by [`AsyncQueue::recv`].
+pub struct RecvFuture<'q, T: Send, Q: ConcurrentQueue<T>> {
+    queue: &'q AsyncQueue<T, Q>,
+    handle: Q::Handle<'q>,
+    slot: Option<Arc<WaiterSlot>>,
+}
+
+impl<T: Send, Q: ConcurrentQueue<T>> Unpin for RecvFuture<'_, T, Q> {}
+
+impl<'q, T: Send, Q: ConcurrentQueue<T>> RecvFuture<'q, T, Q> {
+    pub(crate) fn new(queue: &'q AsyncQueue<T, Q>) -> Self {
+        Self {
+            queue,
+            handle: queue.inner().handle(),
+            slot: None,
+        }
+    }
+}
+
+impl<T: Send, Q: ConcurrentQueue<T>> Future for RecvFuture<'_, T, Q> {
+    type Output = Option<T>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let this = self.get_mut();
+        let was_parked = this.queue.resolve_prior_receiver(&mut this.slot);
+        match this.queue.try_recv_with(&mut this.handle) {
+            RecvAttempt::Item(v) => Poll::Ready(Some(v)),
+            RecvAttempt::Closed => Poll::Ready(None),
+            RecvAttempt::Empty => {
+                if was_parked {
+                    this.queue.record_spurious_poll();
+                }
+                let slot = this.queue.register_receiver(cx.waker().clone());
+                dekker_fence();
+                match this.queue.try_recv_with(&mut this.handle) {
+                    RecvAttempt::Item(v) => {
+                        this.queue.resolve_receiver_slot(slot);
+                        Poll::Ready(Some(v))
+                    }
+                    RecvAttempt::Closed => {
+                        this.queue.resolve_receiver_slot(slot);
+                        Poll::Ready(None)
+                    }
+                    RecvAttempt::Empty => {
+                        this.slot = Some(slot);
+                        Poll::Pending
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl<T: Send, Q: ConcurrentQueue<T>> Drop for RecvFuture<'_, T, Q> {
+    fn drop(&mut self) {
+        if let Some(slot) = self.slot.take() {
+            self.queue.resolve_receiver_slot(slot);
+        }
+    }
+}
+
+/// Future returned by [`AsyncQueue::send_batch`].
+///
+/// Rides the wrapped queue's amortized `enqueue_batch` path; partial
+/// fills make progress (the landed prefix stays enqueued) and only the
+/// unsent suffix waits for capacity.
+pub struct SendBatchFuture<'q, T: Send, Q: ConcurrentQueue<T>> {
+    queue: &'q AsyncQueue<T, Q>,
+    handle: Q::Handle<'q>,
+    /// The not-yet-enqueued suffix; `None` after completion.
+    pending: Option<Vec<T>>,
+    enqueued: usize,
+    slot: Option<Arc<WaiterSlot>>,
+}
+
+impl<T: Send, Q: ConcurrentQueue<T>> Unpin for SendBatchFuture<'_, T, Q> {}
+
+impl<'q, T: Send, Q: ConcurrentQueue<T>> SendBatchFuture<'q, T, Q> {
+    pub(crate) fn new(queue: &'q AsyncQueue<T, Q>, items: Vec<T>) -> Self {
+        Self {
+            queue,
+            handle: queue.inner().handle(),
+            pending: Some(items),
+            enqueued: 0,
+            slot: None,
+        }
+    }
+
+    /// One batch attempt: `Ok(remaining)` (empty = done) or the closed
+    /// error carrying the unsent suffix.
+    fn attempt(&mut self, items: Vec<T>) -> Result<Vec<T>, Closed<Vec<T>>> {
+        if self.queue.is_closed() {
+            return Err(Closed(items));
+        }
+        match self.handle.enqueue_batch(items.into_iter()) {
+            Ok(n) => {
+                self.enqueued += n;
+                self.queue.notify_receivers(n);
+                Ok(Vec::new())
+            }
+            Err(partial) => {
+                self.enqueued += partial.enqueued;
+                self.queue.notify_receivers(partial.enqueued);
+                Ok(partial.remaining)
+            }
+        }
+    }
+}
+
+impl<T: Send, Q: ConcurrentQueue<T>> Future for SendBatchFuture<'_, T, Q> {
+    /// Count of items enqueued on success; on close, the unsent suffix
+    /// (`enqueued = original_len - remaining.len()` items are already in
+    /// the queue and will be delivered by the drain contract).
+    type Output = Result<usize, Closed<Vec<T>>>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let this = self.get_mut();
+        let was_parked = this.queue.resolve_prior_sender(&mut this.slot);
+        let items = this
+            .pending
+            .take()
+            .expect("SendBatchFuture polled after completion");
+        if items.is_empty() {
+            return Poll::Ready(Ok(this.enqueued));
+        }
+        match this.attempt(items) {
+            Err(e) => Poll::Ready(Err(e)),
+            Ok(rest) if rest.is_empty() => Poll::Ready(Ok(this.enqueued)),
+            Ok(rest) => {
+                if was_parked {
+                    this.queue.record_spurious_poll();
+                }
+                let slot = this.queue.register_sender(cx.waker().clone());
+                dekker_fence();
+                match this.attempt(rest) {
+                    Err(e) => {
+                        this.queue.resolve_sender_slot(slot);
+                        Poll::Ready(Err(e))
+                    }
+                    Ok(rest) if rest.is_empty() => {
+                        this.queue.resolve_sender_slot(slot);
+                        Poll::Ready(Ok(this.enqueued))
+                    }
+                    Ok(rest) => {
+                        this.pending = Some(rest);
+                        this.slot = Some(slot);
+                        Poll::Pending
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl<T: Send, Q: ConcurrentQueue<T>> Drop for SendBatchFuture<'_, T, Q> {
+    fn drop(&mut self) {
+        if let Some(slot) = self.slot.take() {
+            self.queue.resolve_sender_slot(slot);
+        }
+    }
+}
+
+/// Future returned by [`AsyncQueue::recv_batch`].
+pub struct RecvBatchFuture<'q, T: Send, Q: ConcurrentQueue<T>> {
+    queue: &'q AsyncQueue<T, Q>,
+    handle: Q::Handle<'q>,
+    max: usize,
+    slot: Option<Arc<WaiterSlot>>,
+}
+
+impl<T: Send, Q: ConcurrentQueue<T>> Unpin for RecvBatchFuture<'_, T, Q> {}
+
+impl<'q, T: Send, Q: ConcurrentQueue<T>> RecvBatchFuture<'q, T, Q> {
+    pub(crate) fn new(queue: &'q AsyncQueue<T, Q>, max: usize) -> Self {
+        Self {
+            queue,
+            handle: queue.inner().handle(),
+            max,
+            slot: None,
+        }
+    }
+
+    /// One batch attempt; `Err(true)` = closed-and-drained, `Err(false)`
+    /// = merely empty.
+    fn attempt(&mut self) -> Result<Vec<T>, bool> {
+        let closed = self.queue.is_closed();
+        let mut out = Vec::new();
+        let n = self.handle.dequeue_batch(&mut out, self.max);
+        if n > 0 {
+            self.queue.notify_senders(n);
+            Ok(out)
+        } else {
+            Err(closed)
+        }
+    }
+}
+
+impl<T: Send, Q: ConcurrentQueue<T>> Future for RecvBatchFuture<'_, T, Q> {
+    /// At least one item on success; empty only when the channel is
+    /// closed and drained (or `max == 0`).
+    type Output = Vec<T>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let this = self.get_mut();
+        let was_parked = this.queue.resolve_prior_receiver(&mut this.slot);
+        if this.max == 0 {
+            return Poll::Ready(Vec::new());
+        }
+        match this.attempt() {
+            Ok(out) => Poll::Ready(out),
+            Err(true) => Poll::Ready(Vec::new()),
+            Err(false) => {
+                if was_parked {
+                    this.queue.record_spurious_poll();
+                }
+                let slot = this.queue.register_receiver(cx.waker().clone());
+                dekker_fence();
+                match this.attempt() {
+                    Ok(out) => {
+                        this.queue.resolve_receiver_slot(slot);
+                        Poll::Ready(out)
+                    }
+                    Err(true) => {
+                        this.queue.resolve_receiver_slot(slot);
+                        Poll::Ready(Vec::new())
+                    }
+                    Err(false) => {
+                        this.slot = Some(slot);
+                        Poll::Pending
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl<T: Send, Q: ConcurrentQueue<T>> Drop for RecvBatchFuture<'_, T, Q> {
+    fn drop(&mut self) {
+        if let Some(slot) = self.slot.take() {
+            self.queue.resolve_receiver_slot(slot);
+        }
+    }
+}

@@ -1,0 +1,310 @@
+//! Functional tests for [`AsyncQueue`] driven by a real multi-threaded
+//! runtime: wakeups across tasks, backpressure, close semantics, batch
+//! futures, Stream/Sink adapters, and the waker instrumentation counters.
+
+use futures::{SinkExt, StreamExt};
+use nbq_async::{AsyncQueue, TrySendError};
+use nbq_core::CasQueue;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn rt() -> tokio::runtime::Runtime {
+    tokio::runtime::Builder::new_multi_thread()
+        .worker_threads(4)
+        .enable_all()
+        .build()
+        .expect("building runtime")
+}
+
+fn channel(cap: usize) -> Arc<AsyncQueue<u64, CasQueue<u64>>> {
+    Arc::new(AsyncQueue::new(CasQueue::with_capacity(cap)))
+}
+
+#[test]
+fn send_recv_roundtrip() {
+    let rt = rt();
+    let q = channel(8);
+    rt.block_on(async {
+        q.send(7).await.expect("open channel");
+        assert_eq!(q.recv().await, Some(7));
+    });
+    assert_eq!(q.live_waiters(), 0);
+}
+
+#[test]
+fn recv_parks_until_a_send_arrives() {
+    let rt = rt();
+    let q = channel(8);
+    let got = rt.block_on(async {
+        let consumer = {
+            let q = q.clone();
+            tokio::spawn(async move { q.recv().await })
+        };
+        // Give the receiver time to park on the waiter registry.
+        tokio::time::sleep(Duration::from_millis(30)).await;
+        q.send(42).await.expect("open channel");
+        consumer.await.expect("consumer task")
+    });
+    assert_eq!(got, Some(42));
+    assert_eq!(q.live_waiters(), 0);
+}
+
+#[test]
+fn send_parks_on_full_until_a_recv_makes_room() {
+    let rt = rt();
+    let q = channel(1);
+    rt.block_on(async {
+        // Capacity may be rounded up, so fill until the queue pushes back.
+        let mut filled = 0u64;
+        while q.try_send(filled).is_ok() {
+            filled += 1;
+        }
+        let producer = {
+            let q = q.clone();
+            tokio::spawn(async move { q.send(u64::MAX).await })
+        };
+        tokio::time::sleep(Duration::from_millis(30)).await;
+        for expected in 0..filled {
+            assert_eq!(q.recv().await, Some(expected));
+        }
+        producer
+            .await
+            .expect("producer task")
+            .expect("open channel");
+        assert_eq!(q.recv().await, Some(u64::MAX));
+    });
+    assert_eq!(q.live_waiters(), 0);
+}
+
+#[test]
+fn mpmc_values_are_conserved() {
+    const PRODUCERS: u64 = 4;
+    const CONSUMERS: usize = 4;
+    const PER_PRODUCER: u64 = 500;
+
+    let rt = rt();
+    let q = channel(16);
+    let received = rt.block_on(async {
+        let mut producers = Vec::new();
+        for p in 0..PRODUCERS {
+            let q = q.clone();
+            producers.push(tokio::spawn(async move {
+                for i in 0..PER_PRODUCER {
+                    q.send(p * PER_PRODUCER + i).await.expect("open channel");
+                }
+            }));
+        }
+        let mut consumers = Vec::new();
+        for _ in 0..CONSUMERS {
+            let q = q.clone();
+            consumers.push(tokio::spawn(async move {
+                let mut got = Vec::new();
+                while let Some(v) = q.recv().await {
+                    got.push(v);
+                }
+                got
+            }));
+        }
+        for p in producers {
+            p.await.expect("producer");
+        }
+        q.close();
+        let mut all = Vec::new();
+        for c in consumers {
+            all.extend(c.await.expect("consumer"));
+        }
+        all
+    });
+    let mut sorted = received;
+    sorted.sort_unstable();
+    let expected: Vec<u64> = (0..PRODUCERS * PER_PRODUCER).collect();
+    assert_eq!(sorted, expected, "every value received exactly once");
+    assert_eq!(q.live_waiters(), 0);
+}
+
+#[test]
+fn close_fails_sends_and_drains_recvs() {
+    let rt = rt();
+    let q = channel(8);
+    rt.block_on(async {
+        q.send(1).await.unwrap();
+        q.send(2).await.unwrap();
+        assert!(q.close(), "first close returns true");
+        assert!(!q.close(), "second close returns false");
+
+        let err = q.send(3).await.expect_err("send after close fails");
+        assert_eq!(err.into_inner(), 3);
+        assert!(matches!(q.try_send(4), Err(TrySendError::Closed(4))));
+
+        // Pre-close values still drain, then the channel reports end.
+        assert_eq!(q.recv().await, Some(1));
+        assert_eq!(q.recv().await, Some(2));
+        assert_eq!(q.recv().await, None);
+        assert_eq!(q.try_recv(), None);
+    });
+    assert_eq!(q.live_waiters(), 0);
+}
+
+#[test]
+fn close_wakes_parked_receivers_and_senders() {
+    let rt = rt();
+
+    // A receiver parked on an empty channel is woken by close and sees None.
+    let q = channel(1);
+    rt.block_on(async {
+        let receiver = {
+            let q = q.clone();
+            tokio::spawn(async move { q.recv().await })
+        };
+        tokio::time::sleep(Duration::from_millis(30)).await;
+        q.close();
+        assert_eq!(receiver.await.expect("receiver task"), None);
+    });
+    assert_eq!(q.live_waiters(), 0);
+
+    // A sender parked on a full channel is woken by close and gets its
+    // value back; the pre-close values still drain afterwards.
+    let q = channel(1);
+    rt.block_on(async {
+        // Capacity may be rounded up, so fill until the queue pushes back.
+        let mut filled = 0u64;
+        while q.try_send(filled).is_ok() {
+            filled += 1;
+        }
+        let sender = {
+            let q = q.clone();
+            tokio::spawn(async move { q.send(u64::MAX).await })
+        };
+        tokio::time::sleep(Duration::from_millis(30)).await;
+        q.close();
+        let err = sender.await.expect("sender task").expect_err("closed");
+        assert_eq!(err.into_inner(), u64::MAX);
+        for expected in 0..filled {
+            assert_eq!(q.recv().await, Some(expected));
+        }
+        assert_eq!(q.recv().await, None);
+    });
+    assert_eq!(q.live_waiters(), 0);
+}
+
+#[test]
+fn batch_futures_move_values_in_bulk() {
+    let rt = rt();
+    let q = channel(4);
+    rt.block_on(async {
+        // A batch larger than capacity completes once a consumer drains.
+        let producer = {
+            let q = q.clone();
+            tokio::spawn(async move { q.send_batch((0..10).collect()).await })
+        };
+        let mut got = Vec::new();
+        while got.len() < 10 {
+            let chunk = q.recv_batch(4).await;
+            assert!(chunk.len() <= 4, "recv_batch respects max");
+            got.extend(chunk);
+        }
+        assert_eq!(producer.await.expect("task").expect("open channel"), 10);
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+
+        // Degenerate shapes resolve immediately.
+        assert_eq!(q.send_batch(Vec::new()).await.expect("empty batch"), 0);
+        assert!(q.recv_batch(0).await.is_empty());
+    });
+    assert_eq!(q.live_waiters(), 0);
+}
+
+#[test]
+fn recv_batch_returns_partial_drain_on_close() {
+    let rt = rt();
+    let q = channel(8);
+    rt.block_on(async {
+        q.send(1).await.unwrap();
+        q.close();
+        assert_eq!(q.recv_batch(8).await, vec![1]);
+        assert!(q.recv_batch(8).await.is_empty(), "closed and drained");
+    });
+}
+
+#[test]
+fn stream_yields_until_close_and_sink_feeds_it() {
+    let rt = rt();
+    let q = channel(4);
+    let collected = rt.block_on(async {
+        let consumer = {
+            let q = q.clone();
+            tokio::spawn(async move { q.stream().collect::<Vec<u64>>().await })
+        };
+        let mut sink = q.sink();
+        for v in 0..20 {
+            sink.send(v).await.expect("open channel");
+        }
+        // Sink close flushes and then closes the channel, ending the stream.
+        sink.close().await.expect("close");
+        consumer.await.expect("consumer task")
+    });
+    assert_eq!(collected, (0..20).collect::<Vec<_>>());
+    assert!(q.is_closed());
+    assert_eq!(q.live_waiters(), 0);
+}
+
+#[test]
+fn stats_count_registrations_and_wakes() {
+    let rt = rt();
+    let q = Arc::new(AsyncQueue::with_stats(CasQueue::<u64>::with_capacity(1)));
+    rt.block_on(async {
+        let consumer = {
+            let q = q.clone();
+            tokio::spawn(async move {
+                let mut got = Vec::new();
+                while let Some(v) = q.recv().await {
+                    got.push(v);
+                }
+                got
+            })
+        };
+        tokio::time::sleep(Duration::from_millis(30)).await;
+        for v in 0..50 {
+            q.send(v).await.unwrap();
+        }
+        q.close();
+        consumer.await.expect("consumer")
+    });
+    let snap = q.stats().expect("stats enabled").snapshot();
+    assert!(
+        snap.waker_registrations > 0,
+        "parked receiver registered at least once"
+    );
+    assert!(snap.waker_wakes > 0, "sends woke the parked receiver");
+    assert!(
+        snap.waker_wakes <= snap.waker_registrations,
+        "cannot wake more slots than were registered ({} wakes, {} registrations)",
+        snap.waker_wakes,
+        snap.waker_registrations
+    );
+}
+
+#[test]
+fn works_over_sharded_and_llsc_backends() {
+    use nbq_core::{LlScQueue, ShardedQueue};
+
+    let rt = rt();
+    rt.block_on(async {
+        let q = Arc::new(AsyncQueue::new(ShardedQueue::with_lanes(4, |_| {
+            CasQueue::<u64>::with_capacity(8)
+        })));
+        for v in 0..32 {
+            q.send(v).await.unwrap();
+        }
+        q.close();
+        let mut got = Vec::new();
+        while let Some(v) = q.recv().await {
+            got.push(v);
+        }
+        got.sort_unstable();
+        assert_eq!(got, (0..32).collect::<Vec<_>>());
+
+        let q = Arc::new(AsyncQueue::new(LlScQueue::<u64>::with_capacity(8)));
+        q.send(5).await.unwrap();
+        assert_eq!(q.recv().await, Some(5));
+    });
+}

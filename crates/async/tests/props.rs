@@ -1,0 +1,140 @@
+//! Property test: random interleavings of future creation, manual polls,
+//! drops, and close must always leave the waiter registries empty and
+//! conserve values — a dropped future deregisters, a resolved send is
+//! received exactly once.
+//!
+//! Futures are driven by hand with a no-op waker (no runtime), which
+//! reaches states the executor tests cannot: futures parked forever,
+//! dropped between polls, or created after close.
+
+use nbq_async::AsyncQueue;
+use nbq_core::CasQueue;
+use proptest::prelude::*;
+use std::future::Future;
+use std::pin::Pin;
+use std::task::{Context, Poll, Waker};
+
+#[derive(Debug, Clone)]
+enum Action {
+    /// Create a send future for a fresh value (not yet polled).
+    NewSend,
+    /// Create a recv future.
+    NewRecv,
+    /// Poll the i-th live send future (index modulo population).
+    PollSend(usize),
+    PollRecv(usize),
+    /// Drop the i-th live send future, possibly while parked.
+    DropSend(usize),
+    DropRecv(usize),
+    /// Close the channel mid-script.
+    Close,
+}
+
+fn actions(max: usize) -> impl Strategy<Value = Vec<Action>> {
+    prop::collection::vec(
+        prop_oneof![
+            3 => Just(Action::NewSend),
+            3 => Just(Action::NewRecv),
+            4 => (0usize..16).prop_map(Action::PollSend),
+            4 => (0usize..16).prop_map(Action::PollRecv),
+            2 => (0usize..16).prop_map(Action::DropSend),
+            2 => (0usize..16).prop_map(Action::DropRecv),
+            1 => Just(Action::Close),
+        ],
+        0..max,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn dropped_futures_always_deregister(script in actions(80), cap in 1usize..6) {
+        let q = AsyncQueue::new(CasQueue::<u64>::with_capacity(cap));
+        let mut cx = Context::from_waker(Waker::noop());
+
+        // (value, future) for sends so a resolved Ok can be attributed.
+        let mut sends = Vec::new();
+        let mut recvs = Vec::new();
+        let mut next = 0u64;
+        let mut sent: Vec<u64> = Vec::new();
+        let mut received: Vec<u64> = Vec::new();
+
+        for action in &script {
+            match action {
+                Action::NewSend => {
+                    sends.push((next, q.send(next)));
+                    next += 1;
+                }
+                Action::NewRecv => recvs.push(q.recv()),
+                Action::PollSend(i) => {
+                    if !sends.is_empty() {
+                        let i = i % sends.len();
+                        let (value, fut) = &mut sends[i];
+                        match Pin::new(fut).poll(&mut cx) {
+                            Poll::Ready(Ok(())) => {
+                                sent.push(*value);
+                                sends.swap_remove(i);
+                            }
+                            // Closed: the value never entered the queue.
+                            Poll::Ready(Err(_)) => {
+                                sends.swap_remove(i);
+                            }
+                            Poll::Pending => {}
+                        }
+                    }
+                }
+                Action::PollRecv(i) => {
+                    if !recvs.is_empty() {
+                        let i = i % recvs.len();
+                        match Pin::new(&mut recvs[i]).poll(&mut cx) {
+                            Poll::Ready(Some(v)) => {
+                                received.push(v);
+                                recvs.swap_remove(i);
+                            }
+                            Poll::Ready(None) => {
+                                recvs.swap_remove(i);
+                            }
+                            Poll::Pending => {}
+                        }
+                    }
+                }
+                Action::DropSend(i) => {
+                    if !sends.is_empty() {
+                        let i = i % sends.len();
+                        // The future still owns its value: dropping it
+                        // abandons the send, so it never counts as sent.
+                        drop(sends.swap_remove(i));
+                    }
+                }
+                Action::DropRecv(i) => {
+                    if !recvs.is_empty() {
+                        let i = i % recvs.len();
+                        drop(recvs.swap_remove(i));
+                    }
+                }
+                Action::Close => {
+                    q.close();
+                }
+            }
+        }
+
+        // Teardown in the order a real program reaches: close, then every
+        // outstanding future resolves or drops.
+        q.close();
+        drop(sends);
+        drop(recvs);
+        while let Some(v) = q.try_recv() {
+            received.push(v);
+        }
+
+        prop_assert_eq!(
+            q.live_waiters(),
+            0,
+            "every dropped or resolved future must deregister its slot"
+        );
+        sent.sort_unstable();
+        received.sort_unstable();
+        prop_assert_eq!(sent, received, "Ok-sent values received exactly once");
+    }
+}

@@ -1,0 +1,70 @@
+//! Bench target for the async channel frontend: paper-workload round
+//! trips per second through `nbq-async` futures on a tokio multi-thread
+//! runtime, against the same CAS queue driven raw and through the
+//! condvar `BlockingQueue` frontend.
+//!
+//! The three rows isolate the cost of *parking strategy* — spin
+//! (raw), mutex+condvar (blocking), lock-free waiter slot + executor
+//! reschedule (async) — over one identical queue. Two capacities are
+//! swept: ample (the fast path never parks, measuring pure frontend
+//! overhead) and tight (senders park on Full constantly, measuring the
+//! waiter registry under load).
+
+use criterion::{BenchmarkId, Criterion};
+use nbq_async::AsyncQueue;
+use nbq_bench::criterion;
+use nbq_core::CasQueue;
+use nbq_harness::{run_once, run_once_async, run_once_blocking, WorkloadConfig};
+use nbq_util::BlockingQueue;
+use std::sync::Arc;
+
+/// Concurrent paper threads (= tokio tasks for the async rows).
+const THREADS: usize = 4;
+
+/// (label, queue capacity): ample never parks, tight parks constantly.
+const CAPACITIES: &[(&str, usize)] = &[("ample", 1024), ("tight", 32)];
+
+fn config(capacity: usize) -> WorkloadConfig {
+    WorkloadConfig {
+        threads: THREADS,
+        iterations: 200,
+        runs: 1,
+        capacity,
+        burst: 5,
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("abl_async");
+    group.throughput(criterion::Throughput::Elements(config(1024).total_ops()));
+
+    for &(label, capacity) in CAPACITIES {
+        let cfg = config(capacity);
+        group.bench_function(BenchmarkId::new("raw CAS queue", label), |b| {
+            let q = CasQueue::<u64>::with_capacity(cfg.capacity);
+            b.iter(|| run_once(&q, &cfg))
+        });
+        group.bench_function(BenchmarkId::new("blocking frontend", label), |b| {
+            let q = BlockingQueue::new(CasQueue::<u64>::with_capacity(cfg.capacity));
+            b.iter(|| run_once_blocking(&q, &cfg))
+        });
+        group.bench_function(BenchmarkId::new("async frontend", label), |b| {
+            let rt = tokio::runtime::Builder::new_multi_thread()
+                .worker_threads(THREADS)
+                .enable_all()
+                .build()
+                .expect("building the tokio runtime");
+            let q = Arc::new(AsyncQueue::new(CasQueue::<u64>::with_capacity(
+                cfg.capacity,
+            )));
+            b.iter(|| run_once_async(&q, &rt, &cfg))
+        });
+    }
+    group.finish();
+}
+
+fn main() {
+    let mut c = criterion();
+    bench(&mut c);
+    c.final_summary();
+}

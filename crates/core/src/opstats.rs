@@ -57,6 +57,14 @@ pub struct OpStats {
     /// Acquisitions that pulled a batch from the spill stack into the
     /// handle cache.
     pub pool_refills: AtomicU64,
+    /// Async-frontend waiter-slot registrations (a future went Pending
+    /// and parked its waker; see `nbq-async`).
+    pub waker_registrations: AtomicU64,
+    /// Wakes issued to parked async waiters by the opposite side.
+    pub waker_wakes: AtomicU64,
+    /// Async polls that found the queue still unavailable after a wake
+    /// (another task won the race) and re-registered.
+    pub spurious_polls: AtomicU64,
 }
 
 /// A point-in-time, per-operation view of the counters.
@@ -91,6 +99,12 @@ pub struct OpStatsSnapshot {
     pub pool_spills: u64,
     /// Total batch refills from the shared stack (absolute count).
     pub pool_refills: u64,
+    /// Total async waker registrations (absolute count).
+    pub waker_registrations: u64,
+    /// Total async wakes issued (absolute count).
+    pub waker_wakes: u64,
+    /// Total spurious async polls (absolute count).
+    pub spurious_polls: u64,
 }
 
 impl OpStats {
@@ -118,7 +132,31 @@ impl OpStats {
             pool_recycle_hits: self.pool_recycle_hits.load(Ordering::Relaxed),
             pool_spills: self.pool_spills.load(Ordering::Relaxed),
             pool_refills: self.pool_refills.load(Ordering::Relaxed),
+            waker_registrations: self.waker_registrations.load(Ordering::Relaxed),
+            waker_wakes: self.waker_wakes.load(Ordering::Relaxed),
+            spurious_polls: self.spurious_polls.load(Ordering::Relaxed),
         }
+    }
+
+    /// Records an async waiter parking its waker. Public (unlike the
+    /// `pub(crate)` recorders above) because the async frontend lives in
+    /// its own crate and borrows the queue's stats block.
+    #[inline]
+    pub fn record_waker_registration(&self) {
+        Self::bump(&self.waker_registrations);
+    }
+
+    /// Records a wake issued to a parked async waiter.
+    #[inline]
+    pub fn record_waker_wake(&self) {
+        Self::bump(&self.waker_wakes);
+    }
+
+    /// Records an async poll that lost the post-wake race and parked
+    /// again.
+    #[inline]
+    pub fn record_spurious_poll(&self) {
+        Self::bump(&self.spurious_polls);
     }
 
     /// Classifies where a node acquisition came from. A `Refill` both

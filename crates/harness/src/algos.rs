@@ -1,7 +1,7 @@
 //! Algorithm registry: every queue the experiments drive, keyed by an
 //! enum so the `repro` binary and the Criterion benches share one list.
 
-use crate::workload::{run_workload, WorkloadConfig};
+use crate::workload::{run_workload, run_workload_async, WorkloadConfig};
 use nbq_baselines::{
     MsDohertyQueue, MsQueue, MutexQueue, ScanMode, SeqQueue, ShannQueue, TsigasZhangQueue,
 };
@@ -56,6 +56,16 @@ pub enum Algo {
         /// Number of independent lanes.
         lanes: usize,
     },
+    /// Async channel frontend (`nbq-async`) over the CAS queue, one tokio
+    /// task per paper thread (async extension).
+    AsyncCas,
+    /// Async channel frontend over the LL/SC queue.
+    AsyncLlsc,
+    /// Async channel frontend over a sharded CAS-lane queue.
+    AsyncSharded {
+        /// Number of independent lanes.
+        lanes: usize,
+    },
 }
 
 impl Algo {
@@ -93,11 +103,22 @@ impl Algo {
                 16 => "Sharded LL/SC x16",
                 _ => "Sharded LL/SC",
             },
+            Algo::AsyncCas => "Async CAS frontend",
+            Algo::AsyncLlsc => "Async LL/SC frontend",
+            Algo::AsyncSharded { lanes } => match lanes {
+                1 => "Async Sharded CAS x1",
+                2 => "Async Sharded CAS x2",
+                4 => "Async Sharded CAS x4",
+                8 => "Async Sharded CAS x8",
+                16 => "Async Sharded CAS x16",
+                _ => "Async Sharded CAS",
+            },
         }
     }
 
     /// Parses a CLI name (kebab-case). Sharded frontends take their lane
-    /// count as a suffix: `sharded-cas-4`, `sharded-llsc-8`.
+    /// count as a suffix: `sharded-cas-4`, `sharded-llsc-8`,
+    /// `async-sharded-4`.
     pub fn parse(s: &str) -> Option<Algo> {
         if let Some(lanes) = s.strip_prefix("sharded-cas-") {
             let lanes = lanes.parse().ok().filter(|&l| l > 0)?;
@@ -106,6 +127,10 @@ impl Algo {
         if let Some(lanes) = s.strip_prefix("sharded-llsc-") {
             let lanes = lanes.parse().ok().filter(|&l| l > 0)?;
             return Some(Algo::ShardedLlsc { lanes });
+        }
+        if let Some(lanes) = s.strip_prefix("async-sharded-") {
+            let lanes = lanes.parse().ok().filter(|&l| l > 0)?;
+            return Some(Algo::AsyncSharded { lanes });
         }
         Some(match s {
             "cas" | "cas-queue" => Algo::CasQueue,
@@ -123,6 +148,8 @@ impl Algo {
             "lms" | "optimistic" => Algo::Lms,
             "crossbeam-array" => Algo::CrossbeamArray,
             "crossbeam-seg" => Algo::CrossbeamSeg,
+            "async-cas" => Algo::AsyncCas,
+            "async-llsc" => Algo::AsyncLlsc,
             _ => return None,
         })
     }
@@ -189,6 +216,19 @@ impl Algo {
                     || {
                         ShardedQueue::with_lanes(lanes, |_| {
                             LlScQueue::<u64>::with_capacity(per_lane)
+                        })
+                    },
+                    config,
+                )
+            }
+            Algo::AsyncCas => run_workload_async(|| CasQueue::<u64>::with_capacity(cap), config),
+            Algo::AsyncLlsc => run_workload_async(|| LlScQueue::<u64>::with_capacity(cap), config),
+            Algo::AsyncSharded { lanes } => {
+                let per_lane = cap.div_ceil(lanes);
+                run_workload_async(
+                    || {
+                        ShardedQueue::with_lanes(lanes, |_| {
+                            CasQueue::<u64>::with_capacity(per_lane)
                         })
                     },
                     config,
@@ -468,12 +508,16 @@ mod tests {
             ("sharded-cas-4", Algo::ShardedCas { lanes: 4 }),
             ("sharded-llsc-2", Algo::ShardedLlsc { lanes: 2 }),
             ("sharded-cas-16", Algo::ShardedCas { lanes: 16 }),
+            ("async-cas", Algo::AsyncCas),
+            ("async-llsc", Algo::AsyncLlsc),
+            ("async-sharded-4", Algo::AsyncSharded { lanes: 4 }),
         ] {
             assert_eq!(Algo::parse(s), Some(a));
         }
         assert_eq!(Algo::parse("nope"), None);
         assert_eq!(Algo::parse("sharded-cas-0"), None, "zero lanes rejected");
         assert_eq!(Algo::parse("sharded-cas-x"), None);
+        assert_eq!(Algo::parse("async-sharded-0"), None, "zero lanes rejected");
     }
 
     #[test]
@@ -482,6 +526,18 @@ mod tests {
             Algo::ShardedCas { lanes: 2 },
             Algo::ShardedCas { lanes: 4 },
             Algo::ShardedLlsc { lanes: 2 },
+        ] {
+            let s = algo.run(&tiny());
+            assert!(s.mean > 0.0, "{} returned zero time", algo.name());
+        }
+    }
+
+    #[test]
+    fn async_algos_run_the_tiny_workload() {
+        for algo in [
+            Algo::AsyncCas,
+            Algo::AsyncLlsc,
+            Algo::AsyncSharded { lanes: 2 },
         ] {
             let s = algo.run(&tiny());
             assert!(s.mean > 0.0, "{} returned zero time", algo.name());

@@ -21,6 +21,10 @@
 //!                                    per-node malloc (build once per
 //!                                    mode; --csv merges builds, see
 //!                                    `no-pool` feature)
+//!   async                            extension: async channel frontend
+//!                                    on a tokio multi-thread runtime vs
+//!                                    the raw and blocking frontends,
+//!                                    plus waiter-registry event rates
 //!   all                              everything above
 //!
 //! flags:
@@ -49,7 +53,8 @@ struct Args {
 fn usage() -> ! {
     eprintln!(
         "usage: repro <fig6a|fig6b|fig6c|fig6d|overhead|caswidth|opcounts|ablate-scan|\
-         ablate-reregister|ablate-capacity|ablate-backoff|modern|batch|ordering|sharding|alloc|all> \
+         ablate-reregister|ablate-capacity|ablate-backoff|modern|batch|ordering|sharding|alloc|\
+         async|all> \
          [--threads 1,2,4] [--lanes 2,4,8] [--iters N] [--runs N] [--capacity N] \
          [--csv DIR] [--paper]"
     );
@@ -210,6 +215,25 @@ fn run_sharding(args: &Args) {
     );
 }
 
+/// The `async` experiment: frontend throughput comparison plus the
+/// waiter-registry event-rate table behind it.
+fn run_async(args: &Args) {
+    emit(
+        &experiments::async_frontend(&args.threads, &args.config),
+        &args.csv,
+    );
+    emit(
+        &experiments::async_wakers(&args.threads, &args.config),
+        &args.csv,
+    );
+    println!(
+        "async rows run one tokio task per paper thread on the vendored \
+         multi-thread runtime (single injection queue — a conservative \
+         floor, see vendor/tokio); shrink --capacity to make futures \
+         actually park"
+    );
+}
+
 fn main() -> ExitCode {
     let args = parse_args();
     eprintln!(
@@ -302,6 +326,9 @@ fn main() -> ExitCode {
         "alloc" => {
             run_alloc(&args);
         }
+        "async" => {
+            run_async(&args);
+        }
         "modern" => {
             emit(&experiments::modern(&args.threads, &args.config), &args.csv);
         }
@@ -369,6 +396,7 @@ fn main() -> ExitCode {
             run_ordering(&args);
             run_sharding(&args);
             run_alloc(&args);
+            run_async(&args);
         }
         other => {
             eprintln!("unknown experiment: {other}");

@@ -779,6 +779,157 @@ pub fn sharding_opstats(thread_counts: &[usize], lanes: usize, base: &WorkloadCo
     table
 }
 
+/// `ext-async`: throughput of the async channel frontend (tokio
+/// multi-thread runtime, one task per paper thread) against the same
+/// queues driven raw (spin on Full/empty) and through the condvar
+/// [`BlockingQueue`](nbq_util::BlockingQueue) frontend.
+///
+/// Reported in Mops/s. The interesting contrast is *cost of parking*:
+/// the raw rows spin (cheapest under this balanced workload), the
+/// blocking rows pay a mutex+condvar per park, the async rows pay a
+/// lock-free waiter-slot push plus an executor reschedule. Async rows
+/// run on the vendored tokio stand-in (single injection queue), so they
+/// are a conservative floor, never an inflated ceiling.
+pub fn async_frontend(thread_counts: &[usize], base: &WorkloadConfig) -> Table {
+    use crate::workload::run_workload_blocking;
+    use nbq_core::CasQueue;
+
+    let mut table = Table::new(
+        "ext-async",
+        "Async channel frontend: throughput vs raw and blocking frontends",
+        "threads",
+        "Mops/s",
+        thread_counts.iter().map(|&t| t as u64).collect(),
+    );
+    let to_cell = |cfg: &WorkloadConfig, s: &Summary| {
+        let ops = cfg.total_ops() as f64;
+        Cell {
+            mean: ops / s.mean / 1e6,
+            // First-order error propagation: d(ops/t) = ops * dt / t^2.
+            stddev: ops * s.stddev / (s.mean * s.mean) / 1e6,
+        }
+    };
+    for algo in [Algo::CasQueue, Algo::LlScQueue] {
+        let cells: Vec<Cell> = thread_counts
+            .iter()
+            .map(|&threads| {
+                let cfg = WorkloadConfig { threads, ..*base };
+                to_cell(&cfg, &algo.run(&cfg))
+            })
+            .collect();
+        table.push_row(&format!("{} (raw)", algo.name()), cells);
+    }
+    let blocking_cells: Vec<Cell> = thread_counts
+        .iter()
+        .map(|&threads| {
+            let cfg = WorkloadConfig { threads, ..*base };
+            let s = run_workload_blocking(|| CasQueue::<u64>::with_capacity(cfg.capacity), &cfg);
+            to_cell(&cfg, &s)
+        })
+        .collect();
+    table.push_row("Blocking CAS frontend (condvar)", blocking_cells);
+    for algo in [
+        Algo::AsyncCas,
+        Algo::AsyncLlsc,
+        Algo::AsyncSharded { lanes: 4 },
+    ] {
+        let cells: Vec<Cell> = thread_counts
+            .iter()
+            .map(|&threads| {
+                let cfg = WorkloadConfig { threads, ..*base };
+                to_cell(&cfg, &algo.run(&cfg))
+            })
+            .collect();
+        table.push_row(algo.name(), cells);
+    }
+    table
+}
+
+/// `ext-async-wakers`: waiter-registry traffic per operation for the
+/// async CAS frontend — how often futures actually park (registrations),
+/// how many wakes the registry issues, and how many woken polls find the
+/// queue already raced away (spurious).
+///
+/// The balanced paper workload never parks (each task dequeues its own
+/// burst right back), so this table drives the frontend in its natural
+/// channel shape instead: half the tasks are pure producers, half pure
+/// consumers, over a queue sized to one burst per task — receivers park
+/// on empty and senders on Full constantly, and the close-time drain
+/// exercises `wake_all`.
+pub fn async_wakers(thread_counts: &[usize], base: &WorkloadConfig) -> Table {
+    use nbq_async::AsyncQueue;
+    use nbq_core::CasQueue;
+    use std::sync::Arc;
+
+    let mut table = Table::new(
+        "ext-async-wakers",
+        "Async CAS frontend: waiter-registry events per op (producer/consumer split)",
+        "threads",
+        "events/op",
+        thread_counts.iter().map(|&t| t as u64).collect(),
+    );
+    let mut registrations: Vec<Cell> = Vec::new();
+    let mut wakes: Vec<Cell> = Vec::new();
+    let mut spurious: Vec<Cell> = Vec::new();
+    for &threads in thread_counts {
+        let producers = (threads / 2).max(1);
+        let consumers = threads.saturating_sub(producers).max(1);
+        let per_producer = base.iterations * base.burst;
+        // One burst of headroom per task: small enough to park on every
+        // rate mismatch, large enough to keep both sides moving.
+        let capacity = (base.burst * threads).min(base.capacity);
+        let rt = tokio::runtime::Builder::new_multi_thread()
+            .worker_threads(producers + consumers)
+            .enable_all()
+            .build()
+            .expect("building the tokio runtime");
+        let q = Arc::new(AsyncQueue::with_stats(CasQueue::<u64>::with_capacity(
+            capacity,
+        )));
+        rt.block_on(async {
+            let mut senders = Vec::new();
+            for p in 0..producers {
+                let q = Arc::clone(&q);
+                senders.push(tokio::spawn(async move {
+                    for i in 0..per_producer {
+                        let value = ((p as u64) << 40) | i as u64;
+                        q.send(value).await.expect("closed only after producers");
+                    }
+                }));
+            }
+            let mut receivers = Vec::new();
+            for _ in 0..consumers {
+                let q = Arc::clone(&q);
+                receivers.push(tokio::spawn(
+                    async move { while q.recv().await.is_some() {} },
+                ));
+            }
+            for s in senders {
+                s.await.expect("producer panicked");
+            }
+            q.close();
+            for r in receivers {
+                r.await.expect("consumer panicked");
+            }
+        });
+        assert_eq!(q.live_waiters(), 0, "no leaked waiter slots");
+        let snap = q.stats().expect("stats enabled").snapshot();
+        // Every sent value is received exactly once: 2 ops per value.
+        let ops = (2 * producers * per_producer) as f64;
+        let cell = |count: u64| Cell {
+            mean: count as f64 / ops,
+            stddev: 0.0,
+        };
+        registrations.push(cell(snap.waker_registrations));
+        wakes.push(cell(snap.waker_wakes));
+        spurious.push(cell(snap.spurious_polls));
+    }
+    table.push_row("waker registrations", registrations);
+    table.push_row("wakes issued", wakes);
+    table.push_row("spurious polls", spurious);
+    table
+}
+
 /// In-text T3 helper: LL/SC-vs-CAS speed ratio out of a fig6a table.
 pub fn llsc_vs_cas_ratio(fig6a: &Table) -> Vec<(u64, f64)> {
     fig6a

@@ -27,5 +27,6 @@ pub mod workload;
 pub use algos::{Algo, Tuning, AMD_SET, MODERN_SET, POWERPC_SET};
 pub use report::{Cell, Table};
 pub use workload::{
-    run_once, run_once_batched, run_workload, run_workload_batched, WorkloadConfig,
+    run_once, run_once_async, run_once_batched, run_once_blocking, run_workload,
+    run_workload_async, run_workload_batched, run_workload_blocking, WorkloadConfig,
 };

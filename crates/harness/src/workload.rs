@@ -15,9 +15,11 @@
 //! Defaults are scaled down for a CI-sized machine; `--paper` on the
 //! `repro` binary restores the 100 000 × 50 parameters.
 
+use nbq_async::AsyncQueue;
 use nbq_util::stats::Summary;
-use nbq_util::{ConcurrentQueue, QueueHandle};
-use std::sync::Barrier;
+use nbq_util::{BlockingQueue, ConcurrentQueue, QueueHandle};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Barrier};
 use std::time::Instant;
 
 /// Parameters of one experiment cell.
@@ -188,6 +190,117 @@ pub fn run_once_batched<Q: ConcurrentQueue<u64>>(queue: &Q, config: &WorkloadCon
     thread_secs.iter().sum::<f64>() / config.threads as f64
 }
 
+/// [`run_once`] through a [`BlockingQueue`] frontend: identical workload
+/// body, but a full enqueue or empty dequeue parks the thread on the
+/// frontend's condvars instead of spinning on `yield_now`. The contrast
+/// row for the async experiment (`ext-async`).
+pub fn run_once_blocking<Q: ConcurrentQueue<u64>>(
+    queue: &BlockingQueue<u64, Q>,
+    config: &WorkloadConfig,
+) -> f64 {
+    if let Some(cap) = queue.inner().capacity() {
+        assert!(
+            cap > config.threads * (config.burst - 1),
+            "workload can deadlock: capacity {cap} <= threads {} x (burst {} - 1)",
+            config.threads,
+            config.burst
+        );
+    }
+    let barrier = Barrier::new(config.threads);
+    let mut thread_secs = vec![0.0f64; config.threads];
+    std::thread::scope(|s| {
+        let mut joins = Vec::with_capacity(config.threads);
+        for t in 0..config.threads {
+            let barrier = &barrier;
+            joins.push(s.spawn(move || {
+                let mut handle = queue.handle();
+                let mut seq: u64 = 0;
+                barrier.wait();
+                let start = Instant::now();
+                for _ in 0..config.iterations {
+                    for _ in 0..config.burst {
+                        let value = ((t as u64) << 40) | seq;
+                        seq += 1;
+                        handle.send(value).expect("queue closed mid-run");
+                    }
+                    for _ in 0..config.burst {
+                        handle.recv().expect("queue closed mid-run");
+                    }
+                }
+                start.elapsed().as_secs_f64()
+            }));
+        }
+        for (t, j) in joins.into_iter().enumerate() {
+            thread_secs[t] = j.join().expect("workload thread panicked");
+        }
+    });
+    thread_secs.iter().sum::<f64>() / config.threads as f64
+}
+
+/// [`run_once`] through an [`AsyncQueue`] frontend: one tokio *task* per
+/// paper thread, driven on the given multi-thread runtime. A full send or
+/// empty recv parks the task in the waiter registry (the executor keeps
+/// the worker thread busy elsewhere) instead of spinning.
+///
+/// The start barrier is a cooperative countdown — tasks `yield_now` until
+/// every task has been spawned and polled once — so it cannot deadlock
+/// even when the runtime has fewer workers than there are tasks.
+pub fn run_once_async<Q>(
+    queue: &Arc<AsyncQueue<u64, Q>>,
+    rt: &tokio::runtime::Runtime,
+    config: &WorkloadConfig,
+) -> f64
+where
+    Q: ConcurrentQueue<u64> + Send + Sync + 'static,
+{
+    // Same liveness bound as `run_once`: if every task can be parked in
+    // its enqueue burst with the queue full, no task is receiving and the
+    // waiter registry never gets a wake.
+    if let Some(cap) = queue.capacity() {
+        assert!(
+            cap > config.threads * (config.burst - 1),
+            "workload can deadlock: capacity {cap} <= tasks {} x (burst {} - 1)",
+            config.threads,
+            config.burst
+        );
+    }
+    let config = *config;
+    let tasks = config.threads;
+    rt.block_on(async {
+        let arrived = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..tasks)
+            .map(|t| {
+                let q = Arc::clone(queue);
+                let arrived = Arc::clone(&arrived);
+                tokio::spawn(async move {
+                    arrived.fetch_add(1, Ordering::SeqCst);
+                    while arrived.load(Ordering::SeqCst) < tasks {
+                        tokio::task::yield_now().await;
+                    }
+                    let start = Instant::now();
+                    let mut seq: u64 = 0;
+                    for _ in 0..config.iterations {
+                        for _ in 0..config.burst {
+                            let value = ((t as u64) << 40) | seq;
+                            seq += 1;
+                            q.send(value).await.expect("queue closed mid-run");
+                        }
+                        for _ in 0..config.burst {
+                            q.recv().await.expect("queue closed mid-run");
+                        }
+                    }
+                    start.elapsed().as_secs_f64()
+                })
+            })
+            .collect();
+        let mut total = 0.0;
+        for h in handles {
+            total += h.await.expect("workload task panicked");
+        }
+        total / tasks as f64
+    })
+}
+
 /// Runs `config.runs` fresh-queue runs of the workload and summarizes the
 /// per-run times.
 pub fn run_workload<Q, F>(factory: F, config: &WorkloadConfig) -> Summary
@@ -214,6 +327,45 @@ where
         .map(|_| {
             let queue = factory();
             run_once_batched(&queue, config)
+        })
+        .collect();
+    Summary::of(&samples)
+}
+
+/// [`run_workload`] through a fresh [`BlockingQueue`] frontend per run.
+pub fn run_workload_blocking<Q, F>(factory: F, config: &WorkloadConfig) -> Summary
+where
+    Q: ConcurrentQueue<u64>,
+    F: Fn() -> Q,
+{
+    let samples: Vec<f64> = (0..config.runs)
+        .map(|_| {
+            let queue = BlockingQueue::new(factory());
+            run_once_blocking(&queue, config)
+        })
+        .collect();
+    Summary::of(&samples)
+}
+
+/// [`run_workload`] through a fresh [`AsyncQueue`] frontend per run, all
+/// runs sharing one tokio multi-thread runtime sized to the thread count
+/// (runtime startup is excluded from every sample).
+pub fn run_workload_async<Q, F>(factory: F, config: &WorkloadConfig) -> Summary
+where
+    Q: ConcurrentQueue<u64> + Send + Sync + 'static,
+    F: Fn() -> Q,
+{
+    let rt = tokio::runtime::Builder::new_multi_thread()
+        .worker_threads(config.threads)
+        .enable_all()
+        .build()
+        .expect("building the tokio runtime");
+    let samples: Vec<f64> = (0..config.runs)
+        .map(|_| {
+            let queue = Arc::new(AsyncQueue::new(factory()));
+            let secs = run_once_async(&queue, &rt, config);
+            debug_assert_eq!(queue.live_waiters(), 0, "runs must not leak waiter slots");
+            secs
         })
         .collect();
     Summary::of(&samples)
@@ -269,6 +421,55 @@ mod tests {
         assert_eq!(s.n, 2);
         assert!(s.mean > 0.0);
         assert!(s.min <= s.mean && s.mean <= s.max);
+    }
+
+    #[test]
+    fn run_once_blocking_completes_and_leaves_queue_empty() {
+        let cfg = tiny();
+        let q = BlockingQueue::new(CasQueue::<u64>::with_capacity(cfg.capacity));
+        let secs = run_once_blocking(&q, &cfg);
+        assert!(secs > 0.0);
+        assert_eq!(q.inner().len(), 0, "balanced workload must drain");
+    }
+
+    #[test]
+    fn run_once_async_completes_and_leaves_no_waiters() {
+        let cfg = tiny();
+        let rt = tokio::runtime::Builder::new_multi_thread()
+            .worker_threads(cfg.threads)
+            .enable_all()
+            .build()
+            .expect("building the tokio runtime");
+        let q = Arc::new(AsyncQueue::new(CasQueue::<u64>::with_capacity(
+            cfg.capacity,
+        )));
+        let secs = run_once_async(&q, &rt, &cfg);
+        assert!(secs > 0.0);
+        assert_eq!(q.is_empty(), Some(true), "balanced workload must drain");
+        assert_eq!(q.live_waiters(), 0, "no leaked waiter slots");
+    }
+
+    #[test]
+    fn run_workload_async_summarizes_runs() {
+        let cfg = tiny();
+        let s = run_workload_async(|| CasQueue::<u64>::with_capacity(cfg.capacity), &cfg);
+        assert_eq!(s.n, 2);
+        assert!(s.mean > 0.0);
+    }
+
+    #[test]
+    fn async_workload_survives_a_tiny_capacity() {
+        // Capacity barely above the deadlock bound: senders park on Full
+        // constantly, exercising the waiter registry under load.
+        let cfg = WorkloadConfig {
+            threads: 4,
+            iterations: 200,
+            runs: 1,
+            capacity: 32,
+            burst: 5,
+        };
+        let s = run_workload_async(|| CasQueue::<u64>::with_capacity(cfg.capacity), &cfg);
+        assert!(s.mean > 0.0);
     }
 
     #[test]

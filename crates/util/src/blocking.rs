@@ -7,6 +7,18 @@
 //! fast path (queue non-empty / non-full) completely lock-free: the lock
 //! and condvar are touched only after a failed attempt.
 //!
+//! ## Close semantics
+//!
+//! The wrapper is also a *closable channel*, sharing its contract with the
+//! async frontend in `nbq-async` (see DESIGN.md §9):
+//!
+//! * [`BlockingQueue::close`] is idempotent and wakes every parked waiter.
+//! * After close, sends fail with `Closed` carrying the value back.
+//! * Receivers drain whatever is still queued, then observe `None`.
+//! * A send racing a close may land its value after the flag flips; such
+//!   values are still delivered to receivers (drain-then-`None` covers
+//!   them), so a send that returned `Ok` never silently loses its value.
+//!
 //! ## Wakeup-race note
 //!
 //! Notifiers signal *without* holding the mutex (taking it on every
@@ -17,19 +29,21 @@
 //! a deadlock. This is an adapter-level convenience, not part of the
 //! reproduced algorithms.
 
-use crate::queue::{ConcurrentQueue, Full, QueueHandle};
+use crate::queue::{Closed, ConcurrentQueue, Full, QueueHandle, TrySendError};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 /// Upper bound a parked thread sleeps before re-checking.
 pub const WAIT_SLICE: Duration = Duration::from_millis(1);
 
-/// A [`ConcurrentQueue`] with blocking `send`/`recv`.
+/// A [`ConcurrentQueue`] with blocking `send`/`recv` and close semantics.
 pub struct BlockingQueue<T: Send, Q: ConcurrentQueue<T>> {
     inner: Q,
     gate: Mutex<()>,
     not_empty: Condvar,
     not_full: Condvar,
+    closed: AtomicBool,
     _marker: core::marker::PhantomData<fn(T) -> T>,
 }
 
@@ -41,6 +55,7 @@ impl<T: Send, Q: ConcurrentQueue<T>> BlockingQueue<T, Q> {
             gate: Mutex::new(()),
             not_empty: Condvar::new(),
             not_full: Condvar::new(),
+            closed: AtomicBool::new(false),
             _marker: core::marker::PhantomData,
         }
     }
@@ -48,6 +63,30 @@ impl<T: Send, Q: ConcurrentQueue<T>> BlockingQueue<T, Q> {
     /// The wrapped queue.
     pub fn inner(&self) -> &Q {
         &self.inner
+    }
+
+    /// Closes the channel: subsequent sends fail with `Closed`, receivers
+    /// drain what is queued and then observe `None`, and every parked
+    /// waiter is woken. Idempotent; returns whether this call was the one
+    /// that closed it.
+    pub fn close(&self) -> bool {
+        // SeqCst: the flag store must be globally ordered against each
+        // waiter's `is_closed` re-check (same Dekker-style race as the
+        // async registry; see DESIGN.md §9).
+        let was_closed = self.closed.swap(true, Ordering::SeqCst);
+        if !was_closed {
+            // Briefly take the gate so no waiter can be between its
+            // re-check and `wait` while we signal, then wake everyone.
+            drop(self.gate.lock().unwrap_or_else(|e| e.into_inner()));
+            self.not_empty.notify_all();
+            self.not_full.notify_all();
+        }
+        !was_closed
+    }
+
+    /// Whether [`BlockingQueue::close`] has been called.
+    pub fn is_closed(&self) -> bool {
+        self.closed.load(Ordering::SeqCst)
     }
 
     /// Registers the calling thread.
@@ -67,12 +106,17 @@ pub struct BlockingHandle<'q, T: Send, Q: ConcurrentQueue<T> + 'q> {
 
 impl<'q, T: Send, Q: ConcurrentQueue<T>> BlockingHandle<'q, T, Q> {
     /// Non-blocking enqueue (delegates to the wrapped queue).
-    pub fn try_send(&mut self, value: T) -> Result<(), Full<T>> {
-        let r = self.handle.enqueue(value);
-        if r.is_ok() {
-            self.queue.not_empty.notify_one();
+    pub fn try_send(&mut self, value: T) -> Result<(), TrySendError<T>> {
+        if self.queue.is_closed() {
+            return Err(TrySendError::Closed(value));
         }
-        r
+        match self.handle.enqueue(value) {
+            Ok(()) => {
+                self.queue.not_empty.notify_one();
+                Ok(())
+            }
+            Err(Full(v)) => Err(TrySendError::Full(v)),
+        }
     }
 
     /// Non-blocking dequeue (delegates to the wrapped queue).
@@ -85,12 +129,16 @@ impl<'q, T: Send, Q: ConcurrentQueue<T>> BlockingHandle<'q, T, Q> {
     }
 
     /// Enqueues, parking while the queue is full.
-    pub fn send(&mut self, value: T) {
+    ///
+    /// Returns `Err(Closed(value))` if the channel is (or becomes)
+    /// closed before the value lands.
+    pub fn send(&mut self, value: T) -> Result<(), Closed<T>> {
         let mut value = value;
         loop {
             match self.try_send(value) {
-                Ok(()) => return,
-                Err(Full(v)) => {
+                Ok(()) => return Ok(()),
+                Err(TrySendError::Closed(v)) => return Err(Closed(v)),
+                Err(TrySendError::Full(v)) => {
                     value = v;
                     let guard = self.queue.gate.lock().unwrap_or_else(|e| e.into_inner());
                     // Timed wait bounds the lost-wakeup window.
@@ -109,24 +157,32 @@ impl<'q, T: Send, Q: ConcurrentQueue<T>> BlockingHandle<'q, T, Q> {
     /// Equivalent to [`Self::send_deadline`] at `now + timeout`; prefer
     /// the deadline form when retrying, so the budget is not restarted
     /// on every attempt.
-    pub fn send_timeout(&mut self, value: T, timeout: Duration) -> Result<(), Full<T>> {
+    pub fn send_timeout(&mut self, value: T, timeout: Duration) -> Result<(), TrySendError<T>> {
         self.send_deadline(value, Instant::now() + timeout)
     }
 
     /// Enqueues, parking until `deadline`; on expiry the value comes
     /// back in the `Err` so nothing is lost.
-    pub fn send_deadline(&mut self, value: T, deadline: Instant) -> Result<(), Full<T>> {
+    ///
+    /// Always performs at least one enqueue attempt, even when `deadline`
+    /// is already in the past — a zero-budget call is exactly `try_send`.
+    pub fn send_deadline(&mut self, value: T, deadline: Instant) -> Result<(), TrySendError<T>> {
         let mut value = value;
         loop {
             match self.try_send(value) {
                 Ok(()) => return Ok(()),
-                Err(Full(v)) => {
-                    if Instant::now() >= deadline {
-                        return Err(Full(v));
+                Err(e @ TrySendError::Closed(_)) => return Err(e),
+                Err(TrySendError::Full(v)) => {
+                    // One clock read per iteration: the expiry check and
+                    // the park duration must agree, so the thread never
+                    // parks on a deadline that has already passed.
+                    let now = Instant::now();
+                    if now >= deadline {
+                        return Err(TrySendError::Full(v));
                     }
                     value = v;
                     let guard = self.queue.gate.lock().unwrap_or_else(|e| e.into_inner());
-                    let remaining = deadline.saturating_duration_since(Instant::now());
+                    let remaining = deadline - now;
                     let _ = self
                         .queue
                         .not_full
@@ -138,10 +194,20 @@ impl<'q, T: Send, Q: ConcurrentQueue<T>> BlockingHandle<'q, T, Q> {
     }
 
     /// Dequeues, parking while the queue is empty.
-    pub fn recv(&mut self) -> T {
+    ///
+    /// Returns `None` only when the channel is closed *and* drained.
+    pub fn recv(&mut self) -> Option<T> {
         loop {
+            // Read the flag before attempting: if `closed` was already
+            // set and the attempt still finds nothing, the channel is
+            // drained — any value enqueued before the close would have
+            // been visible to this dequeue.
+            let closed = self.queue.is_closed();
             if let Some(v) = self.try_recv() {
-                return v;
+                return Some(v);
+            }
+            if closed {
+                return None;
             }
             let guard = self.queue.gate.lock().unwrap_or_else(|e| e.into_inner());
             let _ = self
@@ -158,17 +224,26 @@ impl<'q, T: Send, Q: ConcurrentQueue<T>> BlockingHandle<'q, T, Q> {
     }
 
     /// Dequeues, parking until `deadline`; `None` means the queue stayed
-    /// empty through the deadline.
+    /// empty through the deadline, or the channel is closed and drained.
+    ///
+    /// Always performs at least one dequeue attempt, even when `deadline`
+    /// is already in the past — a zero-budget call is exactly `try_recv`.
     pub fn recv_deadline(&mut self, deadline: Instant) -> Option<T> {
         loop {
+            let closed = self.queue.is_closed();
             if let Some(v) = self.try_recv() {
                 return Some(v);
             }
-            if Instant::now() >= deadline {
+            if closed {
+                return None;
+            }
+            // Same single-clock-read structure as `send_deadline`.
+            let now = Instant::now();
+            if now >= deadline {
                 return None;
             }
             let guard = self.queue.gate.lock().unwrap_or_else(|e| e.into_inner());
-            let remaining = deadline.saturating_duration_since(Instant::now());
+            let remaining = deadline - now;
             let _ = self
                 .queue
                 .not_empty
@@ -234,7 +309,7 @@ mod tests {
         let mut h = q.handle();
         h.try_send(1).unwrap();
         h.try_send(2).unwrap();
-        assert!(h.try_send(3).is_err());
+        assert!(matches!(h.try_send(3), Err(TrySendError::Full(3))));
         assert_eq!(h.try_recv(), Some(1));
         assert_eq!(h.try_recv(), Some(2));
         assert_eq!(h.try_recv(), None);
@@ -249,7 +324,7 @@ mod tests {
             q.handle().try_send(42).unwrap();
             consumer.join().unwrap()
         });
-        assert_eq!(got, 42);
+        assert_eq!(got, Some(42));
     }
 
     #[test]
@@ -260,7 +335,7 @@ mod tests {
             let producer = s.spawn(|| q.handle().send(2));
             std::thread::sleep(Duration::from_millis(20));
             assert_eq!(q.handle().try_recv(), Some(1));
-            producer.join().unwrap();
+            producer.join().unwrap().unwrap();
         });
         assert_eq!(q.handle().try_recv(), Some(2));
     }
@@ -281,6 +356,7 @@ mod tests {
             .handle()
             .send_timeout(8, Duration::from_millis(20))
             .unwrap_err();
+        assert!(e.is_full());
         assert_eq!(e.into_inner(), 8);
     }
 
@@ -298,6 +374,7 @@ mod tests {
         q.handle().try_send(7).unwrap();
         let deadline = Instant::now() + Duration::from_millis(20);
         let e = q.handle().send_deadline(8, deadline).unwrap_err();
+        assert!(e.is_full());
         assert_eq!(e.into_inner(), 8);
         assert!(Instant::now() >= deadline);
     }
@@ -321,6 +398,89 @@ mod tests {
         assert_eq!(got, Some(2));
     }
 
+    // Regression: a deadline already in the past must still get exactly
+    // one attempt — zero budget degenerates to `try_send`/`try_recv`,
+    // never to an unconditional failure and never to a park.
+
+    #[test]
+    fn past_deadline_send_still_tries_once() {
+        let q = make(2);
+        let past = Instant::now() - Duration::from_secs(1);
+        q.handle().send_deadline(9, past).unwrap();
+        assert_eq!(q.handle().try_recv(), Some(9));
+    }
+
+    #[test]
+    fn past_deadline_recv_still_tries_once() {
+        let q = make(2);
+        q.handle().try_send(11).unwrap();
+        let past = Instant::now() - Duration::from_secs(1);
+        assert_eq!(q.handle().recv_deadline(past), Some(11));
+    }
+
+    #[test]
+    fn past_deadline_failure_is_immediate() {
+        let q = make(1);
+        q.handle().try_send(1).unwrap();
+        let past = Instant::now() - Duration::from_secs(1);
+        let t0 = Instant::now();
+        let e = q.handle().send_deadline(2, past).unwrap_err();
+        assert!(e.is_full());
+        assert_eq!(q.handle().recv_deadline(past), Some(1));
+        assert_eq!(q.handle().recv_deadline(past), None);
+        // No park happened: both expired calls returned without sleeping
+        // a wait slice (generous bound for slow CI).
+        assert!(t0.elapsed() < Duration::from_millis(500));
+    }
+
+    #[test]
+    fn close_fails_sends_and_drains_recvs() {
+        let q = make(4);
+        let mut h = q.handle();
+        h.try_send(1).unwrap();
+        h.try_send(2).unwrap();
+        assert!(q.close());
+        assert!(!q.close()); // idempotent
+        assert!(q.is_closed());
+        assert!(matches!(h.try_send(3), Err(TrySendError::Closed(3))));
+        assert!(matches!(h.send(4), Err(Closed(4))));
+        let e = h.send_timeout(5, Duration::from_secs(5)).unwrap_err();
+        assert!(e.is_closed());
+        // Drain, then None — without waiting on any timeout.
+        assert_eq!(h.recv(), Some(1));
+        assert_eq!(
+            h.recv_deadline(Instant::now() + Duration::from_secs(60)),
+            Some(2)
+        );
+        assert_eq!(h.recv(), None);
+        assert_eq!(h.recv_timeout(Duration::from_secs(60)), None);
+    }
+
+    #[test]
+    fn close_wakes_blocked_receiver() {
+        let q = make(4);
+        let got = std::thread::scope(|s| {
+            let consumer = s.spawn(|| q.handle().recv());
+            std::thread::sleep(Duration::from_millis(20));
+            q.close();
+            consumer.join().unwrap()
+        });
+        assert_eq!(got, None);
+    }
+
+    #[test]
+    fn close_wakes_blocked_sender() {
+        let q = make(1);
+        q.handle().try_send(1).unwrap();
+        let r = std::thread::scope(|s| {
+            let producer = s.spawn(|| q.handle().send(2));
+            std::thread::sleep(Duration::from_millis(20));
+            q.close();
+            producer.join().unwrap()
+        });
+        assert_eq!(r.unwrap_err().into_inner(), 2);
+    }
+
     #[test]
     fn pipeline_of_blocking_handles_moves_everything() {
         const N: u64 = 2_000;
@@ -329,12 +489,12 @@ mod tests {
             s.spawn(|| {
                 let mut h = q.handle();
                 for i in 1..=N {
-                    h.send(i);
+                    h.send(i).unwrap();
                 }
             });
             let consumer = s.spawn(|| {
                 let mut h = q.handle();
-                (0..N).map(|_| h.recv()).sum::<u64>()
+                (0..N).map(|_| h.recv().unwrap()).sum::<u64>()
             });
             consumer.join().unwrap()
         });

@@ -38,4 +38,4 @@ pub mod stats;
 pub use backoff::Backoff;
 pub use blocking::{BlockingHandle, BlockingQueue};
 pub use pad::CachePadded;
-pub use queue::{BatchFull, ConcurrentQueue, Full, QueueHandle};
+pub use queue::{BatchFull, Closed, ConcurrentQueue, Full, QueueHandle, TrySendError};

@@ -38,6 +38,91 @@ impl<T> fmt::Display for Full<T> {
 
 impl<T> std::error::Error for Full<T> {}
 
+/// Error returned by a blocking or async send when the channel has been
+/// closed.
+///
+/// Like [`Full`], it is ownership-safe: the value that could not be sent
+/// comes back to the caller.
+pub struct Closed<T>(pub T);
+
+impl<T> Closed<T> {
+    /// Recovers the value that could not be sent.
+    pub fn into_inner(self) -> T {
+        self.0
+    }
+}
+
+impl<T> fmt::Debug for Closed<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Closed(..)")
+    }
+}
+
+impl<T> fmt::Display for Closed<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("channel is closed")
+    }
+}
+
+impl<T> std::error::Error for Closed<T> {}
+
+/// Error returned by a non-blocking send through a closable channel
+/// frontend: the queue may be momentarily [`TrySendError::Full`], or the
+/// channel may be [`TrySendError::Closed`] for good.
+///
+/// Both arms hand the rejected value back.
+pub enum TrySendError<T> {
+    /// The queue is at capacity; retrying can succeed.
+    Full(T),
+    /// The channel is closed; no retry will ever succeed.
+    Closed(T),
+}
+
+impl<T> TrySendError<T> {
+    /// Recovers the value that could not be sent.
+    pub fn into_inner(self) -> T {
+        match self {
+            TrySendError::Full(v) | TrySendError::Closed(v) => v,
+        }
+    }
+
+    /// Whether this is the [`TrySendError::Closed`] arm.
+    pub fn is_closed(&self) -> bool {
+        matches!(self, TrySendError::Closed(_))
+    }
+
+    /// Whether this is the [`TrySendError::Full`] arm.
+    pub fn is_full(&self) -> bool {
+        matches!(self, TrySendError::Full(_))
+    }
+}
+
+impl<T> fmt::Debug for TrySendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrySendError::Full(_) => f.write_str("Full(..)"),
+            TrySendError::Closed(_) => f.write_str("Closed(..)"),
+        }
+    }
+}
+
+impl<T> fmt::Display for TrySendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrySendError::Full(_) => f.write_str("queue is full"),
+            TrySendError::Closed(_) => f.write_str("channel is closed"),
+        }
+    }
+}
+
+impl<T> std::error::Error for TrySendError<T> {}
+
+impl<T> From<Closed<T>> for TrySendError<T> {
+    fn from(e: Closed<T>) -> Self {
+        TrySendError::Closed(e.0)
+    }
+}
+
 /// Error returned by [`QueueHandle::enqueue_batch`] when the queue fills
 /// before the whole batch fits.
 ///
@@ -226,6 +311,36 @@ mod tests {
     fn full_is_an_error() {
         fn takes_err(_: &dyn std::error::Error) {}
         takes_err(&Full(0u8));
+    }
+
+    #[test]
+    fn closed_debug_display_error_without_t_debug() {
+        struct Opaque;
+        let c = Closed(Opaque);
+        assert_eq!(format!("{c:?}"), "Closed(..)");
+        assert_eq!(format!("{c}"), "channel is closed");
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&Closed(0u8));
+        assert_eq!(Closed(7u8).into_inner(), 7);
+    }
+
+    #[test]
+    fn try_send_error_arms_round_trip() {
+        struct Opaque;
+        let full = TrySendError::Full(Opaque);
+        let closed = TrySendError::Closed(Opaque);
+        assert_eq!(format!("{full:?}"), "Full(..)");
+        assert_eq!(format!("{closed:?}"), "Closed(..)");
+        assert_eq!(format!("{full}"), "queue is full");
+        assert_eq!(format!("{closed}"), "channel is closed");
+        assert!(full.is_full() && !full.is_closed());
+        assert!(closed.is_closed() && !closed.is_full());
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&TrySendError::Full(0u8));
+        assert_eq!(TrySendError::Closed(3u8).into_inner(), 3);
+        let via: TrySendError<u8> = Closed(5u8).into();
+        assert!(via.is_closed());
+        assert_eq!(via.into_inner(), 5);
     }
 
     /// Minimal bounded queue to exercise the default batch impls.

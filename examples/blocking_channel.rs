@@ -42,7 +42,8 @@ fn main() {
                     tx.send(Request {
                         id: p << 32 | i,
                         payload: i * 3 + p,
-                    });
+                    })
+                    .expect("channel is never closed here");
                 }
             });
         }
@@ -86,8 +87,8 @@ fn main() {
     // Full-channel send_timeout hands the value back instead of dropping it.
     let small = BlockingQueue::new(CasQueue::<u32>::with_capacity(2));
     let mut tx = small.handle();
-    tx.send(1);
-    tx.send(2);
+    tx.send(1).unwrap();
+    tx.send(2).unwrap();
     let refused = tx
         .send_timeout(3, Duration::from_millis(30))
         .unwrap_err()

@@ -91,7 +91,52 @@
 //! assert_eq!(pinned.dequeue(), Some(1));
 //! assert_eq!(pinned.dequeue(), Some(2));
 //! ```
+//!
+//! ## Async channel frontend
+//!
+//! [`AsyncQueue`] (crate [`aio`], re-exported here — `async` is a
+//! reserved word) turns any of the queues above into an async MPMC
+//! channel: `send().await` parks the task when the queue is full,
+//! `recv().await` when it is empty, with wakeups flowing through a
+//! lock-free waiter registry instead of a mutex — the queue's
+//! non-blocking hot path is untouched and the frontend never adds a
+//! lock. Futures are cancellation-safe (dropping one deregisters its
+//! waker slot), `close()` wakes every parked task, and `Stream`/`Sink`
+//! adapters are available behind the `futures-io` feature of
+//! `nbq-async`. See `DESIGN.md` §9 for the registry's wake-token
+//! protocol.
+//!
+//! ```
+//! use nbq::prelude::*;
+//! use std::sync::Arc;
+//!
+//! let rt = tokio::runtime::Builder::new_multi_thread()
+//!     .worker_threads(2)
+//!     .enable_all()
+//!     .build()
+//!     .unwrap();
+//! let q = Arc::new(AsyncQueue::new(CasQueue::<u64>::with_capacity(4)));
+//! rt.block_on(async {
+//!     let consumer = {
+//!         let q = Arc::clone(&q);
+//!         tokio::spawn(async move {
+//!             let mut sum = 0;
+//!             while let Some(v) = q.recv().await {
+//!                 sum += v;
+//!             }
+//!             sum
+//!         })
+//!     };
+//!     for v in 1..=10 {
+//!         q.send(v).await.unwrap(); // parks when the 4-slot queue is full
+//!     }
+//!     q.close(); // consumer's recv() resolves to None after the drain
+//!     assert_eq!(consumer.await.unwrap(), 55);
+//! });
+//! ```
 
+pub use nbq_async as aio;
+pub use nbq_async::AsyncQueue;
 pub use nbq_baselines as baselines;
 pub use nbq_core::{BatchPolicy, CasQueue, LlScQueue, ShardedConfig, ShardedQueue};
 pub use nbq_harness as harness;
@@ -115,6 +160,7 @@ pub use nbq_util::{
 /// assert_eq!(h.dequeue(), Some(7));
 /// ```
 pub mod prelude {
+    pub use nbq_async::AsyncQueue;
     pub use nbq_core::{BatchPolicy, CasQueue, LlScQueue, ShardedConfig, ShardedQueue};
     pub use nbq_util::{BatchFull, ConcurrentQueue, Full, QueueHandle};
 }

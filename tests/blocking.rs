@@ -20,7 +20,9 @@ fn mpmc_transfer<Q: nbq::ConcurrentQueue<u64>>(queue: Q, producers: u64, per_pro
             s.spawn(move || {
                 let mut tx = chan.handle();
                 for i in 0..per_producer {
-                    tx.send(p * per_producer + i); // blocks on backpressure
+                    // Blocks on backpressure; the channel is never closed
+                    // in this test, so send cannot fail.
+                    tx.send(p * per_producer + i).unwrap();
                 }
             });
         }
@@ -80,7 +82,7 @@ fn send_blocks_under_backpressure_and_resumes() {
     std::thread::scope(|s| {
         let producer = s.spawn(|| {
             let mut tx = chan.handle();
-            tx.send(3); // must block until the consumer makes room
+            tx.send(3).unwrap(); // must block until the consumer makes room
             t0.elapsed()
         });
         std::thread::sleep(Duration::from_millis(40));
@@ -129,6 +131,30 @@ fn deadlines_are_respected_on_both_sides() {
     let back = h.send_deadline(3, deadline).unwrap_err();
     assert!(Instant::now() >= deadline);
     assert_eq!(back.into_inner(), 3);
+}
+
+#[test]
+fn close_contract_over_a_paper_queue() {
+    let chan = BlockingQueue::new(CasQueue::<u64>::with_capacity(4));
+    let mut h = chan.handle();
+    h.send(1).unwrap();
+    h.send(2).unwrap();
+    // Close from another thread while a receiver is parked on empty...
+    let chan2 = BlockingQueue::new(LlScQueue::<u64>::with_capacity(4));
+    let woke = std::thread::scope(|s| {
+        let consumer = s.spawn(|| chan2.handle().recv());
+        std::thread::sleep(Duration::from_millis(20));
+        chan2.close();
+        consumer.join().unwrap()
+    });
+    assert_eq!(woke, None, "close wakes a parked receiver with None");
+    // ...and the drain-then-None contract on the first channel.
+    assert!(chan.close());
+    assert!(h.send(3).is_err(), "send after close fails");
+    assert!(h.try_send(4).unwrap_err().is_closed());
+    assert_eq!(h.recv(), Some(1));
+    assert_eq!(h.recv(), Some(2));
+    assert_eq!(h.recv(), None, "drained and closed");
 }
 
 #[test]

@@ -269,7 +269,7 @@ fn blocking_adapter_over_cas_queue() {
         q.handle().try_send("b".into()).unwrap();
         consumer.join().unwrap()
     });
-    assert_eq!(got, "b");
+    assert_eq!(got.as_deref(), Some("b"));
 }
 
 #[test]

@@ -1,0 +1,485 @@
+//! Offline stand-in for [futures](https://crates.io/crates/futures).
+//!
+//! The build container has no registry access, so this crate provides,
+//! API-compatibly, exactly the subset the workspace's async frontend and
+//! its tests use:
+//!
+//! * the [`Stream`] trait and [`StreamExt::next`] / [`StreamExt::collect`],
+//! * the [`Sink`] trait and [`SinkExt::send`] / [`SinkExt::flush`] /
+//!   [`SinkExt::close`],
+//! * [`future::select`] with [`future::Either`] (two-future racing — the
+//!   cancellation primitive the stress tests lean on),
+//! * [`future::poll_fn`] and [`future::ready`].
+//!
+//! Everything here is a faithful re-implementation from the documented
+//! public API; if the real crate ever becomes available, deleting this
+//! directory and restoring the registry dependency should require no
+//! source changes in the workspace.
+
+use core::future::Future;
+use core::pin::Pin;
+use core::task::{Context, Poll};
+
+pub use stream::{Stream, StreamExt};
+
+pub use sink::{Sink, SinkExt};
+
+pub mod stream {
+    //! Asynchronous value sequences ([`Stream`]) and combinators.
+
+    use super::*;
+
+    /// An asynchronous sequence of values; `poll_next` is the async
+    /// analogue of `Iterator::next`.
+    pub trait Stream {
+        /// The type of item yielded.
+        type Item;
+
+        /// Attempts to pull out the next value of this stream.
+        fn poll_next(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Option<Self::Item>>;
+
+        /// Bounds on the remaining length of the stream.
+        fn size_hint(&self) -> (usize, Option<usize>) {
+            (0, None)
+        }
+    }
+
+    impl<S: ?Sized + Stream + Unpin> Stream for &mut S {
+        type Item = S::Item;
+
+        fn poll_next(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Option<Self::Item>> {
+            Pin::new(&mut **self).poll_next(cx)
+        }
+    }
+
+    /// Combinator extension methods for [`Stream`].
+    pub trait StreamExt: Stream {
+        /// Resolves to the next item in the stream, or `None` when it is
+        /// exhausted.
+        fn next(&mut self) -> Next<'_, Self>
+        where
+            Self: Unpin,
+        {
+            Next { stream: self }
+        }
+
+        /// Collects every remaining item into a `Vec`.
+        fn collect<C: Extend<Self::Item> + Default>(self) -> Collect<Self, C>
+        where
+            Self: Sized + Unpin,
+        {
+            Collect {
+                stream: self,
+                items: C::default(),
+            }
+        }
+    }
+
+    impl<S: Stream + ?Sized> StreamExt for S {}
+
+    /// Future returned by [`StreamExt::next`].
+    pub struct Next<'a, S: ?Sized> {
+        stream: &'a mut S,
+    }
+
+    impl<S: Stream + Unpin + ?Sized> Future for Next<'_, S> {
+        type Output = Option<S::Item>;
+
+        fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+            Pin::new(&mut *self.stream).poll_next(cx)
+        }
+    }
+
+    /// Future returned by [`StreamExt::collect`].
+    pub struct Collect<S, C> {
+        stream: S,
+        items: C,
+    }
+
+    impl<S: Stream + Unpin, C: Extend<S::Item> + Default + Unpin> Future for Collect<S, C> {
+        type Output = C;
+
+        fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+            let this = &mut *self;
+            loop {
+                match Pin::new(&mut this.stream).poll_next(cx) {
+                    Poll::Ready(Some(item)) => this.items.extend(core::iter::once(item)),
+                    Poll::Ready(None) => return Poll::Ready(core::mem::take(&mut this.items)),
+                    Poll::Pending => return Poll::Pending,
+                }
+            }
+        }
+    }
+}
+
+pub mod sink {
+    //! Asynchronous value consumers ([`Sink`]) and combinators.
+
+    use super::*;
+
+    /// A destination for asynchronously sent values.
+    ///
+    /// The contract mirrors the real crate: callers must have a
+    /// `poll_ready` return `Ready(Ok(()))` before each `start_send`, and
+    /// `poll_flush`/`poll_close` drive buffered items downstream.
+    pub trait Sink<Item> {
+        /// The error produced when the sink can no longer accept items.
+        type Error;
+
+        /// Prepares the sink to receive one item.
+        fn poll_ready(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Result<(), Self::Error>>;
+
+        /// Begins sending `item`; only valid after a successful
+        /// `poll_ready`.
+        fn start_send(self: Pin<&mut Self>, item: Item) -> Result<(), Self::Error>;
+
+        /// Flushes any buffered items.
+        fn poll_flush(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Result<(), Self::Error>>;
+
+        /// Flushes and closes the sink.
+        fn poll_close(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Result<(), Self::Error>>;
+    }
+
+    impl<S: ?Sized + Sink<Item> + Unpin, Item> Sink<Item> for &mut S {
+        type Error = S::Error;
+
+        fn poll_ready(
+            mut self: Pin<&mut Self>,
+            cx: &mut Context<'_>,
+        ) -> Poll<Result<(), Self::Error>> {
+            Pin::new(&mut **self).poll_ready(cx)
+        }
+
+        fn start_send(mut self: Pin<&mut Self>, item: Item) -> Result<(), Self::Error> {
+            Pin::new(&mut **self).start_send(item)
+        }
+
+        fn poll_flush(
+            mut self: Pin<&mut Self>,
+            cx: &mut Context<'_>,
+        ) -> Poll<Result<(), Self::Error>> {
+            Pin::new(&mut **self).poll_flush(cx)
+        }
+
+        fn poll_close(
+            mut self: Pin<&mut Self>,
+            cx: &mut Context<'_>,
+        ) -> Poll<Result<(), Self::Error>> {
+            Pin::new(&mut **self).poll_close(cx)
+        }
+    }
+
+    /// Combinator extension methods for [`Sink`].
+    pub trait SinkExt<Item>: Sink<Item> {
+        /// Sends one item, driving `poll_ready` → `start_send` →
+        /// `poll_flush` to completion.
+        fn send(&mut self, item: Item) -> Send<'_, Self, Item>
+        where
+            Self: Unpin,
+        {
+            Send {
+                sink: self,
+                item: Some(item),
+            }
+        }
+
+        /// Flushes all buffered items.
+        fn flush(&mut self) -> Flush<'_, Self, Item>
+        where
+            Self: Unpin,
+        {
+            Flush {
+                sink: self,
+                _marker: core::marker::PhantomData,
+            }
+        }
+
+        /// Flushes and closes the sink.
+        fn close(&mut self) -> Close<'_, Self, Item>
+        where
+            Self: Unpin,
+        {
+            Close {
+                sink: self,
+                _marker: core::marker::PhantomData,
+            }
+        }
+    }
+
+    impl<S: Sink<Item> + ?Sized, Item> SinkExt<Item> for S {}
+
+    /// Future returned by [`SinkExt::send`].
+    pub struct Send<'a, S: ?Sized, Item> {
+        sink: &'a mut S,
+        item: Option<Item>,
+    }
+
+    // No pin projection: the item is plain data and the sink is re-pinned
+    // per call, so the future is freely movable even for `!Unpin` items.
+    impl<S: ?Sized, Item> Unpin for Send<'_, S, Item> {}
+
+    impl<S: Sink<Item> + Unpin + ?Sized, Item> Future for Send<'_, S, Item> {
+        type Output = Result<(), S::Error>;
+
+        fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+            let this = self.get_mut();
+            if this.item.is_some() {
+                match Pin::new(&mut *this.sink).poll_ready(cx) {
+                    Poll::Ready(Ok(())) => {
+                        let item = this.item.take().expect("checked above");
+                        Pin::new(&mut *this.sink).start_send(item)?;
+                    }
+                    Poll::Ready(Err(e)) => return Poll::Ready(Err(e)),
+                    Poll::Pending => return Poll::Pending,
+                }
+            }
+            Pin::new(&mut *this.sink).poll_flush(cx)
+        }
+    }
+
+    /// Future returned by [`SinkExt::flush`].
+    pub struct Flush<'a, S: ?Sized, Item> {
+        sink: &'a mut S,
+        _marker: core::marker::PhantomData<fn(Item)>,
+    }
+
+    impl<S: Sink<Item> + Unpin + ?Sized, Item> Future for Flush<'_, S, Item> {
+        type Output = Result<(), S::Error>;
+
+        fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+            Pin::new(&mut *self.sink).poll_flush(cx)
+        }
+    }
+
+    /// Future returned by [`SinkExt::close`].
+    pub struct Close<'a, S: ?Sized, Item> {
+        sink: &'a mut S,
+        _marker: core::marker::PhantomData<fn(Item)>,
+    }
+
+    impl<S: Sink<Item> + Unpin + ?Sized, Item> Future for Close<'_, S, Item> {
+        type Output = Result<(), S::Error>;
+
+        fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+            Pin::new(&mut *self.sink).poll_close(cx)
+        }
+    }
+}
+
+pub mod future {
+    //! Future combinators: racing, ad-hoc polling, immediate values.
+
+    use super::*;
+
+    /// The result of racing two futures with [`select`].
+    #[derive(Debug)]
+    pub enum Either<A, B> {
+        /// The first future completed first (its output, plus the loser).
+        Left(A),
+        /// The second future completed first.
+        Right(B),
+    }
+
+    /// Future returned by [`select`].
+    pub struct Select<A, B> {
+        inner: Option<(A, B)>,
+    }
+
+    /// Races `a` against `b`: resolves with the first completed output and
+    /// hands back the still-pending loser so it can keep running (or be
+    /// dropped — the cancellation idiom).
+    ///
+    /// Polls `a` first on every wakeup, like the real crate (biased only
+    /// in the tie case).
+    pub fn select<A, B>(a: A, b: B) -> Select<A, B>
+    where
+        A: Future + Unpin,
+        B: Future + Unpin,
+    {
+        Select {
+            inner: Some((a, b)),
+        }
+    }
+
+    impl<A, B> Future for Select<A, B>
+    where
+        A: Future + Unpin,
+        B: Future + Unpin,
+    {
+        type Output = Either<(A::Output, B), (B::Output, A)>;
+
+        fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+            let (mut a, mut b) = self.inner.take().expect("polled Select after completion");
+            match Pin::new(&mut a).poll(cx) {
+                Poll::Ready(out) => return Poll::Ready(Either::Left((out, b))),
+                Poll::Pending => {}
+            }
+            match Pin::new(&mut b).poll(cx) {
+                Poll::Ready(out) => return Poll::Ready(Either::Right((out, a))),
+                Poll::Pending => {}
+            }
+            self.inner = Some((a, b));
+            Poll::Pending
+        }
+    }
+
+    /// Future driven by a closure over the task context.
+    pub struct PollFn<F> {
+        f: F,
+    }
+
+    /// Creates a future from a `FnMut(&mut Context) -> Poll<T>` closure.
+    pub fn poll_fn<T, F>(f: F) -> PollFn<F>
+    where
+        F: FnMut(&mut Context<'_>) -> Poll<T> + Unpin,
+    {
+        PollFn { f }
+    }
+
+    impl<T, F> Future for PollFn<F>
+    where
+        F: FnMut(&mut Context<'_>) -> Poll<T> + Unpin,
+    {
+        type Output = T;
+
+        fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<T> {
+            (self.f)(cx)
+        }
+    }
+
+    /// Future that is immediately ready with `value`.
+    pub struct Ready<T>(Option<T>);
+
+    /// Creates a future immediately ready with `value`.
+    pub fn ready<T>(value: T) -> Ready<T> {
+        Ready(Some(value))
+    }
+
+    impl<T: Unpin> Future for Ready<T> {
+        type Output = T;
+
+        fn poll(mut self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<T> {
+            Poll::Ready(self.0.take().expect("polled Ready after completion"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::future::{poll_fn, ready, select, Either};
+    use super::*;
+    use std::task::{Context, Poll, Waker};
+
+    fn block_on<F: Future>(mut fut: F) -> F::Output {
+        // The combinators above never actually park: drive with a noop
+        // waker and assert forward progress.
+        let waker = Waker::noop();
+        let mut cx = Context::from_waker(waker);
+        let mut fut = unsafe { Pin::new_unchecked(&mut fut) };
+        for _ in 0..1_000 {
+            if let Poll::Ready(v) = fut.as_mut().poll(&mut cx) {
+                return v;
+            }
+        }
+        panic!("future did not resolve under the test driver");
+    }
+
+    struct CountdownStream(u32);
+
+    impl Stream for CountdownStream {
+        type Item = u32;
+
+        fn poll_next(mut self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<Option<u32>> {
+            if self.0 == 0 {
+                Poll::Ready(None)
+            } else {
+                self.0 -= 1;
+                Poll::Ready(Some(self.0))
+            }
+        }
+    }
+
+    #[test]
+    fn stream_next_and_collect() {
+        let mut s = CountdownStream(3);
+        assert_eq!(block_on(s.next()), Some(2));
+        let rest: Vec<u32> = block_on(s.collect());
+        assert_eq!(rest, vec![1, 0]);
+    }
+
+    struct VecSink {
+        items: Vec<u32>,
+        closed: bool,
+    }
+
+    impl Sink<u32> for VecSink {
+        type Error = &'static str;
+
+        fn poll_ready(
+            self: Pin<&mut Self>,
+            _cx: &mut Context<'_>,
+        ) -> Poll<Result<(), Self::Error>> {
+            if self.closed {
+                Poll::Ready(Err("closed"))
+            } else {
+                Poll::Ready(Ok(()))
+            }
+        }
+
+        fn start_send(mut self: Pin<&mut Self>, item: u32) -> Result<(), Self::Error> {
+            self.items.push(item);
+            Ok(())
+        }
+
+        fn poll_flush(
+            self: Pin<&mut Self>,
+            _cx: &mut Context<'_>,
+        ) -> Poll<Result<(), Self::Error>> {
+            Poll::Ready(Ok(()))
+        }
+
+        fn poll_close(
+            mut self: Pin<&mut Self>,
+            _cx: &mut Context<'_>,
+        ) -> Poll<Result<(), Self::Error>> {
+            self.closed = true;
+            Poll::Ready(Ok(()))
+        }
+    }
+
+    impl Unpin for VecSink {}
+    impl Unpin for CountdownStream {}
+
+    #[test]
+    fn sink_send_flush_close() {
+        let mut sink = VecSink {
+            items: Vec::new(),
+            closed: false,
+        };
+        block_on(sink.send(7)).unwrap();
+        block_on(sink.flush()).unwrap();
+        block_on(sink.close()).unwrap();
+        assert_eq!(sink.items, vec![7]);
+        assert!(block_on(sink.send(8)).is_err(), "closed sink rejects");
+    }
+
+    #[test]
+    fn select_is_left_biased_on_tie() {
+        let a = ready(1u32);
+        let b = ready(2u32);
+        match block_on(select(a, b)) {
+            Either::Left((v, _b)) => assert_eq!(v, 1),
+            Either::Right(_) => panic!("tie must resolve Left"),
+        }
+    }
+
+    #[test]
+    fn select_resolves_right_when_left_pends() {
+        let a = poll_fn(move |_| Poll::<u32>::Pending);
+        let b = ready(9u32);
+        match block_on(select(a, b)) {
+            Either::Right((v, _a)) => assert_eq!(v, 9),
+            Either::Left(_) => panic!("pending left must lose"),
+        }
+    }
+}

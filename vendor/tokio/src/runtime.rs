@@ -1,0 +1,168 @@
+//! The multi-thread runtime: builder, worker pool, and `block_on`.
+
+use super::*;
+
+/// Configures and builds a [`Runtime`].
+pub struct Builder {
+    worker_threads: usize,
+}
+
+impl Builder {
+    /// A builder for a multi-thread runtime (the only flavor this
+    /// stand-in provides).
+    pub fn new_multi_thread() -> Builder {
+        Builder {
+            worker_threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        }
+    }
+
+    /// Sets the number of worker threads.
+    pub fn worker_threads(mut self, n: usize) -> Builder {
+        assert!(n > 0, "worker_threads must be positive");
+        self.worker_threads = n;
+        self
+    }
+
+    /// Accepted for API compatibility; time always works and there is no
+    /// IO driver to enable.
+    pub fn enable_all(self) -> Builder {
+        self
+    }
+
+    /// Accepted for API compatibility; see [`Builder::enable_all`].
+    pub fn enable_time(self) -> Builder {
+        self
+    }
+
+    /// Builds the runtime, spawning its worker threads.
+    pub fn build(self) -> std::io::Result<Runtime> {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            live: Mutex::new(Vec::new()),
+        });
+        let mut workers = Vec::with_capacity(self.worker_threads);
+        for i in 0..self.worker_threads {
+            let shared = shared.clone();
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("tokio-shim-worker-{i}"))
+                    .spawn(move || worker_loop(shared))
+                    .map_err(std::io::Error::other)?,
+            );
+        }
+        Ok(Runtime { shared, workers })
+    }
+}
+
+fn worker_loop(shared: Arc<Shared>) {
+    let _ctx = enter_context(&shared);
+    loop {
+        let task = {
+            let mut q = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(task) = q.pop_front() {
+                    break task;
+                }
+                if shared.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                q = shared.available.wait(q).unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        task.run();
+    }
+}
+
+/// A handle to the worker pool. Dropping it shuts the workers down and
+/// drops every still-pending task's future (running their destructors).
+pub struct Runtime {
+    shared: Arc<Shared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+/// Parker for the thread sitting in [`Runtime::block_on`].
+struct BlockOnParker {
+    ready: Mutex<bool>,
+    wake: Condvar,
+}
+
+impl Wake for BlockOnParker {
+    fn wake(self: Arc<Self>) {
+        self.wake_by_ref();
+    }
+
+    fn wake_by_ref(self: &Arc<Self>) {
+        let mut ready = self.ready.lock().unwrap_or_else(|e| e.into_inner());
+        *ready = true;
+        drop(ready);
+        self.wake.notify_one();
+    }
+}
+
+impl Runtime {
+    /// Runs `future` to completion on the calling thread while the worker
+    /// pool drives every spawned task.
+    pub fn block_on<F: Future>(&self, future: F) -> F::Output {
+        let _ctx = enter_context(&self.shared);
+        let parker = Arc::new(BlockOnParker {
+            ready: Mutex::new(false),
+            wake: Condvar::new(),
+        });
+        let waker = Waker::from(parker.clone());
+        let mut cx = Context::from_waker(&waker);
+        let mut future = Box::pin(future);
+        loop {
+            match future.as_mut().poll(&mut cx) {
+                Poll::Ready(v) => return v,
+                Poll::Pending => {
+                    let mut ready = parker.ready.lock().unwrap_or_else(|e| e.into_inner());
+                    while !*ready {
+                        ready = parker.wake.wait(ready).unwrap_or_else(|e| e.into_inner());
+                    }
+                    *ready = false;
+                }
+            }
+        }
+    }
+
+    /// Spawns a future onto this runtime from outside its context.
+    pub fn spawn<F>(&self, future: F) -> task::JoinHandle<F::Output>
+    where
+        F: Future + Send + 'static,
+        F::Output: Send + 'static,
+    {
+        self.shared.spawn_task(future)
+    }
+}
+
+impl Drop for Runtime {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.available.notify_all();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        // No worker is running any more: drop every still-live task's
+        // future so destructors (waiter deregistration, channel guards)
+        // run even for tasks that never completed.
+        let live: Vec<Weak<Task>> = {
+            let mut live = self.shared.live.lock().unwrap_or_else(|e| e.into_inner());
+            std::mem::take(&mut *live)
+        };
+        self.shared
+            .queue
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clear();
+        for task in live.into_iter().filter_map(|w| w.upgrade()) {
+            let mut guard = task.future.lock().unwrap_or_else(|e| e.into_inner());
+            *guard = None;
+            drop(guard);
+            task.state.store(COMPLETE, Ordering::Release);
+        }
+    }
+}

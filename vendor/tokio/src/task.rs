@@ -1,0 +1,242 @@
+//! Spawned-task handles: `spawn`, `JoinHandle`, `abort`, `yield_now`.
+
+use super::*;
+
+/// Spawns a future onto the runtime whose context the calling thread is
+/// in (a worker thread or a thread inside `Runtime::block_on`).
+///
+/// # Panics
+///
+/// Panics when called from outside a runtime context, matching tokio.
+pub fn spawn<F>(future: F) -> JoinHandle<F::Output>
+where
+    F: Future + Send + 'static,
+    F::Output: Send + 'static,
+{
+    let shared = current_shared().expect("`tokio::spawn` called from outside a runtime context");
+    shared.spawn_task(future)
+}
+
+/// Shared completion slot between a [`Spawned`] wrapper and its
+/// [`JoinHandle`].
+pub(crate) struct JoinState<T> {
+    /// `None` until the task resolves; `Some(Ok)` on success,
+    /// `Some(Err)` on panic or abort.
+    result: Mutex<Option<Result<T, JoinError>>>,
+    /// Waker of the task awaiting the `JoinHandle`, if any.
+    join_waker: Mutex<Option<Waker>>,
+    aborted: AtomicBool,
+    finished: AtomicBool,
+}
+
+impl<T> JoinState<T> {
+    pub(crate) fn new() -> JoinState<T> {
+        JoinState {
+            result: Mutex::new(None),
+            join_waker: Mutex::new(None),
+            aborted: AtomicBool::new(false),
+            finished: AtomicBool::new(false),
+        }
+    }
+
+    fn complete(&self, result: Result<T, JoinError>) {
+        *self.result.lock().unwrap_or_else(|e| e.into_inner()) = Some(result);
+        self.finished.store(true, Ordering::Release);
+        let waker = self
+            .join_waker
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take();
+        if let Some(waker) = waker {
+            waker.wake();
+        }
+    }
+}
+
+/// Error returned by awaiting a [`JoinHandle`] whose task panicked or was
+/// aborted.
+#[derive(Debug)]
+pub struct JoinError {
+    cancelled: bool,
+}
+
+impl JoinError {
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled
+    }
+
+    pub fn is_panic(&self) -> bool {
+        !self.cancelled
+    }
+}
+
+impl std::fmt::Display for JoinError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.cancelled {
+            write!(f, "task was cancelled")
+        } else {
+            write!(f, "task panicked")
+        }
+    }
+}
+
+impl std::error::Error for JoinError {}
+
+/// The wrapper future the scheduler actually polls: forwards to the user
+/// future, routes its output (or panic, or abort) into the [`JoinState`].
+///
+/// On every terminal path the inner future is dropped *before* the result
+/// is published, so a joiner that observes completion knows the task's
+/// destructors (guards, waiter deregistration, …) have already run —
+/// matching tokio, whose `JoinHandle` resolves only after the task's
+/// storage is released.
+pub(crate) struct Spawned<F: Future> {
+    inner: std::mem::ManuallyDrop<F>,
+    /// Set once `inner` has been dropped; terminal paths drop eagerly,
+    /// `Drop` covers the never-polled/shutdown cases.
+    inner_dropped: bool,
+    state: Arc<JoinState<F::Output>>,
+}
+
+impl<F: Future> Spawned<F> {
+    pub(crate) fn new(inner: F, state: Arc<JoinState<F::Output>>) -> Spawned<F> {
+        Spawned {
+            inner: std::mem::ManuallyDrop::new(inner),
+            inner_dropped: false,
+            state,
+        }
+    }
+
+    fn drop_inner(&mut self) {
+        if !self.inner_dropped {
+            self.inner_dropped = true;
+            // A panicking destructor must not take down the worker;
+            // swallow it like the poll panic below.
+            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                // SAFETY: guarded by `inner_dropped`, and `inner` is never
+                // touched again after it is set. Dropping a pinned value
+                // in place is exactly what the pin contract requires.
+                unsafe { std::mem::ManuallyDrop::drop(&mut self.inner) }
+            }));
+        }
+    }
+}
+
+impl<F: Future> Future for Spawned<F> {
+    type Output = ();
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        // SAFETY: structural pinning — `inner` is never moved out of the
+        // pinned wrapper; `state` is only accessed by reference.
+        let this = unsafe { self.get_unchecked_mut() };
+        if this.state.aborted.load(Ordering::Acquire) {
+            this.drop_inner();
+            this.state.complete(Err(JoinError { cancelled: true }));
+            return Poll::Ready(());
+        }
+        // SAFETY: `inner` is pinned through the wrapper and not yet
+        // dropped (terminal paths return `Ready`, after which the
+        // scheduler never polls again).
+        let inner = unsafe { Pin::new_unchecked(&mut *this.inner) };
+        let poll = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| inner.poll(cx)));
+        match poll {
+            Ok(Poll::Pending) => Poll::Pending,
+            Ok(Poll::Ready(value)) => {
+                this.drop_inner();
+                this.state.complete(Ok(value));
+                Poll::Ready(())
+            }
+            Err(_panic) => {
+                this.drop_inner();
+                this.state.complete(Err(JoinError { cancelled: false }));
+                Poll::Ready(())
+            }
+        }
+    }
+}
+
+impl<F: Future> Drop for Spawned<F> {
+    fn drop(&mut self) {
+        self.drop_inner();
+        // Dropped without resolving (runtime shutdown or abort racing a
+        // drop): report cancellation so a joiner never hangs.
+        if !self.state.finished.load(Ordering::Acquire) {
+            self.state.complete(Err(JoinError { cancelled: true }));
+        }
+    }
+}
+
+/// Owned handle to a spawned task. Awaiting it yields the task's output;
+/// dropping it detaches the task (which keeps running).
+pub struct JoinHandle<T> {
+    state: Arc<JoinState<T>>,
+    task: Weak<Task>,
+}
+
+impl<T> JoinHandle<T> {
+    pub(crate) fn new(state: Arc<JoinState<T>>, task: Weak<Task>) -> JoinHandle<T> {
+        JoinHandle { state, task }
+    }
+
+    /// Requests cancellation: the task resolves with a cancelled
+    /// [`JoinError`] at its next scheduling point, dropping its future
+    /// (and thereby running any guards/destructors it holds).
+    pub fn abort(&self) {
+        self.state.aborted.store(true, Ordering::Release);
+        if let Some(task) = self.task.upgrade() {
+            task.schedule();
+        }
+    }
+
+    pub fn is_finished(&self) -> bool {
+        self.state.finished.load(Ordering::Acquire)
+    }
+}
+
+impl<T> Future for JoinHandle<T> {
+    type Output = Result<T, JoinError>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        // Register the waker before checking so a completion racing this
+        // poll is never lost (complete() takes the waker after storing).
+        *self
+            .state
+            .join_waker
+            .lock()
+            .unwrap_or_else(|e| e.into_inner()) = Some(cx.waker().clone());
+        if self.state.finished.load(Ordering::Acquire) {
+            let result = self
+                .state
+                .result
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .take()
+                .expect("JoinHandle polled after completion was consumed");
+            return Poll::Ready(result);
+        }
+        Poll::Pending
+    }
+}
+
+/// Yields control back to the scheduler once, letting other tasks run.
+pub async fn yield_now() {
+    struct YieldNow {
+        yielded: bool,
+    }
+
+    impl Future for YieldNow {
+        type Output = ();
+
+        fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+            if self.yielded {
+                Poll::Ready(())
+            } else {
+                self.yielded = true;
+                cx.waker().wake_by_ref();
+                Poll::Pending
+            }
+        }
+    }
+
+    YieldNow { yielded: false }.await
+}

@@ -1,0 +1,170 @@
+//! Self-tests for the runtime stand-in: the scheduler state machine,
+//! spawn/join, abort, panics, and timers.
+
+use crate::runtime::Builder;
+use crate::time::{sleep, timeout};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn rt(workers: usize) -> crate::runtime::Runtime {
+    Builder::new_multi_thread()
+        .worker_threads(workers)
+        .enable_all()
+        .build()
+        .expect("building runtime")
+}
+
+#[test]
+fn block_on_plain_future() {
+    let rt = rt(2);
+    assert_eq!(rt.block_on(async { 1 + 2 }), 3);
+}
+
+#[test]
+fn spawn_runs_on_workers_and_joins() {
+    let rt = rt(4);
+    let hits = Arc::new(AtomicUsize::new(0));
+    let total = rt.block_on(async {
+        let mut handles = Vec::new();
+        for i in 0..32usize {
+            let hits = hits.clone();
+            handles.push(crate::spawn(async move {
+                hits.fetch_add(1, Ordering::Relaxed);
+                i
+            }));
+        }
+        let mut sum = 0;
+        for h in handles {
+            sum += h.await.expect("task succeeded");
+        }
+        sum
+    });
+    assert_eq!(total, (0..32).sum());
+    assert_eq!(hits.load(Ordering::Relaxed), 32);
+}
+
+#[test]
+fn runtime_spawn_from_outside_context() {
+    let rt = rt(2);
+    let h = rt.spawn(async { 7u32 });
+    assert_eq!(rt.block_on(h).expect("joined"), 7);
+}
+
+#[test]
+fn nested_spawn_inside_task() {
+    let rt = rt(2);
+    let v = rt.block_on(async {
+        let inner = crate::spawn(async { crate::spawn(async { 5u32 }).await.unwrap() + 1 });
+        inner.await.unwrap()
+    });
+    assert_eq!(v, 6);
+}
+
+#[test]
+fn abort_cancels_a_pending_task() {
+    let rt = rt(2);
+    let err = rt.block_on(async {
+        let h = crate::spawn(async {
+            sleep(Duration::from_secs(300)).await;
+        });
+        // Let it park on the timer first, then cancel.
+        sleep(Duration::from_millis(20)).await;
+        h.abort();
+        h.await.expect_err("aborted task reports cancellation")
+    });
+    assert!(err.is_cancelled());
+    assert!(!err.is_panic());
+}
+
+#[test]
+fn task_panic_is_reported_not_hung() {
+    let rt = rt(2);
+    let err = rt.block_on(async {
+        let h = crate::spawn(async {
+            panic!("boom");
+        });
+        h.await.expect_err("panicked task reports failure")
+    });
+    assert!(err.is_panic());
+    // The pool survived: further work still runs.
+    assert_eq!(rt.block_on(async { 9 }), 9);
+}
+
+#[test]
+fn sleep_waits_at_least_the_duration() {
+    let rt = rt(1);
+    let t0 = Instant::now();
+    rt.block_on(sleep(Duration::from_millis(50)));
+    assert!(t0.elapsed() >= Duration::from_millis(45));
+}
+
+#[test]
+fn timeout_returns_elapsed_and_drops_the_loser() {
+    struct SetOnDrop(Arc<AtomicUsize>);
+    impl Drop for SetOnDrop {
+        fn drop(&mut self) {
+            self.0.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+    let rt = rt(2);
+    let dropped = Arc::new(AtomicUsize::new(0));
+    let d = dropped.clone();
+    let res = rt.block_on(async move {
+        timeout(Duration::from_millis(30), async move {
+            let _guard = SetOnDrop(d);
+            sleep(Duration::from_secs(300)).await;
+        })
+        .await
+    });
+    assert!(res.is_err(), "deadline must fire first");
+    assert_eq!(
+        dropped.load(Ordering::Relaxed),
+        1,
+        "losing future dropped, destructors ran"
+    );
+}
+
+#[test]
+fn timeout_passes_through_a_fast_future() {
+    let rt = rt(2);
+    let res = rt.block_on(timeout(Duration::from_secs(60), async { 11u8 }));
+    assert_eq!(res.expect("finished in time"), 11);
+}
+
+#[test]
+fn yield_now_reschedules_instead_of_spinning() {
+    let rt = rt(2);
+    rt.block_on(async {
+        for _ in 0..100 {
+            crate::task::yield_now().await;
+        }
+    });
+}
+
+#[test]
+fn runtime_drop_drops_pending_task_futures() {
+    struct SetOnDrop(Arc<AtomicUsize>);
+    impl Drop for SetOnDrop {
+        fn drop(&mut self) {
+            self.0.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+    let dropped = Arc::new(AtomicUsize::new(0));
+    let rt = rt(2);
+    let d = dropped.clone();
+    rt.block_on(async move {
+        crate::spawn(async move {
+            let _guard = SetOnDrop(d);
+            sleep(Duration::from_secs(300)).await;
+        });
+        // Give the task a chance to start and park.
+        sleep(Duration::from_millis(20)).await;
+    });
+    drop(rt);
+    assert_eq!(
+        dropped.load(Ordering::Relaxed),
+        1,
+        "shutdown ran the pending future's destructors"
+    );
+}

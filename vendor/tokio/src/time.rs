@@ -1,0 +1,85 @@
+//! Timers: `sleep` and `timeout`, backed by the global timer thread.
+
+use super::*;
+
+/// Future returned by [`sleep`].
+pub struct Sleep {
+    deadline: Instant,
+}
+
+impl Sleep {
+    pub fn deadline(&self) -> Instant {
+        self.deadline
+    }
+}
+
+impl Future for Sleep {
+    type Output = ();
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if Instant::now() >= self.deadline {
+            return Poll::Ready(());
+        }
+        // Re-register on every pending poll: the timer heap holds wakers
+        // by value and a task can migrate between polls, so the freshest
+        // waker must win. Stale entries fire as harmless spurious wakes.
+        register_timer(self.deadline, cx.waker().clone());
+        Poll::Pending
+    }
+}
+
+/// Sleeps for at least `duration`.
+pub fn sleep(duration: Duration) -> Sleep {
+    sleep_until(Instant::now() + duration)
+}
+
+/// Sleeps until at least `deadline`.
+pub fn sleep_until(deadline: Instant) -> Sleep {
+    Sleep { deadline }
+}
+
+/// Error returned by [`timeout`] when the deadline fires first.
+#[derive(Debug, PartialEq, Eq)]
+pub struct Elapsed(());
+
+impl std::fmt::Display for Elapsed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "deadline has elapsed")
+    }
+}
+
+impl std::error::Error for Elapsed {}
+
+/// Future returned by [`timeout`].
+pub struct Timeout<F> {
+    future: F,
+    sleep: Sleep,
+}
+
+impl<F: Future> Future for Timeout<F> {
+    type Output = Result<F::Output, Elapsed>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        // SAFETY: structural pinning of both fields; neither is moved.
+        let this = unsafe { self.get_unchecked_mut() };
+        let future = unsafe { Pin::new_unchecked(&mut this.future) };
+        if let Poll::Ready(v) = future.poll(cx) {
+            return Poll::Ready(Ok(v));
+        }
+        let sleep = unsafe { Pin::new_unchecked(&mut this.sleep) };
+        match sleep.poll(cx) {
+            Poll::Ready(()) => Poll::Ready(Err(Elapsed(()))),
+            Poll::Pending => Poll::Pending,
+        }
+    }
+}
+
+/// Races `future` against a timer; losing futures are dropped, running
+/// their destructors (this is the cancellation path the async-frontend
+/// stress tests lean on).
+pub fn timeout<F: Future>(duration: Duration, future: F) -> Timeout<F> {
+    Timeout {
+        future,
+        sleep: sleep(duration),
+    }
+}
