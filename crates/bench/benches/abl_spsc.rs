@@ -1,0 +1,137 @@
+//! Bench target for the wait-free SPSC fast path: 1-producer/1-consumer
+//! pipe throughput of the raw ring and of a sharded SPSC fast-path lane,
+//! against the paper's MPMC queues serving the same arity.
+//!
+//! The ring replaces the paper queues' CAS retry loops with one
+//! release-store per side, so the gap to the CAS/LL-SC rows is the price
+//! of MPMC synchronization paid at an arity that never needs it. The
+//! sharded rows isolate the frontend's dispatch overhead: the SPSC-lane
+//! row should track the raw ring, the MPMC-lane row the bare CAS queue.
+
+use criterion::{BenchmarkId, Criterion};
+use nbq_bench::criterion;
+use nbq_core::{CasQueue, LlScQueue, ShardedConfig, ShardedQueue, SpscRing};
+use nbq_util::{ConcurrentQueue, QueueHandle};
+use std::sync::Barrier;
+
+/// Values pushed through the pipe per measured iteration.
+const VALUES: usize = 2048;
+
+/// Queue capacity (the pipe never needs more in flight).
+const CAPACITY: usize = 256;
+
+/// Batch size for the batched-publication row.
+const BATCH: usize = 32;
+
+/// One pipe round: a producer thread streams `VALUES` values to a
+/// consumer thread through `queue`.
+fn pipe<Q: ConcurrentQueue<u64>>(queue: &Q) {
+    let barrier = Barrier::new(2);
+    std::thread::scope(|s| {
+        let barrier = &barrier;
+        s.spawn(move || {
+            let mut h = queue.handle();
+            barrier.wait();
+            for seq in 0..VALUES as u64 {
+                while h.enqueue(seq).is_err() {
+                    std::thread::yield_now();
+                }
+            }
+        });
+        s.spawn(move || {
+            let mut h = queue.handle();
+            barrier.wait();
+            let mut got = 0;
+            while got < VALUES {
+                if h.dequeue().is_some() {
+                    got += 1;
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+        });
+    });
+}
+
+/// The same pipe moving values in batches of `BATCH`, exercising the
+/// ring's single-publication batch path.
+fn pipe_batched<Q: ConcurrentQueue<u64>>(queue: &Q) {
+    let barrier = Barrier::new(2);
+    std::thread::scope(|s| {
+        let barrier = &barrier;
+        s.spawn(move || {
+            let mut h = queue.handle();
+            barrier.wait();
+            let mut seq: u64 = 0;
+            while seq < VALUES as u64 {
+                let end = (seq + BATCH as u64).min(VALUES as u64);
+                let mut pending: Vec<u64> = (seq..end).collect();
+                loop {
+                    match h.enqueue_batch(pending.into_iter()) {
+                        Ok(_) => break,
+                        Err(e) => {
+                            pending = e.remaining;
+                            std::thread::yield_now();
+                        }
+                    }
+                }
+                seq = end;
+            }
+        });
+        s.spawn(move || {
+            let mut h = queue.handle();
+            barrier.wait();
+            let mut out = Vec::with_capacity(BATCH);
+            let mut got = 0;
+            while got < VALUES {
+                let n = h.dequeue_batch(&mut out, BATCH);
+                if n == 0 {
+                    std::thread::yield_now();
+                }
+                got += n;
+                out.clear();
+            }
+        });
+    });
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("abl_spsc");
+    group.throughput(criterion::Throughput::Elements((VALUES * 2) as u64));
+
+    group.bench_function(BenchmarkId::new("cas-queue", "1p1c"), |b| {
+        let q = CasQueue::<u64>::with_capacity(CAPACITY);
+        b.iter(|| pipe(&q))
+    });
+    group.bench_function(BenchmarkId::new("llsc-queue", "1p1c"), |b| {
+        let q = LlScQueue::<u64>::with_capacity(CAPACITY);
+        b.iter(|| pipe(&q))
+    });
+    group.bench_function(BenchmarkId::new("sharded-mpmc-lane", "1p1c"), |b| {
+        let q = ShardedQueue::with_config(ShardedConfig::with_lanes(1), |_| {
+            CasQueue::<u64>::with_capacity(CAPACITY)
+        });
+        b.iter(|| pipe(&q))
+    });
+    group.bench_function(BenchmarkId::new("sharded-spsc-lane", "1p1c"), |b| {
+        let q = ShardedQueue::with_config(ShardedConfig::with_lanes(1).spsc_fast_path(), |_| {
+            CasQueue::<u64>::with_capacity(CAPACITY)
+        });
+        b.iter(|| pipe(&q))
+    });
+    group.bench_function(BenchmarkId::new("spsc-ring", "1p1c"), |b| {
+        let q = SpscRing::<u64>::with_capacity(CAPACITY);
+        b.iter(|| pipe(&q))
+    });
+    group.bench_function(BenchmarkId::new("spsc-ring-batched", "1p1c"), |b| {
+        let q = SpscRing::<u64>::with_capacity(CAPACITY);
+        b.iter(|| pipe_batched(&q))
+    });
+    group.finish();
+}
+
+fn main() {
+    let mut c = criterion();
+    bench(&mut c);
+    c.final_summary();
+}

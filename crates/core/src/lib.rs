@@ -58,8 +58,11 @@ pub mod llsc_queue;
 pub mod opstats;
 pub mod registry;
 pub mod sharded;
+pub mod spsc;
 
 pub use cas_queue::{CasHandle, CasQueue, CasQueueConfig, GatePolicy};
 pub use llsc_queue::{LlScHandle, LlScQueue, LlScQueueConfig};
 pub use opstats::{OpStats, OpStatsSnapshot};
-pub use sharded::{BatchPolicy, ShardedConfig, ShardedHandle, ShardedQueue};
+pub use registry::ArityRegistry;
+pub use sharded::{BatchPolicy, LanePolicy, ShardedConfig, ShardedHandle, ShardedQueue};
+pub use spsc::{SpscConsumerCursor, SpscProducerCursor, SpscRing, SpscRingHandle};

@@ -25,7 +25,7 @@
 //!   slot (`LL` lines L7/L14).
 
 use core::ptr;
-use core::sync::atomic::{AtomicPtr, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use core::sync::atomic::{AtomicPtr, AtomicU32, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use nbq_util::mem;
 
 /// A thread-owned simulated-LL/SC variable (paper `struct LLSCvar`).
@@ -186,6 +186,109 @@ impl Registry {
     }
 }
 
+/// Arity accounting for a single-producer/single-consumer lane: which
+/// endpoints are claimed, and whether the lane has been *promoted* to its
+/// MPMC fallback.
+///
+/// This is the registration half of the mixed-lane protocol
+/// (`nbq_core::sharded`, DESIGN.md §10): the SPSC ring admits exactly one
+/// pusher and one popper, so each side is a single claimable slot. The
+/// first enqueuer (resp. dequeuer) to claim a free slot becomes the ring
+/// endpoint; a registrant that finds its slot already held sets the sticky
+/// `PROMOTED` flag instead and uses the MPMC lane — *promotion rather than
+/// corruption*. All transitions are CAS edges on one byte; the hot paths
+/// only load it.
+///
+/// Promotion is one-way and conservative: slots can be *released* (an
+/// endpoint handle dropping with nothing left to do) and re-claimed by a
+/// later thread, but once two registrants have raced for one side the lane
+/// stays promoted for the queue's lifetime.
+pub struct ArityRegistry {
+    state: AtomicU8,
+}
+
+/// Producer endpoint slot held.
+const ARITY_PROD: u8 = 1;
+/// Consumer endpoint slot held.
+const ARITY_CONS: u8 = 1 << 1;
+/// Sticky promotion flag: the lane has fallen back to its MPMC queue.
+const ARITY_PROMOTED: u8 = 1 << 2;
+
+impl ArityRegistry {
+    /// An empty registry: both endpoint slots free, not promoted.
+    pub const fn new() -> Self {
+        Self {
+            state: AtomicU8::new(0),
+        }
+    }
+
+    fn try_claim(&self, bit: u8) -> bool {
+        let mut s = self.state.load(mem::ARITY_LOAD);
+        loop {
+            if s & bit != 0 {
+                return false;
+            }
+            match self
+                .state
+                .compare_exchange_weak(s, s | bit, mem::ARITY_CAS, mem::ARITY_CAS_FAIL)
+            {
+                Ok(_) => return true,
+                Err(cur) => s = cur,
+            }
+        }
+    }
+
+    fn release(&self, bit: u8) {
+        self.state.fetch_and(!bit, mem::ARITY_CAS);
+    }
+
+    /// Claims the producer endpoint slot; `false` if already held.
+    pub fn try_claim_producer(&self) -> bool {
+        self.try_claim(ARITY_PROD)
+    }
+
+    /// Claims the consumer endpoint slot; `false` if already held.
+    pub fn try_claim_consumer(&self) -> bool {
+        self.try_claim(ARITY_CONS)
+    }
+
+    /// Releases the producer endpoint slot. Callers must hold it.
+    pub fn release_producer(&self) {
+        self.release(ARITY_PROD)
+    }
+
+    /// Releases the consumer endpoint slot. Callers must hold it.
+    pub fn release_consumer(&self) {
+        self.release(ARITY_CONS)
+    }
+
+    /// Whether the producer endpoint slot is currently held.
+    pub fn producer_claimed(&self) -> bool {
+        self.state.load(mem::ARITY_LOAD) & ARITY_PROD != 0
+    }
+
+    /// Whether the consumer endpoint slot is currently held.
+    pub fn consumer_claimed(&self) -> bool {
+        self.state.load(mem::ARITY_LOAD) & ARITY_CONS != 0
+    }
+
+    /// Sets the sticky promotion flag.
+    pub fn promote(&self) {
+        self.state.fetch_or(ARITY_PROMOTED, mem::ARITY_CAS);
+    }
+
+    /// Whether the lane has been promoted to its MPMC fallback.
+    pub fn promoted(&self) -> bool {
+        self.state.load(mem::ARITY_LOAD) & ARITY_PROMOTED != 0
+    }
+}
+
+impl Default for ArityRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 impl Drop for Registry {
     fn drop(&mut self) {
         // Exclusive: free the whole list. A thread that died between
@@ -205,6 +308,45 @@ impl Drop for Registry {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn arity_registry_claims_are_exclusive() {
+        let a = ArityRegistry::new();
+        assert!(!a.producer_claimed() && !a.consumer_claimed() && !a.promoted());
+        assert!(a.try_claim_producer());
+        assert!(!a.try_claim_producer(), "slot is single-occupancy");
+        assert!(a.try_claim_consumer(), "sides are independent");
+        assert!(!a.try_claim_consumer());
+        a.release_producer();
+        assert!(!a.producer_claimed());
+        assert!(a.try_claim_producer(), "released slots are reclaimable");
+        assert!(a.consumer_claimed());
+    }
+
+    #[test]
+    fn arity_promotion_is_sticky_and_independent_of_claims() {
+        let a = ArityRegistry::default();
+        assert!(a.try_claim_producer());
+        a.promote();
+        assert!(a.promoted());
+        assert!(a.producer_claimed(), "promotion does not revoke a claim");
+        a.release_producer();
+        assert!(a.promoted(), "promotion survives releases");
+    }
+
+    #[test]
+    fn arity_claims_race_to_one_winner() {
+        let a = ArityRegistry::new();
+        let winners: usize = std::thread::scope(|s| {
+            (0..8)
+                .map(|_| s.spawn(|| a.try_claim_producer() as usize))
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|j| j.join().unwrap())
+                .sum()
+        });
+        assert_eq!(winners, 1, "exactly one thread may claim a slot");
+    }
 
     #[test]
     fn register_claims_and_deregister_releases() {

@@ -42,12 +42,48 @@
 //! linearizable (`nbq_lincheck::check_value_integrity` holds on every
 //! recorded history).
 //!
+//! # Lane kinds and the wait-free SPSC fast path
+//!
+//! A lane is no longer hard-wired to one MPMC algorithm. Each lane pairs
+//! the factory-built MPMC queue with an optional [`SpscRing`] *fast
+//! path* ([`LanePolicy::SpscFastPath`]), planned from the
+//! [`nbq_util::QueueKind`] capability envelopes: the ring's
+//! `spsc_wait_free` kind admits one registrant per side, the MPMC lane's
+//! `mpmc` kind admits the rest. Routing is decided per handle, per lane:
+//!
+//! * The **first** producer (consumer) to touch a fast-path lane claims
+//!   the ring's producer (consumer) endpoint through its
+//!   [`crate::ArityRegistry`] and operates **wait-free** — no CAS, no
+//!   retry loops, one cache-line handoff per `capacity` ops.
+//! * A **second** registrant on an already-claimed side *promotes* the
+//!   lane (a sticky flag in the same registry word) and takes the MPMC
+//!   queue instead — misuse of the SPSC envelope degrades to the paper's
+//!   lock-free algorithm, never to corruption.
+//! * After promotion, the ring producer keeps its wait-free path while
+//!   the ring is non-empty and hands over **only at an exact-empty
+//!   instant** (the producer owns `tail`, so its emptiness check is
+//!   exact): switching lanes only when the ring is empty keeps that
+//!   producer's values totally ordered — ring items drain before its
+//!   first MPMC item is enqueued — so per-producer FIFO survives
+//!   promotion with no drain/transfer machinery.
+//! * Consumers on a promoted lane drain **ring first**, then fall
+//!   through to the MPMC queue; once the producer side is released and
+//!   the ring observed empty, promotion's stickiness guarantees no new
+//!   ring producer can ever appear, so the handle caches the lane as
+//!   ring-dead and pays pure MPMC cost from then on.
+//!
+//! Dropping a handle releases its endpoint claims, so strictly
+//! sequential handle turnover (thread pools) keeps the fast path alive.
+//! See DESIGN.md §10 for the full promotion state machine.
+//!
 //! # Batches
 //!
 //! The native [`QueueHandle::enqueue_batch`]/[`QueueHandle::dequeue_batch`]
 //! overrides forward to the lanes' own native batch paths, so the
 //! amortized index publication from the batch API composes with the
-//! sharded frontend. [`BatchPolicy`] selects how a batch maps to lanes:
+//! sharded frontend (on an SPSC fast path that is the ring's
+//! single-release-store batched publication). [`BatchPolicy`] selects how
+//! a batch maps to lanes:
 //!
 //! * [`BatchPolicy::Pin`] (default) hands the whole batch to the
 //!   affinity lane (overflowing into stolen lanes only on `Full`),
@@ -60,7 +96,11 @@ use core::fmt;
 use core::marker::PhantomData;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use nbq_util::{BatchFull, CachePadded, ConcurrentQueue, Full, QueueHandle};
+use crate::spsc::{SpscConsumerCursor, SpscProducerCursor, SpscRing};
+use nbq_util::{BatchFull, CachePadded, ConcurrentQueue, Full, LaneFactory, QueueHandle};
+
+/// Ring capacity used for fast-path lanes whose MPMC queue is unbounded.
+const DEFAULT_RING_CAPACITY: usize = 1024;
 
 /// How a batch call maps onto lanes. See the [module docs](self).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -73,6 +113,21 @@ pub enum BatchPolicy {
     /// starting at the affinity lane. Chunks stay internally ordered;
     /// cross-chunk order is advisory.
     Stripe,
+}
+
+/// Which queue kinds a lane composes. See the
+/// [module docs](self#lane-kinds-and-the-wait-free-spsc-fast-path).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LanePolicy {
+    /// Every lane is exactly the factory-built MPMC queue — the
+    /// pre-existing behavior, and the default.
+    #[default]
+    Mpmc,
+    /// Every lane pairs its MPMC queue with a wait-free [`SpscRing`]
+    /// fast path serving the lane while it has at most one registrant
+    /// per side, with dynamic promotion to the MPMC queue on a second
+    /// registrant.
+    SpscFastPath,
 }
 
 /// Construction parameters for [`ShardedQueue`].
@@ -88,17 +143,26 @@ pub struct ShardedConfig {
     pub steal_attempts: usize,
     /// Batch-to-lane mapping policy.
     pub batch_policy: BatchPolicy,
+    /// Which queue kinds each lane composes.
+    pub lane_policy: LanePolicy,
 }
 
 impl ShardedConfig {
-    /// A config with `lanes` lanes, full stealing, and pinned batches —
-    /// the setup the `ext-sharding` experiment sweeps.
+    /// A config with `lanes` lanes, full stealing, pinned batches, and
+    /// pure-MPMC lanes — the setup the `ext-sharding` experiment sweeps.
     pub fn with_lanes(lanes: usize) -> Self {
         Self {
             lanes,
             steal_attempts: lanes.saturating_sub(1),
             batch_policy: BatchPolicy::Pin,
+            lane_policy: LanePolicy::Mpmc,
         }
+    }
+
+    /// This config with [`LanePolicy::SpscFastPath`] lanes.
+    pub fn spsc_fast_path(mut self) -> Self {
+        self.lane_policy = LanePolicy::SpscFastPath;
+        self
     }
 }
 
@@ -108,13 +172,29 @@ impl Default for ShardedConfig {
     }
 }
 
+/// One lane: the factory-built MPMC queue plus the optional SPSC
+/// fast-path ring in front of it.
+struct ShardLane<T: Send, Q> {
+    mpmc: Q,
+    ring: Option<SpscRing<T>>,
+}
+
+impl<T: Send, Q: fmt::Debug> fmt::Debug for ShardLane<T, Q> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ShardLane")
+            .field("mpmc", &self.mpmc)
+            .field("ring", &self.ring)
+            .finish()
+    }
+}
+
 /// A sharded multi-lane frontend composing `N` independent FIFO lanes
 /// into one relaxed-FIFO queue. See the [module docs](self) for the
-/// ordering contract.
+/// ordering contract and the SPSC fast-path protocol.
 pub struct ShardedQueue<T: Send, Q: ConcurrentQueue<T>> {
     /// Each lane on its own cache line(s): a lane's `Head`/`Tail` traffic
     /// must not false-share with its neighbor's.
-    lanes: Box<[CachePadded<Q>]>,
+    lanes: Box<[CachePadded<ShardLane<T, Q>>]>,
     /// Round-robin assignment cursor for new handles.
     next_handle: AtomicUsize,
     config: ShardedConfig,
@@ -122,16 +202,33 @@ pub struct ShardedQueue<T: Send, Q: ConcurrentQueue<T>> {
 }
 
 impl<T: Send, Q: ConcurrentQueue<T>> ShardedQueue<T, Q> {
-    /// Builds a sharded queue whose lane `i` is `factory(i)`.
+    /// Builds a sharded queue whose lane `i` is `factory.make_lane(i)`.
+    ///
+    /// Any `FnMut(usize) -> Q` closure is a [`LaneFactory`] via the
+    /// blanket impl, so pre-existing closure call sites work unchanged.
+    /// Under [`LanePolicy::SpscFastPath`] each lane additionally gets an
+    /// [`SpscRing`] sized to the lane's own capacity.
     ///
     /// # Panics
     ///
     /// Panics if `config.lanes == 0`.
-    pub fn with_config(config: ShardedConfig, factory: impl FnMut(usize) -> Q) -> Self {
+    pub fn with_config<F>(config: ShardedConfig, mut factory: F) -> Self
+    where
+        F: LaneFactory<T, Lane = Q>,
+    {
         assert!(config.lanes > 0, "a sharded queue needs at least one lane");
-        let lanes: Box<[CachePadded<Q>]> = (0..config.lanes)
-            .map(factory)
-            .map(CachePadded::new)
+        let lanes: Box<[CachePadded<ShardLane<T, Q>>]> = (0..config.lanes)
+            .map(|i| {
+                let mpmc = factory.make_lane(i);
+                let ring = match config.lane_policy {
+                    LanePolicy::Mpmc => None,
+                    LanePolicy::SpscFastPath => {
+                        let cap = mpmc.capacity().unwrap_or(DEFAULT_RING_CAPACITY);
+                        Some(SpscRing::with_capacity(cap))
+                    }
+                };
+                CachePadded::new(ShardLane { mpmc, ring })
+            })
             .collect();
         Self {
             lanes,
@@ -142,8 +239,11 @@ impl<T: Send, Q: ConcurrentQueue<T>> ShardedQueue<T, Q> {
     }
 
     /// [`ShardedQueue::with_config`] with the default full-steal,
-    /// pin-batch configuration for `lanes` lanes.
-    pub fn with_lanes(lanes: usize, factory: impl FnMut(usize) -> Q) -> Self {
+    /// pin-batch, pure-MPMC configuration for `lanes` lanes.
+    pub fn with_lanes<F>(lanes: usize, factory: F) -> Self
+    where
+        F: LaneFactory<T, Lane = Q>,
+    {
         Self::with_config(ShardedConfig::with_lanes(lanes), factory)
     }
 
@@ -152,15 +252,28 @@ impl<T: Send, Q: ConcurrentQueue<T>> ShardedQueue<T, Q> {
         self.lanes.len()
     }
 
-    /// Direct access to lane `i` (for per-lane statistics and tests —
-    /// each lane is itself a complete [`ConcurrentQueue`]).
+    /// Direct access to lane `i`'s MPMC queue (for per-lane statistics
+    /// and tests — each is itself a complete [`ConcurrentQueue`]).
     pub fn lane(&self, i: usize) -> &Q {
-        &self.lanes[i]
+        &self.lanes[i].mpmc
+    }
+
+    /// Whether lane `i` was built with an SPSC fast-path ring.
+    pub fn lane_has_fast_path(&self, i: usize) -> bool {
+        self.lanes[i].ring.is_some()
+    }
+
+    /// Whether lane `i`'s fast path has been promoted to MPMC service
+    /// (a second registrant appeared on one side). `None` when the lane
+    /// has no fast path.
+    pub fn lane_promoted(&self, i: usize) -> Option<bool> {
+        self.lanes[i].ring.as_ref().map(|r| r.arity().promoted())
     }
 
     /// A handle pinned to `lane`: it never steals, so its per-producer
     /// FIFO order is unconditional and a full/empty lane surfaces
-    /// immediately as `Full`/`None`.
+    /// immediately as `Full`/`None`. On a fast-path lane, a pinned
+    /// 1-producer/1-consumer pair runs entirely on the wait-free ring.
     pub fn handle_pinned(&self, lane: usize) -> ShardedHandle<'_, T, Q> {
         assert!(lane < self.lanes.len(), "lane {lane} out of range");
         self.make_handle(lane, 0)
@@ -168,7 +281,9 @@ impl<T: Send, Q: ConcurrentQueue<T>> ShardedQueue<T, Q> {
 
     fn make_handle(&self, cursor: usize, steal_attempts: usize) -> ShardedHandle<'_, T, Q> {
         ShardedHandle {
-            handles: self.lanes.iter().map(|l| l.handle()).collect(),
+            handles: self.lanes.iter().map(|l| l.mpmc.handle()).collect(),
+            roles: self.lanes.iter().map(|_| LaneRole::default()).collect(),
+            lanes: &self.lanes,
             cursor,
             steal_attempts,
             batch_policy: self.config.batch_policy,
@@ -186,10 +301,52 @@ impl<T: Send, Q: ConcurrentQueue<T> + fmt::Debug> fmt::Debug for ShardedQueue<T,
     }
 }
 
-/// Per-thread handle to a [`ShardedQueue`]: one inner handle per lane
-/// plus the affinity cursor steering lane selection.
+/// This handle's producer-side relationship to one lane.
+enum ProdRole {
+    /// Not yet resolved: first enqueue on the lane decides.
+    Unknown,
+    /// Holds the ring's producer claim; enqueues are wait-free pushes.
+    Ring(SpscProducerCursor),
+    /// Enqueues go to the lane's MPMC queue.
+    Mpmc,
+}
+
+/// This handle's consumer-side relationship to one lane.
+enum ConsRole {
+    /// Not yet resolved: first dequeue on the lane decides.
+    Unknown,
+    /// Holds the ring's consumer claim; dequeues drain the ring first.
+    Ring(SpscConsumerCursor),
+    /// Dequeues go to the lane's MPMC queue (with opportunistic ring
+    /// residue reclaim after promotion).
+    Mpmc,
+    /// The ring is permanently empty (promoted, producer side released,
+    /// observed empty); dequeues skip it entirely.
+    RingDead,
+}
+
+/// Per-lane routing state of one handle.
+struct LaneRole {
+    prod: ProdRole,
+    cons: ConsRole,
+}
+
+impl Default for LaneRole {
+    fn default() -> Self {
+        Self {
+            prod: ProdRole::Unknown,
+            cons: ConsRole::Unknown,
+        }
+    }
+}
+
+/// Per-thread handle to a [`ShardedQueue`]: one inner MPMC handle per
+/// lane, the per-lane fast-path roles, and the affinity cursor steering
+/// lane selection.
 pub struct ShardedHandle<'q, T: Send, Q: ConcurrentQueue<T> + 'q> {
     handles: Vec<Q::Handle<'q>>,
+    roles: Box<[LaneRole]>,
+    lanes: &'q [CachePadded<ShardLane<T, Q>>],
     /// Affinity lane; migrates to the serving lane on successful steals.
     cursor: usize,
     steal_attempts: usize,
@@ -211,13 +368,226 @@ impl<'q, T: Send, Q: ConcurrentQueue<T> + 'q> ShardedHandle<'q, T, Q> {
         let probes = self.steal_attempts.min(lanes - 1);
         (0..=probes).map(move |i| (cursor + i) % lanes)
     }
+
+    /// Resolves this handle's producer role on `lane` on first use:
+    /// claim the ring endpoint, or promote and fall back to MPMC.
+    fn resolve_prod(&mut self, lane: usize) {
+        if !matches!(self.roles[lane].prod, ProdRole::Unknown) {
+            return;
+        }
+        self.roles[lane].prod = match &self.lanes[lane].ring {
+            Some(ring) if !ring.arity().promoted() && ring.arity().try_claim_producer() => {
+                ProdRole::Ring(ring.producer_cursor())
+            }
+            Some(ring) => {
+                // Second registrant on a claimed side (or the lane was
+                // already promoted): degrade this lane to MPMC service.
+                // Promotion is sticky, so the ring can only drain from
+                // here on.
+                ring.arity().promote();
+                ProdRole::Mpmc
+            }
+            None => ProdRole::Mpmc,
+        };
+    }
+
+    /// Resolves this handle's consumer role on `lane` on first use.
+    fn resolve_cons(&mut self, lane: usize) {
+        if !matches!(self.roles[lane].cons, ConsRole::Unknown) {
+            return;
+        }
+        self.roles[lane].cons = match &self.lanes[lane].ring {
+            Some(ring) if !ring.arity().promoted() && ring.arity().try_claim_consumer() => {
+                ConsRole::Ring(ring.consumer_cursor())
+            }
+            Some(ring) => {
+                ring.arity().promote();
+                ConsRole::Mpmc
+            }
+            None => ConsRole::Mpmc,
+        };
+    }
+
+    /// Enqueue on one specific lane, routed by this handle's role there.
+    fn lane_enqueue(&mut self, lane: usize, value: T) -> Result<(), Full<T>> {
+        self.resolve_prod(lane);
+        if let ProdRole::Ring(cur) = &mut self.roles[lane].prod {
+            let ring = self.lanes[lane]
+                .ring
+                .as_ref()
+                .expect("ring role implies a ring");
+            if !(ring.arity().promoted() && ring.producer_sees_empty()) {
+                return unsafe {
+                    // SAFETY: this handle holds the producer claim.
+                    ring.push(cur, value)
+                };
+            }
+            // Switch point: the lane promoted and the ring is exactly
+            // empty (the producer owns `tail`, so its emptiness check is
+            // exact). Handing the lane over *now* keeps this producer's
+            // values totally ordered: everything it pushed to the ring
+            // has already drained ahead of its first MPMC item.
+            ring.arity().release_producer();
+            self.roles[lane].prod = ProdRole::Mpmc;
+        }
+        self.handles[lane].enqueue(value)
+    }
+
+    /// Batch enqueue on one specific lane; the ring path publishes the
+    /// moved `tail` once for the whole batch.
+    fn lane_enqueue_batch<I>(&mut self, lane: usize, items: I) -> Result<usize, BatchFull<T>>
+    where
+        I: ExactSizeIterator<Item = T>,
+    {
+        self.resolve_prod(lane);
+        if let ProdRole::Ring(cur) = &mut self.roles[lane].prod {
+            let ring = self.lanes[lane]
+                .ring
+                .as_ref()
+                .expect("ring role implies a ring");
+            if !(ring.arity().promoted() && ring.producer_sees_empty()) {
+                let mut items = items;
+                // SAFETY: this handle holds the producer claim.
+                let pushed = unsafe { ring.push_batch(cur, &mut items) };
+                return if items.len() == 0 {
+                    Ok(pushed)
+                } else {
+                    Err(BatchFull {
+                        enqueued: pushed,
+                        remaining: items.collect(),
+                    })
+                };
+            }
+            // Same exact-empty switch point as `lane_enqueue`.
+            ring.arity().release_producer();
+            self.roles[lane].prod = ProdRole::Mpmc;
+        }
+        self.handles[lane].enqueue_batch(items)
+    }
+
+    /// Dequeue from one specific lane, routed by this handle's role
+    /// there. On a promoted lane the ring drains first, preserving the
+    /// ring producer's FIFO order across the switch.
+    fn lane_dequeue(&mut self, lane: usize) -> Option<T> {
+        self.resolve_cons(lane);
+        match &mut self.roles[lane].cons {
+            ConsRole::Ring(cur) => {
+                let ring = self.lanes[lane]
+                    .ring
+                    .as_ref()
+                    .expect("ring role implies a ring");
+                // SAFETY: this handle holds the consumer claim.
+                if let Some(v) = unsafe { ring.pop(cur) } {
+                    return Some(v);
+                }
+                if !ring.arity().promoted() {
+                    return None;
+                }
+                if !ring.arity().producer_claimed() {
+                    // Promotion is sticky, so no new ring producer can
+                    // ever claim: with the producer side released and the
+                    // ring observed empty, it is empty forever.
+                    ring.arity().release_consumer();
+                    self.roles[lane].cons = ConsRole::RingDead;
+                }
+                self.handles[lane].dequeue()
+            }
+            ConsRole::Mpmc => {
+                if let Some(ring) = &self.lanes[lane].ring {
+                    if ring.is_empty() {
+                        if ring.arity().promoted() && !ring.arity().producer_claimed() {
+                            self.roles[lane].cons = ConsRole::RingDead;
+                        }
+                    } else if ring.arity().try_claim_consumer() {
+                        // Reclaim: drain ring residue left behind by a
+                        // departed consumer before serving MPMC items.
+                        let mut cur = ring.consumer_cursor();
+                        // SAFETY: the claim above grants sole-popper.
+                        let popped = unsafe { ring.pop(&mut cur) };
+                        self.roles[lane].cons = ConsRole::Ring(cur);
+                        if popped.is_some() {
+                            return popped;
+                        }
+                    }
+                }
+                self.handles[lane].dequeue()
+            }
+            ConsRole::RingDead => self.handles[lane].dequeue(),
+            ConsRole::Unknown => unreachable!("resolved above"),
+        }
+    }
+
+    /// Batch dequeue from one specific lane; the ring path publishes the
+    /// moved `head` once for the whole batch.
+    fn lane_dequeue_batch(&mut self, lane: usize, out: &mut Vec<T>, max: usize) -> usize {
+        self.resolve_cons(lane);
+        match &mut self.roles[lane].cons {
+            ConsRole::Ring(cur) => {
+                let ring = self.lanes[lane]
+                    .ring
+                    .as_ref()
+                    .expect("ring role implies a ring");
+                // SAFETY: this handle holds the consumer claim.
+                let got = unsafe { ring.pop_batch(cur, out, max) };
+                if got == max || !ring.arity().promoted() {
+                    return got;
+                }
+                if !ring.arity().producer_claimed() && ring.is_empty() {
+                    ring.arity().release_consumer();
+                    self.roles[lane].cons = ConsRole::RingDead;
+                }
+                got + self.handles[lane].dequeue_batch(out, max - got)
+            }
+            ConsRole::Mpmc => {
+                let mut taken = 0usize;
+                if let Some(ring) = &self.lanes[lane].ring {
+                    if ring.is_empty() {
+                        if ring.arity().promoted() && !ring.arity().producer_claimed() {
+                            self.roles[lane].cons = ConsRole::RingDead;
+                        }
+                    } else if ring.arity().try_claim_consumer() {
+                        let mut cur = ring.consumer_cursor();
+                        // SAFETY: the claim above grants sole-popper.
+                        taken = unsafe { ring.pop_batch(&mut cur, out, max) };
+                        self.roles[lane].cons = ConsRole::Ring(cur);
+                    }
+                }
+                if taken < max {
+                    taken += self.handles[lane].dequeue_batch(out, max - taken);
+                }
+                taken
+            }
+            ConsRole::RingDead => self.handles[lane].dequeue_batch(out, max),
+            ConsRole::Unknown => unreachable!("resolved above"),
+        }
+    }
+}
+
+impl<'q, T: Send, Q: ConcurrentQueue<T> + 'q> Drop for ShardedHandle<'q, T, Q> {
+    fn drop(&mut self) {
+        // Release every ring endpoint this handle claimed. The release
+        // RMW publishes the final cursor values, so a later claimant (or
+        // a promoting second registrant's consumers) sees every value we
+        // pushed; un-drained residue is picked up via the Mpmc-role
+        // reclaim path or by the next claiming handle.
+        for (lane, role) in self.roles.iter().enumerate() {
+            if let Some(ring) = &self.lanes[lane].ring {
+                if matches!(role.prod, ProdRole::Ring(_)) {
+                    ring.arity().release_producer();
+                }
+                if matches!(role.cons, ConsRole::Ring(_)) {
+                    ring.arity().release_consumer();
+                }
+            }
+        }
+    }
 }
 
 impl<'q, T: Send, Q: ConcurrentQueue<T> + 'q> QueueHandle<T> for ShardedHandle<'q, T, Q> {
     fn enqueue(&mut self, value: T) -> Result<(), Full<T>> {
         let mut value = value;
         for lane in self.probe_order() {
-            match self.handles[lane].enqueue(value) {
+            match self.lane_enqueue(lane, value) {
                 Ok(()) => {
                     // Sticky affinity: follow the lane that had room, so a
                     // producer's run of items stays contiguous per lane.
@@ -232,7 +602,7 @@ impl<'q, T: Send, Q: ConcurrentQueue<T> + 'q> QueueHandle<T> for ShardedHandle<'
 
     fn dequeue(&mut self) -> Option<T> {
         for lane in self.probe_order() {
-            if let Some(v) = self.handles[lane].dequeue() {
+            if let Some(v) = self.lane_dequeue(lane) {
                 // Follow the non-empty lane: the next dequeue drains it
                 // without re-probing the empty ones.
                 self.cursor = lane;
@@ -250,18 +620,19 @@ impl<'q, T: Send, Q: ConcurrentQueue<T> + 'q> QueueHandle<T> for ShardedHandle<'
             BatchPolicy::Pin => {
                 // Whole batch to the affinity lane's native batch path;
                 // on Full, spill the leftover suffix into stolen lanes.
-                let mut probes = self.probe_order();
-                let first = probes.next().expect("at least one lane");
+                let lanes: Vec<usize> = self.probe_order().collect();
+                let mut lanes = lanes.into_iter();
+                let first = lanes.next().expect("at least one lane");
                 let mut total = 0usize;
-                let mut remaining = match self.handles[first].enqueue_batch(items) {
+                let mut remaining = match self.lane_enqueue_batch(first, items) {
                     Ok(n) => return Ok(n),
                     Err(e) => {
                         total += e.enqueued;
                         e.remaining
                     }
                 };
-                for lane in probes {
-                    match self.handles[lane].enqueue_batch(remaining.into_iter()) {
+                for lane in lanes {
+                    match self.lane_enqueue_batch(lane, remaining.into_iter()) {
                         Ok(n) => {
                             // Sticky affinity: the batch's tail landed
                             // here, so follow it (a migration point in
@@ -300,7 +671,7 @@ impl<'q, T: Send, Q: ConcurrentQueue<T> + 'q> QueueHandle<T> for ShardedHandle<'
                         break;
                     }
                     let lane = (start + k) % lanes;
-                    match self.handles[lane].enqueue_batch(chunk_items.into_iter()) {
+                    match self.lane_enqueue_batch(lane, chunk_items.into_iter()) {
                         Ok(n) => total += n,
                         Err(e) => {
                             total += e.enqueued;
@@ -323,12 +694,13 @@ impl<'q, T: Send, Q: ConcurrentQueue<T> + 'q> QueueHandle<T> for ShardedHandle<'
     }
 
     fn dequeue_batch(&mut self, out: &mut Vec<T>, max: usize) -> usize {
+        let lanes: Vec<usize> = self.probe_order().collect();
         let mut taken = 0usize;
-        for lane in self.probe_order() {
+        for lane in lanes {
             if taken >= max {
                 break;
             }
-            let got = self.handles[lane].dequeue_batch(out, max - taken);
+            let got = self.lane_dequeue_batch(lane, out, max - taken);
             if got > 0 && taken == 0 {
                 self.cursor = lane;
             }
@@ -353,21 +725,37 @@ impl<T: Send, Q: ConcurrentQueue<T>> ConcurrentQueue<T> for ShardedQueue<T, Q> {
     }
 
     fn capacity(&self) -> Option<usize> {
-        self.lanes
-            .iter()
-            .map(|l| l.capacity())
-            .try_fold(0usize, |acc, c| c.map(|c| acc + c))
+        // A fast-path lane can hold its ring's items *in addition to*
+        // its MPMC queue's, so the bound sums both.
+        self.lanes.iter().try_fold(0usize, |acc, lane| {
+            lane.mpmc
+                .capacity()
+                .map(|c| acc + c + lane.ring.as_ref().map_or(0, |r| r.capacity()))
+        })
     }
 
     fn len(&self) -> Option<usize> {
-        self.lanes
-            .iter()
-            .map(|l| ConcurrentQueue::len(&**l))
-            .try_fold(0usize, |acc, n| n.map(|n| acc + n))
+        // Single pass over the lanes, summing each lane's MPMC and ring
+        // occupancy from one snapshot per component. The result is
+        // advisory under concurrent mutation — with mixed lane kinds a
+        // value migrating from ring to MPMC service is never double
+        // counted (it lives in exactly one structure at any instant),
+        // but lanes counted early can change while later lanes are read.
+        let mut total = 0usize;
+        for lane in self.lanes.iter() {
+            total += ConcurrentQueue::len(&lane.mpmc)?;
+            if let Some(ring) = &lane.ring {
+                total += ring.len();
+            }
+        }
+        Some(total)
     }
 
     fn algorithm_name(&self) -> &'static str {
-        "Sharded frontend"
+        match self.config.lane_policy {
+            LanePolicy::Mpmc => "Sharded frontend",
+            LanePolicy::SpscFastPath => "Sharded mixed-lane frontend",
+        }
     }
 }
 
@@ -378,6 +766,13 @@ mod tests {
 
     fn sharded_cas(lanes: usize, lane_cap: usize) -> ShardedQueue<u64, CasQueue<u64>> {
         ShardedQueue::with_lanes(lanes, |_| CasQueue::with_capacity(lane_cap))
+    }
+
+    fn mixed_cas(lanes: usize, lane_cap: usize) -> ShardedQueue<u64, CasQueue<u64>> {
+        ShardedQueue::with_config(
+            ShardedConfig::with_lanes(lanes).spsc_fast_path(),
+            move |_| CasQueue::with_capacity(lane_cap),
+        )
     }
 
     #[test]
@@ -486,6 +881,7 @@ mod tests {
                 lanes: 4,
                 steal_attempts: 3,
                 batch_policy: BatchPolicy::Stripe,
+                lane_policy: LanePolicy::Mpmc,
             },
             |_| CasQueue::<u64>::with_capacity(16),
         );
@@ -555,6 +951,7 @@ mod tests {
                 lanes: 0,
                 steal_attempts: 0,
                 batch_policy: BatchPolicy::Pin,
+                lane_policy: LanePolicy::Mpmc,
             },
             |_| CasQueue::<u64>::with_capacity(4),
         );
@@ -588,5 +985,185 @@ mod tests {
         let q = ShardedQueue::with_lanes(2, |_| Unbounded);
         assert_eq!(ConcurrentQueue::capacity(&q), None);
         assert_eq!(ConcurrentQueue::len(&q), None);
+    }
+
+    #[test]
+    fn default_policy_builds_no_rings() {
+        let q = sharded_cas(2, 4);
+        assert!(!q.lane_has_fast_path(0));
+        assert_eq!(q.lane_promoted(0), None);
+        assert_eq!(q.algorithm_name(), "Sharded frontend");
+    }
+
+    #[test]
+    fn fast_path_lane_round_trip_stays_unpromoted() {
+        let q = mixed_cas(2, 8);
+        assert!(q.lane_has_fast_path(0));
+        assert_eq!(q.algorithm_name(), "Sharded mixed-lane frontend");
+        let mut h = q.handle_pinned(0);
+        for i in 0..20 {
+            h.enqueue(i).unwrap();
+            assert_eq!(h.dequeue(), Some(i));
+        }
+        // One registrant per side: the ring served everything; the MPMC
+        // lane never saw a value and the lane never promoted.
+        assert_eq!(q.lane_promoted(0), Some(false));
+        assert_eq!(ConcurrentQueue::len(q.lane(0)), Some(0));
+    }
+
+    #[test]
+    fn mixed_capacity_and_len_include_rings() {
+        let q = mixed_cas(2, 8);
+        // Each lane: 8 (MPMC) + 8 (ring).
+        assert_eq!(ConcurrentQueue::capacity(&q), Some(32));
+        let mut h = q.handle_pinned(0);
+        for i in 0..5 {
+            h.enqueue(i).unwrap();
+        }
+        // All five sit in lane 0's ring, invisible to the MPMC lane but
+        // counted by the frontend.
+        assert_eq!(ConcurrentQueue::len(q.lane(0)), Some(0));
+        assert_eq!(ConcurrentQueue::len(&q), Some(5));
+    }
+
+    #[test]
+    fn second_producer_promotes_instead_of_corrupting() {
+        let q = mixed_cas(1, 8);
+        let mut a = q.handle_pinned(0);
+        let mut b = q.handle_pinned(0);
+        a.enqueue(1).unwrap(); // a claims the ring producer endpoint
+        assert_eq!(q.lane_promoted(0), Some(false));
+        b.enqueue(2).unwrap(); // second producer: promote, land on MPMC
+        assert_eq!(q.lane_promoted(0), Some(true));
+        a.enqueue(3).unwrap(); // a still rides the non-empty ring
+                               // Everything is conserved and per-producer order holds: a's ring
+                               // values drain before b's MPMC value is even visible to a
+                               // ring-claiming consumer.
+        let mut c = q.handle_pinned(0);
+        let got: Vec<u64> = std::iter::from_fn(|| c.dequeue()).collect();
+        assert_eq!(got, vec![1, 3, 2]);
+    }
+
+    #[test]
+    fn promoted_producer_switches_to_mpmc_only_when_ring_empty() {
+        let q = mixed_cas(1, 8);
+        let mut a = q.handle_pinned(0);
+        let mut b = q.handle_pinned(0);
+        a.enqueue(10).unwrap();
+        b.enqueue(20).unwrap(); // promotes
+                                // Ring still holds 10, so a keeps its wait-free path…
+        a.enqueue(11).unwrap();
+        assert_eq!(ConcurrentQueue::len(q.lane(0)), Some(1), "only 20 on MPMC");
+        // …drain the ring, and a's next enqueue hands the lane over.
+        let mut c = q.handle_pinned(0);
+        assert_eq!(c.dequeue(), Some(10));
+        assert_eq!(c.dequeue(), Some(11));
+        a.enqueue(12).unwrap();
+        assert_eq!(
+            ConcurrentQueue::len(q.lane(0)),
+            Some(2),
+            "20 and 12 on MPMC"
+        );
+        assert_eq!(c.dequeue(), Some(20));
+        assert_eq!(c.dequeue(), Some(12));
+        assert_eq!(c.dequeue(), None);
+    }
+
+    #[test]
+    fn mpmc_role_consumer_reclaims_ring_residue() {
+        let q = mixed_cas(1, 8);
+        let mut a = q.handle_pinned(0);
+        let mut b = q.handle_pinned(0);
+        a.enqueue(1).unwrap();
+        a.enqueue(2).unwrap();
+        b.enqueue(100).unwrap(); // promotes; b's consumer side is Mpmc
+                                 // b never claimed the ring consumer endpoint, but must still see
+                                 // the ring residue (and first, preserving a's FIFO).
+        assert_eq!(b.dequeue(), Some(1));
+        assert_eq!(b.dequeue(), Some(2));
+        assert_eq!(b.dequeue(), Some(100));
+        assert_eq!(b.dequeue(), None);
+    }
+
+    #[test]
+    fn dropping_handles_releases_ring_endpoints() {
+        let q = mixed_cas(1, 8);
+        {
+            let mut a = q.handle_pinned(0);
+            a.enqueue(7).unwrap();
+            assert_eq!(a.dequeue(), Some(7));
+        }
+        // Fresh handle re-claims both endpoints — the fast path survives
+        // sequential handle turnover without promotion.
+        let mut b = q.handle_pinned(0);
+        b.enqueue(8).unwrap();
+        assert_eq!(b.dequeue(), Some(8));
+        assert_eq!(q.lane_promoted(0), Some(false));
+    }
+
+    #[test]
+    fn fresh_handle_drains_residue_left_by_dropped_producer() {
+        let q = mixed_cas(1, 8);
+        {
+            let mut a = q.handle_pinned(0);
+            a.enqueue(41).unwrap();
+            a.enqueue(42).unwrap();
+        } // a drops with the ring non-empty; its claims release
+        let mut b = q.handle_pinned(0);
+        assert_eq!(b.dequeue(), Some(41));
+        assert_eq!(b.dequeue(), Some(42));
+        assert_eq!(b.dequeue(), None);
+        assert_eq!(q.lane_promoted(0), Some(false));
+    }
+
+    #[test]
+    fn mixed_batches_ride_the_ring() {
+        let q = mixed_cas(1, 8);
+        let mut h = q.handle_pinned(0);
+        assert_eq!(
+            h.enqueue_batch((0..6u64).collect::<Vec<_>>().into_iter())
+                .unwrap(),
+            6
+        );
+        assert_eq!(ConcurrentQueue::len(q.lane(0)), Some(0), "all on the ring");
+        let mut out = Vec::new();
+        assert_eq!(h.dequeue_batch(&mut out, 8), 6);
+        assert_eq!(out, (0..6).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn mixed_two_thread_pipe_is_fifo() {
+        const N: u64 = 50_000;
+        let q = mixed_cas(1, 64);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                let mut h = q.handle_pinned(0);
+                for i in 0..N {
+                    let mut v = i;
+                    loop {
+                        match h.enqueue(v) {
+                            Ok(()) => break,
+                            Err(Full(back)) => {
+                                v = back;
+                                std::hint::spin_loop();
+                            }
+                        }
+                    }
+                }
+            });
+            s.spawn(|| {
+                let mut h = q.handle_pinned(0);
+                let mut expected = 0u64;
+                while expected < N {
+                    if let Some(v) = h.dequeue() {
+                        assert_eq!(v, expected, "1p/1c pinned lane is strict FIFO");
+                        expected += 1;
+                    } else {
+                        std::hint::spin_loop();
+                    }
+                }
+            });
+        });
+        assert_eq!(q.lane_promoted(0), Some(false), "pair stayed on the ring");
     }
 }

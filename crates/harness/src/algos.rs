@@ -1,11 +1,16 @@
 //! Algorithm registry: every queue the experiments drive, keyed by an
 //! enum so the `repro` binary and the Criterion benches share one list.
 
-use crate::workload::{run_workload, run_workload_async, WorkloadConfig};
+use crate::workload::{
+    run_workload, run_workload_async, run_workload_pipe, run_workload_pipe_pinned, WorkloadConfig,
+};
 use nbq_baselines::{
     MsDohertyQueue, MsQueue, MutexQueue, ScanMode, SeqQueue, ShannQueue, TsigasZhangQueue,
 };
-use nbq_core::{CasQueue, CasQueueConfig, GatePolicy, LlScQueue, LlScQueueConfig, ShardedQueue};
+use nbq_core::{
+    CasQueue, CasQueueConfig, GatePolicy, LlScQueue, LlScQueueConfig, ShardedConfig, ShardedQueue,
+    SpscRing,
+};
 use nbq_util::stats::Summary;
 use nbq_util::{ConcurrentQueue, Full, QueueHandle};
 
@@ -66,6 +71,27 @@ pub enum Algo {
         /// Number of independent lanes.
         lanes: usize,
     },
+    /// The wait-free SPSC ring on a 2-thread pipe (1 producer, 1
+    /// consumer) — the only arrangement the raw ring admits.
+    SpscRingPipe,
+    /// The paper's CAS queue on the split-role pipe workload (MPMC
+    /// machinery paying full price for a 1p/1c-shaped load).
+    SpscCasPipe,
+    /// The paper's LL/SC queue on the split-role pipe workload.
+    SpscLlscPipe,
+    /// Sharded frontend with SPSC fast-path lanes, driven by pinned
+    /// producer/consumer pairs (one pair per lane keeps every lane on its
+    /// wait-free ring).
+    ShardedMixed {
+        /// Number of independent lanes.
+        lanes: usize,
+    },
+    /// Control for [`Algo::ShardedMixed`]: identical pinned-pair pipe,
+    /// but plain MPMC lanes (no rings) — isolates the fast path's gain.
+    ShardedPinned {
+        /// Number of independent lanes.
+        lanes: usize,
+    },
 }
 
 impl Algo {
@@ -113,6 +139,25 @@ impl Algo {
                 16 => "Async Sharded CAS x16",
                 _ => "Async Sharded CAS",
             },
+            Algo::SpscRingPipe => "Wait-free SPSC ring (pipe)",
+            Algo::SpscCasPipe => "FIFO Array Simulated CAS (pipe)",
+            Algo::SpscLlscPipe => "FIFO Array LL/SC (pipe)",
+            Algo::ShardedMixed { lanes } => match lanes {
+                1 => "Sharded mixed SPSC x1",
+                2 => "Sharded mixed SPSC x2",
+                4 => "Sharded mixed SPSC x4",
+                8 => "Sharded mixed SPSC x8",
+                16 => "Sharded mixed SPSC x16",
+                _ => "Sharded mixed SPSC",
+            },
+            Algo::ShardedPinned { lanes } => match lanes {
+                1 => "Sharded pinned MPMC x1",
+                2 => "Sharded pinned MPMC x2",
+                4 => "Sharded pinned MPMC x4",
+                8 => "Sharded pinned MPMC x8",
+                16 => "Sharded pinned MPMC x16",
+                _ => "Sharded pinned MPMC",
+            },
         }
     }
 
@@ -132,6 +177,14 @@ impl Algo {
             let lanes = lanes.parse().ok().filter(|&l| l > 0)?;
             return Some(Algo::AsyncSharded { lanes });
         }
+        if let Some(lanes) = s.strip_prefix("sharded-mixed-") {
+            let lanes = lanes.parse().ok().filter(|&l| l > 0)?;
+            return Some(Algo::ShardedMixed { lanes });
+        }
+        if let Some(lanes) = s.strip_prefix("sharded-pinned-") {
+            let lanes = lanes.parse().ok().filter(|&l| l > 0)?;
+            return Some(Algo::ShardedPinned { lanes });
+        }
         Some(match s {
             "cas" | "cas-queue" => Algo::CasQueue,
             "llsc" | "llsc-queue" => Algo::LlScQueue,
@@ -150,6 +203,9 @@ impl Algo {
             "crossbeam-seg" => Algo::CrossbeamSeg,
             "async-cas" => Algo::AsyncCas,
             "async-llsc" => Algo::AsyncLlsc,
+            "spsc-ring" => Algo::SpscRingPipe,
+            "spsc-cas" => Algo::SpscCasPipe,
+            "spsc-llsc" => Algo::SpscLlscPipe,
             _ => return None,
         })
     }
@@ -226,6 +282,40 @@ impl Algo {
             Algo::AsyncSharded { lanes } => {
                 let per_lane = cap.div_ceil(lanes);
                 run_workload_async(
+                    || {
+                        ShardedQueue::with_lanes(lanes, |_| {
+                            CasQueue::<u64>::with_capacity(per_lane)
+                        })
+                    },
+                    config,
+                )
+            }
+            Algo::SpscRingPipe => {
+                assert_eq!(
+                    config.threads, 2,
+                    "the raw SPSC ring admits exactly one producer and one consumer"
+                );
+                run_workload_pipe(|| SpscRing::<u64>::with_capacity(cap), config)
+            }
+            Algo::SpscCasPipe => run_workload_pipe(|| CasQueue::<u64>::with_capacity(cap), config),
+            Algo::SpscLlscPipe => {
+                run_workload_pipe(|| LlScQueue::<u64>::with_capacity(cap), config)
+            }
+            Algo::ShardedMixed { lanes } => {
+                let per_lane = cap.div_ceil(lanes);
+                run_workload_pipe_pinned(
+                    || {
+                        ShardedQueue::with_config(
+                            ShardedConfig::with_lanes(lanes).spsc_fast_path(),
+                            |_| CasQueue::<u64>::with_capacity(per_lane),
+                        )
+                    },
+                    config,
+                )
+            }
+            Algo::ShardedPinned { lanes } => {
+                let per_lane = cap.div_ceil(lanes);
+                run_workload_pipe_pinned(
                     || {
                         ShardedQueue::with_lanes(lanes, |_| {
                             CasQueue::<u64>::with_capacity(per_lane)
@@ -511,6 +601,11 @@ mod tests {
             ("async-cas", Algo::AsyncCas),
             ("async-llsc", Algo::AsyncLlsc),
             ("async-sharded-4", Algo::AsyncSharded { lanes: 4 }),
+            ("spsc-ring", Algo::SpscRingPipe),
+            ("spsc-cas", Algo::SpscCasPipe),
+            ("spsc-llsc", Algo::SpscLlscPipe),
+            ("sharded-mixed-2", Algo::ShardedMixed { lanes: 2 }),
+            ("sharded-pinned-4", Algo::ShardedPinned { lanes: 4 }),
         ] {
             assert_eq!(Algo::parse(s), Some(a));
         }
@@ -518,6 +613,8 @@ mod tests {
         assert_eq!(Algo::parse("sharded-cas-0"), None, "zero lanes rejected");
         assert_eq!(Algo::parse("sharded-cas-x"), None);
         assert_eq!(Algo::parse("async-sharded-0"), None, "zero lanes rejected");
+        assert_eq!(Algo::parse("sharded-mixed-0"), None, "zero lanes rejected");
+        assert_eq!(Algo::parse("sharded-pinned-x"), None);
     }
 
     #[test]
@@ -530,6 +627,46 @@ mod tests {
             let s = algo.run(&tiny());
             assert!(s.mean > 0.0, "{} returned zero time", algo.name());
         }
+    }
+
+    #[test]
+    fn pipe_algos_run_the_tiny_workload() {
+        for algo in [
+            Algo::SpscRingPipe,
+            Algo::SpscCasPipe,
+            Algo::SpscLlscPipe,
+            Algo::ShardedMixed { lanes: 1 },
+            Algo::ShardedPinned { lanes: 1 },
+        ] {
+            let s = algo.run(&tiny());
+            assert!(s.mean > 0.0, "{} returned zero time", algo.name());
+        }
+    }
+
+    #[test]
+    fn pipe_algos_run_with_multiple_pairs() {
+        let cfg = WorkloadConfig {
+            threads: 4,
+            ..tiny()
+        };
+        for algo in [
+            Algo::SpscCasPipe,
+            Algo::ShardedMixed { lanes: 2 },
+            Algo::ShardedPinned { lanes: 2 },
+        ] {
+            let s = algo.run(&cfg);
+            assert!(s.mean > 0.0, "{} returned zero time", algo.name());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exactly one producer and one consumer")]
+    fn raw_ring_pipe_rejects_more_than_two_threads() {
+        let cfg = WorkloadConfig {
+            threads: 4,
+            ..tiny()
+        };
+        Algo::SpscRingPipe.run(&cfg);
     }
 
     #[test]

@@ -25,6 +25,10 @@
 //!                                    on a tokio multi-thread runtime vs
 //!                                    the raw and blocking frontends,
 //!                                    plus waiter-registry event rates
+//!   spsc                             extension: wait-free SPSC fast-path
+//!                                    lanes vs MPMC on split-role pipes
+//!                                    (even --threads only), plus the
+//!                                    isolated 1p/1c acceptance table
 //!   all                              everything above
 //!
 //! flags:
@@ -54,7 +58,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: repro <fig6a|fig6b|fig6c|fig6d|overhead|caswidth|opcounts|ablate-scan|\
          ablate-reregister|ablate-capacity|ablate-backoff|modern|batch|ordering|sharding|alloc|\
-         async|all> \
+         async|spsc|all> \
          [--threads 1,2,4] [--lanes 2,4,8] [--iters N] [--runs N] [--capacity N] \
          [--csv DIR] [--paper]"
     );
@@ -234,6 +238,34 @@ fn run_async(args: &Args) {
     );
 }
 
+/// The `spsc` experiment: the crossover sweep (even thread counts; the
+/// pipe pairs producers with consumers) plus the isolated 1p/1c table
+/// where the raw ring is admissible.
+fn run_spsc(args: &Args) {
+    let threads: Vec<usize> = args
+        .threads
+        .iter()
+        .copied()
+        .filter(|&t| t >= 2 && t % 2 == 0)
+        .collect();
+    if threads.len() < args.threads.len() {
+        eprintln!(
+            "note: spsc sweeps even thread counts only (pipe pairs); using {threads:?} \
+             of {:?}",
+            args.threads
+        );
+    }
+    if !threads.is_empty() {
+        emit(&experiments::spsc(&threads, &args.config), &args.csv);
+    }
+    emit(&experiments::spsc_1p1c(&args.config), &args.csv);
+    println!(
+        "mixed rows pin one producer/consumer pair per lane, so every lane \
+         stays on its wait-free SPSC ring; a second registrant on a lane \
+         would promote it to the MPMC path (DESIGN.md §10)"
+    );
+}
+
 fn main() -> ExitCode {
     let args = parse_args();
     eprintln!(
@@ -329,6 +361,9 @@ fn main() -> ExitCode {
         "async" => {
             run_async(&args);
         }
+        "spsc" => {
+            run_spsc(&args);
+        }
         "modern" => {
             emit(&experiments::modern(&args.threads, &args.config), &args.csv);
         }
@@ -397,6 +432,7 @@ fn main() -> ExitCode {
             run_sharding(&args);
             run_alloc(&args);
             run_async(&args);
+            run_spsc(&args);
         }
         other => {
             eprintln!("unknown experiment: {other}");

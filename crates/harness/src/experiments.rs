@@ -930,6 +930,106 @@ pub fn async_wakers(thread_counts: &[usize], base: &WorkloadConfig) -> Table {
     table
 }
 
+/// `ext-spsc`: the SPSC crossover sweep. Every column is a split-role
+/// pipe (`threads/2` producers, `threads/2` consumers); the sharded rows
+/// pin producer/consumer pairs one-per-lane, so the mixed row's lanes run
+/// entirely on their wait-free SPSC rings while the pinned-MPMC control
+/// row pays the full CAS protocol for the identical load shape.
+///
+/// Lane counts scale with the column (`lanes = threads / 2`), which keeps
+/// the comparison honest: both sharded rows always have exactly one
+/// producer and one consumer per lane, so the only difference is the
+/// ring. Reported in Mops/s (higher is better); the crossover claim reads
+/// directly off the mixed-vs-control margin as threads grow.
+pub fn spsc(thread_counts: &[usize], base: &WorkloadConfig) -> Table {
+    assert!(
+        thread_counts.iter().all(|&t| t >= 2 && t % 2 == 0),
+        "the pipe pairs producers with consumers: thread counts must be even"
+    );
+    let mut table = Table::new(
+        "ext-spsc",
+        "SPSC fast-path lanes: pipe throughput vs MPMC lanes",
+        "threads",
+        "Mops/s",
+        thread_counts.iter().map(|&t| t as u64).collect(),
+    );
+    let to_cell = |cfg: &WorkloadConfig, s: &Summary| {
+        let ops = cfg.pipe_total_ops() as f64;
+        Cell {
+            mean: ops / s.mean / 1e6,
+            // First-order error propagation: d(ops/t) = ops * dt / t^2.
+            stddev: ops * s.stddev / (s.mean * s.mean) / 1e6,
+        }
+    };
+    for algo in [Algo::SpscCasPipe, Algo::SpscLlscPipe] {
+        let cells: Vec<Cell> = thread_counts
+            .iter()
+            .map(|&threads| {
+                let cfg = WorkloadConfig { threads, ..*base };
+                to_cell(&cfg, &algo.run(&cfg))
+            })
+            .collect();
+        table.push_row(algo.name(), cells);
+    }
+    for (label, mixed) in [
+        ("Sharded pinned MPMC (lane per pair)", false),
+        ("Sharded mixed SPSC (lane per pair)", true),
+    ] {
+        let cells: Vec<Cell> = thread_counts
+            .iter()
+            .map(|&threads| {
+                let cfg = WorkloadConfig { threads, ..*base };
+                let lanes = threads / 2;
+                let algo = if mixed {
+                    Algo::ShardedMixed { lanes }
+                } else {
+                    Algo::ShardedPinned { lanes }
+                };
+                to_cell(&cfg, &algo.run(&cfg))
+            })
+            .collect();
+        table.push_row(label, cells);
+    }
+    table
+}
+
+/// `ext-spsc-1p1c`: the acceptance cell, isolated — every queue on the
+/// identical 2-thread (1 producer, 1 consumer) pipe, including the raw
+/// wait-free ring (which only admits this arrangement, hence its own
+/// table). The SPSC rows beating the best MPMC row here is the point of
+/// the fast path.
+pub fn spsc_1p1c(base: &WorkloadConfig) -> Table {
+    let mut table = Table::new(
+        "ext-spsc-1p1c",
+        "1p/1c pipe: wait-free SPSC ring vs MPMC queues",
+        "threads",
+        "Mops/s",
+        vec![2],
+    );
+    let cfg = WorkloadConfig {
+        threads: 2,
+        ..*base
+    };
+    let ops = cfg.pipe_total_ops() as f64;
+    for algo in [
+        Algo::SpscRingPipe,
+        Algo::ShardedMixed { lanes: 1 },
+        Algo::ShardedPinned { lanes: 1 },
+        Algo::SpscCasPipe,
+        Algo::SpscLlscPipe,
+    ] {
+        let s = algo.run(&cfg);
+        table.push_row(
+            algo.name(),
+            vec![Cell {
+                mean: ops / s.mean / 1e6,
+                stddev: ops * s.stddev / (s.mean * s.mean) / 1e6,
+            }],
+        );
+    }
+    table
+}
+
 /// In-text T3 helper: LL/SC-vs-CAS speed ratio out of a fig6a table.
 pub fn llsc_vs_cas_ratio(fig6a: &Table) -> Vec<(u64, f64)> {
     fig6a
@@ -1152,6 +1252,40 @@ mod tests {
             assert!(
                 cells.iter().all(|c| c.mean.is_finite() && c.mean >= 0.0),
                 "{label} attempts not finite"
+            );
+        }
+    }
+
+    #[test]
+    fn spsc_table_has_mpmc_rows_and_both_sharded_controls() {
+        let t = spsc(&[2, 4], &tiny());
+        assert_eq!(t.rows.len(), 4);
+        assert!(t.cell("FIFO Array Simulated CAS (pipe)", 2).is_some());
+        assert!(t.cell("Sharded mixed SPSC (lane per pair)", 4).is_some());
+        assert!(t.cell("Sharded pinned MPMC (lane per pair)", 4).is_some());
+        for (label, cells) in &t.rows {
+            assert!(
+                cells.iter().all(|c| c.mean > 0.0 && c.mean.is_finite()),
+                "{label} throughput not positive"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must be even")]
+    fn spsc_rejects_odd_thread_counts() {
+        spsc(&[3], &tiny());
+    }
+
+    #[test]
+    fn spsc_1p1c_table_includes_the_raw_ring() {
+        let t = spsc_1p1c(&tiny());
+        assert_eq!(t.rows.len(), 5);
+        assert!(t.cell("Wait-free SPSC ring (pipe)", 2).is_some());
+        for (label, cells) in &t.rows {
+            assert!(
+                cells.iter().all(|c| c.mean > 0.0 && c.mean.is_finite()),
+                "{label} throughput not positive"
             );
         }
     }

@@ -16,9 +16,10 @@
 //! `repro` binary restores the 100 000 × 50 parameters.
 
 use nbq_async::AsyncQueue;
+use nbq_core::ShardedQueue;
 use nbq_util::stats::Summary;
 use nbq_util::{BlockingQueue, ConcurrentQueue, QueueHandle};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Barrier};
 use std::time::Instant;
 
@@ -65,6 +66,18 @@ impl WorkloadConfig {
     /// Total operations across all threads in one run.
     pub fn total_ops(&self) -> u64 {
         (self.threads * self.iterations * self.burst * 2) as u64
+    }
+
+    /// Producer threads in the pipe (split) workload: half the threads,
+    /// rounded down, never zero.
+    pub fn pipe_producers(&self) -> usize {
+        (self.threads / 2).max(1)
+    }
+
+    /// Total operations in one pipe run: each produced value is enqueued
+    /// once and dequeued once.
+    pub fn pipe_total_ops(&self) -> u64 {
+        (self.pipe_producers() * self.iterations * self.burst * 2) as u64
     }
 }
 
@@ -301,6 +314,119 @@ where
     })
 }
 
+/// Pipe (split-role) variant of [`run_once`]: instead of every thread
+/// alternating enqueue and dequeue bursts, `threads/2` threads only
+/// produce and the rest only consume. This is the shape that exposes the
+/// SPSC crossover — at 2 threads it is exactly the 1-producer/1-consumer
+/// pipeline the wait-free ring is built for.
+///
+/// Producers push `iterations x burst` values each (retrying on `Full`);
+/// consumers pop until a shared countdown of outstanding values reaches
+/// zero. No deadlock bound is needed: consumers drain unconditionally, so
+/// a full queue always makes progress.
+pub fn run_once_pipe<Q: ConcurrentQueue<u64>>(queue: &Q, config: &WorkloadConfig) -> f64 {
+    assert!(
+        config.threads >= 2,
+        "a pipe needs at least one producer and one consumer"
+    );
+    let producers = config.pipe_producers();
+    let per_producer = (config.iterations * config.burst) as u64;
+    let remaining = AtomicU64::new(producers as u64 * per_producer);
+    let barrier = Barrier::new(config.threads);
+    let mut thread_secs = vec![0.0f64; config.threads];
+    std::thread::scope(|s| {
+        let mut joins = Vec::with_capacity(config.threads);
+        for t in 0..config.threads {
+            let barrier = &barrier;
+            let remaining = &remaining;
+            joins.push(s.spawn(move || {
+                let mut handle = queue.handle();
+                barrier.wait();
+                let start = Instant::now();
+                if t < producers {
+                    for seq in 0..per_producer {
+                        let value = ((t as u64) << 40) | seq;
+                        while handle.enqueue(value).is_err() {
+                            std::thread::yield_now();
+                        }
+                    }
+                } else {
+                    // Decrement only after a successful pop, so `remaining`
+                    // over-counts in-flight values and no consumer exits
+                    // while one is still reachable.
+                    while remaining.load(Ordering::Acquire) > 0 {
+                        if handle.dequeue().is_some() {
+                            remaining.fetch_sub(1, Ordering::AcqRel);
+                        } else {
+                            std::thread::yield_now();
+                        }
+                    }
+                }
+                start.elapsed().as_secs_f64()
+            }));
+        }
+        for (t, j) in joins.into_iter().enumerate() {
+            thread_secs[t] = j.join().expect("workload thread panicked");
+        }
+    });
+    thread_secs.iter().sum::<f64>() / config.threads as f64
+}
+
+/// Pipe variant over a [`ShardedQueue`] with *pinned* handles: producer
+/// `i` and consumer `i` both pin lane `i % lanes`, so with one pair per
+/// lane every lane sees exactly one producer and one consumer — the
+/// arrangement where an SPSC fast-path lane stays on its wait-free ring
+/// for the whole run.
+///
+/// Requires an even thread count (pairs). Each consumer pops exactly its
+/// pair's output; when several pairs share a lane the per-lane totals
+/// still balance, so every consumer terminates.
+pub fn run_once_pipe_pinned<Q: ConcurrentQueue<u64>>(
+    queue: &ShardedQueue<u64, Q>,
+    config: &WorkloadConfig,
+) -> f64 {
+    assert!(
+        config.threads >= 2 && config.threads % 2 == 0,
+        "the pinned pipe pairs each producer with one consumer"
+    );
+    let pairs = config.threads / 2;
+    let lanes = queue.lanes();
+    let per_producer = (config.iterations * config.burst) as u64;
+    let barrier = Barrier::new(config.threads);
+    let mut thread_secs = vec![0.0f64; config.threads];
+    std::thread::scope(|s| {
+        let mut joins = Vec::with_capacity(config.threads);
+        for t in 0..config.threads {
+            let barrier = &barrier;
+            joins.push(s.spawn(move || {
+                let pair = t % pairs;
+                let mut handle = queue.handle_pinned(pair % lanes);
+                barrier.wait();
+                let start = Instant::now();
+                if t < pairs {
+                    for seq in 0..per_producer {
+                        let value = ((pair as u64) << 40) | seq;
+                        while handle.enqueue(value).is_err() {
+                            std::thread::yield_now();
+                        }
+                    }
+                } else {
+                    for _ in 0..per_producer {
+                        while handle.dequeue().is_none() {
+                            std::thread::yield_now();
+                        }
+                    }
+                }
+                start.elapsed().as_secs_f64()
+            }));
+        }
+        for (t, j) in joins.into_iter().enumerate() {
+            thread_secs[t] = j.join().expect("workload thread panicked");
+        }
+    });
+    thread_secs.iter().sum::<f64>() / config.threads as f64
+}
+
 /// Runs `config.runs` fresh-queue runs of the workload and summarizes the
 /// per-run times.
 pub fn run_workload<Q, F>(factory: F, config: &WorkloadConfig) -> Summary
@@ -312,6 +438,37 @@ where
         .map(|_| {
             let queue = factory();
             run_once(&queue, config)
+        })
+        .collect();
+    Summary::of(&samples)
+}
+
+/// [`run_workload`] over the pipe (split-role) workload body.
+pub fn run_workload_pipe<Q, F>(factory: F, config: &WorkloadConfig) -> Summary
+where
+    Q: ConcurrentQueue<u64>,
+    F: Fn() -> Q,
+{
+    let samples: Vec<f64> = (0..config.runs)
+        .map(|_| {
+            let queue = factory();
+            run_once_pipe(&queue, config)
+        })
+        .collect();
+    Summary::of(&samples)
+}
+
+/// [`run_workload`] over the pinned pipe body; the factory builds a fresh
+/// [`ShardedQueue`] per run.
+pub fn run_workload_pipe_pinned<Q, F>(factory: F, config: &WorkloadConfig) -> Summary
+where
+    Q: ConcurrentQueue<u64>,
+    F: Fn() -> ShardedQueue<u64, Q>,
+{
+    let samples: Vec<f64> = (0..config.runs)
+        .map(|_| {
+            let queue = factory();
+            run_once_pipe_pinned(&queue, config)
         })
         .collect();
     Summary::of(&samples)
@@ -470,6 +627,72 @@ mod tests {
         };
         let s = run_workload_async(|| CasQueue::<u64>::with_capacity(cfg.capacity), &cfg);
         assert!(s.mean > 0.0);
+    }
+
+    #[test]
+    fn run_once_pipe_completes_and_leaves_queue_empty() {
+        let cfg = tiny();
+        let q = CasQueue::<u64>::with_capacity(cfg.capacity);
+        let secs = run_once_pipe(&q, &cfg);
+        assert!(secs > 0.0);
+        assert!(q.is_empty(), "consumers must drain every produced value");
+    }
+
+    #[test]
+    fn run_once_pipe_on_the_raw_spsc_ring() {
+        // 2 threads = exactly the 1p/1c arrangement the ring admits.
+        let cfg = tiny();
+        let q = nbq_core::SpscRing::<u64>::with_capacity(cfg.capacity);
+        let secs = run_once_pipe(&q, &cfg);
+        assert!(secs > 0.0);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn run_once_pipe_pinned_keeps_spsc_lanes_unpromoted() {
+        let cfg = WorkloadConfig {
+            threads: 4,
+            iterations: 50,
+            runs: 1,
+            capacity: 256,
+            burst: 5,
+        };
+        let q = nbq_core::ShardedQueue::with_config(
+            nbq_core::ShardedConfig::with_lanes(2).spsc_fast_path(),
+            |_| CasQueue::<u64>::with_capacity(cfg.capacity),
+        );
+        let secs = run_once_pipe_pinned(&q, &cfg);
+        assert!(secs > 0.0);
+        assert_eq!(q.len(), Some(0), "pairs must drain their lanes");
+        for lane in 0..q.lanes() {
+            assert_eq!(
+                q.lane_promoted(lane),
+                Some(false),
+                "one pair per lane must stay on the wait-free ring"
+            );
+        }
+    }
+
+    #[test]
+    fn run_workload_pipe_summarizes_runs() {
+        let cfg = tiny();
+        let s = run_workload_pipe(|| MutexQueue::<u64>::with_capacity(cfg.capacity), &cfg);
+        assert_eq!(s.n, 2);
+        assert!(s.mean > 0.0);
+    }
+
+    #[test]
+    fn pipe_total_ops_counts_producer_side_twice() {
+        let cfg = WorkloadConfig {
+            threads: 4,
+            iterations: 10,
+            runs: 1,
+            capacity: 64,
+            burst: 5,
+        };
+        // 2 producers x 10 x 5 values, each enqueued and dequeued once.
+        assert_eq!(cfg.pipe_total_ops(), 2 * 10 * 5 * 2);
+        assert_eq!(cfg.pipe_producers(), 2);
     }
 
     #[test]

@@ -58,6 +58,18 @@ pub enum Violation {
         /// The later-enqueued value that overtook it.
         second: u64,
     },
+    /// An SPSC history's consumer observed `got` at stream position
+    /// `index` where the producer's program order demanded `expected` —
+    /// the single-stream contract (dequeues are exactly a prefix of the
+    /// enqueue stream) admits no other interleaving.
+    SpscStreamMismatch {
+        /// Position in the consumer's dequeue stream.
+        index: usize,
+        /// The value the producer's order demanded at that position.
+        expected: u64,
+        /// The value actually dequeued.
+        got: u64,
+    },
 }
 
 impl fmt::Display for Violation {
@@ -85,6 +97,15 @@ impl fmt::Display for Violation {
                 f,
                 "per-producer FIFO inversion: thread {thread} enqueued {first} \
                  before {second} but {second} was dequeued strictly before {first}"
+            ),
+            Violation::SpscStreamMismatch {
+                index,
+                expected,
+                got,
+            } => write!(
+                f,
+                "SPSC stream mismatch at dequeue {index}: producer order \
+                 demands {expected}, consumer observed {got}"
             ),
         }
     }
@@ -266,6 +287,50 @@ pub fn check_per_producer_fifo(h: &History) -> Result<(), Violation> {
             if max_prefix.is_none_or(|(m, _)| b_deq_start > m) {
                 max_prefix = Some((b_deq_start, b));
             }
+        }
+    }
+    Ok(())
+}
+
+/// Strict single-stream FIFO check for 1-producer/1-consumer histories
+/// (`O(n log n)` for the two sorts).
+///
+/// An SPSC queue admits exactly one correct behavior: the consumer's
+/// dequeue stream is a contiguous prefix of the producer's enqueue
+/// stream, in order. This is much stronger than
+/// [`check_realtime_fifo`] — with one thread per side, both streams are
+/// program-ordered, so there is no overlapping-window slack to hide
+/// behind; every reordering, loss, or duplication surfaces as a
+/// position-by-position mismatch.
+///
+/// Runs [`check_value_integrity`] and [`check_per_producer_fifo`] first
+/// (so their violations keep their sharper names), then the prefix
+/// comparison. Histories from the wait-free SPSC ring and from a
+/// ShardedQueue lane pinned 1p/1c must pass this; a promoted (mixed)
+/// lane only owes the per-producer check.
+pub fn check_spsc_fifo(h: &History) -> Result<(), Violation> {
+    check_value_integrity(h)?;
+    check_per_producer_fifo(h)?;
+    // Program order per side: each side is one thread, whose ops are
+    // totally ordered by start time.
+    let mut enqs: Vec<(u64, u64)> = Vec::new(); // (start, value)
+    let mut deqs: Vec<(u64, u64)> = Vec::new();
+    for op in &h.ops {
+        match op.kind {
+            OpKind::Enqueue(v) => enqs.push((op.start, v)),
+            OpKind::Dequeue(Some(v)) => deqs.push((op.start, v)),
+            _ => {}
+        }
+    }
+    enqs.sort_unstable();
+    deqs.sort_unstable();
+    for (index, (&(_, got), &(_, expected))) in deqs.iter().zip(enqs.iter()).enumerate() {
+        if got != expected {
+            return Err(Violation::SpscStreamMismatch {
+                index,
+                expected,
+                got,
+            });
         }
     }
     Ok(())
@@ -497,5 +562,79 @@ mod tests {
             ops: vec![enq(0, 1, 0, 1), enq(0, 2, 2, 3), deq(1, Some(1), 4, 5)],
         };
         assert_eq!(check_per_producer_fifo(&h), Ok(()));
+    }
+
+    #[test]
+    fn spsc_accepts_a_clean_prefix() {
+        let h = History {
+            ops: vec![
+                enq(0, 1, 0, 1),
+                enq(0, 2, 2, 3),
+                enq(0, 3, 4, 5),
+                deq(1, Some(1), 2, 6),
+                deq(1, Some(2), 7, 8),
+            ],
+        };
+        assert_eq!(check_spsc_fifo(&h), Ok(()));
+    }
+
+    #[test]
+    fn spsc_rejects_overlap_slack_that_realtime_fifo_permits() {
+        // The dequeue windows overlap, so the MPMC real-time check is
+        // satisfied by linearizing them either way — but a single
+        // consumer has a program order, and it saw 2 before 1.
+        let h = History {
+            ops: vec![
+                enq(0, 1, 0, 1),
+                enq(0, 2, 2, 3),
+                deq(1, Some(2), 10, 30),
+                deq(1, Some(1), 11, 29),
+            ],
+        };
+        assert_eq!(check_realtime_fifo(&h), Ok(()));
+        assert_eq!(
+            check_spsc_fifo(&h),
+            Err(Violation::SpscStreamMismatch {
+                index: 0,
+                expected: 1,
+                got: 2
+            })
+        );
+    }
+
+    #[test]
+    fn spsc_rejects_a_hole_in_the_stream() {
+        // Value 2 vanished: 3 surfaces at the position 2 owned. The
+        // per-producer sweep already names this (2 lost while 3 came
+        // out), so that sharper violation is the one reported.
+        let h = History {
+            ops: vec![
+                enq(0, 1, 0, 1),
+                enq(0, 2, 2, 3),
+                enq(0, 3, 4, 5),
+                deq(1, Some(1), 6, 7),
+                deq(1, Some(3), 8, 9),
+            ],
+        };
+        assert_eq!(
+            check_spsc_fifo(&h),
+            Err(Violation::ProducerFifoInversion {
+                thread: 0,
+                first: 2,
+                second: 3
+            })
+        );
+    }
+
+    #[test]
+    fn spsc_still_reports_integrity_violations_by_name() {
+        let h = History {
+            ops: vec![
+                enq(0, 1, 0, 1),
+                deq(1, Some(1), 2, 3),
+                deq(1, Some(1), 4, 5),
+            ],
+        };
+        assert_eq!(check_spsc_fifo(&h), Err(Violation::DuplicateDequeue(1)));
     }
 }

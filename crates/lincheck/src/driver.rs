@@ -192,6 +192,64 @@ pub fn record_paper_workload<Q: ConcurrentQueue<u64>>(
     recorder.into_history()
 }
 
+/// Records a 1-producer/1-consumer pipe run: thread 0 enqueues `values`
+/// unique values in order (retrying on `Full`), thread 1 dequeues until
+/// it has collected them all. The strictest history shape in the crate —
+/// [`crate::checks::check_spsc_fifo`] applies, so the consumer's stream
+/// must be *exactly* the producer's.
+///
+/// Empty polls are not logged: the consumer may spin millions of times
+/// on an empty queue, and `Dequeue(None)` ops carry no information for
+/// the stream checks (the exhaustive search, which does model `None`,
+/// has its own small targeted histories).
+pub fn record_pipe_run<Q: ConcurrentQueue<u64>>(queue: &Q, values: usize) -> History {
+    let recorder = HistoryRecorder::new();
+    let barrier = Barrier::new(2);
+    std::thread::scope(|s| {
+        {
+            let recorder = &recorder;
+            let barrier = &barrier;
+            s.spawn(move || {
+                let mut log = recorder.log(0);
+                let mut handle = queue.handle();
+                barrier.wait();
+                for seq in 0..values as u64 {
+                    loop {
+                        let start = log.begin();
+                        let ok = handle.enqueue(seq).is_ok();
+                        log.end_enqueue(start, seq, ok);
+                        if ok {
+                            break;
+                        }
+                        std::thread::yield_now();
+                    }
+                }
+            });
+        }
+        {
+            let recorder = &recorder;
+            let barrier = &barrier;
+            s.spawn(move || {
+                let mut log = recorder.log(1);
+                let mut handle = queue.handle();
+                barrier.wait();
+                let mut collected = 0;
+                while collected < values {
+                    let start = log.begin();
+                    match handle.dequeue() {
+                        Some(v) => {
+                            log.end_dequeue(start, Some(v));
+                            collected += 1;
+                        }
+                        None => std::thread::yield_now(),
+                    }
+                }
+            });
+        }
+    });
+    recorder.into_history()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -317,6 +375,18 @@ mod tests {
             .count();
         assert!(full > 0, "batches larger than capacity must be cut short");
         check_history(&h).expect("partial batches must still be clean");
+    }
+
+    #[test]
+    fn pipe_driver_produces_a_strict_spsc_history() {
+        let q = RefQueue {
+            inner: Mutex::new(VecDeque::new()),
+            cap: 8,
+        };
+        let h = record_pipe_run(&q, 500);
+        assert_eq!(h.enqueue_count(), 500);
+        assert_eq!(h.dequeue_count(), 500);
+        crate::checks::check_spsc_fifo(&h).expect("mutex pipe must be a clean stream");
     }
 
     #[test]

@@ -38,4 +38,7 @@ pub mod stats;
 pub use backoff::Backoff;
 pub use blocking::{BlockingHandle, BlockingQueue};
 pub use pad::CachePadded;
-pub use queue::{BatchFull, Closed, ConcurrentQueue, Full, QueueHandle, TrySendError};
+pub use queue::{
+    Arity, BatchFull, Closed, ConcurrentQueue, Full, LaneFactory, QueueHandle, QueueKind,
+    TrySendError,
+};

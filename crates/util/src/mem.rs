@@ -119,6 +119,37 @@ relaxable! {
     /// only trusted after the versioned head CAS validates it, and pooled
     /// nodes are never individually freed, so a stale read is harmless.
     POOL_NEXT = Relaxed;
+    /// An SPSC ring endpoint's publication of its own monotone cursor
+    /// (producer's `tail` store after filling slots, consumer's `head`
+    /// store after draining them). Release: the slot writes/reads it
+    /// covers must be visible before the opposite endpoint trusts the new
+    /// cursor. This single store *is* the batched-publication point — a
+    /// native batch writes k slots and issues it once.
+    SPSC_PUBLISH = Release;
+    /// An SPSC ring endpoint's read of the *opposite* cursor (producer
+    /// reloading `head` when its shadow says full, consumer reloading
+    /// `tail` when its shadow says empty). Acquire pairs with
+    /// [`SPSC_PUBLISH`]; a stale value costs a spurious `Full`/`None`,
+    /// never safety, because each cursor is monotone.
+    SPSC_CURSOR_LOAD = Acquire;
+    /// An SPSC ring endpoint's read of its *own* cursor. Relaxed: the
+    /// endpoint is the only writer of that cursor, so it always reads its
+    /// own latest store.
+    SPSC_OWN_CURSOR = Relaxed;
+    /// Loads of a lane's arity-registration word (claimed-endpoint bits +
+    /// the sticky `PROMOTED` flag). Acquire pairs with [`ARITY_CAS`] so a
+    /// thread that observes a claim/promotion also observes the ring
+    /// state published before it. A stale read is conservative: a missed
+    /// promotion only delays a producer's switch to the MPMC lane, which
+    /// the ring-first dequeue rule tolerates by construction.
+    ARITY_LOAD = Acquire;
+    /// CASes on the arity-registration word (endpoint claim/release,
+    /// promotion). Release publishes the claimer's prior state; acquire
+    /// orders it behind the claim it replaces.
+    ARITY_CAS = AcqRel;
+    /// Failure ordering of arity CASes: the loaded word feeds straight
+    /// back into the claim/promote retry loop.
+    ARITY_CAS_FAIL = Relaxed;
 }
 
 /// CASes that install or remove a `CasQueue` reservation tag in a slot
@@ -189,6 +220,9 @@ mod tests {
             assert_eq!(CELL_SC, Ordering::SeqCst);
             assert_eq!(NODE_PUBLISH, Ordering::SeqCst);
             assert_eq!(POOL_CAS, Ordering::SeqCst);
+            assert_eq!(SPSC_PUBLISH, Ordering::SeqCst);
+            assert_eq!(SPSC_CURSOR_LOAD, Ordering::SeqCst);
+            assert_eq!(ARITY_CAS, Ordering::SeqCst);
             assert_eq!(mode(), "seqcst");
         } else {
             assert_eq!(INDEX_LOAD, Ordering::Acquire);
@@ -197,6 +231,11 @@ mod tests {
             assert_eq!(NODE_PUBLISH, Ordering::Release);
             assert_eq!(POOL_HEAD_LOAD, Ordering::Acquire);
             assert_eq!(POOL_CAS, Ordering::AcqRel);
+            assert_eq!(SPSC_PUBLISH, Ordering::Release);
+            assert_eq!(SPSC_CURSOR_LOAD, Ordering::Acquire);
+            assert_eq!(SPSC_OWN_CURSOR, Ordering::Relaxed);
+            assert_eq!(ARITY_LOAD, Ordering::Acquire);
+            assert_eq!(ARITY_CAS, Ordering::AcqRel);
             assert_eq!(mode(), "relaxed");
         }
     }
@@ -225,6 +264,7 @@ mod tests {
             CELL_SC_FAIL,
             TAG_CAS_FAIL,
             POOL_CAS_FAIL,
+            ARITY_CAS_FAIL,
         ] {
             assert!(matches!(
                 fail,

@@ -22,6 +22,19 @@ impl<T> Full<T> {
     pub fn into_inner(self) -> T {
         self.0
     }
+
+    /// Borrows the value that could not be enqueued, e.g. to log or
+    /// inspect it before deciding whether to retry.
+    pub fn get_ref(&self) -> &T {
+        &self.0
+    }
+
+    /// Maps the rejected value, preserving the error shape — the batch
+    /// and frontend adapters use this to rewrap payloads without
+    /// hand-destructuring the error.
+    pub fn map<U>(self, f: impl FnOnce(T) -> U) -> Full<U> {
+        Full(f(self.0))
+    }
 }
 
 impl<T> fmt::Debug for Full<T> {
@@ -123,6 +136,12 @@ impl<T> From<Closed<T>> for TrySendError<T> {
     }
 }
 
+impl<T> From<Full<T>> for TrySendError<T> {
+    fn from(e: Full<T>) -> Self {
+        TrySendError::Full(e.0)
+    }
+}
+
 /// Error returned by [`QueueHandle::enqueue_batch`] when the queue fills
 /// before the whole batch fits.
 ///
@@ -164,6 +183,123 @@ impl<T> fmt::Display for BatchFull<T> {
 }
 
 impl<T> std::error::Error for BatchFull<T> {}
+
+/// How many threads may drive one side (producer or consumer) of a
+/// queue concurrently.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Arity {
+    /// Exactly one thread at a time. Algorithms declaring this (e.g. a
+    /// wait-free SPSC ring) omit the synchronization a second thread
+    /// would need; a frontend must route around the limit or promote the
+    /// lane to a multi-arity algorithm before admitting the second
+    /// registrant.
+    Single,
+    /// Any number of threads.
+    Multi,
+}
+
+impl Arity {
+    /// Whether `n` concurrent threads are within this arity.
+    pub fn admits(self, n: usize) -> bool {
+        match self {
+            Arity::Single => n <= 1,
+            Arity::Multi => true,
+        }
+    }
+}
+
+/// Capability descriptor for a queue algorithm: which producer/consumer
+/// arities its synchronization envelope supports, and whether its
+/// per-operation progress bound is wait-free.
+///
+/// Frontends that compose queues (the sharded lane frontend, the async
+/// channel) plan routing from this descriptor instead of hard-wiring one
+/// algorithm: a [`Arity::Single`]-sided lane can be served on a CAS-free
+/// fast path while it has one registrant per side, with a dynamic
+/// *promotion* to an MPMC lane when a second registrant shows up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct QueueKind {
+    /// How many threads may enqueue concurrently.
+    pub producers: Arity,
+    /// How many threads may dequeue concurrently.
+    pub consumers: Arity,
+    /// Whether every operation completes in a bounded number of its own
+    /// steps (no unbounded CAS retry loops).
+    pub wait_free: bool,
+}
+
+impl QueueKind {
+    /// Multi-producer/multi-consumer, lock-free (the default contract of
+    /// every paper queue and baseline in the workspace).
+    pub const fn mpmc() -> Self {
+        Self {
+            producers: Arity::Multi,
+            consumers: Arity::Multi,
+            wait_free: false,
+        }
+    }
+
+    /// Single-producer/single-consumer, wait-free — the envelope of the
+    /// cache-aware SPSC ring lane.
+    pub const fn spsc_wait_free() -> Self {
+        Self {
+            producers: Arity::Single,
+            consumers: Arity::Single,
+            wait_free: true,
+        }
+    }
+
+    /// Whether `producers` enqueuing threads and `consumers` dequeuing
+    /// threads fit this kind's envelope.
+    pub fn admits(&self, producers: usize, consumers: usize) -> bool {
+        self.producers.admits(producers) && self.consumers.admits(consumers)
+    }
+
+    /// Whether both sides are [`Arity::Single`].
+    pub fn is_spsc(&self) -> bool {
+        self.producers == Arity::Single && self.consumers == Arity::Single
+    }
+}
+
+impl Default for QueueKind {
+    fn default() -> Self {
+        Self::mpmc()
+    }
+}
+
+/// Builds the lanes a sharded frontend composes.
+///
+/// The factory's [`LaneFactory::kind`] advertises the capability envelope
+/// of the lanes it will build, so a frontend can plan per-lane routing
+/// (e.g. whether an SPSC fast path is available) *before* construction.
+/// A plain `FnMut(usize) -> Q` closure is a `LaneFactory` via the blanket
+/// impl, advertising the conservative [`QueueKind::mpmc`] envelope — all
+/// pre-existing construction call sites keep working unchanged.
+pub trait LaneFactory<T: Send> {
+    /// The queue type of every lane this factory builds.
+    type Lane: ConcurrentQueue<T>;
+
+    /// The capability envelope of the lanes this factory builds.
+    fn kind(&self) -> QueueKind {
+        QueueKind::mpmc()
+    }
+
+    /// Builds lane number `lane`.
+    fn make_lane(&mut self, lane: usize) -> Self::Lane;
+}
+
+impl<T, Q, F> LaneFactory<T> for F
+where
+    T: Send,
+    Q: ConcurrentQueue<T>,
+    F: FnMut(usize) -> Q,
+{
+    type Lane = Q;
+
+    fn make_lane(&mut self, lane: usize) -> Q {
+        self(lane)
+    }
+}
 
 /// Per-thread access point to a concurrent FIFO queue.
 ///
@@ -273,6 +409,16 @@ pub trait ConcurrentQueue<T: Send>: Send + Sync {
 
     /// A short human-readable algorithm name used in harness tables.
     fn algorithm_name(&self) -> &'static str;
+
+    /// The capability envelope of this queue; see [`QueueKind`].
+    ///
+    /// The default is the conservative [`QueueKind::mpmc`] contract every
+    /// pre-existing queue in the workspace satisfies; arity-restricted
+    /// algorithms (the SPSC ring) override it so composing frontends can
+    /// route accordingly.
+    fn kind(&self) -> QueueKind {
+        QueueKind::mpmc()
+    }
 }
 
 /// Convenience: run one enqueue through a fresh handle.
@@ -401,6 +547,74 @@ mod tests {
             cap: 0,
         };
         assert_eq!(h.enqueue_batch(std::iter::empty()).unwrap(), 0);
+    }
+
+    #[test]
+    fn full_get_ref_and_map() {
+        let f = Full(21u32);
+        assert_eq!(*f.get_ref(), 21);
+        let doubled = f.map(|v| v * 2);
+        assert_eq!(doubled.into_inner(), 42);
+    }
+
+    #[test]
+    fn full_converts_into_try_send_error() {
+        let e: TrySendError<u8> = Full(9u8).into();
+        assert!(e.is_full() && !e.is_closed());
+        assert_eq!(e.into_inner(), 9);
+    }
+
+    #[test]
+    fn queue_kind_envelopes() {
+        let mpmc = QueueKind::mpmc();
+        assert!(mpmc.admits(64, 64));
+        assert!(!mpmc.is_spsc());
+        assert!(!mpmc.wait_free);
+        assert_eq!(QueueKind::default(), mpmc);
+
+        let spsc = QueueKind::spsc_wait_free();
+        assert!(spsc.is_spsc());
+        assert!(spsc.wait_free);
+        assert!(spsc.admits(1, 1));
+        assert!(spsc.admits(0, 1));
+        assert!(!spsc.admits(2, 1));
+        assert!(!spsc.admits(1, 2));
+        assert!(Arity::Single.admits(0) && Arity::Single.admits(1));
+        assert!(!Arity::Single.admits(2));
+        assert!(Arity::Multi.admits(1000));
+    }
+
+    /// Trivial queue to pin down the `kind()` default and the closure
+    /// blanket `LaneFactory` impl.
+    struct Tiny;
+
+    impl ConcurrentQueue<u8> for Tiny {
+        type Handle<'q> = TinyHandle;
+        fn handle(&self) -> TinyHandle {
+            TinyHandle {
+                items: Vec::new(),
+                cap: 1,
+            }
+        }
+        fn capacity(&self) -> Option<usize> {
+            Some(1)
+        }
+        fn algorithm_name(&self) -> &'static str {
+            "tiny"
+        }
+    }
+
+    #[test]
+    fn kind_defaults_to_mpmc() {
+        assert_eq!(Tiny.kind(), QueueKind::mpmc());
+    }
+
+    #[test]
+    fn closures_are_lane_factories_with_mpmc_kind() {
+        let mut factory = |_lane: usize| Tiny;
+        assert_eq!(LaneFactory::<u8>::kind(&factory), QueueKind::mpmc());
+        let lane = LaneFactory::<u8>::make_lane(&mut factory, 0);
+        assert_eq!(lane.algorithm_name(), "tiny");
     }
 
     #[test]

@@ -138,14 +138,18 @@
 pub use nbq_async as aio;
 pub use nbq_async::AsyncQueue;
 pub use nbq_baselines as baselines;
-pub use nbq_core::{BatchPolicy, CasQueue, LlScQueue, ShardedConfig, ShardedQueue};
+pub use nbq_core::{
+    ArityRegistry, BatchPolicy, CasQueue, LanePolicy, LlScQueue, ShardedConfig, ShardedQueue,
+    SpscRing,
+};
 pub use nbq_harness as harness;
 pub use nbq_hazard as hazard;
 pub use nbq_lincheck as lincheck;
 pub use nbq_llsc as llsc;
 pub use nbq_mcas as mcas;
 pub use nbq_util::{
-    Backoff, BatchFull, BlockingQueue, CachePadded, ConcurrentQueue, Full, QueueHandle,
+    Arity, Backoff, BatchFull, BlockingQueue, CachePadded, ConcurrentQueue, Full, LaneFactory,
+    QueueHandle, QueueKind, TrySendError,
 };
 
 /// One-line import for the common case: the two paper queues plus the
@@ -161,6 +165,10 @@ pub use nbq_util::{
 /// ```
 pub mod prelude {
     pub use nbq_async::AsyncQueue;
-    pub use nbq_core::{BatchPolicy, CasQueue, LlScQueue, ShardedConfig, ShardedQueue};
-    pub use nbq_util::{BatchFull, ConcurrentQueue, Full, QueueHandle};
+    pub use nbq_core::{
+        BatchPolicy, CasQueue, LanePolicy, LlScQueue, ShardedConfig, ShardedQueue, SpscRing,
+    };
+    pub use nbq_util::{
+        Arity, BatchFull, ConcurrentQueue, Full, LaneFactory, QueueHandle, QueueKind, TrySendError,
+    };
 }

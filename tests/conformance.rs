@@ -6,7 +6,10 @@ use nbq::baselines::{
     HerlihyWingQueue, LmsQueue, MsDohertyQueue, MsQueue, MutexQueue, ScanMode, ShannQueue,
     TreiberQueue, TsigasZhangQueue, ValoisQueue,
 };
-use nbq::{CasQueue, ConcurrentQueue, LlScQueue, QueueHandle};
+use nbq::{
+    CasQueue, ConcurrentQueue, LanePolicy, LlScQueue, QueueHandle, ShardedConfig, ShardedQueue,
+    SpscRing,
+};
 
 /// FIFO order, empty semantics, interleaving, value ownership.
 fn conformance_suite<Q: ConcurrentQueue<String>>(make: impl Fn(usize) -> Q) {
@@ -254,6 +257,109 @@ fn valois_conformance() {
     bounded_batch_suite(ValoisQueue::<String>::with_capacity);
     bounded_suite(ValoisQueue::<String>::with_capacity);
     drop_suite(ValoisQueue::<DropCounter>::with_capacity);
+}
+
+/// One sharded queue per lane kind, all over the same inner factory, so
+/// the suites exercise the `LanePolicy` axis rather than the inner queue.
+fn sharded_kind<T: Send>(
+    lanes: usize,
+    policy: LanePolicy,
+    cap: usize,
+) -> ShardedQueue<T, CasQueue<T>> {
+    let mut config = ShardedConfig::with_lanes(lanes);
+    config.lane_policy = policy;
+    ShardedQueue::with_config(config, |_| CasQueue::with_capacity(cap))
+}
+
+#[test]
+fn sharded_mpmc_lane_conformance() {
+    conformance_suite(|cap| sharded_kind::<String>(1, LanePolicy::Mpmc, cap));
+    batch_suite(|cap| sharded_kind::<String>(1, LanePolicy::Mpmc, cap));
+    bounded_suite(|cap| sharded_kind::<String>(1, LanePolicy::Mpmc, cap));
+    bounded_batch_suite(|cap| sharded_kind::<String>(1, LanePolicy::Mpmc, cap));
+    drop_suite(|cap| sharded_kind::<DropCounter>(1, LanePolicy::Mpmc, cap));
+}
+
+#[test]
+fn sharded_spsc_lane_conformance() {
+    // On a single fast-path lane every handle lands on lane 0, so the
+    // suites' producers and consumers claim the ring endpoints and the
+    // whole run stays on the wait-free path. The bounded suites are
+    // deliberately absent: `capacity()` sums the ring and MPMC bounds,
+    // and an unpromoted producer only reaches the ring's share.
+    conformance_suite(|cap| sharded_kind::<String>(1, LanePolicy::SpscFastPath, cap));
+    batch_suite(|cap| sharded_kind::<String>(1, LanePolicy::SpscFastPath, cap));
+    drop_suite(|cap| sharded_kind::<DropCounter>(1, LanePolicy::SpscFastPath, cap));
+}
+
+#[test]
+fn spsc_ring_conformance() {
+    // The raw ring is a bona fide `ConcurrentQueue` for one producer and
+    // one consumer; every single-threaded suite fits that arity.
+    conformance_suite(SpscRing::<String>::with_capacity);
+    batch_suite(SpscRing::<String>::with_capacity);
+    bounded_suite(SpscRing::<String>::with_capacity);
+    bounded_batch_suite(SpscRing::<String>::with_capacity);
+    drop_suite(SpscRing::<DropCounter>::with_capacity);
+}
+
+#[test]
+fn sharded_mixed_lanes_keep_per_lane_fifo_under_pinning() {
+    let q = sharded_kind::<String>(4, LanePolicy::SpscFastPath, 8);
+    for lane in 0..4 {
+        assert!(q.lane_has_fast_path(lane));
+        let mut h = q.handle_pinned(lane);
+        for i in 0..5 {
+            h.enqueue(format!("l{lane}v{i}")).unwrap();
+        }
+    }
+    assert_eq!(ConcurrentQueue::len(&q), Some(20));
+    for lane in 0..4 {
+        let mut h = q.handle_pinned(lane);
+        for i in 0..5 {
+            assert_eq!(
+                h.dequeue().as_deref(),
+                Some(format!("l{lane}v{i}").as_str()),
+                "lane {lane} keeps strict FIFO on its own stream"
+            );
+        }
+    }
+    assert_eq!(ConcurrentQueue::is_empty(&q), Some(true));
+}
+
+/// ISSUE misuse case: a second live producer on an SPSC lane is not
+/// corruption — it promotes the lane to its MPMC queue, and every value
+/// from both producers survives the switch.
+#[test]
+fn second_producer_on_an_spsc_lane_promotes_not_corrupts() {
+    let q = sharded_kind::<u64>(1, LanePolicy::SpscFastPath, 64);
+    let mut first = q.handle_pinned(0);
+    let mut second = q.handle_pinned(0);
+
+    first.enqueue(1).unwrap();
+    assert_eq!(q.lane_promoted(0), Some(false));
+    // The second registrant trips the arity registry: the lane promotes
+    // instead of letting two pushers race the wait-free ring.
+    second.enqueue(2).unwrap();
+    assert_eq!(q.lane_promoted(0), Some(true));
+    first.enqueue(3).unwrap();
+    second.enqueue(4).unwrap();
+
+    let mut got = Vec::new();
+    let mut consumer = q.handle_pinned(0);
+    while let Some(v) = consumer.dequeue() {
+        got.push(v);
+    }
+    // Per-producer order survives promotion even though the global
+    // interleaving is unspecified.
+    let pos = |v: u64| got.iter().position(|&x| x == v).unwrap();
+    assert!(pos(1) < pos(3), "first producer's stream stays ordered");
+    assert!(pos(2) < pos(4), "second producer's stream stays ordered");
+    got.sort_unstable();
+    assert_eq!(got, vec![1, 2, 3, 4], "no value lost or duplicated");
+    assert_eq!(ConcurrentQueue::len(&q), Some(0));
+    // Promotion is sticky: the lane stays on the MPMC path.
+    assert_eq!(q.lane_promoted(0), Some(true));
 }
 
 #[test]

@@ -11,7 +11,8 @@ use nbq::lincheck::{
 };
 use nbq::llsc::{FaultPlan, LlScCell, OracleCell, VersionedCell, WeakCell};
 use nbq::{
-    BatchPolicy, CasQueue, ConcurrentQueue, LlScQueue, QueueHandle, ShardedConfig, ShardedQueue,
+    BatchPolicy, CasQueue, ConcurrentQueue, LanePolicy, LlScQueue, QueueHandle, ShardedConfig,
+    ShardedQueue,
 };
 use proptest::prelude::*;
 use std::collections::{HashSet, VecDeque};
@@ -268,6 +269,7 @@ proptest! {
             lanes,
             steal_attempts: lanes.saturating_sub(1),
             batch_policy: if stripe { BatchPolicy::Stripe } else { BatchPolicy::Pin },
+            lane_policy: LanePolicy::Mpmc,
         };
         let q = ShardedQueue::with_config(config, |_| {
             CasQueue::<u64>::with_capacity(per_lane_cap)

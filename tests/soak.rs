@@ -17,7 +17,9 @@ use nbq::lincheck::{
     check_history, check_per_producer_fifo, check_value_integrity, record_batch_run,
     record_paper_workload, record_run, DriverConfig,
 };
-use nbq::{BatchPolicy, CasQueue, ConcurrentQueue, LlScQueue, ShardedConfig, ShardedQueue};
+use nbq::{
+    BatchPolicy, CasQueue, ConcurrentQueue, LanePolicy, LlScQueue, ShardedConfig, ShardedQueue,
+};
 
 fn soak_cfg(threads: usize, iterations: usize) -> WorkloadConfig {
     WorkloadConfig {
@@ -179,6 +181,7 @@ fn sharded_batch_recorded_histories() {
             lanes: 4,
             steal_attempts: 3,
             batch_policy: policy,
+            lane_policy: LanePolicy::Mpmc,
         };
         let q = ShardedQueue::with_config(config, |_| CasQueue::<u64>::with_capacity(4096));
         let h = record_batch_run(&q, cfg, 5);

@@ -5,8 +5,13 @@
 
 use nbq::baselines::{MsDohertyQueue, MsQueue, ScanMode, ShannQueue, TsigasZhangQueue};
 use nbq::harness::{run_once, WorkloadConfig};
-use nbq::lincheck::{check_per_producer_fifo, check_value_integrity, record_run, DriverConfig};
-use nbq::{CasQueue, ConcurrentQueue, LlScQueue, QueueHandle, ShardedQueue};
+use nbq::lincheck::{
+    check_per_producer_fifo, check_spsc_fifo, check_value_integrity, record_pipe_run, record_run,
+    DriverConfig,
+};
+use nbq::{
+    CasQueue, ConcurrentQueue, LlScQueue, QueueHandle, ShardedConfig, ShardedQueue, SpscRing,
+};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
@@ -366,6 +371,92 @@ fn sharded_full_pressure_steals_conserve_values() {
 }
 
 #[test]
+fn spsc_ring_recorded_history_is_a_strict_stream() {
+    // The raw wait-free ring through the instrumented 1p/1c pipe: the
+    // consumer's stream must be exactly the producer's, position by
+    // position — the strictest check in the lincheck crate.
+    for capacity in [2usize, 8, 64] {
+        let q = SpscRing::<u64>::with_capacity(capacity);
+        let h = record_pipe_run(&q, 20_000);
+        check_spsc_fifo(&h).unwrap_or_else(|v| panic!("spsc ring (cap {capacity}): {v}"));
+        assert!(q.is_empty());
+    }
+}
+
+#[test]
+fn spsc_pinned_lane_recorded_history_is_a_strict_stream() {
+    // A single mixed lane behind the sharded frontend, driven 1p/1c: the
+    // lane must stay on its wait-free ring (never promote) and its
+    // history must satisfy the same strict stream contract as the raw
+    // ring.
+    let q = ShardedQueue::with_config(ShardedConfig::with_lanes(1).spsc_fast_path(), |_| {
+        CasQueue::<u64>::with_capacity(256)
+    });
+    let h = record_pipe_run(&q, 20_000);
+    check_spsc_fifo(&h).unwrap_or_else(|v| panic!("pinned SPSC lane: {v}"));
+    assert_eq!(
+        q.lane_promoted(0),
+        Some(false),
+        "one producer and one consumer must never promote the lane"
+    );
+    assert_eq!(q.len(), Some(0));
+}
+
+#[test]
+fn mixed_sharded_paper_workload_oversubscribed() {
+    // The mixed (SPSC fast-path) frontend under the same oversubscribed
+    // MPMC workload as the plain sharded queue: concurrent producers
+    // racing onto the same lane promote it, and the run must still
+    // balance and drain through the ring-then-MPMC handoff. (Promotion
+    // itself is not asserted: with heavy oversubscription a thread can
+    // finish its whole loop and release its ring claim before the next
+    // thread's first enqueue, in which case the producers were serial and
+    // the lane legitimately stays wait-free.)
+    let cfg = stress_cfg(8);
+    for lanes in [2usize, 4] {
+        let per_lane = cfg.capacity.div_ceil(lanes);
+        let q =
+            ShardedQueue::with_config(ShardedConfig::with_lanes(lanes).spsc_fast_path(), |_| {
+                CasQueue::<u64>::with_capacity(per_lane)
+            });
+        run_once(&q, &cfg);
+        assert_eq!(q.is_empty(), Some(true), "sharded-mixed-{lanes} must drain");
+        for lane in 0..lanes {
+            assert!(
+                q.lane_has_fast_path(lane),
+                "every lane of the mixed frontend carries a ring"
+            );
+        }
+    }
+}
+
+#[test]
+fn mixed_sharded_recorded_histories_keep_values_across_promotion() {
+    // Randomized mixed workload over SPSC fast-path lanes: handles race
+    // to claim ring endpoints, lose, promote, and drain residue — and
+    // the recorded history must still show value integrity and
+    // per-producer FIFO (promotion switches a producer to the MPMC path
+    // only at an exact-empty instant, so its stream never interleaves
+    // across the two structures).
+    let cfg = DriverConfig {
+        threads: 6,
+        ops_per_thread: 1_000,
+        enqueue_percent: 50,
+        seed: 0x59_5C_u64,
+    };
+    for lanes in [1usize, 2, 4] {
+        let q =
+            ShardedQueue::with_config(ShardedConfig::with_lanes(lanes).spsc_fast_path(), |_| {
+                CasQueue::<u64>::with_capacity(1024)
+            });
+        let h = record_run(&q, cfg);
+        check_value_integrity(&h).unwrap_or_else(|v| panic!("sharded-mixed-{lanes}: {v}"));
+        check_per_producer_fifo(&h)
+            .unwrap_or_else(|v| panic!("sharded-mixed-{lanes} producer order: {v}"));
+    }
+}
+
+#[test]
 fn mixed_queue_sizes_under_contention() {
     // Tiny arrays maximize wraparound (index laps) under contention —
     // the regime where index-ABA bugs would bite.
@@ -475,6 +566,13 @@ fn litmus_message_passing_tsigas_zhang() {
         ),
         LITMUS_ROUNDS,
     );
+}
+
+#[test]
+fn litmus_message_passing_spsc_ring() {
+    // The ring's single release-store publish against its acquire load:
+    // any weaker pairing shows up as a torn/stale payload here.
+    mp_litmus(&SpscRing::<Box<Payload>>::with_capacity(64), LITMUS_ROUNDS);
 }
 
 #[test]
