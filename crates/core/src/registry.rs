@@ -202,7 +202,12 @@ impl Registry {
 /// Promotion is one-way and conservative: slots can be *released* (an
 /// endpoint handle dropping with nothing left to do) and re-claimed by a
 /// later thread, but once two registrants have raced for one side the lane
-/// stays promoted for the queue's lifetime.
+/// stays promoted for the queue's lifetime. On a promoted lane the plain
+/// claims fail — the `PROMOTED` check rides in the claim CAS loop itself,
+/// so claim-vs-promote is decided atomically — and only the consumer side
+/// may be re-claimed (via [`ArityRegistry::try_reclaim_consumer`]) to
+/// drain residue: a post-promotion *producer* claim would strand values
+/// behind consumers that already cached the ring as dead.
 pub struct ArityRegistry {
     state: AtomicU8,
 }
@@ -222,10 +227,15 @@ impl ArityRegistry {
         }
     }
 
-    fn try_claim(&self, bit: u8) -> bool {
+    /// Claim CAS loop. `allow_promoted` selects whether a set `PROMOTED`
+    /// flag rejects the claim: the check rides in the same CAS retry
+    /// loop as the endpoint bit, so claim-vs-promote ordering is decided
+    /// by a single CAS on the shared word — a claim can never slip in
+    /// between a promotion check and its CAS.
+    fn try_claim(&self, bit: u8, allow_promoted: bool) -> bool {
         let mut s = self.state.load(mem::ARITY_LOAD);
         loop {
-            if s & bit != 0 {
+            if s & bit != 0 || (!allow_promoted && s & ARITY_PROMOTED != 0) {
                 return false;
             }
             match self
@@ -242,14 +252,29 @@ impl ArityRegistry {
         self.state.fetch_and(!bit, mem::ARITY_CAS);
     }
 
-    /// Claims the producer endpoint slot; `false` if already held.
+    /// Claims the producer endpoint slot; `false` if already held **or
+    /// the lane is promoted**. Promotion-blocking is load-bearing: once
+    /// a consumer has observed `promoted && !producer_claimed` plus an
+    /// empty ring it may cache the ring as dead forever, so no new ring
+    /// producer may ever appear on a promoted lane.
     pub fn try_claim_producer(&self) -> bool {
-        self.try_claim(ARITY_PROD)
+        self.try_claim(ARITY_PROD, false)
     }
 
-    /// Claims the consumer endpoint slot; `false` if already held.
+    /// Claims the consumer endpoint slot; `false` if already held or the
+    /// lane is promoted (see [`ArityRegistry::try_claim_producer`]).
     pub fn try_claim_consumer(&self) -> bool {
-        self.try_claim(ARITY_CONS)
+        self.try_claim(ARITY_CONS, false)
+    }
+
+    /// Claims the consumer endpoint slot even on a promoted lane;
+    /// `false` only if already held. Consumer-side claims are safe after
+    /// promotion — a consumer can only *drain* the ring, so it can never
+    /// invalidate another consumer's cached ring-deadness — and the
+    /// mixed-lane reclaim path needs exactly this to pick up residue a
+    /// departed endpoint holder left behind.
+    pub fn try_reclaim_consumer(&self) -> bool {
+        self.try_claim(ARITY_CONS, true)
     }
 
     /// Releases the producer endpoint slot. Callers must hold it.
@@ -332,6 +357,56 @@ mod tests {
         assert!(a.producer_claimed(), "promotion does not revoke a claim");
         a.release_producer();
         assert!(a.promoted(), "promotion survives releases");
+    }
+
+    #[test]
+    fn arity_claims_are_promotion_blocked() {
+        let a = ArityRegistry::new();
+        a.promote();
+        assert!(
+            !a.try_claim_producer(),
+            "no new ring producer may appear on a promoted lane"
+        );
+        assert!(
+            !a.try_claim_consumer(),
+            "plain consumer claim is blocked too"
+        );
+        assert!(
+            a.try_reclaim_consumer(),
+            "the reclaim variant permits promotion (residue draining)"
+        );
+        a.release_consumer();
+        assert!(
+            a.try_reclaim_consumer(),
+            "reclaim is repeatable after release"
+        );
+        assert!(
+            !a.try_reclaim_consumer(),
+            "reclaim still respects the endpoint bit"
+        );
+    }
+
+    #[test]
+    fn arity_promote_races_claim_to_one_outcome() {
+        // Promote and claim race on the same word: whatever interleaving
+        // the scheduler picks, a successful claim on a promoted registry
+        // is impossible to observe afterwards.
+        for _ in 0..200 {
+            let a = ArityRegistry::new();
+            let claimed = std::thread::scope(|s| {
+                let t = s.spawn(|| a.try_claim_producer());
+                a.promote();
+                t.join().unwrap()
+            });
+            assert!(a.promoted());
+            if claimed {
+                // The claim won the race: it must have landed before the
+                // promotion edge, never after it.
+                assert!(a.producer_claimed());
+            } else {
+                assert!(!a.producer_claimed());
+            }
+        }
     }
 
     #[test]

@@ -67,14 +67,38 @@
 //!   first MPMC item is enqueued — so per-producer FIFO survives
 //!   promotion with no drain/transfer machinery.
 //! * Consumers on a promoted lane drain **ring first**, then fall
-//!   through to the MPMC queue; once the producer side is released and
-//!   the ring observed empty, promotion's stickiness guarantees no new
-//!   ring producer can ever appear, so the handle caches the lane as
-//!   ring-dead and pays pure MPMC cost from then on.
+//!   through to the MPMC queue; once the producer side is observed
+//!   released *and the ring verified empty after that observation*, the
+//!   handle caches the lane as ring-dead and pays pure MPMC cost from
+//!   then on. The order matters: endpoint claims are promotion-blocked
+//!   (the `PROMOTED` check rides inside the claim CAS loop), so no new
+//!   ring producer can ever appear on a promoted lane, and the acquire
+//!   read of the released claim orders any value the departing producer
+//!   pushed — emptiness confirmed after that read holds forever.
+//! * **Stealing probes are read-only.** A handle whose consumer role on
+//!   a lane is still unresolved and that merely *probes* the lane (it is
+//!   not the handle's affinity lane) never claims-or-promotes just for
+//!   looking: it takes the ring's consumer endpoint only when the ring
+//!   actually holds work (draining residue is productive), and otherwise
+//!   reads only the MPMC queue. Without this, any workload with ≥ 2
+//!   stealing consumers would promote every lane almost immediately.
+//!   Producer-side resolution stays eager: an enqueue probe only happens
+//!   on `Full` and always lands a value, and an MPMC enqueue on a
+//!   fast-path lane *requires* promotion to be visible to a ring-role
+//!   consumer.
 //!
 //! Dropping a handle releases its endpoint claims, so strictly
 //! sequential handle turnover (thread pools) keeps the fast path alive.
-//! See DESIGN.md §10 for the full promotion state machine.
+//! Ring residue left by a departed claimant is drained by whichever
+//! consumer next observes it (re-claim on the consumer side is permitted
+//! even after promotion, producer-side never). See DESIGN.md §10 for the
+//! full promotion state machine.
+//!
+//! `capacity()` under [`LanePolicy::SpscFastPath`] reports the
+//! conservative reachable bound — each lane's MPMC capacity, to which
+//! the lane's ring is sized — so `enqueue` on a lane never reports
+//! `Full` below the lane's advertised share; `len()` may transiently
+//! exceed `capacity()` on a promoted lane carrying ring residue.
 //!
 //! # Batches
 //!
@@ -376,7 +400,11 @@ impl<'q, T: Send, Q: ConcurrentQueue<T> + 'q> ShardedHandle<'q, T, Q> {
             return;
         }
         self.roles[lane].prod = match &self.lanes[lane].ring {
-            Some(ring) if !ring.arity().promoted() && ring.arity().try_claim_producer() => {
+            // The claim itself rejects promoted lanes inside its CAS
+            // loop, so claim-vs-promote is decided by a single CAS: a
+            // new ring producer can never slip onto a lane whose
+            // consumers already cached the ring as dead.
+            Some(ring) if ring.arity().try_claim_producer() => {
                 ProdRole::Ring(ring.producer_cursor())
             }
             Some(ring) => {
@@ -397,7 +425,7 @@ impl<'q, T: Send, Q: ConcurrentQueue<T> + 'q> ShardedHandle<'q, T, Q> {
             return;
         }
         self.roles[lane].cons = match &self.lanes[lane].ring {
-            Some(ring) if !ring.arity().promoted() && ring.arity().try_claim_consumer() => {
+            Some(ring) if ring.arity().try_claim_consumer() => {
                 ConsRole::Ring(ring.consumer_cursor())
             }
             Some(ring) => {
@@ -465,10 +493,47 @@ impl<'q, T: Send, Q: ConcurrentQueue<T> + 'q> ShardedHandle<'q, T, Q> {
         self.handles[lane].enqueue_batch(items)
     }
 
+    /// Dequeue from a lane this handle is merely probing (stealing into
+    /// with its consumer role still unresolved): strictly read-only with
+    /// respect to the lane's fast path. Probes never promote, and claim
+    /// the ring's consumer endpoint only when the ring actually holds
+    /// work — a handle *looking* at an empty fast-path lane must not
+    /// degrade the pinned pair that owns it.
+    fn probe_dequeue(&mut self, lane: usize) -> Option<T> {
+        if let Some(ring) = &self.lanes[lane].ring {
+            if !ring.is_empty() && ring.arity().try_reclaim_consumer() {
+                let mut cur = ring.consumer_cursor();
+                // SAFETY: the claim above grants sole-popper.
+                let popped = unsafe { ring.pop(&mut cur) };
+                if popped.is_some() {
+                    // The probe found ring work: adopt the endpoint. The
+                    // caller's migration makes this the affinity lane.
+                    self.roles[lane].cons = ConsRole::Ring(cur);
+                    return popped;
+                }
+                // Raced with the ring draining: hand the endpoint back
+                // and stay unresolved.
+                ring.arity().release_consumer();
+            }
+        }
+        self.handles[lane].dequeue()
+    }
+
     /// Dequeue from one specific lane, routed by this handle's role
     /// there. On a promoted lane the ring drains first, preserving the
     /// ring producer's FIFO order across the switch.
+    ///
+    /// Every `RingDead` transition below observes the arity word
+    /// **before** re-verifying emptiness: the acquire load that sees the
+    /// producer claim released orders any prior ring publication, and
+    /// promotion-blocked claims mean no *new* ring producer can appear —
+    /// so "empty after the claim observation" really does mean empty
+    /// forever. Checking in the stale order (emptiness first) can strand
+    /// a value pushed between the two reads.
     fn lane_dequeue(&mut self, lane: usize) -> Option<T> {
+        if lane != self.cursor && matches!(self.roles[lane].cons, ConsRole::Unknown) {
+            return self.probe_dequeue(lane);
+        }
         self.resolve_cons(lane);
         match &mut self.roles[lane].cons {
             ConsRole::Ring(cur) => {
@@ -484,9 +549,16 @@ impl<'q, T: Send, Q: ConcurrentQueue<T> + 'q> ShardedHandle<'q, T, Q> {
                     return None;
                 }
                 if !ring.arity().producer_claimed() {
-                    // Promotion is sticky, so no new ring producer can
-                    // ever claim: with the producer side released and the
-                    // ring observed empty, it is empty forever.
+                    // Re-poll *after* observing the released claim: a
+                    // value pushed just before the release is published
+                    // by the release/acquire pair on the arity word.
+                    // SAFETY: as above.
+                    if let Some(v) = unsafe { ring.pop(cur) } {
+                        return Some(v);
+                    }
+                    // Promotion is sticky and claims are promotion-
+                    // blocked, so no new ring producer can ever appear:
+                    // the ring is empty forever.
                     ring.arity().release_consumer();
                     self.roles[lane].cons = ConsRole::RingDead;
                 }
@@ -494,20 +566,22 @@ impl<'q, T: Send, Q: ConcurrentQueue<T> + 'q> ShardedHandle<'q, T, Q> {
             }
             ConsRole::Mpmc => {
                 if let Some(ring) = &self.lanes[lane].ring {
-                    if ring.is_empty() {
-                        if ring.arity().promoted() && !ring.arity().producer_claimed() {
-                            self.roles[lane].cons = ConsRole::RingDead;
+                    // Claim state first, emptiness second (see above).
+                    let producer_gone = ring.arity().promoted() && !ring.arity().producer_claimed();
+                    if !ring.is_empty() {
+                        if ring.arity().try_reclaim_consumer() {
+                            // Reclaim: drain ring residue left behind by
+                            // a departed consumer before MPMC items.
+                            let mut cur = ring.consumer_cursor();
+                            // SAFETY: the claim above grants sole-popper.
+                            let popped = unsafe { ring.pop(&mut cur) };
+                            self.roles[lane].cons = ConsRole::Ring(cur);
+                            if popped.is_some() {
+                                return popped;
+                            }
                         }
-                    } else if ring.arity().try_claim_consumer() {
-                        // Reclaim: drain ring residue left behind by a
-                        // departed consumer before serving MPMC items.
-                        let mut cur = ring.consumer_cursor();
-                        // SAFETY: the claim above grants sole-popper.
-                        let popped = unsafe { ring.pop(&mut cur) };
-                        self.roles[lane].cons = ConsRole::Ring(cur);
-                        if popped.is_some() {
-                            return popped;
-                        }
+                    } else if producer_gone {
+                        self.roles[lane].cons = ConsRole::RingDead;
                     }
                 }
                 self.handles[lane].dequeue()
@@ -517,9 +591,36 @@ impl<'q, T: Send, Q: ConcurrentQueue<T> + 'q> ShardedHandle<'q, T, Q> {
         }
     }
 
+    /// Batch analog of [`ShardedHandle::probe_dequeue`]: read-only with
+    /// respect to the lane's fast path unless the ring holds work.
+    fn probe_dequeue_batch(&mut self, lane: usize, out: &mut Vec<T>, max: usize) -> usize {
+        let mut taken = 0usize;
+        if let Some(ring) = &self.lanes[lane].ring {
+            if !ring.is_empty() && ring.arity().try_reclaim_consumer() {
+                let mut cur = ring.consumer_cursor();
+                // SAFETY: the claim above grants sole-popper.
+                taken = unsafe { ring.pop_batch(&mut cur, out, max) };
+                if taken > 0 {
+                    self.roles[lane].cons = ConsRole::Ring(cur);
+                } else {
+                    ring.arity().release_consumer();
+                }
+            }
+        }
+        if taken < max {
+            taken += self.handles[lane].dequeue_batch(out, max - taken);
+        }
+        taken
+    }
+
     /// Batch dequeue from one specific lane; the ring path publishes the
-    /// moved `head` once for the whole batch.
+    /// moved `head` once for the whole batch. `RingDead` transitions
+    /// follow the same claim-observation-before-emptiness order as
+    /// [`ShardedHandle::lane_dequeue`].
     fn lane_dequeue_batch(&mut self, lane: usize, out: &mut Vec<T>, max: usize) -> usize {
+        if lane != self.cursor && matches!(self.roles[lane].cons, ConsRole::Unknown) {
+            return self.probe_dequeue_batch(lane, out, max);
+        }
         self.resolve_cons(lane);
         match &mut self.roles[lane].cons {
             ConsRole::Ring(cur) => {
@@ -528,11 +629,19 @@ impl<'q, T: Send, Q: ConcurrentQueue<T> + 'q> ShardedHandle<'q, T, Q> {
                     .as_ref()
                     .expect("ring role implies a ring");
                 // SAFETY: this handle holds the consumer claim.
-                let got = unsafe { ring.pop_batch(cur, out, max) };
+                let mut got = unsafe { ring.pop_batch(cur, out, max) };
                 if got == max || !ring.arity().promoted() {
                     return got;
                 }
-                if !ring.arity().producer_claimed() && ring.is_empty() {
+                if !ring.arity().producer_claimed() {
+                    // Re-poll after observing the released claim (the
+                    // short first poll forces a fresh `tail` read), then
+                    // the ring is verifiably empty forever.
+                    // SAFETY: as above.
+                    got += unsafe { ring.pop_batch(cur, out, max - got) };
+                    if got == max {
+                        return got;
+                    }
                     ring.arity().release_consumer();
                     self.roles[lane].cons = ConsRole::RingDead;
                 }
@@ -541,15 +650,17 @@ impl<'q, T: Send, Q: ConcurrentQueue<T> + 'q> ShardedHandle<'q, T, Q> {
             ConsRole::Mpmc => {
                 let mut taken = 0usize;
                 if let Some(ring) = &self.lanes[lane].ring {
-                    if ring.is_empty() {
-                        if ring.arity().promoted() && !ring.arity().producer_claimed() {
-                            self.roles[lane].cons = ConsRole::RingDead;
+                    // Claim state first, emptiness second.
+                    let producer_gone = ring.arity().promoted() && !ring.arity().producer_claimed();
+                    if !ring.is_empty() {
+                        if ring.arity().try_reclaim_consumer() {
+                            let mut cur = ring.consumer_cursor();
+                            // SAFETY: the claim above grants sole-popper.
+                            taken = unsafe { ring.pop_batch(&mut cur, out, max) };
+                            self.roles[lane].cons = ConsRole::Ring(cur);
                         }
-                    } else if ring.arity().try_claim_consumer() {
-                        let mut cur = ring.consumer_cursor();
-                        // SAFETY: the claim above grants sole-popper.
-                        taken = unsafe { ring.pop_batch(&mut cur, out, max) };
-                        self.roles[lane].cons = ConsRole::Ring(cur);
+                    } else if producer_gone {
+                        self.roles[lane].cons = ConsRole::RingDead;
                     }
                 }
                 if taken < max {
@@ -725,13 +836,20 @@ impl<T: Send, Q: ConcurrentQueue<T>> ConcurrentQueue<T> for ShardedQueue<T, Q> {
     }
 
     fn capacity(&self) -> Option<usize> {
-        // A fast-path lane can hold its ring's items *in addition to*
-        // its MPMC queue's, so the bound sums both.
-        self.lanes.iter().try_fold(0usize, |acc, lane| {
-            lane.mpmc
-                .capacity()
-                .map(|c| acc + c + lane.ring.as_ref().map_or(0, |r| r.capacity()))
-        })
+        // Conservative reachable bound: only the MPMC capacities. A
+        // fast-path lane's ring is sized to the *same* bound and serves
+        // as the lane's storage instead of (not on top of) the MPMC
+        // queue for an unpromoted producer, so any single producer can
+        // place at least a lane's reported share before seeing `Full`.
+        // Summing ring + MPMC would over-report: an unpromoted ring
+        // producer can only reach the ring's half, surfacing `Full`
+        // while `len()` is far below the advertised capacity. The price
+        // of the conservative bound is the other direction — `len()` on
+        // a promoted lane holding both ring residue and MPMC items may
+        // transiently exceed `capacity()`.
+        self.lanes
+            .iter()
+            .try_fold(0usize, |acc, lane| lane.mpmc.capacity().map(|c| acc + c))
     }
 
     fn len(&self) -> Option<usize> {
@@ -1012,10 +1130,12 @@ mod tests {
     }
 
     #[test]
-    fn mixed_capacity_and_len_include_rings() {
+    fn mixed_capacity_is_reachable_and_len_includes_rings() {
         let q = mixed_cas(2, 8);
-        // Each lane: 8 (MPMC) + 8 (ring).
-        assert_eq!(ConcurrentQueue::capacity(&q), Some(32));
+        // Conservative reachable bound: each lane reports only its MPMC
+        // share (the ring is sized to the same figure, as the lane's
+        // alternative storage, not extra storage).
+        assert_eq!(ConcurrentQueue::capacity(&q), Some(16));
         let mut h = q.handle_pinned(0);
         for i in 0..5 {
             h.enqueue(i).unwrap();
@@ -1024,6 +1144,109 @@ mod tests {
         // counted by the frontend.
         assert_eq!(ConcurrentQueue::len(q.lane(0)), Some(0));
         assert_eq!(ConcurrentQueue::len(&q), Some(5));
+    }
+
+    #[test]
+    fn fast_path_lane_fills_to_its_advertised_capacity() {
+        // The bounded contract a fast-path lane must honor: a pinned
+        // producer reaches the lane's full reported share before `Full`.
+        let q = mixed_cas(1, 8);
+        assert_eq!(ConcurrentQueue::capacity(&q), Some(8));
+        let mut h = q.handle_pinned(0);
+        for i in 0..8 {
+            h.enqueue(i).unwrap();
+        }
+        assert!(h.enqueue(8).is_err(), "Full only at the advertised bound");
+        assert_eq!(ConcurrentQueue::len(&q), Some(8));
+    }
+
+    #[test]
+    fn probing_consumers_do_not_promote_fast_path_lanes() {
+        let q = mixed_cas(2, 8);
+        // A pinned 1p/1c pair owns lane 0's ring endpoints.
+        let mut p = q.handle_pinned(0);
+        let mut c = q.handle_pinned(0);
+        p.enqueue(1).unwrap();
+        assert_eq!(c.dequeue(), Some(1));
+        // A stealing handle homed on lane 1 probes lane 0 while empty:
+        // the read-only probe must not claim or promote anything.
+        let mut stealer = q.make_handle(1, 1);
+        assert_eq!(stealer.dequeue(), None);
+        assert_eq!(q.lane_promoted(0), Some(false), "probe must not promote");
+        p.enqueue(2).unwrap();
+        assert_eq!(c.dequeue(), Some(2), "pinned pair keeps its fast path");
+        assert_eq!(q.lane_promoted(0), Some(false));
+    }
+
+    #[test]
+    fn probing_consumer_drains_abandoned_nonempty_ring() {
+        let q = mixed_cas(2, 8);
+        {
+            let mut p = q.handle_pinned(0);
+            p.enqueue(7).unwrap();
+        } // p drops: ring residue, both endpoints free
+        let mut stealer = q.make_handle(1, 1);
+        assert_eq!(stealer.dequeue(), Some(7), "probes do take real ring work");
+        assert_eq!(q.lane_promoted(0), Some(false));
+    }
+
+    #[test]
+    fn no_new_ring_producer_after_promotion() {
+        let q = mixed_cas(1, 8);
+        let mut a = q.handle_pinned(0);
+        let mut b = q.handle_pinned(0);
+        a.enqueue(1).unwrap(); // a holds the ring producer endpoint
+        b.enqueue(2).unwrap(); // promotes
+        drop(a); // residue 1 in the ring, producer side released
+        let mut c = q.handle_pinned(0);
+        c.enqueue(3).unwrap();
+        // c must have landed on the MPMC queue: a post-promotion ring
+        // producer could strand values behind RingDead-cached consumers.
+        assert_eq!(ConcurrentQueue::len(q.lane(0)), Some(2), "2 and 3 on MPMC");
+        let got: Vec<u64> = std::iter::from_fn(|| b.dequeue()).collect();
+        assert_eq!(got.len(), 3, "ring residue and both MPMC values drain");
+        assert!(got.contains(&1) && got.contains(&2) && got.contains(&3));
+    }
+
+    #[test]
+    fn racing_producer_release_never_strands_ring_values() {
+        // Regression for the stale-emptiness RingDead hazard: a consumer
+        // that observes an empty unpromoted ring, while a producer
+        // pushes, a second producer promotes, and the first drops
+        // (releasing its claim with residue in the ring), must still
+        // drain every value — the deadness check re-verifies emptiness
+        // *after* observing the released producer claim.
+        for _ in 0..300 {
+            let q = mixed_cas(1, 8);
+            std::thread::scope(|s| {
+                s.spawn(|| {
+                    let mut p = q.handle_pinned(0);
+                    p.enqueue(1).unwrap();
+                    drop(p); // release mid-stream, possibly with residue
+                    let mut p2 = q.handle_pinned(0);
+                    p2.enqueue(2).unwrap();
+                });
+                s.spawn(|| {
+                    let mut p = q.handle_pinned(0);
+                    p.enqueue(3).unwrap();
+                });
+                s.spawn(|| {
+                    let mut c = q.handle_pinned(0);
+                    let mut got = 0u32;
+                    let mut spins = 0u64;
+                    while got < 3 {
+                        if c.dequeue().is_some() {
+                            got += 1;
+                        } else {
+                            spins += 1;
+                            assert!(spins < 500_000_000, "values stranded: got {got}/3");
+                            std::hint::spin_loop();
+                        }
+                    }
+                    assert_eq!(c.dequeue(), None);
+                });
+            });
+        }
     }
 
     #[test]

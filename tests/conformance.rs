@@ -284,11 +284,14 @@ fn sharded_mpmc_lane_conformance() {
 fn sharded_spsc_lane_conformance() {
     // On a single fast-path lane every handle lands on lane 0, so the
     // suites' producers and consumers claim the ring endpoints and the
-    // whole run stays on the wait-free path. The bounded suites are
-    // deliberately absent: `capacity()` sums the ring and MPMC bounds,
-    // and an unpromoted producer only reaches the ring's share.
+    // whole run stays on the wait-free path. The bounded suites apply
+    // too: `capacity()` reports the conservative reachable bound (the
+    // MPMC share, to which the ring is sized), so an unpromoted ring
+    // producer fills exactly to the advertised capacity before `Full`.
     conformance_suite(|cap| sharded_kind::<String>(1, LanePolicy::SpscFastPath, cap));
     batch_suite(|cap| sharded_kind::<String>(1, LanePolicy::SpscFastPath, cap));
+    bounded_suite(|cap| sharded_kind::<String>(1, LanePolicy::SpscFastPath, cap));
+    bounded_batch_suite(|cap| sharded_kind::<String>(1, LanePolicy::SpscFastPath, cap));
     drop_suite(|cap| sharded_kind::<DropCounter>(1, LanePolicy::SpscFastPath, cap));
 }
 
