@@ -26,6 +26,14 @@
 //! (one contract, two executors — see DESIGN.md §9): [`AsyncQueue::close`]
 //! wakes every waiter, later sends fail with [`Closed`] carrying the
 //! value back, and receivers drain the queue before resolving to `None`.
+//!
+//! The vendored `tokio` stand-in that drives these futures in tests and
+//! experiments is a genuine **work-stealing** runtime (per-worker run
+//! queues + LIFO slots, injection queue for external spawns — DESIGN.md
+//! §11), so the `ext-async*` numbers measure the queue, not a
+//! single-queue executor bottleneck; its scheduler counters can be folded
+//! into a queue's [`OpStats`] via
+//! [`AsyncQueue::record_executor_counters`].
 
 #![warn(missing_docs)]
 
@@ -107,9 +115,31 @@ impl<T: Send, Q: ConcurrentQueue<T>> AsyncQueue<T, Q> {
 
     /// Waker-traffic counters, if built via [`AsyncQueue::with_stats`]:
     /// `waker_registrations`, `waker_wakes`, and `spurious_polls` (polls
-    /// that lost the post-wake race and re-parked).
+    /// that lost the post-wake race and re-parked), plus the executor
+    /// scheduler counters folded in via
+    /// [`AsyncQueue::record_executor_counters`].
     pub fn stats(&self) -> Option<&OpStats> {
         self.stats.as_deref()
+    }
+
+    /// Folds one run's executor scheduler counters (the work-stealing
+    /// runtime's `steals`/`steal_batches`/`lifo_hits`/`injection_polls`/
+    /// `parks`, i.e. `tokio::runtime::RuntimeMetrics`) into this queue's
+    /// stats block, so scheduler behaviour lands next to waker traffic in
+    /// one snapshot. No-op when stats are disabled. Plain integers keep
+    /// this crate free of a runtime dependency — the harness reads the
+    /// metrics and passes them through.
+    pub fn record_executor_counters(
+        &self,
+        steals: u64,
+        steal_batches: u64,
+        lifo_hits: u64,
+        injection_polls: u64,
+        parks: u64,
+    ) {
+        if let Some(s) = self.stats() {
+            s.record_executor_counters(steals, steal_batches, lifo_hits, injection_polls, parks);
+        }
     }
 
     /// Capacity of the wrapped queue, if bounded.

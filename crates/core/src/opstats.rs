@@ -65,6 +65,18 @@ pub struct OpStats {
     /// Async polls that found the queue still unavailable after a wake
     /// (another task won the race) and re-registered.
     pub spurious_polls: AtomicU64,
+    /// Tasks moved between executor run queues by steal operations
+    /// during the run (mirrored from the runtime's scheduler counters by
+    /// the harness; see `tokio::runtime::RuntimeMetrics`).
+    pub executor_steals: AtomicU64,
+    /// Successful executor steal-half batches.
+    pub executor_steal_batches: AtomicU64,
+    /// Tasks the executor polled straight from a worker's LIFO slot.
+    pub executor_lifo_hits: AtomicU64,
+    /// Tasks the executor polled out of its shared injection queue.
+    pub executor_injection_polls: AtomicU64,
+    /// Times an executor worker parked during the run.
+    pub executor_parks: AtomicU64,
 }
 
 /// A point-in-time, per-operation view of the counters.
@@ -105,6 +117,16 @@ pub struct OpStatsSnapshot {
     pub waker_wakes: u64,
     /// Total spurious async polls (absolute count).
     pub spurious_polls: u64,
+    /// Total tasks moved by executor steals (absolute count).
+    pub executor_steals: u64,
+    /// Total executor steal batches (absolute count).
+    pub executor_steal_batches: u64,
+    /// Total executor LIFO-slot polls (absolute count).
+    pub executor_lifo_hits: u64,
+    /// Total executor injection-queue polls (absolute count).
+    pub executor_injection_polls: u64,
+    /// Total executor worker parks (absolute count).
+    pub executor_parks: u64,
 }
 
 impl OpStats {
@@ -135,6 +157,11 @@ impl OpStats {
             waker_registrations: self.waker_registrations.load(Ordering::Relaxed),
             waker_wakes: self.waker_wakes.load(Ordering::Relaxed),
             spurious_polls: self.spurious_polls.load(Ordering::Relaxed),
+            executor_steals: self.executor_steals.load(Ordering::Relaxed),
+            executor_steal_batches: self.executor_steal_batches.load(Ordering::Relaxed),
+            executor_lifo_hits: self.executor_lifo_hits.load(Ordering::Relaxed),
+            executor_injection_polls: self.executor_injection_polls.load(Ordering::Relaxed),
+            executor_parks: self.executor_parks.load(Ordering::Relaxed),
         }
     }
 
@@ -157,6 +184,30 @@ impl OpStats {
     #[inline]
     pub fn record_spurious_poll(&self) {
         Self::bump(&self.spurious_polls);
+    }
+
+    /// Folds one run's executor scheduler counters (steals, steal
+    /// batches, LIFO-slot hits, injection-queue polls, worker parks)
+    /// into the stats block. Public for the same reason as the waker
+    /// recorders: the runtime and harness live outside this crate and
+    /// mirror `tokio::runtime::RuntimeMetrics` in after each run.
+    #[inline]
+    pub fn record_executor_counters(
+        &self,
+        steals: u64,
+        steal_batches: u64,
+        lifo_hits: u64,
+        injection_polls: u64,
+        parks: u64,
+    ) {
+        self.executor_steals.fetch_add(steals, Ordering::Relaxed);
+        self.executor_steal_batches
+            .fetch_add(steal_batches, Ordering::Relaxed);
+        self.executor_lifo_hits
+            .fetch_add(lifo_hits, Ordering::Relaxed);
+        self.executor_injection_polls
+            .fetch_add(injection_polls, Ordering::Relaxed);
+        self.executor_parks.fetch_add(parks, Ordering::Relaxed);
     }
 
     /// Classifies where a node acquisition came from. A `Refill` both

@@ -25,6 +25,11 @@
 //!                                    on a tokio multi-thread runtime vs
 //!                                    the raw and blocking frontends,
 //!                                    plus waiter-registry event rates
+//!   latency                          extension: end-to-end p50/p99/p999
+//!                                    per-op latency for the blocking and
+//!                                    async frontends, work-stealing vs
+//!                                    injection-only executor, plus the
+//!                                    scheduler counters behind them
 //!   spsc                             extension: wait-free SPSC fast-path
 //!                                    lanes vs MPMC on split-role pipes
 //!                                    (even --threads only), plus the
@@ -58,7 +63,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: repro <fig6a|fig6b|fig6c|fig6d|overhead|caswidth|opcounts|ablate-scan|\
          ablate-reregister|ablate-capacity|ablate-backoff|modern|batch|ordering|sharding|alloc|\
-         async|spsc|all> \
+         async|latency|spsc|all> \
          [--threads 1,2,4] [--lanes 2,4,8] [--iters N] [--runs N] [--capacity N] \
          [--csv DIR] [--paper]"
     );
@@ -232,10 +237,38 @@ fn run_async(args: &Args) {
     );
     println!(
         "async rows run one tokio task per paper thread on the vendored \
-         multi-thread runtime (single injection queue — a conservative \
-         floor, see vendor/tokio); shrink --capacity to make futures \
-         actually park"
+         work-stealing runtime (see vendor/tokio and `repro latency` for \
+         the scheduler-mode comparison); shrink --capacity to make \
+         futures actually park"
     );
+}
+
+/// The `latency` experiment: end-to-end latency distributions for the
+/// blocking and async frontends with the executor in both scheduler
+/// modes, plus the scheduler-counter table explaining the difference.
+fn run_latency(args: &Args) {
+    emit(
+        &experiments::async_latency(&args.threads, &args.config),
+        &args.csv,
+    );
+    emit(
+        &experiments::steal_counters(&args.threads, &args.config),
+        &args.csv,
+    );
+    if tokio::runtime::injection_only_build() {
+        println!(
+            "this binary was built with --features injection-only: only the \
+             control scheduler exists, so the work-stealing rows are omitted"
+        );
+    } else {
+        println!(
+            "async rows run one task per paper thread on the vendored \
+             work-stealing runtime (per-worker run queues + LIFO slots, \
+             DESIGN.md §11); the injection-only rows force every task \
+             through the shared queue — the pre-work-stealing scheduler, \
+             kept as the control"
+        );
+    }
 }
 
 /// The `spsc` experiment: the crossover sweep (even thread counts; the
@@ -361,6 +394,9 @@ fn main() -> ExitCode {
         "async" => {
             run_async(&args);
         }
+        "latency" => {
+            run_latency(&args);
+        }
         "spsc" => {
             run_spsc(&args);
         }
@@ -432,6 +468,7 @@ fn main() -> ExitCode {
             run_sharding(&args);
             run_alloc(&args);
             run_async(&args);
+            run_latency(&args);
             run_spsc(&args);
         }
         other => {

@@ -788,8 +788,10 @@ pub fn sharding_opstats(thread_counts: &[usize], lanes: usize, base: &WorkloadCo
 /// the raw rows spin (cheapest under this balanced workload), the
 /// blocking rows pay a mutex+condvar per park, the async rows pay a
 /// lock-free waiter-slot push plus an executor reschedule. Async rows
-/// run on the vendored tokio stand-in (single injection queue), so they
-/// are a conservative floor, never an inflated ceiling.
+/// run on the vendored tokio stand-in's work-stealing scheduler
+/// (per-worker run queues + LIFO slots; see [`async_latency`] for the
+/// scheduler-mode comparison and the latency distributions behind these
+/// throughputs).
 pub fn async_frontend(thread_counts: &[usize], base: &WorkloadConfig) -> Table {
     use crate::workload::run_workload_blocking;
     use nbq_core::CasQueue;
@@ -927,6 +929,214 @@ pub fn async_wakers(thread_counts: &[usize], base: &WorkloadConfig) -> Table {
     table.push_row("waker registrations", registrations);
     table.push_row("wakes issued", wakes);
     table.push_row("spurious polls", spurious);
+    table
+}
+
+/// `ext-async-latency`: end-to-end per-operation latency distributions
+/// (p50/p99/p999 for enqueue and dequeue, p99 for the echo) plus
+/// throughput, for the condvar blocking frontend and the async frontend
+/// under both executor schedulers — the work-stealing scheduler and its
+/// single-injection-queue control (`injection_only`).
+///
+/// Two async workload shapes per scheduler: the balanced paper shape
+/// (each task alternates bursts; echo = one full burst iteration), and
+/// the split-role *pipe* shape (half senders, half receivers, one burst
+/// of capacity headroom per producer; echo = in-queue transit time from
+/// `send` to `recv`). The pipe rows are the scheduler-sensitive ones:
+/// every value's delivery rides a park → wake → re-poll round trip, so
+/// the wake path (worker LIFO slot vs shared injection mutex) is the
+/// critical path.
+///
+/// Latencies include parking and reschedule time (that is the point:
+/// the async rows measure the *executor round trip*, not just the queue
+/// op), quantized ≤ 3.1% by [`nbq_util::LatencyHistogram`]. The unit is
+/// `mixed`: each row label carries its own unit (Mops/s or µs).
+///
+/// Under a `--features injection-only` build the work-stealing scheduler
+/// does not exist, so its rows are omitted rather than silently measuring
+/// the control twice.
+pub fn async_latency(thread_counts: &[usize], base: &WorkloadConfig) -> Table {
+    use crate::workload::{
+        run_workload_async_latency, run_workload_async_split_latency,
+        run_workload_blocking_latency, LatencyReport,
+    };
+    use nbq_core::CasQueue;
+    use nbq_util::LatencyHistogram;
+
+    let mut table = Table::new(
+        "ext-async-latency",
+        "End-to-end latency and throughput: blocking vs async frontends \
+         (CAS queue), work-stealing vs injection-only executor",
+        "threads",
+        "mixed",
+        thread_counts.iter().map(|&t| t as u64).collect(),
+    );
+
+    // One (total ops, summary, capture) per column, per frontend.
+    type Runs = Vec<(f64, Summary, LatencyReport)>;
+    type HistPick = fn(&LatencyReport) -> &LatencyHistogram;
+    let collect = |f: &dyn Fn(&WorkloadConfig) -> (f64, Summary, LatencyReport)| -> Runs {
+        thread_counts
+            .iter()
+            .map(|&threads| f(&WorkloadConfig { threads, ..*base }))
+            .collect()
+    };
+    // The split-role (pipe) rows park on every rate mismatch: one burst
+    // of headroom per producer, so each value's delivery rides the
+    // executor's wake path (this is where the schedulers differ).
+    let pipe_cfg = |cfg: &WorkloadConfig| WorkloadConfig {
+        capacity: (cfg.pipe_producers() * cfg.burst).min(cfg.capacity),
+        ..*cfg
+    };
+    let stealing = !tokio::runtime::injection_only_build();
+    let mut frontends: Vec<(&str, Runs)> = vec![(
+        "blocking (condvar)",
+        collect(&|cfg| {
+            let (s, r) =
+                run_workload_blocking_latency(|| CasQueue::<u64>::with_capacity(cfg.capacity), cfg);
+            (cfg.total_ops() as f64, s, r)
+        }),
+    )];
+    for (label, injection_only) in [
+        ("async (work-stealing)", false),
+        ("async (injection-only)", true),
+    ] {
+        if !injection_only && !stealing {
+            continue;
+        }
+        frontends.push((
+            label,
+            collect(&|cfg| {
+                let (s, r, _) = run_workload_async_latency(
+                    || CasQueue::<u64>::with_capacity(cfg.capacity),
+                    cfg,
+                    injection_only,
+                );
+                (cfg.total_ops() as f64, s, r)
+            }),
+        ));
+    }
+    for (label, injection_only) in [
+        ("async pipe (work-stealing)", false),
+        ("async pipe (injection-only)", true),
+    ] {
+        if !injection_only && !stealing {
+            continue;
+        }
+        frontends.push((
+            label,
+            collect(&|cfg| {
+                let cfg = pipe_cfg(cfg);
+                let (s, r, _) = run_workload_async_split_latency(
+                    || CasQueue::<u64>::with_capacity(cfg.capacity),
+                    &cfg,
+                    injection_only,
+                );
+                (cfg.pipe_total_ops() as f64, s, r)
+            }),
+        ));
+    }
+
+    for (frontend, runs) in &frontends {
+        let tput: Vec<Cell> = runs
+            .iter()
+            .map(|(ops, s, _)| Cell {
+                mean: ops / s.mean / 1e6,
+                // First-order error propagation: d(ops/t) = ops * dt / t^2.
+                stddev: ops * s.stddev / (s.mean * s.mean) / 1e6,
+            })
+            .collect();
+        table.push_row(&format!("{frontend} throughput (Mops/s)"), tput);
+        let hist_of: [(&str, HistPick); 2] =
+            [("enqueue", |r| &r.enqueue), ("dequeue", |r| &r.dequeue)];
+        for (op, pick) in hist_of {
+            for (q_label, q) in [("p50", 0.50), ("p99", 0.99), ("p999", 0.999)] {
+                let cells: Vec<Cell> = runs
+                    .iter()
+                    .map(|(_, _, r)| Cell {
+                        mean: pick(r).quantile_ns(q) as f64 / 1e3,
+                        stddev: 0.0,
+                    })
+                    .collect();
+                table.push_row(&format!("{frontend} {op} {q_label} (us)"), cells);
+            }
+        }
+        let echo: Vec<Cell> = runs
+            .iter()
+            .map(|(_, _, r)| Cell {
+                mean: r.echo.quantile_ns(0.99) as f64 / 1e3,
+                stddev: 0.0,
+            })
+            .collect();
+        table.push_row(&format!("{frontend} echo p99 (us)"), echo);
+    }
+    table
+}
+
+/// `ext-steal`: the work-stealing executor's scheduler counters under the
+/// split-role async pipe workload (the parking-heavy shape of
+/// [`async_latency`]), per 1000 completed queue operations — steals,
+/// steal batches, LIFO-slot hits, injection-queue polls, and parks — for
+/// both scheduler modes. The injection-only control's rows pin the
+/// baseline: zero steals and LIFO hits by construction, every poll
+/// through the shared queue.
+///
+/// Under a `--features injection-only` build only the control rows exist.
+pub fn steal_counters(thread_counts: &[usize], base: &WorkloadConfig) -> Table {
+    use crate::workload::run_workload_async_split_latency;
+    use nbq_core::CasQueue;
+
+    let mut table = Table::new(
+        "ext-steal",
+        "Executor scheduler counters per 1000 async queue ops, by mode",
+        "threads",
+        "events/kop",
+        thread_counts.iter().map(|&t| t as u64).collect(),
+    );
+    let mut modes: Vec<(&str, bool)> = Vec::new();
+    if !tokio::runtime::injection_only_build() {
+        modes.push(("work-stealing", false));
+    }
+    modes.push(("injection-only", true));
+    for (mode, injection_only) in modes {
+        let mut rows: [(&str, Vec<Cell>); 5] = [
+            ("steals", Vec::new()),
+            ("steal batches", Vec::new()),
+            ("lifo hits", Vec::new()),
+            ("injection polls", Vec::new()),
+            ("parks", Vec::new()),
+        ];
+        for &threads in thread_counts {
+            let cfg = WorkloadConfig { threads, ..*base };
+            let cfg = WorkloadConfig {
+                capacity: (cfg.pipe_producers() * cfg.burst).min(cfg.capacity),
+                ..cfg
+            };
+            let (_, _, m) = run_workload_async_split_latency(
+                || CasQueue::<u64>::with_capacity(cfg.capacity),
+                &cfg,
+                injection_only,
+            );
+            // Counters are cumulative over all runs on the one runtime.
+            let kops = (cfg.pipe_total_ops() * cfg.runs as u64) as f64 / 1e3;
+            let counts = [
+                m.steals,
+                m.steal_batches,
+                m.lifo_hits,
+                m.injection_polls,
+                m.parks,
+            ];
+            for (row, count) in rows.iter_mut().zip(counts) {
+                row.1.push(Cell {
+                    mean: count as f64 / kops,
+                    stddev: 0.0,
+                });
+            }
+        }
+        for (label, cells) in rows {
+            table.push_row(&format!("{label} [{mode}]"), cells);
+        }
+    }
     table
 }
 
@@ -1252,6 +1462,65 @@ mod tests {
             assert!(
                 cells.iter().all(|c| c.mean.is_finite() && c.mean >= 0.0),
                 "{label} attempts not finite"
+            );
+        }
+    }
+
+    #[test]
+    fn async_latency_table_has_throughput_and_quantile_rows() {
+        let t = async_latency(&[1, 2], &tiny());
+        // 8 rows per frontend: blocking + two injection-only shapes
+        // always, plus two work-stealing shapes unless this build forces
+        // the control.
+        let frontends = if tokio::runtime::injection_only_build() {
+            3
+        } else {
+            5
+        };
+        assert_eq!(t.rows.len(), 8 * frontends);
+        assert!(t
+            .cell("async pipe (injection-only) echo p99 (us)", 2)
+            .is_some());
+        assert!(t
+            .cell("async (injection-only) throughput (Mops/s)", 2)
+            .is_some());
+        assert!(t.cell("blocking (condvar) enqueue p99 (us)", 1).is_some());
+        for (label, cells) in &t.rows {
+            assert!(
+                cells.iter().all(|c| c.mean.is_finite() && c.mean >= 0.0),
+                "{label} not finite"
+            );
+        }
+        // p50 <= p99 <= p999 within each op's row triple.
+        for frontend in ["blocking (condvar)", "async (injection-only)"] {
+            for op in ["enqueue", "dequeue"] {
+                let p50 = t.cell(&format!("{frontend} {op} p50 (us)"), 2).unwrap();
+                let p99 = t.cell(&format!("{frontend} {op} p99 (us)"), 2).unwrap();
+                let p999 = t.cell(&format!("{frontend} {op} p999 (us)"), 2).unwrap();
+                assert!(p50.mean <= p99.mean && p99.mean <= p999.mean);
+            }
+        }
+    }
+
+    #[test]
+    fn steal_counters_reports_every_counter_per_mode() {
+        let t = steal_counters(&[2], &tiny());
+        let modes = if tokio::runtime::injection_only_build() {
+            1
+        } else {
+            2
+        };
+        assert_eq!(t.rows.len(), 5 * modes);
+        assert!(t.cell("parks [injection-only]", 2).is_some());
+        assert_eq!(
+            t.cell("steals [injection-only]", 2).unwrap().mean,
+            0.0,
+            "the control scheduler must never steal"
+        );
+        for (label, cells) in &t.rows {
+            assert!(
+                cells.iter().all(|c| c.mean.is_finite() && c.mean >= 0.0),
+                "{label} not finite"
             );
         }
     }

@@ -27,6 +27,9 @@ pub mod workload;
 pub use algos::{Algo, Tuning, AMD_SET, MODERN_SET, POWERPC_SET};
 pub use report::{Cell, Table};
 pub use workload::{
-    run_once, run_once_async, run_once_batched, run_once_blocking, run_workload,
-    run_workload_async, run_workload_batched, run_workload_blocking, WorkloadConfig,
+    run_once, run_once_async, run_once_async_latency, run_once_async_split_latency,
+    run_once_batched, run_once_blocking, run_once_blocking_latency, run_once_latency, run_workload,
+    run_workload_async, run_workload_async_latency, run_workload_async_split_latency,
+    run_workload_batched, run_workload_blocking, run_workload_blocking_latency,
+    run_workload_latency, LatencyReport, WorkloadConfig,
 };

@@ -18,7 +18,7 @@
 use nbq_async::AsyncQueue;
 use nbq_core::ShardedQueue;
 use nbq_util::stats::Summary;
-use nbq_util::{BlockingQueue, ConcurrentQueue, QueueHandle};
+use nbq_util::{BlockingQueue, ConcurrentQueue, LatencyHistogram, QueueHandle};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Barrier};
 use std::time::Instant;
@@ -528,6 +528,448 @@ where
     Summary::of(&samples)
 }
 
+/// Per-operation latency capture from one workload run (or several,
+/// merged): one histogram per operation kind plus one for the *echo* —
+/// in the balanced workloads, a complete iteration of `burst` enqueues
+/// then `burst` dequeues (the round-trip a message-passing caller
+/// actually waits for); in the split-role async workload, the in-queue
+/// transit time of one value from `send` to `recv`, scheduler reschedule
+/// included.
+///
+/// Histograms are recorded per thread/task (no sharing on the hot path)
+/// and merged after the run; see [`nbq_util::latency`].
+#[derive(Debug, Clone, Default)]
+pub struct LatencyReport {
+    /// Time per enqueue/`send`, including Full retries or parking.
+    pub enqueue: LatencyHistogram,
+    /// Time per dequeue/`recv`, including empty retries or parking.
+    pub dequeue: LatencyHistogram,
+    /// Time per full burst iteration (`burst` sends + `burst` recvs).
+    pub echo: LatencyHistogram,
+}
+
+impl LatencyReport {
+    /// An empty report.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds another capture (a per-thread or per-run report) into this
+    /// one.
+    pub fn merge(&mut self, other: &LatencyReport) {
+        self.enqueue.merge(&other.enqueue);
+        self.dequeue.merge(&other.dequeue);
+        self.echo.merge(&other.echo);
+    }
+}
+
+/// [`run_once`] with per-operation latency capture: identical workload
+/// body (raw queue, spin on Full/empty), but every enqueue, dequeue, and
+/// full burst iteration is individually timed. Returns the mean
+/// per-thread wall time plus the merged capture.
+///
+/// The two extra `Instant::now()` calls per operation cost a few tens of
+/// nanoseconds each; every `*_latency` variant pays the same overhead, so
+/// throughputs derived from these runs stay comparable *across frontends*
+/// (and slightly below their untimed counterparts).
+pub fn run_once_latency<Q: ConcurrentQueue<u64>>(
+    queue: &Q,
+    config: &WorkloadConfig,
+) -> (f64, LatencyReport) {
+    if let Some(cap) = queue.capacity() {
+        assert!(
+            cap > config.threads * (config.burst - 1),
+            "workload can deadlock: capacity {cap} <= threads {} x (burst {} - 1)",
+            config.threads,
+            config.burst
+        );
+    }
+    let barrier = Barrier::new(config.threads);
+    let mut thread_secs = vec![0.0f64; config.threads];
+    let mut report = LatencyReport::new();
+    std::thread::scope(|s| {
+        let mut joins = Vec::with_capacity(config.threads);
+        for t in 0..config.threads {
+            let barrier = &barrier;
+            joins.push(s.spawn(move || {
+                let mut handle = queue.handle();
+                let mut seq: u64 = 0;
+                let mut local = LatencyReport::new();
+                barrier.wait();
+                let start = Instant::now();
+                for _ in 0..config.iterations {
+                    let iter_start = Instant::now();
+                    for _ in 0..config.burst {
+                        let value = ((t as u64) << 40) | seq;
+                        seq += 1;
+                        let op = Instant::now();
+                        while handle.enqueue(value).is_err() {
+                            std::thread::yield_now();
+                        }
+                        local.enqueue.record(op.elapsed());
+                    }
+                    for _ in 0..config.burst {
+                        let op = Instant::now();
+                        while handle.dequeue().is_none() {
+                            std::thread::yield_now();
+                        }
+                        local.dequeue.record(op.elapsed());
+                    }
+                    local.echo.record(iter_start.elapsed());
+                }
+                (start.elapsed().as_secs_f64(), local)
+            }));
+        }
+        for (t, j) in joins.into_iter().enumerate() {
+            let (secs, local) = j.join().expect("workload thread panicked");
+            thread_secs[t] = secs;
+            report.merge(&local);
+        }
+    });
+    (
+        thread_secs.iter().sum::<f64>() / config.threads as f64,
+        report,
+    )
+}
+
+/// [`run_once_blocking`] with per-operation latency capture; see
+/// [`run_once_latency`] for the timing discipline.
+pub fn run_once_blocking_latency<Q: ConcurrentQueue<u64>>(
+    queue: &BlockingQueue<u64, Q>,
+    config: &WorkloadConfig,
+) -> (f64, LatencyReport) {
+    if let Some(cap) = queue.inner().capacity() {
+        assert!(
+            cap > config.threads * (config.burst - 1),
+            "workload can deadlock: capacity {cap} <= threads {} x (burst {} - 1)",
+            config.threads,
+            config.burst
+        );
+    }
+    let barrier = Barrier::new(config.threads);
+    let mut thread_secs = vec![0.0f64; config.threads];
+    let mut report = LatencyReport::new();
+    std::thread::scope(|s| {
+        let mut joins = Vec::with_capacity(config.threads);
+        for t in 0..config.threads {
+            let barrier = &barrier;
+            joins.push(s.spawn(move || {
+                let mut handle = queue.handle();
+                let mut seq: u64 = 0;
+                let mut local = LatencyReport::new();
+                barrier.wait();
+                let start = Instant::now();
+                for _ in 0..config.iterations {
+                    let iter_start = Instant::now();
+                    for _ in 0..config.burst {
+                        let value = ((t as u64) << 40) | seq;
+                        seq += 1;
+                        let op = Instant::now();
+                        handle.send(value).expect("queue closed mid-run");
+                        local.enqueue.record(op.elapsed());
+                    }
+                    for _ in 0..config.burst {
+                        let op = Instant::now();
+                        handle.recv().expect("queue closed mid-run");
+                        local.dequeue.record(op.elapsed());
+                    }
+                    local.echo.record(iter_start.elapsed());
+                }
+                (start.elapsed().as_secs_f64(), local)
+            }));
+        }
+        for (t, j) in joins.into_iter().enumerate() {
+            let (secs, local) = j.join().expect("workload thread panicked");
+            thread_secs[t] = secs;
+            report.merge(&local);
+        }
+    });
+    (
+        thread_secs.iter().sum::<f64>() / config.threads as f64,
+        report,
+    )
+}
+
+/// [`run_once_async`] with per-operation latency capture. Each task times
+/// its own sends/recvs (parking time included — this is *end-to-end*
+/// latency, scheduler reschedule and all) into a task-local report,
+/// merged after the joins.
+///
+/// If the queue was built `with_stats`, the runtime's scheduler-counter
+/// deltas for this run (steals, steal batches, LIFO hits, injection
+/// polls, parks) are folded into the queue's [`nbq_core::OpStats`] via
+/// [`AsyncQueue::record_executor_counters`], so one snapshot shows waker
+/// traffic next to the scheduling it caused.
+pub fn run_once_async_latency<Q>(
+    queue: &Arc<AsyncQueue<u64, Q>>,
+    rt: &tokio::runtime::Runtime,
+    config: &WorkloadConfig,
+) -> (f64, LatencyReport)
+where
+    Q: ConcurrentQueue<u64> + Send + Sync + 'static,
+{
+    if let Some(cap) = queue.capacity() {
+        assert!(
+            cap > config.threads * (config.burst - 1),
+            "workload can deadlock: capacity {cap} <= tasks {} x (burst {} - 1)",
+            config.threads,
+            config.burst
+        );
+    }
+    let before = rt.metrics();
+    let config = *config;
+    let tasks = config.threads;
+    let out = rt.block_on(async {
+        let arrived = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..tasks)
+            .map(|t| {
+                let q = Arc::clone(queue);
+                let arrived = Arc::clone(&arrived);
+                tokio::spawn(async move {
+                    arrived.fetch_add(1, Ordering::SeqCst);
+                    while arrived.load(Ordering::SeqCst) < tasks {
+                        tokio::task::yield_now().await;
+                    }
+                    let start = Instant::now();
+                    let mut seq: u64 = 0;
+                    let mut local = LatencyReport::new();
+                    for _ in 0..config.iterations {
+                        let iter_start = Instant::now();
+                        for _ in 0..config.burst {
+                            let value = ((t as u64) << 40) | seq;
+                            seq += 1;
+                            let op = Instant::now();
+                            q.send(value).await.expect("queue closed mid-run");
+                            local.enqueue.record(op.elapsed());
+                        }
+                        for _ in 0..config.burst {
+                            let op = Instant::now();
+                            q.recv().await.expect("queue closed mid-run");
+                            local.dequeue.record(op.elapsed());
+                        }
+                        local.echo.record(iter_start.elapsed());
+                    }
+                    (start.elapsed().as_secs_f64(), local)
+                })
+            })
+            .collect();
+        let mut total = 0.0;
+        let mut report = LatencyReport::new();
+        for h in handles {
+            let (secs, local) = h.await.expect("workload task panicked");
+            total += secs;
+            report.merge(&local);
+        }
+        (total / tasks as f64, report)
+    });
+    let after = rt.metrics();
+    queue.record_executor_counters(
+        after.steals - before.steals,
+        after.steal_batches - before.steal_batches,
+        after.lifo_hits - before.lifo_hits,
+        after.injection_polls - before.injection_polls,
+        after.parks - before.parks,
+    );
+    out
+}
+
+/// Split-role (producer/consumer) async workload with latency capture —
+/// the channel shape where the executor's wake path *is* the critical
+/// path. `threads/2` tasks only send, the rest only recv; with a tight
+/// queue capacity every rate mismatch parks a task, so each value's
+/// delivery rides a waker → scheduler → re-poll round trip (the
+/// message-passing hot path the worker LIFO slot exists for).
+///
+/// Timing: `enqueue` is per `send` (Full parking included), `dequeue`
+/// per `recv` (empty parking included), and `echo` is the **in-queue
+/// transit time** — each value carries its send timestamp (nanoseconds
+/// since a shared epoch), and the receiver records age on arrival. No
+/// start barrier is needed: the queue itself rendezvouses the two sides.
+///
+/// Executor-counter folding works as in [`run_once_async_latency`].
+/// Returns the run's wall-clock seconds (one clock spans both roles —
+/// per-role times would double-count the overlap) and the merged report.
+pub fn run_once_async_split_latency<Q>(
+    queue: &Arc<AsyncQueue<u64, Q>>,
+    rt: &tokio::runtime::Runtime,
+    config: &WorkloadConfig,
+) -> (f64, LatencyReport)
+where
+    Q: ConcurrentQueue<u64> + Send + Sync + 'static,
+{
+    let producers = config.pipe_producers();
+    let consumers = (config.threads - producers).max(1);
+    let per_producer = (config.iterations * config.burst) as u64;
+    let before = rt.metrics();
+    let epoch = Instant::now();
+    let out = rt.block_on(async {
+        let start = Instant::now();
+        let mut senders = Vec::with_capacity(producers);
+        for _ in 0..producers {
+            let q = Arc::clone(queue);
+            senders.push(tokio::spawn(async move {
+                let mut local = LatencyReport::new();
+                for _ in 0..per_producer {
+                    let op = Instant::now();
+                    let stamp = epoch.elapsed().as_nanos() as u64;
+                    q.send(stamp).await.expect("closed only after producers");
+                    local.enqueue.record(op.elapsed());
+                }
+                local
+            }));
+        }
+        let mut receivers = Vec::with_capacity(consumers);
+        for _ in 0..consumers {
+            let q = Arc::clone(queue);
+            receivers.push(tokio::spawn(async move {
+                let mut local = LatencyReport::new();
+                loop {
+                    let op = Instant::now();
+                    match q.recv().await {
+                        Some(stamp) => {
+                            local.dequeue.record(op.elapsed());
+                            let now = epoch.elapsed().as_nanos() as u64;
+                            local.echo.record_ns(now.saturating_sub(stamp));
+                        }
+                        None => break,
+                    }
+                }
+                local
+            }));
+        }
+        let mut report = LatencyReport::new();
+        for s in senders {
+            report.merge(&s.await.expect("producer panicked"));
+        }
+        queue.close();
+        for r in receivers {
+            report.merge(&r.await.expect("consumer panicked"));
+        }
+        (start.elapsed().as_secs_f64(), report)
+    });
+    let after = rt.metrics();
+    queue.record_executor_counters(
+        after.steals - before.steals,
+        after.steal_batches - before.steal_batches,
+        after.lifo_hits - before.lifo_hits,
+        after.injection_polls - before.injection_polls,
+        after.parks - before.parks,
+    );
+    out
+}
+
+/// [`run_workload`] with latency capture: runs merge into one report.
+pub fn run_workload_latency<Q, F>(factory: F, config: &WorkloadConfig) -> (Summary, LatencyReport)
+where
+    Q: ConcurrentQueue<u64>,
+    F: Fn() -> Q,
+{
+    let mut report = LatencyReport::new();
+    let samples: Vec<f64> = (0..config.runs)
+        .map(|_| {
+            let queue = factory();
+            let (secs, local) = run_once_latency(&queue, config);
+            report.merge(&local);
+            secs
+        })
+        .collect();
+    (Summary::of(&samples), report)
+}
+
+/// [`run_workload_blocking`] with latency capture.
+pub fn run_workload_blocking_latency<Q, F>(
+    factory: F,
+    config: &WorkloadConfig,
+) -> (Summary, LatencyReport)
+where
+    Q: ConcurrentQueue<u64>,
+    F: Fn() -> Q,
+{
+    let mut report = LatencyReport::new();
+    let samples: Vec<f64> = (0..config.runs)
+        .map(|_| {
+            let queue = BlockingQueue::new(factory());
+            let (secs, local) = run_once_blocking_latency(&queue, config);
+            report.merge(&local);
+            secs
+        })
+        .collect();
+    (Summary::of(&samples), report)
+}
+
+/// [`run_workload_async`] with latency capture and an executor-mode
+/// switch: `injection_only = true` builds the runtime with work stealing
+/// and LIFO slots disabled (every task through the shared injection
+/// queue — the pre-work-stealing scheduler, kept as the experiment
+/// control), `false` uses the full work-stealing scheduler.
+///
+/// Also returns the runtime's cumulative [`RuntimeMetrics`] so callers
+/// can report scheduler behaviour (steals, parks, ...) next to the
+/// latency distributions.
+///
+/// [`RuntimeMetrics`]: tokio::runtime::RuntimeMetrics
+pub fn run_workload_async_latency<Q, F>(
+    factory: F,
+    config: &WorkloadConfig,
+    injection_only: bool,
+) -> (Summary, LatencyReport, tokio::runtime::RuntimeMetrics)
+where
+    Q: ConcurrentQueue<u64> + Send + Sync + 'static,
+    F: Fn() -> Q,
+{
+    let rt = tokio::runtime::Builder::new_multi_thread()
+        .worker_threads(config.threads)
+        .injection_only(injection_only)
+        .enable_all()
+        .build()
+        .expect("building the tokio runtime");
+    let mut report = LatencyReport::new();
+    let samples: Vec<f64> = (0..config.runs)
+        .map(|_| {
+            let queue = Arc::new(AsyncQueue::with_stats(factory()));
+            let (secs, local) = run_once_async_latency(&queue, &rt, config);
+            debug_assert_eq!(queue.live_waiters(), 0, "runs must not leak waiter slots");
+            report.merge(&local);
+            secs
+        })
+        .collect();
+    let metrics = rt.metrics();
+    (Summary::of(&samples), report, metrics)
+}
+
+/// [`run_workload_async_latency`] over the split-role
+/// ([`run_once_async_split_latency`]) workload body. The factory builds a
+/// fresh queue per run ([`AsyncQueue::close`] is terminal). Throughput
+/// accounting for these runs uses [`WorkloadConfig::pipe_total_ops`].
+pub fn run_workload_async_split_latency<Q, F>(
+    factory: F,
+    config: &WorkloadConfig,
+    injection_only: bool,
+) -> (Summary, LatencyReport, tokio::runtime::RuntimeMetrics)
+where
+    Q: ConcurrentQueue<u64> + Send + Sync + 'static,
+    F: Fn() -> Q,
+{
+    let rt = tokio::runtime::Builder::new_multi_thread()
+        .worker_threads(config.threads)
+        .injection_only(injection_only)
+        .enable_all()
+        .build()
+        .expect("building the tokio runtime");
+    let mut report = LatencyReport::new();
+    let samples: Vec<f64> = (0..config.runs)
+        .map(|_| {
+            let queue = Arc::new(AsyncQueue::with_stats(factory()));
+            let (secs, local) = run_once_async_split_latency(&queue, &rt, config);
+            debug_assert_eq!(queue.live_waiters(), 0, "runs must not leak waiter slots");
+            report.merge(&local);
+            secs
+        })
+        .collect();
+    let metrics = rt.metrics();
+    (Summary::of(&samples), report, metrics)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -627,6 +1069,83 @@ mod tests {
         };
         let s = run_workload_async(|| CasQueue::<u64>::with_capacity(cfg.capacity), &cfg);
         assert!(s.mean > 0.0);
+    }
+
+    #[test]
+    fn latency_capture_counts_every_operation() {
+        let cfg = tiny();
+        let q = CasQueue::<u64>::with_capacity(cfg.capacity);
+        let (secs, report) = run_once_latency(&q, &cfg);
+        assert!(secs > 0.0);
+        assert!(q.is_empty());
+        let per_side = (cfg.threads * cfg.iterations * cfg.burst) as u64;
+        assert_eq!(report.enqueue.count(), per_side);
+        assert_eq!(report.dequeue.count(), per_side);
+        assert_eq!(report.echo.count(), (cfg.threads * cfg.iterations) as u64);
+        // An echo spans a whole burst, so its p50 can't undercut the
+        // cheapest single op.
+        assert!(report.echo.quantile_ns(0.5) >= report.enqueue.min_ns());
+    }
+
+    #[test]
+    fn blocking_latency_capture_matches_op_counts() {
+        let cfg = tiny();
+        let (s, report) =
+            run_workload_blocking_latency(|| CasQueue::<u64>::with_capacity(cfg.capacity), &cfg);
+        assert_eq!(s.n, cfg.runs);
+        let per_side = (cfg.runs * cfg.threads * cfg.iterations * cfg.burst) as u64;
+        assert_eq!(report.enqueue.count(), per_side);
+        assert_eq!(report.dequeue.count(), per_side);
+    }
+
+    #[test]
+    fn async_latency_capture_reports_metrics_and_folds_counters() {
+        let cfg = tiny();
+        let rt = tokio::runtime::Builder::new_multi_thread()
+            .worker_threads(cfg.threads)
+            .enable_all()
+            .build()
+            .expect("building the tokio runtime");
+        let q = Arc::new(AsyncQueue::with_stats(CasQueue::<u64>::with_capacity(
+            cfg.capacity,
+        )));
+        let (secs, report) = run_once_async_latency(&q, &rt, &cfg);
+        assert!(secs > 0.0);
+        let per_side = (cfg.threads * cfg.iterations * cfg.burst) as u64;
+        assert_eq!(report.enqueue.count(), per_side);
+        assert_eq!(report.dequeue.count(), per_side);
+        // The runtime's scheduler counters landed in the queue's stats.
+        // Workers keep parking after block_on returns, so the folded
+        // delta lower-bounds the live cumulative metrics.
+        let snap = q.stats().expect("stats enabled").snapshot();
+        let m = rt.metrics();
+        assert!(snap.executor_parks <= m.parks);
+        assert!(snap.executor_steals <= m.steals);
+        assert!(snap.executor_lifo_hits <= m.lifo_hits);
+        // Every spawned task enters through the injection queue, so the
+        // folded counters cannot all be zero.
+        assert!(snap.executor_injection_polls > 0);
+    }
+
+    #[test]
+    fn async_latency_workload_runs_both_scheduler_modes() {
+        let cfg = tiny();
+        for injection_only in [false, true] {
+            let (s, report, metrics) = run_workload_async_latency(
+                || CasQueue::<u64>::with_capacity(cfg.capacity),
+                &cfg,
+                injection_only,
+            );
+            assert_eq!(s.n, cfg.runs);
+            assert!(!report.echo.is_empty());
+            assert_eq!(
+                metrics.injection_only,
+                injection_only || tokio::runtime::injection_only_build()
+            );
+            if metrics.injection_only {
+                assert_eq!(metrics.steals, 0, "control mode must never steal");
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,300 @@
+//! Dep-free log-bucketed latency histogram (HdrHistogram-style).
+//!
+//! The container has no registry access, so instead of the `hdrhistogram`
+//! crate the harness records per-op latencies into this fixed-size
+//! structure: values below 32 ns land in exact unit buckets, and every
+//! higher power-of-two octave is split into 32 linear sub-buckets, which
+//! bounds the relative quantization error at 1/32 ≈ 3.1% — more than
+//! enough resolution for p50/p90/p99/p999 tables. Recording is two loads,
+//! a leading-zeros, and an increment; no allocation after construction.
+//!
+//! Histograms are **mergeable**: each workload thread records into its
+//! own (no sharing, no atomics on the hot path) and the harness folds
+//! them together with [`LatencyHistogram::merge`] after the run, the same
+//! aggregation scheme HdrHistogram recommends for multi-threaded capture.
+
+use std::time::Duration;
+
+/// 32 exact unit buckets + 59 octaves × 32 sub-buckets covers 1 ns up to
+/// ~2⁶⁴ ns (≈ 584 years) with ≤ 3.1% relative error.
+const SUB_BUCKETS: usize = 32;
+const SUB_SHIFT: u32 = 5; // log2(SUB_BUCKETS)
+const BUCKETS: usize = SUB_BUCKETS + (63 - SUB_SHIFT as usize) * SUB_BUCKETS + SUB_BUCKETS;
+
+#[inline]
+fn bucket_of(ns: u64) -> usize {
+    if ns < SUB_BUCKETS as u64 {
+        return ns as usize;
+    }
+    let msb = 63 - ns.leading_zeros();
+    let octave = (msb - SUB_SHIFT) as usize;
+    let sub = ((ns >> (msb - SUB_SHIFT)) - SUB_BUCKETS as u64) as usize;
+    SUB_BUCKETS + octave * SUB_BUCKETS + sub
+}
+
+/// The largest value (ns) a bucket can hold — reported for percentiles,
+/// so quantization always rounds latencies *up* (conservative tails).
+#[inline]
+fn bucket_upper_bound(index: usize) -> u64 {
+    if index < SUB_BUCKETS {
+        return index as u64;
+    }
+    let octave = ((index - SUB_BUCKETS) / SUB_BUCKETS) as u32;
+    let sub = ((index - SUB_BUCKETS) % SUB_BUCKETS) as u64;
+    ((SUB_BUCKETS as u64 + sub) << octave) + (1u64 << octave) - 1
+}
+
+/// A log-bucketed latency histogram; see the module docs.
+#[derive(Clone)]
+pub struct LatencyHistogram {
+    counts: Box<[u64; BUCKETS]>,
+    count: u64,
+    sum_ns: u128,
+    min_ns: u64,
+    max_ns: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram (~15 KiB, one allocation).
+    pub fn new() -> LatencyHistogram {
+        LatencyHistogram {
+            counts: vec![0u64; BUCKETS]
+                .into_boxed_slice()
+                .try_into()
+                .expect("fixed bucket count"),
+            count: 0,
+            sum_ns: 0,
+            min_ns: u64::MAX,
+            max_ns: 0,
+        }
+    }
+
+    /// Records one latency sample.
+    #[inline]
+    pub fn record(&mut self, latency: Duration) {
+        self.record_ns(latency.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    /// Records one latency sample, in nanoseconds.
+    #[inline]
+    pub fn record_ns(&mut self, ns: u64) {
+        self.counts[bucket_of(ns)] += 1;
+        self.count += 1;
+        self.sum_ns += ns as u128;
+        self.min_ns = self.min_ns.min(ns);
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    /// Folds another histogram (e.g. a per-thread capture) into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += *b;
+        }
+        self.count += other.count;
+        self.sum_ns += other.sum_ns;
+        self.min_ns = self.min_ns.min(other.min_ns);
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// True when no sample has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Mean latency in nanoseconds (0 when empty).
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_ns as f64 / self.count as f64
+        }
+    }
+
+    /// Smallest recorded sample (0 when empty).
+    pub fn min_ns(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min_ns
+        }
+    }
+
+    /// Largest recorded sample (exact, not quantized).
+    pub fn max_ns(&self) -> u64 {
+        self.max_ns
+    }
+
+    /// The value at quantile `q` ∈ [0, 1], in nanoseconds: the upper
+    /// bound of the bucket holding the ⌈q·count⌉-th smallest sample
+    /// (≤ 3.1% above the true value), clamped to the observed maximum.
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_upper_bound(i).min(self.max_ns);
+            }
+        }
+        self.max_ns
+    }
+
+    /// The value at quantile `q` as a [`Duration`].
+    pub fn quantile(&self, q: f64) -> Duration {
+        Duration::from_nanos(self.quantile_ns(q))
+    }
+
+    /// Median.
+    pub fn p50(&self) -> Duration {
+        self.quantile(0.50)
+    }
+
+    /// 90th percentile.
+    pub fn p90(&self) -> Duration {
+        self.quantile(0.90)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> Duration {
+        self.quantile(0.99)
+    }
+
+    /// 99.9th percentile.
+    pub fn p999(&self) -> Duration {
+        self.quantile(0.999)
+    }
+}
+
+impl std::fmt::Debug for LatencyHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LatencyHistogram")
+            .field("count", &self.count)
+            .field("mean_ns", &self.mean_ns())
+            .field("p50_ns", &self.quantile_ns(0.50))
+            .field("p99_ns", &self.quantile_ns(0.99))
+            .field("p999_ns", &self.quantile_ns(0.999))
+            .field("max_ns", &self.max_ns)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = LatencyHistogram::new();
+        for ns in 0..32u64 {
+            h.record_ns(ns);
+        }
+        assert_eq!(h.count(), 32);
+        assert_eq!(h.min_ns(), 0);
+        assert_eq!(h.max_ns(), 31);
+        // Below 32 ns every bucket is exact.
+        assert_eq!(h.quantile_ns(0.5), 15);
+        assert_eq!(h.quantile_ns(1.0), 31);
+    }
+
+    #[test]
+    fn bucket_bounds_are_consistent() {
+        // Every representable index maps back to a value inside it.
+        for ns in [
+            0u64,
+            1,
+            31,
+            32,
+            33,
+            63,
+            64,
+            100,
+            1_000,
+            123_456,
+            u32::MAX as u64,
+            1 << 50,
+        ] {
+            let b = bucket_of(ns);
+            let ub = bucket_upper_bound(b);
+            assert!(ub >= ns, "upper bound {ub} below sample {ns}");
+            // Quantization error stays within one sub-bucket (≈3.1%).
+            assert!(
+                ub - ns <= ns / SUB_BUCKETS as u64 + 1,
+                "bucket for {ns} too wide: upper bound {ub}"
+            );
+            if b + 1 < BUCKETS {
+                assert!(bucket_upper_bound(b + 1) > ub, "bounds monotone");
+            }
+        }
+    }
+
+    #[test]
+    fn quantiles_bound_relative_error() {
+        let mut h = LatencyHistogram::new();
+        for i in 1..=10_000u64 {
+            h.record_ns(i * 100); // 100 ns .. 1 ms, uniform
+        }
+        for (q, expect) in [(0.5, 500_000.0), (0.9, 900_000.0), (0.99, 990_000.0)] {
+            let got = h.quantile_ns(q) as f64;
+            let err = (got - expect).abs() / expect;
+            assert!(err < 0.04, "q={q}: got {got}, expect {expect}, err {err}");
+        }
+        assert_eq!(h.quantile_ns(1.0), 1_000_000);
+    }
+
+    #[test]
+    fn merge_matches_single_capture() {
+        let mut parts: Vec<LatencyHistogram> = (0..4).map(|_| LatencyHistogram::new()).collect();
+        let mut whole = LatencyHistogram::new();
+        let mut x = 0x2545F4914F6CDD1Du64;
+        for i in 0..40_000u64 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let ns = x % 5_000_000;
+            parts[(i % 4) as usize].record_ns(ns);
+            whole.record_ns(ns);
+        }
+        let mut merged = LatencyHistogram::new();
+        for p in &parts {
+            merged.merge(p);
+        }
+        assert_eq!(merged.count(), whole.count());
+        assert_eq!(merged.max_ns(), whole.max_ns());
+        assert_eq!(merged.min_ns(), whole.min_ns());
+        for q in [0.5, 0.9, 0.99, 0.999] {
+            assert_eq!(merged.quantile_ns(q), whole.quantile_ns(q));
+        }
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeroes() {
+        let h = LatencyHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.quantile_ns(0.99), 0);
+        assert_eq!(h.mean_ns(), 0.0);
+        assert_eq!(h.min_ns(), 0);
+    }
+
+    #[test]
+    fn durations_round_trip() {
+        let mut h = LatencyHistogram::new();
+        h.record(Duration::from_micros(250));
+        let p = h.p99();
+        assert!(p >= Duration::from_micros(250));
+        assert!(p <= Duration::from_micros(259)); // ≤3.1% quantization
+    }
+}

@@ -16,6 +16,9 @@
 //! * [`rng::SplitMix64`] — tiny deterministic RNG for fault injection and
 //!   workload shuffling without pulling `rand` into the core crates.
 //! * [`stats`] — mean/stddev/min/max summaries used by the harness.
+//! * [`latency`] — dep-free log-bucketed latency histogram
+//!   ([`latency::LatencyHistogram`], HdrHistogram-style, mergeable across
+//!   threads) behind the harness's p50/p90/p99/p999 tables.
 //! * [`mem`] — the per-site memory-ordering policy every hot path names
 //!   its orderings through; the `strict-sc` cargo feature maps all of
 //!   them back to `SeqCst`.
@@ -28,6 +31,7 @@
 
 pub mod backoff;
 pub mod blocking;
+pub mod latency;
 pub mod mem;
 pub mod pad;
 pub mod pool;
@@ -37,6 +41,7 @@ pub mod stats;
 
 pub use backoff::Backoff;
 pub use blocking::{BlockingHandle, BlockingQueue};
+pub use latency::LatencyHistogram;
 pub use pad::CachePadded;
 pub use queue::{
     Arity, BatchFull, Closed, ConcurrentQueue, Full, LaneFactory, QueueHandle, QueueKind,

@@ -149,7 +149,7 @@ pub use nbq_llsc as llsc;
 pub use nbq_mcas as mcas;
 pub use nbq_util::{
     Arity, Backoff, BatchFull, BlockingQueue, CachePadded, ConcurrentQueue, Full, LaneFactory,
-    QueueHandle, QueueKind, TrySendError,
+    LatencyHistogram, QueueHandle, QueueKind, TrySendError,
 };
 
 /// One-line import for the common case: the two paper queues plus the

@@ -2,44 +2,60 @@
 //!
 //! The build container has no registry access, so this crate provides an
 //! API-compatible subset of tokio sufficient for the workspace's async
-//! frontend, its stress tests, and the `ext-async` harness experiment:
+//! frontend, its stress tests, and the `ext-async*` harness experiments:
 //!
 //! * [`runtime::Builder::new_multi_thread`] / [`runtime::Runtime`] — a
-//!   genuine multi-thread executor (one shared injection queue, N worker
-//!   threads, condvar parking), *not* a single-thread loop in disguise,
-//!   so the async-vs-blocking comparison measures real cross-worker
-//!   wakeups.
+//!   genuine **work-stealing** multi-thread executor: per-worker
+//!   fixed-capacity run queues (a stealable variant of `nbq-core`'s
+//!   `SpscRing` cursor design), a per-worker LIFO slot for
+//!   message-passing wakeups, a shared injection queue demoted to
+//!   overflow/external-spawn duty with periodic fairness polls, a
+//!   cooperative budget so ready-streaming tasks cannot starve a worker,
+//!   and parking gated by a searching-worker count so wakeups don't
+//!   thundering-herd.
 //! * [`spawn`] / [`task::JoinHandle`] with [`task::JoinHandle::abort`] —
 //!   abort drops the task's future at its next scheduling point, which is
 //!   exactly the cancellation path the waiter-registry tests exercise.
-//! * [`time::sleep`] / [`time::timeout`] — backed by one lazily started
-//!   timer thread owning a deadline min-heap.
+//! * [`time::sleep`] / [`time::timeout`] — backed by a per-runtime timer
+//!   list that **parked workers** arm as their wait deadline (no
+//!   dedicated timer thread burns a core during latency runs); a global
+//!   fallback thread serves sleeps polled outside any runtime.
 //! * [`task::yield_now`].
+//! * [`runtime::Runtime::metrics`] — scheduler counters (`steals`,
+//!   `steal_batches`, `lifo_hits`, `injection_polls`, `parks`) so the
+//!   harness can publish executor behaviour next to queue throughput.
 //!
 //! Faithfulness notes, by design:
 //!
 //! * No IO driver: `enable_all`/`enable_time` are accepted no-ops (there
 //!   is nothing to enable; time always works).
-//! * No work stealing: a single injection queue is less scalable than
-//!   tokio's per-worker queues, which makes the stand-in a conservative
-//!   floor for async throughput numbers, never an inflated ceiling.
+//! * The `injection-only` cargo feature forces the pre-work-stealing
+//!   single-queue scheduler and is kept as the measurement control for
+//!   the `ext-async-latency` experiment (see also
+//!   [`runtime::Builder::injection_only`]).
 //! * Task panics are caught and surfaced through `JoinError::is_panic`,
 //!   as in the real crate, so a failed assertion inside a spawned task
 //!   fails the joining test instead of hanging the worker pool.
+//! * In debug builds the scheduler asserts (`ArityRegistry`-style) that
+//!   no task is ever polled by two workers at once — a steal-protocol
+//!   bug trips a panic instead of silent future corruption.
 
-use std::collections::VecDeque;
+use std::collections::{BinaryHeap, VecDeque};
 use std::future::Future;
 use std::pin::Pin;
-use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock, Weak};
 use std::task::{Context, Poll, Wake, Waker};
 use std::time::{Duration, Instant};
 
 pub mod runtime;
+mod steal;
 pub mod task;
 pub mod time;
 
 pub use task::spawn;
+
+use steal::StealQueue;
 
 #[cfg(test)]
 mod tests;
@@ -48,18 +64,35 @@ mod tests;
 // Scheduler core (crate-private; `runtime` and `task` are the public
 // faces).
 
-/// Task scheduling states. A task is in the injection queue iff its state
-/// is `SCHEDULED`, which guarantees single ownership of each poll.
+/// Task scheduling states. A task is in exactly one queue (injection,
+/// a local run queue, or a LIFO slot) iff its state is `SCHEDULED`,
+/// which guarantees single ownership of each poll — stealing moves the
+/// queued `Arc<Task>` between rings without ever duplicating it.
 const IDLE: u8 = 0;
 const SCHEDULED: u8 = 1;
 const RUNNING: u8 = 2;
 const NOTIFIED: u8 = 3;
 const COMPLETE: u8 = 4;
 
+/// Polls between forced injection-queue/timer checks: the cooperative
+/// budget. A worker streaming ready tasks out of its local queue or LIFO
+/// slot must look at shared work at least this often, so external spawns
+/// cannot be starved by a hot local loop.
+const COOP_BUDGET: u32 = 128;
+
+/// Consecutive LIFO-slot polls before the hot pair is demoted to the back
+/// of the local run queue. Keeps the message-passing fast path from
+/// monopolizing a worker.
+const LIFO_STREAK_MAX: u32 = 3;
+
 type TaskFuture = Pin<Box<dyn Future<Output = ()> + Send + 'static>>;
 
 struct Task {
     state: AtomicU8,
+    /// Debug-build guard against two workers polling one task at once
+    /// (the `ArityRegistry` trick applied to the scheduler): `run` claims
+    /// it with a swap and releases it before the task can requeue.
+    polling: AtomicBool,
     /// The future, taken on completion. The mutex is never contended: the
     /// state machine above guarantees at most one poller.
     future: Mutex<Option<TaskFuture>>,
@@ -68,7 +101,10 @@ struct Task {
 
 impl Task {
     /// Transitions the task toward a queue push; called by wakers.
-    fn schedule(self: &Arc<Task>) {
+    /// `lifo` marks genuine wakeups (message passing), which are eligible
+    /// for the current worker's LIFO slot; spawns and yield-requeues go
+    /// to the back of a queue instead.
+    fn schedule_hint(self: &Arc<Task>, lifo: bool) {
         loop {
             match self.state.load(Ordering::Acquire) {
                 IDLE => {
@@ -78,7 +114,7 @@ impl Task {
                         .is_ok()
                     {
                         if let Some(shared) = self.shared.upgrade() {
-                            shared.push(self.clone());
+                            shared.schedule_task(self.clone(), lifo);
                         }
                         return;
                     }
@@ -99,13 +135,24 @@ impl Task {
         }
     }
 
+    fn schedule(self: &Arc<Task>) {
+        self.schedule_hint(true);
+    }
+
     /// Polls the task once; requeues it if it was woken mid-poll.
     fn run(self: &Arc<Task>) {
+        let already = self.polling.swap(true, Ordering::AcqRel);
+        debug_assert!(
+            !already,
+            "scheduler bug: task polled concurrently by two workers"
+        );
         self.state.store(RUNNING, Ordering::Release);
         let waker = Waker::from(self.clone());
         let mut cx = Context::from_waker(&waker);
         let mut guard = self.future.lock().unwrap_or_else(|e| e.into_inner());
         let Some(future) = guard.as_mut() else {
+            drop(guard);
+            self.polling.store(false, Ordering::Release);
             self.state.store(COMPLETE, Ordering::Release);
             return;
         };
@@ -113,19 +160,26 @@ impl Task {
             Poll::Ready(()) => {
                 *guard = None;
                 drop(guard);
+                self.polling.store(false, Ordering::Release);
                 self.state.store(COMPLETE, Ordering::Release);
             }
             Poll::Pending => {
                 drop(guard);
+                // Release the poll claim while the state is still RUNNING
+                // — no other worker can reach `run` until the transitions
+                // below make the task schedulable again.
+                self.polling.store(false, Ordering::Release);
                 if self
                     .state
                     .compare_exchange(RUNNING, IDLE, Ordering::AcqRel, Ordering::Acquire)
                     .is_err()
                 {
-                    // Woken while running: go around again.
+                    // Woken while running: go around again, at the back
+                    // of a queue (not the LIFO slot) so a self-waking
+                    // task round-robins with its siblings.
                     self.state.store(SCHEDULED, Ordering::Release);
                     if let Some(shared) = self.shared.upgrade() {
-                        shared.push(self.clone());
+                        shared.schedule_task(self.clone(), false);
                     }
                 }
             }
@@ -143,22 +197,202 @@ impl Wake for Task {
     }
 }
 
+// ---------------------------------------------------------------------
+// Shared runtime state.
+
+/// One worker's cross-thread face: its stealable run queue and parker.
+struct WorkerShared {
+    run_queue: StealQueue,
+    parker: Parker,
+}
+
+struct Parker {
+    notified: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Parker {
+    fn new() -> Parker {
+        Parker {
+            notified: Mutex::new(false),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn unpark(&self) {
+        let mut n = self.notified.lock().unwrap_or_else(|e| e.into_inner());
+        *n = true;
+        drop(n);
+        self.cv.notify_one();
+    }
+}
+
+/// Everything behind the injection-queue mutex. The idle-worker list
+/// lives under the same lock so "push work" and "pick a sleeper to wake"
+/// are one critical section — a worker re-checks the queue under this
+/// lock before parking, which closes the lost-wakeup window.
+struct Inject {
+    queue: VecDeque<Arc<Task>>,
+    idle: Vec<usize>,
+}
+
+/// Executor event counters, mirrored into the harness's `OpStats`.
+#[derive(Default)]
+struct Counters {
+    steals: AtomicU64,
+    steal_batches: AtomicU64,
+    lifo_hits: AtomicU64,
+    injection_polls: AtomicU64,
+    parks: AtomicU64,
+}
+
 struct Shared {
-    queue: Mutex<VecDeque<Arc<Task>>>,
-    available: Condvar,
+    injection: Mutex<Inject>,
+    workers: Box<[WorkerShared]>,
+    /// Workers currently sweeping other queues for work. Throttles steal
+    /// contention and gates unpark: new work wakes a sleeper only when no
+    /// one is already searching.
+    searching: AtomicUsize,
+    /// When set (the `injection-only` feature or builder flag), every
+    /// schedule goes through the injection queue — the pre-work-stealing
+    /// scheduler, kept as the measurement control.
+    injection_only: bool,
     shutdown: AtomicBool,
     /// Every task ever spawned, for drop-time cleanup (dropping a pending
     /// task's future runs its destructors — waiter deregistration relies
     /// on this).
     live: Mutex<Vec<Weak<Task>>>,
+    /// The runtime's timer list; parked workers arm the earliest deadline
+    /// as their wait timeout and fire due entries on unpark.
+    timers: Mutex<BinaryHeap<TimerEntry>>,
+    counters: Counters,
 }
 
 impl Shared {
-    fn push(&self, task: Arc<Task>) {
-        let mut q = self.queue.lock().unwrap_or_else(|e| e.into_inner());
-        q.push_back(task);
-        drop(q);
-        self.available.notify_one();
+    /// Routes a newly SCHEDULED task to a queue. Wakeups issued from a
+    /// worker thread target that worker's LIFO slot (the message-passing
+    /// hot path); everything else goes to the back of the scheduling
+    /// worker's local queue, or to the injection queue when scheduled
+    /// from outside the pool.
+    fn schedule_task(self: &Arc<Self>, task: Arc<Task>, lifo: bool) {
+        if !self.injection_only {
+            if let Some(idx) = current_worker_of(self) {
+                if lifo {
+                    let displaced = LIFO_SLOT.with(|s| s.borrow_mut().replace(task));
+                    if let Some(prev) = displaced {
+                        self.push_local(idx, prev);
+                        self.notify_one();
+                    }
+                    // Slot-only case: the owning worker polls its LIFO
+                    // slot before parking, so no notify is needed.
+                    return;
+                }
+                self.push_local(idx, task);
+                self.notify_one();
+                return;
+            }
+        }
+        self.push_injection(std::iter::once(task));
+    }
+
+    /// Owner-side local push with overflow: a full ring spills half of
+    /// itself plus the new task to the injection queue (keeping FIFO
+    /// order among the spilled tasks).
+    fn push_local(self: &Arc<Self>, idx: usize, task: Arc<Task>) {
+        match self.workers[idx].run_queue.push(task) {
+            Ok(()) => {}
+            Err(task) => {
+                let mut spill = self.workers[idx].run_queue.drain_half();
+                spill.push(task);
+                self.push_injection(spill);
+            }
+        }
+    }
+
+    /// Pushes to the injection queue and wakes one sleeper (unless a
+    /// searching worker is already sweeping — it will find the work).
+    fn push_injection<I: IntoIterator<Item = Arc<Task>>>(&self, tasks: I) {
+        let target = {
+            let mut inj = self.injection.lock().unwrap_or_else(|e| e.into_inner());
+            inj.queue.extend(tasks);
+            if self.searching.load(Ordering::Acquire) == 0 {
+                inj.idle.pop()
+            } else {
+                None
+            }
+        };
+        if let Some(i) = target {
+            self.workers[i].parker.unpark();
+        }
+    }
+
+    fn pop_injection(&self) -> Option<Arc<Task>> {
+        let mut inj = self.injection.lock().unwrap_or_else(|e| e.into_inner());
+        inj.queue.pop_front()
+    }
+
+    /// Wakes one parked worker, unless someone is already searching (the
+    /// searcher will find the new work; waking more workers than there
+    /// are stealable batches just thunders the herd).
+    fn notify_one(&self) {
+        if self.searching.load(Ordering::Acquire) > 0 {
+            return;
+        }
+        let target = {
+            let mut inj = self.injection.lock().unwrap_or_else(|e| e.into_inner());
+            inj.idle.pop()
+        };
+        if let Some(i) = target {
+            self.workers[i].parker.unpark();
+        }
+    }
+
+    /// Unparks every worker (shutdown, or a timer-list change that must
+    /// re-arm a sleeper's deadline picks one instead).
+    fn unpark_all(&self) {
+        {
+            let mut inj = self.injection.lock().unwrap_or_else(|e| e.into_inner());
+            inj.idle.clear();
+        }
+        for w in self.workers.iter() {
+            w.parker.unpark();
+        }
+    }
+
+    /// Claims a searching slot, bounded at half the pool so steal sweeps
+    /// never outnumber victims.
+    fn start_searching(&self) -> bool {
+        let limit = (self.workers.len() / 2).max(1);
+        let mut cur = self.searching.load(Ordering::Acquire);
+        loop {
+            if cur >= limit {
+                return false;
+            }
+            match self.searching.compare_exchange_weak(
+                cur,
+                cur + 1,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return true,
+                Err(c) => cur = c,
+            }
+        }
+    }
+
+    /// Drops the searching claim. When the last searcher transitions to
+    /// running work, it wakes a successor if shared work remains — this
+    /// is what keeps the steal cascade alive without herd wakeups.
+    fn stop_searching(&self, found_work: bool) {
+        if self.searching.fetch_sub(1, Ordering::AcqRel) == 1 && found_work {
+            let has_injected = {
+                let inj = self.injection.lock().unwrap_or_else(|e| e.into_inner());
+                !inj.queue.is_empty()
+            };
+            if has_injected || self.workers.iter().any(|w| w.run_queue.len() > 0) {
+                self.notify_one();
+            }
+        }
     }
 
     fn spawn_task<F>(self: &Arc<Self>, future: F) -> task::JoinHandle<F::Output>
@@ -170,6 +404,7 @@ impl Shared {
         let wrapped = task::Spawned::new(future, state.clone());
         let task = Arc::new(Task {
             state: AtomicU8::new(IDLE),
+            polling: AtomicBool::new(false),
             future: Mutex::new(Some(Box::pin(wrapped))),
             shared: Arc::downgrade(self),
         });
@@ -183,20 +418,286 @@ impl Shared {
             live.push(Arc::downgrade(&task));
         }
         let handle = task::JoinHandle::new(state, Arc::downgrade(&task));
-        task.schedule();
+        // Spawns queue at the back (not the LIFO slot): a burst of spawns
+        // should fan out to stealers, not pin to the spawning worker.
+        task.schedule_hint(false);
         handle
     }
+
+    // -----------------------------------------------------------------
+    // Timers.
+
+    /// Registers a deadline on this runtime's timer list. If it becomes
+    /// the new earliest deadline, one sleeper is woken to re-arm its
+    /// wait timeout.
+    fn register_timer(&self, deadline: Instant, waker: Waker) {
+        let new_min = {
+            let mut timers = self.timers.lock().unwrap_or_else(|e| e.into_inner());
+            let new_min = timers.peek().is_none_or(|e| deadline < e.deadline);
+            timers.push(TimerEntry { deadline, waker });
+            new_min
+        };
+        if new_min {
+            let target = {
+                let mut inj = self.injection.lock().unwrap_or_else(|e| e.into_inner());
+                inj.idle.pop()
+            };
+            if let Some(i) = target {
+                self.workers[i].parker.unpark();
+            }
+        }
+    }
+
+    /// Fires every due timer and returns the next pending deadline (the
+    /// caller arms it as its park timeout).
+    fn fire_due_timers(&self) -> Option<Instant> {
+        let (due, next) = {
+            let mut timers = self.timers.lock().unwrap_or_else(|e| e.into_inner());
+            let now = Instant::now();
+            let mut due = Vec::new();
+            while timers.peek().is_some_and(|e| e.deadline <= now) {
+                due.push(timers.pop().expect("peeked").waker);
+            }
+            (due, timers.peek().map(|e| e.deadline))
+        };
+        for waker in due {
+            waker.wake();
+        }
+        next
+    }
+
+    // -----------------------------------------------------------------
+    // Parking.
+
+    /// Parks worker `idx` until new work arrives or `deadline` (the next
+    /// timer) passes. Re-checks the injection queue under its lock after
+    /// registering as idle, so a push can never slip between the check
+    /// and the sleep.
+    fn park(&self, idx: usize, deadline: Option<Instant>) {
+        let parker = &self.workers[idx].parker;
+        {
+            // Clear any stale notification from a previous cycle; work
+            // pushed after this point either lands in the injection queue
+            // (re-checked below) or re-notifies us.
+            let mut n = parker.notified.lock().unwrap_or_else(|e| e.into_inner());
+            *n = false;
+        }
+        {
+            let mut inj = self.injection.lock().unwrap_or_else(|e| e.into_inner());
+            if self.shutdown.load(Ordering::Acquire) || !inj.queue.is_empty() {
+                return;
+            }
+            inj.idle.push(idx);
+        }
+        self.counters.parks.fetch_add(1, Ordering::Relaxed);
+        let mut notified = parker.notified.lock().unwrap_or_else(|e| e.into_inner());
+        let timed_out = loop {
+            if *notified {
+                break false;
+            }
+            match deadline {
+                Some(d) => {
+                    let now = Instant::now();
+                    if d <= now {
+                        break true;
+                    }
+                    let (g, _) = parker
+                        .cv
+                        .wait_timeout(notified, d - now)
+                        .unwrap_or_else(|e| e.into_inner());
+                    notified = g;
+                }
+                None => {
+                    notified = parker.cv.wait(notified).unwrap_or_else(|e| e.into_inner());
+                }
+            }
+        };
+        *notified = false;
+        drop(notified);
+        if timed_out {
+            // Timer expiry: nobody popped us from the idle list; do it
+            // ourselves before resuming the loop.
+            let mut inj = self.injection.lock().unwrap_or_else(|e| e.into_inner());
+            inj.idle.retain(|&i| i != idx);
+        }
+    }
 }
+
+// ---------------------------------------------------------------------
+// Worker loop.
+
+pub(crate) fn worker_loop(shared: Arc<Shared>, idx: usize) {
+    let _ctx = enter_context(&shared);
+    let _wctx = enter_worker(&shared, idx);
+    let mut tick: u32 = 0;
+    let mut lifo_streak: u32 = 0;
+    let mut searching = false;
+    loop {
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        tick = tick.wrapping_add(1);
+
+        // Cooperative budget: even while the LIFO slot or local queue
+        // streams ready work, shared state (timers, injection queue) gets
+        // a look every COOP_BUDGET polls.
+        if tick.is_multiple_of(COOP_BUDGET) {
+            shared.fire_due_timers();
+            if let Some(task) = shared.pop_injection() {
+                shared
+                    .counters
+                    .injection_polls
+                    .fetch_add(1, Ordering::Relaxed);
+                if std::mem::take(&mut searching) {
+                    shared.stop_searching(true);
+                }
+                lifo_streak = 0;
+                task.run();
+                continue;
+            }
+        }
+
+        // LIFO slot first (message-passing hot path), with a bounded
+        // streak so a ping-pong pair cannot monopolize the worker.
+        if lifo_streak < LIFO_STREAK_MAX {
+            if let Some(task) = LIFO_SLOT.with(|s| s.borrow_mut().take()) {
+                shared.counters.lifo_hits.fetch_add(1, Ordering::Relaxed);
+                if std::mem::take(&mut searching) {
+                    shared.stop_searching(true);
+                }
+                lifo_streak += 1;
+                task.run();
+                continue;
+            }
+        } else {
+            // The streak counter resets on whichever non-LIFO path runs
+            // next (local pop picks the demoted task right up).
+            if let Some(task) = LIFO_SLOT.with(|s| s.borrow_mut().take()) {
+                shared.push_local(idx, task);
+            }
+        }
+
+        if let Some(task) = shared.workers[idx].run_queue.pop() {
+            if std::mem::take(&mut searching) {
+                shared.stop_searching(true);
+            }
+            lifo_streak = 0;
+            task.run();
+            continue;
+        }
+
+        // Local work exhausted: injection queue, then steal.
+        if let Some(task) = shared.pop_injection() {
+            shared
+                .counters
+                .injection_polls
+                .fetch_add(1, Ordering::Relaxed);
+            if std::mem::take(&mut searching) {
+                shared.stop_searching(true);
+            }
+            lifo_streak = 0;
+            task.run();
+            continue;
+        }
+
+        if !shared.injection_only {
+            if !searching {
+                searching = shared.start_searching();
+            }
+            if searching {
+                if let Some(task) = steal_sweep(&shared, idx, tick) {
+                    shared.stop_searching(true);
+                    searching = false;
+                    lifo_streak = 0;
+                    task.run();
+                    continue;
+                }
+            }
+        }
+
+        // Nothing anywhere: stop searching and park until work or the
+        // next timer deadline arrives.
+        if std::mem::take(&mut searching) {
+            shared.stop_searching(false);
+        }
+        let next_deadline = shared.fire_due_timers();
+        // Firing a due timer runs wakers on *this* thread, which can drop
+        // work into our own LIFO slot or local queue — work no other
+        // worker can see. Never park over it.
+        let woke_self =
+            LIFO_SLOT.with(|s| s.borrow().is_some()) || shared.workers[idx].run_queue.len() > 0;
+        if woke_self {
+            continue;
+        }
+        shared.park(idx, next_deadline);
+        lifo_streak = 0;
+    }
+}
+
+/// One pass over the other workers' queues, starting at a tick-derived
+/// offset so victims are probed in a different order each time.
+fn steal_sweep(shared: &Arc<Shared>, idx: usize, tick: u32) -> Option<Arc<Task>> {
+    let n = shared.workers.len();
+    let start = (tick as usize).wrapping_mul(0x9E37).wrapping_add(idx);
+    for k in 0..n {
+        let victim = (start + k) % n;
+        if victim == idx {
+            continue;
+        }
+        if let Some((task, stolen)) = shared.workers[victim]
+            .run_queue
+            .steal_into(&shared.workers[idx].run_queue)
+        {
+            shared
+                .counters
+                .steals
+                .fetch_add(stolen as u64, Ordering::Relaxed);
+            shared
+                .counters
+                .steal_batches
+                .fetch_add(1, Ordering::Relaxed);
+            if stolen > 1 {
+                // The surplus is stealable from us now: keep the cascade
+                // going.
+                shared.notify_one();
+            }
+            return Some(task);
+        }
+    }
+    None
+}
+
+// ---------------------------------------------------------------------
+// Thread-local context.
 
 thread_local! {
     /// The runtime the current thread belongs to (workers and threads
     /// inside `block_on`); `tokio::spawn` resolves through this.
     static CONTEXT: std::cell::RefCell<Option<Weak<Shared>>> =
         const { std::cell::RefCell::new(None) };
+    /// Worker identity: which runtime and which index. Lets `schedule`
+    /// route to the scheduling worker's own queues.
+    static WORKER_CONTEXT: std::cell::RefCell<Option<(Weak<Shared>, usize)>> =
+        const { std::cell::RefCell::new(None) };
+    /// The current worker's LIFO slot. Only its own thread touches it
+    /// (wakeups from other threads go through the injection queue), so
+    /// plain thread-local storage is race-free; a worker never parks
+    /// with its slot occupied.
+    static LIFO_SLOT: std::cell::RefCell<Option<Arc<Task>>> =
+        const { std::cell::RefCell::new(None) };
 }
 
 fn current_shared() -> Option<Arc<Shared>> {
     CONTEXT.with(|c| c.borrow().as_ref().and_then(Weak::upgrade))
+}
+
+/// The current thread's worker index within `shared`'s pool, if any.
+fn current_worker_of(shared: &Arc<Shared>) -> Option<usize> {
+    WORKER_CONTEXT.with(|w| {
+        w.borrow()
+            .as_ref()
+            .and_then(|(weak, idx)| (Weak::as_ptr(weak) == Arc::as_ptr(shared)).then_some(*idx))
+    })
 }
 
 struct ContextGuard {
@@ -215,8 +716,25 @@ impl Drop for ContextGuard {
     }
 }
 
+struct WorkerGuard;
+
+fn enter_worker(shared: &Arc<Shared>, idx: usize) -> WorkerGuard {
+    WORKER_CONTEXT.with(|w| *w.borrow_mut() = Some((Arc::downgrade(shared), idx)));
+    WorkerGuard
+}
+
+impl Drop for WorkerGuard {
+    fn drop(&mut self) {
+        WORKER_CONTEXT.with(|w| *w.borrow_mut() = None);
+        // Anything stranded in the LIFO slot at shutdown is released
+        // here; its future is reclaimed through the live-task registry.
+        LIFO_SLOT.with(|s| *s.borrow_mut() = None);
+    }
+}
+
 // ---------------------------------------------------------------------
-// Timer thread (global, lazily started, shared by every runtime).
+// Timer entries, shared by the per-runtime lists and the global
+// fallback thread (for sleeps polled outside any runtime).
 
 struct TimerEntry {
     deadline: Instant,
@@ -242,15 +760,18 @@ impl Ord for TimerEntry {
 }
 
 struct TimerShared {
-    heap: Mutex<std::collections::BinaryHeap<TimerEntry>>,
+    heap: Mutex<BinaryHeap<TimerEntry>>,
     tick: Condvar,
 }
 
-fn timer() -> &'static TimerShared {
+/// The global fallback timer thread. Only sleeps polled with no runtime
+/// context land here; inside a runtime the per-runtime timer list is
+/// serviced by parked workers instead.
+fn fallback_timer() -> &'static TimerShared {
     static TIMER: OnceLock<&'static TimerShared> = OnceLock::new();
     TIMER.get_or_init(|| {
         let shared: &'static TimerShared = Box::leak(Box::new(TimerShared {
-            heap: Mutex::new(std::collections::BinaryHeap::new()),
+            heap: Mutex::new(BinaryHeap::new()),
             tick: Condvar::new(),
         }));
         std::thread::Builder::new()
@@ -284,8 +805,14 @@ fn timer() -> &'static TimerShared {
     })
 }
 
+/// Registers a timer on the current runtime's list, or the global
+/// fallback thread when polled outside any runtime.
 fn register_timer(deadline: Instant, waker: Waker) {
-    let shared = timer();
+    if let Some(shared) = current_shared() {
+        shared.register_timer(deadline, waker);
+        return;
+    }
+    let shared = fallback_timer();
     let mut heap = shared.heap.lock().unwrap_or_else(|e| e.into_inner());
     heap.push(TimerEntry { deadline, waker });
     drop(heap);

@@ -1,10 +1,12 @@
-//! The multi-thread runtime: builder, worker pool, and `block_on`.
+//! The multi-thread runtime: builder, worker pool, `block_on`, and
+//! scheduler metrics.
 
 use super::*;
 
 /// Configures and builds a [`Runtime`].
 pub struct Builder {
     worker_threads: usize,
+    injection_only: bool,
 }
 
 impl Builder {
@@ -15,6 +17,7 @@ impl Builder {
             worker_threads: std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(1),
+            injection_only: injection_only_build(),
         }
     }
 
@@ -22,6 +25,16 @@ impl Builder {
     pub fn worker_threads(mut self, n: usize) -> Builder {
         assert!(n > 0, "worker_threads must be positive");
         self.worker_threads = n;
+        self
+    }
+
+    /// Disables work stealing: every schedule goes through the single
+    /// injection queue, reproducing the pre-work-stealing scheduler.
+    /// Kept as the measurement control for `ext-async-latency`. Under
+    /// the `injection-only` cargo feature this is forced on and cannot
+    /// be disabled.
+    pub fn injection_only(mut self, on: bool) -> Builder {
+        self.injection_only = on || injection_only_build();
         self
     }
 
@@ -38,50 +51,71 @@ impl Builder {
 
     /// Builds the runtime, spawning its worker threads.
     pub fn build(self) -> std::io::Result<Runtime> {
+        let workers: Box<[WorkerShared]> = (0..self.worker_threads)
+            .map(|_| WorkerShared {
+                run_queue: StealQueue::new(),
+                parker: Parker::new(),
+            })
+            .collect();
         let shared = Arc::new(Shared {
-            queue: Mutex::new(VecDeque::new()),
-            available: Condvar::new(),
+            injection: Mutex::new(Inject {
+                queue: VecDeque::new(),
+                idle: Vec::with_capacity(self.worker_threads),
+            }),
+            workers,
+            searching: AtomicUsize::new(0),
+            injection_only: self.injection_only,
             shutdown: AtomicBool::new(false),
             live: Mutex::new(Vec::new()),
+            timers: Mutex::new(BinaryHeap::new()),
+            counters: Counters::default(),
         });
-        let mut workers = Vec::with_capacity(self.worker_threads);
+        let mut threads = Vec::with_capacity(self.worker_threads);
         for i in 0..self.worker_threads {
             let shared = shared.clone();
-            workers.push(
+            threads.push(
                 std::thread::Builder::new()
                     .name(format!("tokio-shim-worker-{i}"))
-                    .spawn(move || worker_loop(shared))
+                    .spawn(move || worker_loop(shared, i))
                     .map_err(std::io::Error::other)?,
             );
         }
-        Ok(Runtime { shared, workers })
+        Ok(Runtime { shared, threads })
     }
 }
 
-fn worker_loop(shared: Arc<Shared>) {
-    let _ctx = enter_context(&shared);
-    loop {
-        let task = {
-            let mut q = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
-            loop {
-                if let Some(task) = q.pop_front() {
-                    break task;
-                }
-                if shared.shutdown.load(Ordering::Acquire) {
-                    return;
-                }
-                q = shared.available.wait(q).unwrap_or_else(|e| e.into_inner());
-            }
-        };
-        task.run();
-    }
+/// True when the `injection-only` cargo feature pinned this build to the
+/// single-queue control scheduler.
+pub fn injection_only_build() -> bool {
+    cfg!(feature = "injection-only")
+}
+
+/// A snapshot of the scheduler's event counters, summed across workers
+/// since the runtime was built. The harness mirrors these into `OpStats`
+/// so executor behaviour lands next to queue throughput in the tables.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RuntimeMetrics {
+    /// Worker threads in the pool.
+    pub workers: usize,
+    /// Whether this runtime runs the single-queue control scheduler.
+    pub injection_only: bool,
+    /// Tasks moved between local run queues by steal operations.
+    pub steals: u64,
+    /// Successful steal-half batches (each moves ≥ 1 task).
+    pub steal_batches: u64,
+    /// Tasks polled straight out of a worker's LIFO slot.
+    pub lifo_hits: u64,
+    /// Tasks polled out of the shared injection queue.
+    pub injection_polls: u64,
+    /// Times a worker went to sleep on its parker.
+    pub parks: u64,
 }
 
 /// A handle to the worker pool. Dropping it shuts the workers down and
 /// drops every still-pending task's future (running their destructors).
 pub struct Runtime {
     shared: Arc<Shared>,
-    workers: Vec<std::thread::JoinHandle<()>>,
+    threads: Vec<std::thread::JoinHandle<()>>,
 }
 
 /// Parker for the thread sitting in [`Runtime::block_on`].
@@ -137,24 +171,46 @@ impl Runtime {
     {
         self.shared.spawn_task(future)
     }
+
+    /// Scheduler counters accumulated since the runtime was built.
+    pub fn metrics(&self) -> RuntimeMetrics {
+        let c = &self.shared.counters;
+        RuntimeMetrics {
+            workers: self.shared.workers.len(),
+            injection_only: self.shared.injection_only,
+            steals: c.steals.load(Ordering::Relaxed),
+            steal_batches: c.steal_batches.load(Ordering::Relaxed),
+            lifo_hits: c.lifo_hits.load(Ordering::Relaxed),
+            injection_polls: c.injection_polls.load(Ordering::Relaxed),
+            parks: c.parks.load(Ordering::Relaxed),
+        }
+    }
 }
 
 impl Drop for Runtime {
     fn drop(&mut self) {
         self.shared.shutdown.store(true, Ordering::Release);
-        self.shared.available.notify_all();
-        for worker in self.workers.drain(..) {
+        self.shared.unpark_all();
+        for worker in self.threads.drain(..) {
             let _ = worker.join();
         }
         // No worker is running any more: drop every still-live task's
         // future so destructors (waiter deregistration, channel guards)
-        // run even for tasks that never completed.
+        // run even for tasks that never completed. The injection queue,
+        // timer list, and local rings (freed with `Shared`) only hold
+        // `Arc<Task>`s whose futures are nulled out here.
         let live: Vec<Weak<Task>> = {
             let mut live = self.shared.live.lock().unwrap_or_else(|e| e.into_inner());
             std::mem::take(&mut *live)
         };
         self.shared
+            .injection
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
             .queue
+            .clear();
+        self.shared
+            .timers
             .lock()
             .unwrap_or_else(|e| e.into_inner())
             .clear();

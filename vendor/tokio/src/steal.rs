@@ -1,0 +1,237 @@
+//! The per-worker stealable run queue.
+//!
+//! This is the scheduler-side sibling of `nbq-core`'s `SpscRing`: the same
+//! fixed-capacity power-of-two ring with monotone cursors, adapted so the
+//! consumer side tolerates concurrent stealers. The producer side is
+//! unchanged from the SPSC design — only the owning worker pushes, with a
+//! single release store publishing each slot — while the head fuses *two*
+//! 32-bit cursors into one word:
+//!
+//! ```text
+//!   head (AtomicU64) = [ steal : u32 | real : u32 ]
+//!
+//!   steal ≤ real ≤ tail          (wrapping, tail - steal ≤ CAPACITY)
+//!   steal == real                ⇔ no steal in progress
+//!   slots in [steal, real)       claimed by a stealer, being copied out
+//!   slots in [real,  tail)       live, poppable
+//! ```
+//!
+//! A stealer claims half the queue by CASing `real` forward while leaving
+//! `steal` behind; the owner's `push` computes capacity against `steal`,
+//! so the claimed slots cannot be overwritten until the stealer releases
+//! them by snapping `steal` up to the claimed position. Because a claim
+//! requires `steal == real`, at most one stealer copies from a given
+//! queue at a time; others simply move on to the next victim. Cursors are
+//! monotone u32s (wrapping compares, never masked before subtraction), so
+//! the ring is ABA-free for the same reason `SpscRing` is.
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use super::Task;
+
+/// Slots per worker. Tokio-sized: large enough that overflow to the
+/// injection queue is rare, small enough to stay cache-resident.
+pub(crate) const LOCAL_CAP: usize = 256;
+const MASK: u32 = (LOCAL_CAP - 1) as u32;
+
+#[inline]
+fn pack(steal: u32, real: u32) -> u64 {
+    ((steal as u64) << 32) | real as u64
+}
+
+#[inline]
+fn unpack(v: u64) -> (u32, u32) {
+    ((v >> 32) as u32, v as u32)
+}
+
+pub(crate) struct StealQueue {
+    /// `[steal | real]` fused head; see module docs.
+    head: AtomicU64,
+    /// Owner-written tail; stealers only load it.
+    tail: AtomicU32,
+    slots: Box<[UnsafeCell<MaybeUninit<Arc<Task>>>]>,
+}
+
+// SAFETY: the cursor protocol above guarantees each slot has exactly one
+// reader or writer at a time; `Arc<Task>` itself is Send + Sync.
+unsafe impl Send for StealQueue {}
+unsafe impl Sync for StealQueue {}
+
+impl StealQueue {
+    pub(crate) fn new() -> StealQueue {
+        let slots = (0..LOCAL_CAP)
+            .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+            .collect();
+        StealQueue {
+            head: AtomicU64::new(0),
+            tail: AtomicU32::new(0),
+            slots,
+        }
+    }
+
+    /// SAFETY: `index`'s slot must hold an initialized task this caller
+    /// has exclusive claim to (via the cursor protocol).
+    unsafe fn read_slot(&self, index: u32) -> Arc<Task> {
+        (*self.slots[(index & MASK) as usize].get()).assume_init_read()
+    }
+
+    /// Poppable length (excludes slots mid-steal). Racy by nature; used
+    /// for heuristics only.
+    pub(crate) fn len(&self) -> usize {
+        let (_, real) = unpack(self.head.load(Ordering::Acquire));
+        let tail = self.tail.load(Ordering::Acquire);
+        tail.wrapping_sub(real) as usize
+    }
+
+    /// Owner-only: push to the back. `Err` hands the task back when the
+    /// ring is full (counting slots still pinned by an in-flight steal) —
+    /// the caller overflows to the injection queue.
+    pub(crate) fn push(&self, task: Arc<Task>) -> Result<(), Arc<Task>> {
+        let tail = self.tail.load(Ordering::Relaxed);
+        let (steal, _) = unpack(self.head.load(Ordering::Acquire));
+        if tail.wrapping_sub(steal) >= LOCAL_CAP as u32 {
+            return Err(task);
+        }
+        unsafe { (*self.slots[(tail & MASK) as usize].get()).write(task) };
+        self.tail.store(tail.wrapping_add(1), Ordering::Release);
+        Ok(())
+    }
+
+    /// Owner-only: pop from the front. CASes `real` forward (and drags
+    /// `steal` along when no steal is in flight) so it composes with a
+    /// concurrent stealer.
+    pub(crate) fn pop(&self) -> Option<Arc<Task>> {
+        let mut head = self.head.load(Ordering::Acquire);
+        loop {
+            let (steal, real) = unpack(head);
+            let tail = self.tail.load(Ordering::Relaxed);
+            if real == tail {
+                return None;
+            }
+            let next_real = real.wrapping_add(1);
+            let next = if steal == real {
+                pack(next_real, next_real)
+            } else {
+                pack(steal, next_real)
+            };
+            match self
+                .head
+                .compare_exchange(head, next, Ordering::AcqRel, Ordering::Acquire)
+            {
+                // The claimed slot is ours alone: stealers only touch
+                // [steal, old real), and the owner (us) won't reuse it
+                // until tail laps — impossible before this read returns.
+                Ok(_) => return Some(unsafe { self.read_slot(real) }),
+                Err(h) => head = h,
+            }
+        }
+    }
+
+    /// Owner-only: claim and drain half the queue for overflow to the
+    /// injection queue. Returns an empty vec when a stealer is already
+    /// relieving pressure (claiming would race its copy-out).
+    pub(crate) fn drain_half(&self) -> Vec<Arc<Task>> {
+        let tail = self.tail.load(Ordering::Relaxed);
+        let mut head = self.head.load(Ordering::Acquire);
+        loop {
+            let (steal, real) = unpack(head);
+            let n = tail.wrapping_sub(real) / 2;
+            if steal != real || n == 0 {
+                return Vec::new();
+            }
+            let next = real.wrapping_add(n);
+            match self.head.compare_exchange(
+                head,
+                pack(next, next),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => {
+                    let mut out = Vec::with_capacity(n as usize);
+                    for i in 0..n {
+                        out.push(unsafe { self.read_slot(real.wrapping_add(i)) });
+                    }
+                    return out;
+                }
+                Err(h) => head = h,
+            }
+        }
+    }
+
+    /// Stealer-side: claim half of `self`'s queue, move all but one task
+    /// to the back of `dst` (the stealer's own queue, so its producer
+    /// side is safe to use), and return the first task to run immediately
+    /// plus the batch size. `None` when there is nothing to take or
+    /// another stealer is mid-copy.
+    pub(crate) fn steal_into(&self, dst: &StealQueue) -> Option<(Arc<Task>, u32)> {
+        loop {
+            let head = self.head.load(Ordering::Acquire);
+            let (steal, real) = unpack(head);
+            if steal != real {
+                return None;
+            }
+            let tail = self.tail.load(Ordering::Acquire);
+            let avail = tail.wrapping_sub(real);
+            // Half, rounded up, clamped to the free space in `dst` plus
+            // the one task returned directly (never enqueued).
+            let dst_tail = dst.tail.load(Ordering::Relaxed);
+            let (dst_steal, _) = unpack(dst.head.load(Ordering::Acquire));
+            let room = LOCAL_CAP as u32 - dst_tail.wrapping_sub(dst_steal);
+            let n = (avail - avail / 2).min(room.saturating_add(1));
+            if n == 0 {
+                return None;
+            }
+            let claimed = real.wrapping_add(n);
+            if self
+                .head
+                .compare_exchange(
+                    head,
+                    pack(steal, claimed),
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                )
+                .is_err()
+            {
+                continue;
+            }
+            let first = unsafe { self.read_slot(real) };
+            for i in 1..n {
+                let task = unsafe { self.read_slot(real.wrapping_add(i)) };
+                dst.push(task)
+                    .unwrap_or_else(|_| unreachable!("steal batch sized to dst free space"));
+            }
+            // Release: snap `steal` up to the claimed position. The owner
+            // may have popped `real` further in the meantime; preserve it.
+            let mut cur = self.head.load(Ordering::Acquire);
+            loop {
+                let (s, r) = unpack(cur);
+                debug_assert_eq!(s, real, "single stealer owns the steal cursor");
+                match self.head.compare_exchange(
+                    cur,
+                    pack(claimed, r),
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                ) {
+                    Ok(_) => break,
+                    Err(c) => cur = c,
+                }
+            }
+            return Some((first, n));
+        }
+    }
+}
+
+impl Drop for StealQueue {
+    fn drop(&mut self) {
+        // `&mut self`: no concurrent stealer, so `steal == real`.
+        let (_, mut real) = unpack(*self.head.get_mut());
+        let tail = *self.tail.get_mut();
+        while real != tail {
+            unsafe { (*self.slots[(real & MASK) as usize].get()).assume_init_drop() };
+            real = real.wrapping_add(1);
+        }
+    }
+}

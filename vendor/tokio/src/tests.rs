@@ -168,3 +168,329 @@ fn runtime_drop_drops_pending_task_futures() {
         "shutdown ran the pending future's destructors"
     );
 }
+
+// ---------------------------------------------------------------------
+// Work-stealing scheduler coverage (PR 7): stealing, fairness, the LIFO
+// budget, the poll-claim assertion, and the shared timer list.
+
+/// One flooded worker + idle peers: a task running on a worker spawns a
+/// burst of children (which land on *its* local queue), and the only way
+/// other workers can help is by stealing. All children must complete and
+/// at least one steal batch must land. The steal race is probabilistic,
+/// so the scenario retries a few times before declaring the scheduler
+/// incapable of stealing. (Meaningless under `injection-only`, which
+/// removes stealing on purpose.)
+#[test]
+#[cfg(not(feature = "injection-only"))]
+fn flooded_worker_is_relieved_by_stealers() {
+    for attempt in 0..5 {
+        let rt = rt(4);
+        let done = Arc::new(AtomicUsize::new(0));
+        let d = done.clone();
+        rt.block_on(async move {
+            // The seed runs on a worker, so its spawns go to that
+            // worker's local run queue.
+            crate::spawn(async move {
+                let mut handles = Vec::new();
+                for i in 0..200u64 {
+                    let d = d.clone();
+                    handles.push(crate::spawn(async move {
+                        // Enough work per task that the queue stays
+                        // populated while the idle workers wake up.
+                        let mut acc = i;
+                        for k in 0..2_000u64 {
+                            acc = acc.wrapping_mul(6364136223846793005).wrapping_add(k);
+                        }
+                        std::hint::black_box(acc);
+                        d.fetch_add(1, Ordering::Relaxed);
+                    }));
+                }
+                for h in handles {
+                    h.await.expect("child task completed");
+                }
+            })
+            .await
+            .expect("seed task completed");
+        });
+        assert_eq!(done.load(Ordering::Relaxed), 200, "every child ran");
+        let m = rt.metrics();
+        if m.steals > 0 {
+            assert!(m.steal_batches > 0, "steals arrive in batches");
+            return;
+        }
+        drop(rt);
+        assert!(attempt < 4, "no steal landed in 5 flooded-worker runs");
+    }
+}
+
+/// Injection-queue tasks must run even while the single worker's local
+/// queue stays hot: the hog tasks yield-loop (requeueing themselves
+/// locally) until an externally spawned task — which can only arrive via
+/// the injection queue — flips the stop flag. Without the cooperative
+/// budget's periodic injection poll this test hangs.
+#[test]
+fn injection_tasks_run_while_local_queue_stays_hot() {
+    let rt = rt(1);
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let seen_stop = Arc::new(AtomicUsize::new(0));
+    let hogs = rt.block_on(async {
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let stop = stop.clone();
+            let seen_stop = seen_stop.clone();
+            handles.push(crate::spawn(async move {
+                // Generous safety bound so a fairness regression fails
+                // the assertion below instead of hanging CI forever.
+                for _ in 0..50_000_000u64 {
+                    if stop.load(Ordering::Acquire) {
+                        seen_stop.fetch_add(1, Ordering::Relaxed);
+                        return;
+                    }
+                    crate::task::yield_now().await;
+                }
+            }));
+        }
+        handles
+    });
+    // External spawn: the test thread is outside the pool, so this task
+    // can only be delivered through the injection queue.
+    let stop2 = stop.clone();
+    let flag_task = rt.spawn(async move {
+        stop2.store(true, Ordering::Release);
+    });
+    rt.block_on(async {
+        flag_task.await.expect("flag task ran");
+        for h in hogs {
+            h.await.expect("hog exited");
+        }
+    });
+    assert_eq!(
+        seen_stop.load(Ordering::Relaxed),
+        4,
+        "hogs exited because the injected task ran, not via the safety bound"
+    );
+    assert!(rt.metrics().injection_polls > 0);
+}
+
+/// A waker ping-pong pair rides the LIFO slot; the bounded LIFO streak
+/// must hand the worker back to the local queue so a third task gets a
+/// turn. The pair spins until that third task flips the stop flag — a
+/// LIFO monopoly would loop to the safety bound and fail the assertion.
+/// (The `injection-only` control has no LIFO slot — FIFO through the
+/// shared queue already guarantees the third task its turn.)
+#[test]
+#[cfg(not(feature = "injection-only"))]
+fn lifo_pair_cannot_monopolize_a_worker() {
+    struct PingPong {
+        turn: AtomicUsize,
+        stop: std::sync::atomic::AtomicBool,
+        wakers: std::sync::Mutex<[Option<std::task::Waker>; 2]>,
+    }
+    struct Player {
+        id: usize,
+        pp: Arc<PingPong>,
+    }
+    const SAFETY_CAP: usize = 50_000_000;
+    impl std::future::Future for Player {
+        type Output = bool; // true ⇔ exited because stop was set
+        fn poll(
+            self: std::pin::Pin<&mut Self>,
+            cx: &mut std::task::Context<'_>,
+        ) -> std::task::Poll<bool> {
+            loop {
+                if self.pp.stop.load(Ordering::Acquire) {
+                    return std::task::Poll::Ready(true);
+                }
+                let t = self.pp.turn.load(Ordering::Acquire);
+                if t >= SAFETY_CAP {
+                    return std::task::Poll::Ready(false);
+                }
+                if t % 2 == self.id {
+                    self.pp.turn.store(t + 1, Ordering::Release);
+                    let peer = {
+                        let mut wakers = self.pp.wakers.lock().unwrap_or_else(|e| e.into_inner());
+                        wakers[1 - self.id].take()
+                    };
+                    if let Some(w) = peer {
+                        // Wakes issued on a worker thread land in its
+                        // LIFO slot: this is the path under test.
+                        w.wake();
+                    }
+                    // Not our turn any more; fall through to register.
+                    continue;
+                }
+                {
+                    let mut wakers = self.pp.wakers.lock().unwrap_or_else(|e| e.into_inner());
+                    wakers[self.id] = Some(cx.waker().clone());
+                }
+                // Re-check after registering so a concurrent flip can't
+                // strand us.
+                if self.pp.stop.load(Ordering::Acquire)
+                    || self.pp.turn.load(Ordering::Acquire) % 2 == self.id
+                {
+                    continue;
+                }
+                return std::task::Poll::Pending;
+            }
+        }
+    }
+
+    let rt = rt(1);
+    let pp = Arc::new(PingPong {
+        turn: AtomicUsize::new(0),
+        stop: std::sync::atomic::AtomicBool::new(false),
+        wakers: std::sync::Mutex::new([None, None]),
+    });
+    let (a_stopped, b_stopped) = rt.block_on(async {
+        let a = crate::spawn(Player {
+            id: 0,
+            pp: pp.clone(),
+        });
+        let b = crate::spawn(Player {
+            id: 1,
+            pp: pp.clone(),
+        });
+        // Spawned last: sits behind the ping-pong pair in the local
+        // queue, and only runs if the LIFO streak is bounded.
+        let pp2 = pp.clone();
+        let c = crate::spawn(async move {
+            pp2.stop.store(true, Ordering::Release);
+            let mut wakers = pp2.wakers.lock().unwrap_or_else(|e| e.into_inner());
+            for w in wakers.iter_mut().filter_map(Option::take) {
+                w.wake();
+            }
+        });
+        c.await.expect("bystander ran");
+        (a.await.expect("player a"), b.await.expect("player b"))
+    });
+    assert!(
+        a_stopped && b_stopped,
+        "players exited via the bystander's stop flag, not the safety bound"
+    );
+    assert!(
+        rt.metrics().lifo_hits > 0,
+        "the pair actually used the LIFO slot"
+    );
+}
+
+/// The `ArityRegistry`-style poll claim: two workers polling one task at
+/// once is a steal-protocol bug and must panic in debug builds. Exercised
+/// directly on a hand-built task whose future blocks inside `poll`.
+#[test]
+#[cfg(debug_assertions)]
+fn concurrent_poll_of_one_task_panics_in_debug() {
+    use std::sync::Barrier;
+
+    struct BlockInPoll {
+        entered: Arc<Barrier>,
+        release: Arc<Barrier>,
+        polls: usize,
+    }
+    impl std::future::Future for BlockInPoll {
+        type Output = ();
+        fn poll(
+            mut self: std::pin::Pin<&mut Self>,
+            _cx: &mut std::task::Context<'_>,
+        ) -> std::task::Poll<()> {
+            if self.polls == 0 {
+                self.polls = 1;
+                self.entered.wait();
+                self.release.wait();
+            }
+            std::task::Poll::Ready(())
+        }
+    }
+
+    let entered = Arc::new(Barrier::new(2));
+    let release = Arc::new(Barrier::new(2));
+    let task = Arc::new(crate::Task {
+        state: crate::IDLE.into(),
+        polling: false.into(),
+        future: std::sync::Mutex::new(Some(Box::pin(BlockInPoll {
+            entered: entered.clone(),
+            release: release.clone(),
+            polls: 0,
+        }))),
+        shared: std::sync::Weak::new(),
+    });
+    let t1 = {
+        let task = task.clone();
+        std::thread::spawn(move || task.run())
+    };
+    entered.wait(); // thread 1 is now mid-poll, claim held
+    let offender = {
+        let task = task.clone();
+        std::thread::spawn(move || task.run()).join()
+    };
+    release.wait();
+    t1.join().expect("first poller finishes cleanly");
+    assert!(
+        offender.is_err(),
+        "second concurrent poll must trip the debug poll-claim panic"
+    );
+}
+
+/// Sleeps inside a runtime ride the per-runtime timer list, serviced by
+/// parked workers arming the next deadline — concurrently pending sleeps
+/// all fire, and the workers demonstrably parked rather than spinning.
+#[test]
+fn concurrent_sleeps_share_the_runtime_timer_list() {
+    let rt = rt(2);
+    let t0 = Instant::now();
+    rt.block_on(async {
+        let mut handles = Vec::new();
+        for i in 0..32u64 {
+            handles.push(crate::spawn(async move {
+                sleep(Duration::from_millis(10 + (i % 7) * 5)).await;
+            }));
+        }
+        for h in handles {
+            h.await.expect("sleeper finished");
+        }
+    });
+    let elapsed = t0.elapsed();
+    assert!(
+        elapsed >= Duration::from_millis(10),
+        "sleeps actually waited"
+    );
+    assert!(
+        elapsed < Duration::from_secs(30),
+        "timer list serviced promptly, not on the fallback hour tick"
+    );
+    assert!(
+        rt.metrics().parks > 0,
+        "workers parked on the timer deadline instead of spinning"
+    );
+}
+
+/// The injection-only control (builder flag) must still run everything —
+/// and must never steal, which is what makes it a clean baseline.
+#[test]
+fn injection_only_mode_disables_stealing() {
+    let rt = Builder::new_multi_thread()
+        .worker_threads(4)
+        .injection_only(true)
+        .enable_all()
+        .build()
+        .expect("building control runtime");
+    let hits = Arc::new(AtomicUsize::new(0));
+    let h = hits.clone();
+    rt.block_on(async move {
+        let mut handles = Vec::new();
+        for _ in 0..64 {
+            let h = h.clone();
+            handles.push(crate::spawn(async move {
+                h.fetch_add(1, Ordering::Relaxed);
+                crate::task::yield_now().await;
+            }));
+        }
+        for handle in handles {
+            handle.await.expect("task completed");
+        }
+    });
+    assert_eq!(hits.load(Ordering::Relaxed), 64);
+    let m = rt.metrics();
+    assert!(m.injection_only);
+    assert_eq!(m.steals, 0, "single-queue control never steals");
+    assert_eq!(m.lifo_hits, 0, "single-queue control has no LIFO slot");
+}

@@ -1,4 +1,7 @@
-//! Timers: `sleep` and `timeout`, backed by the global timer thread.
+//! Timers: `sleep` and `timeout`, backed by the owning runtime's timer
+//! list (armed as parked workers' wait deadline — no thread burns a core
+//! waiting); sleeps polled outside any runtime fall back to one global
+//! timer thread.
 
 use super::*;
 
@@ -20,7 +23,7 @@ impl Future for Sleep {
         if Instant::now() >= self.deadline {
             return Poll::Ready(());
         }
-        // Re-register on every pending poll: the timer heap holds wakers
+        // Re-register on every pending poll: the timer list holds wakers
         // by value and a task can migrate between polls, so the freshest
         // waker must win. Stale entries fire as harmless spurious wakes.
         register_timer(self.deadline, cx.waker().clone());
