@@ -1,0 +1,146 @@
+//! Cycle-index arithmetic shared by the modern-rival ring baselines
+//! ([`crate::scq`], [`crate::wcq`]).
+//!
+//! Both queues index a power-of-two ring with an *unbounded* monotone
+//! position counter (advanced by fetch-and-add or CAS) and stamp each ring
+//! entry with the **cycle** — the lap number `position >> order` — so that
+//! a slot can tell "filled this lap" apart from "leftover from an earlier
+//! lap" without per-slot version counters. The entry word has fewer than
+//! 64 bits left for the cycle once the index/flag fields are packed in, so
+//! every stored cycle is *truncated*; comparisons must therefore be
+//! **wrapping** (two's-complement difference within the truncated width),
+//! exactly like a seqlock or TCP sequence-number compare. These helpers
+//! centralize that arithmetic; `tests/properties.rs` drives them through
+//! the wrap-around edge cases and the Miri CI leg interprets the unit
+//! tests below.
+
+/// The lap number of unbounded ring position `pos` on a ring of
+/// `1 << order` entries.
+#[inline]
+pub fn position_cycle(pos: u64, order: u32) -> u64 {
+    pos >> order
+}
+
+/// Maps a ring position to a physical slot, spreading *adjacent* positions
+/// across cache lines (Nikolaev's "cache remap").
+///
+/// Eight `u64` entries share a 64-byte line, so with the identity map the
+/// hot head/tail positions of a busy ring all contend on one line. The
+/// remap rotates the masked position right by three bits within the
+/// `order`-bit field: consecutive positions land `2^(order-3)` slots apart
+/// (distinct lines once the ring has ≥ 64 entries) while remaining a pure
+/// permutation of the ring. Rings smaller than eight entries keep the
+/// identity map — there is nothing to spread.
+#[inline]
+pub fn ring_slot(pos: u64, order: u32) -> usize {
+    let mask = (1u64 << order) - 1;
+    let i = pos & mask;
+    if order >= 3 {
+        (((i >> 3) | (i << (order - 3))) & mask) as usize
+    } else {
+        i as usize
+    }
+}
+
+/// Wrapping "less than" on cycles truncated to `bits` bits: true iff `a`
+/// precedes `b` by less than half the cycle space.
+///
+/// Entry words store truncated cycles, so after `2^bits` laps the raw
+/// values wrap; interpreting the difference as a signed `bits`-wide
+/// integer keeps comparisons correct as long as live entries never span
+/// more than half the space — guaranteed here because a ring holds at
+/// most one pending lap (entries are consumed before the position counter
+/// can lap them again).
+#[inline]
+pub fn cycle_lt(a: u64, b: u64, bits: u32) -> bool {
+    let mask = ones(bits);
+    // Sign bit of the `bits`-wide difference a - b (zero difference has
+    // sign 0, so equality correctly reads as "not less").
+    (a.wrapping_sub(b) & mask) >> (bits - 1) == 1
+}
+
+/// Wrapping equality on cycles truncated to `bits` bits.
+#[inline]
+pub fn cycle_eq(a: u64, b: u64, bits: u32) -> bool {
+    let mask = ones(bits);
+    (a & mask) == (b & mask)
+}
+
+/// Wrapping `a <= b` on the *untruncated* 64-bit position counters
+/// (head/tail tickets). Positions in flight are always within `2^63` of
+/// each other, so the two's-complement sign of the difference decides.
+#[inline]
+pub fn pos_le(a: u64, b: u64) -> bool {
+    (b.wrapping_sub(a) as i64) >= 0
+}
+
+/// A mask of `bits` low ones (`bits` ≤ 64).
+#[inline]
+pub fn ones(bits: u32) -> u64 {
+    if bits >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << bits) - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycle_compare_is_wrapping() {
+        // Plain small cycles.
+        assert!(cycle_lt(0, 1, 16));
+        assert!(!cycle_lt(1, 0, 16));
+        assert!(!cycle_lt(5, 5, 16));
+        assert!(cycle_eq(5, 5, 16));
+        // The all-ones "initial" cycle reads as -1: less than 0.
+        assert!(cycle_lt(ones(16), 0, 16));
+        assert!(cycle_lt(ones(16) - 1, ones(16), 16));
+        // Across the wrap boundary: 0xFFFF < 0x0000 < 0x0001.
+        assert!(cycle_lt(0xFFFF, 0x0001, 16));
+        // Truncation: cycles equal mod 2^bits compare equal.
+        assert!(cycle_eq(0x1_0005, 0x0005, 16));
+        assert!(!cycle_lt(0x1_0005, 0x0005, 16));
+    }
+
+    #[test]
+    fn position_compare_is_wrapping() {
+        assert!(pos_le(0, 0));
+        assert!(pos_le(3, 7));
+        assert!(!pos_le(7, 3));
+        // Near the u64 wrap: MAX precedes 1 (difference 2 < 2^63).
+        assert!(pos_le(u64::MAX, 1));
+        assert!(!pos_le(1, u64::MAX));
+    }
+
+    #[test]
+    fn ring_slot_is_a_permutation() {
+        for order in 0..12u32 {
+            let n = 1usize << order;
+            let mut seen = vec![false; n];
+            for pos in 0..n as u64 {
+                let j = ring_slot(pos, order);
+                assert!(j < n, "slot {j} out of range for order {order}");
+                assert!(!seen[j], "slot {j} hit twice for order {order}");
+                seen[j] = true;
+            }
+            // The remap only depends on the masked position.
+            assert_eq!(ring_slot(0, order), ring_slot(n as u64, order));
+        }
+    }
+
+    #[test]
+    fn ring_slot_spreads_neighbours_across_lines() {
+        // With ≥ 64 entries, positions p and p+1 must not share a
+        // 64-byte line (8 u64 slots).
+        for order in 6..12u32 {
+            for pos in 0..(1u64 << order) - 1 {
+                let a = ring_slot(pos, order) / 8;
+                let b = ring_slot(pos + 1, order) / 8;
+                assert_ne!(a, b, "positions {pos},{} share a line", pos + 1);
+            }
+        }
+    }
+}

@@ -10,12 +10,15 @@
 //! | [`TsigasZhangQueue`] | related-work extension (§2/§3 discussion) |
 //! | [`MutexQueue`] | blocking contrast (paper §1 motivation) |
 //! | [`SeqQueue`] | single-thread overhead baseline (§6 in-text) |
+//! | [`ScqQueue`] | modern rival: SCQ (Nikolaev, arXiv 1908.04511) |
+//! | [`WcqQueue`] | modern rival: wCQ helping ring (arXiv 2201.02179) |
 //!
 //! All implement [`nbq_util::ConcurrentQueue`], so the harness drives them
 //! interchangeably with the paper's own algorithms from `nbq-core`.
 
 #![warn(missing_docs)]
 
+pub mod cycle;
 pub mod delayed_free;
 pub mod herlihy_wing;
 pub mod lms;
@@ -24,10 +27,12 @@ pub mod ms_doherty;
 pub mod ms_queue;
 pub mod naive;
 pub(crate) mod node_support;
+pub mod scq;
 pub mod shann;
 pub mod treiber;
 pub mod tsigas_zhang;
 pub mod valois;
+pub mod wcq;
 
 pub use delayed_free::DelayedFree;
 pub use herlihy_wing::HerlihyWingQueue;
@@ -37,7 +42,9 @@ pub use ms_doherty::MsDohertyQueue;
 pub use ms_queue::MsQueue;
 pub use naive::NaiveArrayQueue;
 pub use nbq_hazard::ScanMode;
+pub use scq::ScqQueue;
 pub use shann::ShannQueue;
 pub use treiber::TreiberQueue;
 pub use tsigas_zhang::TsigasZhangQueue;
 pub use valois::ValoisQueue;
+pub use wcq::WcqQueue;

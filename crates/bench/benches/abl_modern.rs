@@ -1,0 +1,78 @@
+//! Ablation bench `abl_modern`: the modern-rival rings (SCQ and wCQ,
+//! DESIGN.md §12) against the paper queues and the Michael–Scott
+//! baseline under the §6 workload, plus the wCQ with patience 0 so the
+//! cost of the helping machinery is priced separately from its ring.
+
+use criterion::{BenchmarkId, Criterion};
+use nbq_baselines::{MsQueue, ScanMode, ScqQueue, WcqQueue};
+use nbq_bench::{bench_config, criterion};
+use nbq_harness::{run_once, WorkloadConfig};
+use nbq_util::ConcurrentQueue;
+use std::time::Duration;
+
+fn time_queue<Q: ConcurrentQueue<u64>>(
+    make: impl Fn() -> Q,
+    cfg: &WorkloadConfig,
+    iters: u64,
+) -> Duration {
+    let mut total = Duration::ZERO;
+    for _ in 0..iters {
+        total += Duration::from_secs_f64(run_once(&make(), cfg));
+    }
+    total
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("abl_modern");
+    for threads in [1usize, 2, 4] {
+        let cfg = bench_config(threads);
+        group.throughput(criterion::Throughput::Elements(cfg.total_ops()));
+        group.bench_with_input(BenchmarkId::new("cas", threads), &threads, |b, _| {
+            b.iter_custom(|iters| {
+                time_queue(
+                    || nbq_core::CasQueue::<u64>::with_capacity(cfg.capacity),
+                    &cfg,
+                    iters,
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("llsc", threads), &threads, |b, _| {
+            b.iter_custom(|iters| {
+                time_queue(
+                    || nbq_core::LlScQueue::<u64>::with_capacity(cfg.capacity),
+                    &cfg,
+                    iters,
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("ms-hp", threads), &threads, |b, _| {
+            b.iter_custom(|iters| time_queue(|| MsQueue::<u64>::new(ScanMode::Sorted), &cfg, iters))
+        });
+        group.bench_with_input(BenchmarkId::new("scq", threads), &threads, |b, _| {
+            b.iter_custom(|iters| {
+                time_queue(|| ScqQueue::<u64>::with_capacity(cfg.capacity), &cfg, iters)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("wcq", threads), &threads, |b, _| {
+            b.iter_custom(|iters| {
+                time_queue(|| WcqQueue::<u64>::with_capacity(cfg.capacity), &cfg, iters)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("wcq-slow", threads), &threads, |b, _| {
+            b.iter_custom(|iters| {
+                time_queue(
+                    || WcqQueue::<u64>::with_patience(cfg.capacity, 0),
+                    &cfg,
+                    iters,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn main() {
+    let mut c = criterion();
+    bench(&mut c);
+    c.final_summary();
+}

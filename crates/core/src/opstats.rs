@@ -77,6 +77,18 @@ pub struct OpStats {
     pub executor_injection_polls: AtomicU64,
     /// Times an executor worker parked during the run.
     pub executor_parks: AtomicU64,
+    /// Ring-position cycle wraps in the modern-rival baselines (SCQ/wCQ):
+    /// a fetch-and-add ticket crossed into a new lap of the index ring.
+    pub cycle_wraps: AtomicU64,
+    /// SCQ/wCQ livelock-threshold resets (a successful enqueue re-arming
+    /// the dequeuers' bounded-emptiness counter, Nikolaev Fig. 5).
+    pub threshold_resets: AtomicU64,
+    /// SCQ/wCQ `catchup` invocations — a dequeuer repairing `Tail`
+    /// after over-claiming tickets past it on an empty ring.
+    pub catchups: AtomicU64,
+    /// wCQ help events: a published slow-path record completed through
+    /// the helping protocol (by any thread, including its owner).
+    pub help_events: AtomicU64,
 }
 
 /// A point-in-time, per-operation view of the counters.
@@ -127,6 +139,14 @@ pub struct OpStatsSnapshot {
     pub executor_injection_polls: u64,
     /// Total executor worker parks (absolute count).
     pub executor_parks: u64,
+    /// Ring cycle wraps per completed operation (SCQ/wCQ).
+    pub cycle_wraps: f64,
+    /// Threshold resets per completed operation (SCQ/wCQ).
+    pub threshold_resets: f64,
+    /// `catchup` repairs per completed operation (SCQ/wCQ).
+    pub catchups: f64,
+    /// Helped slow-path completions per completed operation (wCQ).
+    pub help_events: f64,
 }
 
 impl OpStats {
@@ -162,6 +182,10 @@ impl OpStats {
             executor_lifo_hits: self.executor_lifo_hits.load(Ordering::Relaxed),
             executor_injection_polls: self.executor_injection_polls.load(Ordering::Relaxed),
             executor_parks: self.executor_parks.load(Ordering::Relaxed),
+            cycle_wraps: per(&self.cycle_wraps),
+            threshold_resets: per(&self.threshold_resets),
+            catchups: per(&self.catchups),
+            help_events: per(&self.help_events),
         }
     }
 
@@ -208,6 +232,69 @@ impl OpStats {
         self.executor_injection_polls
             .fetch_add(injection_polls, Ordering::Relaxed);
         self.executor_parks.fetch_add(parks, Ordering::Relaxed);
+    }
+
+    /// Records a completed queue operation (the per-op denominator).
+    /// Public (like the waker/executor recorders) because the
+    /// modern-rival baselines live in `nbq-baselines`, outside this
+    /// crate, and drive the counters through these methods.
+    #[inline]
+    pub fn record_operation(&self) {
+        Self::bump(&self.operations);
+    }
+
+    /// Records a fetch-and-add on a ring position counter.
+    #[inline]
+    pub fn record_faa(&self) {
+        Self::bump(&self.faa_ops);
+    }
+
+    /// Records a CAS attempt on a ring slot word.
+    #[inline]
+    pub fn record_slot_cas_attempt(&self) {
+        Self::bump(&self.slot_cas_attempts);
+    }
+
+    /// Records a successful ring-slot CAS.
+    #[inline]
+    pub fn record_slot_cas_success(&self) {
+        Self::bump(&self.slot_cas_successes);
+    }
+
+    /// Records a CAS attempt on a `Head`/`Tail` index.
+    #[inline]
+    pub fn record_index_cas_attempt(&self) {
+        Self::bump(&self.index_cas_attempts);
+    }
+
+    /// Records a successful index CAS.
+    #[inline]
+    pub fn record_index_cas_success(&self) {
+        Self::bump(&self.index_cas_successes);
+    }
+
+    /// Records a ring-position ticket crossing into a new cycle (lap).
+    #[inline]
+    pub fn record_cycle_wrap(&self) {
+        Self::bump(&self.cycle_wraps);
+    }
+
+    /// Records a livelock-threshold reset after a successful enqueue.
+    #[inline]
+    pub fn record_threshold_reset(&self) {
+        Self::bump(&self.threshold_resets);
+    }
+
+    /// Records one `catchup` repair of a lagging `Tail`.
+    #[inline]
+    pub fn record_catchup(&self) {
+        Self::bump(&self.catchups);
+    }
+
+    /// Records a slow-path record completed through helping.
+    #[inline]
+    pub fn record_help_event(&self) {
+        Self::bump(&self.help_events);
     }
 
     /// Classifies where a node acquisition came from. A `Refill` both

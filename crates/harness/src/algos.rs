@@ -5,7 +5,8 @@ use crate::workload::{
     run_workload, run_workload_async, run_workload_pipe, run_workload_pipe_pinned, WorkloadConfig,
 };
 use nbq_baselines::{
-    MsDohertyQueue, MsQueue, MutexQueue, ScanMode, SeqQueue, ShannQueue, TsigasZhangQueue,
+    MsDohertyQueue, MsQueue, MutexQueue, ScanMode, ScqQueue, SeqQueue, ShannQueue,
+    TsigasZhangQueue, WcqQueue,
 };
 use nbq_core::{
     CasQueue, CasQueueConfig, GatePolicy, LlScQueue, LlScQueueConfig, ShardedConfig, ShardedQueue,
@@ -46,6 +47,11 @@ pub enum Algo {
     /// Ladan-Mozes & Shavit's optimistic doubly-linked queue
     /// (related-work extension).
     Lms,
+    /// Nikolaev's SCQ cycle-tagged ring (modern-rival extension).
+    Scq,
+    /// wCQ helping-based ring, the wait-free SCQ successor (modern-rival
+    /// extension).
+    Wcq,
     /// crossbeam's bounded `ArrayQueue` (modern comparator extension).
     CrossbeamArray,
     /// crossbeam's unbounded `SegQueue` (modern comparator extension).
@@ -111,6 +117,8 @@ impl Algo {
             Algo::Valois => "Valois (software DCAS)",
             Algo::Treiber => "Treiber 1986",
             Algo::Lms => "Ladan-Mozes/Shavit optimistic",
+            Algo::Scq => "SCQ (Nikolaev)",
+            Algo::Wcq => "wCQ (helping ring)",
             Algo::CrossbeamArray => "crossbeam ArrayQueue",
             Algo::CrossbeamSeg => "crossbeam SegQueue",
             Algo::ShardedCas { lanes } => match lanes {
@@ -199,6 +207,8 @@ impl Algo {
             "valois" => Algo::Valois,
             "treiber" => Algo::Treiber,
             "lms" | "optimistic" => Algo::Lms,
+            "scq" => Algo::Scq,
+            "wcq" => Algo::Wcq,
             "crossbeam-array" => Algo::CrossbeamArray,
             "crossbeam-seg" => Algo::CrossbeamSeg,
             "async-cas" => Algo::AsyncCas,
@@ -253,6 +263,8 @@ impl Algo {
             ),
             Algo::Treiber => run_workload(nbq_baselines::TreiberQueue::<u64>::new, config),
             Algo::Lms => run_workload(nbq_baselines::LmsQueue::<u64>::new, config),
+            Algo::Scq => run_workload(|| ScqQueue::<u64>::with_capacity(cap), config),
+            Algo::Wcq => run_workload(|| WcqQueue::<u64>::with_capacity(cap), config),
             Algo::CrossbeamArray => run_workload(|| CrossbeamArrayAdapter::new(cap), config),
             Algo::CrossbeamSeg => run_workload(CrossbeamSegAdapter::new, config),
             Algo::ShardedCas { lanes } => {
@@ -399,6 +411,9 @@ pub const AMD_SET: &[Algo] = &[
 pub const MODERN_SET: &[Algo] = &[
     Algo::CasQueue,
     Algo::LlScQueue,
+    Algo::MsHpSorted,
+    Algo::Scq,
+    Algo::Wcq,
     Algo::Shann,
     Algo::TsigasZhang,
     Algo::HerlihyWing,
@@ -552,6 +567,8 @@ mod tests {
             Algo::Valois,
             Algo::Treiber,
             Algo::Lms,
+            Algo::Scq,
+            Algo::Wcq,
             Algo::Mutex,
             Algo::CrossbeamArray,
             Algo::CrossbeamSeg,
@@ -593,6 +610,8 @@ mod tests {
             ("valois", Algo::Valois),
             ("treiber", Algo::Treiber),
             ("lms", Algo::Lms),
+            ("scq", Algo::Scq),
+            ("wcq", Algo::Wcq),
             ("crossbeam-array", Algo::CrossbeamArray),
             ("crossbeam-seg", Algo::CrossbeamSeg),
             ("sharded-cas-4", Algo::ShardedCas { lanes: 4 }),

@@ -9,7 +9,9 @@
 //!   caswidth                         in-text T2 (primitive costs)
 //!   opcounts                         in-text T4 (instructions per op)
 //!   ablate-scan | ablate-reregister | ablate-capacity | ablate-backoff
-//!   modern                           extension: modern comparators
+//!   modern                           extension: modern comparators incl.
+//!                                    the SCQ/wCQ rivals, plus their
+//!                                    ring-protocol counters table
 //!   batch                            extension: batch API amortization
 //!   ordering                         extension: per-site relaxed orderings
 //!                                    vs strict SeqCst (build once per
@@ -402,6 +404,14 @@ fn main() -> ExitCode {
         }
         "modern" => {
             emit(&experiments::modern(&args.threads, &args.config), &args.csv);
+            emit(
+                &experiments::modern_ops(&args.threads, &args.config),
+                &args.csv,
+            );
+            println!(
+                "SCQ/wCQ counter rows: wraps/resets/catchups trace the ring \
+                 protocol; a zero help/op row means wCQ never left its fast path"
+            );
         }
         "batch" => {
             let laps = args.config.iterations.max(200);
@@ -456,6 +466,10 @@ fn main() -> ExitCode {
                 &args.csv,
             );
             emit(&experiments::modern(&args.threads, &args.config), &args.csv);
+            emit(
+                &experiments::modern_ops(&args.threads, &args.config),
+                &args.csv,
+            );
             emit(
                 &experiments::batch_amortization(&[1, 4, 16, 64], args.config.iterations),
                 &args.csv,

@@ -501,6 +501,65 @@ pub fn modern(thread_counts: &[usize], base: &WorkloadConfig) -> Table {
     )
 }
 
+/// `ext-modern-ops`: per-operation protocol counters for the modern
+/// rivals — SCQ's cycle wraps, threshold resets and catchup repairs, and
+/// wCQ's helped slow-path completions on top of the same ring events —
+/// alongside the shared FAA/slot-CAS instruction counts. One row per
+/// (algorithm, metric), columns = thread counts.
+pub fn modern_ops(thread_counts: &[usize], base: &WorkloadConfig) -> Table {
+    use crate::workload::run_once;
+    use nbq_baselines::{ScqQueue, WcqQueue};
+
+    let mut table = Table::new(
+        "ext-modern-ops",
+        "SCQ/wCQ: ring-protocol events per operation",
+        "threads",
+        "events/op",
+        thread_counts.iter().map(|&t| t as u64).collect(),
+    );
+    // (row label, per-snapshot extractor) — identical metric set for the
+    // two rivals so the rows compare directly; `help/op` is structurally
+    // zero for SCQ (it has no helping path).
+    type OpsMetric = (&'static str, fn(&nbq_core::OpStatsSnapshot) -> f64);
+    let metrics: &[OpsMetric] = &[
+        ("faa/op", |s| s.faa_ops),
+        ("slot CAS attempt/op", |s| s.slot_cas_attempts),
+        ("cycle wrap/op", |s| s.cycle_wraps),
+        ("threshold reset/op", |s| s.threshold_resets),
+        ("catchup/op", |s| s.catchups),
+        ("help/op", |s| s.help_events),
+    ];
+    let mut rows: Vec<Vec<Cell>> = vec![Vec::new(); 2 * metrics.len()];
+    for &threads in thread_counts {
+        let cfg = WorkloadConfig { threads, ..*base };
+        let q = ScqQueue::<u64>::with_stats(cfg.capacity);
+        run_once(&q, &cfg);
+        let snap = q.stats().expect("stats enabled").snapshot();
+        for (i, (_, get)) in metrics.iter().enumerate() {
+            rows[i].push(Cell {
+                mean: get(&snap),
+                stddev: 0.0,
+            });
+        }
+        let q = WcqQueue::<u64>::with_stats(cfg.capacity);
+        run_once(&q, &cfg);
+        let snap = q.stats().expect("stats enabled").snapshot();
+        for (i, (_, get)) in metrics.iter().enumerate() {
+            rows[metrics.len() + i].push(Cell {
+                mean: get(&snap),
+                stddev: 0.0,
+            });
+        }
+    }
+    for (i, (label, _)) in metrics.iter().enumerate() {
+        table.push_row(&format!("SCQ: {label}"), rows[i].clone());
+    }
+    for (i, (label, _)) in metrics.iter().enumerate() {
+        table.push_row(&format!("wCQ: {label}"), rows[metrics.len() + i].clone());
+    }
+    table
+}
+
 /// `t4-opcounts`: the paper's per-operation synchronization-instruction
 /// accounting, measured. Returns a table with one row per (algorithm,
 /// metric) and columns = thread counts.

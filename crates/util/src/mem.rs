@@ -150,6 +150,15 @@ relaxable! {
     /// Failure ordering of arity CASes: the loaded word feeds straight
     /// back into the claim/promote retry loop.
     ARITY_CAS_FAIL = Relaxed;
+    /// Plain stores of SCQ/wCQ ring bookkeeping (ring initialization and
+    /// the livelock-threshold reset after a successful enqueue, Nikolaev
+    /// Fig. 5). Release pairs with the dequeuers' [`INDEX_LOAD`]-class
+    /// acquire of the threshold: a dequeuer that observes the reset also
+    /// observes the slot fill published before it, so the extra attempts
+    /// the reset grants always have something to find. A *missed* reset
+    /// costs at most one spurious empty re-probe — the enqueued entry
+    /// itself is published by [`SLOT_CAS`].
+    RING_STORE = Release;
 }
 
 /// CASes that install or remove a `CasQueue` reservation tag in a slot

@@ -239,6 +239,17 @@ impl QueueKind {
         }
     }
 
+    /// Multi-producer/multi-consumer, wait-free — the envelope of
+    /// helping-based rings (wCQ), where a published operation is
+    /// completable by any thread.
+    pub const fn mpmc_wait_free() -> Self {
+        Self {
+            producers: Arity::Multi,
+            consumers: Arity::Multi,
+            wait_free: true,
+        }
+    }
+
     /// Single-producer/single-consumer, wait-free — the envelope of the
     /// cache-aware SPSC ring lane.
     pub const fn spsc_wait_free() -> Self {

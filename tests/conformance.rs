@@ -3,8 +3,8 @@
 //! behavioural contract through the common `ConcurrentQueue` trait.
 
 use nbq::baselines::{
-    HerlihyWingQueue, LmsQueue, MsDohertyQueue, MsQueue, MutexQueue, ScanMode, ShannQueue,
-    TreiberQueue, TsigasZhangQueue, ValoisQueue,
+    HerlihyWingQueue, LmsQueue, MsDohertyQueue, MsQueue, MutexQueue, ScanMode, ScqQueue,
+    ShannQueue, TreiberQueue, TsigasZhangQueue, ValoisQueue, WcqQueue,
 };
 use nbq::{
     CasQueue, ConcurrentQueue, LanePolicy, LlScQueue, QueueHandle, ShardedConfig, ShardedQueue,
@@ -251,6 +251,35 @@ fn treiber_conformance() {
 }
 
 #[test]
+fn scq_conformance() {
+    conformance_suite(ScqQueue::<String>::with_capacity);
+    batch_suite(ScqQueue::<String>::with_capacity);
+    bounded_batch_suite(ScqQueue::<String>::with_capacity);
+    bounded_suite(ScqQueue::<String>::with_capacity);
+    drop_suite(ScqQueue::<DropCounter>::with_capacity);
+}
+
+#[test]
+fn wcq_conformance() {
+    conformance_suite(WcqQueue::<String>::with_capacity);
+    batch_suite(WcqQueue::<String>::with_capacity);
+    bounded_batch_suite(WcqQueue::<String>::with_capacity);
+    bounded_suite(WcqQueue::<String>::with_capacity);
+    drop_suite(WcqQueue::<DropCounter>::with_capacity);
+}
+
+#[test]
+fn wcq_slow_path_conformance() {
+    // Patience 0 routes every operation through the helping records, so
+    // the whole behavioural contract holds on the slow path alone.
+    conformance_suite(|cap| WcqQueue::<String>::with_patience(cap, 0));
+    batch_suite(|cap| WcqQueue::<String>::with_patience(cap, 0));
+    bounded_batch_suite(|cap| WcqQueue::<String>::with_patience(cap, 0));
+    bounded_suite(|cap| WcqQueue::<String>::with_patience(cap, 0));
+    drop_suite(|cap| WcqQueue::<DropCounter>::with_patience(cap, 0));
+}
+
+#[test]
 fn valois_conformance() {
     conformance_suite(ValoisQueue::<String>::with_capacity);
     batch_suite(ValoisQueue::<String>::with_capacity);
@@ -396,6 +425,8 @@ fn algorithm_names_are_distinct() {
         ConcurrentQueue::<String>::algorithm_name(&ValoisQueue::with_capacity(2)),
         ConcurrentQueue::<String>::algorithm_name(&TreiberQueue::new()),
         ConcurrentQueue::<String>::algorithm_name(&LmsQueue::new()),
+        ConcurrentQueue::<String>::algorithm_name(&ScqQueue::with_capacity(2)),
+        ConcurrentQueue::<String>::algorithm_name(&WcqQueue::with_capacity(2)),
     ];
     let mut unique = names.to_vec();
     unique.sort_unstable();
@@ -443,6 +474,29 @@ fn occupancy_observers_report_through_the_trait() {
         ConcurrentQueue::<String>::is_empty(&TreiberQueue::<String>::new()),
         None
     );
+}
+
+#[test]
+fn modern_rivals_report_through_the_trait() {
+    use nbq::QueueKind;
+
+    // Both rivals round capacity up to a power of two and derive
+    // occupancy from their allocated ring.
+    let q = ScqQueue::<String>::with_capacity(5);
+    assert_eq!(ConcurrentQueue::capacity(&q), Some(8));
+    assert_eq!(ConcurrentQueue::len(&q), Some(0));
+    q.handle().enqueue("x".into()).unwrap();
+    assert_eq!(ConcurrentQueue::len(&q), Some(1));
+    assert_eq!(ConcurrentQueue::is_empty(&q), Some(false));
+    assert_eq!(ConcurrentQueue::kind(&q), QueueKind::mpmc());
+
+    let q = WcqQueue::<String>::with_capacity(5);
+    assert_eq!(ConcurrentQueue::capacity(&q), Some(8));
+    assert_eq!(ConcurrentQueue::len(&q), Some(0));
+    q.handle().enqueue("x".into()).unwrap();
+    assert_eq!(ConcurrentQueue::len(&q), Some(1));
+    assert_eq!(ConcurrentQueue::is_empty(&q), Some(false));
+    assert_eq!(ConcurrentQueue::kind(&q), QueueKind::mpmc_wait_free());
 }
 
 #[test]

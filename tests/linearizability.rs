@@ -7,8 +7,8 @@
 //! model starts empty, so the real queue must too.
 
 use nbq::baselines::{
-    HerlihyWingQueue, LmsQueue, MsDohertyQueue, MsQueue, MutexQueue, ScanMode, ShannQueue,
-    TreiberQueue, TsigasZhangQueue, ValoisQueue,
+    HerlihyWingQueue, LmsQueue, MsDohertyQueue, MsQueue, MutexQueue, ScanMode, ScqQueue,
+    ShannQueue, TreiberQueue, TsigasZhangQueue, ValoisQueue, WcqQueue,
 };
 use nbq::lincheck::{
     check_history, check_linearizable, record_paper_workload, record_run, DriverConfig, History,
@@ -168,6 +168,61 @@ fn valois_histories_are_clean() {
 #[test]
 fn valois_small_histories_linearizable() {
     assert_small_linearizable(|| ValoisQueue::<u64>::with_capacity(64), &[35, 36]);
+}
+
+#[test]
+fn scq_histories_are_clean() {
+    assert_clean(|| ScqQueue::<u64>::with_capacity(64), &[43, 44]);
+}
+
+#[test]
+fn scq_small_histories_linearizable() {
+    assert_small_linearizable(|| ScqQueue::<u64>::with_capacity(64), &[45, 46, 47]);
+}
+
+#[test]
+fn wcq_histories_are_clean() {
+    assert_clean(|| WcqQueue::<u64>::with_capacity(64), &[48, 49]);
+    // Patience 0: the same workload entirely through the helping records.
+    assert_clean(|| WcqQueue::<u64>::with_patience(64, 0), &[50]);
+}
+
+#[test]
+fn wcq_small_histories_linearizable() {
+    assert_small_linearizable(|| WcqQueue::<u64>::with_capacity(64), &[51, 52]);
+    assert_small_linearizable(|| WcqQueue::<u64>::with_patience(64, 0), &[53, 54]);
+}
+
+#[test]
+fn modern_rivals_tiny_capacity_full_semantics_linearize() {
+    // Capacity-2 rings under a concurrent run: the rivals' Full outcomes
+    // at exact capacity must pass the exhaustive Wing–Gong search
+    // against the bounded FIFO model, like the paper queues'.
+    fn check<Q: ConcurrentQueue<u64>>(make: impl Fn() -> Q, seeds: &[u64]) {
+        for &seed in seeds {
+            let q = make();
+            assert_eq!(ConcurrentQueue::capacity(&q), Some(2));
+            let h = record_run(
+                &q,
+                DriverConfig {
+                    threads: 2,
+                    ops_per_thread: 10,
+                    enqueue_percent: 70,
+                    seed,
+                },
+            );
+            let result = check_linearizable(&h, Some(2));
+            assert!(
+                result.is_linearizable(),
+                "{}: capacity-2 history not linearizable (seed {seed}): {result:?}\n{:?}",
+                q.algorithm_name(),
+                h.sorted_by_start()
+            );
+        }
+    }
+    check(|| ScqQueue::<u64>::with_capacity(2), &[55, 56, 57]);
+    check(|| WcqQueue::<u64>::with_capacity(2), &[58, 59, 60]);
+    check(|| WcqQueue::<u64>::with_patience(2, 0), &[61, 62, 63]);
 }
 
 #[test]

@@ -2,9 +2,15 @@
 //! reference model, differential testing of the LL/SC emulations, and
 //! cross-validation of the two linearizability checkers.
 
+use nbq::baselines::cycle::{cycle_eq, cycle_lt, ones, pos_le, position_cycle, ring_slot};
+use nbq::baselines::scq::{scq_cycle, scq_cycle_bits, scq_idx, scq_is_safe, scq_pack};
+use nbq::baselines::wcq::{
+    wcq_cycle, wcq_cycle_bits, wcq_idx, wcq_is_live, wcq_is_safe, wcq_pack, wcq_tag,
+    DEFAULT_PATIENCE,
+};
 use nbq::baselines::{
-    HerlihyWingQueue, LmsQueue, MsQueue, ScanMode, ShannQueue, TreiberQueue, TsigasZhangQueue,
-    ValoisQueue,
+    HerlihyWingQueue, LmsQueue, MsQueue, ScanMode, ScqQueue, ShannQueue, TreiberQueue,
+    TsigasZhangQueue, ValoisQueue, WcqQueue,
 };
 use nbq::lincheck::{
     check_history, check_linearizable, check_value_integrity, History, Op, OpKind, SearchResult,
@@ -345,6 +351,182 @@ proptest! {
     #[test]
     fn tsigas_zhang_matches_model(script in script_strategy(120), cap in 1usize..20) {
         assert_matches_model(&TsigasZhangQueue::<u64>::with_capacity(cap), &script);
+    }
+
+    #[test]
+    fn scq_queue_matches_model(script in script_strategy(120), cap in 1usize..20) {
+        assert_matches_model(&ScqQueue::<u64>::with_capacity(cap), &script);
+    }
+
+    #[test]
+    fn scq_queue_batches_match_model(script in batch_script_strategy(60), cap in 1usize..12) {
+        assert_batch_matches_model(&ScqQueue::<u64>::with_capacity(cap), &script);
+    }
+
+    #[test]
+    fn wcq_queue_matches_model(
+        script in script_strategy(120),
+        cap in 1usize..20,
+        slow in any::<bool>(),
+    ) {
+        // Half the cases run entirely on the helped slow path.
+        let patience = if slow { 0 } else { DEFAULT_PATIENCE };
+        assert_matches_model(&WcqQueue::<u64>::with_patience(cap, patience), &script);
+    }
+
+    #[test]
+    fn wcq_queue_batches_match_model(
+        script in batch_script_strategy(60),
+        cap in 1usize..12,
+        slow in any::<bool>(),
+    ) {
+        let patience = if slow { 0 } else { DEFAULT_PATIENCE };
+        assert_batch_matches_model(&WcqQueue::<u64>::with_patience(cap, patience), &script);
+    }
+
+    // --- Cycle-index arithmetic for the modern-rival rings ------------
+
+    #[test]
+    fn scq_entry_packing_roundtrips_at_every_order(
+        order in 1u32..20,
+        cycle in any::<u64>(),
+        safe in any::<bool>(),
+        idx in any::<u64>(),
+    ) {
+        let cycle = cycle & ones(scq_cycle_bits(order));
+        let idx = idx & ones(order); // includes ⊥ = all-ones
+        let e = scq_pack(order, cycle, safe, idx);
+        prop_assert_eq!(scq_cycle(e, order), cycle);
+        prop_assert_eq!(scq_is_safe(e, order), safe);
+        prop_assert_eq!(scq_idx(e, order), idx);
+    }
+
+    #[test]
+    fn wcq_entry_packing_roundtrips_at_every_order(
+        order in 1u32..20,
+        cycle in any::<u64>(),
+        safe in any::<bool>(),
+        live in any::<bool>(),
+        tag in 0u64..128,
+        idx in any::<u64>(),
+    ) {
+        let cycle = cycle & ones(wcq_cycle_bits(order));
+        let idx = idx & ones(order);
+        let e = wcq_pack(order, cycle, safe, live, tag, idx);
+        prop_assert_eq!(wcq_cycle(e, order), cycle);
+        prop_assert_eq!(wcq_is_safe(e, order), safe);
+        prop_assert_eq!(wcq_is_live(e, order), live);
+        prop_assert_eq!(wcq_tag(e, order), tag);
+        prop_assert_eq!(wcq_idx(e, order), idx);
+    }
+
+    #[test]
+    fn cycle_comparison_is_correct_across_the_wrap(
+        bits in 4u32..62,
+        base in any::<u64>(),
+        delta in any::<u64>(),
+    ) {
+        // Truncated cycles wrap mod 2^bits; the sign-bit comparison must
+        // order any pair whose true distance is under half the space, on
+        // either side of the wrap — including 2^bits - 1 < 0.
+        let a = base & ones(bits);
+        let half = 1u64 << (bits - 1);
+        let delta = delta % (half - 1) + 1; // 1 .. half-1
+        let b = a.wrapping_add(delta) & ones(bits);
+        prop_assert!(cycle_lt(a, b, bits), "{a:#x} !< {b:#x} (bits {bits})");
+        prop_assert!(!cycle_lt(b, a, bits));
+        prop_assert!(!cycle_eq(a, b, bits));
+        prop_assert!(cycle_eq(a, a, bits));
+        prop_assert!(!cycle_lt(a, a, bits));
+    }
+
+    #[test]
+    fn position_cycle_wraps_with_the_u64_position_counter(
+        order in 1u32..16,
+        back in 1u64..1000,
+        fwd in 1u64..1000,
+    ) {
+        // Positions just below u64::MAX and just above 0: the truncated
+        // cycles must still compare "before wrap" < "after wrap", for
+        // both entry widths (SCQ's bits and wCQ's narrower field).
+        let n = 1u64 << order;
+        let before = position_cycle(0u64.wrapping_sub(back * n), order);
+        let after = position_cycle((fwd - 1) * n, order);
+        for bits in [scq_cycle_bits(order), wcq_cycle_bits(order)] {
+            prop_assert!(
+                cycle_lt(before & ones(bits), after & ones(bits), bits),
+                "cycle {before:#x} !< {after:#x} at {bits} bits"
+            );
+        }
+        // The raw position comparison agrees.
+        prop_assert!(pos_le(0u64.wrapping_sub(back * n), (fwd - 1) * n));
+    }
+
+    #[test]
+    fn ring_slot_remap_is_a_lap_permutation(order in 0u32..12, lap in any::<u64>()) {
+        let n = 1usize << order;
+        let mut seen = vec![false; n];
+        for off in 0..n as u64 {
+            let pos = lap.wrapping_mul(n as u64).wrapping_add(off);
+            let s = ring_slot(pos, order);
+            prop_assert!(s < n);
+            prop_assert!(!seen[s], "slot {s} hit twice in one lap (order {order})");
+            seen[s] = true;
+        }
+    }
+
+    #[test]
+    fn invalidated_entries_stay_distinguishable_and_reclaimable(
+        order in 1u32..20,
+        cycle in any::<u64>(),
+        idx in any::<u64>(),
+    ) {
+        // Invalidation (clearing the safe bit) must not disturb the
+        // cycle or index fields: a skipped entry still carries enough
+        // state for a later-lap enqueue to recognise and reclaim it.
+        let bits = scq_cycle_bits(order);
+        let cycle = cycle & (ones(bits) >> 1); // room for cycle + 1
+        let idx = idx & ones(order);
+        let live = scq_pack(order, cycle, true, idx);
+        let dead = scq_pack(order, cycle, false, idx);
+        prop_assert!(!scq_is_safe(dead, order));
+        prop_assert_eq!(scq_cycle(dead, order), scq_cycle(live, order));
+        prop_assert_eq!(scq_idx(dead, order), scq_idx(live, order));
+        // The next lap's cycle still reads as strictly later, so the
+        // unsafe entry loses every CAS race it should lose.
+        prop_assert!(cycle_lt(scq_cycle(dead, order), cycle + 1, bits));
+    }
+
+    #[test]
+    fn scq_threshold_exhaustion_and_catchup_stay_model_conformant(
+        empties in 1usize..40,
+        cap in 1usize..8,
+    ) {
+        // Arbitrary runs of dequeue-on-empty exhaust the threshold and
+        // leave over-claimed tickets for catchup to repair; the queue
+        // must come back indistinguishable from the model afterwards.
+        let q = ScqQueue::<u64>::with_stats(cap);
+        let mut h = q.handle();
+        prop_assert_eq!(h.dequeue(), None);
+        h.enqueue(1).unwrap();
+        prop_assert_eq!(h.dequeue(), Some(1));
+        for _ in 0..empties {
+            prop_assert_eq!(h.dequeue(), None);
+        }
+        let n = ConcurrentQueue::capacity(&q).unwrap() as u64;
+        for v in 0..2 * n {
+            h.enqueue(v).unwrap();
+            prop_assert_eq!(h.dequeue(), Some(v));
+        }
+        let stats = q.stats().unwrap();
+        prop_assert!(
+            stats.threshold_resets.load(std::sync::atomic::Ordering::Relaxed) >= 1,
+            "enqueues after exhaustion must re-arm the threshold"
+        );
+        prop_assert!(
+            stats.catchups.load(std::sync::atomic::Ordering::Relaxed) >= 1,
+            "over-claimed empty dequeues must repair Tail"
+        );
     }
 
     #[test]

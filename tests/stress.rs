@@ -3,7 +3,9 @@
 //! paper targets), population-obliviousness end-to-end, and leak/drop
 //! accounting under concurrency.
 
-use nbq::baselines::{MsDohertyQueue, MsQueue, ScanMode, ShannQueue, TsigasZhangQueue};
+use nbq::baselines::{
+    MsDohertyQueue, MsQueue, ScanMode, ScqQueue, ShannQueue, TsigasZhangQueue, WcqQueue,
+};
 use nbq::harness::{run_once, WorkloadConfig};
 use nbq::lincheck::{
     check_per_producer_fifo, check_spsc_fifo, check_value_integrity, record_pipe_run, record_run,
@@ -39,6 +41,11 @@ fn paper_workload_all_queues_oversubscribed() {
     run_once(&MsQueue::<u64>::new(ScanMode::Sorted), &cfg);
     run_once(&MsQueue::<u64>::new(ScanMode::Unsorted), &cfg);
     run_once(&MsDohertyQueue::<u64>::new(), &cfg);
+    run_once(&ScqQueue::<u64>::with_capacity(cfg.capacity), &cfg);
+    run_once(&WcqQueue::<u64>::with_capacity(cfg.capacity), &cfg);
+    // And the wCQ with every operation forced through the helping
+    // records — oversubscription preempts helpers mid-protocol.
+    run_once(&WcqQueue::<u64>::with_patience(cfg.capacity, 0), &cfg);
 }
 
 #[test]
@@ -219,6 +226,42 @@ fn batch_mixed_stress_cas_queue() {
 #[test]
 fn batch_mixed_stress_llsc_queue() {
     batch_mixed_transfer(LlScQueue::<u64>::with_capacity(64));
+}
+
+#[test]
+fn batch_mixed_stress_scq() {
+    batch_mixed_transfer(ScqQueue::<u64>::with_capacity(64));
+}
+
+#[test]
+fn batch_mixed_stress_wcq() {
+    batch_mixed_transfer(WcqQueue::<u64>::with_capacity(64));
+}
+
+#[test]
+fn modern_rival_recorded_histories_keep_producer_fifo_and_values() {
+    // The same bar the sharded frontend has to clear: recorded
+    // histories with nothing lost, duplicated, or out of thin air, and
+    // per-producer FIFO intact — for both rivals, and for the wCQ on
+    // its all-slow-path configuration.
+    let cfg = DriverConfig {
+        threads: 6,
+        ops_per_thread: 1_000,
+        enqueue_percent: 50,
+        seed: 0x5C9_u64,
+    };
+    let q = ScqQueue::<u64>::with_capacity(1024);
+    let h = record_run(&q, cfg);
+    check_value_integrity(&h).unwrap_or_else(|v| panic!("scq: {v}"));
+    check_per_producer_fifo(&h).unwrap_or_else(|v| panic!("scq producer order: {v}"));
+
+    for patience in [nbq::baselines::wcq::DEFAULT_PATIENCE, 0] {
+        let q = WcqQueue::<u64>::with_patience(1024, patience);
+        let h = record_run(&q, cfg);
+        check_value_integrity(&h).unwrap_or_else(|v| panic!("wcq (patience {patience}): {v}"));
+        check_per_producer_fifo(&h)
+            .unwrap_or_else(|v| panic!("wcq (patience {patience}) producer order: {v}"));
+    }
 }
 
 #[test]
@@ -576,6 +619,22 @@ fn litmus_message_passing_spsc_ring() {
 }
 
 #[test]
+fn litmus_message_passing_scq() {
+    mp_litmus(&ScqQueue::<Box<Payload>>::with_capacity(64), LITMUS_ROUNDS);
+}
+
+#[test]
+fn litmus_message_passing_wcq() {
+    mp_litmus(&WcqQueue::<Box<Payload>>::with_capacity(64), LITMUS_ROUNDS);
+    // All-slow-path: the payload's publish must also survive the
+    // record/helper handoff (fewer rounds — each op walks the records).
+    mp_litmus(
+        &WcqQueue::<Box<Payload>>::with_patience(64, 0),
+        LITMUS_ROUNDS / 4,
+    );
+}
+
+#[test]
 fn litmus_message_passing_ms_hazard() {
     mp_litmus(
         &MsQueue::<Box<Payload>>::new(ScanMode::Sorted),
@@ -658,4 +717,97 @@ fn weak_cell_fault_injection_mpmc() {
         "values lost or duplicated through spurious-failure retries"
     );
     assert!(q.is_empty());
+}
+
+// ---------------------------------------------------------------------
+// wCQ helping protocol: a stalled thread must not block anyone.
+
+#[test]
+fn wcq_stalled_dequeuer_is_completed_by_other_threads() {
+    // `begin_stalled_dequeue` publishes a slow-path record and freezes —
+    // a thread preempted mid-operation. Other threads (all on the slow
+    // path themselves at patience 0) must keep their own streams flowing
+    // AND drive the parked request to completion, so that by the time
+    // the churn ends the request is already decided without its owner
+    // ever running again.
+    let q = WcqQueue::<u64>::with_patience(256, 0);
+    {
+        let mut h = q.handle();
+        for i in 0..8 {
+            h.enqueue(i).unwrap();
+        }
+    }
+    let probe = q.begin_stalled_dequeue();
+    std::thread::scope(|s| {
+        for t in 0..3u64 {
+            let q = &q;
+            s.spawn(move || {
+                let mut h = q.handle();
+                for i in 0..2_000u64 {
+                    let v = (t << 32) | i;
+                    while h.enqueue(v).is_err() {
+                        std::thread::yield_now();
+                    }
+                    while h.dequeue().is_none() {
+                        std::thread::yield_now();
+                    }
+                }
+            });
+        }
+    });
+    assert!(
+        probe.is_complete(),
+        "helpers must finish the parked dequeue without its thread"
+    );
+    // Each churn thread was balanced and the queue started with 8
+    // values, so the stalled request must have claimed exactly one.
+    assert!(probe.finish().is_some());
+    assert_eq!(nbq::ConcurrentQueue::len(&q), Some(7));
+}
+
+#[test]
+fn wcq_many_stalled_dequeuers_resolve_under_churn() {
+    // Several concurrently parked requests (distinct record slots) with
+    // live traffic around them: every one must resolve, values must
+    // balance, and abandoning a completed probe must not corrupt the
+    // free ring (its Drop returns the claimed slot).
+    let q = WcqQueue::<u64>::with_patience(64, 0);
+    {
+        let mut h = q.handle();
+        for i in 0..16 {
+            h.enqueue(i).unwrap();
+        }
+    }
+    let probes: Vec<_> = (0..4).map(|_| q.begin_stalled_dequeue()).collect();
+    std::thread::scope(|s| {
+        for t in 0..2u64 {
+            let q = &q;
+            s.spawn(move || {
+                let mut h = q.handle();
+                for i in 0..1_000u64 {
+                    while h.enqueue((t << 32) | i).is_err() {
+                        std::thread::yield_now();
+                    }
+                    while h.dequeue().is_none() {
+                        std::thread::yield_now();
+                    }
+                }
+            });
+        }
+    });
+    let mut claimed = 0;
+    for (i, probe) in probes.into_iter().enumerate() {
+        assert!(probe.is_complete(), "stalled request {i} left undecided");
+        if i % 2 == 0 {
+            claimed += usize::from(probe.finish().is_some());
+        } else {
+            // Dropped without finishing: Drop must complete the request
+            // and return its value/slot to the queue coherently.
+            drop(probe);
+        }
+    }
+    assert_eq!(claimed, 2, "each finished probe claimed exactly one value");
+    // 16 preloaded - 2 kept by finished probes - 2 reclaimed by Drop.
+    let len = nbq::ConcurrentQueue::len(&q).unwrap();
+    assert_eq!(len, 12, "dropped probes must hand their values back");
 }
