@@ -55,14 +55,20 @@ mod node;
 
 pub mod cas_queue;
 pub mod llsc_queue;
+pub mod mpsc;
 pub mod opstats;
 pub mod registry;
 pub mod sharded;
+pub mod spmc;
 pub mod spsc;
 
 pub use cas_queue::{CasHandle, CasQueue, CasQueueConfig, GatePolicy};
 pub use llsc_queue::{LlScHandle, LlScQueue, LlScQueueConfig};
+pub use mpsc::{MpscConsumerCursor, MpscProducerCursor, MpscRing, MpscRingHandle};
 pub use opstats::{OpStats, OpStatsSnapshot};
 pub use registry::ArityRegistry;
-pub use sharded::{BatchPolicy, LanePolicy, ShardedConfig, ShardedHandle, ShardedQueue};
+pub use sharded::{
+    BatchPolicy, LaneObservation, LanePolicy, ShardedConfig, ShardedHandle, ShardedQueue,
+};
+pub use spmc::{SpmcProducerCursor, SpmcRing, SpmcRingHandle};
 pub use spsc::{SpscConsumerCursor, SpscProducerCursor, SpscRing, SpscRingHandle};

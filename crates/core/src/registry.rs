@@ -25,7 +25,7 @@
 //!   slot (`LL` lines L7/L14).
 
 use core::ptr;
-use core::sync::atomic::{AtomicPtr, AtomicU32, AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use core::sync::atomic::{AtomicPtr, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use nbq_util::mem;
 
 /// A thread-owned simulated-LL/SC variable (paper `struct LLSCvar`).
@@ -208,22 +208,35 @@ impl Registry {
 /// may be re-claimed (via [`ArityRegistry::try_reclaim_consumer`]) to
 /// drain residue: a post-promotion *producer* claim would strand values
 /// behind consumers that already cached the ring as dead.
+///
+/// The half-relaxed rings (`MpscRing`, `SpmcRing`) reuse the same word:
+/// their *single* side is the ordinary claimable slot above, while their
+/// *multi* side is a registrant **count** in the upper bits. Multi-side
+/// registration never promotes — any number of peers is the ring's normal
+/// operating mode — but it is promotion-blocked when the counted side
+/// writes into the ring (an MPSC producer joining a promoted lane would
+/// invalidate cached deadness, exactly like a post-promotion SPSC
+/// producer claim), and unconditional when it only drains
+/// ([`ArityRegistry::register_multi_drain`]).
 pub struct ArityRegistry {
-    state: AtomicU8,
+    state: AtomicU32,
 }
 
 /// Producer endpoint slot held.
-const ARITY_PROD: u8 = 1;
+const ARITY_PROD: u32 = 1;
 /// Consumer endpoint slot held.
-const ARITY_CONS: u8 = 1 << 1;
+const ARITY_CONS: u32 = 1 << 1;
 /// Sticky promotion flag: the lane has fallen back to its MPMC queue.
-const ARITY_PROMOTED: u8 = 1 << 2;
+const ARITY_PROMOTED: u32 = 1 << 2;
+/// One multi-side registrant (the count lives in the bits above the
+/// flags; 24 bits of headroom bound nothing real).
+const ARITY_MULTI_ONE: u32 = 1 << 8;
 
 impl ArityRegistry {
     /// An empty registry: both endpoint slots free, not promoted.
     pub const fn new() -> Self {
         Self {
-            state: AtomicU8::new(0),
+            state: AtomicU32::new(0),
         }
     }
 
@@ -232,7 +245,7 @@ impl ArityRegistry {
     /// loop as the endpoint bit, so claim-vs-promote ordering is decided
     /// by a single CAS on the shared word — a claim can never slip in
     /// between a promotion check and its CAS.
-    fn try_claim(&self, bit: u8, allow_promoted: bool) -> bool {
+    fn try_claim(&self, bit: u32, allow_promoted: bool) -> bool {
         let mut s = self.state.load(mem::ARITY_LOAD);
         loop {
             if s & bit != 0 || (!allow_promoted && s & ARITY_PROMOTED != 0) {
@@ -248,7 +261,7 @@ impl ArityRegistry {
         }
     }
 
-    fn release(&self, bit: u8) {
+    fn release(&self, bit: u32) {
         self.state.fetch_and(!bit, mem::ARITY_CAS);
     }
 
@@ -305,6 +318,48 @@ impl ArityRegistry {
     /// Whether the lane has been promoted to its MPMC fallback.
     pub fn promoted(&self) -> bool {
         self.state.load(mem::ARITY_LOAD) & ARITY_PROMOTED != 0
+    }
+
+    /// Registers one multi-side peer (an `MpscRing` producer); `false`
+    /// if the lane is promoted. The promotion check rides in the CAS
+    /// loop, so register-vs-promote is decided by one CAS — mirroring
+    /// [`ArityRegistry::try_claim_producer`]: once a consumer has
+    /// observed `promoted && multi_count() == 0` plus an empty ring it
+    /// may cache the ring as dead, so no new writer may slip in.
+    pub fn try_register_multi(&self) -> bool {
+        let mut s = self.state.load(mem::ARITY_LOAD);
+        loop {
+            if s & ARITY_PROMOTED != 0 {
+                return false;
+            }
+            match self.state.compare_exchange_weak(
+                s,
+                s + ARITY_MULTI_ONE,
+                mem::ARITY_CAS,
+                mem::ARITY_CAS_FAIL,
+            ) {
+                Ok(_) => return true,
+                Err(cur) => s = cur,
+            }
+        }
+    }
+
+    /// Registers one multi-side peer even on a promoted lane. Safe only
+    /// for *draining* peers (`SpmcRing` consumers): a reader can never
+    /// invalidate cached ring-deadness, which keys on the producer slot.
+    pub fn register_multi_drain(&self) {
+        self.state.fetch_add(ARITY_MULTI_ONE, mem::ARITY_CAS);
+    }
+
+    /// Releases one multi-side registration. Callers must hold one.
+    pub fn release_multi(&self) {
+        let prev = self.state.fetch_sub(ARITY_MULTI_ONE, mem::ARITY_CAS);
+        debug_assert!(prev >= ARITY_MULTI_ONE, "multi-side release underflow");
+    }
+
+    /// Number of currently registered multi-side peers.
+    pub fn multi_count(&self) -> u32 {
+        self.state.load(mem::ARITY_LOAD) >> 8
     }
 }
 

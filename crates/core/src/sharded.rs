@@ -78,14 +78,14 @@
 //! * **Stealing probes are read-only.** A handle whose consumer role on
 //!   a lane is still unresolved and that merely *probes* the lane (it is
 //!   not the handle's affinity lane) never claims-or-promotes just for
-//!   looking: it takes the ring's consumer endpoint only when the ring
-//!   actually holds work (draining residue is productive), and otherwise
-//!   reads only the MPMC queue. Without this, any workload with ≥ 2
-//!   stealing consumers would promote every lane almost immediately.
-//!   Producer-side resolution stays eager: an enqueue probe only happens
-//!   on `Full` and always lands a value, and an MPMC enqueue on a
-//!   fast-path lane *requires* promotion to be visible to a ring-role
-//!   consumer.
+//!   looking: it takes a ring's single-consumer endpoint only when the
+//!   ring actually holds work (draining residue is productive), and
+//!   otherwise reads only the MPMC queue. Without this, any workload
+//!   with ≥ 2 stealing consumers would promote every lane almost
+//!   immediately. Producer-side resolution stays eager: an enqueue probe
+//!   only happens on `Full` and always lands a value, and an MPMC
+//!   enqueue on a fast-path lane *requires* promotion to be visible to a
+//!   ring-role consumer.
 //!
 //! Dropping a handle releases its endpoint claims, so strictly
 //! sequential handle turnover (thread pools) keeps the fast path alive.
@@ -94,18 +94,70 @@
 //! even after promotion, producer-side never). See DESIGN.md §10 for the
 //! full promotion state machine.
 //!
-//! `capacity()` under [`LanePolicy::SpscFastPath`] reports the
-//! conservative reachable bound — each lane's MPMC capacity, to which
-//! the lane's ring is sized — so `enqueue` on a lane never reports
-//! `Full` below the lane's advertised share; `len()` may transiently
-//! exceed `capacity()` on a promoted lane carrying ring residue.
+//! `capacity()` under any fast-path policy reports the conservative
+//! reachable bound — each lane's MPMC capacity, to which the lane's
+//! ring(s) are sized — so `enqueue` on a lane never reports `Full` below
+//! the lane's advertised share; `len()` may transiently exceed
+//! `capacity()` on a promoted lane carrying ring residue.
+//!
+//! # Fan-in and fan-out lanes, and the adaptive planner
+//!
+//! [`LanePolicy::MpscFastPath`] and [`LanePolicy::SpmcFastPath`] extend
+//! the taxonomy with the two *half-relaxed* ring kinds:
+//!
+//! * An **MPSC lane** fronts the MPMC queue with an [`MpscRing`]: any
+//!   number of producers FAA-ticket slots (the ring's *multi* side —
+//!   registering never promotes and never fails while the lane is
+//!   unpromoted), while the **single** consumer side is claimed like the
+//!   SPSC ring's and pops wait-free. The lane promotes only when a
+//!   **second consumer** appears. A fan-in producer hands the lane over
+//!   not at a global-empty instant (it cannot observe one exactly) but
+//!   at its **own-residue-drained** instant: [`MpscRing::producer_drained`]
+//!   keys on the producer's last ticket against the monotone `head`, so
+//!   everything *this* producer pushed has drained before its first MPMC
+//!   item — per-producer FIFO survives the switch exactly as in the SPSC
+//!   case.
+//! * An **SPMC lane** is the mirror: the **single** producer side is
+//!   claimed and pushes wait-free, consumers FAA-arbitrate pops on the
+//!   ring's multi side (draining never claims, never promotes). The lane
+//!   promotes only on a **second producer**, and the ring producer hands
+//!   over at its exact-empty instant just like the SPSC case. Ring-dead
+//!   caching keys on the producer claim alone — consumer registrations
+//!   are bookkeeping, not a safety input.
+//!
+//! [`LanePolicy::Adaptive`] builds **all three rings** per lane and lets
+//! a *planner* choose which one serves fresh claims. Each lane carries a
+//! packed 64-bit observation word counting producer/consumer role
+//! resolutions and (sampled) `Full`/empty/steal encounters since the
+//! last re-plan. [`ShardedQueue::replan`] — called explicitly or piggy-
+//! backed on [`ConcurrentQueue::handle`] creation — maps the observed
+//! registration pattern to a lane kind (1p/1c → SPSC, Np/1c → MPSC,
+//! 1p/Nc → SPMC, Np/Nc → plain MPMC) and flips the lane's `active` ring
+//! **only when the lane is fresh**: the outgoing ring empty and
+//! claim-free, the incoming ring additionally unpromoted. Promotion
+//! burning one ring does not burn the lane — the planner can activate a
+//! sibling ring whose envelope fits the observed arity.
+//!
+//! The flip is advisory and deliberately not fenced against concurrent
+//! role resolution; safety never depends on it. A claim that races a
+//! flip can land on a now-inactive ring, so on adaptive lanes every
+//! consumer path falls through to **scavenging**: any non-active ring
+//! observed non-empty is drained (claim-pop-release on the single-
+//! consumer rings, plain arbitrated pops on the SPMC ring), which makes
+//! conservation unconditional under planner races. A lane is cached
+//! `RingDead` only once *every* built ring is verifiably dead.
+//!
+//! Emptiness on an MPSC lane inherits the ring's bounded-stall
+//! relaxation (a ticketed-but-unpublished slot hides later published
+//! ones); SPMC and SPSC lane emptiness is exact. Both inherit the
+//! relaxed-FIFO contract above unchanged.
 //!
 //! # Batches
 //!
 //! The native [`QueueHandle::enqueue_batch`]/[`QueueHandle::dequeue_batch`]
 //! overrides forward to the lanes' own native batch paths, so the
 //! amortized index publication from the batch API composes with the
-//! sharded frontend (on an SPSC fast path that is the ring's
+//! sharded frontend (on a ring fast path that is the ring's
 //! single-release-store batched publication). [`BatchPolicy`] selects how
 //! a batch maps to lanes:
 //!
@@ -118,13 +170,127 @@
 
 use core::fmt;
 use core::marker::PhantomData;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
 
+use crate::mpsc::{MpscConsumerCursor, MpscProducerCursor, MpscRing};
+use crate::registry::ArityRegistry;
+use crate::spmc::{SpmcProducerCursor, SpmcRing};
 use crate::spsc::{SpscConsumerCursor, SpscProducerCursor, SpscRing};
-use nbq_util::{BatchFull, CachePadded, ConcurrentQueue, Full, LaneFactory, QueueHandle};
+use nbq_util::{
+    BatchFull, CachePadded, ConcurrentQueue, Full, LaneFactory, QueueHandle, QueueKind,
+};
 
 /// Ring capacity used for fast-path lanes whose MPMC queue is unbounded.
 const DEFAULT_RING_CAPACITY: usize = 1024;
+
+/// `active` selector values: which ring serves fresh claims on a lane.
+const ACTIVE_NONE: u8 = 0;
+const ACTIVE_SPSC: u8 = 1;
+const ACTIVE_MPSC: u8 = 2;
+const ACTIVE_SPMC: u8 = 3;
+
+/// Ring-presence / ring-dead bits (per built ring, not per `active`).
+const RING_BIT_SPSC: u8 = 1 << 0;
+const RING_BIT_MPSC: u8 = 1 << 1;
+const RING_BIT_SPMC: u8 = 1 << 2;
+
+/// Steal count past which the planner treats a lane as having one more
+/// consumer than its registrations show (foreign consumers visit often
+/// enough that a single-consumer ring claim would just bounce).
+const STEAL_PLAN_THRESHOLD: u32 = 8;
+
+// Packed layout of the per-lane observation word (low → high):
+// producer resolutions, consumer resolutions, steals, fulls, empties.
+// Counters are advisory: increments are plain `fetch_add`s whose wrap
+// may carry one count into the neighboring field; the planner compares
+// against small thresholds and resets the word at every re-plan, so the
+// noise is harmless. Event fields sit above the registration fields so
+// their (far more likely) wrap never pollutes a registration count.
+const OBS_PROD_SHIFT: u32 = 0;
+const OBS_PROD_BITS: u32 = 10;
+const OBS_CONS_SHIFT: u32 = 10;
+const OBS_CONS_BITS: u32 = 10;
+const OBS_STEAL_SHIFT: u32 = 20;
+const OBS_STEAL_BITS: u32 = 14;
+const OBS_FULL_SHIFT: u32 = 34;
+const OBS_FULL_BITS: u32 = 15;
+const OBS_EMPTY_SHIFT: u32 = 49;
+const OBS_EMPTY_BITS: u32 = 15;
+
+fn obs_field(word: u64, shift: u32, bits: u32) -> u32 {
+    ((word >> shift) & ((1u64 << bits) - 1)) as u32
+}
+
+/// The per-lane observation word feeding [`ShardedQueue::replan`].
+struct LaneObsWord(AtomicU64);
+
+impl LaneObsWord {
+    fn new() -> Self {
+        Self(AtomicU64::new(0))
+    }
+
+    fn record_prod(&self) {
+        self.0.fetch_add(1 << OBS_PROD_SHIFT, Ordering::Relaxed);
+    }
+
+    fn record_cons(&self) {
+        self.0.fetch_add(1 << OBS_CONS_SHIFT, Ordering::Relaxed);
+    }
+
+    fn record_steal(&self) {
+        self.0.fetch_add(1 << OBS_STEAL_SHIFT, Ordering::Relaxed);
+    }
+
+    fn record_full(&self) {
+        self.0.fetch_add(1 << OBS_FULL_SHIFT, Ordering::Relaxed);
+    }
+
+    fn record_empty(&self) {
+        self.0.fetch_add(1 << OBS_EMPTY_SHIFT, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> LaneObservation {
+        let w = self.0.load(Ordering::Relaxed);
+        LaneObservation {
+            producers: obs_field(w, OBS_PROD_SHIFT, OBS_PROD_BITS),
+            consumers: obs_field(w, OBS_CONS_SHIFT, OBS_CONS_BITS),
+            steals: obs_field(w, OBS_STEAL_SHIFT, OBS_STEAL_BITS),
+            fulls: obs_field(w, OBS_FULL_SHIFT, OBS_FULL_BITS),
+            empties: obs_field(w, OBS_EMPTY_SHIFT, OBS_EMPTY_BITS),
+        }
+    }
+
+    fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Decoded snapshot of one lane's observation word: what the planner saw
+/// since the last re-plan. All counts are advisory (see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LaneObservation {
+    /// Producer role resolutions on the lane.
+    pub producers: u32,
+    /// Consumer role resolutions on the lane.
+    pub consumers: u32,
+    /// Successful steals served by the lane to non-affinity handles.
+    pub steals: u32,
+    /// Sampled `Full` encounters on the lane.
+    pub fulls: u32,
+    /// Sampled empty-dequeue encounters on the lane.
+    pub empties: u32,
+}
+
+impl LaneObservation {
+    /// Whether the lane saw no activity at all since the last re-plan.
+    pub fn is_idle(&self) -> bool {
+        self.producers == 0
+            && self.consumers == 0
+            && self.steals == 0
+            && self.fulls == 0
+            && self.empties == 0
+    }
+}
 
 /// How a batch call maps onto lanes. See the [module docs](self).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -152,6 +318,18 @@ pub enum LanePolicy {
     /// per side, with dynamic promotion to the MPMC queue on a second
     /// registrant.
     SpscFastPath,
+    /// Every lane fronts its MPMC queue with an [`MpscRing`] fan-in
+    /// ring: any number of wait-free-ticketing producers, one wait-free
+    /// consumer; promotion only on a second consumer.
+    MpscFastPath,
+    /// Every lane fronts its MPMC queue with an [`SpmcRing`] fan-out
+    /// ring: one wait-free producer, any number of FAA-arbitrated
+    /// consumers; promotion only on a second producer.
+    SpmcFastPath,
+    /// Every lane builds all three rings; the runtime planner
+    /// ([`ShardedQueue::replan`]) selects which ring serves fresh claims
+    /// from the lane's observed registration pattern.
+    Adaptive,
 }
 
 /// Construction parameters for [`ShardedQueue`].
@@ -188,6 +366,24 @@ impl ShardedConfig {
         self.lane_policy = LanePolicy::SpscFastPath;
         self
     }
+
+    /// This config with [`LanePolicy::MpscFastPath`] (fan-in) lanes.
+    pub fn mpsc_fast_path(mut self) -> Self {
+        self.lane_policy = LanePolicy::MpscFastPath;
+        self
+    }
+
+    /// This config with [`LanePolicy::SpmcFastPath`] (fan-out) lanes.
+    pub fn spmc_fast_path(mut self) -> Self {
+        self.lane_policy = LanePolicy::SpmcFastPath;
+        self
+    }
+
+    /// This config with [`LanePolicy::Adaptive`] planner-driven lanes.
+    pub fn adaptive(mut self) -> Self {
+        self.lane_policy = LanePolicy::Adaptive;
+        self
+    }
 }
 
 impl Default for ShardedConfig {
@@ -196,25 +392,164 @@ impl Default for ShardedConfig {
     }
 }
 
-/// One lane: the factory-built MPMC queue plus the optional SPSC
-/// fast-path ring in front of it.
+/// One lane: the factory-built MPMC queue plus the fast-path ring(s) in
+/// front of it, the `active` selector steering fresh claims, and the
+/// observation word feeding the planner.
 struct ShardLane<T: Send, Q> {
     mpmc: Q,
-    ring: Option<SpscRing<T>>,
+    spsc_ring: Option<SpscRing<T>>,
+    mpsc_ring: Option<MpscRing<T>>,
+    spmc_ring: Option<SpmcRing<T>>,
+    /// Which ring fresh role resolutions claim (`ACTIVE_*`). Static
+    /// policies pin it at construction; the adaptive planner flips it on
+    /// fresh lanes only. Advisory: safety never depends on the flip
+    /// being observed — see the scavenging rules in the module docs.
+    active: AtomicU8,
+    obs: LaneObsWord,
+}
+
+impl<T: Send, Q> ShardLane<T, Q> {
+    fn active(&self) -> u8 {
+        self.active.load(Ordering::Acquire)
+    }
+
+    /// Bit per ring this lane actually built.
+    fn built_mask(&self) -> u8 {
+        let mut m = 0;
+        if self.spsc_ring.is_some() {
+            m |= RING_BIT_SPSC;
+        }
+        if self.mpsc_ring.is_some() {
+            m |= RING_BIT_MPSC;
+        }
+        if self.spmc_ring.is_some() {
+            m |= RING_BIT_SPMC;
+        }
+        m
+    }
+
+    /// Whether ring `kind` is safe to plan away from / onto: empty and
+    /// claim-free (and, for the incoming ring, unpromoted — a promoted
+    /// ring stays burnt; the planner routes around it, never through).
+    fn ring_fresh(&self, kind: u8, need_unpromoted: bool) -> bool {
+        let fresh = |a: &ArityRegistry, empty: bool| {
+            (!need_unpromoted || !a.promoted())
+                && !a.producer_claimed()
+                && !a.consumer_claimed()
+                && a.multi_count() == 0
+                && empty
+        };
+        match kind {
+            ACTIVE_SPSC => self
+                .spsc_ring
+                .as_ref()
+                .is_none_or(|r| fresh(r.arity(), r.is_empty())),
+            ACTIVE_MPSC => self
+                .mpsc_ring
+                .as_ref()
+                .is_none_or(|r| fresh(r.arity(), r.is_empty())),
+            ACTIVE_SPMC => self
+                .spmc_ring
+                .as_ref()
+                .is_none_or(|r| fresh(r.arity(), r.is_empty())),
+            _ => true,
+        }
+    }
+
+    /// Drains one value of residue from any ring other than `skip` —
+    /// claim-pop-release on the single-consumer rings, a plain
+    /// arbitrated pop on the SPMC ring. Never promotes; claims only a
+    /// ring observed to hold work. This is what makes conservation
+    /// unconditional under planner/claim races on adaptive lanes.
+    fn scavenge(&self, skip: u8) -> Option<T> {
+        if skip & RING_BIT_SPSC == 0 {
+            if let Some(ring) = &self.spsc_ring {
+                if !ring.is_empty() && ring.arity().try_reclaim_consumer() {
+                    let mut cur = ring.consumer_cursor();
+                    // SAFETY: the claim above grants sole-popper.
+                    let v = unsafe { ring.pop(&mut cur) };
+                    ring.arity().release_consumer();
+                    if v.is_some() {
+                        return v;
+                    }
+                }
+            }
+        }
+        if skip & RING_BIT_MPSC == 0 {
+            if let Some(ring) = &self.mpsc_ring {
+                if !ring.is_empty() && ring.arity().try_reclaim_consumer() {
+                    let mut cur = ring.consumer_cursor();
+                    // SAFETY: the claim above grants sole-popper.
+                    let v = unsafe { ring.pop(&mut cur) };
+                    ring.arity().release_consumer();
+                    if v.is_some() {
+                        return v;
+                    }
+                }
+            }
+        }
+        if skip & RING_BIT_SPMC == 0 {
+            if let Some(ring) = &self.spmc_ring {
+                // The drain side is FAA-arbitrated: scavenging needs no
+                // claim and can never promote.
+                if let Some(v) = ring.pop() {
+                    return Some(v);
+                }
+            }
+        }
+        None
+    }
+
+    /// Batch analog of [`ShardLane::scavenge`].
+    fn scavenge_batch(&self, skip: u8, out: &mut Vec<T>, max: usize) -> usize {
+        if max == 0 {
+            return 0;
+        }
+        let mut taken = 0usize;
+        if skip & RING_BIT_SPSC == 0 {
+            if let Some(ring) = &self.spsc_ring {
+                if !ring.is_empty() && ring.arity().try_reclaim_consumer() {
+                    let mut cur = ring.consumer_cursor();
+                    // SAFETY: the claim above grants sole-popper.
+                    taken += unsafe { ring.pop_batch(&mut cur, out, max - taken) };
+                    ring.arity().release_consumer();
+                }
+            }
+        }
+        if taken < max && skip & RING_BIT_MPSC == 0 {
+            if let Some(ring) = &self.mpsc_ring {
+                if !ring.is_empty() && ring.arity().try_reclaim_consumer() {
+                    let mut cur = ring.consumer_cursor();
+                    // SAFETY: the claim above grants sole-popper.
+                    taken += unsafe { ring.pop_batch(&mut cur, out, max - taken) };
+                    ring.arity().release_consumer();
+                }
+            }
+        }
+        if taken < max && skip & RING_BIT_SPMC == 0 {
+            if let Some(ring) = &self.spmc_ring {
+                taken += ring.pop_batch(out, max - taken);
+            }
+        }
+        taken
+    }
 }
 
 impl<T: Send, Q: fmt::Debug> fmt::Debug for ShardLane<T, Q> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("ShardLane")
             .field("mpmc", &self.mpmc)
-            .field("ring", &self.ring)
+            .field("spsc_ring", &self.spsc_ring.is_some())
+            .field("mpsc_ring", &self.mpsc_ring.is_some())
+            .field("spmc_ring", &self.spmc_ring.is_some())
+            .field("active", &self.active.load(Ordering::Relaxed))
             .finish()
     }
 }
 
 /// A sharded multi-lane frontend composing `N` independent FIFO lanes
 /// into one relaxed-FIFO queue. See the [module docs](self) for the
-/// ordering contract and the SPSC fast-path protocol.
+/// ordering contract and the fast-path protocols.
 pub struct ShardedQueue<T: Send, Q: ConcurrentQueue<T>> {
     /// Each lane on its own cache line(s): a lane's `Head`/`Tail` traffic
     /// must not false-share with its neighbor's.
@@ -230,8 +565,8 @@ impl<T: Send, Q: ConcurrentQueue<T>> ShardedQueue<T, Q> {
     ///
     /// Any `FnMut(usize) -> Q` closure is a [`LaneFactory`] via the
     /// blanket impl, so pre-existing closure call sites work unchanged.
-    /// Under [`LanePolicy::SpscFastPath`] each lane additionally gets an
-    /// [`SpscRing`] sized to the lane's own capacity.
+    /// Fast-path policies additionally build the policy's ring(s), each
+    /// sized to the lane's own capacity.
     ///
     /// # Panics
     ///
@@ -244,14 +579,34 @@ impl<T: Send, Q: ConcurrentQueue<T>> ShardedQueue<T, Q> {
         let lanes: Box<[CachePadded<ShardLane<T, Q>>]> = (0..config.lanes)
             .map(|i| {
                 let mpmc = factory.make_lane(i);
-                let ring = match config.lane_policy {
-                    LanePolicy::Mpmc => None,
+                let cap = mpmc.capacity().unwrap_or(DEFAULT_RING_CAPACITY);
+                let (spsc_ring, mpsc_ring, spmc_ring, active) = match config.lane_policy {
+                    LanePolicy::Mpmc => (None, None, None, ACTIVE_NONE),
                     LanePolicy::SpscFastPath => {
-                        let cap = mpmc.capacity().unwrap_or(DEFAULT_RING_CAPACITY);
-                        Some(SpscRing::with_capacity(cap))
+                        (Some(SpscRing::with_capacity(cap)), None, None, ACTIVE_SPSC)
                     }
+                    LanePolicy::MpscFastPath => {
+                        (None, Some(MpscRing::with_capacity(cap)), None, ACTIVE_MPSC)
+                    }
+                    LanePolicy::SpmcFastPath => {
+                        (None, None, Some(SpmcRing::with_capacity(cap)), ACTIVE_SPMC)
+                    }
+                    LanePolicy::Adaptive => (
+                        Some(SpscRing::with_capacity(cap)),
+                        Some(MpscRing::with_capacity(cap)),
+                        Some(SpmcRing::with_capacity(cap)),
+                        // Optimistic default until observations land.
+                        ACTIVE_SPSC,
+                    ),
                 };
-                CachePadded::new(ShardLane { mpmc, ring })
+                CachePadded::new(ShardLane {
+                    mpmc,
+                    spsc_ring,
+                    mpsc_ring,
+                    spmc_ring,
+                    active: AtomicU8::new(active),
+                    obs: LaneObsWord::new(),
+                })
             })
             .collect();
         Self {
@@ -282,25 +637,114 @@ impl<T: Send, Q: ConcurrentQueue<T>> ShardedQueue<T, Q> {
         &self.lanes[i].mpmc
     }
 
-    /// Whether lane `i` was built with an SPSC fast-path ring.
+    /// Whether lane `i` was built with any fast-path ring.
     pub fn lane_has_fast_path(&self, i: usize) -> bool {
-        self.lanes[i].ring.is_some()
+        self.lanes[i].built_mask() != 0
     }
 
-    /// Whether lane `i`'s fast path has been promoted to MPMC service
-    /// (a second registrant appeared on one side). `None` when the lane
-    /// has no fast path.
+    /// Whether lane `i`'s *active* fast path has been promoted to MPMC
+    /// service (a second registrant appeared on a single side). `None`
+    /// when no ring is active on the lane.
     pub fn lane_promoted(&self, i: usize) -> Option<bool> {
-        self.lanes[i].ring.as_ref().map(|r| r.arity().promoted())
+        let l = &self.lanes[i];
+        match l.active() {
+            ACTIVE_SPSC => l.spsc_ring.as_ref().map(|r| r.arity().promoted()),
+            ACTIVE_MPSC => l.mpsc_ring.as_ref().map(|r| r.arity().promoted()),
+            ACTIVE_SPMC => l.spmc_ring.as_ref().map(|r| r.arity().promoted()),
+            _ => None,
+        }
+    }
+
+    /// The capability envelope lane `i` currently serves fresh claims
+    /// under: the active ring's wait-free kind, demoted to plain `mpmc`
+    /// once that ring promoted (or when no ring is active).
+    pub fn lane_kind(&self, i: usize) -> QueueKind {
+        let l = &self.lanes[i];
+        match l.active() {
+            ACTIVE_SPSC => match &l.spsc_ring {
+                Some(r) if !r.arity().promoted() => QueueKind::spsc_wait_free(),
+                _ => QueueKind::mpmc(),
+            },
+            ACTIVE_MPSC => match &l.mpsc_ring {
+                Some(r) if !r.arity().promoted() => QueueKind::mpsc_wait_free(),
+                _ => QueueKind::mpmc(),
+            },
+            ACTIVE_SPMC => match &l.spmc_ring {
+                Some(r) if !r.arity().promoted() => QueueKind::spmc_wait_free(),
+                _ => QueueKind::mpmc(),
+            },
+            _ => QueueKind::mpmc(),
+        }
+    }
+
+    /// Decoded snapshot of lane `i`'s observation word (what the planner
+    /// would see right now).
+    pub fn lane_observation(&self, i: usize) -> LaneObservation {
+        self.lanes[i].obs.snapshot()
+    }
+
+    /// One planner step: for every lane, map the registrations observed
+    /// since the last re-plan to a target ring kind and flip the lane's
+    /// `active` selector if — and only if — the lane is fresh (outgoing
+    /// ring empty and claim-free, incoming ring additionally
+    /// unpromoted). No-op unless the queue was built with
+    /// [`LanePolicy::Adaptive`]. Also piggy-backed on every
+    /// [`ConcurrentQueue::handle`] creation, the natural quiesce point
+    /// where a new participant's roles are still unresolved.
+    pub fn replan(&self) {
+        if self.config.lane_policy != LanePolicy::Adaptive {
+            return;
+        }
+        for lane in self.lanes.iter() {
+            let obs = lane.obs.snapshot();
+            if obs.is_idle() {
+                // Nothing moved since the last re-plan: keep the plan
+                // (and the counters — they are already zero).
+                continue;
+            }
+            // Heavy stealing means consumers beyond the registered set
+            // visit this lane: plan as if one more consumer registered,
+            // so a single-consumer ring claim is not handed to a lane
+            // where it would only bounce.
+            let consumers = obs.consumers + u32::from(obs.steals > STEAL_PLAN_THRESHOLD);
+            let target = match (obs.producers > 1, consumers > 1) {
+                (false, false) => ACTIVE_SPSC,
+                (true, false) => ACTIVE_MPSC,
+                (false, true) => ACTIVE_SPMC,
+                (true, true) => ACTIVE_NONE,
+            };
+            let cur = lane.active();
+            if target == cur {
+                lane.obs.reset();
+                continue;
+            }
+            if !lane.ring_fresh(cur, false) || !lane.ring_fresh(target, true) {
+                // Lane still busy (claims held or values in flight):
+                // keep the counters so a later step can retry the flip.
+                continue;
+            }
+            lane.active.store(target, Ordering::Release);
+            lane.obs.reset();
+        }
     }
 
     /// A handle pinned to `lane`: it never steals, so its per-producer
     /// FIFO order is unconditional and a full/empty lane surfaces
-    /// immediately as `Full`/`None`. On a fast-path lane, a pinned
-    /// 1-producer/1-consumer pair runs entirely on the wait-free ring.
+    /// immediately as `Full`/`None`. On a fast-path lane, endpoint-
+    /// compatible registrants run entirely on the wait-free ring.
     pub fn handle_pinned(&self, lane: usize) -> ShardedHandle<'_, T, Q> {
         assert!(lane < self.lanes.len(), "lane {lane} out of range");
         self.make_handle(lane, 0)
+    }
+
+    #[cfg(test)]
+    fn force_active(&self, lane: usize, kind: u8) {
+        self.lanes[lane].active.store(kind, Ordering::Release);
+    }
+
+    #[cfg(test)]
+    fn active_of(&self, lane: usize) -> u8 {
+        self.lanes[lane].active()
     }
 
     fn make_handle(&self, cursor: usize, steal_attempts: usize) -> ShardedHandle<'_, T, Q> {
@@ -311,7 +755,8 @@ impl<T: Send, Q: ConcurrentQueue<T>> ShardedQueue<T, Q> {
             cursor,
             steal_attempts,
             batch_policy: self.config.batch_policy,
-            _marker: PhantomData,
+            adaptive: self.config.lane_policy == LanePolicy::Adaptive,
+            obs_tick: 0,
         }
     }
 }
@@ -329,8 +774,15 @@ impl<T: Send, Q: ConcurrentQueue<T> + fmt::Debug> fmt::Debug for ShardedQueue<T,
 enum ProdRole {
     /// Not yet resolved: first enqueue on the lane decides.
     Unknown,
-    /// Holds the ring's producer claim; enqueues are wait-free pushes.
-    Ring(SpscProducerCursor),
+    /// Holds the SPSC ring's producer claim; enqueues are wait-free
+    /// pushes.
+    Spsc(SpscProducerCursor),
+    /// Registered on the MPSC ring's multi producer side; enqueues are
+    /// FAA-ticketed wait-free pushes.
+    Mpsc(MpscProducerCursor),
+    /// Holds the SPMC ring's producer claim; enqueues are wait-free
+    /// pushes.
+    Spmc(SpmcProducerCursor),
     /// Enqueues go to the lane's MPMC queue.
     Mpmc,
 }
@@ -339,13 +791,23 @@ enum ProdRole {
 enum ConsRole {
     /// Not yet resolved: first dequeue on the lane decides.
     Unknown,
-    /// Holds the ring's consumer claim; dequeues drain the ring first.
-    Ring(SpscConsumerCursor),
-    /// Dequeues go to the lane's MPMC queue (with opportunistic ring
-    /// residue reclaim after promotion).
-    Mpmc,
-    /// The ring is permanently empty (promoted, producer side released,
-    /// observed empty); dequeues skip it entirely.
+    /// Holds the SPSC ring's consumer claim; dequeues drain the ring
+    /// first.
+    Spsc(SpscConsumerCursor),
+    /// Holds the MPSC ring's single consumer claim; dequeues drain the
+    /// fan-in ring first.
+    Mpsc(MpscConsumerCursor),
+    /// Registered on the SPMC ring's multi drain side; dequeues take
+    /// FAA-arbitrated pops from the fan-out ring first.
+    Spmc,
+    /// Dequeues go to the lane's MPMC queue, with opportunistic residue
+    /// reclaim from any ring not yet verified dead (`dead` is a
+    /// `RING_BIT_*` mask of rings proven permanently empty).
+    Mpmc {
+        /// Rings this handle has verified permanently empty.
+        dead: u8,
+    },
+    /// Every built ring is permanently empty; dequeues skip them all.
     RingDead,
 }
 
@@ -375,7 +837,11 @@ pub struct ShardedHandle<'q, T: Send, Q: ConcurrentQueue<T> + 'q> {
     cursor: usize,
     steal_attempts: usize,
     batch_policy: BatchPolicy,
-    _marker: PhantomData<fn(T) -> T>,
+    /// Whether the queue runs the adaptive planner (gates the sampled
+    /// event recording on the hot paths).
+    adaptive: bool,
+    /// Local sampling tick for `Full`/empty observation recording.
+    obs_tick: u32,
 }
 
 impl<'q, T: Send, Q: ConcurrentQueue<T> + 'q> ShardedHandle<'q, T, Q> {
@@ -394,29 +860,56 @@ impl<'q, T: Send, Q: ConcurrentQueue<T> + 'q> ShardedHandle<'q, T, Q> {
     }
 
     /// Resolves this handle's producer role on `lane` on first use:
-    /// claim the ring endpoint, or promote and fall back to MPMC.
+    /// claim (or register on) the active ring's producer side, or
+    /// promote and fall back to MPMC.
     fn resolve_prod(&mut self, lane: usize) {
         if !matches!(self.roles[lane].prod, ProdRole::Unknown) {
             return;
         }
-        self.roles[lane].prod = match &self.lanes[lane].ring {
-            // The claim itself rejects promoted lanes inside its CAS
-            // loop, so claim-vs-promote is decided by a single CAS: a
-            // new ring producer can never slip onto a lane whose
-            // consumers already cached the ring as dead.
-            Some(ring) if ring.arity().try_claim_producer() => {
-                ProdRole::Ring(ring.producer_cursor())
-            }
-            Some(ring) => {
-                // Second registrant on a claimed side (or the lane was
-                // already promoted): degrade this lane to MPMC service.
-                // Promotion is sticky, so the ring can only drain from
-                // here on.
-                ring.arity().promote();
-                ProdRole::Mpmc
-            }
-            None => ProdRole::Mpmc,
+        let l = &self.lanes[lane];
+        let role = match l.active() {
+            ACTIVE_SPSC => match &l.spsc_ring {
+                // The claim itself rejects promoted lanes inside its CAS
+                // loop, so claim-vs-promote is decided by a single CAS: a
+                // new ring producer can never slip onto a lane whose
+                // consumers already cached the ring as dead.
+                Some(ring) if ring.arity().try_claim_producer() => {
+                    ProdRole::Spsc(ring.producer_cursor())
+                }
+                Some(ring) => {
+                    // Second registrant on a claimed side (or the lane
+                    // was already promoted): degrade this lane to MPMC
+                    // service. Promotion is sticky, so the ring can only
+                    // drain from here on.
+                    ring.arity().promote();
+                    ProdRole::Mpmc
+                }
+                None => ProdRole::Mpmc,
+            },
+            ACTIVE_MPSC => match &l.mpsc_ring {
+                // Producers are the fan-in ring's *multi* side: any
+                // number may register; registration never promotes and
+                // fails only once the lane promoted (second consumer).
+                Some(ring) if ring.arity().try_register_multi() => {
+                    ProdRole::Mpsc(ring.producer_cursor())
+                }
+                Some(_) | None => ProdRole::Mpmc,
+            },
+            ACTIVE_SPMC => match &l.spmc_ring {
+                Some(ring) if ring.arity().try_claim_producer() => {
+                    ProdRole::Spmc(ring.producer_cursor())
+                }
+                Some(ring) => {
+                    // Second producer on the fan-out ring: promote.
+                    ring.arity().promote();
+                    ProdRole::Mpmc
+                }
+                None => ProdRole::Mpmc,
+            },
+            _ => ProdRole::Mpmc,
         };
+        l.obs.record_prod();
+        self.roles[lane].prod = role;
     }
 
     /// Resolves this handle's consumer role on `lane` on first use.
@@ -424,83 +917,199 @@ impl<'q, T: Send, Q: ConcurrentQueue<T> + 'q> ShardedHandle<'q, T, Q> {
         if !matches!(self.roles[lane].cons, ConsRole::Unknown) {
             return;
         }
-        self.roles[lane].cons = match &self.lanes[lane].ring {
-            Some(ring) if ring.arity().try_claim_consumer() => {
-                ConsRole::Ring(ring.consumer_cursor())
+        let l = &self.lanes[lane];
+        let role = match l.active() {
+            ACTIVE_SPSC => match &l.spsc_ring {
+                Some(ring) if ring.arity().try_claim_consumer() => {
+                    ConsRole::Spsc(ring.consumer_cursor())
+                }
+                Some(ring) => {
+                    ring.arity().promote();
+                    ConsRole::Mpmc { dead: 0 }
+                }
+                None => ConsRole::Mpmc { dead: 0 },
+            },
+            ACTIVE_MPSC => match &l.mpsc_ring {
+                Some(ring) if ring.arity().try_claim_consumer() => {
+                    ConsRole::Mpsc(ring.consumer_cursor())
+                }
+                Some(ring) => {
+                    // Second consumer on the fan-in ring: promote.
+                    ring.arity().promote();
+                    ConsRole::Mpmc { dead: 0 }
+                }
+                None => ConsRole::Mpmc { dead: 0 },
+            },
+            ACTIVE_SPMC => match &l.spmc_ring {
+                Some(ring) => {
+                    // Consumers are the fan-out ring's *multi* side:
+                    // registering is unconditional bookkeeping — drain-
+                    // side arrival never promotes and never fails.
+                    ring.arity().register_multi_drain();
+                    ConsRole::Spmc
+                }
+                None => ConsRole::Mpmc { dead: 0 },
+            },
+            _ => {
+                if l.built_mask() == 0 {
+                    // Pure-MPMC lane: nothing to ever scan.
+                    ConsRole::RingDead
+                } else {
+                    ConsRole::Mpmc { dead: 0 }
+                }
             }
-            Some(ring) => {
-                ring.arity().promote();
-                ConsRole::Mpmc
-            }
-            None => ConsRole::Mpmc,
         };
+        l.obs.record_cons();
+        self.roles[lane].cons = role;
     }
 
     /// Enqueue on one specific lane, routed by this handle's role there.
     fn lane_enqueue(&mut self, lane: usize, value: T) -> Result<(), Full<T>> {
         self.resolve_prod(lane);
-        if let ProdRole::Ring(cur) = &mut self.roles[lane].prod {
-            let ring = self.lanes[lane]
-                .ring
-                .as_ref()
-                .expect("ring role implies a ring");
-            if !(ring.arity().promoted() && ring.producer_sees_empty()) {
-                return unsafe {
-                    // SAFETY: this handle holds the producer claim.
-                    ring.push(cur, value)
-                };
+        match &mut self.roles[lane].prod {
+            ProdRole::Spsc(cur) => {
+                let ring = self.lanes[lane]
+                    .spsc_ring
+                    .as_ref()
+                    .expect("role implies a ring");
+                if !(ring.arity().promoted() && ring.producer_sees_empty()) {
+                    return unsafe {
+                        // SAFETY: this handle holds the producer claim.
+                        ring.push(cur, value)
+                    };
+                }
+                // Switch point: the lane promoted and the ring is exactly
+                // empty (the producer owns `tail`, so its emptiness check
+                // is exact). Handing the lane over *now* keeps this
+                // producer's values totally ordered: everything it pushed
+                // to the ring has already drained ahead of its first MPMC
+                // item.
+                ring.arity().release_producer();
+                self.roles[lane].prod = ProdRole::Mpmc;
             }
-            // Switch point: the lane promoted and the ring is exactly
-            // empty (the producer owns `tail`, so its emptiness check is
-            // exact). Handing the lane over *now* keeps this producer's
-            // values totally ordered: everything it pushed to the ring
-            // has already drained ahead of its first MPMC item.
-            ring.arity().release_producer();
-            self.roles[lane].prod = ProdRole::Mpmc;
+            ProdRole::Mpsc(cur) => {
+                let ring = self.lanes[lane]
+                    .mpsc_ring
+                    .as_ref()
+                    .expect("role implies a ring");
+                // A fan-in producer cannot observe global emptiness
+                // exactly, but it can observe its *own* residue drained:
+                // `producer_drained` keys this producer's last ticket
+                // against the monotone `head`, so switching right then
+                // still keeps per-producer FIFO across the hand-over.
+                if !(ring.arity().promoted() && ring.producer_drained(cur)) {
+                    return ring.push(cur, value);
+                }
+                ring.arity().release_multi();
+                self.roles[lane].prod = ProdRole::Mpmc;
+            }
+            ProdRole::Spmc(cur) => {
+                let ring = self.lanes[lane]
+                    .spmc_ring
+                    .as_ref()
+                    .expect("role implies a ring");
+                if !(ring.arity().promoted() && ring.producer_sees_empty()) {
+                    return unsafe {
+                        // SAFETY: this handle holds the producer claim.
+                        ring.push(cur, value)
+                    };
+                }
+                // Same exact-empty switch point as the SPSC ring: the
+                // fan-out producer owns `tail`.
+                ring.arity().release_producer();
+                self.roles[lane].prod = ProdRole::Mpmc;
+            }
+            _ => {}
         }
         self.handles[lane].enqueue(value)
     }
 
-    /// Batch enqueue on one specific lane; the ring path publishes the
+    /// Batch enqueue on one specific lane; the ring paths publish the
     /// moved `tail` once for the whole batch.
     fn lane_enqueue_batch<I>(&mut self, lane: usize, items: I) -> Result<usize, BatchFull<T>>
     where
         I: ExactSizeIterator<Item = T>,
     {
         self.resolve_prod(lane);
-        if let ProdRole::Ring(cur) = &mut self.roles[lane].prod {
-            let ring = self.lanes[lane]
-                .ring
-                .as_ref()
-                .expect("ring role implies a ring");
-            if !(ring.arity().promoted() && ring.producer_sees_empty()) {
-                let mut items = items;
-                // SAFETY: this handle holds the producer claim.
-                let pushed = unsafe { ring.push_batch(cur, &mut items) };
-                return if items.len() == 0 {
-                    Ok(pushed)
-                } else {
-                    Err(BatchFull {
-                        enqueued: pushed,
-                        remaining: items.collect(),
-                    })
-                };
+        match &mut self.roles[lane].prod {
+            ProdRole::Spsc(cur) => {
+                let ring = self.lanes[lane]
+                    .spsc_ring
+                    .as_ref()
+                    .expect("role implies a ring");
+                if !(ring.arity().promoted() && ring.producer_sees_empty()) {
+                    let mut items = items;
+                    // SAFETY: this handle holds the producer claim.
+                    let pushed = unsafe { ring.push_batch(cur, &mut items) };
+                    return if items.len() == 0 {
+                        Ok(pushed)
+                    } else {
+                        Err(BatchFull {
+                            enqueued: pushed,
+                            remaining: items.collect(),
+                        })
+                    };
+                }
+                // Same exact-empty switch point as `lane_enqueue`.
+                ring.arity().release_producer();
+                self.roles[lane].prod = ProdRole::Mpmc;
             }
-            // Same exact-empty switch point as `lane_enqueue`.
-            ring.arity().release_producer();
-            self.roles[lane].prod = ProdRole::Mpmc;
+            ProdRole::Mpsc(cur) => {
+                let ring = self.lanes[lane]
+                    .mpsc_ring
+                    .as_ref()
+                    .expect("role implies a ring");
+                if !(ring.arity().promoted() && ring.producer_drained(cur)) {
+                    let mut items = items;
+                    let pushed = ring.push_batch(cur, &mut items);
+                    return if items.len() == 0 {
+                        Ok(pushed)
+                    } else {
+                        Err(BatchFull {
+                            enqueued: pushed,
+                            remaining: items.collect(),
+                        })
+                    };
+                }
+                ring.arity().release_multi();
+                self.roles[lane].prod = ProdRole::Mpmc;
+            }
+            ProdRole::Spmc(cur) => {
+                let ring = self.lanes[lane]
+                    .spmc_ring
+                    .as_ref()
+                    .expect("role implies a ring");
+                if !(ring.arity().promoted() && ring.producer_sees_empty()) {
+                    let mut items = items;
+                    // SAFETY: this handle holds the producer claim.
+                    let pushed = unsafe { ring.push_batch(cur, &mut items) };
+                    return if items.len() == 0 {
+                        Ok(pushed)
+                    } else {
+                        Err(BatchFull {
+                            enqueued: pushed,
+                            remaining: items.collect(),
+                        })
+                    };
+                }
+                ring.arity().release_producer();
+                self.roles[lane].prod = ProdRole::Mpmc;
+            }
+            _ => {}
         }
         self.handles[lane].enqueue_batch(items)
     }
 
     /// Dequeue from a lane this handle is merely probing (stealing into
     /// with its consumer role still unresolved): strictly read-only with
-    /// respect to the lane's fast path. Probes never promote, and claim
-    /// the ring's consumer endpoint only when the ring actually holds
-    /// work — a handle *looking* at an empty fast-path lane must not
-    /// degrade the pinned pair that owns it.
+    /// respect to the lane's single-consumer fast paths. Probes never
+    /// promote, and claim a single-consumer endpoint only when that ring
+    /// actually holds work — a handle *looking* at an empty fast-path
+    /// lane must not degrade the pinned registrants that own it. The
+    /// SPMC ring's drain side is FAA-arbitrated, so a probe may always
+    /// pop from it directly.
     fn probe_dequeue(&mut self, lane: usize) -> Option<T> {
-        if let Some(ring) = &self.lanes[lane].ring {
+        if let Some(ring) = &self.lanes[lane].spsc_ring {
             if !ring.is_empty() && ring.arity().try_reclaim_consumer() {
                 let mut cur = ring.consumer_cursor();
                 // SAFETY: the claim above grants sole-popper.
@@ -508,7 +1117,7 @@ impl<'q, T: Send, Q: ConcurrentQueue<T> + 'q> ShardedHandle<'q, T, Q> {
                 if popped.is_some() {
                     // The probe found ring work: adopt the endpoint. The
                     // caller's migration makes this the affinity lane.
-                    self.roles[lane].cons = ConsRole::Ring(cur);
+                    self.roles[lane].cons = ConsRole::Spsc(cur);
                     return popped;
                 }
                 // Raced with the ring draining: hand the endpoint back
@@ -516,37 +1125,61 @@ impl<'q, T: Send, Q: ConcurrentQueue<T> + 'q> ShardedHandle<'q, T, Q> {
                 ring.arity().release_consumer();
             }
         }
+        if let Some(ring) = &self.lanes[lane].mpsc_ring {
+            if !ring.is_empty() && ring.arity().try_reclaim_consumer() {
+                let mut cur = ring.consumer_cursor();
+                // SAFETY: the claim above grants sole-popper.
+                let popped = unsafe { ring.pop(&mut cur) };
+                if popped.is_some() {
+                    self.roles[lane].cons = ConsRole::Mpsc(cur);
+                    return popped;
+                }
+                ring.arity().release_consumer();
+            }
+        }
+        if let Some(ring) = &self.lanes[lane].spmc_ring {
+            // Arbitrated drain side: popping is the probe. No claim, no
+            // promotion, and the role stays unresolved.
+            if let Some(v) = ring.pop() {
+                return Some(v);
+            }
+        }
         self.handles[lane].dequeue()
     }
 
     /// Dequeue from one specific lane, routed by this handle's role
-    /// there. On a promoted lane the ring drains first, preserving the
-    /// ring producer's FIFO order across the switch.
+    /// there. On a promoted lane the active ring drains first, preserving
+    /// the ring producers' FIFO order across the switch.
     ///
-    /// Every `RingDead` transition below observes the arity word
+    /// Every dead-ring transition below observes the arity word
     /// **before** re-verifying emptiness: the acquire load that sees the
-    /// producer claim released orders any prior ring publication, and
-    /// promotion-blocked claims mean no *new* ring producer can appear —
-    /// so "empty after the claim observation" really does mean empty
-    /// forever. Checking in the stale order (emptiness first) can strand
-    /// a value pushed between the two reads.
+    /// producer side released (claim released, or the fan-in registrant
+    /// count at zero) orders any prior ring publication, and promotion-
+    /// blocked claims/registrations mean no *new* ring producer can
+    /// appear — so "empty after the claim observation" really does mean
+    /// empty forever. Checking in the stale order (emptiness first) can
+    /// strand a value pushed between the two reads.
     fn lane_dequeue(&mut self, lane: usize) -> Option<T> {
         if lane != self.cursor && matches!(self.roles[lane].cons, ConsRole::Unknown) {
             return self.probe_dequeue(lane);
         }
         self.resolve_cons(lane);
         match &mut self.roles[lane].cons {
-            ConsRole::Ring(cur) => {
+            ConsRole::Spsc(cur) => {
                 let ring = self.lanes[lane]
-                    .ring
+                    .spsc_ring
                     .as_ref()
-                    .expect("ring role implies a ring");
+                    .expect("role implies a ring");
                 // SAFETY: this handle holds the consumer claim.
                 if let Some(v) = unsafe { ring.pop(cur) } {
                     return Some(v);
                 }
                 if !ring.arity().promoted() {
-                    return None;
+                    // Unpromoted empty ring: nothing can sit in the MPMC
+                    // queue, but a planner race may have stranded values
+                    // in a sibling ring — scavenge them (no-op unless
+                    // the lane is adaptive).
+                    return self.lanes[lane].scavenge(RING_BIT_SPSC);
                 }
                 if !ring.arity().producer_claimed() {
                     // Re-poll *after* observing the released claim: a
@@ -560,30 +1193,130 @@ impl<'q, T: Send, Q: ConcurrentQueue<T> + 'q> ShardedHandle<'q, T, Q> {
                     // blocked, so no new ring producer can ever appear:
                     // the ring is empty forever.
                     ring.arity().release_consumer();
-                    self.roles[lane].cons = ConsRole::RingDead;
+                    self.roles[lane].cons = ConsRole::Mpmc {
+                        dead: RING_BIT_SPSC,
+                    };
                 }
                 self.handles[lane].dequeue()
             }
-            ConsRole::Mpmc => {
-                if let Some(ring) = &self.lanes[lane].ring {
-                    // Claim state first, emptiness second (see above).
-                    let producer_gone = ring.arity().promoted() && !ring.arity().producer_claimed();
-                    if !ring.is_empty() {
-                        if ring.arity().try_reclaim_consumer() {
-                            // Reclaim: drain ring residue left behind by
-                            // a departed consumer before MPMC items.
-                            let mut cur = ring.consumer_cursor();
-                            // SAFETY: the claim above grants sole-popper.
-                            let popped = unsafe { ring.pop(&mut cur) };
-                            self.roles[lane].cons = ConsRole::Ring(cur);
-                            if popped.is_some() {
-                                return popped;
+            ConsRole::Mpsc(cur) => {
+                let ring = self.lanes[lane]
+                    .mpsc_ring
+                    .as_ref()
+                    .expect("role implies a ring");
+                // SAFETY: this handle holds the single-consumer claim.
+                if let Some(v) = unsafe { ring.pop(cur) } {
+                    return Some(v);
+                }
+                if !ring.arity().promoted() {
+                    return self.lanes[lane].scavenge(RING_BIT_MPSC);
+                }
+                if ring.arity().multi_count() == 0 {
+                    // Every fan-in producer released its registration —
+                    // each after its final publication, and the acquire
+                    // read of the zero count orders those pushes.
+                    // SAFETY: as above.
+                    if let Some(v) = unsafe { ring.pop(cur) } {
+                        return Some(v);
+                    }
+                    // Registration is promotion-blocked: no new fan-in
+                    // producer can appear. Empty forever.
+                    ring.arity().release_consumer();
+                    self.roles[lane].cons = ConsRole::Mpmc {
+                        dead: RING_BIT_MPSC,
+                    };
+                }
+                self.handles[lane].dequeue()
+            }
+            ConsRole::Spmc => {
+                let ring = self.lanes[lane]
+                    .spmc_ring
+                    .as_ref()
+                    .expect("role implies a ring");
+                if let Some(v) = ring.pop() {
+                    return Some(v);
+                }
+                if !ring.arity().promoted() {
+                    return self.lanes[lane].scavenge(RING_BIT_SPMC);
+                }
+                if !ring.arity().producer_claimed() {
+                    // Re-poll after observing the released producer
+                    // claim, exactly as in the SPSC case; drain-side
+                    // registrations are irrelevant to deadness.
+                    if let Some(v) = ring.pop() {
+                        return Some(v);
+                    }
+                    ring.arity().release_multi();
+                    self.roles[lane].cons = ConsRole::Mpmc {
+                        dead: RING_BIT_SPMC,
+                    };
+                }
+                self.handles[lane].dequeue()
+            }
+            ConsRole::Mpmc { dead } => {
+                let mut dead = *dead;
+                // For each built, not-yet-dead ring: claim state first,
+                // emptiness second (see the method docs); reclaim any
+                // ring observed to hold residue, adopting its endpoint.
+                if dead & RING_BIT_SPSC == 0 {
+                    if let Some(ring) = &self.lanes[lane].spsc_ring {
+                        let producer_gone =
+                            ring.arity().promoted() && !ring.arity().producer_claimed();
+                        if !ring.is_empty() {
+                            if ring.arity().try_reclaim_consumer() {
+                                let mut cur = ring.consumer_cursor();
+                                // SAFETY: the claim grants sole-popper.
+                                let popped = unsafe { ring.pop(&mut cur) };
+                                self.roles[lane].cons = ConsRole::Spsc(cur);
+                                if popped.is_some() {
+                                    return popped;
+                                }
+                                return self.handles[lane].dequeue();
                             }
+                        } else if producer_gone {
+                            dead |= RING_BIT_SPSC;
                         }
-                    } else if producer_gone {
-                        self.roles[lane].cons = ConsRole::RingDead;
                     }
                 }
+                if dead & RING_BIT_MPSC == 0 {
+                    if let Some(ring) = &self.lanes[lane].mpsc_ring {
+                        let producers_gone =
+                            ring.arity().promoted() && ring.arity().multi_count() == 0;
+                        if !ring.is_empty() {
+                            if ring.arity().try_reclaim_consumer() {
+                                let mut cur = ring.consumer_cursor();
+                                // SAFETY: the claim grants sole-popper.
+                                let popped = unsafe { ring.pop(&mut cur) };
+                                self.roles[lane].cons = ConsRole::Mpsc(cur);
+                                if popped.is_some() {
+                                    return popped;
+                                }
+                                return self.handles[lane].dequeue();
+                            }
+                        } else if producers_gone {
+                            dead |= RING_BIT_MPSC;
+                        }
+                    }
+                }
+                if dead & RING_BIT_SPMC == 0 {
+                    if let Some(ring) = &self.lanes[lane].spmc_ring {
+                        let producer_gone =
+                            ring.arity().promoted() && !ring.arity().producer_claimed();
+                        if let Some(v) = ring.pop() {
+                            self.roles[lane].cons = ConsRole::Mpmc { dead };
+                            return Some(v);
+                        } else if producer_gone {
+                            // The pop observed the gate empty *after*
+                            // the claim read above: empty forever.
+                            dead |= RING_BIT_SPMC;
+                        }
+                    }
+                }
+                self.roles[lane].cons = if dead == self.lanes[lane].built_mask() {
+                    ConsRole::RingDead
+                } else {
+                    ConsRole::Mpmc { dead }
+                };
                 self.handles[lane].dequeue()
             }
             ConsRole::RingDead => self.handles[lane].dequeue(),
@@ -592,19 +1325,39 @@ impl<'q, T: Send, Q: ConcurrentQueue<T> + 'q> ShardedHandle<'q, T, Q> {
     }
 
     /// Batch analog of [`ShardedHandle::probe_dequeue`]: read-only with
-    /// respect to the lane's fast path unless the ring holds work.
+    /// respect to the lane's single-consumer fast paths unless a ring
+    /// holds work; the SPMC drain side is always poppable.
     fn probe_dequeue_batch(&mut self, lane: usize, out: &mut Vec<T>, max: usize) -> usize {
         let mut taken = 0usize;
-        if let Some(ring) = &self.lanes[lane].ring {
+        if let Some(ring) = &self.lanes[lane].spsc_ring {
             if !ring.is_empty() && ring.arity().try_reclaim_consumer() {
                 let mut cur = ring.consumer_cursor();
                 // SAFETY: the claim above grants sole-popper.
                 taken = unsafe { ring.pop_batch(&mut cur, out, max) };
                 if taken > 0 {
-                    self.roles[lane].cons = ConsRole::Ring(cur);
+                    self.roles[lane].cons = ConsRole::Spsc(cur);
                 } else {
                     ring.arity().release_consumer();
                 }
+            }
+        }
+        if taken == 0 {
+            if let Some(ring) = &self.lanes[lane].mpsc_ring {
+                if !ring.is_empty() && ring.arity().try_reclaim_consumer() {
+                    let mut cur = ring.consumer_cursor();
+                    // SAFETY: the claim above grants sole-popper.
+                    taken = unsafe { ring.pop_batch(&mut cur, out, max) };
+                    if taken > 0 {
+                        self.roles[lane].cons = ConsRole::Mpsc(cur);
+                    } else {
+                        ring.arity().release_consumer();
+                    }
+                }
+            }
+        }
+        if taken < max {
+            if let Some(ring) = &self.lanes[lane].spmc_ring {
+                taken += ring.pop_batch(out, max - taken);
             }
         }
         if taken < max {
@@ -613,8 +1366,8 @@ impl<'q, T: Send, Q: ConcurrentQueue<T> + 'q> ShardedHandle<'q, T, Q> {
         taken
     }
 
-    /// Batch dequeue from one specific lane; the ring path publishes the
-    /// moved `head` once for the whole batch. `RingDead` transitions
+    /// Batch dequeue from one specific lane; the ring paths publish the
+    /// moved `head` once for the whole batch. Dead-ring transitions
     /// follow the same claim-observation-before-emptiness order as
     /// [`ShardedHandle::lane_dequeue`].
     fn lane_dequeue_batch(&mut self, lane: usize, out: &mut Vec<T>, max: usize) -> usize {
@@ -623,15 +1376,18 @@ impl<'q, T: Send, Q: ConcurrentQueue<T> + 'q> ShardedHandle<'q, T, Q> {
         }
         self.resolve_cons(lane);
         match &mut self.roles[lane].cons {
-            ConsRole::Ring(cur) => {
+            ConsRole::Spsc(cur) => {
                 let ring = self.lanes[lane]
-                    .ring
+                    .spsc_ring
                     .as_ref()
-                    .expect("ring role implies a ring");
+                    .expect("role implies a ring");
                 // SAFETY: this handle holds the consumer claim.
                 let mut got = unsafe { ring.pop_batch(cur, out, max) };
-                if got == max || !ring.arity().promoted() {
+                if got == max {
                     return got;
+                }
+                if !ring.arity().promoted() {
+                    return got + self.lanes[lane].scavenge_batch(RING_BIT_SPSC, out, max - got);
                 }
                 if !ring.arity().producer_claimed() {
                     // Re-poll after observing the released claim (the
@@ -643,26 +1399,121 @@ impl<'q, T: Send, Q: ConcurrentQueue<T> + 'q> ShardedHandle<'q, T, Q> {
                         return got;
                     }
                     ring.arity().release_consumer();
-                    self.roles[lane].cons = ConsRole::RingDead;
+                    self.roles[lane].cons = ConsRole::Mpmc {
+                        dead: RING_BIT_SPSC,
+                    };
                 }
                 got + self.handles[lane].dequeue_batch(out, max - got)
             }
-            ConsRole::Mpmc => {
+            ConsRole::Mpsc(cur) => {
+                let ring = self.lanes[lane]
+                    .mpsc_ring
+                    .as_ref()
+                    .expect("role implies a ring");
+                // SAFETY: this handle holds the single-consumer claim.
+                let mut got = unsafe { ring.pop_batch(cur, out, max) };
+                if got == max {
+                    return got;
+                }
+                if !ring.arity().promoted() {
+                    return got + self.lanes[lane].scavenge_batch(RING_BIT_MPSC, out, max - got);
+                }
+                if ring.arity().multi_count() == 0 {
+                    // SAFETY: as above.
+                    got += unsafe { ring.pop_batch(cur, out, max - got) };
+                    if got == max {
+                        return got;
+                    }
+                    ring.arity().release_consumer();
+                    self.roles[lane].cons = ConsRole::Mpmc {
+                        dead: RING_BIT_MPSC,
+                    };
+                }
+                got + self.handles[lane].dequeue_batch(out, max - got)
+            }
+            ConsRole::Spmc => {
+                let ring = self.lanes[lane]
+                    .spmc_ring
+                    .as_ref()
+                    .expect("role implies a ring");
+                let mut got = ring.pop_batch(out, max);
+                if got == max {
+                    return got;
+                }
+                if !ring.arity().promoted() {
+                    return got + self.lanes[lane].scavenge_batch(RING_BIT_SPMC, out, max - got);
+                }
+                if !ring.arity().producer_claimed() {
+                    got += ring.pop_batch(out, max - got);
+                    if got == max {
+                        return got;
+                    }
+                    ring.arity().release_multi();
+                    self.roles[lane].cons = ConsRole::Mpmc {
+                        dead: RING_BIT_SPMC,
+                    };
+                }
+                got + self.handles[lane].dequeue_batch(out, max - got)
+            }
+            ConsRole::Mpmc { dead } => {
+                let mut dead = *dead;
                 let mut taken = 0usize;
-                if let Some(ring) = &self.lanes[lane].ring {
-                    // Claim state first, emptiness second.
-                    let producer_gone = ring.arity().promoted() && !ring.arity().producer_claimed();
-                    if !ring.is_empty() {
-                        if ring.arity().try_reclaim_consumer() {
-                            let mut cur = ring.consumer_cursor();
-                            // SAFETY: the claim above grants sole-popper.
-                            taken = unsafe { ring.pop_batch(&mut cur, out, max) };
-                            self.roles[lane].cons = ConsRole::Ring(cur);
+                if dead & RING_BIT_SPSC == 0 {
+                    if let Some(ring) = &self.lanes[lane].spsc_ring {
+                        let producer_gone =
+                            ring.arity().promoted() && !ring.arity().producer_claimed();
+                        if !ring.is_empty() {
+                            if ring.arity().try_reclaim_consumer() {
+                                let mut cur = ring.consumer_cursor();
+                                // SAFETY: the claim grants sole-popper.
+                                taken = unsafe { ring.pop_batch(&mut cur, out, max) };
+                                self.roles[lane].cons = ConsRole::Spsc(cur);
+                                if taken < max {
+                                    taken += self.handles[lane].dequeue_batch(out, max - taken);
+                                }
+                                return taken;
+                            }
+                        } else if producer_gone {
+                            dead |= RING_BIT_SPSC;
                         }
-                    } else if producer_gone {
-                        self.roles[lane].cons = ConsRole::RingDead;
                     }
                 }
+                if dead & RING_BIT_MPSC == 0 {
+                    if let Some(ring) = &self.lanes[lane].mpsc_ring {
+                        let producers_gone =
+                            ring.arity().promoted() && ring.arity().multi_count() == 0;
+                        if !ring.is_empty() {
+                            if ring.arity().try_reclaim_consumer() {
+                                let mut cur = ring.consumer_cursor();
+                                // SAFETY: the claim grants sole-popper.
+                                taken = unsafe { ring.pop_batch(&mut cur, out, max) };
+                                self.roles[lane].cons = ConsRole::Mpsc(cur);
+                                if taken < max {
+                                    taken += self.handles[lane].dequeue_batch(out, max - taken);
+                                }
+                                return taken;
+                            }
+                        } else if producers_gone {
+                            dead |= RING_BIT_MPSC;
+                        }
+                    }
+                }
+                if dead & RING_BIT_SPMC == 0 {
+                    if let Some(ring) = &self.lanes[lane].spmc_ring {
+                        let producer_gone =
+                            ring.arity().promoted() && !ring.arity().producer_claimed();
+                        let got = ring.pop_batch(out, max - taken);
+                        taken += got;
+                        if got == 0 && producer_gone {
+                            dead |= RING_BIT_SPMC;
+                        }
+                    }
+                }
+                self.roles[lane].cons = if dead == self.lanes[lane].built_mask() {
+                    ConsRole::RingDead
+                } else {
+                    ConsRole::Mpmc { dead }
+                };
                 if taken < max {
                     taken += self.handles[lane].dequeue_batch(out, max - taken);
                 }
@@ -676,19 +1527,54 @@ impl<'q, T: Send, Q: ConcurrentQueue<T> + 'q> ShardedHandle<'q, T, Q> {
 
 impl<'q, T: Send, Q: ConcurrentQueue<T> + 'q> Drop for ShardedHandle<'q, T, Q> {
     fn drop(&mut self) {
-        // Release every ring endpoint this handle claimed. The release
-        // RMW publishes the final cursor values, so a later claimant (or
-        // a promoting second registrant's consumers) sees every value we
-        // pushed; un-drained residue is picked up via the Mpmc-role
-        // reclaim path or by the next claiming handle.
+        // Release every ring endpoint this handle claimed or registered.
+        // The release RMW publishes the final cursor values, so a later
+        // claimant (or a promoting second registrant's consumers) sees
+        // every value we pushed; un-drained residue is picked up via the
+        // Mpmc-role reclaim path or by the next claiming handle.
         for (lane, role) in self.roles.iter().enumerate() {
-            if let Some(ring) = &self.lanes[lane].ring {
-                if matches!(role.prod, ProdRole::Ring(_)) {
-                    ring.arity().release_producer();
-                }
-                if matches!(role.cons, ConsRole::Ring(_)) {
-                    ring.arity().release_consumer();
-                }
+            let l = &self.lanes[lane];
+            match &role.prod {
+                ProdRole::Spsc(_) => l
+                    .spsc_ring
+                    .as_ref()
+                    .expect("role implies a ring")
+                    .arity()
+                    .release_producer(),
+                ProdRole::Mpsc(_) => l
+                    .mpsc_ring
+                    .as_ref()
+                    .expect("role implies a ring")
+                    .arity()
+                    .release_multi(),
+                ProdRole::Spmc(_) => l
+                    .spmc_ring
+                    .as_ref()
+                    .expect("role implies a ring")
+                    .arity()
+                    .release_producer(),
+                _ => {}
+            }
+            match &role.cons {
+                ConsRole::Spsc(_) => l
+                    .spsc_ring
+                    .as_ref()
+                    .expect("role implies a ring")
+                    .arity()
+                    .release_consumer(),
+                ConsRole::Mpsc(_) => l
+                    .mpsc_ring
+                    .as_ref()
+                    .expect("role implies a ring")
+                    .arity()
+                    .release_consumer(),
+                ConsRole::Spmc => l
+                    .spmc_ring
+                    .as_ref()
+                    .expect("role implies a ring")
+                    .arity()
+                    .release_multi(),
+                _ => {}
             }
         }
     }
@@ -705,19 +1591,37 @@ impl<'q, T: Send, Q: ConcurrentQueue<T> + 'q> QueueHandle<T> for ShardedHandle<'
                     self.cursor = lane;
                     return Ok(());
                 }
-                Err(Full(v)) => value = v,
+                Err(Full(v)) => {
+                    if self.adaptive {
+                        self.obs_tick = self.obs_tick.wrapping_add(1);
+                        if self.obs_tick & 0xF == 0 {
+                            self.lanes[lane].obs.record_full();
+                        }
+                    }
+                    value = v;
+                }
             }
         }
         Err(Full(value))
     }
 
     fn dequeue(&mut self) -> Option<T> {
+        let home = self.cursor;
         for lane in self.probe_order() {
             if let Some(v) = self.lane_dequeue(lane) {
+                if self.adaptive && lane != home {
+                    self.lanes[lane].obs.record_steal();
+                }
                 // Follow the non-empty lane: the next dequeue drains it
                 // without re-probing the empty ones.
                 self.cursor = lane;
                 return Some(v);
+            }
+        }
+        if self.adaptive {
+            self.obs_tick = self.obs_tick.wrapping_add(1);
+            if self.obs_tick & 0xF == 0 {
+                self.lanes[home].obs.record_empty();
             }
         }
         None
@@ -828,6 +1732,11 @@ impl<T: Send, Q: ConcurrentQueue<T>> ConcurrentQueue<T> for ShardedQueue<T, Q> {
         Self: 'q;
 
     fn handle(&self) -> Self::Handle<'_> {
+        // A new participant is the natural quiesce point for the
+        // planner: its roles are still unresolved, so a flipped lane is
+        // exactly what it will claim into. No-op except under
+        // `LanePolicy::Adaptive`.
+        self.replan();
         // Round-robin lane assignment spreads threads across lanes; the
         // Relaxed ticket is only a load-balancing hint, never a
         // correctness input.
@@ -862,7 +1771,13 @@ impl<T: Send, Q: ConcurrentQueue<T>> ConcurrentQueue<T> for ShardedQueue<T, Q> {
         let mut total = 0usize;
         for lane in self.lanes.iter() {
             total += ConcurrentQueue::len(&lane.mpmc)?;
-            if let Some(ring) = &lane.ring {
+            if let Some(ring) = &lane.spsc_ring {
+                total += ring.len();
+            }
+            if let Some(ring) = &lane.mpsc_ring {
+                total += ring.len();
+            }
+            if let Some(ring) = &lane.spmc_ring {
                 total += ring.len();
             }
         }
@@ -873,6 +1788,9 @@ impl<T: Send, Q: ConcurrentQueue<T>> ConcurrentQueue<T> for ShardedQueue<T, Q> {
         match self.config.lane_policy {
             LanePolicy::Mpmc => "Sharded frontend",
             LanePolicy::SpscFastPath => "Sharded mixed-lane frontend",
+            LanePolicy::MpscFastPath => "Sharded fan-in-lane frontend",
+            LanePolicy::SpmcFastPath => "Sharded fan-out-lane frontend",
+            LanePolicy::Adaptive => "Sharded adaptive-lane frontend",
         }
     }
 }
@@ -891,6 +1809,26 @@ mod tests {
             ShardedConfig::with_lanes(lanes).spsc_fast_path(),
             move |_| CasQueue::with_capacity(lane_cap),
         )
+    }
+
+    fn mpsc_cas(lanes: usize, lane_cap: usize) -> ShardedQueue<u64, CasQueue<u64>> {
+        ShardedQueue::with_config(
+            ShardedConfig::with_lanes(lanes).mpsc_fast_path(),
+            move |_| CasQueue::with_capacity(lane_cap),
+        )
+    }
+
+    fn spmc_cas(lanes: usize, lane_cap: usize) -> ShardedQueue<u64, CasQueue<u64>> {
+        ShardedQueue::with_config(
+            ShardedConfig::with_lanes(lanes).spmc_fast_path(),
+            move |_| CasQueue::with_capacity(lane_cap),
+        )
+    }
+
+    fn adaptive_cas(lanes: usize, lane_cap: usize) -> ShardedQueue<u64, CasQueue<u64>> {
+        ShardedQueue::with_config(ShardedConfig::with_lanes(lanes).adaptive(), move |_| {
+            CasQueue::with_capacity(lane_cap)
+        })
     }
 
     #[test]
@@ -1388,5 +2326,226 @@ mod tests {
             });
         });
         assert_eq!(q.lane_promoted(0), Some(false), "pair stayed on the ring");
+    }
+
+    #[test]
+    fn mpsc_lane_fan_in_stays_unpromoted() {
+        let q = mpsc_cas(1, 8);
+        assert!(q.lane_has_fast_path(0));
+        assert_eq!(q.algorithm_name(), "Sharded fan-in-lane frontend");
+        let mut p1 = q.handle_pinned(0);
+        let mut p2 = q.handle_pinned(0);
+        let mut c = q.handle_pinned(0);
+        p1.enqueue(1).unwrap();
+        p2.enqueue(2).unwrap();
+        // Two producers on the fan-in ring's multi side never promote;
+        // the single consumer drains in ticket order.
+        assert_eq!(c.dequeue(), Some(1));
+        assert_eq!(c.dequeue(), Some(2));
+        assert_eq!(c.dequeue(), None);
+        assert_eq!(q.lane_promoted(0), Some(false));
+        assert_eq!(ConcurrentQueue::len(q.lane(0)), Some(0), "MPMC untouched");
+    }
+
+    #[test]
+    fn mpsc_producer_switches_after_own_residue_drains() {
+        let q = mpsc_cas(1, 8);
+        let mut p = q.handle_pinned(0);
+        let mut c1 = q.handle_pinned(0);
+        let mut c2 = q.handle_pinned(0);
+        p.enqueue(1).unwrap(); // tickets 0…
+        p.enqueue(2).unwrap(); // …and 1
+        assert_eq!(c1.dequeue(), Some(1)); // c1 claims the consumer side
+        assert_eq!(c2.dequeue(), None); // second consumer: promotes
+        assert_eq!(q.lane_promoted(0), Some(true));
+        // p's own residue (ticket 1) has not drained: it keeps the ring.
+        p.enqueue(3).unwrap();
+        assert_eq!(ConcurrentQueue::len(q.lane(0)), Some(0), "3 on the ring");
+        assert_eq!(c1.dequeue(), Some(2));
+        assert_eq!(c1.dequeue(), Some(3));
+        // Now head has passed p's last ticket: the next enqueue releases
+        // the registration and lands on the MPMC queue.
+        p.enqueue(4).unwrap();
+        assert_eq!(ConcurrentQueue::len(q.lane(0)), Some(1), "4 on MPMC");
+        assert_eq!(c1.dequeue(), Some(4), "ring-dead transition finds MPMC");
+        assert_eq!(c1.dequeue(), None);
+        assert_eq!(c2.dequeue(), None);
+    }
+
+    #[test]
+    fn spmc_lane_fan_out_stays_unpromoted() {
+        let q = spmc_cas(1, 8);
+        assert!(q.lane_has_fast_path(0));
+        assert_eq!(q.algorithm_name(), "Sharded fan-out-lane frontend");
+        let mut p = q.handle_pinned(0);
+        let mut c1 = q.handle_pinned(0);
+        let mut c2 = q.handle_pinned(0);
+        p.enqueue(1).unwrap();
+        p.enqueue(2).unwrap();
+        // Two consumers arbitrate the drain side without promoting.
+        assert_eq!(c1.dequeue(), Some(1));
+        assert_eq!(c2.dequeue(), Some(2));
+        assert_eq!(c1.dequeue(), None);
+        assert_eq!(q.lane_promoted(0), Some(false));
+        assert_eq!(ConcurrentQueue::len(q.lane(0)), Some(0), "MPMC untouched");
+    }
+
+    #[test]
+    fn spmc_second_producer_promotes_not_corrupts() {
+        let q = spmc_cas(1, 8);
+        let mut p1 = q.handle_pinned(0);
+        let mut p2 = q.handle_pinned(0);
+        let mut c = q.handle_pinned(0);
+        p1.enqueue(1).unwrap(); // p1 claims the ring producer endpoint
+        assert_eq!(q.lane_promoted(0), Some(false));
+        p2.enqueue(100).unwrap(); // second producer: promote, go MPMC
+        assert_eq!(q.lane_promoted(0), Some(true));
+        p1.enqueue(2).unwrap(); // ring non-empty: p1 keeps its fast path
+        assert_eq!(ConcurrentQueue::len(q.lane(0)), Some(1), "only 100 on MPMC");
+        assert_eq!(c.dequeue(), Some(1));
+        assert_eq!(c.dequeue(), Some(2));
+        // Ring drained: p1's next enqueue hands the lane over exactly
+        // like the SPSC case (it owns `tail`, emptiness is exact).
+        p1.enqueue(3).unwrap();
+        assert_eq!(
+            ConcurrentQueue::len(q.lane(0)),
+            Some(2),
+            "100 and 3 on MPMC"
+        );
+        assert_eq!(c.dequeue(), Some(100));
+        assert_eq!(c.dequeue(), Some(3));
+        assert_eq!(c.dequeue(), None);
+    }
+
+    #[test]
+    fn probing_consumer_takes_spmc_work_without_claiming() {
+        let q = spmc_cas(2, 8);
+        let mut p = q.handle_pinned(0);
+        p.enqueue(5).unwrap();
+        // A stealing handle homed on lane 1 probes lane 0: the fan-out
+        // drain side is FAA-arbitrated, so the probe pops directly —
+        // no claim, no registration, no promotion.
+        let mut stealer = q.make_handle(1, 1);
+        assert_eq!(stealer.dequeue(), Some(5));
+        assert_eq!(q.lane_promoted(0), Some(false));
+        // The pinned producer's fast path is intact.
+        p.enqueue(6).unwrap();
+        let mut c = q.handle_pinned(0);
+        assert_eq!(c.dequeue(), Some(6));
+        assert_eq!(q.lane_promoted(0), Some(false));
+    }
+
+    #[test]
+    fn adaptive_planner_selects_each_kind_and_conserves() {
+        let q = adaptive_cas(1, 8);
+        assert_eq!(q.algorithm_name(), "Sharded adaptive-lane frontend");
+        assert_eq!(q.lane_kind(0), QueueKind::spsc_wait_free(), "optimistic");
+
+        // Phase 1 — fan-in shape (2p/1c) on the default SPSC plan: the
+        // second producer promotes the SPSC ring; everything conserves.
+        {
+            let mut p1 = q.handle_pinned(0);
+            let mut p2 = q.handle_pinned(0);
+            let mut c = q.handle_pinned(0);
+            p1.enqueue(1).unwrap();
+            p2.enqueue(2).unwrap(); // promotes the SPSC ring
+            assert_eq!(c.dequeue(), Some(1));
+            assert_eq!(c.dequeue(), Some(2));
+            assert_eq!(c.dequeue(), None);
+        }
+        // The planner maps 2p/1c to the fan-in ring; the burnt SPSC
+        // ring is empty and claim-free, so the flip is legal.
+        q.replan();
+        assert_eq!(q.lane_kind(0), QueueKind::mpsc_wait_free());
+
+        // Phase 2 — fan-out shape (1p/2c) on the MPSC plan: the second
+        // consumer promotes the MPSC ring.
+        {
+            let mut p = q.handle_pinned(0);
+            let mut c1 = q.handle_pinned(0);
+            let mut c2 = q.handle_pinned(0);
+            p.enqueue(10).unwrap();
+            assert_eq!(c1.dequeue(), Some(10));
+            assert_eq!(c2.dequeue(), None); // promotes the MPSC ring
+        }
+        q.replan();
+        assert_eq!(q.lane_kind(0), QueueKind::spmc_wait_free());
+
+        // Phase 3 — symmetric shape (2p/2c) on the SPMC plan: the
+        // second producer promotes the SPMC ring and the planner falls
+        // back to pure MPMC service.
+        {
+            let mut p1 = q.handle_pinned(0);
+            let mut p2 = q.handle_pinned(0);
+            let mut c1 = q.handle_pinned(0);
+            let mut c2 = q.handle_pinned(0);
+            p1.enqueue(100).unwrap();
+            p2.enqueue(200).unwrap(); // promotes the SPMC ring
+            assert_eq!(c1.dequeue(), Some(100));
+            assert_eq!(c2.dequeue(), Some(200));
+        }
+        q.replan();
+        assert_eq!(q.active_of(0), ACTIVE_NONE);
+        assert_eq!(q.lane_kind(0), QueueKind::mpmc());
+    }
+
+    #[test]
+    fn adaptive_replan_refuses_while_claims_or_values_live() {
+        let q = adaptive_cas(1, 8);
+        let mut p1 = q.handle_pinned(0);
+        let mut p2 = q.handle_pinned(0);
+        p1.enqueue(1).unwrap(); // p1 holds the SPSC producer claim
+        p2.enqueue(2).unwrap(); // promotes; lands on MPMC
+        q.replan();
+        // 2p/0c wants ACTIVE_NONE, but p1's live claim pins the plan.
+        assert_eq!(q.active_of(0), ACTIVE_SPSC, "flip refused: claim live");
+        let mut c = q.handle_pinned(0);
+        assert_eq!(c.dequeue(), Some(1));
+        assert_eq!(c.dequeue(), Some(2));
+        drop(p1);
+        drop(p2);
+        drop(c);
+        // Lane quiesced (rings empty, claims released): the retained
+        // counters (2p/1c) now map to the fan-in ring and the flip runs.
+        q.replan();
+        assert_eq!(q.active_of(0), ACTIVE_MPSC);
+    }
+
+    #[test]
+    fn adaptive_scavenges_residue_after_forced_replan_race() {
+        // Simulate the claim-vs-replan race: values land in the fan-in
+        // ring, then the plan flips before any consumer resolves. The
+        // consumer claims the (empty) SPSC ring but must still drain the
+        // stranded fan-in values via scavenging.
+        let q = adaptive_cas(1, 8);
+        q.force_active(0, ACTIVE_MPSC);
+        let mut p = q.handle_pinned(0);
+        p.enqueue(1).unwrap();
+        p.enqueue(2).unwrap();
+        q.force_active(0, ACTIVE_SPSC);
+        let mut c = q.handle_pinned(0);
+        assert_eq!(c.dequeue(), Some(1), "scavenged from the inactive ring");
+        assert_eq!(c.dequeue(), Some(2));
+        assert_eq!(c.dequeue(), None);
+        // The producer's resolved role still targets the fan-in ring;
+        // later values keep flowing and keep being scavenged.
+        p.enqueue(3).unwrap();
+        assert_eq!(c.dequeue(), Some(3));
+        assert_eq!(c.dequeue(), None);
+    }
+
+    #[test]
+    fn lane_observation_counts_registrations() {
+        let q = adaptive_cas(2, 8);
+        assert!(q.lane_observation(0).is_idle());
+        let mut p = q.handle_pinned(0);
+        p.enqueue(1).unwrap();
+        let mut c = q.handle_pinned(0);
+        assert_eq!(c.dequeue(), Some(1));
+        let obs = q.lane_observation(0);
+        assert_eq!(obs.producers, 1);
+        assert_eq!(obs.consumers, 1);
+        assert_eq!(obs.steals, 0);
+        assert!(q.lane_observation(1).is_idle(), "lane 1 untouched");
     }
 }

@@ -2,18 +2,19 @@
 //! enum so the `repro` binary and the Criterion benches share one list.
 
 use crate::workload::{
-    run_workload, run_workload_async, run_workload_pipe, run_workload_pipe_pinned, WorkloadConfig,
+    run_workload, run_workload_async, run_workload_fan, run_workload_fan_in_pinned,
+    run_workload_fan_out_pinned, run_workload_pipe, run_workload_pipe_pinned, WorkloadConfig,
 };
 use nbq_baselines::{
     MsDohertyQueue, MsQueue, MutexQueue, ScanMode, ScqQueue, SeqQueue, ShannQueue,
     TsigasZhangQueue, WcqQueue,
 };
 use nbq_core::{
-    CasQueue, CasQueueConfig, GatePolicy, LlScQueue, LlScQueueConfig, ShardedConfig, ShardedQueue,
-    SpscRing,
+    CasQueue, CasQueueConfig, GatePolicy, LlScQueue, LlScQueueConfig, MpscRing, ShardedConfig,
+    ShardedQueue, SpmcRing, SpscRing,
 };
 use nbq_util::stats::Summary;
-use nbq_util::{ConcurrentQueue, Full, QueueHandle};
+use nbq_util::{ConcurrentQueue, Full, QueueHandle, QueueKind};
 
 /// Every benchmarkable algorithm.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -98,6 +99,56 @@ pub enum Algo {
         /// Number of independent lanes.
         lanes: usize,
     },
+    /// The raw wait-free-consumer MPSC ring on the fan-in workload
+    /// (`threads - 1` FAA-ticketed producers, one claimed consumer).
+    MpscRingFan,
+    /// The raw wait-free-producer SPMC ring on the fan-out workload (one
+    /// claimed producer, `threads - 1` FAA-arbitrated consumers).
+    SpmcRingFan,
+    /// The paper's CAS queue on the fan-in shape (MPMC machinery paying
+    /// full price for an Np/1c-shaped load).
+    FanInCas,
+    /// The paper's CAS queue on the fan-out shape.
+    FanOutCas,
+    /// Sharded frontend with MPSC fast-path lanes on the pinned fan-in
+    /// workload: one consumer per lane keeps every lane wait-free on its
+    /// consumer side while producers fan in over the FAA ticket.
+    ShardedMpsc {
+        /// Number of independent lanes.
+        lanes: usize,
+    },
+    /// Sharded frontend with SPMC fast-path lanes on the pinned fan-out
+    /// workload: one producer per lane stays wait-free while consumers
+    /// fan out over the FAA drain ticket.
+    ShardedSpmc {
+        /// Number of independent lanes.
+        lanes: usize,
+    },
+    /// Control for [`Algo::ShardedMpsc`]: identical pinned fan-in, but
+    /// plain MPMC lanes (no rings) — isolates the MPSC ring's gain.
+    ShardedFanInCtl {
+        /// Number of independent lanes.
+        lanes: usize,
+    },
+    /// Control for [`Algo::ShardedSpmc`]: identical pinned fan-out over
+    /// plain MPMC lanes.
+    ShardedFanOutCtl {
+        /// Number of independent lanes.
+        lanes: usize,
+    },
+    /// Adaptive lane planner on the pinned fan-in workload: lanes start
+    /// on the optimistic SPSC ring and an untimed warm-up + replan step
+    /// selects the MPSC ring from observed registrations.
+    ShardedAdaptiveFanIn {
+        /// Number of independent lanes.
+        lanes: usize,
+    },
+    /// Adaptive lane planner on the pinned fan-out workload (selects the
+    /// SPMC ring).
+    ShardedAdaptiveFanOut {
+        /// Number of independent lanes.
+        lanes: usize,
+    },
 }
 
 impl Algo {
@@ -166,6 +217,70 @@ impl Algo {
                 16 => "Sharded pinned MPMC x16",
                 _ => "Sharded pinned MPMC",
             },
+            Algo::MpscRingFan => "Wait-free MPSC ring (fan-in)",
+            Algo::SpmcRingFan => "Wait-free SPMC ring (fan-out)",
+            Algo::FanInCas => "FIFO Array Simulated CAS (fan-in)",
+            Algo::FanOutCas => "FIFO Array Simulated CAS (fan-out)",
+            Algo::ShardedMpsc { lanes } => match lanes {
+                1 => "Sharded MPSC fan-in x1",
+                2 => "Sharded MPSC fan-in x2",
+                4 => "Sharded MPSC fan-in x4",
+                8 => "Sharded MPSC fan-in x8",
+                _ => "Sharded MPSC fan-in",
+            },
+            Algo::ShardedSpmc { lanes } => match lanes {
+                1 => "Sharded SPMC fan-out x1",
+                2 => "Sharded SPMC fan-out x2",
+                4 => "Sharded SPMC fan-out x4",
+                8 => "Sharded SPMC fan-out x8",
+                _ => "Sharded SPMC fan-out",
+            },
+            Algo::ShardedFanInCtl { lanes } => match lanes {
+                1 => "Sharded pinned MPMC fan-in x1",
+                2 => "Sharded pinned MPMC fan-in x2",
+                4 => "Sharded pinned MPMC fan-in x4",
+                8 => "Sharded pinned MPMC fan-in x8",
+                _ => "Sharded pinned MPMC fan-in",
+            },
+            Algo::ShardedFanOutCtl { lanes } => match lanes {
+                1 => "Sharded pinned MPMC fan-out x1",
+                2 => "Sharded pinned MPMC fan-out x2",
+                4 => "Sharded pinned MPMC fan-out x4",
+                8 => "Sharded pinned MPMC fan-out x8",
+                _ => "Sharded pinned MPMC fan-out",
+            },
+            Algo::ShardedAdaptiveFanIn { lanes } => match lanes {
+                1 => "Sharded adaptive fan-in x1",
+                2 => "Sharded adaptive fan-in x2",
+                4 => "Sharded adaptive fan-in x4",
+                8 => "Sharded adaptive fan-in x8",
+                _ => "Sharded adaptive fan-in",
+            },
+            Algo::ShardedAdaptiveFanOut { lanes } => match lanes {
+                1 => "Sharded adaptive fan-out x1",
+                2 => "Sharded adaptive fan-out x2",
+                4 => "Sharded adaptive fan-out x4",
+                8 => "Sharded adaptive fan-out x8",
+                _ => "Sharded adaptive fan-out",
+            },
+        }
+    }
+
+    /// Capability envelope of the queue as the harness drives it — the
+    /// kind column in report tables. Sharded fast-path entries report the
+    /// per-lane kind their workload keeps the lanes on (the adaptive
+    /// entries: the kind the planner selects after its warm-up); plain
+    /// MPMC machinery reports [`QueueKind::mpmc`].
+    pub fn kind(self) -> QueueKind {
+        match self {
+            Algo::SpscRingPipe | Algo::ShardedMixed { .. } => QueueKind::spsc_wait_free(),
+            Algo::MpscRingFan | Algo::ShardedMpsc { .. } | Algo::ShardedAdaptiveFanIn { .. } => {
+                QueueKind::mpsc_wait_free()
+            }
+            Algo::SpmcRingFan | Algo::ShardedSpmc { .. } | Algo::ShardedAdaptiveFanOut { .. } => {
+                QueueKind::spmc_wait_free()
+            }
+            _ => QueueKind::mpmc(),
         }
     }
 
@@ -193,6 +308,30 @@ impl Algo {
             let lanes = lanes.parse().ok().filter(|&l| l > 0)?;
             return Some(Algo::ShardedPinned { lanes });
         }
+        if let Some(lanes) = s.strip_prefix("sharded-mpsc-") {
+            let lanes = lanes.parse().ok().filter(|&l| l > 0)?;
+            return Some(Algo::ShardedMpsc { lanes });
+        }
+        if let Some(lanes) = s.strip_prefix("sharded-spmc-") {
+            let lanes = lanes.parse().ok().filter(|&l| l > 0)?;
+            return Some(Algo::ShardedSpmc { lanes });
+        }
+        if let Some(lanes) = s.strip_prefix("sharded-fan-in-ctl-") {
+            let lanes = lanes.parse().ok().filter(|&l| l > 0)?;
+            return Some(Algo::ShardedFanInCtl { lanes });
+        }
+        if let Some(lanes) = s.strip_prefix("sharded-fan-out-ctl-") {
+            let lanes = lanes.parse().ok().filter(|&l| l > 0)?;
+            return Some(Algo::ShardedFanOutCtl { lanes });
+        }
+        if let Some(lanes) = s.strip_prefix("sharded-adaptive-in-") {
+            let lanes = lanes.parse().ok().filter(|&l| l > 0)?;
+            return Some(Algo::ShardedAdaptiveFanIn { lanes });
+        }
+        if let Some(lanes) = s.strip_prefix("sharded-adaptive-out-") {
+            let lanes = lanes.parse().ok().filter(|&l| l > 0)?;
+            return Some(Algo::ShardedAdaptiveFanOut { lanes });
+        }
         Some(match s {
             "cas" | "cas-queue" => Algo::CasQueue,
             "llsc" | "llsc-queue" => Algo::LlScQueue,
@@ -216,6 +355,10 @@ impl Algo {
             "spsc-ring" => Algo::SpscRingPipe,
             "spsc-cas" => Algo::SpscCasPipe,
             "spsc-llsc" => Algo::SpscLlscPipe,
+            "mpsc-ring" => Algo::MpscRingFan,
+            "spmc-ring" => Algo::SpmcRingFan,
+            "fan-in-cas" => Algo::FanInCas,
+            "fan-out-cas" => Algo::FanOutCas,
             _ => return None,
         })
     }
@@ -334,6 +477,103 @@ impl Algo {
                         })
                     },
                     config,
+                )
+            }
+            Algo::MpscRingFan => {
+                assert!(config.threads >= 2, "fan-in needs producers and a consumer");
+                run_workload_fan(
+                    || MpscRing::<u64>::with_capacity(cap),
+                    config,
+                    config.threads - 1,
+                )
+            }
+            Algo::SpmcRingFan => {
+                assert!(
+                    config.threads >= 2,
+                    "fan-out needs a producer and consumers"
+                );
+                run_workload_fan(|| SpmcRing::<u64>::with_capacity(cap), config, 1)
+            }
+            Algo::FanInCas => run_workload_fan(
+                || CasQueue::<u64>::with_capacity(cap),
+                config,
+                config.threads - 1,
+            ),
+            Algo::FanOutCas => run_workload_fan(|| CasQueue::<u64>::with_capacity(cap), config, 1),
+            Algo::ShardedMpsc { lanes } => {
+                let per_lane = cap.div_ceil(lanes);
+                run_workload_fan_in_pinned(
+                    || {
+                        ShardedQueue::with_config(
+                            ShardedConfig::with_lanes(lanes).mpsc_fast_path(),
+                            |_| CasQueue::<u64>::with_capacity(per_lane),
+                        )
+                    },
+                    config,
+                    false,
+                )
+            }
+            Algo::ShardedSpmc { lanes } => {
+                let per_lane = cap.div_ceil(lanes);
+                run_workload_fan_out_pinned(
+                    || {
+                        ShardedQueue::with_config(
+                            ShardedConfig::with_lanes(lanes).spmc_fast_path(),
+                            |_| CasQueue::<u64>::with_capacity(per_lane),
+                        )
+                    },
+                    config,
+                    false,
+                )
+            }
+            Algo::ShardedFanInCtl { lanes } => {
+                let per_lane = cap.div_ceil(lanes);
+                run_workload_fan_in_pinned(
+                    || {
+                        ShardedQueue::with_lanes(lanes, |_| {
+                            CasQueue::<u64>::with_capacity(per_lane)
+                        })
+                    },
+                    config,
+                    false,
+                )
+            }
+            Algo::ShardedFanOutCtl { lanes } => {
+                let per_lane = cap.div_ceil(lanes);
+                run_workload_fan_out_pinned(
+                    || {
+                        ShardedQueue::with_lanes(lanes, |_| {
+                            CasQueue::<u64>::with_capacity(per_lane)
+                        })
+                    },
+                    config,
+                    false,
+                )
+            }
+            Algo::ShardedAdaptiveFanIn { lanes } => {
+                let per_lane = cap.div_ceil(lanes);
+                run_workload_fan_in_pinned(
+                    || {
+                        ShardedQueue::with_config(
+                            ShardedConfig::with_lanes(lanes).adaptive(),
+                            |_| CasQueue::<u64>::with_capacity(per_lane),
+                        )
+                    },
+                    config,
+                    true,
+                )
+            }
+            Algo::ShardedAdaptiveFanOut { lanes } => {
+                let per_lane = cap.div_ceil(lanes);
+                run_workload_fan_out_pinned(
+                    || {
+                        ShardedQueue::with_config(
+                            ShardedConfig::with_lanes(lanes).adaptive(),
+                            |_| CasQueue::<u64>::with_capacity(per_lane),
+                        )
+                    },
+                    config,
+                    true,
                 )
             }
         }
@@ -625,6 +865,22 @@ mod tests {
             ("spsc-llsc", Algo::SpscLlscPipe),
             ("sharded-mixed-2", Algo::ShardedMixed { lanes: 2 }),
             ("sharded-pinned-4", Algo::ShardedPinned { lanes: 4 }),
+            ("mpsc-ring", Algo::MpscRingFan),
+            ("spmc-ring", Algo::SpmcRingFan),
+            ("fan-in-cas", Algo::FanInCas),
+            ("fan-out-cas", Algo::FanOutCas),
+            ("sharded-mpsc-2", Algo::ShardedMpsc { lanes: 2 }),
+            ("sharded-spmc-4", Algo::ShardedSpmc { lanes: 4 }),
+            ("sharded-fan-in-ctl-2", Algo::ShardedFanInCtl { lanes: 2 }),
+            ("sharded-fan-out-ctl-2", Algo::ShardedFanOutCtl { lanes: 2 }),
+            (
+                "sharded-adaptive-in-2",
+                Algo::ShardedAdaptiveFanIn { lanes: 2 },
+            ),
+            (
+                "sharded-adaptive-out-2",
+                Algo::ShardedAdaptiveFanOut { lanes: 2 },
+            ),
         ] {
             assert_eq!(Algo::parse(s), Some(a));
         }
@@ -634,6 +890,8 @@ mod tests {
         assert_eq!(Algo::parse("async-sharded-0"), None, "zero lanes rejected");
         assert_eq!(Algo::parse("sharded-mixed-0"), None, "zero lanes rejected");
         assert_eq!(Algo::parse("sharded-pinned-x"), None);
+        assert_eq!(Algo::parse("sharded-mpsc-0"), None, "zero lanes rejected");
+        assert_eq!(Algo::parse("sharded-adaptive-in-x"), None);
     }
 
     #[test]
@@ -676,6 +934,50 @@ mod tests {
             let s = algo.run(&cfg);
             assert!(s.mean > 0.0, "{} returned zero time", algo.name());
         }
+    }
+
+    #[test]
+    fn fan_algos_run_the_tiny_workload() {
+        // 4 threads: 3p/1c fan-in, 1p/3c fan-out, and 2-lane pinned fans
+        // (one single-side endpoint per lane + one multi-side per lane).
+        let cfg = WorkloadConfig {
+            threads: 4,
+            ..tiny()
+        };
+        for algo in [
+            Algo::MpscRingFan,
+            Algo::SpmcRingFan,
+            Algo::FanInCas,
+            Algo::FanOutCas,
+            Algo::ShardedMpsc { lanes: 2 },
+            Algo::ShardedSpmc { lanes: 2 },
+            Algo::ShardedFanInCtl { lanes: 2 },
+            Algo::ShardedFanOutCtl { lanes: 2 },
+            Algo::ShardedAdaptiveFanIn { lanes: 1 },
+            Algo::ShardedAdaptiveFanOut { lanes: 1 },
+        ] {
+            let s = algo.run(&cfg);
+            assert!(s.mean > 0.0, "{} returned zero time", algo.name());
+        }
+    }
+
+    #[test]
+    fn kind_reports_the_workload_envelope() {
+        assert_eq!(Algo::MpscRingFan.kind(), QueueKind::mpsc_wait_free());
+        assert_eq!(Algo::SpmcRingFan.kind(), QueueKind::spmc_wait_free());
+        assert_eq!(
+            Algo::ShardedAdaptiveFanIn { lanes: 2 }.kind(),
+            QueueKind::mpsc_wait_free()
+        );
+        assert_eq!(
+            Algo::ShardedMixed { lanes: 2 }.kind(),
+            QueueKind::spsc_wait_free()
+        );
+        assert_eq!(Algo::FanInCas.kind(), QueueKind::mpmc());
+        assert_eq!(Algo::CasQueue.kind(), QueueKind::mpmc());
+        // The Display impl drives the kind column in report tables.
+        assert_eq!(Algo::MpscRingFan.kind().to_string(), "mpsc+wf");
+        assert_eq!(Algo::CasQueue.kind().to_string(), "mpmc");
     }
 
     #[test]

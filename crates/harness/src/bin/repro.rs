@@ -36,6 +36,10 @@
 //!                                    lanes vs MPMC on split-role pipes
 //!                                    (even --threads only), plus the
 //!                                    isolated 1p/1c acceptance table
+//!   arity                            extension: wait-free MPSC fan-in and
+//!                                    SPMC fan-out lanes vs pinned-MPMC
+//!                                    controls (--threads >= 4 only), plus
+//!                                    the planner-conformance table
 //!   all                              everything above
 //!
 //! flags:
@@ -65,7 +69,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: repro <fig6a|fig6b|fig6c|fig6d|overhead|caswidth|opcounts|ablate-scan|\
          ablate-reregister|ablate-capacity|ablate-backoff|modern|batch|ordering|sharding|alloc|\
-         async|latency|spsc|all> \
+         async|latency|spsc|arity|all> \
          [--threads 1,2,4] [--lanes 2,4,8] [--iters N] [--runs N] [--capacity N] \
          [--csv DIR] [--paper]"
     );
@@ -301,6 +305,33 @@ fn run_spsc(args: &Args) {
     );
 }
 
+/// The `arity` experiment: the fan-in/fan-out throughput sweep (thread
+/// counts >= 4 only; every 2-lane entry needs one single-side endpoint
+/// per lane plus at least one multi-side endpoint per lane) and the
+/// planner-conformance fraction table behind it.
+fn run_arity(args: &Args) {
+    let threads: Vec<usize> = args.threads.iter().copied().filter(|&t| t >= 4).collect();
+    if threads.len() < args.threads.len() {
+        eprintln!(
+            "note: arity sweeps thread counts >= 4 only (2-lane fans); using {threads:?} \
+             of {:?}",
+            args.threads
+        );
+    }
+    if threads.is_empty() {
+        eprintln!("note: no usable thread counts for arity; skipping");
+        return;
+    }
+    emit(&experiments::arity(&threads, &args.config), &args.csv);
+    emit(&experiments::arity_ops(&threads, &args.config), &args.csv);
+    println!(
+        "fan rows pin one single-arity endpoint per lane (the claimed \
+         side) while the opposite side fans over the lane's FAA ticket; \
+         the adaptive rows let the planner pick each lane's ring from \
+         observed registrations after an untimed warm-up (DESIGN.md §13)"
+    );
+}
+
 fn main() -> ExitCode {
     let args = parse_args();
     eprintln!(
@@ -402,6 +433,9 @@ fn main() -> ExitCode {
         "spsc" => {
             run_spsc(&args);
         }
+        "arity" => {
+            run_arity(&args);
+        }
         "modern" => {
             emit(&experiments::modern(&args.threads, &args.config), &args.csv);
             emit(
@@ -484,6 +518,7 @@ fn main() -> ExitCode {
             run_async(&args);
             run_latency(&args);
             run_spsc(&args);
+            run_arity(&args);
         }
         other => {
             eprintln!("unknown experiment: {other}");

@@ -1299,6 +1299,169 @@ pub fn spsc_1p1c(base: &WorkloadConfig) -> Table {
     table
 }
 
+/// Producer-thread count each fan algorithm uses at a given total thread
+/// count — the throughput denominator of [`arity`] (each produced value
+/// is one enqueue plus one dequeue).
+fn fan_producers(algo: Algo, threads: usize) -> usize {
+    match algo {
+        Algo::MpscRingFan | Algo::FanInCas => threads - 1,
+        Algo::SpmcRingFan | Algo::FanOutCas => 1,
+        Algo::ShardedMpsc { lanes }
+        | Algo::ShardedFanInCtl { lanes }
+        | Algo::ShardedAdaptiveFanIn { lanes } => threads - lanes,
+        Algo::ShardedSpmc { lanes }
+        | Algo::ShardedFanOutCtl { lanes }
+        | Algo::ShardedAdaptiveFanOut { lanes } => lanes,
+        _ => unreachable!("not a fan algorithm"),
+    }
+}
+
+/// `ext-arity`: arity-specialized lanes on asymmetric split-role
+/// workloads. Fan-in columns run `threads - lanes` producers into one
+/// consumer per lane (the MPSC shape); fan-out mirrors it (one producer
+/// per lane, `threads - lanes` consumers — the SPMC shape). The raw-ring
+/// rows bound what the half-relaxed protocols can do; the pinned-MPMC
+/// control rows pay the full CAS protocol for the identical load shape,
+/// so each fast path's gain reads directly off its margin over the
+/// control. The adaptive rows start every lane on the optimistic SPSC
+/// ring and let the planner pick the ring from observed registrations.
+///
+/// Every row label carries the capability-kind column (`[mpsc+wf]`,
+/// `[mpmc]`, ...) from [`Algo::kind`]. Reported in Mops/s (higher is
+/// better). Thread counts must be >= 4 so every 2-lane entry keeps at
+/// least one endpoint per lane on each side.
+pub fn arity(thread_counts: &[usize], base: &WorkloadConfig) -> Table {
+    assert!(
+        thread_counts.iter().all(|&t| t >= 4),
+        "2-lane fan entries need >= 4 threads (one single-side endpoint \
+         per lane plus one multi-side endpoint per lane)"
+    );
+    let mut table = Table::new(
+        "ext-arity",
+        "Arity-specialized lanes: fan-in/fan-out throughput vs MPMC",
+        "threads",
+        "Mops/s",
+        thread_counts.iter().map(|&t| t as u64).collect(),
+    );
+    for algo in [
+        Algo::MpscRingFan,
+        Algo::FanInCas,
+        Algo::ShardedMpsc { lanes: 2 },
+        Algo::ShardedFanInCtl { lanes: 2 },
+        Algo::ShardedAdaptiveFanIn { lanes: 2 },
+        Algo::SpmcRingFan,
+        Algo::FanOutCas,
+        Algo::ShardedSpmc { lanes: 2 },
+        Algo::ShardedFanOutCtl { lanes: 2 },
+        Algo::ShardedAdaptiveFanOut { lanes: 2 },
+    ] {
+        let cells: Vec<Cell> = thread_counts
+            .iter()
+            .map(|&threads| {
+                let cfg = WorkloadConfig { threads, ..*base };
+                let ops = cfg.fan_total_ops(fan_producers(algo, threads)) as f64;
+                let s = algo.run(&cfg);
+                Cell {
+                    mean: ops / s.mean / 1e6,
+                    stddev: ops * s.stddev / (s.mean * s.mean) / 1e6,
+                }
+            })
+            .collect();
+        table.push_row(&format!("{} [{}]", algo.name(), algo.kind()), cells);
+    }
+    table
+}
+
+/// `ext-arity-ops`: the planner-conformance table behind [`arity`] —
+/// the fraction of lanes still serving a wait-free fast path once the
+/// fan run finishes and every claim is released. The static rows pin
+/// their declared kind (a fraction below 1 would mean a lane demoted —
+/// a second single-side registrant slipped in); the adaptive rows show
+/// the planner landing on *some* observed-arity fast path (SPSC when a
+/// lane saw one feeder, MPSC/SPMC when it saw several); the MPMC
+/// control row has no rings and reads 0 by construction.
+pub fn arity_ops(thread_counts: &[usize], base: &WorkloadConfig) -> Table {
+    use crate::workload::{run_once_fan_in_pinned, run_once_fan_out_pinned};
+    use nbq_core::{CasQueue, ShardedConfig, ShardedQueue};
+
+    assert!(
+        thread_counts.iter().all(|&t| t >= 4),
+        "2-lane fan entries need >= 4 threads"
+    );
+    let lanes = 2;
+    let mut table = Table::new(
+        "ext-arity-ops",
+        "Lane planner conformance: wait-free lane fraction after fan runs",
+        "threads",
+        "fraction",
+        thread_counts.iter().map(|&t| t as u64).collect(),
+    );
+    let wait_free_fraction = |q: &ShardedQueue<u64, CasQueue<u64>>| {
+        let wf = (0..q.lanes()).filter(|&l| q.lane_kind(l).wait_free).count();
+        Cell {
+            mean: wf as f64 / q.lanes() as f64,
+            stddev: 0.0,
+        }
+    };
+    type LaneCfg = fn(usize) -> ShardedConfig;
+    let rows: [(&str, LaneCfg, bool, bool); 5] = [
+        (
+            "MPSC fast-path lanes [fan-in]",
+            |l| ShardedConfig::with_lanes(l).mpsc_fast_path(),
+            true,
+            false,
+        ),
+        (
+            "SPMC fast-path lanes [fan-out]",
+            |l| ShardedConfig::with_lanes(l).spmc_fast_path(),
+            false,
+            false,
+        ),
+        (
+            "adaptive planner [fan-in]",
+            |l| ShardedConfig::with_lanes(l).adaptive(),
+            true,
+            true,
+        ),
+        (
+            "adaptive planner [fan-out]",
+            |l| ShardedConfig::with_lanes(l).adaptive(),
+            false,
+            true,
+        ),
+        (
+            "pinned MPMC control [fan-in]",
+            ShardedConfig::with_lanes,
+            true,
+            false,
+        ),
+    ];
+    for (label, lane_cfg, fan_in, plan) in rows {
+        let cells: Vec<Cell> = thread_counts
+            .iter()
+            .map(|&threads| {
+                let cfg = WorkloadConfig {
+                    threads,
+                    runs: 1,
+                    ..*base
+                };
+                let per_lane = cfg.capacity.div_ceil(lanes);
+                let q = ShardedQueue::with_config(lane_cfg(lanes), |_| {
+                    CasQueue::<u64>::with_capacity(per_lane)
+                });
+                if fan_in {
+                    run_once_fan_in_pinned(&q, &cfg, plan);
+                } else {
+                    run_once_fan_out_pinned(&q, &cfg, plan);
+                }
+                wait_free_fraction(&q)
+            })
+            .collect();
+        table.push_row(label, cells);
+    }
+    table
+}
+
 /// In-text T3 helper: LL/SC-vs-CAS speed ratio out of a fig6a table.
 pub fn llsc_vs_cas_ratio(fig6a: &Table) -> Vec<(u64, f64)> {
     fig6a
@@ -1624,5 +1787,68 @@ mod tests {
         let r = llsc_vs_cas_ratio(&a);
         assert_eq!(r.len(), 1);
         assert!(r[0].1.is_finite());
+    }
+
+    #[test]
+    fn arity_table_tags_every_row_with_its_kind() {
+        let cfg = WorkloadConfig {
+            threads: 4,
+            ..tiny()
+        };
+        let t = arity(&[4], &cfg);
+        assert_eq!(t.id, "ext-arity");
+        assert_eq!(t.rows.len(), 10);
+        assert!(t
+            .cell("Wait-free MPSC ring (fan-in) [mpsc+wf]", 4)
+            .is_some());
+        assert!(t
+            .cell("Wait-free SPMC ring (fan-out) [spmc+wf]", 4)
+            .is_some());
+        assert!(t.cell("Sharded pinned MPMC fan-in x2 [mpmc]", 4).is_some());
+        assert!(t.cell("Sharded adaptive fan-out x2 [spmc+wf]", 4).is_some());
+        for (label, cells) in &t.rows {
+            assert!(
+                label.contains('[') && label.ends_with(']'),
+                "{label} is missing its kind column"
+            );
+            assert!(
+                cells.iter().all(|c| c.mean > 0.0 && c.mean.is_finite()),
+                "{label} throughput not positive"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = ">= 4 threads")]
+    fn arity_rejects_undersized_thread_counts() {
+        arity(&[2], &tiny());
+    }
+
+    #[test]
+    fn arity_ops_fractions_separate_rings_from_the_control() {
+        let cfg = WorkloadConfig {
+            threads: 4,
+            ..tiny()
+        };
+        let t = arity_ops(&[4], &cfg);
+        assert_eq!(t.id, "ext-arity-ops");
+        assert_eq!(t.rows.len(), 5);
+        for label in [
+            "MPSC fast-path lanes [fan-in]",
+            "SPMC fast-path lanes [fan-out]",
+            "adaptive planner [fan-in]",
+            "adaptive planner [fan-out]",
+        ] {
+            assert_eq!(
+                t.cell(label, 4).unwrap().mean,
+                1.0,
+                "{label}: every lane must end the run on a wait-free ring"
+            );
+        }
+        assert_eq!(
+            t.cell("pinned MPMC control [fan-in]", 4).unwrap().mean,
+            0.0,
+            "the control has no rings to be wait-free on"
+        );
     }
 }

@@ -79,6 +79,13 @@ impl WorkloadConfig {
     pub fn pipe_total_ops(&self) -> u64 {
         (self.pipe_producers() * self.iterations * self.burst * 2) as u64
     }
+
+    /// Total operations in one fan run with an explicit producer count:
+    /// each produced value is enqueued once and dequeued once, whichever
+    /// side is the wide one.
+    pub fn fan_total_ops(&self, producers: usize) -> u64 {
+        (producers * self.iterations * self.burst * 2) as u64
+    }
 }
 
 /// Executes one run against `queue`; returns the mean per-thread wall
@@ -427,6 +434,242 @@ pub fn run_once_pipe_pinned<Q: ConcurrentQueue<u64>>(
     thread_secs.iter().sum::<f64>() / config.threads as f64
 }
 
+/// Fan (asymmetric split-role) variant of [`run_once_pipe`] with an
+/// explicit producer count: threads `0..producers` enqueue, the remaining
+/// `threads - producers` drain a shared countdown. `producers =
+/// threads - 1` is the MPSC fan-in shape; `producers = 1` is the SPMC
+/// fan-out shape. Works on any [`ConcurrentQueue`], including the raw
+/// [`nbq_core::MpscRing`] / [`nbq_core::SpmcRing`] whose multi side
+/// tolerates any registrant count.
+pub fn run_once_fan<Q: ConcurrentQueue<u64>>(
+    queue: &Q,
+    config: &WorkloadConfig,
+    producers: usize,
+) -> f64 {
+    assert!(
+        producers >= 1 && config.threads > producers,
+        "a fan needs at least one thread on each side"
+    );
+    let per_producer = (config.iterations * config.burst) as u64;
+    let remaining = AtomicU64::new(producers as u64 * per_producer);
+    let barrier = Barrier::new(config.threads);
+    let mut thread_secs = vec![0.0f64; config.threads];
+    std::thread::scope(|s| {
+        let mut joins = Vec::with_capacity(config.threads);
+        for t in 0..config.threads {
+            let barrier = &barrier;
+            let remaining = &remaining;
+            joins.push(s.spawn(move || {
+                let mut handle = queue.handle();
+                barrier.wait();
+                let start = Instant::now();
+                if t < producers {
+                    for seq in 0..per_producer {
+                        let value = ((t as u64) << 40) | seq;
+                        while handle.enqueue(value).is_err() {
+                            std::thread::yield_now();
+                        }
+                    }
+                } else {
+                    // Decrement only after a successful pop, so `remaining`
+                    // over-counts in-flight values and no consumer exits
+                    // while one is still reachable.
+                    while remaining.load(Ordering::Acquire) > 0 {
+                        if handle.dequeue().is_some() {
+                            remaining.fetch_sub(1, Ordering::AcqRel);
+                        } else {
+                            std::thread::yield_now();
+                        }
+                    }
+                }
+                start.elapsed().as_secs_f64()
+            }));
+        }
+        for (t, j) in joins.into_iter().enumerate() {
+            thread_secs[t] = j.join().expect("workload thread panicked");
+        }
+    });
+    thread_secs.iter().sum::<f64>() / config.threads as f64
+}
+
+/// Single-threaded, untimed warm-up for the adaptive planner: replicate
+/// one lane's role pattern with throwaway pinned handles so the lane's
+/// observation word records its true arity, drain the probe values, and
+/// release every claim by dropping the handles. A [`ShardedQueue::replan`]
+/// call afterwards can then flip the lane onto the matching fast path
+/// before the timed phase starts.
+fn warm_lane_roles<Q: ConcurrentQueue<u64>>(
+    queue: &ShardedQueue<u64, Q>,
+    lane: usize,
+    producers: usize,
+    consumers: usize,
+) {
+    let mut prods: Vec<_> = (0..producers).map(|_| queue.handle_pinned(lane)).collect();
+    for (i, h) in prods.iter_mut().enumerate() {
+        while h.enqueue(i as u64).is_err() {
+            std::thread::yield_now();
+        }
+    }
+    let mut cons: Vec<_> = (0..consumers).map(|_| queue.handle_pinned(lane)).collect();
+    let mut drained = 0;
+    while drained < producers {
+        for h in cons.iter_mut() {
+            if h.dequeue().is_some() {
+                drained += 1;
+            }
+        }
+    }
+}
+
+/// Fan-in over a [`ShardedQueue`] with *pinned* handles: every lane gets
+/// exactly one consumer (consumer `c` pins lane `c`) and the remaining
+/// `threads - lanes` producers spread round-robin (producer `p` pins lane
+/// `p % lanes`) — the arrangement an MPSC fast-path lane serves wait-free
+/// on its consumer side.
+///
+/// With `plan = true` (for [`nbq_core::LanePolicy::Adaptive`] queues) an
+/// untimed warm-up first replays each lane's role pattern and calls
+/// [`ShardedQueue::replan`], so the planner selects the MPSC ring from
+/// observed registrations before the clock starts.
+pub fn run_once_fan_in_pinned<Q: ConcurrentQueue<u64>>(
+    queue: &ShardedQueue<u64, Q>,
+    config: &WorkloadConfig,
+    plan: bool,
+) -> f64 {
+    let lanes = queue.lanes();
+    assert!(
+        config.threads >= 2 * lanes,
+        "pinned fan-in needs one consumer per lane plus >= one producer \
+         per lane ({} threads < 2 x {lanes} lanes)",
+        config.threads
+    );
+    let producers = config.threads - lanes;
+    let per_producer = (config.iterations * config.burst) as u64;
+    // Per-lane outstanding-value countdowns: producer p feeds lane
+    // p % lanes, and only lane c's consumer drains counter c.
+    let counts: Vec<AtomicU64> = (0..lanes)
+        .map(|l| {
+            let feeders = (0..producers).filter(|p| p % lanes == l).count() as u64;
+            AtomicU64::new(feeders * per_producer)
+        })
+        .collect();
+    if plan {
+        for l in 0..lanes {
+            let feeders = (0..producers).filter(|p| p % lanes == l).count();
+            warm_lane_roles(queue, l, feeders, 1);
+        }
+        queue.replan();
+    }
+    let barrier = Barrier::new(config.threads);
+    let mut thread_secs = vec![0.0f64; config.threads];
+    std::thread::scope(|s| {
+        let mut joins = Vec::with_capacity(config.threads);
+        for t in 0..config.threads {
+            let barrier = &barrier;
+            let counts = &counts;
+            joins.push(s.spawn(move || {
+                let lane = if t < producers {
+                    t % lanes
+                } else {
+                    t - producers
+                };
+                let mut handle = queue.handle_pinned(lane);
+                barrier.wait();
+                let start = Instant::now();
+                if t < producers {
+                    for seq in 0..per_producer {
+                        let value = ((t as u64) << 40) | seq;
+                        while handle.enqueue(value).is_err() {
+                            std::thread::yield_now();
+                        }
+                    }
+                } else {
+                    let remaining = &counts[lane];
+                    while remaining.load(Ordering::Acquire) > 0 {
+                        if handle.dequeue().is_some() {
+                            remaining.fetch_sub(1, Ordering::AcqRel);
+                        } else {
+                            std::thread::yield_now();
+                        }
+                    }
+                }
+                start.elapsed().as_secs_f64()
+            }));
+        }
+        for (t, j) in joins.into_iter().enumerate() {
+            thread_secs[t] = j.join().expect("workload thread panicked");
+        }
+    });
+    thread_secs.iter().sum::<f64>() / config.threads as f64
+}
+
+/// Fan-out mirror of [`run_once_fan_in_pinned`]: every lane gets exactly
+/// one producer (producer `p` pins lane `p`) and the remaining
+/// `threads - lanes` consumers spread round-robin (consumer `c` pins lane
+/// `c % lanes`) — the arrangement an SPMC fast-path lane serves wait-free
+/// on its producer side.
+pub fn run_once_fan_out_pinned<Q: ConcurrentQueue<u64>>(
+    queue: &ShardedQueue<u64, Q>,
+    config: &WorkloadConfig,
+    plan: bool,
+) -> f64 {
+    let lanes = queue.lanes();
+    assert!(
+        config.threads >= 2 * lanes,
+        "pinned fan-out needs one producer per lane plus >= one consumer \
+         per lane ({} threads < 2 x {lanes} lanes)",
+        config.threads
+    );
+    let consumers = config.threads - lanes;
+    let per_producer = (config.iterations * config.burst) as u64;
+    // One producer per lane; the lane's consumers share its countdown.
+    let counts: Vec<AtomicU64> = (0..lanes).map(|_| AtomicU64::new(per_producer)).collect();
+    if plan {
+        for l in 0..lanes {
+            let drainers = (0..consumers).filter(|c| c % lanes == l).count();
+            warm_lane_roles(queue, l, 1, drainers);
+        }
+        queue.replan();
+    }
+    let barrier = Barrier::new(config.threads);
+    let mut thread_secs = vec![0.0f64; config.threads];
+    std::thread::scope(|s| {
+        let mut joins = Vec::with_capacity(config.threads);
+        for t in 0..config.threads {
+            let barrier = &barrier;
+            let counts = &counts;
+            joins.push(s.spawn(move || {
+                let lane = if t < lanes { t } else { (t - lanes) % lanes };
+                let mut handle = queue.handle_pinned(lane);
+                barrier.wait();
+                let start = Instant::now();
+                if t < lanes {
+                    for seq in 0..per_producer {
+                        let value = ((t as u64) << 40) | seq;
+                        while handle.enqueue(value).is_err() {
+                            std::thread::yield_now();
+                        }
+                    }
+                } else {
+                    let remaining = &counts[lane];
+                    while remaining.load(Ordering::Acquire) > 0 {
+                        if handle.dequeue().is_some() {
+                            remaining.fetch_sub(1, Ordering::AcqRel);
+                        } else {
+                            std::thread::yield_now();
+                        }
+                    }
+                }
+                start.elapsed().as_secs_f64()
+            }));
+        }
+        for (t, j) in joins.into_iter().enumerate() {
+            thread_secs[t] = j.join().expect("workload thread panicked");
+        }
+    });
+    thread_secs.iter().sum::<f64>() / config.threads as f64
+}
+
 /// Runs `config.runs` fresh-queue runs of the workload and summarizes the
 /// per-run times.
 pub fn run_workload<Q, F>(factory: F, config: &WorkloadConfig) -> Summary
@@ -469,6 +712,53 @@ where
         .map(|_| {
             let queue = factory();
             run_once_pipe_pinned(&queue, config)
+        })
+        .collect();
+    Summary::of(&samples)
+}
+
+/// [`run_workload`] over the fan (asymmetric split-role) workload body.
+pub fn run_workload_fan<Q, F>(factory: F, config: &WorkloadConfig, producers: usize) -> Summary
+where
+    Q: ConcurrentQueue<u64>,
+    F: Fn() -> Q,
+{
+    let samples: Vec<f64> = (0..config.runs)
+        .map(|_| {
+            let queue = factory();
+            run_once_fan(&queue, config, producers)
+        })
+        .collect();
+    Summary::of(&samples)
+}
+
+/// [`run_workload`] over the pinned fan-in body; the factory builds a
+/// fresh [`ShardedQueue`] per run.
+pub fn run_workload_fan_in_pinned<Q, F>(factory: F, config: &WorkloadConfig, plan: bool) -> Summary
+where
+    Q: ConcurrentQueue<u64>,
+    F: Fn() -> ShardedQueue<u64, Q>,
+{
+    let samples: Vec<f64> = (0..config.runs)
+        .map(|_| {
+            let queue = factory();
+            run_once_fan_in_pinned(&queue, config, plan)
+        })
+        .collect();
+    Summary::of(&samples)
+}
+
+/// [`run_workload`] over the pinned fan-out body; the factory builds a
+/// fresh [`ShardedQueue`] per run.
+pub fn run_workload_fan_out_pinned<Q, F>(factory: F, config: &WorkloadConfig, plan: bool) -> Summary
+where
+    Q: ConcurrentQueue<u64>,
+    F: Fn() -> ShardedQueue<u64, Q>,
+{
+    let samples: Vec<f64> = (0..config.runs)
+        .map(|_| {
+            let queue = factory();
+            run_once_fan_out_pinned(&queue, config, plan)
         })
         .collect();
     Summary::of(&samples)
@@ -1190,6 +1480,125 @@ mod tests {
                 "one pair per lane must stay on the wait-free ring"
             );
         }
+    }
+
+    #[test]
+    fn run_once_fan_drains_on_both_raw_rings() {
+        let cfg = tiny();
+        // Fan-in: threads-1 producers feed the MPSC ring's FAA side.
+        let q = nbq_core::MpscRing::<u64>::with_capacity(cfg.capacity);
+        assert!(run_once_fan(&q, &cfg, cfg.threads - 1) > 0.0);
+        assert!(q.is_empty(), "fan-in consumers must drain the MPSC ring");
+        // Fan-out: one producer feeds the SPMC ring's FAA drain side.
+        let q = nbq_core::SpmcRing::<u64>::with_capacity(cfg.capacity);
+        assert!(run_once_fan(&q, &cfg, 1) > 0.0);
+        assert!(q.is_empty(), "fan-out consumers must drain the SPMC ring");
+    }
+
+    #[test]
+    fn run_once_fan_in_pinned_keeps_mpsc_lanes_unpromoted() {
+        let cfg = WorkloadConfig {
+            threads: 5,
+            iterations: 50,
+            runs: 1,
+            capacity: 256,
+            burst: 5,
+        };
+        let q = nbq_core::ShardedQueue::with_config(
+            nbq_core::ShardedConfig::with_lanes(2).mpsc_fast_path(),
+            |_| CasQueue::<u64>::with_capacity(cfg.capacity),
+        );
+        assert!(run_once_fan_in_pinned(&q, &cfg, false) > 0.0);
+        assert_eq!(q.len(), Some(0), "consumers must drain their lanes");
+        for lane in 0..q.lanes() {
+            assert_eq!(
+                q.lane_promoted(lane),
+                Some(false),
+                "one consumer per lane must stay on the wait-free MPSC ring"
+            );
+            assert_eq!(q.lane_kind(lane), nbq_util::QueueKind::mpsc_wait_free());
+        }
+    }
+
+    #[test]
+    fn run_once_fan_out_pinned_keeps_spmc_lanes_unpromoted() {
+        let cfg = WorkloadConfig {
+            threads: 5,
+            iterations: 50,
+            runs: 1,
+            capacity: 256,
+            burst: 5,
+        };
+        let q = nbq_core::ShardedQueue::with_config(
+            nbq_core::ShardedConfig::with_lanes(2).spmc_fast_path(),
+            |_| CasQueue::<u64>::with_capacity(cfg.capacity),
+        );
+        assert!(run_once_fan_out_pinned(&q, &cfg, false) > 0.0);
+        assert_eq!(q.len(), Some(0), "consumers must drain their lanes");
+        for lane in 0..q.lanes() {
+            assert_eq!(
+                q.lane_promoted(lane),
+                Some(false),
+                "one producer per lane must stay on the wait-free SPMC ring"
+            );
+            assert_eq!(q.lane_kind(lane), nbq_util::QueueKind::spmc_wait_free());
+        }
+    }
+
+    #[test]
+    fn planned_fan_runs_flip_adaptive_lanes_to_the_matching_ring() {
+        // 6 threads / 2 lanes: every lane observes 2 producers (fan-in)
+        // or 2 consumers (fan-out) — with only one, the planner would
+        // correctly keep the optimistic SPSC ring.
+        let cfg = WorkloadConfig {
+            threads: 6,
+            iterations: 50,
+            runs: 1,
+            capacity: 256,
+            burst: 5,
+        };
+        // Adaptive lanes start on the optimistic SPSC ring; the warm-up +
+        // replan step must move them onto the observed-arity fast path
+        // before the timed phase.
+        let q = nbq_core::ShardedQueue::with_config(
+            nbq_core::ShardedConfig::with_lanes(2).adaptive(),
+            |_| CasQueue::<u64>::with_capacity(cfg.capacity),
+        );
+        assert!(run_once_fan_in_pinned(&q, &cfg, true) > 0.0);
+        assert_eq!(q.len(), Some(0));
+        for lane in 0..q.lanes() {
+            assert_eq!(
+                q.lane_kind(lane),
+                nbq_util::QueueKind::mpsc_wait_free(),
+                "planner must select the MPSC ring from fan-in observations"
+            );
+        }
+        let q = nbq_core::ShardedQueue::with_config(
+            nbq_core::ShardedConfig::with_lanes(2).adaptive(),
+            |_| CasQueue::<u64>::with_capacity(cfg.capacity),
+        );
+        assert!(run_once_fan_out_pinned(&q, &cfg, true) > 0.0);
+        assert_eq!(q.len(), Some(0));
+        for lane in 0..q.lanes() {
+            assert_eq!(
+                q.lane_kind(lane),
+                nbq_util::QueueKind::spmc_wait_free(),
+                "planner must select the SPMC ring from fan-out observations"
+            );
+        }
+    }
+
+    #[test]
+    fn fan_total_ops_counts_the_producer_side_twice() {
+        let cfg = WorkloadConfig {
+            threads: 4,
+            iterations: 10,
+            runs: 1,
+            capacity: 64,
+            burst: 5,
+        };
+        assert_eq!(cfg.fan_total_ops(3), 3 * 10 * 5 * 2);
+        assert_eq!(cfg.fan_total_ops(1), 10 * 5 * 2);
     }
 
     #[test]

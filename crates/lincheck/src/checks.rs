@@ -70,6 +70,35 @@ pub enum Violation {
         /// The value actually dequeued.
         got: u64,
     },
+    /// In a fan-in (MPSC) history, the single consumer's dequeue stream
+    /// restricted to `producer`'s values must be exactly a prefix of that
+    /// producer's enqueue stream — the consumer has a program order, so
+    /// there is no overlapping-window slack: position `index` of the
+    /// restricted stream demanded `expected` but held `got`.
+    ProducerStreamMismatch {
+        /// The producer thread whose sub-stream was scrambled.
+        producer: usize,
+        /// Position within the consumer's stream restricted to that
+        /// producer's values.
+        index: usize,
+        /// The value the producer's program order demanded there.
+        expected: u64,
+        /// The value the consumer actually observed.
+        got: u64,
+    },
+    /// In a fan-out (SPMC) history, each consumer's dequeue stream must
+    /// be ascending in the single producer's enqueue order — consumers
+    /// arbitrate a monotone head, so one consumer observing `second`
+    /// before `first` (which the producer enqueued earlier) is a ring
+    /// protocol violation, not admissible interleaving.
+    ConsumerStreamInversion {
+        /// The consumer thread that observed the inversion.
+        consumer: usize,
+        /// The earlier-enqueued value, dequeued second.
+        first: u64,
+        /// The later-enqueued value, dequeued first.
+        second: u64,
+    },
 }
 
 impl fmt::Display for Violation {
@@ -106,6 +135,25 @@ impl fmt::Display for Violation {
                 f,
                 "SPSC stream mismatch at dequeue {index}: producer order \
                  demands {expected}, consumer observed {got}"
+            ),
+            Violation::ProducerStreamMismatch {
+                producer,
+                index,
+                expected,
+                got,
+            } => write!(
+                f,
+                "fan-in stream mismatch: consumer's sub-stream for producer \
+                 {producer} demands {expected} at position {index}, observed {got}"
+            ),
+            Violation::ConsumerStreamInversion {
+                consumer,
+                first,
+                second,
+            } => write!(
+                f,
+                "fan-out inversion: consumer {consumer} observed {second} \
+                 before {first}, but the producer enqueued {first} first"
             ),
         }
     }
@@ -331,6 +379,122 @@ pub fn check_spsc_fifo(h: &History) -> Result<(), Violation> {
                 expected,
                 got,
             });
+        }
+    }
+    Ok(())
+}
+
+/// Exact fan-in (MPSC) check: with one consumer, every producer's
+/// sub-stream is program-ordered on *both* sides (`O(n log n)`).
+///
+/// Runs [`check_value_integrity`] and [`check_per_producer_fifo`] first,
+/// then the sharp per-stream comparison the windowed per-producer check
+/// cannot make: the single consumer's dequeue stream, restricted to the
+/// values of one producer thread, must be exactly a prefix of that
+/// producer's enqueue stream. Histories from [`MpscRing`] fan-in runs
+/// and from an unpromoted sharded MPSC lane must pass this; the queue's
+/// only admitted freedom is *interleaving between* producers' streams.
+///
+/// [`MpscRing`]: https://docs.rs/nbq-core
+pub fn check_mpsc_fan_in(h: &History) -> Result<(), Violation> {
+    check_value_integrity(h)?;
+    check_per_producer_fifo(h)?;
+    // Which producer enqueued each value, and at which position of that
+    // producer's program order.
+    let mut per_producer: HashMap<usize, Vec<(u64, u64)>> = HashMap::new(); // (enq_start, value)
+    for op in &h.ops {
+        if let OpKind::Enqueue(v) = op.kind {
+            per_producer
+                .entry(op.thread)
+                .or_default()
+                .push((op.start, v));
+        }
+    }
+    let mut owner: HashMap<u64, usize> = HashMap::new();
+    for (&t, enqs) in per_producer.iter_mut() {
+        enqs.sort_unstable();
+        for &(_, v) in enqs.iter() {
+            owner.insert(v, t);
+        }
+    }
+    // The single consumer's program order is its dequeue start order.
+    let mut deqs: Vec<(u64, u64)> = Vec::new(); // (deq_start, value)
+    for op in &h.ops {
+        if let OpKind::Dequeue(Some(v)) = op.kind {
+            deqs.push((op.start, v));
+        }
+    }
+    deqs.sort_unstable();
+    // Walk the consumer stream, advancing a cursor per producer.
+    let mut cursors: HashMap<usize, usize> = HashMap::new();
+    for &(_, got) in &deqs {
+        let Some(&producer) = owner.get(&got) else {
+            continue; // integrity check already vetted thin air
+        };
+        let index = cursors.entry(producer).or_insert(0);
+        let expected = per_producer[&producer][*index].1;
+        if got != expected {
+            return Err(Violation::ProducerStreamMismatch {
+                producer,
+                index: *index,
+                expected,
+                got,
+            });
+        }
+        *index += 1;
+    }
+    Ok(())
+}
+
+/// Exact fan-out (SPMC) check: with one producer, every consumer's
+/// dequeue stream must ascend in enqueue order (`O(n log n)`).
+///
+/// Runs [`check_value_integrity`] first, then orders the single
+/// producer's enqueue stream by program order and verifies each consumer
+/// thread's dequeue stream is strictly ascending in that order —
+/// consumers arbitrate a monotone head, so a consumer can skip values
+/// (taken by its peers) but never step backwards. Histories from
+/// `SpmcRing` fan-out runs and from an unpromoted sharded SPMC lane
+/// must pass this.
+pub fn check_spmc_fan_out(h: &History) -> Result<(), Violation> {
+    check_value_integrity(h)?;
+    // Enqueue position of each value in the producer's program order.
+    let mut enqs: Vec<(u64, u64)> = Vec::new(); // (enq_start, value)
+    for op in &h.ops {
+        if let OpKind::Enqueue(v) = op.kind {
+            enqs.push((op.start, v));
+        }
+    }
+    enqs.sort_unstable();
+    let position: HashMap<u64, usize> =
+        enqs.iter().enumerate().map(|(i, &(_, v))| (v, i)).collect();
+    // Each consumer's program order is its dequeue start order.
+    let mut per_consumer: HashMap<usize, Vec<(u64, u64)>> = HashMap::new(); // (deq_start, value)
+    for op in &h.ops {
+        if let OpKind::Dequeue(Some(v)) = op.kind {
+            per_consumer
+                .entry(op.thread)
+                .or_default()
+                .push((op.start, v));
+        }
+    }
+    for (&consumer, deqs) in per_consumer.iter_mut() {
+        deqs.sort_unstable();
+        let mut last: Option<(usize, u64)> = None; // (enqueue position, value)
+        for &(_, v) in deqs.iter() {
+            let Some(&pos) = position.get(&v) else {
+                continue; // integrity check already vetted thin air
+            };
+            if let Some((last_pos, last_v)) = last {
+                if pos < last_pos {
+                    return Err(Violation::ConsumerStreamInversion {
+                        consumer,
+                        first: v,
+                        second: last_v,
+                    });
+                }
+            }
+            last = Some((pos, v));
         }
     }
     Ok(())
@@ -636,5 +800,88 @@ mod tests {
             ],
         };
         assert_eq!(check_spsc_fifo(&h), Err(Violation::DuplicateDequeue(1)));
+    }
+
+    #[test]
+    fn mpsc_accepts_interleaved_producer_streams() {
+        // Two producers' streams interleave freely at the consumer; each
+        // sub-stream stays in its producer's order.
+        let h = History {
+            ops: vec![
+                enq(0, 1, 0, 1),
+                enq(1, 10, 2, 3),
+                enq(0, 2, 4, 5),
+                enq(1, 11, 6, 7),
+                deq(2, Some(10), 8, 9),
+                deq(2, Some(1), 10, 11),
+                deq(2, Some(2), 12, 13),
+                deq(2, Some(11), 14, 15),
+            ],
+        };
+        assert_eq!(check_mpsc_fan_in(&h), Ok(()));
+    }
+
+    #[test]
+    fn mpsc_rejects_scrambled_sub_stream_that_windows_permit() {
+        // Producer 0's dequeue windows overlap, so the windowed
+        // per-producer check is satisfied either way — but the single
+        // consumer's program order saw 2 before 1.
+        let h = History {
+            ops: vec![
+                enq(0, 1, 0, 1),
+                enq(0, 2, 2, 3),
+                deq(1, Some(2), 10, 30),
+                deq(1, Some(1), 11, 29),
+            ],
+        };
+        assert_eq!(check_per_producer_fifo(&h), Ok(()));
+        assert_eq!(
+            check_mpsc_fan_in(&h),
+            Err(Violation::ProducerStreamMismatch {
+                producer: 0,
+                index: 0,
+                expected: 1,
+                got: 2
+            })
+        );
+    }
+
+    #[test]
+    fn spmc_accepts_consumers_skipping_peer_taken_values() {
+        // Consumer 1 takes 1 and 3, consumer 2 takes 2: both streams
+        // ascend in enqueue order.
+        let h = History {
+            ops: vec![
+                enq(0, 1, 0, 1),
+                enq(0, 2, 2, 3),
+                enq(0, 3, 4, 5),
+                deq(1, Some(1), 6, 7),
+                deq(2, Some(2), 6, 7),
+                deq(1, Some(3), 8, 9),
+            ],
+        };
+        assert_eq!(check_spmc_fan_out(&h), Ok(()));
+    }
+
+    #[test]
+    fn spmc_rejects_one_consumer_stepping_backwards() {
+        // Consumer 1 observed 3 then 1: its arbitrated head went back.
+        let h = History {
+            ops: vec![
+                enq(0, 1, 0, 1),
+                enq(0, 2, 2, 3),
+                enq(0, 3, 4, 5),
+                deq(1, Some(3), 6, 7),
+                deq(1, Some(1), 8, 9),
+            ],
+        };
+        assert_eq!(
+            check_spmc_fan_out(&h),
+            Err(Violation::ConsumerStreamInversion {
+                consumer: 1,
+                first: 1,
+                second: 3
+            })
+        );
     }
 }

@@ -250,6 +250,75 @@ pub fn record_pipe_run<Q: ConcurrentQueue<u64>>(queue: &Q, values: usize) -> His
     recorder.into_history()
 }
 
+/// Records a split-role fan run: threads `0..producers` only enqueue,
+/// threads `producers..producers + consumers` only dequeue, until the
+/// consumers have jointly collected every value the producers pushed
+/// (`producers * per_producer` values total, unique via
+/// `thread << 32 | seq`).
+///
+/// With `producers > 1, consumers == 1` this is the history shape
+/// [`crate::checks::check_mpsc_fan_in`] applies to; mirrored
+/// (`producers == 1, consumers > 1`) it feeds
+/// [`crate::checks::check_spmc_fan_out`]. Like [`record_pipe_run`],
+/// empty polls are not logged — consumers may spin arbitrarily long and
+/// `Dequeue(None)` carries no information for the stream checks.
+pub fn record_fan_run<Q: ConcurrentQueue<u64>>(
+    queue: &Q,
+    producers: usize,
+    consumers: usize,
+    per_producer: usize,
+) -> History {
+    assert!(producers > 0 && consumers > 0, "need both roles");
+    let recorder = HistoryRecorder::new();
+    let barrier = Barrier::new(producers + consumers);
+    let taken = AtomicUsize::new(0);
+    let total = producers * per_producer;
+    std::thread::scope(|s| {
+        for t in 0..producers {
+            let recorder = &recorder;
+            let barrier = &barrier;
+            s.spawn(move || {
+                let mut log = recorder.log(t);
+                let mut handle = queue.handle();
+                barrier.wait();
+                for seq in 0..per_producer as u64 {
+                    let value = ((t as u64) << 32) | seq;
+                    loop {
+                        let start = log.begin();
+                        let ok = handle.enqueue(value).is_ok();
+                        log.end_enqueue(start, value, ok);
+                        if ok {
+                            break;
+                        }
+                        std::thread::yield_now();
+                    }
+                }
+            });
+        }
+        for c in 0..consumers {
+            let recorder = &recorder;
+            let barrier = &barrier;
+            let taken = &taken;
+            s.spawn(move || {
+                let mut log = recorder.log(producers + c);
+                let mut handle = queue.handle();
+                barrier.wait();
+                while taken.load(Ordering::Relaxed) < total {
+                    let start = log.begin();
+                    match handle.dequeue() {
+                        Some(v) => {
+                            log.end_dequeue(start, Some(v));
+                            taken.fetch_add(1, Ordering::Relaxed);
+                        }
+                        None => std::thread::yield_now(),
+                    }
+                }
+            });
+        }
+    });
+    recorder.into_history()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -387,6 +456,26 @@ mod tests {
         assert_eq!(h.enqueue_count(), 500);
         assert_eq!(h.dequeue_count(), 500);
         crate::checks::check_spsc_fifo(&h).expect("mutex pipe must be a clean stream");
+    }
+
+    #[test]
+    fn fan_driver_feeds_the_stream_checkers() {
+        let q = RefQueue {
+            inner: Mutex::new(VecDeque::new()),
+            cap: 8,
+        };
+        let h = record_fan_run(&q, 3, 1, 200);
+        assert_eq!(h.enqueue_count(), 600);
+        assert_eq!(h.dequeue_count(), 600);
+        crate::checks::check_mpsc_fan_in(&h).expect("mutex fan-in must be exact per-stream");
+
+        let q = RefQueue {
+            inner: Mutex::new(VecDeque::new()),
+            cap: 8,
+        };
+        let h = record_fan_run(&q, 1, 3, 600);
+        assert_eq!(h.enqueue_count(), 600);
+        crate::checks::check_spmc_fan_out(&h).expect("mutex fan-out streams must ascend");
     }
 
     #[test]

@@ -22,11 +22,12 @@ pub mod history;
 pub mod search;
 
 pub use checks::{
-    check_history, check_per_producer_fifo, check_realtime_fifo, check_spsc_fifo,
-    check_value_integrity, Violation,
+    check_history, check_mpsc_fan_in, check_per_producer_fifo, check_realtime_fifo,
+    check_spmc_fan_out, check_spsc_fifo, check_value_integrity, Violation,
 };
 pub use driver::{
-    record_batch_run, record_paper_workload, record_pipe_run, record_run, DriverConfig,
+    record_batch_run, record_fan_run, record_paper_workload, record_pipe_run, record_run,
+    DriverConfig,
 };
 pub use history::{History, HistoryRecorder, Op, OpKind, ThreadLog};
 pub use search::{check_linearizable, SearchResult, MAX_SEARCH_OPS};

@@ -159,6 +159,23 @@ relaxable! {
     /// costs at most one spurious empty re-probe — the enqueued entry
     /// itself is published by [`SLOT_CAS`].
     RING_STORE = Release;
+    /// Fetch-and-add tickets on the *multi* side of a half-relaxed ring
+    /// (`MpscRing` producers bumping `tail`, `SpmcRing` consumers bumping
+    /// `head`). AcqRel: the RMW chain on the position counter is what
+    /// carries a slow peer's gate acquisition to later ticket holders —
+    /// ticket `t`'s holder synchronizes with every earlier ticket's FAA,
+    /// and through it with the gate release that freed slot `t - N` (see
+    /// the reuse-safety argument in `mpsc.rs`).
+    RING_TICKET = AcqRel;
+    /// RMWs on a half-relaxed ring's occupancy gate (the `credits`
+    /// semaphore of `MpscRing`, the `items` count of `SpmcRing`).
+    /// Release on the return side publishes the completed slot access
+    /// before the capacity/item becomes claimable again; acquire on the
+    /// take side orders the new owner behind that access. Together with
+    /// [`RING_TICKET`] this is the whole reuse/publication story for the
+    /// multi side — the gate bounds occupancy so tickets never alias a
+    /// live slot.
+    RING_GATE = AcqRel;
 }
 
 /// CASes that install or remove a `CasQueue` reservation tag in a slot
@@ -232,6 +249,8 @@ mod tests {
             assert_eq!(SPSC_PUBLISH, Ordering::SeqCst);
             assert_eq!(SPSC_CURSOR_LOAD, Ordering::SeqCst);
             assert_eq!(ARITY_CAS, Ordering::SeqCst);
+            assert_eq!(RING_TICKET, Ordering::SeqCst);
+            assert_eq!(RING_GATE, Ordering::SeqCst);
             assert_eq!(mode(), "seqcst");
         } else {
             assert_eq!(INDEX_LOAD, Ordering::Acquire);
@@ -245,6 +264,8 @@ mod tests {
             assert_eq!(SPSC_OWN_CURSOR, Ordering::Relaxed);
             assert_eq!(ARITY_LOAD, Ordering::Acquire);
             assert_eq!(ARITY_CAS, Ordering::AcqRel);
+            assert_eq!(RING_TICKET, Ordering::AcqRel);
+            assert_eq!(RING_GATE, Ordering::AcqRel);
             assert_eq!(mode(), "relaxed");
         }
     }

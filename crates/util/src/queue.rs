@@ -208,6 +208,15 @@ impl Arity {
     }
 }
 
+impl fmt::Display for Arity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Arity::Single => "single",
+            Arity::Multi => "multi",
+        })
+    }
+}
+
 /// Capability descriptor for a queue algorithm: which producer/consumer
 /// arities its synchronization envelope supports, and whether its
 /// per-operation progress bound is wait-free.
@@ -260,6 +269,28 @@ impl QueueKind {
         }
     }
 
+    /// Multi-producer/single-consumer, wait-free — the envelope of the
+    /// fan-in MPSC ring lane (FAA-ticketed producers, cursor-owning
+    /// consumer).
+    pub const fn mpsc_wait_free() -> Self {
+        Self {
+            producers: Arity::Multi,
+            consumers: Arity::Single,
+            wait_free: true,
+        }
+    }
+
+    /// Single-producer/multi-consumer, wait-free — the envelope of the
+    /// fan-out SPMC ring lane (cursor-owning producer, FAA-ticketed
+    /// consumers).
+    pub const fn spmc_wait_free() -> Self {
+        Self {
+            producers: Arity::Single,
+            consumers: Arity::Multi,
+            wait_free: true,
+        }
+    }
+
     /// Whether `producers` enqueuing threads and `consumers` dequeuing
     /// threads fit this kind's envelope.
     pub fn admits(&self, producers: usize, consumers: usize) -> bool {
@@ -269,6 +300,25 @@ impl QueueKind {
     /// Whether both sides are [`Arity::Single`].
     pub fn is_spsc(&self) -> bool {
         self.producers == Arity::Single && self.consumers == Arity::Single
+    }
+}
+
+impl fmt::Display for QueueKind {
+    /// Compact capability label for harness tables: the familiar
+    /// arity acronym plus a `+wf` suffix when the envelope is wait-free
+    /// (`"mpmc"`, `"spsc+wf"`, `"mpsc+wf"`, ...).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let base = match (self.producers, self.consumers) {
+            (Arity::Single, Arity::Single) => "spsc",
+            (Arity::Single, Arity::Multi) => "spmc",
+            (Arity::Multi, Arity::Single) => "mpsc",
+            (Arity::Multi, Arity::Multi) => "mpmc",
+        };
+        f.write_str(base)?;
+        if self.wait_free {
+            f.write_str("+wf")?;
+        }
+        Ok(())
     }
 }
 
@@ -593,6 +643,29 @@ mod tests {
         assert!(Arity::Single.admits(0) && Arity::Single.admits(1));
         assert!(!Arity::Single.admits(2));
         assert!(Arity::Multi.admits(1000));
+
+        let mpsc = QueueKind::mpsc_wait_free();
+        assert!(mpsc.wait_free);
+        assert!(mpsc.admits(64, 1));
+        assert!(!mpsc.admits(1, 2));
+        assert!(!mpsc.is_spsc());
+
+        let spmc = QueueKind::spmc_wait_free();
+        assert!(spmc.wait_free);
+        assert!(spmc.admits(1, 64));
+        assert!(!spmc.admits(2, 1));
+        assert!(!spmc.is_spsc());
+    }
+
+    #[test]
+    fn kind_and_arity_display_compactly() {
+        assert_eq!(Arity::Single.to_string(), "single");
+        assert_eq!(Arity::Multi.to_string(), "multi");
+        assert_eq!(QueueKind::mpmc().to_string(), "mpmc");
+        assert_eq!(QueueKind::mpmc_wait_free().to_string(), "mpmc+wf");
+        assert_eq!(QueueKind::spsc_wait_free().to_string(), "spsc+wf");
+        assert_eq!(QueueKind::mpsc_wait_free().to_string(), "mpsc+wf");
+        assert_eq!(QueueKind::spmc_wait_free().to_string(), "spmc+wf");
     }
 
     /// Trivial queue to pin down the `kind()` default and the closure

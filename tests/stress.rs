@@ -811,3 +811,180 @@ fn wcq_many_stalled_dequeuers_resolve_under_churn() {
     let len = nbq::ConcurrentQueue::len(&q).unwrap();
     assert_eq!(len, 12, "dropped probes must hand their values back");
 }
+
+// ---------------------------------------------------------------------
+// Arity-specialized (half-relaxed) lane stress: oversubscribed fans with
+// an endpoint dying mid-run. Conservation must hold across the
+// ring-then-MPMC handoff, and a second registrant of the *single* side
+// must demote the lane stickily.
+
+#[test]
+fn fan_in_consumer_death_conserves_values_and_demotes_stickily() {
+    use std::sync::atomic::AtomicU64;
+    const PRODUCERS: usize = 6;
+    const PER_PRODUCER: u64 = 2_000;
+    const TOTAL: u64 = PRODUCERS as u64 * PER_PRODUCER;
+    let q = ShardedQueue::with_config(ShardedConfig::with_lanes(1).mpsc_fast_path(), |_| {
+        CasQueue::<u64>::with_capacity(512)
+    });
+    let taken = AtomicU64::new(0);
+    let mut collected: Vec<u64> = Vec::with_capacity(TOTAL as usize);
+    std::thread::scope(|s| {
+        for t in 0..PRODUCERS {
+            let q = &q;
+            s.spawn(move || {
+                let mut h = q.handle_pinned(0);
+                for seq in 0..PER_PRODUCER {
+                    let value = ((t as u64) << 40) | seq;
+                    while h.enqueue(value).is_err() {
+                        std::thread::yield_now();
+                    }
+                }
+            });
+        }
+        // First consumer: claims the MPSC ring's wait-free side, drains a
+        // quarter of the run, then dies (drops) mid-run with residue
+        // still in the ring and producers still writing.
+        let mut dying = q.handle_pinned(0);
+        while taken.load(Ordering::Relaxed) < TOTAL / 4 {
+            if let Some(v) = dying.dequeue() {
+                collected.push(v);
+                taken.fetch_add(1, Ordering::Relaxed);
+            } else {
+                std::thread::yield_now();
+            }
+        }
+        // Second concurrent consumer while the first still holds the
+        // claim: the lane must demote to MPMC — deterministically, since
+        // the claim CAS cannot succeed here.
+        let mut finisher = q.handle_pinned(0);
+        if let Some(v) = finisher.dequeue() {
+            collected.push(v);
+            taken.fetch_add(1, Ordering::Relaxed);
+        }
+        assert_eq!(
+            q.lane_promoted(0),
+            Some(true),
+            "a second concurrent consumer on the single side must demote"
+        );
+        drop(dying); // the death: releases the ring claim mid-run
+        while taken.load(Ordering::Relaxed) < TOTAL {
+            if let Some(v) = finisher.dequeue() {
+                collected.push(v);
+                taken.fetch_add(1, Ordering::Relaxed);
+            } else {
+                std::thread::yield_now();
+            }
+        }
+    });
+    let mut expected: Vec<u64> = (0..PRODUCERS as u64)
+        .flat_map(|t| (0..PER_PRODUCER).map(move |seq| (t << 40) | seq))
+        .collect();
+    expected.sort_unstable();
+    collected.sort_unstable();
+    assert_eq!(collected, expected, "fan-in lost or duplicated values");
+    assert_eq!(q.len(), Some(0));
+    assert_eq!(
+        q.lane_promoted(0),
+        Some(true),
+        "demotion must be sticky after every endpoint exits"
+    );
+}
+
+#[test]
+fn fan_out_producer_death_conserves_values_and_demotes_stickily() {
+    use std::sync::atomic::AtomicU64;
+    const CONSUMERS: usize = 6;
+    const HALF: u64 = 6_000;
+    const TOTAL: u64 = 2 * HALF;
+    let q = ShardedQueue::with_config(ShardedConfig::with_lanes(1).spmc_fast_path(), |_| {
+        CasQueue::<u64>::with_capacity(512)
+    });
+    let taken = AtomicU64::new(0);
+    let collected = std::sync::Mutex::new(Vec::with_capacity(TOTAL as usize));
+    std::thread::scope(|s| {
+        for _ in 0..CONSUMERS {
+            let q = &q;
+            let taken = &taken;
+            let collected = &collected;
+            s.spawn(move || {
+                let mut h = q.handle_pinned(0);
+                let mut got = Vec::new();
+                while taken.load(Ordering::Acquire) < TOTAL {
+                    if let Some(v) = h.dequeue() {
+                        got.push(v);
+                        taken.fetch_add(1, Ordering::AcqRel);
+                    } else {
+                        std::thread::yield_now();
+                    }
+                }
+                collected.lock().unwrap().extend(got);
+            });
+        }
+        // First producer: claims the SPMC ring's wait-free side and
+        // publishes half the run.
+        let mut dying = q.handle_pinned(0);
+        for seq in 0..HALF {
+            let value = (1u64 << 40) | seq;
+            while dying.enqueue(value).is_err() {
+                std::thread::yield_now();
+            }
+        }
+        // Second concurrent producer while the first still holds the
+        // claim: the single side demotes the lane — deterministically.
+        let mut finisher = q.handle_pinned(0);
+        let mut seq = 0u64;
+        let value = (2u64 << 40) | seq;
+        while finisher.enqueue(value).is_err() {
+            std::thread::yield_now();
+        }
+        seq += 1;
+        assert_eq!(
+            q.lane_promoted(0),
+            Some(true),
+            "a second concurrent producer on the single side must demote"
+        );
+        drop(dying); // the death: releases the ring claim mid-run
+        while seq < HALF {
+            let value = (2u64 << 40) | seq;
+            while finisher.enqueue(value).is_err() {
+                std::thread::yield_now();
+            }
+            seq += 1;
+        }
+    });
+    let mut expected: Vec<u64> = (0..HALF)
+        .map(|seq| (1u64 << 40) | seq)
+        .chain((0..HALF).map(|seq| (2u64 << 40) | seq))
+        .collect();
+    expected.sort_unstable();
+    let mut collected = collected.into_inner().unwrap();
+    collected.sort_unstable();
+    assert_eq!(collected, expected, "fan-out lost or duplicated values");
+    assert_eq!(q.len(), Some(0));
+    assert_eq!(
+        q.lane_promoted(0),
+        Some(true),
+        "demotion must be sticky after every endpoint exits"
+    );
+}
+
+#[test]
+fn mpsc_ring_recorded_history_keeps_per_producer_streams() {
+    // The raw ring under a recorded 3p/1c fan: the consumer's stream,
+    // restricted to each producer, must be an exact prefix of that
+    // producer's program order (the ring's per-producer FIFO claim).
+    let q = nbq::MpscRing::<u64>::with_capacity(256);
+    let h = nbq::lincheck::record_fan_run(&q, 3, 1, 2_000);
+    nbq::lincheck::check_mpsc_fan_in(&h).unwrap_or_else(|v| panic!("mpsc ring fan-in: {v}"));
+}
+
+#[test]
+fn spmc_ring_recorded_history_keeps_consumer_streams_ascending() {
+    // The raw ring under a recorded 1p/3c fan: every consumer's stream
+    // must be strictly ascending in the producer's enqueue order (the
+    // FAA drain tickets never hand one consumer out-of-order values).
+    let q = nbq::SpmcRing::<u64>::with_capacity(256);
+    let h = nbq::lincheck::record_fan_run(&q, 1, 3, 6_000);
+    nbq::lincheck::check_spmc_fan_out(&h).unwrap_or_else(|v| panic!("spmc ring fan-out: {v}"));
+}
