@@ -72,6 +72,12 @@ pub struct MpscProducerCursor {
 /// No ticket taken yet.
 const NO_TICKET: u64 = u64::MAX;
 
+/// Stack-staging chunk for [`MpscRing::push_batch`]: tickets are
+/// claimed one FAA per up-to-this-many items already pulled from the
+/// caller's iterator, so a run is never claimed for items that might
+/// not materialize.
+const PUSH_STAGE: usize = 32;
+
 impl MpscProducerCursor {
     fn new() -> Self {
         Self {
@@ -207,10 +213,18 @@ impl<T> MpscRing<T> {
     }
 
     /// Producer batch push: reserves credits for the whole batch with
-    /// one gate RMW and claims a contiguous ticket run with one FAA,
-    /// then publishes per slot (the consumer consumes in ticket order,
-    /// so each slot must carry its own publication). Returns how many
-    /// items were accepted; the iterator is only advanced that far.
+    /// one gate RMW, then claims a contiguous ticket run with one FAA
+    /// per staged chunk and publishes per slot (the consumer consumes
+    /// in ticket order, so each slot must carry its own publication).
+    /// Returns how many items were accepted; the iterator is only
+    /// advanced that far.
+    ///
+    /// Tickets — unlike credits — cannot be refunded once claimed: an
+    /// unpublished ticket stalls the consumer at that position forever.
+    /// So items are staged through a small stack buffer and each ticket
+    /// run covers only items actually in hand; an `ExactSizeIterator`
+    /// whose `len()` over-reports yields a short batch (unused credits
+    /// refunded), never a stalled ring.
     pub fn push_batch<I>(&self, cur: &mut MpscProducerCursor, items: &mut I) -> usize
     where
         I: ExactSizeIterator<Item = T>,
@@ -227,18 +241,45 @@ impl<T> MpscRing<T> {
         if got == 0 {
             return 0;
         }
-        let start = self.tail.fetch_add(got as u64, mem::RING_TICKET);
-        for i in 0..got as u64 {
-            let pos = start.wrapping_add(i);
-            let slot = &self.slots[(pos & self.mask) as usize];
-            let value = items.next().expect("iterator shorter than its len()");
-            // SAFETY: as in `push` — each ticket in the run is backed by
-            // a credit.
-            unsafe { (*slot.value.get()).write(value) };
-            slot.seq.store(pos.wrapping_add(1), mem::SPSC_PUBLISH);
+        let mut pushed: i64 = 0;
+        while pushed < got {
+            let target = ((got - pushed) as usize).min(PUSH_STAGE);
+            let mut stage: [Option<T>; PUSH_STAGE] = std::array::from_fn(|_| None);
+            let mut n = 0usize;
+            while n < target {
+                match items.next() {
+                    Some(v) => {
+                        stage[n] = Some(v);
+                        n += 1;
+                    }
+                    None => break,
+                }
+            }
+            if n == 0 {
+                break;
+            }
+            let start = self.tail.fetch_add(n as u64, mem::RING_TICKET);
+            for (i, staged) in stage.iter_mut().take(n).enumerate() {
+                let pos = start.wrapping_add(i as u64);
+                let slot = &self.slots[(pos & self.mask) as usize];
+                let value = staged.take().expect("staged above");
+                // SAFETY: as in `push` — each ticket in the run is
+                // backed by a credit.
+                unsafe { (*slot.value.get()).write(value) };
+                slot.seq.store(pos.wrapping_add(1), mem::SPSC_PUBLISH);
+            }
+            cur.last_ticket = start.wrapping_add(n as u64 - 1);
+            pushed += n as i64;
+            if n < target {
+                break;
+            }
         }
-        cur.last_ticket = start.wrapping_add(got as u64 - 1);
-        got as usize
+        if pushed < got {
+            // The iterator's `len()` over-reported: refund the credits
+            // that never became tickets.
+            self.credits.fetch_add(got - pushed, mem::RING_GATE);
+        }
+        pushed as usize
     }
 
     /// Consumer pop.
@@ -496,6 +537,64 @@ mod tests {
         out.clear();
         assert_eq!(unsafe { ring.pop_batch(&mut cons, &mut out, 2) }, 2);
         assert_eq!(out, vec![8, 9]);
+    }
+
+    #[test]
+    fn batch_ops_span_multiple_stage_chunks() {
+        let ring = MpscRing::with_capacity(128);
+        let mut prod = ring.producer_cursor();
+        let mut cons = ring.consumer_cursor();
+        let mut items = (0..100u64).collect::<Vec<_>>().into_iter();
+        assert_eq!(ring.push_batch(&mut prod, &mut items), 100);
+        let mut out = Vec::new();
+        assert_eq!(unsafe { ring.pop_batch(&mut cons, &mut out, 128) }, 100);
+        assert_eq!(out, (0..100u64).collect::<Vec<_>>());
+    }
+
+    /// An `ExactSizeIterator` whose `len()` over-reports by `lie`.
+    struct OverReporting {
+        inner: std::vec::IntoIter<u64>,
+        lie: usize,
+    }
+
+    impl Iterator for OverReporting {
+        type Item = u64;
+        fn next(&mut self) -> Option<u64> {
+            self.inner.next()
+        }
+        fn size_hint(&self) -> (usize, Option<usize>) {
+            let n = self.inner.len() + self.lie;
+            (n, Some(n))
+        }
+    }
+
+    impl ExactSizeIterator for OverReporting {}
+
+    #[test]
+    fn lying_exact_size_iterator_cannot_stall_the_ring() {
+        // A safe-code ExactSizeIterator may over-report len(). The batch
+        // push must not claim tickets it cannot publish (an unpublished
+        // ticket stalls the consumer at that position forever) and must
+        // refund the over-reserved credits.
+        let ring = MpscRing::with_capacity(8);
+        let mut prod = ring.producer_cursor();
+        let mut items = OverReporting {
+            inner: vec![0, 1, 2].into_iter(),
+            lie: 3,
+        };
+        assert_eq!(ring.push_batch(&mut prod, &mut items), 3);
+        let mut cons = ring.consumer_cursor();
+        let mut out = Vec::new();
+        assert_eq!(unsafe { ring.pop_batch(&mut cons, &mut out, 8) }, 3);
+        assert_eq!(out, vec![0, 1, 2]);
+        // Liveness and capacity intact: a full honest batch still fits,
+        // proving the shortfall's credits were refunded.
+        let mut items = (10..18u64).collect::<Vec<_>>().into_iter();
+        assert_eq!(ring.push_batch(&mut prod, &mut items), 8);
+        out.clear();
+        assert_eq!(unsafe { ring.pop_batch(&mut cons, &mut out, 16) }, 8);
+        assert_eq!(out, (10..18u64).collect::<Vec<_>>());
+        assert!(ring.is_empty());
     }
 
     #[test]

@@ -143,9 +143,14 @@
 //! flip can land on a now-inactive ring, so on adaptive lanes every
 //! consumer path falls through to **scavenging**: any non-active ring
 //! observed non-empty is drained (claim-pop-release on the single-
-//! consumer rings, plain arbitrated pops on the SPMC ring), which makes
-//! conservation unconditional under planner races. A lane is cached
-//! `RingDead` only once *every* built ring is verifiably dead.
+//! consumer rings, plain arbitrated pops on the SPMC ring), and when
+//! scavenging turns up nothing the path falls through again to the
+//! lane's **MPMC queue** — a previously promoted sibling ring may have
+//! demoted its registrants onto the MPMC lane before the flip, so an
+//! unpromoted active ring does *not* imply the queue behind it is
+//! empty. Together the two fall-throughs make conservation
+//! unconditional under planner races. A lane is cached `RingDead` only
+//! once *every* built ring is verifiably dead.
 //!
 //! Emptiness on an MPSC lane inherits the ring's bounded-stall
 //! relaxation (a ticketed-but-unpublished slot hides later published
@@ -1175,11 +1180,19 @@ impl<'q, T: Send, Q: ConcurrentQueue<T> + 'q> ShardedHandle<'q, T, Q> {
                     return Some(v);
                 }
                 if !ring.arity().promoted() {
-                    // Unpromoted empty ring: nothing can sit in the MPMC
-                    // queue, but a planner race may have stranded values
-                    // in a sibling ring — scavenge them (no-op unless
-                    // the lane is adaptive).
-                    return self.lanes[lane].scavenge(RING_BIT_SPSC);
+                    // Unpromoted empty ring: under a static policy the
+                    // MPMC queue behind it is empty too, but on an
+                    // adaptive lane a planner race may have stranded
+                    // values in a sibling ring — or, via a promoted
+                    // sibling's demoted producers, in the MPMC queue
+                    // itself. Scavenge the siblings, then fall through
+                    // to the MPMC queue; the role (and the claim) stay
+                    // put so the ring fast path is retried first next
+                    // time.
+                    if let Some(v) = self.lanes[lane].scavenge(RING_BIT_SPSC) {
+                        return Some(v);
+                    }
+                    return self.handles[lane].dequeue();
                 }
                 if !ring.arity().producer_claimed() {
                     // Re-poll *after* observing the released claim: a
@@ -1209,7 +1222,12 @@ impl<'q, T: Send, Q: ConcurrentQueue<T> + 'q> ShardedHandle<'q, T, Q> {
                     return Some(v);
                 }
                 if !ring.arity().promoted() {
-                    return self.lanes[lane].scavenge(RING_BIT_MPSC);
+                    // Same stranding hazard as the SPSC branch above:
+                    // scavenge siblings, then fall through to MPMC.
+                    if let Some(v) = self.lanes[lane].scavenge(RING_BIT_MPSC) {
+                        return Some(v);
+                    }
+                    return self.handles[lane].dequeue();
                 }
                 if ring.arity().multi_count() == 0 {
                     // Every fan-in producer released its registration —
@@ -1237,7 +1255,12 @@ impl<'q, T: Send, Q: ConcurrentQueue<T> + 'q> ShardedHandle<'q, T, Q> {
                     return Some(v);
                 }
                 if !ring.arity().promoted() {
-                    return self.lanes[lane].scavenge(RING_BIT_SPMC);
+                    // Same stranding hazard as the SPSC branch above:
+                    // scavenge siblings, then fall through to MPMC.
+                    if let Some(v) = self.lanes[lane].scavenge(RING_BIT_SPMC) {
+                        return Some(v);
+                    }
+                    return self.handles[lane].dequeue();
                 }
                 if !ring.arity().producer_claimed() {
                     // Re-poll after observing the released producer
@@ -1387,7 +1410,14 @@ impl<'q, T: Send, Q: ConcurrentQueue<T> + 'q> ShardedHandle<'q, T, Q> {
                     return got;
                 }
                 if !ring.arity().promoted() {
-                    return got + self.lanes[lane].scavenge_batch(RING_BIT_SPSC, out, max - got);
+                    // Scavenge siblings, then fall through to the MPMC
+                    // queue (see [`ShardedHandle::lane_dequeue`] for
+                    // the adaptive-lane stranding hazard this closes).
+                    got += self.lanes[lane].scavenge_batch(RING_BIT_SPSC, out, max - got);
+                    if got == max {
+                        return got;
+                    }
+                    return got + self.handles[lane].dequeue_batch(out, max - got);
                 }
                 if !ring.arity().producer_claimed() {
                     // Re-poll after observing the released claim (the
@@ -1416,7 +1446,12 @@ impl<'q, T: Send, Q: ConcurrentQueue<T> + 'q> ShardedHandle<'q, T, Q> {
                     return got;
                 }
                 if !ring.arity().promoted() {
-                    return got + self.lanes[lane].scavenge_batch(RING_BIT_MPSC, out, max - got);
+                    // Scavenge, then fall through to MPMC (as above).
+                    got += self.lanes[lane].scavenge_batch(RING_BIT_MPSC, out, max - got);
+                    if got == max {
+                        return got;
+                    }
+                    return got + self.handles[lane].dequeue_batch(out, max - got);
                 }
                 if ring.arity().multi_count() == 0 {
                     // SAFETY: as above.
@@ -1441,7 +1476,12 @@ impl<'q, T: Send, Q: ConcurrentQueue<T> + 'q> ShardedHandle<'q, T, Q> {
                     return got;
                 }
                 if !ring.arity().promoted() {
-                    return got + self.lanes[lane].scavenge_batch(RING_BIT_SPMC, out, max - got);
+                    // Scavenge, then fall through to MPMC (as above).
+                    got += self.lanes[lane].scavenge_batch(RING_BIT_SPMC, out, max - got);
+                    if got == max {
+                        return got;
+                    }
+                    return got + self.handles[lane].dequeue_batch(out, max - got);
                 }
                 if !ring.arity().producer_claimed() {
                     got += ring.pop_batch(out, max - got);
@@ -2532,6 +2572,60 @@ mod tests {
         p.enqueue(3).unwrap();
         assert_eq!(c.dequeue(), Some(3));
         assert_eq!(c.dequeue(), None);
+    }
+
+    #[test]
+    fn replan_flip_cannot_strand_mpmc_values() {
+        // The promotion → quiesce → flip sequence: SPSC promotion
+        // demotes the second producer onto the MPMC lane (its value
+        // lands there), the rings quiesce, and the planner flips
+        // `active` onto the fresh fan-in ring. A consumer that then
+        // claims the fresh (unpromoted, empty) ring must still fall
+        // through to the MPMC residue — early-returning on ring
+        // emptiness would strand the value forever while `len() == 1`.
+        let q = adaptive_cas(1, 8);
+        {
+            let mut p1 = q.handle_pinned(0);
+            let mut p2 = q.handle_pinned(0);
+            p1.enqueue(1).unwrap(); // SPSC ring
+            p2.enqueue(2).unwrap(); // promotes; lands on MPMC
+            let mut c = q.handle_pinned(0);
+            // Drain the ring so it is fresh at flip time, but leave
+            // p2's value sitting in the MPMC queue.
+            assert_eq!(c.dequeue(), Some(1));
+        }
+        // 2p/1c maps to the fan-in ring; the outgoing SPSC ring is
+        // empty and claim-free, so the flip is legal even though the
+        // MPMC queue behind it still holds a value.
+        q.replan();
+        assert_eq!(q.active_of(0), ACTIVE_MPSC);
+        assert_eq!(q.len(), Some(1));
+        let mut c = q.handle_pinned(0);
+        assert_eq!(c.dequeue(), Some(2), "MPMC residue must not strand");
+        assert_eq!(c.dequeue(), None);
+        assert_eq!(q.is_empty(), Some(true));
+    }
+
+    #[test]
+    fn replan_flip_cannot_strand_mpmc_values_batch() {
+        // Batch analog of `replan_flip_cannot_strand_mpmc_values`,
+        // covering the `lane_dequeue_batch` unpromoted-ring paths.
+        let q = adaptive_cas(1, 8);
+        {
+            let mut p1 = q.handle_pinned(0);
+            let mut p2 = q.handle_pinned(0);
+            p1.enqueue(1).unwrap();
+            p2.enqueue(2).unwrap();
+            let mut c = q.handle_pinned(0);
+            assert_eq!(c.dequeue(), Some(1));
+        }
+        q.replan();
+        assert_eq!(q.active_of(0), ACTIVE_MPSC);
+        let mut c = q.handle_pinned(0);
+        let mut out = Vec::new();
+        assert_eq!(c.dequeue_batch(&mut out, 4), 1);
+        assert_eq!(out, vec![2]);
+        assert_eq!(q.is_empty(), Some(true));
     }
 
     #[test]
