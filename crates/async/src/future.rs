@@ -46,9 +46,17 @@ impl<T: Send, Q: ConcurrentQueue<T>> Unpin for SendFuture<'_, T, Q> {}
 
 impl<'q, T: Send, Q: ConcurrentQueue<T>> SendFuture<'q, T, Q> {
     pub(crate) fn new(queue: &'q AsyncQueue<T, Q>, value: T) -> Self {
+        Self::with_handle(queue, queue.inner().handle(), value)
+    }
+
+    pub(crate) fn with_handle(
+        queue: &'q AsyncQueue<T, Q>,
+        handle: Q::Handle<'q>,
+        value: T,
+    ) -> Self {
         Self {
             queue,
-            handle: queue.inner().handle(),
+            handle,
             value: Some(value),
             slot: None,
         }
@@ -86,6 +94,12 @@ impl<T: Send, Q: ConcurrentQueue<T>> Future for SendFuture<'_, T, Q> {
                     Err(TrySendError::Full(v)) => {
                         this.value = Some(v);
                         this.slot = Some(slot);
+                        if was_parked {
+                            // We consumed a wake token yet still see
+                            // Full; the freed slot may be reachable only
+                            // by a differently-pinned parked peer.
+                            this.queue.forward_sender_token();
+                        }
                         Poll::Pending
                     }
                 }
@@ -113,9 +127,13 @@ impl<T: Send, Q: ConcurrentQueue<T>> Unpin for RecvFuture<'_, T, Q> {}
 
 impl<'q, T: Send, Q: ConcurrentQueue<T>> RecvFuture<'q, T, Q> {
     pub(crate) fn new(queue: &'q AsyncQueue<T, Q>) -> Self {
+        Self::with_handle(queue, queue.inner().handle())
+    }
+
+    pub(crate) fn with_handle(queue: &'q AsyncQueue<T, Q>, handle: Q::Handle<'q>) -> Self {
         Self {
             queue,
-            handle: queue.inner().handle(),
+            handle,
             slot: None,
         }
     }
@@ -147,6 +165,12 @@ impl<T: Send, Q: ConcurrentQueue<T>> Future for RecvFuture<'_, T, Q> {
                     }
                     RecvAttempt::Empty => {
                         this.slot = Some(slot);
+                        if was_parked {
+                            // We consumed a wake token yet still see
+                            // Empty; the item may sit in a lane ring
+                            // whose consumer seat a parked peer holds.
+                            this.queue.forward_receiver_token();
+                        }
                         Poll::Pending
                     }
                 }
@@ -248,6 +272,9 @@ impl<T: Send, Q: ConcurrentQueue<T>> Future for SendBatchFuture<'_, T, Q> {
                     Ok(rest) => {
                         this.pending = Some(rest);
                         this.slot = Some(slot);
+                        if was_parked {
+                            this.queue.forward_sender_token();
+                        }
                         Poll::Pending
                     }
                 }
@@ -330,6 +357,9 @@ impl<T: Send, Q: ConcurrentQueue<T>> Future for RecvBatchFuture<'_, T, Q> {
                     }
                     Err(false) => {
                         this.slot = Some(slot);
+                        if was_parked {
+                            this.queue.forward_receiver_token();
+                        }
                         Poll::Pending
                     }
                 }

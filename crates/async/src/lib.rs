@@ -142,21 +142,43 @@ impl<T: Send, Q: ConcurrentQueue<T>> AsyncQueue<T, Q> {
         }
     }
 
-    /// Capacity of the wrapped queue, if bounded.
+    /// Capacity of the wrapped queue, if bounded. For a sharded backbone
+    /// this is the conservative always-available bound (MPMC lanes only
+    /// — see `ShardedQueue`'s `ConcurrentQueue::capacity` note).
     pub fn capacity(&self) -> Option<usize> {
         self.inner.capacity()
     }
 
-    /// Approximate occupancy of the wrapped queue (see
-    /// [`ConcurrentQueue::len`]).
+    /// Approximate occupancy of the wrapped queue. Same advisory-snapshot
+    /// contract as `ShardedQueue::len()`: a single racy pass with no
+    /// cross-component synchronization, exact only in quiescence.
+    /// Suitable for backpressure watermarks and monitoring (the broker's
+    /// `BUSY` threshold), never for emptiness-as-synchronization —
+    /// resolve "is there really an item?" with [`AsyncQueue::try_recv`].
     pub fn len(&self) -> Option<usize> {
         self.inner.len()
     }
 
     /// Whether the wrapped queue appears empty (see
-    /// [`ConcurrentQueue::is_empty`]).
+    /// [`AsyncQueue::len`] for the advisory contract).
     pub fn is_empty(&self) -> Option<bool> {
         self.inner.is_empty()
+    }
+
+    /// Whether the wrapped queue appears full: `len() >= capacity()`,
+    /// under [`AsyncQueue::len`]'s advisory contract. `None` when either
+    /// side is unreported (unbounded or non-counting queues). A `true`
+    /// is a watermark hint — the next `try_send` may still succeed (a
+    /// dequeue may have landed since the snapshot), and with fast-path
+    /// ring lanes a send can succeed even while the conservative MPMC
+    /// capacity reads full. Use it to *anticipate* backpressure (shed
+    /// load, emit `BUSY` early), and the actual [`Full`] result to
+    /// *enforce* it.
+    pub fn is_full(&self) -> Option<bool> {
+        match (self.inner.len(), self.inner.capacity()) {
+            (Some(len), Some(cap)) => Some(len >= cap),
+            _ => None,
+        }
     }
 
     /// Waker slots currently allocated (parked futures plus cancelled
@@ -196,6 +218,18 @@ impl<T: Send, Q: ConcurrentQueue<T>> AsyncQueue<T, Q> {
         self.try_send_with(&mut self.inner.handle(), value)
     }
 
+    /// Non-blocking send through a caller-built handle (the synchronous
+    /// twin of [`AsyncQueue::send_with_handle`]). The broker's publish
+    /// path uses this with a lane-pinned handle: `Full` from the pinned
+    /// lane is what it converts into a protocol-level `BUSY`.
+    pub fn try_send_with_handle(
+        &self,
+        handle: &mut Q::Handle<'_>,
+        value: T,
+    ) -> Result<(), TrySendError<T>> {
+        self.try_send_with(handle, value)
+    }
+
     /// Non-blocking receive through a fresh per-call handle. `None`
     /// means empty *or* closed-and-drained; disambiguate with
     /// [`AsyncQueue::is_closed`] if needed.
@@ -216,6 +250,24 @@ impl<T: Send, Q: ConcurrentQueue<T>> AsyncQueue<T, Q> {
     /// closed and drained.
     pub fn recv(&self) -> RecvFuture<'_, T, Q> {
         RecvFuture::new(self)
+    }
+
+    /// Like [`AsyncQueue::send`], but through a caller-built handle on
+    /// the wrapped queue instead of a fresh [`ConcurrentQueue::handle`].
+    ///
+    /// This is how an affinity choice crosses the async boundary: the
+    /// broker pins each connection's publishes to one sharded lane with
+    /// `queue.inner().handle_pinned(lane)`, which keeps per-producer FIFO
+    /// unconditional (a pinned handle never steals or spills), and lets
+    /// MPSC fast-path lanes see a stable producer set.
+    pub fn send_with_handle<'q>(&'q self, handle: Q::Handle<'q>, value: T) -> SendFuture<'q, T, Q> {
+        SendFuture::with_handle(self, handle, value)
+    }
+
+    /// Like [`AsyncQueue::recv`], but through a caller-built handle (see
+    /// [`AsyncQueue::send_with_handle`]).
+    pub fn recv_with_handle<'q>(&'q self, handle: Q::Handle<'q>) -> RecvFuture<'q, T, Q> {
+        RecvFuture::with_handle(self, handle)
     }
 
     /// Sends a whole batch through the wrapped queue's amortized batch
@@ -401,6 +453,55 @@ impl<T: Send, Q: ConcurrentQueue<T>> AsyncQueue<T, Q> {
     pub(crate) fn record_spurious_poll(&self) {
         if let Some(s) = self.stats() {
             s.record_spurious_poll();
+        }
+    }
+
+    /// Rescues a wake token that would otherwise die with work still
+    /// visible: called by a *notified* receiver that re-parks while the
+    /// queue observably holds items.
+    ///
+    /// Under lane-pinned handles or fast-path ring policies, an item can
+    /// be reachable only by one specific parked future — the handle
+    /// pinned to that lane, or the handle holding the lane ring's single
+    /// consumer seat ([`ShardedQueue`]'s claim rules) — and `notify`
+    /// picks a waiter with no knowledge of which future that is. When
+    /// the token lands on a waiter that cannot make progress, a one-shot
+    /// handoff could ping-pong among equally-stuck peers (the registry
+    /// is LIFO), so the rescue is a broadcast: every parked receiver
+    /// re-polls, the capable one drains the item, and the broadcast
+    /// cannot recur once `len()` reads empty. The cost is a thundering
+    /// herd on a path that requires a mis-delivered token to reach at
+    /// all.
+    ///
+    /// [`ShardedQueue`]: nbq_core::ShardedQueue
+    pub(crate) fn forward_receiver_token(&self) {
+        if self.len().is_some_and(|n| n > 0) {
+            let woke = self.receivers.wake_all();
+            if woke > 0 {
+                if let Some(s) = self.stats() {
+                    s.waker_wakes.fetch_add(woke, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+
+    /// Sender-side analogue of [`AsyncQueue::forward_receiver_token`]:
+    /// a *notified* sender that still sees `Full` while the queue
+    /// observably has spare capacity broadcasts to its peers. The
+    /// freed slot may live in a lane only one specific parked sender
+    /// can reach (lane-pinned handles, a fan-out ring's single producer
+    /// seat), and that sender may not be the one the dequeue's token
+    /// landed on.
+    pub(crate) fn forward_sender_token(&self) {
+        if let (Some(len), Some(cap)) = (self.len(), self.capacity()) {
+            if len < cap {
+                let woke = self.senders.wake_all();
+                if woke > 0 {
+                    if let Some(s) = self.stats() {
+                        s.waker_wakes.fetch_add(woke, Ordering::Relaxed);
+                    }
+                }
+            }
         }
     }
 }

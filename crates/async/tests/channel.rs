@@ -308,3 +308,197 @@ fn works_over_sharded_and_llsc_backends() {
         assert_eq!(q.recv().await, Some(5));
     });
 }
+
+#[test]
+fn advisory_occupancy_and_is_full_watermark() {
+    let q = channel(4);
+    let cap = q.capacity().expect("CAS queue reports capacity");
+    assert_eq!(q.len(), Some(0));
+    assert_eq!(q.is_empty(), Some(true));
+    assert_eq!(q.is_full(), Some(false));
+    // Fill to the reported capacity; the advisory snapshot is exact in
+    // quiescence.
+    let mut filled = 0;
+    while q.try_send(filled as u64).is_ok() {
+        filled += 1;
+    }
+    assert!(filled >= cap, "at least the reported capacity fit");
+    assert_eq!(q.len(), Some(filled));
+    assert_eq!(q.is_empty(), Some(false));
+    assert_eq!(q.is_full(), Some(true), "watermark trips at capacity");
+    assert!(matches!(q.try_send(99), Err(TrySendError::Full(99))));
+    q.try_recv().expect("queued item");
+    assert_eq!(q.len(), Some(filled - 1));
+    assert_eq!(q.is_full(), Some(false), "watermark clears after a drain");
+}
+
+#[test]
+fn pinned_handles_preserve_per_producer_fifo_across_await() {
+    use nbq_core::{ShardedConfig, ShardedQueue};
+    use nbq_util::queue::ConcurrentQueue;
+
+    let rt = rt();
+    // Tiny lanes force the senders through the park/wake path; pinned
+    // handles must never spill to another lane while they wait.
+    let q: Arc<AsyncQueue<u64, ShardedQueue<u64, CasQueue<u64>>>> = Arc::new(AsyncQueue::new(
+        ShardedQueue::with_config(ShardedConfig::with_lanes(2), |_| CasQueue::with_capacity(4)),
+    ));
+    const PER_PRODUCER: u64 = 500;
+    rt.block_on(async {
+        let mut producers = Vec::new();
+        for p in 0..2u64 {
+            let q = q.clone();
+            producers.push(tokio::spawn(async move {
+                for i in 0..PER_PRODUCER {
+                    q.send_with_handle(q.inner().handle_pinned(p as usize), (p << 32) | i)
+                        .await
+                        .expect("open channel");
+                }
+            }));
+        }
+        let consumer = {
+            let q = q.clone();
+            tokio::spawn(async move {
+                let mut last = [None::<u64>; 2];
+                for _ in 0..2 * PER_PRODUCER {
+                    let v = q
+                        .recv_with_handle(q.inner().handle())
+                        .await
+                        .expect("open channel");
+                    let (p, i) = ((v >> 32) as usize, v & 0xffff_ffff);
+                    if let Some(prev) = last[p] {
+                        assert!(i > prev, "producer {p} reordered: {i} after {prev}");
+                    }
+                    last[p] = Some(i);
+                }
+            })
+        };
+        for h in producers {
+            h.await.expect("producer");
+        }
+        consumer.await.expect("consumer");
+    });
+    assert_eq!(q.live_waiters(), 0);
+}
+
+/// A counting waker for manual-poll protocol tests.
+struct CountWake(std::sync::atomic::AtomicUsize);
+
+impl std::task::Wake for CountWake {
+    fn wake(self: Arc<Self>) {
+        self.0.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+    }
+}
+
+impl CountWake {
+    fn pair() -> (Arc<CountWake>, std::task::Waker) {
+        let arc = Arc::new(CountWake(std::sync::atomic::AtomicUsize::new(0)));
+        let waker = std::task::Waker::from(arc.clone());
+        (arc, waker)
+    }
+
+    fn count(&self) -> usize {
+        self.0.load(std::sync::atomic::Ordering::SeqCst)
+    }
+}
+
+/// One manual poll of an `Unpin` future with the given waker.
+fn poll_once<F: std::future::Future + Unpin>(
+    fut: &mut F,
+    waker: &std::task::Waker,
+) -> std::task::Poll<F::Output> {
+    std::pin::Pin::new(fut).poll(&mut std::task::Context::from_waker(waker))
+}
+
+/// A wake token delivered to a receiver that cannot reach the item (its
+/// handle is pinned to a different lane) must be forwarded to the peers
+/// instead of dying with the re-park — otherwise the only capable
+/// receiver sleeps forever over a non-empty queue. Manual polls make
+/// the misdelivery deterministic: the waiter registry wakes LIFO, so
+/// the later-registered wrong receiver gets the token first.
+#[test]
+fn misdelivered_recv_token_is_forwarded_to_the_pinned_peer() {
+    use nbq_core::{ShardedConfig, ShardedQueue};
+    use std::task::Poll;
+
+    let q: AsyncQueue<u64, ShardedQueue<u64, CasQueue<u64>>> = AsyncQueue::new(
+        ShardedQueue::with_config(ShardedConfig::with_lanes(2), |_| CasQueue::with_capacity(4)),
+    );
+    let (wake_a, waker_a) = CountWake::pair();
+    let (wake_b, waker_b) = CountWake::pair();
+
+    // A parks pinned to lane 0; B parks pinned to lane 1 (registered
+    // second — LIFO top, so B receives the next token).
+    let mut fut_a = q.recv_with_handle(q.inner().handle_pinned(0));
+    let mut fut_b = q.recv_with_handle(q.inner().handle_pinned(1));
+    assert!(poll_once(&mut fut_a, &waker_a).is_pending());
+    assert!(poll_once(&mut fut_b, &waker_b).is_pending());
+
+    // An item lands in lane 0 — only A can take it, but the token goes
+    // to B.
+    let mut producer = q.inner().handle_pinned(0);
+    q.try_send_with_handle(&mut producer, 42).expect("send");
+    assert!(wake_b.count() >= 1, "LIFO token should reach B first");
+    assert_eq!(wake_a.count(), 0, "token misdelivered past A");
+
+    // B re-polls, still sees its empty lane, and must forward the token
+    // instead of swallowing it.
+    assert!(poll_once(&mut fut_b, &waker_b).is_pending());
+    assert!(
+        wake_a.count() >= 1,
+        "re-parking with the queue non-empty must broadcast the token"
+    );
+    match poll_once(&mut fut_a, &waker_a) {
+        Poll::Ready(Some(v)) => assert_eq!(v, 42),
+        other => panic!("A should now take the item, got {other:?}"),
+    }
+    drop(fut_b);
+    assert_eq!(q.live_waiters(), 0);
+}
+
+/// Sender-side mirror: a dequeue frees a slot in lane 0, but the wake
+/// token lands on the sender pinned to still-full lane 1. That sender
+/// must broadcast on re-park or the lane-0 sender deadlocks over spare
+/// capacity.
+#[test]
+fn misdelivered_send_token_is_forwarded_to_the_pinned_peer() {
+    use nbq_core::{ShardedConfig, ShardedQueue};
+    use std::task::Poll;
+
+    let q: AsyncQueue<u64, ShardedQueue<u64, CasQueue<u64>>> = AsyncQueue::new(
+        ShardedQueue::with_config(ShardedConfig::with_lanes(2), |_| CasQueue::with_capacity(2)),
+    );
+    // Fill both lanes to capacity.
+    for lane in 0..2 {
+        let mut h = q.inner().handle_pinned(lane);
+        for v in 0..2 {
+            q.try_send_with_handle(&mut h, (lane as u64) * 10 + v)
+                .expect("fill");
+        }
+    }
+    let (wake_a, waker_a) = CountWake::pair();
+    let (wake_b, waker_b) = CountWake::pair();
+    let mut fut_a = q.send_with_handle(q.inner().handle_pinned(0), 100);
+    let mut fut_b = q.send_with_handle(q.inner().handle_pinned(1), 200);
+    assert!(poll_once(&mut fut_a, &waker_a).is_pending());
+    assert!(poll_once(&mut fut_b, &waker_b).is_pending());
+
+    // Drain one item from lane 0: the freed slot is A's, the token B's.
+    let mut fut_r = q.recv_with_handle(q.inner().handle_pinned(0));
+    let (_, waker_r) = CountWake::pair();
+    match poll_once(&mut fut_r, &waker_r) {
+        Poll::Ready(Some(_)) => {}
+        other => panic!("lane 0 held items, got {other:?}"),
+    }
+    assert!(wake_b.count() >= 1, "LIFO token should reach B first");
+    assert_eq!(wake_a.count(), 0, "token misdelivered past A");
+
+    assert!(poll_once(&mut fut_b, &waker_b).is_pending());
+    assert!(
+        wake_a.count() >= 1,
+        "re-parking with spare capacity must broadcast the token"
+    );
+    assert!(poll_once(&mut fut_a, &waker_a).is_ready());
+    drop(fut_b);
+    assert_eq!(q.live_waiters(), 0);
+}

@@ -1,0 +1,82 @@
+//! Bench target for the networked broker: full loopback message cycles
+//! per second (PUB → topic queue → MSG → ACK, all through real sockets
+//! and the epoll-fused executor) with the topic lanes built from each
+//! queue backbone.
+//!
+//! One iteration is one complete load run — connect, publish, deliver,
+//! drain — so the number includes connection setup amortized over the
+//! message count. The backbone rows answer the DESIGN.md §14 question
+//! (does the queue still matter once the kernel is in the loop?); the
+//! `tight lanes` row drives the same cycle through capacity-2 lanes so
+//! every publisher rides the BUSY backpressure path.
+
+use criterion::{BenchmarkId, Criterion, Throughput};
+use nbq_baselines::{ScqQueue, WcqQueue};
+use nbq_bench::criterion;
+use nbq_core::{CasQueue, LlScQueue};
+use nbq_net::{run_workload_net, NetConfig, NetMsg};
+
+/// Loopback connections per run (half publish, half subscribe).
+const CONNECTIONS: usize = 32;
+
+/// Stop-and-wait messages per publisher per run.
+const MESSAGES: usize = 10;
+
+/// Per-lane backbone capacity for the main rows.
+const LANE_CAP: usize = 128;
+
+fn config() -> NetConfig {
+    NetConfig {
+        connections: CONNECTIONS,
+        messages_per_publisher: MESSAGES,
+        payload_bytes: 64,
+        ..NetConfig::default()
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("abl_net");
+    let messages = (CONNECTIONS / 2 * MESSAGES) as u64;
+    group.throughput(Throughput::Elements(messages));
+
+    group.bench_function(BenchmarkId::new("backbone", "cas"), |b| {
+        b.iter(|| {
+            run_workload_net(config(), |_: usize| {
+                CasQueue::<NetMsg>::with_capacity(LANE_CAP)
+            })
+        })
+    });
+    group.bench_function(BenchmarkId::new("backbone", "llsc"), |b| {
+        b.iter(|| {
+            run_workload_net(config(), |_: usize| {
+                LlScQueue::<NetMsg>::with_capacity(LANE_CAP)
+            })
+        })
+    });
+    group.bench_function(BenchmarkId::new("backbone", "scq"), |b| {
+        b.iter(|| {
+            run_workload_net(config(), |_: usize| {
+                ScqQueue::<NetMsg>::with_capacity(LANE_CAP)
+            })
+        })
+    });
+    group.bench_function(BenchmarkId::new("backbone", "wcq"), |b| {
+        b.iter(|| {
+            run_workload_net(config(), |_: usize| {
+                WcqQueue::<NetMsg>::with_capacity(LANE_CAP)
+            })
+        })
+    });
+    // Capacity-2 lanes: the whole run lives on the BUSY backpressure
+    // path (suspended reads + delayed ACKs), pricing the slow path.
+    group.bench_function(BenchmarkId::new("backbone", "cas tight lanes"), |b| {
+        b.iter(|| run_workload_net(config(), |_: usize| CasQueue::<NetMsg>::with_capacity(2)))
+    });
+    group.finish();
+}
+
+fn main() {
+    let mut c = criterion();
+    bench(&mut c);
+    c.final_summary();
+}

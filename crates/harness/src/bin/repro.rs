@@ -40,11 +40,17 @@
 //!                                    SPMC fan-out lanes vs pinned-MPMC
 //!                                    controls (--threads >= 4 only), plus
 //!                                    the planner-conformance table
+//!   net                              extension: the epoll message broker
+//!                                    under loopback traffic — delivered
+//!                                    throughput and e2e/ACK-RTT quantiles
+//!                                    per queue backbone (cas, llsc, scq,
+//!                                    wcq); --connections to sweep
 //!   all                              everything above
 //!
 //! flags:
 //!   --threads 1,2,4,8   thread counts to sweep
 //!   --lanes 2,4,8       lane counts for `sharding`   (default 2,4,8)
+//!   --connections N,M   connection counts for `net`  (default 256,1024)
 //!   --iters N           iterations per thread        (default 2000)
 //!   --runs N            runs per cell                (default 5)
 //!   --capacity N        queue capacity               (default 4096)
@@ -61,6 +67,7 @@ struct Args {
     experiment: String,
     threads: Vec<usize>,
     lanes: Vec<usize>,
+    connections: Vec<usize>,
     csv: Option<PathBuf>,
     config: WorkloadConfig,
 }
@@ -69,9 +76,9 @@ fn usage() -> ! {
     eprintln!(
         "usage: repro <fig6a|fig6b|fig6c|fig6d|overhead|caswidth|opcounts|ablate-scan|\
          ablate-reregister|ablate-capacity|ablate-backoff|modern|batch|ordering|sharding|alloc|\
-         async|latency|spsc|arity|all> \
-         [--threads 1,2,4] [--lanes 2,4,8] [--iters N] [--runs N] [--capacity N] \
-         [--csv DIR] [--paper]"
+         async|latency|spsc|arity|net|all> \
+         [--threads 1,2,4] [--lanes 2,4,8] [--connections 256,1024] [--iters N] [--runs N] \
+         [--capacity N] [--csv DIR] [--paper]"
     );
     std::process::exit(2);
 }
@@ -83,6 +90,7 @@ fn parse_args() -> Args {
     };
     let mut threads: Option<Vec<usize>> = None;
     let mut lanes: Option<Vec<usize>> = None;
+    let mut connections: Option<Vec<usize>> = None;
     let mut csv = None;
     let mut config = WorkloadConfig::default();
     let mut paper = false;
@@ -120,6 +128,19 @@ fn parse_args() -> Args {
                         .collect(),
                 );
             }
+            "--connections" => {
+                connections = Some(
+                    value("--connections")
+                        .split(',')
+                        .map(|s| {
+                            s.trim().parse().unwrap_or_else(|_| {
+                                eprintln!("bad connection count: {s}");
+                                usage()
+                            })
+                        })
+                        .collect(),
+                );
+            }
             "--iters" => config.iterations = value("--iters").parse().unwrap_or_else(|_| usage()),
             "--runs" => config.runs = value("--runs").parse().unwrap_or_else(|_| usage()),
             "--capacity" => {
@@ -141,6 +162,7 @@ fn parse_args() -> Args {
         experiment,
         threads: threads.unwrap_or_else(|| vec![1, 2, 4, 8, 16, 32]),
         lanes: lanes.unwrap_or_else(|| vec![2, 4, 8]),
+        connections: connections.unwrap_or_else(|| vec![256, 1024]),
         csv,
         config,
     }
@@ -332,6 +354,24 @@ fn run_arity(args: &Args) {
     );
 }
 
+/// The `net` experiment: the loopback broker sweep — delivered
+/// throughput plus end-to-end and ACK-RTT quantiles, one row set per
+/// queue backbone.
+fn run_net(args: &Args) {
+    // 20 stop-and-wait messages per publisher: enough cycles per
+    // connection to populate the p999 bucket at the default sweep
+    // without dragging out the 4-backbone run.
+    let (tput, lat) = experiments::net(&args.connections, 20);
+    emit(&tput, &args.csv);
+    emit(&lat, &args.csv);
+    println!(
+        "each connection pair is one stop-and-wait publisher and one \
+         subscriber sharing a topic; topics are ShardedQueue-backed \
+         channels (MPSC fast-path lanes) and BUSY rows are protocol \
+         backpressure, not errors (DESIGN.md §14)"
+    );
+}
+
 fn main() -> ExitCode {
     let args = parse_args();
     eprintln!(
@@ -436,6 +476,9 @@ fn main() -> ExitCode {
         "arity" => {
             run_arity(&args);
         }
+        "net" => {
+            run_net(&args);
+        }
         "modern" => {
             emit(&experiments::modern(&args.threads, &args.config), &args.csv);
             emit(
@@ -519,6 +562,7 @@ fn main() -> ExitCode {
             run_latency(&args);
             run_spsc(&args);
             run_arity(&args);
+            run_net(&args);
         }
         other => {
             eprintln!("unknown experiment: {other}");

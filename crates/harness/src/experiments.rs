@@ -1462,6 +1462,114 @@ pub fn arity_ops(thread_counts: &[usize], base: &WorkloadConfig) -> Table {
     table
 }
 
+/// `ext-net` / `ext-net-lat`: the whole stack under real kernel traffic.
+///
+/// Each column runs the loopback broker workload ([`nbq_net::run_workload_net`]):
+/// `connections/2` stop-and-wait publishers and as many subscribers,
+/// paired onto shared topics, every topic a `ShardedQueue`-backed async
+/// channel whose lanes are built from the row's backbone queue. The
+/// measurement includes the full path the microbenchmarks skip — frame
+/// encode, `write(2)`, epoll wakeup inside the executor's parker, frame
+/// decode, queue, and the same back out — so the backbone differences
+/// that dominate `fig6a` shrink to their share of a real message cycle.
+///
+/// Returns the throughput table (`ext-net`: delivered kmsg/s plus the
+/// broker-side BUSY rate per 1000 published) and the latency table
+/// (`ext-net-lat`: publish→deliver e2e and PUB→ACK RTT p50/p99/p999,
+/// µs) for the four backbones: the paper's CAS and LL/SC queues and the
+/// SCQ/wCQ modern rivals. Lane capacity is fixed at 128 so protocol
+/// backpressure actually engages at the default fan-in.
+pub fn net(connection_counts: &[usize], messages_per_publisher: usize) -> (Table, Table) {
+    use nbq_baselines::{ScqQueue, WcqQueue};
+    use nbq_core::{CasQueue, LlScQueue};
+    use nbq_net::{run_workload_net, NetConfig, NetMsg, NetReport};
+    use nbq_util::LatencyHistogram;
+
+    /// Per-lane backbone capacity: small enough that the default fan-in
+    /// (8 pairs per topic) can fill a lane and surface BUSY, large
+    /// enough that steady state is not backpressure-bound.
+    const LANE_CAP: usize = 128;
+    let columns: Vec<u64> = connection_counts.iter().map(|&c| c as u64).collect();
+    let mut tput = Table::new(
+        "ext-net",
+        "Networked broker: delivered throughput by queue backbone",
+        "connections",
+        "mixed",
+        columns.clone(),
+    );
+    let mut lat = Table::new(
+        "ext-net-lat",
+        "Networked broker: end-to-end and ACK-RTT quantiles by backbone",
+        "connections",
+        "us",
+        columns,
+    );
+    type Runner = fn(NetConfig) -> NetReport;
+    let backbones: [(&str, Runner); 4] = [
+        ("cas", |cfg| {
+            run_workload_net(cfg, |_: usize| CasQueue::<NetMsg>::with_capacity(LANE_CAP))
+        }),
+        ("llsc", |cfg| {
+            run_workload_net(cfg, |_: usize| LlScQueue::<NetMsg>::with_capacity(LANE_CAP))
+        }),
+        ("scq", |cfg| {
+            run_workload_net(cfg, |_: usize| ScqQueue::<NetMsg>::with_capacity(LANE_CAP))
+        }),
+        ("wcq", |cfg| {
+            run_workload_net(cfg, |_: usize| WcqQueue::<NetMsg>::with_capacity(LANE_CAP))
+        }),
+    ];
+    type HistPick = fn(&NetReport) -> &LatencyHistogram;
+    for (name, run) in backbones {
+        let reports: Vec<NetReport> = connection_counts
+            .iter()
+            .map(|&connections| {
+                run(NetConfig {
+                    connections,
+                    messages_per_publisher,
+                    ..NetConfig::default()
+                })
+            })
+            .collect();
+        tput.push_row(
+            &format!("{name} delivered (kmsg/s)"),
+            reports
+                .iter()
+                .map(|r| Cell {
+                    mean: r.throughput() / 1e3,
+                    stddev: 0.0,
+                })
+                .collect(),
+        );
+        tput.push_row(
+            &format!("{name} busy/kmsg"),
+            reports
+                .iter()
+                .map(|r| Cell {
+                    mean: r.broker.busy as f64 * 1e3 / r.published.max(1) as f64,
+                    stddev: 0.0,
+                })
+                .collect(),
+        );
+        let picks: [(&str, HistPick); 2] = [("e2e", |r| &r.e2e), ("ack rtt", |r| &r.ack_rtt)];
+        for (op, pick) in picks {
+            for (q_label, q) in [("p50", 0.50), ("p99", 0.99), ("p999", 0.999)] {
+                lat.push_row(
+                    &format!("{name} {op} {q_label} (us)"),
+                    reports
+                        .iter()
+                        .map(|r| Cell {
+                            mean: pick(r).quantile_ns(q) as f64 / 1e3,
+                            stddev: 0.0,
+                        })
+                        .collect(),
+                );
+            }
+        }
+    }
+    (tput, lat)
+}
+
 /// In-text T3 helper: LL/SC-vs-CAS speed ratio out of a fig6a table.
 pub fn llsc_vs_cas_ratio(fig6a: &Table) -> Vec<(u64, f64)> {
     fig6a
@@ -1822,6 +1930,23 @@ mod tests {
     #[should_panic(expected = ">= 4 threads")]
     fn arity_rejects_undersized_thread_counts() {
         arity(&[2], &tiny());
+    }
+
+    #[test]
+    fn net_tables_cover_all_four_backbones() {
+        let (tput, lat) = net(&[8], 3);
+        assert_eq!(tput.id, "ext-net");
+        assert_eq!(lat.id, "ext-net-lat");
+        // 2 throughput rows and 6 quantile rows per backbone.
+        assert_eq!(tput.rows.len(), 8);
+        assert_eq!(lat.rows.len(), 24);
+        for name in ["cas", "llsc", "scq", "wcq"] {
+            let row = tput.cell(&format!("{name} delivered (kmsg/s)"), 8).unwrap();
+            assert!(row.mean > 0.0 && row.mean.is_finite(), "{name} throughput");
+            let p50 = lat.cell(&format!("{name} e2e p50 (us)"), 8).unwrap();
+            let p999 = lat.cell(&format!("{name} e2e p999 (us)"), 8).unwrap();
+            assert!(p50.mean <= p999.mean, "{name} quantiles out of order");
+        }
     }
 
     #[test]

@@ -1,0 +1,236 @@
+//! Nonblocking socket adapters over the reactor: `Async<T>` and its
+//! TcpListener/TcpStream conveniences.
+//!
+//! The IO poll protocol is the same two-phase shape as the channel
+//! futures (attempt → register → re-check): try the syscall; on
+//! `WouldBlock`, park the waker on the socket's [`IoEntry`], then
+//! *consume* the readiness bit — if an edge slipped in between the
+//! failed syscall and the registration, the bit is set and the attempt
+//! retries instead of parking over a lost event. Edge-triggered epoll
+//! makes the consume step mandatory: the kernel will not repeat an edge.
+//!
+//! Read and write sides park independently (separate waker cells), so a
+//! connection's reader task and writer task can share one
+//! `Arc<Async<TcpStream>>` — `std` implements `Read`/`Write` for
+//! `&TcpStream`, which is what makes `&self` IO sound here.
+
+use crate::reactor::{IoEntry, Reactor, READ_READY, WRITE_READY};
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::unix::io::{AsRawFd, RawFd};
+use std::sync::Arc;
+use std::task::{Context, Poll};
+
+/// A socket registered with the reactor. IO methods take `&self`; the
+/// per-direction wakers serialize nothing — two tasks reading at once is
+/// allowed (they race for bytes, as on a raw fd).
+pub struct Async<T: AsRawFd> {
+    io: T,
+    reactor: Arc<Reactor>,
+    fd: RawFd,
+    token: u64,
+    entry: Arc<IoEntry>,
+}
+
+impl<T: AsRawFd> Async<T> {
+    /// Registers `io` (which must already be nonblocking) with the
+    /// reactor.
+    pub fn new(reactor: Arc<Reactor>, io: T) -> io::Result<Async<T>> {
+        let fd = io.as_raw_fd();
+        let (token, entry) = reactor.register(fd)?;
+        Ok(Async {
+            io,
+            reactor,
+            fd,
+            token,
+            entry,
+        })
+    }
+
+    /// The wrapped socket.
+    pub fn get_ref(&self) -> &T {
+        &self.io
+    }
+
+    /// One attempt → register → re-check poll step over `op`.
+    fn poll_io<R>(
+        &self,
+        bit: u32,
+        cx: &mut Context<'_>,
+        op: &mut impl FnMut(&T) -> io::Result<R>,
+    ) -> Poll<io::Result<R>> {
+        loop {
+            match op(&self.io) {
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    self.entry.register(bit, cx.waker());
+                    if self.entry.clear_ready(bit) {
+                        // An edge raced in between the syscall and the
+                        // registration; retry rather than park.
+                        continue;
+                    }
+                    return Poll::Pending;
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                res => return Poll::Ready(res),
+            }
+        }
+    }
+
+    /// Runs `op` when the direction `bit` is ready, parking in between.
+    async fn io_with<R>(&self, bit: u32, mut op: impl FnMut(&T) -> io::Result<R>) -> io::Result<R> {
+        std::future::poll_fn(|cx| self.poll_io(bit, cx, &mut op)).await
+    }
+}
+
+impl<T: AsRawFd> Drop for Async<T> {
+    fn drop(&mut self) {
+        self.reactor.deregister(self.fd, self.token);
+    }
+}
+
+impl Async<TcpListener> {
+    /// Binds a nonblocking listener on `addr` and registers it.
+    pub fn bind(reactor: Arc<Reactor>, addr: &str) -> io::Result<Async<TcpListener>> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        Async::new(reactor, listener)
+    }
+
+    /// Accepts one connection; the returned stream is nonblocking and
+    /// registered with the same reactor.
+    pub async fn accept(&self) -> io::Result<(Async<TcpStream>, SocketAddr)> {
+        let (stream, peer) = self.io_with(READ_READY, |l| l.accept()).await?;
+        stream.set_nonblocking(true)?;
+        Ok((Async::new(self.reactor.clone(), stream)?, peer))
+    }
+
+    /// The bound address (for `bind("127.0.0.1:0")`-style tests).
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.io.local_addr()
+    }
+}
+
+impl Async<TcpStream> {
+    /// Connects to `addr` and registers the stream. The connect itself
+    /// is the blocking `std` call — instantaneous on the loopback paths
+    /// this crate serves — and the socket goes nonblocking before any
+    /// IO.
+    pub fn connect(reactor: Arc<Reactor>, addr: SocketAddr) -> io::Result<Async<TcpStream>> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nonblocking(true)?;
+        stream.set_nodelay(true)?;
+        Async::new(reactor, stream)
+    }
+
+    /// Reads into `buf`; resolves with `Ok(0)` at EOF.
+    pub async fn read(&self, buf: &mut [u8]) -> io::Result<usize> {
+        self.io_with(READ_READY, |mut s| s.read(buf)).await
+    }
+
+    /// Writes the whole of `buf`, parking on a full socket buffer.
+    pub async fn write_all(&self, buf: &[u8]) -> io::Result<()> {
+        let mut done = 0;
+        while done < buf.len() {
+            let n = self
+                .io_with(WRITE_READY, |mut s| s.write(&buf[done..]))
+                .await?;
+            if n == 0 {
+                return Err(io::ErrorKind::WriteZero.into());
+            }
+            done += n;
+        }
+        Ok(())
+    }
+
+    /// Shuts down the write side (half-close), letting the peer's reads
+    /// drain to EOF.
+    pub fn shutdown_write(&self) {
+        let _ = self.io.shutdown(std::net::Shutdown::Write);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn rt_with_reactor() -> (tokio::runtime::Runtime, Arc<Reactor>) {
+        let reactor = Reactor::new().expect("reactor");
+        let rt = tokio::runtime::Builder::new_multi_thread()
+            .worker_threads(2)
+            .io_driver(reactor.clone())
+            .enable_all()
+            .build()
+            .expect("runtime");
+        (rt, reactor)
+    }
+
+    #[test]
+    fn echo_roundtrip_over_the_reactor() {
+        let (rt, reactor) = rt_with_reactor();
+        rt.block_on(async move {
+            let listener = Async::bind(reactor.clone(), "127.0.0.1:0").expect("bind");
+            let addr = listener.local_addr().expect("addr");
+            let server = tokio::spawn(async move {
+                let (conn, _) = listener.accept().await.expect("accept");
+                let mut buf = [0u8; 64];
+                loop {
+                    let n = conn.read(&mut buf).await.expect("server read");
+                    if n == 0 {
+                        break;
+                    }
+                    conn.write_all(&buf[..n]).await.expect("server write");
+                }
+            });
+            let client = Async::connect(reactor, addr).expect("connect");
+            for round in 0..32u8 {
+                let msg = [round; 16];
+                client.write_all(&msg).await.expect("client write");
+                let mut got = [0u8; 16];
+                let mut at = 0;
+                while at < got.len() {
+                    let n = client.read(&mut got[at..]).await.expect("client read");
+                    assert_ne!(n, 0, "server closed early");
+                    at += n;
+                }
+                assert_eq!(got, msg);
+            }
+            client.shutdown_write();
+            tokio::time::timeout(Duration::from_secs(10), server)
+                .await
+                .expect("server finished")
+                .expect("server task");
+        });
+    }
+
+    #[test]
+    fn large_transfer_exercises_partial_writes() {
+        let (rt, reactor) = rt_with_reactor();
+        rt.block_on(async move {
+            let listener = Async::bind(reactor.clone(), "127.0.0.1:0").expect("bind");
+            let addr = listener.local_addr().expect("addr");
+            // 4 MiB >> any socket buffer: the writer must park on
+            // WRITE_READY while the reader catches up.
+            let payload: Vec<u8> = (0..4 * 1024 * 1024u32).map(|i| i as u8).collect();
+            let expect = payload.clone();
+            let server = tokio::spawn(async move {
+                let (conn, _) = listener.accept().await.expect("accept");
+                conn.write_all(&payload).await.expect("server write");
+                conn.shutdown_write();
+            });
+            let client = Async::connect(reactor, addr).expect("connect");
+            let mut got = Vec::with_capacity(expect.len());
+            let mut buf = vec![0u8; 64 * 1024];
+            loop {
+                let n = client.read(&mut buf).await.expect("client read");
+                if n == 0 {
+                    break;
+                }
+                got.extend_from_slice(&buf[..n]);
+            }
+            assert_eq!(got.len(), expect.len());
+            assert_eq!(got, expect);
+            server.await.expect("server task");
+        });
+    }
+}

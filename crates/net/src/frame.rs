@@ -1,0 +1,377 @@
+//! The broker's length-prefixed binary wire format and its incremental
+//! codec.
+//!
+//! Every frame is `u32-LE body_len | body`, where `body` starts with a
+//! one-byte opcode:
+//!
+//! | frame  | body layout                                   | direction |
+//! |--------|-----------------------------------------------|-----------|
+//! | `PUB`  | `1 | topic_len u8 | topic | payload`          | c → b     |
+//! | `SUB`  | `2 | topic_len u8 | topic`                    | c → b     |
+//! | `MSG`  | `3 | topic_len u8 | topic | payload`          | b → c     |
+//! | `ACK`  | `4 | seq u64-LE`                              | b → c     |
+//! | `BUSY` | `5 | topic_len u8 | topic`                    | b → c     |
+//! | `CLOSE`| `6`                                           | both      |
+//!
+//! `ACK.seq` is the cumulative count of `PUB`s the broker has accepted on
+//! that connection — publishers match ACKs to sends by counting. `BUSY`
+//! announces that a `PUB` hit a full topic and the broker has suspended
+//! reading until capacity frees (protocol-level backpressure); the
+//! delayed `ACK` still follows once the value lands.
+//!
+//! The decoder is incremental: feed it whatever the socket produced and
+//! pull zero or more complete frames out. Malformed input (length prefix
+//! over [`MAX_FRAME`], unknown opcode, truncated body) is a hard,
+//! per-connection-fatal [`FrameError`] — a desynchronized length-prefixed
+//! stream cannot be re-synchronized, so the broker drops the connection.
+
+use std::fmt;
+
+/// Upper bound on `body_len`. Anything larger is judged malformed before
+/// any allocation happens — the length prefix is attacker-controlled and
+/// must never size a buffer unchecked.
+pub const MAX_FRAME: usize = 1 << 20;
+
+/// Upper bound on topic-name bytes (fits the u8 length on the wire).
+pub const MAX_TOPIC: usize = 255;
+
+const OP_PUB: u8 = 1;
+const OP_SUB: u8 = 2;
+const OP_MSG: u8 = 3;
+const OP_ACK: u8 = 4;
+const OP_BUSY: u8 = 5;
+const OP_CLOSE: u8 = 6;
+
+/// A decoded frame. Payload-bearing variants own their bytes (they are
+/// about to cross a queue anyway).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Frame {
+    /// Client publishes `payload` to `topic`.
+    Pub {
+        /// Destination topic.
+        topic: String,
+        /// Message bytes.
+        payload: Vec<u8>,
+    },
+    /// Client subscribes to `topic`.
+    Sub {
+        /// Source topic.
+        topic: String,
+    },
+    /// Broker delivers `payload` from `topic` to a subscriber.
+    Msg {
+        /// Source topic.
+        topic: String,
+        /// Message bytes.
+        payload: Vec<u8>,
+    },
+    /// Broker acknowledges the `seq`-th accepted `PUB` on this
+    /// connection (cumulative, 1-based).
+    Ack {
+        /// Cumulative accepted-publish count.
+        seq: u64,
+    },
+    /// Broker signals that a `PUB` to `topic` hit a full queue and reads
+    /// are suspended until it lands.
+    Busy {
+        /// The backpressured topic.
+        topic: String,
+    },
+    /// Orderly shutdown of one direction of the conversation.
+    Close,
+}
+
+/// Why a byte stream was judged malformed (connection-fatal).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// The length prefix exceeds [`MAX_FRAME`].
+    Oversized {
+        /// The advertised body length.
+        len: usize,
+    },
+    /// The body ended before its declared fields did (e.g. a topic_len
+    /// pointing past the body).
+    Truncated,
+    /// Unknown opcode byte.
+    BadOpcode(u8),
+    /// Topic bytes are not UTF-8, or an empty/oversized topic.
+    BadTopic,
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Oversized { len } => {
+                write!(f, "frame length {len} exceeds MAX_FRAME {MAX_FRAME}")
+            }
+            FrameError::Truncated => write!(f, "frame body truncated"),
+            FrameError::BadOpcode(op) => write!(f, "unknown opcode {op}"),
+            FrameError::BadTopic => write!(f, "bad topic (empty, too long, or not UTF-8)"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+fn put_topic(out: &mut Vec<u8>, topic: &str) {
+    debug_assert!(!topic.is_empty() && topic.len() <= MAX_TOPIC);
+    out.push(topic.len() as u8);
+    out.extend_from_slice(topic.as_bytes());
+}
+
+/// Encodes `frame` onto the end of `out` (length prefix included).
+pub fn encode_into(frame: &Frame, out: &mut Vec<u8>) {
+    let start = out.len();
+    out.extend_from_slice(&[0; 4]); // length back-patched below
+    match frame {
+        Frame::Pub { topic, payload } => {
+            out.push(OP_PUB);
+            put_topic(out, topic);
+            out.extend_from_slice(payload);
+        }
+        Frame::Sub { topic } => {
+            out.push(OP_SUB);
+            put_topic(out, topic);
+        }
+        Frame::Msg { topic, payload } => {
+            out.push(OP_MSG);
+            put_topic(out, topic);
+            out.extend_from_slice(payload);
+        }
+        Frame::Ack { seq } => {
+            out.push(OP_ACK);
+            out.extend_from_slice(&seq.to_le_bytes());
+        }
+        Frame::Busy { topic } => {
+            out.push(OP_BUSY);
+            put_topic(out, topic);
+        }
+        Frame::Close => out.push(OP_CLOSE),
+    }
+    let body_len = out.len() - start - 4;
+    debug_assert!(body_len <= MAX_FRAME);
+    out[start..start + 4].copy_from_slice(&(body_len as u32).to_le_bytes());
+}
+
+/// Encodes a `MSG` frame straight from borrowed parts — the broker's
+/// writer hot path, which would otherwise clone the topic `String` and
+/// payload into a [`Frame::Msg`] just to serialize them.
+pub fn encode_msg_into(topic: &str, payload: &[u8], out: &mut Vec<u8>) {
+    let start = out.len();
+    out.extend_from_slice(&[0; 4]);
+    out.push(OP_MSG);
+    put_topic(out, topic);
+    out.extend_from_slice(payload);
+    let body_len = out.len() - start - 4;
+    debug_assert!(body_len <= MAX_FRAME);
+    out[start..start + 4].copy_from_slice(&(body_len as u32).to_le_bytes());
+}
+
+/// Convenience single-frame encoder.
+pub fn encode(frame: &Frame) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16);
+    encode_into(frame, &mut out);
+    out
+}
+
+fn parse_topic<'a>(body: &'a [u8], at: &mut usize) -> Result<&'a str, FrameError> {
+    let len = *body.get(*at).ok_or(FrameError::Truncated)? as usize;
+    *at += 1;
+    if len == 0 {
+        return Err(FrameError::BadTopic);
+    }
+    let bytes = body.get(*at..*at + len).ok_or(FrameError::Truncated)?;
+    *at += len;
+    std::str::from_utf8(bytes).map_err(|_| FrameError::BadTopic)
+}
+
+/// Parses one complete body (opcode + fields).
+fn parse_body(body: &[u8]) -> Result<Frame, FrameError> {
+    let (&op, rest) = body.split_first().ok_or(FrameError::Truncated)?;
+    match op {
+        OP_PUB | OP_MSG => {
+            let mut at = 0;
+            let topic = parse_topic(rest, &mut at)?.to_owned();
+            let payload = rest[at..].to_vec();
+            Ok(if op == OP_PUB {
+                Frame::Pub { topic, payload }
+            } else {
+                Frame::Msg { topic, payload }
+            })
+        }
+        OP_SUB | OP_BUSY => {
+            let mut at = 0;
+            let topic = parse_topic(rest, &mut at)?.to_owned();
+            if at != rest.len() {
+                return Err(FrameError::Truncated);
+            }
+            Ok(if op == OP_SUB {
+                Frame::Sub { topic }
+            } else {
+                Frame::Busy { topic }
+            })
+        }
+        OP_ACK => {
+            let bytes: [u8; 8] = rest.try_into().map_err(|_| FrameError::Truncated)?;
+            Ok(Frame::Ack {
+                seq: u64::from_le_bytes(bytes),
+            })
+        }
+        OP_CLOSE => {
+            if !rest.is_empty() {
+                return Err(FrameError::Truncated);
+            }
+            Ok(Frame::Close)
+        }
+        other => Err(FrameError::BadOpcode(other)),
+    }
+}
+
+/// Incremental frame decoder: a growable byte buffer with a consumed
+/// prefix, compacted lazily so steady-state decoding never reallocates.
+#[derive(Default)]
+pub struct Decoder {
+    buf: Vec<u8>,
+    start: usize,
+}
+
+impl Decoder {
+    /// An empty decoder.
+    pub fn new() -> Decoder {
+        Decoder::default()
+    }
+
+    /// Feeds freshly-read socket bytes into the decoder.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        // Compact once the consumed prefix dominates, amortizing the
+        // copy over many frames.
+        if self.start > 4096 && self.start * 2 > self.buf.len() {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet consumed by a complete frame.
+    pub fn pending(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// Pulls the next complete frame, `Ok(None)` if more bytes are
+    /// needed. After an `Err` the stream is unrecoverable — the caller
+    /// must drop the connection (length-prefix streams cannot resync).
+    pub fn next_frame(&mut self) -> Result<Option<Frame>, FrameError> {
+        let avail = &self.buf[self.start..];
+        let Some(prefix) = avail.get(..4) else {
+            return Ok(None);
+        };
+        let body_len = u32::from_le_bytes(prefix.try_into().expect("4 bytes")) as usize;
+        if body_len > MAX_FRAME {
+            // Judged before buffering the body: the prefix alone
+            // condemns the stream, no matter how few bytes arrived.
+            return Err(FrameError::Oversized { len: body_len });
+        }
+        let Some(body) = avail.get(4..4 + body_len) else {
+            return Ok(None);
+        };
+        let frame = parse_body(body)?;
+        self.start += 4 + body_len;
+        if self.start == self.buf.len() {
+            self.buf.clear();
+            self.start = 0;
+        }
+        Ok(frame.into())
+    }
+}
+
+/// Validates a topic name for the sending side (the decoder enforces the
+/// same bounds on the receiving side).
+pub fn valid_topic(topic: &str) -> bool {
+    !topic.is_empty() && topic.len() <= MAX_TOPIC
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(f: Frame) {
+        let mut d = Decoder::new();
+        d.extend(&encode(&f));
+        assert_eq!(d.next_frame().expect("well-formed"), Some(f));
+        assert_eq!(d.next_frame().expect("drained"), None);
+        assert_eq!(d.pending(), 0);
+    }
+
+    #[test]
+    fn every_frame_kind_roundtrips() {
+        roundtrip(Frame::Pub {
+            topic: "orders".into(),
+            payload: b"hello".to_vec(),
+        });
+        roundtrip(Frame::Pub {
+            topic: "t".into(),
+            payload: Vec::new(),
+        });
+        roundtrip(Frame::Sub {
+            topic: "orders".into(),
+        });
+        roundtrip(Frame::Msg {
+            topic: "orders".into(),
+            payload: vec![0u8; 1000],
+        });
+        roundtrip(Frame::Ack { seq: u64::MAX });
+        roundtrip(Frame::Busy {
+            topic: "orders".into(),
+        });
+        roundtrip(Frame::Close);
+    }
+
+    #[test]
+    fn split_delivery_reassembles() {
+        let f = Frame::Pub {
+            topic: "topic".into(),
+            payload: (0..=255u8).collect(),
+        };
+        let bytes = encode(&f);
+        // Byte-at-a-time is the worst case.
+        let mut d = Decoder::new();
+        for (i, b) in bytes.iter().enumerate() {
+            d.extend(std::slice::from_ref(b));
+            let got = d.next_frame().expect("well-formed");
+            if i + 1 < bytes.len() {
+                assert_eq!(got, None, "no frame before byte {}", i + 1);
+            } else {
+                assert_eq!(got, Some(f.clone()));
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_prefix_is_fatal_before_the_body_arrives() {
+        let mut d = Decoder::new();
+        d.extend(&(MAX_FRAME as u32 + 1).to_le_bytes());
+        assert_eq!(
+            d.next_frame(),
+            Err(FrameError::Oversized { len: MAX_FRAME + 1 })
+        );
+    }
+
+    #[test]
+    fn unknown_opcode_is_rejected() {
+        let mut d = Decoder::new();
+        d.extend(&1u32.to_le_bytes());
+        d.extend(&[99u8]);
+        assert_eq!(d.next_frame(), Err(FrameError::BadOpcode(99)));
+    }
+
+    #[test]
+    fn truncated_topic_is_rejected() {
+        // PUB with topic_len 10 but only 3 topic bytes in the body.
+        let mut body = vec![OP_PUB, 10];
+        body.extend_from_slice(b"abc");
+        let mut d = Decoder::new();
+        d.extend(&(body.len() as u32).to_le_bytes());
+        d.extend(&body);
+        assert_eq!(d.next_frame(), Err(FrameError::Truncated));
+    }
+}

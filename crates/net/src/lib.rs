@@ -1,0 +1,54 @@
+//! `nbq-net`: a dependency-free epoll message broker that puts the whole
+//! queue stack under real network traffic.
+//!
+//! The ROADMAP's "millions of users" scenario, concretely: thousands of
+//! loopback TCP connections publishing into and subscribing out of
+//! topics whose backbone is a [`ShardedQueue`]-backed
+//! [`AsyncQueue`] — the same lanes, rings, pools, and waiter registry
+//! every prior PR built, now fed by a kernel event loop instead of
+//! in-process threads. Four layers, bottom up:
+//!
+//! * [`sys`](crate::reactor) — a libc-prototype FFI shim (`std` already
+//!   links the symbols; no new dependency) for
+//!   `epoll_create1`/`epoll_ctl`/`epoll_wait`/`eventfd`.
+//! * [`Reactor`] — edge-triggered epoll, implementing the runtime's
+//!   [`tokio::IoDriver`]: an idle worker parks *in* `epoll_wait` and
+//!   dispatches readiness itself (no IO thread), with an eventfd as the
+//!   sticky unpark pipe. [`Async`] wraps listeners/streams with
+//!   two-phase attempt→register→re-check IO futures.
+//! * [`frame`] — the length-prefixed wire format
+//!   (`PUB`/`SUB`/`MSG`/`ACK`/`BUSY`/`CLOSE`) with an incremental
+//!   decoder and a malformed-input contract measured in the codec
+//!   proptests.
+//! * [`Broker`] — topics fan in from per-connection publishers over
+//!   lane-pinned handles (per-publisher FIFO is unconditional; MPSC
+//!   fast-path lanes see a stable producer set) and fan out to
+//!   subscriber groups (work-queue semantics: each message reaches
+//!   exactly one subscriber). A full topic surfaces as protocol-level
+//!   backpressure: the publisher gets a `BUSY` frame and the broker
+//!   stops reading that connection until the value lands — bounded
+//!   memory end to end, enforced by the queue's own `Full`.
+//!
+//! [`run_workload_net`] is the same-process load generator: N thousand
+//! loopback connections through broker → queue → broker → subscriber,
+//! with `nbq_util::latency` histograms stamped through the full network
+//! path. The harness's `ext-net`/`ext-net-lat` experiments run it over
+//! cas/llsc/scq/wcq backbones (`repro net`).
+//!
+//! [`ShardedQueue`]: nbq_core::ShardedQueue
+//! [`AsyncQueue`]: nbq_async::AsyncQueue
+
+#![warn(missing_docs)]
+
+mod broker;
+mod conn;
+pub mod frame;
+mod loadgen;
+mod reactor;
+mod sys;
+
+pub use broker::{Broker, BrokerConfig, BrokerStats, NetMsg};
+pub use conn::Async;
+pub use frame::{Decoder, Frame, FrameError, MAX_FRAME, MAX_TOPIC};
+pub use loadgen::{run_workload_net, NetConfig, NetReport};
+pub use reactor::Reactor;

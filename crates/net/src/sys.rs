@@ -1,0 +1,179 @@
+//! Thin FFI shim over the handful of Linux syscalls the reactor needs.
+//!
+//! The workspace has no `libc` crate, but `std` already links the C
+//! library into every binary, so declaring the prototypes ourselves
+//! resolves against the same symbols `std::net` uses — no new dependency,
+//! no raw `syscall(2)` numbers to get wrong per-arch. Everything here is
+//! `pub(crate)`; the safe wrappers in `reactor`/`conn` are the real API.
+
+use std::io;
+use std::os::unix::io::RawFd;
+
+// `epoll_event` is the one layout trap: x86_64 Linux declares it
+// `__attribute__((packed))` (u32 events + u64 data = 12 bytes), while
+// every other architecture uses natural alignment. Getting this wrong
+// corrupts every second event in the buffer.
+#[cfg(target_arch = "x86_64")]
+#[repr(C, packed)]
+#[derive(Clone, Copy)]
+pub(crate) struct EpollEvent {
+    pub events: u32,
+    pub data: u64,
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+#[repr(C)]
+#[derive(Clone, Copy)]
+pub(crate) struct EpollEvent {
+    pub events: u32,
+    pub data: u64,
+}
+
+pub(crate) const EPOLLIN: u32 = 0x001;
+pub(crate) const EPOLLOUT: u32 = 0x004;
+pub(crate) const EPOLLERR: u32 = 0x008;
+pub(crate) const EPOLLHUP: u32 = 0x010;
+pub(crate) const EPOLLRDHUP: u32 = 0x2000;
+pub(crate) const EPOLLET: u32 = 1 << 31;
+
+pub(crate) const EPOLL_CTL_ADD: i32 = 1;
+pub(crate) const EPOLL_CTL_DEL: i32 = 2;
+
+const EPOLL_CLOEXEC: i32 = 0o2000000;
+const EFD_CLOEXEC: i32 = 0o2000000;
+const EFD_NONBLOCK: i32 = 0o4000;
+
+extern "C" {
+    fn epoll_create1(flags: i32) -> i32;
+    fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+    fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout_ms: i32) -> i32;
+    fn eventfd(initval: u32, flags: i32) -> i32;
+    fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
+    fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+    fn close(fd: i32) -> i32;
+}
+
+fn cvt(ret: i32) -> io::Result<i32> {
+    if ret < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(ret)
+    }
+}
+
+/// `epoll_create1(EPOLL_CLOEXEC)`.
+pub(crate) fn epoll_create() -> io::Result<RawFd> {
+    // SAFETY: no pointers involved; the kernel validates the flag.
+    cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) })
+}
+
+/// `epoll_ctl(ADD/DEL/MOD)` with interest `events` and cookie `token`.
+pub(crate) fn epoll_ctl_op(
+    epfd: RawFd,
+    op: i32,
+    fd: RawFd,
+    events: u32,
+    token: u64,
+) -> io::Result<()> {
+    let mut ev = EpollEvent {
+        events,
+        data: token,
+    };
+    // SAFETY: `ev` outlives the call; DEL ignores the event pointer but
+    // passing a valid one is allowed on every kernel.
+    cvt(unsafe { epoll_ctl(epfd, op, fd, &mut ev) })?;
+    Ok(())
+}
+
+/// Blocking `epoll_wait`; `timeout` of `None` waits indefinitely. EINTR
+/// is surfaced as an empty batch (the scheduler loops around anyway).
+pub(crate) fn epoll_wait_events(
+    epfd: RawFd,
+    buf: &mut [EpollEvent],
+    timeout_ms: i32,
+) -> io::Result<usize> {
+    // SAFETY: `buf` is valid for `buf.len()` events and the kernel
+    // writes at most `maxevents` entries.
+    let n = unsafe { epoll_wait(epfd, buf.as_mut_ptr(), buf.len() as i32, timeout_ms) };
+    if n < 0 {
+        let err = io::Error::last_os_error();
+        if err.kind() == io::ErrorKind::Interrupted {
+            return Ok(0);
+        }
+        return Err(err);
+    }
+    Ok(n as usize)
+}
+
+/// `eventfd(0, CLOEXEC | NONBLOCK)` — the reactor's wakeup pipe. The
+/// counter is sticky: a write before the next `epoll_wait` still makes
+/// it return immediately, which is exactly the unpark contract the
+/// runtime's `IoDriver` demands.
+pub(crate) fn eventfd_new() -> io::Result<RawFd> {
+    // SAFETY: no pointers involved.
+    cvt(unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) })
+}
+
+/// Adds 1 to the eventfd counter (the unpark side). A full counter
+/// (EAGAIN) means a wakeup is already pending — success either way.
+pub(crate) fn eventfd_signal(fd: RawFd) {
+    let one: u64 = 1;
+    // SAFETY: writes exactly 8 bytes from a live stack slot.
+    let _ = unsafe { write(fd, (&one as *const u64).cast(), 8) };
+}
+
+/// Drains the eventfd counter (the park side, after a wakeup).
+pub(crate) fn eventfd_drain(fd: RawFd) {
+    let mut buf = 0u64;
+    // SAFETY: reads exactly 8 bytes into a live stack slot; EAGAIN when
+    // already drained is fine.
+    let _ = unsafe { read(fd, (&mut buf as *mut u64).cast(), 8) };
+}
+
+/// `close(2)` for fds we own raw (the epoll fd and the eventfd).
+pub(crate) fn close_fd(fd: RawFd) {
+    // SAFETY: the callers own `fd` and never use it after this.
+    let _ = unsafe { close(fd) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoll_event_layout_matches_the_kernel_abi() {
+        // 12 packed bytes on x86_64, 16 naturally-aligned elsewhere.
+        if cfg!(target_arch = "x86_64") {
+            assert_eq!(std::mem::size_of::<EpollEvent>(), 12);
+        } else {
+            assert_eq!(std::mem::size_of::<EpollEvent>(), 16);
+        }
+    }
+
+    #[test]
+    fn eventfd_wakes_epoll_and_is_sticky() {
+        let ep = epoll_create().expect("epoll_create1");
+        let ev = eventfd_new().expect("eventfd");
+        epoll_ctl_op(ep, EPOLL_CTL_ADD, ev, EPOLLIN, 7).expect("ctl add");
+
+        // Nothing pending: a zero-timeout wait returns no events.
+        let mut buf = [EpollEvent { events: 0, data: 0 }; 4];
+        assert_eq!(epoll_wait_events(ep, &mut buf, 0).expect("wait"), 0);
+
+        // Signal *before* waiting — the wakeup must stick.
+        eventfd_signal(ev);
+        let n = epoll_wait_events(ep, &mut buf, 1000).expect("wait");
+        assert_eq!(n, 1);
+        let (data, events) = { (buf[0].data, buf[0].events) };
+        assert_eq!(data, 7);
+        assert_ne!(events & EPOLLIN, 0);
+
+        // Drained: quiet again.
+        eventfd_drain(ev);
+        assert_eq!(epoll_wait_events(ep, &mut buf, 0).expect("wait"), 0);
+
+        epoll_ctl_op(ep, EPOLL_CTL_DEL, ev, 0, 0).expect("ctl del");
+        close_fd(ev);
+        close_fd(ep);
+    }
+}

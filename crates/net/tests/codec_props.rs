@@ -1,0 +1,203 @@
+//! Property tests for the wire codec: encode → arbitrarily-chunked
+//! decode must be the identity on any frame sequence, and malformed
+//! input must be rejected (never panic, never resync).
+
+use nbq_net::frame::{self, Decoder, Frame, FrameError, MAX_FRAME};
+use proptest::prelude::*;
+
+fn arb_topic() -> impl Strategy<Value = String> {
+    proptest::collection::vec(b'a'..=b'z', 1..17).prop_map(|v| String::from_utf8(v).expect("ascii"))
+}
+
+fn arb_payload() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(any::<u8>(), 0..512)
+}
+
+fn arb_frame() -> impl Strategy<Value = Frame> {
+    prop_oneof![
+        (arb_topic(), arb_payload()).prop_map(|(topic, payload)| Frame::Pub { topic, payload }),
+        arb_topic().prop_map(|topic| Frame::Sub { topic }),
+        (arb_topic(), arb_payload()).prop_map(|(topic, payload)| Frame::Msg { topic, payload }),
+        any::<u64>().prop_map(|seq| Frame::Ack { seq }),
+        arb_topic().prop_map(|topic| Frame::Busy { topic }),
+        Just(Frame::Close),
+    ]
+}
+
+/// Feeds `bytes` to a decoder in chunks cut by `cuts`, collecting every
+/// decoded frame.
+fn decode_chunked(bytes: &[u8], cuts: &[usize]) -> Result<Vec<Frame>, FrameError> {
+    let mut dec = Decoder::new();
+    let mut out = Vec::new();
+    let mut at = 0;
+    let mut cut_ix = 0;
+    while at < bytes.len() {
+        let step = 1 + cuts.get(cut_ix).copied().unwrap_or(7) % 64;
+        cut_ix += 1;
+        let end = (at + step).min(bytes.len());
+        dec.extend(&bytes[at..end]);
+        at = end;
+        while let Some(fr) = dec.next_frame()? {
+            out.push(fr);
+        }
+    }
+    Ok(out)
+}
+
+proptest! {
+    /// Any frame sequence survives encode → chunked decode exactly,
+    /// regardless of where the read-buffer boundaries fall.
+    #[test]
+    fn roundtrip_survives_arbitrary_chunking(
+        frames in proptest::collection::vec(arb_frame(), 1..12),
+        cuts in proptest::collection::vec(0usize..64, 0..48),
+    ) {
+        let mut bytes = Vec::new();
+        for fr in &frames {
+            frame::encode_into(fr, &mut bytes);
+        }
+        let decoded = decode_chunked(&bytes, &cuts).expect("valid stream");
+        prop_assert_eq!(decoded, frames);
+    }
+
+    /// `encode_msg_into` (the broker writer's borrowed-parts hot path)
+    /// produces byte-identical output to encoding a built `Frame::Msg`.
+    #[test]
+    fn borrowed_msg_encoder_matches_the_frame_encoder(
+        topic in arb_topic(),
+        payload in arb_payload(),
+    ) {
+        let mut via_parts = Vec::new();
+        frame::encode_msg_into(&topic, &payload, &mut via_parts);
+        let via_frame = frame::encode(&Frame::Msg { topic, payload });
+        prop_assert_eq!(via_parts, via_frame);
+    }
+
+    /// An oversized length prefix condemns the stream from the prefix
+    /// alone — before any body bytes arrive.
+    #[test]
+    fn oversized_prefix_is_rejected_immediately(
+        excess in 1u64..=(u32::MAX as u64 - MAX_FRAME as u64),
+    ) {
+        let len = (MAX_FRAME as u64 + excess) as u32;
+        let mut dec = Decoder::new();
+        dec.extend(&len.to_le_bytes());
+        prop_assert_eq!(
+            dec.next_frame(),
+            Err(FrameError::Oversized { len: len as usize })
+        );
+    }
+
+    /// Arbitrary garbage never panics the decoder: every byte string
+    /// either yields frames, wants more input, or errors.
+    #[test]
+    fn garbage_input_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let mut dec = Decoder::new();
+        dec.extend(&bytes);
+        while let Ok(Some(_)) = dec.next_frame() {}
+    }
+}
+
+#[test]
+fn empty_payload_roundtrips() {
+    let fr = Frame::Pub {
+        topic: "t".into(),
+        payload: Vec::new(),
+    };
+    let mut dec = Decoder::new();
+    dec.extend(&frame::encode(&fr));
+    assert_eq!(dec.next_frame(), Ok(Some(fr)));
+    assert_eq!(dec.pending(), 0);
+}
+
+#[test]
+fn max_size_payload_roundtrips() {
+    // body = opcode + topic_len + 1-byte topic + payload == MAX_FRAME.
+    let payload = vec![0xabu8; MAX_FRAME - 3];
+    let fr = Frame::Msg {
+        topic: "t".into(),
+        payload,
+    };
+    let bytes = frame::encode(&fr);
+    assert_eq!(bytes.len(), 4 + MAX_FRAME);
+    // Feed it split across an awkward boundary inside the payload.
+    let mut dec = Decoder::new();
+    dec.extend(&bytes[..MAX_FRAME / 2]);
+    assert_eq!(dec.next_frame(), Ok(None));
+    dec.extend(&bytes[MAX_FRAME / 2..]);
+    assert_eq!(dec.next_frame(), Ok(Some(fr)));
+}
+
+#[test]
+fn multibyte_utf8_topics_roundtrip() {
+    let fr = Frame::Sub {
+        topic: "tópico-ω".into(),
+    };
+    let mut dec = Decoder::new();
+    dec.extend(&frame::encode(&fr));
+    assert_eq!(dec.next_frame(), Ok(Some(fr)));
+}
+
+#[test]
+fn unknown_opcode_is_fatal() {
+    let mut dec = Decoder::new();
+    dec.extend(&1u32.to_le_bytes());
+    dec.extend(&[0x7f]);
+    assert_eq!(dec.next_frame(), Err(FrameError::BadOpcode(0x7f)));
+}
+
+#[test]
+fn truncated_header_rejections() {
+    // ACK with a 7-byte body: opcode parses, the u64 field is short.
+    let mut dec = Decoder::new();
+    dec.extend(&8u32.to_le_bytes());
+    dec.extend(&[4u8]); // OP_ACK
+    dec.extend(&[0u8; 7]);
+    assert_eq!(dec.next_frame(), Err(FrameError::Truncated));
+
+    // SUB whose declared topic length runs past the body.
+    let mut dec = Decoder::new();
+    dec.extend(&3u32.to_le_bytes());
+    dec.extend(&[2u8, 10, b'x']); // OP_SUB, topic_len 10, 1 byte present
+    assert_eq!(dec.next_frame(), Err(FrameError::Truncated));
+
+    // SUB with trailing bytes after the topic.
+    let mut dec = Decoder::new();
+    dec.extend(&4u32.to_le_bytes());
+    dec.extend(&[2u8, 1, b'x', b'!']);
+    assert_eq!(dec.next_frame(), Err(FrameError::Truncated));
+
+    // Zero-length body: no opcode at all.
+    let mut dec = Decoder::new();
+    dec.extend(&0u32.to_le_bytes());
+    assert_eq!(dec.next_frame(), Err(FrameError::Truncated));
+}
+
+#[test]
+fn bad_topic_rejections() {
+    // Zero-length topic.
+    let mut dec = Decoder::new();
+    dec.extend(&2u32.to_le_bytes());
+    dec.extend(&[2u8, 0]);
+    assert_eq!(dec.next_frame(), Err(FrameError::BadTopic));
+
+    // Invalid UTF-8 topic bytes.
+    let mut dec = Decoder::new();
+    dec.extend(&3u32.to_le_bytes());
+    dec.extend(&[2u8, 1, 0xff]);
+    assert_eq!(dec.next_frame(), Err(FrameError::BadTopic));
+}
+
+#[test]
+fn decoder_compacts_consumed_prefix_under_sustained_traffic() {
+    // Push enough small frames through one decoder that the lazy
+    // compaction in `extend` must trigger; pending() stays exact.
+    let fr = Frame::Ack { seq: 99 };
+    let encoded = frame::encode(&fr);
+    let mut dec = Decoder::new();
+    for _ in 0..4096 {
+        dec.extend(&encoded);
+        assert_eq!(dec.next_frame(), Ok(Some(fr.clone())));
+        assert_eq!(dec.pending(), 0);
+    }
+}

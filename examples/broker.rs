@@ -1,0 +1,197 @@
+//! The networked broker end to end: real loopback sockets, the epoll
+//! reactor fused into the executor's parker, and a topic backed by a
+//! `ShardedQueue` of CAS lanes (MPSC fast path) — the whole stack from
+//! DESIGN.md §14 in one process.
+//!
+//! ```text
+//! cargo run --release --example broker
+//! ```
+//!
+//! Three publishers push 50 jobs each into the `jobs` topic with
+//! stop-and-wait PUB → ACK; two workers subscribe and split the stream
+//! (work-queue semantics: each job goes to exactly one worker). The
+//! topic's lane holds only 2 values, so publishers outrunning the
+//! workers see `BUSY` frames and delayed ACKs — protocol-level
+//! backpressure, no loss. The demo checks conservation (every job
+//! delivered exactly once) and per-publisher FIFO through the wire.
+
+use nbq::net::{frame, Async, Broker, BrokerConfig, Decoder, Frame, NetMsg, Reactor};
+use nbq::CasQueue;
+use std::collections::HashMap;
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+const PUBLISHERS: u64 = 3;
+const JOBS_EACH: u64 = 50;
+const WORKERS: usize = 2;
+
+/// Payload: publisher id and per-publisher sequence, little-endian.
+fn job(publisher: u64, seq: u64) -> Vec<u8> {
+    let mut p = publisher.to_le_bytes().to_vec();
+    p.extend_from_slice(&seq.to_le_bytes());
+    p
+}
+
+fn unjob(payload: &[u8]) -> (u64, u64) {
+    (
+        u64::from_le_bytes(payload[..8].try_into().unwrap()),
+        u64::from_le_bytes(payload[8..16].try_into().unwrap()),
+    )
+}
+
+async fn read_frame(stream: &Async<TcpStream>, dec: &mut Decoder, buf: &mut [u8]) -> Option<Frame> {
+    loop {
+        if let Some(fr) = dec.next_frame().expect("well-formed broker stream") {
+            return Some(fr);
+        }
+        match stream.read(buf).await {
+            Ok(0) | Err(_) => return None,
+            Ok(n) => dec.extend(&buf[..n]),
+        }
+    }
+}
+
+async fn publisher(reactor: Arc<Reactor>, addr: SocketAddr, id: u64, busy_seen: Arc<AtomicU64>) {
+    let stream = Async::connect(reactor, addr).expect("connect");
+    let mut dec = Decoder::new();
+    let mut buf = vec![0u8; 4096];
+    for seq in 0..JOBS_EACH {
+        stream
+            .write_all(&frame::encode(&Frame::Pub {
+                topic: "jobs".into(),
+                payload: job(id, seq),
+            }))
+            .await
+            .expect("PUB");
+        // Stop-and-wait: BUSY may precede the ACK when the topic lane is
+        // full — that is the queue's Full surfacing as backpressure.
+        loop {
+            match read_frame(&stream, &mut dec, &mut buf).await {
+                Some(Frame::Ack { .. }) => break,
+                Some(Frame::Busy { .. }) => {
+                    busy_seen.fetch_add(1, Ordering::Relaxed);
+                }
+                other => panic!("publisher {id}: unexpected {other:?}"),
+            }
+        }
+    }
+    stream
+        .write_all(&frame::encode(&Frame::Close))
+        .await
+        .expect("CLOSE");
+    while read_frame(&stream, &mut dec, &mut buf).await.is_some() {}
+}
+
+/// Reads MSG frames until the socket closes; returns this worker's jobs.
+async fn worker(stream: Arc<Async<TcpStream>>, delivered: Arc<AtomicU64>) -> Vec<(u64, u64)> {
+    let mut dec = Decoder::new();
+    let mut buf = vec![0u8; 4096];
+    let mut jobs = Vec::new();
+    loop {
+        match read_frame(&stream, &mut dec, &mut buf).await {
+            Some(Frame::Msg { payload, .. }) => {
+                jobs.push(unjob(&payload));
+                delivered.fetch_add(1, Ordering::Relaxed);
+            }
+            Some(Frame::Close) | None => return jobs,
+            other => panic!("worker: unexpected {other:?}"),
+        }
+    }
+}
+
+fn main() {
+    let reactor = Reactor::new().expect("epoll reactor");
+    let rt = tokio::runtime::Builder::new_multi_thread()
+        .worker_threads(2)
+        .io_driver(reactor.clone())
+        .enable_all()
+        .build()
+        .expect("runtime");
+    // One MPSC fast-path lane of 2: three stop-and-wait publishers
+    // outrun two workers, so the Full queue surfaces as BUSY frames.
+    let broker = Broker::new(
+        reactor.clone(),
+        BrokerConfig {
+            lanes: 1,
+            ..BrokerConfig::default()
+        },
+        |_lane: usize| CasQueue::<NetMsg>::with_capacity(2),
+    );
+
+    rt.block_on(async move {
+        let listener = Async::bind(reactor.clone(), "127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        tokio::spawn(broker.clone().serve(listener));
+        println!("broker listening on {addr} (topic `jobs`, 1 CAS lane x 2 slots)");
+
+        let delivered = Arc::new(AtomicU64::new(0));
+        let mut worker_tasks = Vec::new();
+        let mut worker_streams = Vec::new();
+        for _ in 0..WORKERS {
+            let stream = Arc::new(Async::connect(reactor.clone(), addr).expect("connect"));
+            stream
+                .write_all(&frame::encode(&Frame::Sub {
+                    topic: "jobs".into(),
+                }))
+                .await
+                .expect("SUB");
+            worker_streams.push(stream.clone());
+            worker_tasks.push(tokio::spawn(worker(stream, delivered.clone())));
+        }
+
+        let busy_seen = Arc::new(AtomicU64::new(0));
+        let mut pub_tasks = Vec::new();
+        for id in 0..PUBLISHERS {
+            pub_tasks.push(tokio::spawn(publisher(
+                reactor.clone(),
+                addr,
+                id,
+                busy_seen.clone(),
+            )));
+        }
+        for t in pub_tasks {
+            t.await.expect("publisher");
+        }
+        // Publishers are ACKed out; wait for the tail of the topic to
+        // drain to the workers, then hang up on them.
+        let total = PUBLISHERS * JOBS_EACH;
+        while delivered.load(Ordering::Relaxed) < total {
+            tokio::time::sleep(std::time::Duration::from_millis(2)).await;
+        }
+        for s in &worker_streams {
+            let _ = s.get_ref().shutdown(std::net::Shutdown::Both);
+        }
+
+        let mut seen = 0u64;
+        for (i, t) in worker_tasks.into_iter().enumerate() {
+            let jobs = t.await.expect("worker");
+            println!("worker {i}: processed {} jobs", jobs.len());
+            // Work-queue split: each worker gets a subsequence of every
+            // publisher's stream, and that subsequence must still be in
+            // publish order (per-publisher FIFO survives the wire).
+            let mut last_seq: HashMap<u64, u64> = HashMap::new();
+            for (publisher, seq) in jobs {
+                seen += 1;
+                if let Some(&prev) = last_seq.get(&publisher) {
+                    assert!(prev < seq, "publisher {publisher} reordered at worker {i}");
+                }
+                last_seq.insert(publisher, seq);
+            }
+        }
+        assert_eq!(seen, total, "conservation: every job exactly once");
+
+        let stats = broker.stats();
+        println!(
+            "\n{total} jobs published, {} delivered, 0 lost ✓",
+            stats.delivered
+        );
+        println!(
+            "backpressure: {} BUSY frames seen by publishers ({} Full hits at the broker)",
+            busy_seen.load(Ordering::Relaxed),
+            stats.busy
+        );
+        println!("per-publisher FIFO preserved through the wire ✓");
+        println!("\n(sweep this stack with `repro net --connections 256,1024 --csv results`)");
+    });
+}

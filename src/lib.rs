@@ -147,6 +147,7 @@ pub use nbq_hazard as hazard;
 pub use nbq_lincheck as lincheck;
 pub use nbq_llsc as llsc;
 pub use nbq_mcas as mcas;
+pub use nbq_net as net;
 pub use nbq_util::{
     Arity, Backoff, BatchFull, BlockingQueue, CachePadded, ConcurrentQueue, Full, LaneFactory,
     LatencyHistogram, QueueHandle, QueueKind, TrySendError,

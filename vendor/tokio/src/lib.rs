@@ -27,8 +27,12 @@
 //!
 //! Faithfulness notes, by design:
 //!
-//! * No IO driver: `enable_all`/`enable_time` are accepted no-ops (there
-//!   is nothing to enable; time always works).
+//! * No built-in IO driver: `enable_all`/`enable_time` are accepted
+//!   no-ops (time always works). An external event source can be fused
+//!   into the parker via [`runtime::Builder::io_driver`] — `nbq-net`
+//!   installs its epoll reactor there, so an idle worker blocks in
+//!   `epoll_wait` and dispatches readiness itself, mirroring how the real
+//!   runtime folds mio into worker parking.
 //! * The `injection-only` cargo feature forces the pre-work-stealing
 //!   single-queue scheduler and is kept as the measurement control for
 //!   the `ext-async-latency` experiment (see also
@@ -54,6 +58,34 @@ pub mod task;
 pub mod time;
 
 pub use task::spawn;
+
+/// A pluggable IO event source that parked workers block on instead of
+/// their condvar. `nbq-net` installs its epoll reactor here (via
+/// [`runtime::Builder::io_driver`]) so a worker with no runnable tasks
+/// sits in `epoll_wait` and turns readiness events into wakeups directly,
+/// with no dedicated IO thread.
+///
+/// Contract:
+///
+/// * At most one worker calls [`park`](IoDriver::park) at a time (the
+///   scheduler serializes the claim); the rest of the pool keeps using
+///   condvar parking.
+/// * [`unpark`](IoDriver::unpark) must be **sticky**: an unpark delivered
+///   before the matching park makes that park return promptly (an eventfd
+///   counter has exactly this shape). It may be called from any thread,
+///   including concurrently with `park`.
+/// * `park` returning is only a hint; the scheduler re-sweeps its queues
+///   and may park again immediately. Spurious returns are fine.
+pub trait IoDriver: Send + Sync + 'static {
+    /// Blocks the calling worker until IO readiness was dispatched, an
+    /// [`unpark`](IoDriver::unpark) arrived, or `timeout` (the next timer
+    /// deadline) elapses. `None` means no deadline.
+    fn park(&self, timeout: Option<Duration>);
+
+    /// Wakes the worker currently blocked in [`park`](IoDriver::park), or
+    /// the next one to call it (sticky).
+    fn unpark(&self);
+}
 
 use steal::StealQueue;
 
@@ -244,6 +276,7 @@ struct Counters {
     lifo_hits: AtomicU64,
     injection_polls: AtomicU64,
     parks: AtomicU64,
+    io_parks: AtomicU64,
 }
 
 struct Shared {
@@ -265,6 +298,14 @@ struct Shared {
     /// The runtime's timer list; parked workers arm the earliest deadline
     /// as their wait timeout and fire due entries on unpark.
     timers: Mutex<BinaryHeap<TimerEntry>>,
+    /// Optional IO event source (see [`IoDriver`]). When present, one
+    /// parking worker at a time claims it and blocks in the driver
+    /// instead of its condvar.
+    io_driver: Option<Arc<dyn IoDriver>>,
+    /// True while some worker holds the driver claim (set before the
+    /// under-lock queue re-check, so wake paths that observe an empty
+    /// idle list and then read this flag cannot miss the sleeper).
+    driver_parked: AtomicBool,
     counters: Counters,
 }
 
@@ -312,17 +353,34 @@ impl Shared {
     /// Pushes to the injection queue and wakes one sleeper (unless a
     /// searching worker is already sweeping — it will find the work).
     fn push_injection<I: IntoIterator<Item = Arc<Task>>>(&self, tasks: I) {
-        let target = {
+        let (target, check_driver) = {
             let mut inj = self.injection.lock().unwrap_or_else(|e| e.into_inner());
             inj.queue.extend(tasks);
             if self.searching.load(Ordering::Acquire) == 0 {
-                inj.idle.pop()
+                let t = inj.idle.pop();
+                let check = t.is_none();
+                (t, check)
             } else {
-                None
+                (None, false)
             }
         };
         if let Some(i) = target {
             self.workers[i].parker.unpark();
+        } else if check_driver {
+            self.unpark_driver();
+        }
+    }
+
+    /// Wakes the driver-parked worker, if any. The claim flag is set
+    /// before that worker's under-lock queue re-check, and we read it
+    /// after releasing the same lock, so either the sleeper saw our work
+    /// or we see its claim — never neither. Unpark is sticky, so racing
+    /// ahead of the actual `epoll_wait` entry is fine.
+    fn unpark_driver(&self) {
+        if let Some(driver) = &self.io_driver {
+            if self.driver_parked.load(Ordering::Acquire) {
+                driver.unpark();
+            }
         }
     }
 
@@ -344,6 +402,8 @@ impl Shared {
         };
         if let Some(i) = target {
             self.workers[i].parker.unpark();
+        } else {
+            self.unpark_driver();
         }
     }
 
@@ -356,6 +416,12 @@ impl Shared {
         }
         for w in self.workers.iter() {
             w.parker.unpark();
+        }
+        // Shutdown must reach the driver sleeper too; unconditional (not
+        // gated on the claim flag) so a worker between claim and sleep
+        // still sees the sticky wakeup.
+        if let Some(driver) = &self.io_driver {
+            driver.unpark();
         }
     }
 
@@ -444,6 +510,10 @@ impl Shared {
             };
             if let Some(i) = target {
                 self.workers[i].parker.unpark();
+            } else {
+                // The driver sleeper may have armed a later deadline;
+                // kick it so it re-arms against the new minimum.
+                self.unpark_driver();
             }
         }
     }
@@ -474,6 +544,9 @@ impl Shared {
     /// registering as idle, so a push can never slip between the check
     /// and the sleep.
     fn park(&self, idx: usize, deadline: Option<Instant>) {
+        if self.park_on_driver(deadline) {
+            return;
+        }
         let parker = &self.workers[idx].parker;
         {
             // Clear any stale notification from a previous cycle; work
@@ -520,6 +593,41 @@ impl Shared {
             let mut inj = self.injection.lock().unwrap_or_else(|e| e.into_inner());
             inj.idle.retain(|&i| i != idx);
         }
+    }
+
+    /// Tries to park this worker on the IO driver instead of its condvar.
+    /// Returns `true` if the driver slept (or declined to because work
+    /// arrived) — i.e. the caller should resume its loop — and `false`
+    /// when another worker already holds the driver claim, in which case
+    /// the caller falls back to condvar parking. The claim flag is raised
+    /// *before* the under-lock queue re-check: a pusher that finds the
+    /// idle list empty reads the flag after releasing the same lock, so
+    /// one of the two sides always observes the other (the Dekker shape
+    /// the condvar path gets from `inj.idle`).
+    fn park_on_driver(&self, deadline: Option<Instant>) -> bool {
+        let Some(driver) = &self.io_driver else {
+            return false;
+        };
+        if self
+            .driver_parked
+            .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+            .is_err()
+        {
+            return false;
+        }
+        {
+            let inj = self.injection.lock().unwrap_or_else(|e| e.into_inner());
+            if self.shutdown.load(Ordering::Acquire) || !inj.queue.is_empty() {
+                drop(inj);
+                self.driver_parked.store(false, Ordering::Release);
+                return true;
+            }
+        }
+        self.counters.io_parks.fetch_add(1, Ordering::Relaxed);
+        let timeout = deadline.map(|d| d.saturating_duration_since(Instant::now()));
+        driver.park(timeout);
+        self.driver_parked.store(false, Ordering::Release);
+        true
     }
 }
 

@@ -7,6 +7,7 @@ use super::*;
 pub struct Builder {
     worker_threads: usize,
     injection_only: bool,
+    io_driver: Option<Arc<dyn IoDriver>>,
 }
 
 impl Builder {
@@ -18,6 +19,7 @@ impl Builder {
                 .map(|n| n.get())
                 .unwrap_or(1),
             injection_only: injection_only_build(),
+            io_driver: None,
         }
     }
 
@@ -38,8 +40,19 @@ impl Builder {
         self
     }
 
+    /// Installs an IO event source (see [`IoDriver`]): an idle worker
+    /// parks inside `driver.park()` — for `nbq-net`'s reactor, an
+    /// `epoll_wait` — instead of its condvar, so readiness events are
+    /// turned into task wakeups by the worker pool itself with no
+    /// dedicated IO thread. The real tokio fuses its mio driver into the
+    /// parker the same way; this hook is the stand-in's seam for it.
+    pub fn io_driver(mut self, driver: Arc<dyn IoDriver>) -> Builder {
+        self.io_driver = Some(driver);
+        self
+    }
+
     /// Accepted for API compatibility; time always works and there is no
-    /// IO driver to enable.
+    /// built-in IO driver to enable (see [`Builder::io_driver`]).
     pub fn enable_all(self) -> Builder {
         self
     }
@@ -68,6 +81,8 @@ impl Builder {
             shutdown: AtomicBool::new(false),
             live: Mutex::new(Vec::new()),
             timers: Mutex::new(BinaryHeap::new()),
+            io_driver: self.io_driver,
+            driver_parked: AtomicBool::new(false),
             counters: Counters::default(),
         });
         let mut threads = Vec::with_capacity(self.worker_threads);
@@ -109,6 +124,9 @@ pub struct RuntimeMetrics {
     pub injection_polls: u64,
     /// Times a worker went to sleep on its parker.
     pub parks: u64,
+    /// Times a worker parked inside the installed [`IoDriver`] (e.g.
+    /// `epoll_wait`) instead of its condvar. Zero without a driver.
+    pub io_parks: u64,
 }
 
 /// A handle to the worker pool. Dropping it shuts the workers down and
@@ -183,6 +201,7 @@ impl Runtime {
             lifo_hits: c.lifo_hits.load(Ordering::Relaxed),
             injection_polls: c.injection_polls.load(Ordering::Relaxed),
             parks: c.parks.load(Ordering::Relaxed),
+            io_parks: c.io_parks.load(Ordering::Relaxed),
         }
     }
 }
